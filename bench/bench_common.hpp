@@ -1,0 +1,30 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace fdp::bench {
+
+/// Wall-clock stopwatch (seconds).
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+inline void banner(const char* id, const char* claim) {
+  std::printf("\n############################################################\n");
+  std::printf("# %s\n# claim: %s\n", id, claim);
+  std::printf("############################################################\n\n");
+  std::fflush(stdout);
+}
+
+}  // namespace fdp::bench

@@ -1,0 +1,110 @@
+// E1 — Lemma 1: the four primitives preserve weak connectivity; the first
+// three additionally preserve directed reachability.
+//
+// Workload: random legal primitive sequences on random weakly connected
+// multigraphs. Every op is followed by a connectivity re-check (the table
+// reports the violation count, which Lemma 1 predicts to be exactly 0),
+// and for the three-primitive subset we verify the initial reachability
+// matrix is still dominated at the end of each run.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "universality/rewriter.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace fdp {
+namespace {
+
+struct Row {
+  std::size_t n = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t weak_violations = 0;
+  std::uint64_t strong_losses = 0;  // 3-primitive subset runs
+  double ops_per_sec = 0;
+};
+
+RewriteOp random_op(Rng& rng, std::size_t n, bool allow_reversal) {
+  const NodeId u = static_cast<NodeId>(rng.below(n));
+  const NodeId v = static_cast<NodeId>(rng.below(n));
+  const NodeId w = static_cast<NodeId>(rng.below(n));
+  switch (rng.below(allow_reversal ? 5u : 4u)) {
+    case 0: return RewriteOp::introduction(u, v, w);
+    case 1: return RewriteOp::self_introduction(u, v);
+    case 2: return RewriteOp::delegation(u, v, w);
+    case 3: return RewriteOp::fusion(u, v);
+    default: return RewriteOp::reversal(u, v);
+  }
+}
+
+Row run_scale(std::size_t n, std::uint64_t target_ops, std::uint64_t seeds) {
+  Row row;
+  row.n = n;
+  bench::Timer timer;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Rng rng(seed * 7919 + n);
+    // All four primitives, connectivity verified after every op.
+    {
+      DiGraph g = gen::random_weakly_connected(n, n, 0.3, rng);
+      GraphRewriter rw(std::move(g), /*verify=*/true);
+      std::uint64_t guard = 0;
+      while (rw.ops_applied() < target_ops && ++guard < 50 * target_ops) {
+        (void)rw.apply(random_op(rng, n, /*allow_reversal=*/true));
+      }
+      row.ops += rw.ops_applied();
+      row.weak_violations += rw.connectivity_violations();
+    }
+    // Introduction/Delegation/Fusion only: reachability must be preserved.
+    {
+      DiGraph g = gen::random_weakly_connected(n, n, 0.3, rng);
+      std::vector<std::vector<bool>> reach0;
+      for (NodeId u = 0; u < n; ++u) reach0.push_back(reachable_from(g, u));
+      GraphRewriter rw(std::move(g));
+      std::uint64_t guard = 0;
+      while (rw.ops_applied() < target_ops / 2 &&
+             ++guard < 50 * target_ops) {
+        (void)rw.apply(random_op(rng, n, /*allow_reversal=*/false));
+      }
+      row.ops += rw.ops_applied();
+      for (NodeId u = 0; u < n; ++u) {
+        const auto now = reachable_from(rw.graph(), u);
+        for (NodeId v = 0; v < n; ++v)
+          if (reach0[u][v] && !now[v]) ++row.strong_losses;
+      }
+    }
+  }
+  row.ops_per_sec = static_cast<double>(row.ops) / timer.seconds();
+  return row;
+}
+
+}  // namespace
+}  // namespace fdp
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", 5));
+  const std::uint64_t ops =
+      static_cast<std::uint64_t>(flags.get_int("ops", 2000));
+  flags.reject_unknown();
+
+  bench::banner("E1 / Lemma 1",
+                "every primitive application preserves weak connectivity; "
+                "Introduction+Delegation+Fusion preserve reachability");
+
+  Table t("E1: primitive safety sweep (expected: all violation columns 0)");
+  t.set_header({"n", "applied ops", "weak-conn violations",
+                "reachability losses", "ops/sec"});
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    const Row r = run_scale(n, ops, seeds);
+    t.add_row({Table::num(static_cast<std::uint64_t>(r.n)),
+               Table::num(r.ops), Table::num(r.weak_violations),
+               Table::num(r.strong_losses), Table::fixed(r.ops_per_sec, 0)});
+  }
+  t.print();
+
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E2 — Theorem 1: universality of the four primitives, and the proof's
+// O(log n) clique-building claim.
+//
+// Table 1: introduction rounds to the clique vs n, for the worst-case
+//          diameter start (line) and random starts — expect ~log2(n).
+// Table 2: full random G -> G' transformations — success rate, op counts
+//          by phase and primitive (all with per-op connectivity checking).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "analysis/metrics.hpp"
+#include "graph/generators.hpp"
+#include "universality/planner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", 10));
+  flags.reject_unknown();
+
+  bench::banner("E2 / Theorem 1",
+                "the four primitives transform any weakly connected graph "
+                "into any other; clique building needs O(log n) rounds");
+
+  {
+    Table t("E2a: introduction rounds to the clique (expect ~ log2 n)");
+    t.set_header({"n", "log2(n)", "rounds from line", "rounds from random"});
+    for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+      GraphRewriter line_rw(gen::line(n));
+      const std::uint64_t line_rounds = clique_rounds(line_rw);
+      Stat rnd;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        Rng rng(seed);
+        GraphRewriter rw(gen::random_weakly_connected(n, n / 2, 0.3, rng));
+        rnd.add(static_cast<double>(clique_rounds(rw)));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::fixed(std::log2(static_cast<double>(n)), 1),
+                 Table::num(line_rounds), Table::pm(rnd.mean(), rnd.sd(), 1)});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E2b: random G -> G' transformations (per-op connectivity check)");
+    t.set_header({"n", "runs", "success", "conn violations", "total ops",
+                  "intro", "delegate", "fuse", "reverse"});
+    for (std::size_t n : {8u, 16u, 32u, 64u}) {
+      std::uint64_t successes = 0;
+      std::uint64_t violations = 0;
+      Stat ops;
+      PrimitiveCounts counts;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        Rng rng(seed * 13 + n);
+        const DiGraph start =
+            gen::random_weakly_connected(n, n / 2, 0.4, rng);
+        const DiGraph target =
+            gen::random_weakly_connected(n, n / 2, 0.2, rng);
+        const TransformStats s = transform_graph(start, target,
+                                                 /*verify=*/true);
+        successes += s.success ? 1 : 0;
+        violations += s.connectivity_violations;
+        ops.add(static_cast<double>(s.total_ops()));
+        counts += s.counts;
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(seeds),
+                 Table::num(successes),
+                 Table::num(violations),
+                 Table::pm(ops.mean(), ops.sd(), 0),
+                 Table::num(counts.introductions),
+                 Table::num(counts.delegations),
+                 Table::num(counts.fusions),
+                 Table::num(counts.reversals)});
+    }
+    t.print();
+  }
+
+  return 0;
+}

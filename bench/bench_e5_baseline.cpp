@@ -1,0 +1,101 @@
+// E5 — comparison with the prior art (Foreback et al. [15] style
+// sorted-list departures).
+//
+// Expected shape (the paper's qualitative claim): the baseline solves the
+// FDP only by forcing every topology into a sorted list (it linearizes as
+// it departs), needs a total order on processes, and relies on the
+// stronger NIDEC oracle; the paper's protocol departs on ANY topology
+// with the weaker SINGLE oracle and leaves the stayers' structure to the
+// overlay. On the list itself the baseline's targeted bypass can be
+// cheaper — that is the trade-off the table shows.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/metrics.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace fdp {
+namespace {
+
+struct Agg {
+  Stat steps, sends;
+  std::uint64_t ok = 0, runs = 0;
+};
+
+Agg run_many(bool baseline, const char* topology, std::size_t n,
+             std::uint64_t seeds) {
+  Agg a;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.topology = topology;
+    cfg.leave_fraction = 0.3;
+    cfg.seed = seed * 31 + n;
+    Scenario sc = baseline ? build_baseline_scenario(cfg)
+                           : build_departure_scenario(cfg);
+    RunOptions opt;
+    opt.max_steps = 2'000'000;
+    const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+    ++a.runs;
+    if (r.reached_legitimate) {
+      ++a.ok;
+      a.steps.add(static_cast<double>(r.steps));
+      a.sends.add(static_cast<double>(r.sends));
+    }
+  }
+  return a;
+}
+
+}  // namespace
+}  // namespace fdp
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", 10));
+  flags.reject_unknown();
+
+  bench::banner(
+      "E5 / prior art",
+      "this paper's protocol is topology-agnostic and key-free; the "
+      "sorted-list baseline [15] is tied to the list and NIDEC");
+
+  Table t("E5a: ours (SINGLE) vs baseline (NIDEC) across topologies, n=32");
+  t.set_header({"topology", "protocol", "solved", "steps", "messages"});
+  for (const char* topo : {"line", "ring", "star", "clique", "gnp"}) {
+    for (int b = 0; b < 2; ++b) {
+      const Agg a = run_many(b == 1, topo, 32, seeds);
+      t.add_row({topo, b ? "baseline[15]" : "ours",
+                 Table::num(a.ok) + "/" + Table::num(a.runs),
+                 a.ok ? Table::pm(a.steps.mean(), a.steps.sd(), 0) : "-",
+                 a.ok ? Table::pm(a.sends.mean(), a.sends.sd(), 0) : "-"});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nNote: the baseline 'solves' non-list topologies only by first\n"
+      "linearizing them — the stayers end up in a sorted list, not in the\n"
+      "original topology, and the protocol reads process keys throughout.\n"
+      "The paper's protocol compares references for equality only (E6\n"
+      "shows it composing with real overlay maintenance).\n");
+
+  Table t2("E5b: scaling on the baseline's home topology (line)");
+  t2.set_header({"n", "ours steps", "baseline steps", "ours msgs",
+                 "baseline msgs"});
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    const Agg ours = run_many(false, "line", n, seeds);
+    const Agg base = run_many(true, "line", n, seeds);
+    t2.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                Table::pm(ours.steps.mean(), ours.steps.sd(), 0),
+                Table::pm(base.steps.mean(), base.steps.sd(), 0),
+                Table::pm(ours.sends.mean(), ours.sends.sd(), 0),
+                Table::pm(base.sends.mean(), base.sends.sd(), 0)});
+  }
+  t2.print();
+
+  return 0;
+}

@@ -1,0 +1,167 @@
+// E6 — Theorem 4: the framework P' solves the FDP while P still solves
+// its own problem, and what the wrapping costs.
+//
+// Table a: for each bundled overlay, wrapped runs with departures and
+//          corruption — time to exclusion, time to P's topology after
+//          exclusion, and the verify/process traffic breakdown.
+// Table b: overhead — bare P vs wrapped P' on an all-staying population:
+//          messages until first convergence to the target topology.
+#include "bench_common.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/metrics.hpp"
+#include "core/framework.hpp"
+#include "analysis/monitors.hpp"
+#include "graph/generators.hpp"
+#include "overlay/topology_checks.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace fdp {
+namespace {
+
+/// Steps until check_topology holds, stepping `probe` steps at a time;
+/// returns steps used or UINT64_MAX.
+std::uint64_t steps_to_topology(World& w, const std::string& overlay,
+                                Scheduler& sched, std::uint64_t max_steps,
+                                std::uint64_t probe = 200) {
+  const std::uint64_t start = w.steps();
+  while (w.steps() - start < max_steps) {
+    if (check_topology(w, overlay).converged) return w.steps() - start;
+    for (std::uint64_t i = 0; i < probe; ++i) {
+      if (!w.step(sched)) break;
+    }
+  }
+  return check_topology(w, overlay).converged ? w.steps() - start
+                                              : ~0ULL;
+}
+
+FrameworkStats total_stats(const World& w) {
+  FrameworkStats total;
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    if (const auto* fp = dynamic_cast<const FrameworkProcess*>(&w.process(p))) {
+      const FrameworkStats& s = fp->stats();
+      total.verifies_sent += s.verifies_sent;
+      total.replies_sent += s.replies_sent;
+      total.dispatched += s.dispatched;
+      total.postprocessed += s.postprocessed;
+      total.gave_up += s.gave_up;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace fdp
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", 6));
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("n", 16));
+  flags.reject_unknown();
+
+  bench::banner("E6 / Theorem 4",
+                "wrapping any P in the framework yields P' that excludes "
+                "leaving processes while P still reaches its topology");
+
+  {
+    Table t("E6a: wrapped overlays under departures + corruption (n=" +
+            std::to_string(n) + ")");
+    t.set_header({"overlay", "FDP solved", "steps to exclusion",
+                  "steps to topology", "verify msgs", "postproc", "gave up"});
+    for (const char* overlay :
+       {"linearization", "ring", "clique", "star", "skiplist"}) {
+      std::uint64_t solved = 0, converged = 0;
+      Stat excl, topo;
+      FrameworkStats fs;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        ScenarioConfig cfg;
+        cfg.n = n;
+        cfg.topology = "wild";
+        cfg.leave_fraction = 0.3;
+        cfg.invalid_mode_prob = 0.3;
+        cfg.seed = seed * 7 + 1;
+        Scenario sc = build_framework_scenario(cfg, overlay);
+        RunOptions opt;
+        opt.max_steps = 4'000'000;
+        const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+        if (!r.reached_legitimate) continue;
+        ++solved;
+        excl.add(static_cast<double>(r.steps));
+        RandomScheduler sched;
+        const std::uint64_t extra = steps_to_topology(
+            *sc.world, overlay, sched, 3'000'000);
+        if (extra != ~0ULL) {
+          ++converged;
+          topo.add(static_cast<double>(extra));
+        }
+        const FrameworkStats s = total_stats(*sc.world);
+        fs.verifies_sent += s.verifies_sent;
+        fs.postprocessed += s.postprocessed;
+        fs.gave_up += s.gave_up;
+      }
+      t.add_row({overlay,
+                 Table::num(solved) + "+" + Table::num(converged) + "/" +
+                     Table::num(seeds),
+                 Table::pm(excl.mean(), excl.sd(), 0),
+                 Table::pm(topo.mean(), topo.sd(), 0),
+                 Table::num(fs.verifies_sent),
+                 Table::num(fs.postprocessed), Table::num(fs.gave_up)});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E6b: wrapping overhead, all-staying population (n=" +
+            std::to_string(n) + ", wild start)");
+    t.set_header({"overlay", "bare P msgs", "wrapped P' msgs",
+                  "overhead factor"});
+    for (const char* overlay :
+       {"linearization", "ring", "clique", "star", "skiplist"}) {
+      Stat bare, wrapped;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        // Bare P.
+        {
+          World w(seed);
+          Rng rng(seed * 1000 + 7);
+          std::vector<std::uint64_t> keys;
+          for (std::size_t i = 0; i < n; ++i) keys.push_back(rng() | 1);
+          std::vector<Ref> refs;
+          for (std::size_t i = 0; i < n; ++i)
+            refs.push_back(w.spawn<PlainOverlayHost>(Mode::Staying, keys[i],
+                                                     make_overlay(overlay)));
+          const DiGraph g = gen::by_name("wild", n, rng);
+          for (const auto& [u, v] : g.simple_edges())
+            w.process_as<PlainOverlayHost>(u).overlay_mut().integrate(
+                RefInfo{refs[v], ModeInfo::Staying, keys[v]});
+          RandomScheduler sched;
+          if (steps_to_topology(w, overlay, sched, 2'000'000) != ~0ULL)
+            bare.add(static_cast<double>(w.sends()));
+        }
+        // Wrapped P', same topology/keys distribution.
+        {
+          ScenarioConfig cfg;
+          cfg.n = n;
+          cfg.topology = "wild";
+          cfg.leave_fraction = 0.0;
+          cfg.seed = seed;
+          Scenario sc = build_framework_scenario(cfg, overlay);
+          RandomScheduler sched;
+          if (steps_to_topology(*sc.world, overlay, sched, 2'000'000) !=
+              ~0ULL)
+            wrapped.add(static_cast<double>(sc.world->sends()));
+        }
+      }
+      const double factor =
+          bare.mean() > 0 ? wrapped.mean() / bare.mean() : 0.0;
+      t.add_row({overlay, Table::pm(bare.mean(), bare.sd(), 0),
+                 Table::pm(wrapped.mean(), wrapped.sd(), 0),
+                 Table::fixed(factor, 2)});
+    }
+    t.print();
+  }
+
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E7 — the Finite Sleep Problem: replacing exit with sleep removes the
+// oracle entirely.
+//
+// Table a: FSP convergence (all leaving hibernating) vs n — no oracle
+//          consulted, zero exits, safety clean.
+// Table b: wake-up behavior — poke every sleeper once after legitimacy;
+//          the system must resettle, counting the wakes it costs.
+#include "bench_common.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/metrics.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", 8));
+  flags.reject_unknown();
+
+  bench::banner("E7 / FSP",
+                "with sleep instead of exit, legitimacy (all leaving "
+                "hibernating) is reached with NO oracle");
+
+  {
+    Table t("E7a: FSP convergence (gnp, 40% leaving, corrupted, random "
+            "scheduler)");
+    t.set_header({"n", "solved", "steps", "sleeps", "wakes", "exits"});
+    for (std::size_t n : {8u, 16u, 32u, 64u}) {
+      std::uint64_t solved = 0;
+      Stat steps, sleeps, wakes;
+      std::uint64_t exits = 0;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        ScenarioConfig cfg;
+        cfg.n = n;
+        cfg.topology = "gnp";
+        cfg.leave_fraction = 0.4;
+        cfg.policy = DeparturePolicy::Sleep;
+        cfg.invalid_mode_prob = 0.3;
+        cfg.inflight_per_node = 1.0;
+        cfg.seed = seed * 17 + n;
+        Scenario sc = build_departure_scenario(cfg);
+        RunOptions opt;
+        opt.max_steps = 3'000'000;
+        const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+        if (r.reached_legitimate) {
+          ++solved;
+          steps.add(static_cast<double>(r.steps));
+          sleeps.add(static_cast<double>(r.sleeps));
+          wakes.add(static_cast<double>(r.wakes));
+        }
+        exits += sc.world->exits();
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(solved) + "/" + Table::num(seeds),
+                 Table::pm(steps.mean(), steps.sd(), 0),
+                 Table::pm(sleeps.mean(), sleeps.sd(), 0),
+                 Table::pm(wakes.mean(), wakes.sd(), 0),
+                 Table::num(exits)});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E7b: resettling after poking every sleeper (n=24)");
+    t.set_header({"seed", "resettled", "extra steps", "extra wakes"});
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      ScenarioConfig cfg;
+      cfg.n = 24;
+      cfg.topology = "gnp";
+      cfg.leave_fraction = 0.4;
+      cfg.policy = DeparturePolicy::Sleep;
+      cfg.seed = seed;
+      Scenario sc = build_departure_scenario(cfg);
+      RunOptions opt;
+      opt.max_steps = 3'000'000;
+      const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+      if (!r.reached_legitimate) {
+        t.add_row({Table::num(seed), "no (initial run failed)", "-", "-"});
+        continue;
+      }
+      // Poke every sleeping leaver with a reference to some stayer.
+      ProcessId stayer = kNoProcess;
+      for (ProcessId p = 0; p < sc.world->size(); ++p)
+        if (sc.world->mode(p) == Mode::Staying) stayer = p;
+      for (ProcessId p = 0; p < sc.world->size(); ++p) {
+        if (sc.world->mode(p) == Mode::Leaving &&
+            sc.world->life(p) == LifeState::Asleep) {
+          sc.world->post(
+              sc.refs[p],
+              Message::forward(RefInfo{sc.refs[stayer], ModeInfo::Staying,
+                                       sc.world->process(stayer).key()}));
+        }
+      }
+      const std::uint64_t steps0 = sc.world->steps();
+      const std::uint64_t wakes0 = sc.world->wakes();
+      LegitimacyChecker checker(*sc.world, Exclusion::Hibernating);
+      RandomScheduler sched;
+      bool resettled = false;
+      for (int block = 0; block < 2000 && !resettled; ++block) {
+        for (int i = 0; i < 200; ++i) (void)sc.world->step(sched);
+        resettled = checker.legitimate(*sc.world);
+      }
+      t.add_row({Table::num(seed), resettled ? "yes" : "NO",
+                 Table::num(sc.world->steps() - steps0),
+                 Table::num(sc.world->wakes() - wakes0)});
+    }
+    t.print();
+  }
+
+  return 0;
+}

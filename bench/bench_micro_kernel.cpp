@@ -1,0 +1,134 @@
+// E9 — kernel micro-benchmarks (google-benchmark): the engineering
+// substrate costs that every experiment in this repository pays.
+#include <benchmark/benchmark.h>
+
+#include "analysis/scenario.hpp"
+#include "core/legitimacy.hpp"
+#include "core/oracle.hpp"
+#include "core/potential.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/process_graph.hpp"
+#include "universality/rewriter.hpp"
+
+namespace fdp {
+namespace {
+
+void BM_WorldStep(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.oracle = "single";
+  cfg.seed = 42;
+  Scenario sc = build_departure_scenario(cfg);
+  RandomScheduler sched;
+  for (auto _ : state) {
+    if (!sc.world->step(sched)) {
+      state.PauseTiming();
+      sc = build_departure_scenario(cfg);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorldStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Snapshot(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "gnp";
+  cfg.inflight_per_node = 2.0;
+  cfg.seed = 7;
+  const Scenario sc = build_departure_scenario(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(take_snapshot(*sc.world));
+  }
+}
+BENCHMARK(BM_Snapshot)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SingleOracle(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "gnp";
+  cfg.seed = 7;
+  const Scenario sc = build_departure_scenario(cfg);
+  const OracleFn oracle = make_single_oracle();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle(*sc.world, 0));
+  }
+}
+BENCHMARK(BM_SingleOracle)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Potential(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "gnp";
+  cfg.invalid_mode_prob = 0.5;
+  cfg.inflight_per_node = 2.0;
+  cfg.seed = 7;
+  const Scenario sc = build_departure_scenario(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phi(*sc.world));
+  }
+}
+BENCHMARK(BM_Potential)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LegitimacyCheck(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.seed = 7;
+  const Scenario sc = build_departure_scenario(cfg);
+  const LegitimacyChecker checker(*sc.world, Exclusion::Gone);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(*sc.world));
+  }
+}
+BENCHMARK(BM_LegitimacyCheck)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_WeakComponents(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const DiGraph g = gen::gnp_connected(n, 4.0 / static_cast<double>(n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(weak_components(g));
+  }
+}
+BENCHMARK(BM_WeakComponents)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RewriterOp(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t n = 64;
+  GraphRewriter rw(gen::random_weakly_connected(n, n, 0.3, rng));
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    const NodeId w = static_cast<NodeId>(rng.below(n));
+    benchmark::DoNotOptimize(rw.apply(RewriteOp::introduction(u, v, w)));
+    benchmark::DoNotOptimize(rw.apply(RewriteOp::delegation(v, w, u)));
+    benchmark::DoNotOptimize(rw.apply(RewriteOp::fusion(u, v)));
+  }
+}
+BENCHMARK(BM_RewriterOp);
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.inflight_per_node = 1.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(build_departure_scenario(cfg));
+  }
+}
+BENCHMARK(BM_ScenarioBuild)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace fdp
+
+BENCHMARK_MAIN();

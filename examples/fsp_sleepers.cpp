@@ -1,0 +1,100 @@
+// The Finite Sleep Problem: departures without an oracle.
+//
+// The same protocol, but leaving processes execute `sleep` instead of the
+// oracle-guarded `exit`. We watch them doze off, poke one sleeper with a
+// late message to show the wake-and-resettle behavior, and verify the
+// final state is legitimate: every leaving process hibernating — asleep,
+// empty channel, and unreachable from anything awake, which by the model
+// means it will never wake again.
+//
+//   ./fsp_sleepers [--n 14] [--leave 0.4] [--seed 5]
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "util/flags.hpp"
+
+using namespace fdp;
+
+namespace {
+
+void census(const World& w) {
+  std::size_t awake = 0, asleep = 0;
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    if (w.life(p) == LifeState::Awake) ++awake;
+    if (w.life(p) == LifeState::Asleep) ++asleep;
+  }
+  std::printf("  census: %zu awake, %zu asleep, %llu wakes so far\n", awake,
+              asleep, static_cast<unsigned long long>(w.wakes()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(flags.get_int("n", 14));
+  cfg.leave_fraction = flags.get_double("leave", 0.4);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  cfg.topology = "gnp";
+  cfg.policy = DeparturePolicy::Sleep;  // the FSP variant
+  cfg.invalid_mode_prob = 0.3;
+  flags.reject_unknown();
+
+  Scenario sc = build_departure_scenario(cfg);
+  // Poison the oracle: the FSP must never consult it.
+  sc.world->set_oracle([](const World&, ProcessId) -> bool {
+    std::fprintf(stderr, "BUG: oracle consulted in FSP mode\n");
+    std::abort();
+  });
+
+  std::printf("%zu processes, %zu leaving — no oracle installed\n", cfg.n,
+              sc.leaving_count);
+
+  LegitimacyChecker checker(*sc.world, Exclusion::Hibernating);
+  RandomScheduler sched;
+  std::uint64_t guard = 0;
+  while (!(all_leaving_inactive(*sc.world) &&
+           checker.legitimate(*sc.world))) {
+    if (!sc.world->step(sched) || ++guard > 3'000'000) {
+      std::printf("did not settle\n");
+      return 1;
+    }
+  }
+  std::printf("all leaving processes hibernating after %llu steps\n",
+              static_cast<unsigned long long>(sc.world->steps()));
+  census(*sc.world);
+
+  // Poke one sleeper: hand it a fresh reference to a stayer. It must wake,
+  // route the reference away (anchor machinery), and fall asleep again.
+  ProcessId sleeper = kNoProcess, stayer = kNoProcess;
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    if (sc.world->mode(p) == Mode::Leaving) sleeper = p;
+    else stayer = p;
+  }
+  std::printf("poking sleeper %u with a reference to stayer %u...\n", sleeper,
+              stayer);
+  sc.world->post(sc.refs[sleeper],
+                 Message::forward(RefInfo{sc.refs[stayer], ModeInfo::Staying,
+                                          sc.world->process(stayer).key()}));
+  guard = 0;
+  while (!checker.legitimate(*sc.world)) {
+    if (!sc.world->step(sched) || ++guard > 1'000'000) {
+      std::printf("did not resettle\n");
+      return 1;
+    }
+  }
+  std::printf("resettled after %llu more steps\n",
+              static_cast<unsigned long long>(guard));
+  census(*sc.world);
+
+  // Closure: nothing can wake a hibernating process ever again.
+  const std::uint64_t wakes_before = sc.world->wakes();
+  for (int i = 0; i < 50'000; ++i) {
+    if (!sc.world->step(sched)) break;
+  }
+  std::printf("50k more steps: %llu additional wakes (hibernating = "
+              "permanently asleep)\n",
+              static_cast<unsigned long long>(sc.world->wakes() -
+                                              wakes_before));
+  return sc.world->wakes() == wakes_before ? 0 : 1;
+}

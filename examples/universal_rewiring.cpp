@@ -1,0 +1,58 @@
+// Universal rewiring: Theorem 1 as an executable.
+//
+// Take any two weakly connected graphs on the same nodes and watch the
+// constructive three-phase transformation (clique-up via Introduction,
+// prune via Delegation+Fusion, orient via Reversal+Fusion) carry one into
+// the other — with weak connectivity re-verified after every single
+// primitive application.
+//
+//   ./universal_rewiring [--n 10] [--from line] [--to star] [--seed 1]
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "universality/planner.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace fdp;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 10));
+  const std::string from = flags.get_string("from", "line");
+  const std::string to = flags.get_string("to", "star");
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  flags.reject_unknown();
+
+  const DiGraph start = gen::by_name(from.c_str(), n, rng);
+  const DiGraph target = gen::by_name(to.c_str(), n, rng);
+
+  std::printf("transforming '%s' (%llu edges) into '%s' (%llu edges), n=%zu\n",
+              from.c_str(),
+              static_cast<unsigned long long>(start.edge_count()), to.c_str(),
+              static_cast<unsigned long long>(target.edge_count()), n);
+
+  const TransformStats s =
+      transform_graph(start, target, /*verify_connectivity=*/true);
+
+  Table t("primitive applications by phase");
+  t.set_header({"phase", "ops"});
+  t.add_row({"A: introductions to the clique (" +
+                 std::to_string(s.intro_rounds) + " rounds)",
+             Table::num(s.phase_a_ops)});
+  t.add_row({"B: delegation pruning to G''", Table::num(s.phase_b_ops)});
+  t.add_row({"C: reversal orientation to G'", Table::num(s.phase_c_ops)});
+  t.print();
+
+  Table c("primitive mix");
+  c.set_header({"introduction", "delegation", "fusion", "reversal"});
+  c.add_row({Table::num(s.counts.introductions),
+             Table::num(s.counts.delegations), Table::num(s.counts.fusions),
+             Table::num(s.counts.reversals)});
+  c.print();
+
+  std::printf("target reached exactly: %s\n", s.success ? "yes" : "NO");
+  std::printf("connectivity violations along the way: %llu (Lemma 1 says 0)\n",
+              static_cast<unsigned long long>(s.connectivity_violations));
+  return s.success && s.connectivity_violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate every experiment table from EXPERIMENTS.md.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [output-file]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR' does not look like a configured build tree" >&2
+  echo "hint: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+{
+  for b in "$BUILD_DIR"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "##### $b"
+    "$b"
+    echo "exit=$?"
+  done
+} 2>&1 | tee "$OUT"
+
+echo
+echo "full output written to $OUT"

@@ -1,0 +1,124 @@
+#include "analysis/experiment.hpp"
+
+#include "analysis/monitors.hpp"
+#include "core/primitives.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::Random: return "random";
+    case SchedulerKind::RoundRobin: return "roundrobin";
+    case SchedulerKind::Rounds: return "rounds";
+    case SchedulerKind::Adversarial: return "adversarial";
+  }
+  return "?";
+}
+
+SchedulerKind scheduler_by_name(const std::string& name) {
+  if (name == "random") return SchedulerKind::Random;
+  if (name == "roundrobin") return SchedulerKind::RoundRobin;
+  if (name == "rounds") return SchedulerKind::Rounds;
+  if (name == "adversarial") return SchedulerKind::Adversarial;
+  FDP_CHECK_MSG(false, "unknown scheduler name");
+  return SchedulerKind::Random;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::Random: return std::make_unique<RandomScheduler>();
+    case SchedulerKind::RoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::Rounds: return std::make_unique<RoundScheduler>();
+    case SchedulerKind::Adversarial:
+      return std::make_unique<AdversarialScheduler>();
+  }
+  return nullptr;
+}
+
+RunResult run_to_legitimacy(Scenario& sc, Exclusion exclusion,
+                            const RunOptions& opt) {
+  World& w = *sc.world;
+  RunResult res;
+  res.phi_initial = phi(w);
+
+  LegitimacyChecker checker(w, exclusion);
+  std::unique_ptr<Scheduler> sched = make_scheduler(opt.scheduler);
+
+  std::unique_ptr<SafetyMonitor> safety;
+  std::unique_ptr<PotentialMonitor> pot;
+  std::unique_ptr<PrimitiveAuditor> audit;
+  if (opt.with_monitors) {
+    safety = std::make_unique<SafetyMonitor>(w, opt.monitor_stride);
+    pot = std::make_unique<PotentialMonitor>(w, opt.monitor_stride);
+    audit = std::make_unique<PrimitiveAuditor>();
+    w.add_observer(safety.get());
+    w.add_observer(pot.get());
+    w.add_observer(audit.get());
+  }
+
+  const auto cheap_done = [&](const World& world) {
+    return exclusion == Exclusion::Gone ? all_leaving_gone(world)
+                                        : all_leaving_inactive(world);
+  };
+
+  bool legit = false;
+  while (w.steps() < opt.max_steps) {
+    if (cheap_done(w) && checker.legitimate(w)) {
+      legit = true;
+      break;
+    }
+    bool progressed = false;
+    for (std::uint64_t i = 0; i < opt.check_every; ++i) {
+      if (!w.step(*sched)) break;
+      progressed = true;
+      if (w.steps() >= opt.max_steps) break;
+    }
+    if (!progressed) break;  // terminal configuration
+  }
+  if (!legit) legit = cheap_done(w) && checker.legitimate(w);
+
+  res.reached_legitimate = legit;
+  res.steps = w.steps();
+  res.sends = w.sends();
+  res.exits = w.exits();
+  res.sleeps = w.sleeps();
+  res.wakes = w.wakes();
+  res.phi_final = phi(w);
+  if (auto* rs = dynamic_cast<RoundScheduler*>(sched.get())) {
+    res.rounds = rs->rounds();
+  }
+
+  if (legit && opt.closure_steps > 0) {
+    for (std::uint64_t i = 0; i < opt.closure_steps; ++i) {
+      if (!w.step(*sched)) break;
+    }
+    res.closure_held = checker.legitimate(w);
+  }
+
+  if (opt.with_monitors) {
+    res.safety_ok = safety->ok();
+    res.phi_monotone = pot->ok();
+    res.audit_ok = audit->ok();
+    if (!res.safety_ok) {
+      res.failure = "safety violated at step " +
+                    std::to_string(safety->violations().front());
+    } else if (!res.phi_monotone) {
+      res.failure =
+          "phi increased at step " +
+          std::to_string(pot->increases().front().step);
+    } else if (!res.audit_ok) {
+      res.failure = audit->violations().front();
+    }
+    w.remove_observer(safety.get());
+    w.remove_observer(pot.get());
+    w.remove_observer(audit.get());
+  }
+  if (!legit && res.failure.empty()) {
+    res.failure = checker.check(w).detail;
+  }
+  return res;
+}
+
+}  // namespace fdp

@@ -1,0 +1,67 @@
+// Experiment runner: drives one scenario to its legitimate state under a
+// chosen scheduler, with optional invariant monitors, and reports
+// everything the bench tables print.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analysis/scenario.hpp"
+#include "core/legitimacy.hpp"
+#include "core/potential.hpp"
+#include "sim/scheduler.hpp"
+
+namespace fdp {
+
+enum class SchedulerKind : std::uint8_t {
+  Random,
+  RoundRobin,
+  Rounds,
+  Adversarial,
+};
+
+[[nodiscard]] const char* to_string(SchedulerKind k);
+[[nodiscard]] SchedulerKind scheduler_by_name(const std::string& name);
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind k);
+
+struct RunOptions {
+  std::uint64_t max_steps = 2'000'000;
+  /// Attach SafetyMonitor/PotentialMonitor/PrimitiveAuditor. Slows runs by
+  /// an O(E) snapshot per checked action.
+  bool with_monitors = false;
+  /// Monitor stride (actions between checks).
+  std::uint64_t monitor_stride = 1;
+  /// Steps between (cheap) termination checks.
+  std::uint64_t check_every = 64;
+  SchedulerKind scheduler = SchedulerKind::Random;
+  /// After reaching legitimacy, run this many extra steps and re-check
+  /// (closure property).
+  std::uint64_t closure_steps = 0;
+};
+
+struct RunResult {
+  bool reached_legitimate = false;
+  bool closure_held = true;          ///< only meaningful with closure_steps
+  std::uint64_t steps = 0;           ///< actions executed until legitimacy
+  std::uint64_t rounds = 0;          ///< only for SchedulerKind::Rounds
+  std::uint64_t sends = 0;
+  std::uint64_t exits = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t wakes = 0;
+  std::uint64_t phi_initial = 0;
+  std::uint64_t phi_final = 0;
+  // Monitor verdicts (true when monitors were off).
+  bool safety_ok = true;
+  bool phi_monotone = true;
+  bool audit_ok = true;
+  std::string failure;  ///< first diagnostic when something went wrong
+};
+
+/// Run a departure-protocol scenario (bare, framework or baseline — the
+/// scenario already owns the right process population) until legitimacy.
+/// `exclusion` selects the FDP/FSP acceptance criterion.
+[[nodiscard]] RunResult run_to_legitimacy(Scenario& sc, Exclusion exclusion,
+                                          const RunOptions& opt);
+
+}  // namespace fdp

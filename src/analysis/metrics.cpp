@@ -1,0 +1,34 @@
+#include "analysis/metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+double Samples::sd() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double x : xs_) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::percentile(double q) const {
+  FDP_CHECK(q >= 0.0 && q <= 1.0);
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(xs_.size() - 1) + 0.5);
+  return xs_[std::min(rank, xs_.size() - 1)];
+}
+
+}  // namespace fdp

@@ -1,0 +1,280 @@
+#include "analysis/modelcheck.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/departure_process.hpp"
+#include "core/potential.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+namespace {
+
+/// One-shot scheduler: runs exactly the given action.
+struct OneShot final : Scheduler {
+  ActionChoice choice;
+  bool fired = false;
+  ActionChoice next(const World&, Rng&) override {
+    if (fired) return ActionChoice::none();
+    fired = true;
+    return choice;
+  }
+};
+
+struct MsgState {
+  ProcessId to;
+  Verb verb;
+  std::vector<std::pair<ProcessId, ModeInfo>> refs;
+
+  friend auto operator<=>(const MsgState&, const MsgState&) = default;
+};
+
+struct ProcState {
+  LifeState life;
+  // (kNoProcess, _) encodes an empty anchor.
+  std::pair<ProcessId, ModeInfo> anchor{kNoProcess, ModeInfo::Unknown};
+  std::vector<std::pair<ProcessId, ModeInfo>> nbrs;  // sorted by id
+
+  friend auto operator<=>(const ProcState&, const ProcState&) = default;
+};
+
+}  // namespace
+
+struct ModelChecker::SysState {
+  std::vector<ProcState> procs;
+  std::vector<MsgState> msgs;  // sorted canonical multiset
+
+  friend auto operator<=>(const SysState&, const SysState&) = default;
+
+  [[nodiscard]] std::string describe() const {
+    std::string s;
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+      s += "p" + std::to_string(p) + ":";
+      s += to_string(procs[p].life);
+      if (procs[p].anchor.first != kNoProcess)
+        s += " a=" + std::to_string(procs[p].anchor.first);
+      s += " N={";
+      for (const auto& [id, mode] : procs[p].nbrs)
+        s += std::to_string(id) + std::string(1, mode == ModeInfo::Leaving
+                                                     ? 'l'
+                                                     : 's');
+      s += "} ";
+    }
+    s += "| msgs:";
+    for (const MsgState& m : msgs) {
+      s += " ->" + std::to_string(m.to) + ":" + to_string(m.verb) + "(";
+      for (const auto& [id, mode] : m.refs) s += std::to_string(id);
+      s += ")";
+    }
+    return s;
+  }
+};
+
+namespace {
+
+ModelChecker::SysState capture(const World& w) {
+  ModelChecker::SysState s;
+  s.procs.resize(w.size());
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    const auto* dp = dynamic_cast<const DepartureProcess*>(&w.process(p));
+    FDP_CHECK_MSG(dp != nullptr,
+                  "model checker requires DepartureProcess populations");
+    ProcState& ps = s.procs[p];
+    ps.life = dp->life();
+    if (dp->anchor())
+      ps.anchor = {dp->anchor()->ref.id(), dp->anchor()->mode};
+    for (const RefInfo& r : dp->nbrs().snapshot())
+      ps.nbrs.emplace_back(r.ref.id(), r.mode);
+    std::sort(ps.nbrs.begin(), ps.nbrs.end());
+    // Gone processes' channels are dead: drop them from the state so
+    // otherwise-identical states coincide.
+    if (dp->life() == LifeState::Gone) continue;
+    for (const Message& m : w.channel(p).messages()) {
+      MsgState ms;
+      ms.to = p;
+      ms.verb = m.verb;
+      for (const RefInfo& r : m.refs) ms.refs.emplace_back(r.ref.id(), r.mode);
+      s.msgs.push_back(std::move(ms));
+    }
+  }
+  std::sort(s.msgs.begin(), s.msgs.end());
+  return s;
+}
+
+std::unique_ptr<World> restore(const ModelChecker::SysState& s,
+                               const ModelChecker::Factory& factory) {
+  std::unique_ptr<World> w = factory();
+  FDP_CHECK(w->size() == s.procs.size());
+  for (ProcessId p = 0; p < w->size(); ++p) {
+    auto& dp = w->process_as<DepartureProcess>(p);
+    w->force_life(p, s.procs[p].life);
+    dp.nbrs_mut().clear();
+    for (const auto& [id, mode] : s.procs[p].nbrs)
+      dp.nbrs_mut().insert(
+          RefInfo{Ref::make(id), mode, w->process(id).key()});
+    dp.clear_anchor();
+    if (s.procs[p].anchor.first != kNoProcess) {
+      const ProcessId a = s.procs[p].anchor.first;
+      dp.set_anchor(RefInfo{Ref::make(a), s.procs[p].anchor.second,
+                            w->process(a).key()});
+    }
+    w->clear_channel(p);
+  }
+  for (const MsgState& m : s.msgs) {
+    Message msg;
+    msg.verb = m.verb;
+    for (const auto& [id, mode] : m.refs)
+      msg.refs.push_back(RefInfo{Ref::make(id), mode, w->process(id).key()});
+    w->post(Ref::make(m.to), msg);
+  }
+  return w;
+}
+
+}  // namespace
+
+ModelChecker::ModelChecker(Factory factory, ModelCheckConfig cfg)
+    : factory_(std::move(factory)), cfg_(cfg) {}
+
+ModelCheckResult ModelChecker::run() {
+  ModelCheckResult res;
+
+  std::unique_ptr<World> init = factory_();
+  const LegitimacyChecker checker(*init, cfg_.exclusion);
+
+  std::map<SysState, std::uint32_t> ids;
+  std::vector<SysState> states;
+  std::vector<bool> truncated;
+  std::vector<bool> legitimate;
+  std::vector<std::vector<std::uint32_t>> preds;  // reverse edges
+
+  auto intern = [&](SysState&& s) -> std::pair<std::uint32_t, bool> {
+    auto it = ids.find(s);
+    if (it != ids.end()) return {it->second, false};
+    const std::uint32_t id = static_cast<std::uint32_t>(states.size());
+    ids.emplace(s, id);
+    states.push_back(std::move(s));
+    truncated.push_back(false);
+    legitimate.push_back(false);
+    preds.emplace_back();
+    return {id, true};
+  };
+
+  std::deque<std::uint32_t> frontier;
+  {
+    auto [id, fresh] = intern(capture(*init));
+    (void)fresh;
+    frontier.push_back(id);
+  }
+
+  bool hit_cap = false;
+  while (!frontier.empty()) {
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    // Work with a copy: `states` may reallocate during intern().
+    const SysState state = states[id];
+
+    const std::unique_ptr<World> w = restore(state, factory_);
+    const std::uint64_t phi_here = phi(*w);
+
+    // Per-state checks.
+    if (!checker.safety_holds(*w)) {
+      if (res.safety_violations++ == 0) res.first_violation = state.describe();
+    }
+    if (checker.legitimate(*w)) {
+      legitimate[id] = true;
+      ++res.legitimate_states;
+    }
+
+    // Enumerate every enabled action.
+    std::vector<ActionChoice> actions;
+    for (ProcessId p : w->awake_ids()) actions.push_back(ActionChoice::timeout(p));
+    for (ProcessId p = 0; p < w->size(); ++p) {
+      if (w->gone(p)) continue;
+      std::set<MsgState> seen_contents;
+      for (const Message& m : w->channel(p).messages()) {
+        MsgState ms;
+        ms.to = p;
+        ms.verb = m.verb;
+        for (const RefInfo& r : m.refs)
+          ms.refs.emplace_back(r.ref.id(), r.mode);
+        if (seen_contents.insert(ms).second)
+          actions.push_back(ActionChoice::deliver(p, m.seq));
+      }
+    }
+
+    for (const ActionChoice& a : actions) {
+      const std::unique_ptr<World> next = restore(state, factory_);
+      OneShot once;
+      once.choice = a;
+      if (a.kind == ActionChoice::Kind::Deliver) {
+        // Seq numbers differ between restores; re-locate by position: the
+        // restore is deterministic, so the seq from `w` matches `next`'s
+        // numbering (both assign seqs in canonical message order).
+        // (Verified by construction: post() assigns 1..k in s.msgs order.)
+      }
+      if (!next->step(once)) continue;
+      ++res.transitions;
+
+      if (phi(*next) > phi_here) {
+        if (res.phi_increases++ == 0 && res.first_violation.empty())
+          res.first_violation = "phi increase from: " + state.describe();
+      }
+
+      if (next->live_message_count() > cfg_.max_inflight) {
+        truncated[id] = true;
+        continue;
+      }
+      auto [nid, fresh] = intern(capture(*next));
+      preds[nid].push_back(id);
+      if (fresh) {
+        if (states.size() >= cfg_.max_states) {
+          hit_cap = true;
+          truncated[nid] = true;  // do not expand beyond the cap
+        } else {
+          frontier.push_back(nid);
+        }
+      }
+    }
+  }
+
+  res.states = states.size();
+  res.truncated_states = static_cast<std::uint64_t>(
+      std::count(truncated.begin(), truncated.end(), true));
+  res.exhaustive = !hit_cap && res.truncated_states == 0;
+
+  // Bounded progress: backward reachability from every legitimate OR
+  // truncated state. A state that can reach a truncated one might reach
+  // legitimacy beyond the exploration bound, so it is not condemned; a
+  // state that can reach neither is provably a dead end under every
+  // possible extension — "stuck".
+  std::vector<bool> can_reach(states.size(), false);
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t i = 0; i < states.size(); ++i) {
+    if (legitimate[i] || truncated[i]) {
+      can_reach[i] = true;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t i = queue.front();
+    queue.pop_front();
+    for (std::uint32_t pred : preds[i]) {
+      if (!can_reach[pred]) {
+        can_reach[pred] = true;
+        queue.push_back(pred);
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < states.size(); ++i) {
+    if (!can_reach[i]) {
+      if (res.stuck_states++ == 0 && res.first_violation.empty())
+        res.first_violation = "stuck: " + states[i].describe();
+    }
+  }
+  return res;
+}
+
+}  // namespace fdp

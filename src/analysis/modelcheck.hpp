@@ -1,0 +1,91 @@
+// Bounded model checking of the departure protocol.
+//
+// The monitors in this library check invariants along *sampled* fair
+// schedules; the model checker instead explores EVERY schedule of a small
+// DepartureProcess world breadth-first — all interleavings of timeouts and
+// message deliveries — and verifies on the full reachable state space (up
+// to an in-flight message bound):
+//
+//   * Safety (Lemma 2): initially-connected relevant processes stay weakly
+//     connected in every reachable state.
+//   * Φ monotonicity (Lemma 3's potential argument): no transition
+//     increases the invalid-information potential.
+//   * Progress (Theorem 3's liveness, in its bounded form): from every
+//     fully-expanded reachable state, some path inside the explored graph
+//     leads to a legitimate state — i.e. the protocol can never paint
+//     itself into a corner.
+//
+// States are canonical: message sequence numbers and channel order are
+// erased, so two worlds that differ only in bookkeeping coincide. Because
+// staying processes self-introduce forever, the raw state space is
+// infinite; exploration is truncated where a transition would exceed
+// `max_inflight` live messages (truncated states are still safety-checked,
+// only their successors are skipped, and they are excluded from the
+// progress check). Within the bound the result is exhaustive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/legitimacy.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+
+struct ModelCheckConfig {
+  std::uint64_t max_states = 250'000;
+  /// Transitions that would push the live message count beyond this are
+  /// not expanded (the source state is marked truncated).
+  std::size_t max_inflight = 6;
+  Exclusion exclusion = Exclusion::Gone;
+};
+
+struct ModelCheckResult {
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  /// States whose expansion was cut short by the in-flight bound.
+  std::uint64_t truncated_states = 0;
+  /// True when neither the state cap nor truncation was hit.
+  bool exhaustive = false;
+
+  std::uint64_t safety_violations = 0;
+  std::uint64_t phi_increases = 0;
+  std::uint64_t legitimate_states = 0;
+  /// Fully-expanded states with NO path to a legitimate state inside the
+  /// explored graph (0 = bounded liveness holds).
+  std::uint64_t stuck_states = 0;
+
+  /// Canonical encoding of the first offending state, for debugging.
+  std::string first_violation;
+
+  [[nodiscard]] bool clean() const {
+    return safety_violations == 0 && phi_increases == 0 && stuck_states == 0;
+  }
+};
+
+class ModelChecker {
+ public:
+  /// The factory builds the initial world (population, topology, modes,
+  /// corruption, oracle). It must produce DepartureProcess instances (the
+  /// checker serializes exactly their protocol state) and the same world
+  /// on every call.
+  using Factory = std::function<std::unique_ptr<World>()>;
+
+  ModelChecker(Factory factory, ModelCheckConfig cfg = {});
+
+  [[nodiscard]] ModelCheckResult run();
+
+  /// Canonical system state (implementation detail, public so the
+  /// translation unit's helpers can name it).
+  struct SysState;
+
+ private:
+  Factory factory_;
+  ModelCheckConfig cfg_;
+};
+
+}  // namespace fdp

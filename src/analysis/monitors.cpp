@@ -1,0 +1,69 @@
+#include "analysis/monitors.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace fdp {
+
+SafetyMonitor::SafetyMonitor(const World& w, std::uint64_t stride)
+    : checker_(w, Exclusion::Either), stride_(stride == 0 ? 1 : stride) {}
+
+void SafetyMonitor::on_action(const World& world, const ActionRecord& rec) {
+  if (++since_ < stride_) return;
+  since_ = 0;
+  ++checks_;
+  if (!checker_.safety_holds(world)) violations_.push_back(rec.step);
+}
+
+PotentialMonitor::PotentialMonitor(const World& w, std::uint64_t stride)
+    : stride_(stride == 0 ? 1 : stride) {
+  initial_ = phi(w);
+  last_ = initial_;
+  series_.emplace_back(0, initial_);
+}
+
+void PotentialMonitor::on_action(const World& world,
+                                 const ActionRecord& rec) {
+  if (++since_ < stride_) return;
+  since_ = 0;
+  const std::uint64_t now = phi(world);
+  if (now > last_) increases_.push_back({rec.step, last_, now});
+  last_ = now;
+  series_.emplace_back(rec.step, now);
+}
+
+void TrafficMonitor::on_action(const World& world, const ActionRecord& rec) {
+  if (sent_by_.size() < world.size()) {
+    sent_by_.resize(world.size(), 0);
+    received_by_.resize(world.size(), 0);
+  }
+  if (rec.kind == ActionRecord::Kind::Timeout) {
+    ++timeouts_;
+  } else {
+    ++deliveries_;
+    ++received_by_[rec.actor];
+  }
+  for (const auto& [to, msg] : rec.sent) {
+    (void)to;
+    ++sent_[static_cast<std::size_t>(msg.verb)];
+    ++sent_by_[rec.actor];
+  }
+}
+
+std::uint64_t TrafficMonitor::total_sent() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t s : sent_) sum += s;
+  return sum;
+}
+
+double TrafficMonitor::receive_imbalance() const {
+  if (deliveries_ == 0 || received_by_.empty()) return 0.0;
+  std::uint64_t max = 0;
+  for (std::uint64_t r : received_by_) max = std::max(max, r);
+  const double mean = static_cast<double>(deliveries_) /
+                      static_cast<double>(received_by_.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace fdp

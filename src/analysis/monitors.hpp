@@ -1,0 +1,112 @@
+// Runtime invariant monitors.
+//
+// These observers turn the paper's proof obligations into machine-checked
+// run invariants:
+//   SafetyMonitor    — Lemma 2: relevant processes that started in one weak
+//                      component stay weakly connected (via relevant
+//                      processes) after every action.
+//   PotentialMonitor — Lemma 3: Φ never increases.
+//   TrafficMonitor   — message/action statistics by verb (for the
+//                      experiment tables; no invariant).
+//
+// Both checking monitors accept a stride: checking after every action is
+// exact; larger strides trade completeness for speed in long benches. For
+// the *monotone* potential a stride is still sound for detecting sustained
+// increases (Φ_t > Φ_{t-stride} implies some step increased it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/legitimacy.hpp"
+#include "core/potential.hpp"
+#include "sim/observer.hpp"
+
+namespace fdp {
+
+class SafetyMonitor final : public Observer {
+ public:
+  explicit SafetyMonitor(const World& w, std::uint64_t stride = 1);
+
+  void on_action(const World& world, const ActionRecord& rec) override;
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& violations() const {
+    return violations_;  // step numbers at which safety was broken
+  }
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+ private:
+  LegitimacyChecker checker_;
+  std::uint64_t stride_;
+  std::uint64_t since_ = 0;
+  std::uint64_t checks_ = 0;
+  std::vector<std::uint64_t> violations_;
+};
+
+class PotentialMonitor final : public Observer {
+ public:
+  explicit PotentialMonitor(const World& w, std::uint64_t stride = 1);
+
+  void on_action(const World& world, const ActionRecord& rec) override;
+
+  [[nodiscard]] bool ok() const { return increases_.empty(); }
+  /// (step, before, after) triples where Φ increased.
+  struct Increase {
+    std::uint64_t step;
+    std::uint64_t before;
+    std::uint64_t after;
+  };
+  [[nodiscard]] const std::vector<Increase>& increases() const {
+    return increases_;
+  }
+  [[nodiscard]] std::uint64_t initial_phi() const { return initial_; }
+  [[nodiscard]] std::uint64_t last_phi() const { return last_; }
+  /// Sampled (step, phi) series for decay plots.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+  series() const {
+    return series_;
+  }
+
+ private:
+  std::uint64_t stride_;
+  std::uint64_t since_ = 0;
+  std::uint64_t initial_ = 0;
+  std::uint64_t last_ = 0;
+  std::vector<Increase> increases_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> series_;
+};
+
+class TrafficMonitor final : public Observer {
+ public:
+  void on_action(const World& world, const ActionRecord& rec) override;
+
+  [[nodiscard]] std::uint64_t sent(Verb v) const {
+    return sent_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::uint64_t total_sent() const;
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+
+  /// Per-process load: messages sent by / delivered to each process.
+  /// Useful for hot-spot analysis (e.g. the star's center).
+  [[nodiscard]] std::uint64_t sent_by(ProcessId p) const {
+    return p < sent_by_.size() ? sent_by_[p] : 0;
+  }
+  [[nodiscard]] std::uint64_t received_by(ProcessId p) const {
+    return p < received_by_.size() ? received_by_[p] : 0;
+  }
+  /// Largest per-process receive count divided by the mean (1.0 =
+  /// perfectly balanced). Returns 0 with no deliveries.
+  [[nodiscard]] double receive_imbalance() const;
+
+ private:
+  std::uint64_t sent_[6] = {};
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::vector<std::uint64_t> sent_by_;
+  std::vector<std::uint64_t> received_by_;
+};
+
+}  // namespace fdp

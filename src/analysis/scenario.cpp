@@ -1,0 +1,205 @@
+#include "analysis/scenario.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "baseline/sorted_list_departure.hpp"
+#include "core/framework.hpp"
+#include "core/oracle.hpp"
+#include "graph/generators.hpp"
+#include "overlay/topology_checks.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+namespace {
+
+struct Population {
+  std::vector<bool> leaving;
+  std::vector<std::uint64_t> keys;
+  std::size_t leaving_count = 0;
+  DiGraph topology{0};
+};
+
+/// Everything that is common before process types come into play: keys,
+/// the leaving set (>= 1 staying process) and the initial topology.
+Population plan_population(const ScenarioConfig& cfg, Rng& rng) {
+  Population pop;
+  pop.leaving.assign(cfg.n, false);
+  pop.keys.resize(cfg.n);
+
+  // Unique random keys (uniqueness is required by the key-ordered
+  // overlays; the departure protocol itself never reads them).
+  std::set<std::uint64_t> used;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    std::uint64_t k;
+    do {
+      k = rng();
+    } while (k == 0 || !used.insert(k).second);
+    pop.keys[i] = k;
+  }
+
+  std::size_t want =
+      static_cast<std::size_t>(cfg.leave_fraction * static_cast<double>(cfg.n));
+  if (cfg.n > 0 && want >= cfg.n) want = cfg.n - 1;  // >= 1 staying process
+  std::vector<std::size_t> order(cfg.n);
+  for (std::size_t i = 0; i < cfg.n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < want; ++i) pop.leaving[order[i]] = true;
+  pop.leaving_count = want;
+
+  pop.topology = gen::by_name(cfg.topology.c_str(), cfg.n, rng);
+  return pop;
+}
+
+/// Mode knowledge the holder starts with for target t: valid, or flipped
+/// with cfg.invalid_mode_prob.
+ModeInfo knowledge_of(const ScenarioConfig& cfg, const Population& pop,
+                      std::size_t target, Rng& rng) {
+  const Mode actual = pop.leaving[target] ? Mode::Leaving : Mode::Staying;
+  if (rng.chance(cfg.invalid_mode_prob)) {
+    return actual == Mode::Leaving ? ModeInfo::Staying : ModeInfo::Leaving;
+  }
+  return to_info(actual);
+}
+
+void corrupt_and_inject(const ScenarioConfig& cfg, const Population& pop,
+                        Scenario& sc, Rng& rng,
+                        const std::function<void(ProcessId, const RefInfo&)>&
+                            set_anchor) {
+  const std::size_t n = cfg.n;
+  if (n < 2) return;
+
+  // Stray anchors.
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!rng.chance(cfg.random_anchor_prob)) continue;
+    ProcessId t = static_cast<ProcessId>(rng.below(n - 1));
+    if (t >= p) ++t;
+    set_anchor(p, RefInfo{sc.refs[t], knowledge_of(cfg, pop, t, rng),
+                          pop.keys[t]});
+  }
+
+  // Random in-flight present/forward messages.
+  const std::size_t total = static_cast<std::size_t>(
+      cfg.inflight_per_node * static_cast<double>(n));
+  for (std::size_t k = 0; k < total; ++k) {
+    const ProcessId to = static_cast<ProcessId>(rng.below(n));
+    const ProcessId about = static_cast<ProcessId>(rng.below(n));
+    const RefInfo carried{sc.refs[about], knowledge_of(cfg, pop, about, rng),
+                          pop.keys[about]};
+    Message m = rng.chance(0.5) ? Message::present(carried)
+                                : Message::forward(carried);
+    sc.world->post(sc.refs[to], m);
+  }
+
+  // Initial sleepers. Each receives a pending wake-up message so it is
+  // relevant (not hibernating), as the model's initial states require.
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!rng.chance(cfg.initial_asleep_prob)) continue;
+    sc.world->force_life(p, LifeState::Asleep);
+    ProcessId about = static_cast<ProcessId>(rng.below(n - 1));
+    if (about >= p) ++about;
+    sc.world->post(
+        sc.refs[p],
+        Message::present(RefInfo{sc.refs[about],
+                                 knowledge_of(cfg, pop, about, rng),
+                                 pop.keys[about]}));
+  }
+}
+
+}  // namespace
+
+Scenario build_departure_scenario(const ScenarioConfig& cfg) {
+  Rng rng(cfg.seed);
+  const Population pop = plan_population(cfg, rng);
+
+  Scenario sc;
+  sc.world = std::make_unique<World>(cfg.seed ^ 0x5eedULL);
+  sc.leaving = pop.leaving;
+  sc.leaving_count = pop.leaving_count;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    sc.refs.push_back(sc.world->spawn<DepartureProcess>(
+        pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i],
+        cfg.policy));
+  }
+  for (const auto& [u, v] : pop.topology.simple_edges()) {
+    auto& proc = sc.world->process_as<DepartureProcess>(u);
+    proc.nbrs_mut().insert(
+        RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
+  }
+  corrupt_and_inject(cfg, pop, sc, rng,
+                     [&](ProcessId p, const RefInfo& a) {
+                       sc.world->process_as<DepartureProcess>(p).set_anchor(a);
+                     });
+  sc.world->set_oracle(oracle_by_name(cfg.oracle));
+  return sc;
+}
+
+Scenario build_framework_scenario(const ScenarioConfig& cfg,
+                                  const std::string& overlay) {
+  Rng rng(cfg.seed);
+  const Population pop = plan_population(cfg, rng);
+
+  Scenario sc;
+  sc.world = std::make_unique<World>(cfg.seed ^ 0x5eedULL);
+  sc.leaving = pop.leaving;
+  sc.leaving_count = pop.leaving_count;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    sc.refs.push_back(sc.world->spawn<FrameworkProcess>(
+        pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i],
+        make_overlay(overlay), cfg.policy));
+  }
+  for (const auto& [u, v] : pop.topology.simple_edges()) {
+    auto& proc = sc.world->process_as<FrameworkProcess>(u);
+    proc.overlay_mut().integrate(
+        RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
+  }
+  corrupt_and_inject(cfg, pop, sc, rng,
+                     [&](ProcessId p, const RefInfo& a) {
+                       sc.world->process_as<FrameworkProcess>(p).set_anchor(a);
+                     });
+  sc.world->set_oracle(oracle_by_name(cfg.oracle));
+  return sc;
+}
+
+Scenario build_baseline_scenario(const ScenarioConfig& cfg) {
+  Rng rng(cfg.seed);
+  const Population pop = plan_population(cfg, rng);
+
+  Scenario sc;
+  sc.world = std::make_unique<World>(cfg.seed ^ 0x5eedULL);
+  sc.leaving = pop.leaving;
+  sc.leaving_count = pop.leaving_count;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    sc.refs.push_back(sc.world->spawn<SortedListDeparture>(
+        pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i]));
+  }
+  for (const auto& [u, v] : pop.topology.simple_edges()) {
+    auto& proc = sc.world->process_as<SortedListDeparture>(u);
+    proc.nbrs_mut().insert(
+        RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
+  }
+  // The baseline has no anchors; only in-flight corruption applies.
+  corrupt_and_inject(cfg, pop, sc, rng, [](ProcessId, const RefInfo&) {});
+  sc.world->set_oracle(make_nidec_oracle());
+  return sc;
+}
+
+bool all_leaving_gone(const World& w) {
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    if (w.mode(p) == Mode::Leaving && w.life(p) != LifeState::Gone)
+      return false;
+  }
+  return true;
+}
+
+bool all_leaving_inactive(const World& w) {
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    if (w.mode(p) == Mode::Leaving && w.life(p) == LifeState::Awake)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace fdp

@@ -1,0 +1,76 @@
+// Scenario construction: initial states for self-stabilization experiments.
+//
+// The paper's initial states are *arbitrary* up to these constraints
+// (Section 1.2): all processes relevant, finitely many action-triggering
+// messages, no out-of-system references, and — for the departure results —
+// at least one staying process per weakly connected component. A scenario
+// starts from a generated topology and then applies controlled corruption:
+// invalid mode knowledge, stray anchors, and random in-flight
+// present/forward messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/departure_process.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+
+struct ScenarioConfig {
+  std::size_t n = 16;
+  /// Fraction of processes marked leaving (clamped so that at least one
+  /// staying process exists).
+  double leave_fraction = 0.25;
+  /// Topology name for the initial explicit edges (see gen::by_name):
+  /// "line", "ring", "star", "clique", "tree", "gnp", "wild".
+  std::string topology = "gnp";
+  DeparturePolicy policy = DeparturePolicy::ExitWithOracle;
+
+  // --- corruption knobs (self-stabilization stress) ---
+  /// Probability that a stored reference carries flipped mode knowledge.
+  double invalid_mode_prob = 0.0;
+  /// Probability that a process starts with a random anchor (with random,
+  /// possibly invalid, mode knowledge) — staying processes included.
+  double random_anchor_prob = 0.0;
+  /// Expected number of random in-flight present/forward messages per
+  /// process, each carrying a random reference with random knowledge.
+  double inflight_per_node = 0.0;
+  /// Probability that a process starts ASLEEP. The model requires initial
+  /// states to contain only relevant processes, so every initial sleeper
+  /// is given a pending wake-up message (it must not be hibernating).
+  double initial_asleep_prob = 0.0;
+
+  std::uint64_t seed = 1;
+
+  /// Oracle name (see oracle_by_name); the FDP default is "single".
+  std::string oracle = "single";
+};
+
+struct Scenario {
+  std::unique_ptr<World> world;
+  std::vector<Ref> refs;          ///< by process id
+  std::vector<bool> leaving;      ///< by process id
+  std::size_t leaving_count = 0;
+};
+
+/// Population of bare DepartureProcess nodes (Section 3 protocol).
+[[nodiscard]] Scenario build_departure_scenario(const ScenarioConfig& cfg);
+
+/// Population of FrameworkProcess nodes hosting the named overlay
+/// (Section 4 protocol P′).
+[[nodiscard]] Scenario build_framework_scenario(const ScenarioConfig& cfg,
+                                                const std::string& overlay);
+
+/// Population of baseline SortedListDeparture nodes (installs the NIDEC
+/// oracle regardless of cfg.oracle).
+[[nodiscard]] Scenario build_baseline_scenario(const ScenarioConfig& cfg);
+
+/// Cheap termination pre-checks used by run loops (full legitimacy is
+/// verified separately once these hold).
+[[nodiscard]] bool all_leaving_gone(const World& w);
+[[nodiscard]] bool all_leaving_inactive(const World& w);  // gone or asleep
+
+}  // namespace fdp

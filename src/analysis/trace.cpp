@@ -1,0 +1,69 @@
+#include "analysis/trace.hpp"
+
+#include <cstdio>
+
+namespace fdp {
+
+namespace {
+
+void append_message_json(std::string& s, const Message& m) {
+  s += "{\"verb\":\"";
+  s += to_string(m.verb);
+  s += "\",\"tag\":" + std::to_string(m.tag);
+  s += ",\"seq\":" + std::to_string(m.seq);
+  s += ",\"refs\":[";
+  for (std::size_t i = 0; i < m.refs.size(); ++i) {
+    if (i) s += ',';
+    s += "{\"to\":" + std::to_string(m.refs[i].ref.id()) + ",\"mode\":\"";
+    s += to_string(m.refs[i].mode);
+    s += "\"}";
+  }
+  s += "]}";
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity, std::string path)
+    : capacity_(ring_capacity) {
+  if (!path.empty()) out_.open(path);
+}
+
+std::string TraceRecorder::to_json(const ActionRecord& rec) {
+  std::string s = "{\"step\":" + std::to_string(rec.step);
+  s += ",\"actor\":" + std::to_string(rec.actor);
+  s += ",\"kind\":\"";
+  s += rec.kind == ActionRecord::Kind::Timeout ? "timeout" : "deliver";
+  s += "\"";
+  if (rec.consumed) {
+    s += ",\"consumed\":";
+    append_message_json(s, *rec.consumed);
+  }
+  s += ",\"sent\":[";
+  for (std::size_t i = 0; i < rec.sent.size(); ++i) {
+    if (i) s += ',';
+    s += "{\"dest\":" + std::to_string(rec.sent[i].first.id()) + ",\"msg\":";
+    append_message_json(s, rec.sent[i].second);
+    s += "}";
+  }
+  s += "]";
+  if (rec.exited) s += ",\"exited\":true";
+  if (rec.slept) s += ",\"slept\":true";
+  if (rec.woke) s += ",\"woke\":true";
+  s += "}";
+  return s;
+}
+
+void TraceRecorder::on_action(const World& world, const ActionRecord& rec) {
+  (void)world;
+  std::string line = to_json(rec);
+  if (out_.is_open()) out_ << line << '\n';
+  ring_.push_back(std::move(line));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  ++recorded_;
+}
+
+void TraceRecorder::print_ring() const {
+  for (const std::string& line : ring_) std::printf("%s\n", line.c_str());
+}
+
+}  // namespace fdp

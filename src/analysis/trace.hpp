@@ -1,0 +1,44 @@
+// Structured run traces.
+//
+// TraceRecorder captures every executed action as one JSON-lines record —
+// actor, kind, consumed message, sends, exit/sleep/wake — either into an
+// in-memory ring (for tests and post-mortem printing) or streamed to a
+// file for offline analysis/visualization. The JSON encoder is local and
+// tiny; records are flat so any JSONL tooling can consume them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+
+#include "sim/observer.hpp"
+
+namespace fdp {
+
+class TraceRecorder final : public Observer {
+ public:
+  /// Keep the last `ring_capacity` records in memory; if `path` is
+  /// non-empty, additionally stream every record to that file.
+  explicit TraceRecorder(std::size_t ring_capacity = 256,
+                         std::string path = "");
+
+  void on_action(const World& world, const ActionRecord& rec) override;
+
+  [[nodiscard]] const std::deque<std::string>& ring() const { return ring_; }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+  /// Render one action record as a single JSON line (exposed for tests).
+  [[nodiscard]] static std::string to_json(const ActionRecord& rec);
+
+  /// Dump the ring to stdout (debugging aid).
+  void print_ring() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::string> ring_;
+  std::ofstream out_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace fdp

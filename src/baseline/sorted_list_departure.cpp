@@ -1,0 +1,125 @@
+#include "baseline/sorted_list_departure.hpp"
+
+#include <algorithm>
+
+namespace fdp {
+
+RefInfo SortedListDeparture::closest_left_staying() const {
+  RefInfo best;
+  for (const RefInfo& r : nbrs_.snapshot()) {
+    if (r.key >= key() || r.mode == ModeInfo::Leaving) continue;
+    if (!best.ref.valid() || r.key > best.key) best = r;
+  }
+  return best;
+}
+
+RefInfo SortedListDeparture::closest_right_staying() const {
+  RefInfo best;
+  for (const RefInfo& r : nbrs_.snapshot()) {
+    if (r.key <= key() || r.mode == ModeInfo::Leaving) continue;
+    if (!best.ref.valid() || r.key < best.key) best = r;
+  }
+  return best;
+}
+
+void SortedListDeparture::linearize(Context& ctx) {
+  std::vector<RefInfo> left;
+  std::vector<RefInfo> right;
+  for (const RefInfo& r : nbrs_.snapshot()) {
+    if (r.key < key()) left.push_back(r);
+    else if (r.key > key()) right.push_back(r);
+  }
+  auto by_key = [](const RefInfo& a, const RefInfo& b) {
+    return a.key < b.key;
+  };
+  std::sort(left.begin(), left.end(), by_key);
+  std::sort(right.begin(), right.end(), by_key);
+
+  // Delegate farther references one hop toward their sorted position.
+  for (std::size_t i = 0; i + 1 < left.size(); ++i) {
+    nbrs_.erase(left[i].ref);
+    ctx.send(left[i + 1].ref,
+             Message{Verb::Overlay, kTagBaselineIntro, 0, {left[i]}});
+  }
+  for (std::size_t j = right.size(); j > 1; --j) {
+    nbrs_.erase(right[j - 1].ref);
+    ctx.send(right[j - 2].ref,
+             Message{Verb::Overlay, kTagBaselineIntro, 0, {right[j - 1]}});
+  }
+}
+
+void SortedListDeparture::on_timeout(Context& ctx) {
+  if (mode() == Mode::Staying) {
+    // Drop references to leavers on sight, handing them our own reference
+    // in exchange (Reversal) so they can splice around themselves.
+    for (const RefInfo& r : nbrs_.snapshot()) {
+      if (r.mode == ModeInfo::Leaving) {
+        nbrs_.erase(r.ref);
+        ctx.send(r.ref,
+                 Message{Verb::Overlay, kTagBaselineIntro, 0, {self_info()}});
+      }
+    }
+    linearize(ctx);
+    // Periodic self-introduction to the kept neighbors.
+    for (const RefInfo& r : nbrs_.snapshot()) {
+      ctx.send(r.ref,
+               Message{Verb::Overlay, kTagBaselineIntro, 0, {self_info()}});
+    }
+    return;
+  }
+
+  // Leaving. References to fellow leavers cannot rest here — park them
+  // with a staying neighbor. (If we know no stayer yet, keep them; a
+  // stayer's reversal will teach us one.)
+  RefInfo stayer;
+  for (const RefInfo& x : nbrs_.snapshot())
+    if (x.mode != ModeInfo::Leaving) stayer = x;
+  if (stayer.ref.valid()) {
+    for (const RefInfo& x : nbrs_.snapshot()) {
+      if (x.mode == ModeInfo::Leaving) {
+        nbrs_.erase(x.ref);
+        ctx.send(stayer.ref,
+                 Message{Verb::Overlay, kTagBaselineIntro, 0, {x}});
+      }
+    }
+  }
+  // The splice: chain ALL staying neighbors together in key order (we may
+  // be a cut vertex whose neighbors sit on the same key side, so a plain
+  // l<->r splice would not be enough). Introduction keeps our copies;
+  // they die only at the NIDEC-guarded exit, by which point the chain
+  // links our neighbors directly. Crucially we never send our OWN
+  // reference: no new references to us are minted, so NIDEC can fire.
+  std::vector<RefInfo> chain;
+  for (const RefInfo& x : nbrs_.snapshot())
+    if (x.mode != ModeInfo::Leaving) chain.push_back(x);
+  std::sort(chain.begin(), chain.end(),
+            [](const RefInfo& a, const RefInfo& b) { return a.key < b.key; });
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    ctx.send(chain[i].ref,
+             Message{Verb::Overlay, kTagBaselineIntro, 0, {chain[i + 1]}});
+    ctx.send(chain[i + 1].ref,
+             Message{Verb::Overlay, kTagBaselineIntro, 0, {chain[i]}});
+  }
+  // Exit when no reference to us remains anywhere (NIDEC). The splice
+  // above was sent within this same atomic action, so the chain is in
+  // flight (implicit edges) before our stored copies die with us.
+  if (ctx.oracle()) {
+    ctx.exit_process();
+  }
+}
+
+void SortedListDeparture::on_message(Context& ctx, const Message& m) {
+  (void)ctx;
+  // Every baseline message carries plain references to integrate; the
+  // linearization at the next timeout moves them onward. Our own
+  // reference is discarded for free.
+  for (const RefInfo& r : m.refs) {
+    if (r.ref != self()) nbrs_.insert(r);
+  }
+}
+
+void SortedListDeparture::collect_refs(std::vector<RefInfo>& out) const {
+  for (const RefInfo& r : nbrs_.snapshot()) out.push_back(r);
+}
+
+}  // namespace fdp

@@ -1,0 +1,64 @@
+// Baseline: sorted-list-specific departures (Foreback et al. [15] style).
+//
+// The prior work the paper improves on solved the FDP only for one
+// concrete overlay — the sorted doubly linked list — and requires a fixed
+// total order on processes (their keys). No public implementation exists;
+// this is a reconstruction from the description in the paper's
+// introduction and related-work discussion (see DESIGN.md, Substitutions):
+//
+//  * Staying processes run standard list linearization with periodic
+//    self-introduction; a reference whose attached knowledge says
+//    "leaving" is dropped immediately, sending the holder's own reference
+//    to the leaver in exchange (so the leaver can splice around itself).
+//  * A leaving process stops self-introducing. It keeps its closest
+//    staying neighbors l and r and repeatedly *introduces them to each
+//    other* (the splice); references to fellow leavers are parked with a
+//    staying neighbor so they never block anyone's departure.
+//  * A leaving process exits when the NIDEC-style oracle says no
+//    reference to it remains anywhere and its channel is empty.
+//
+// The contrast with the paper's protocol (experiment E5): this baseline
+// *reads keys* (violating reference opaqueness), is tied to the list
+// topology — it actively linearizes whatever it is deployed on — relies
+// on the stronger NIDEC oracle, and assumes mode knowledge attached to
+// references is valid (it has no analogue of the present/forward
+// self-stabilizing knowledge repair). The paper's protocol needs none of
+// that.
+#pragma once
+
+#include "sim/context.hpp"
+#include "sim/neighbor_set.hpp"
+#include "sim/process.hpp"
+
+namespace fdp {
+
+/// Overlay tags used by the baseline.
+inline constexpr std::uint32_t kTagBaselineIntro = 10;
+
+class SortedListDeparture final : public Process {
+ public:
+  SortedListDeparture(Ref self, Mode mode, std::uint64_t key)
+      : Process(self, mode, key), nbrs_(self) {}
+
+  void on_timeout(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+  void collect_refs(std::vector<RefInfo>& out) const override;
+  [[nodiscard]] const char* protocol_name() const override {
+    return "baseline-list";
+  }
+
+  [[nodiscard]] const NeighborSet& nbrs() const { return nbrs_; }
+  [[nodiscard]] NeighborSet& nbrs_mut() { return nbrs_; }
+
+ private:
+  /// One step of the standard linearization rule over nbrs_.
+  void linearize(Context& ctx);
+  /// Closest left / right neighbor believed staying (invalid Ref when
+  /// absent).
+  [[nodiscard]] RefInfo closest_left_staying() const;
+  [[nodiscard]] RefInfo closest_right_staying() const;
+
+  NeighborSet nbrs_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,170 @@
+#include "core/departure_process.hpp"
+
+namespace fdp {
+
+void DepartureProcess::distrust_leaving_anchor(Context& ctx) {
+  // Alg. 1, lines 1–3: if the anchor is believed to be leaving it cannot
+  // serve as an anchor; re-submit the reference to ourselves as a present
+  // message (the copy moves from the variable into our own channel, so no
+  // reference is lost) and clear the variable.
+  if (anchor_ && anchor_->mode == ModeInfo::Leaving) {
+    ctx.send(self(), Message::present(*anchor_));
+    anchor_.reset();
+  }
+}
+
+void DepartureProcess::leaving_timeout(Context& ctx) {
+  // Alg. 1, lines 4–14.
+  if (storage_empty()) {
+    if (policy_ == DeparturePolicy::Sleep) {
+      // FSP variant: no oracle — go to sleep; any incoming message wakes
+      // us and is handled by present/forward as usual.
+      ctx.sleep_process();
+      return;
+    }
+    if (ctx.oracle()) {  // lines 6–7: SINGLE says we touch at most one
+      ctx.exit_process();
+      return;
+    }
+    if (anchor_) {  // lines 9–10: verify the anchor is really staying
+      ctx.send(anchor_->ref, Message::present(self_info()));
+    }
+    return;
+  }
+  // Lines 11–14: flush the whole neighborhood through our own channel as
+  // forward messages; the forward action will route every reference to the
+  // anchor (or recruit one). Delegation-to-self: no copy is lost.
+  for (const RefInfo& v : take_all_refs()) {
+    ctx.send(self(), Message::forward(v));
+  }
+}
+
+void DepartureProcess::staying_timeout(Context& ctx) {
+  // Alg. 1, lines 15–22.
+  if (anchor_) {  // lines 16–18: a staying process needs no anchor
+    ctx.send(self(), Message::present(*anchor_));
+    anchor_.reset();
+  }
+  // Lines 19–22. First expel every reference believed leaving (the
+  // reversal send below doubles as the paper's "v <- present(u)"), then
+  // self-introduce to the kept structural neighbors.
+  for (const RefInfo& v : stored_neighbors()) {
+    if (v.mode == ModeInfo::Leaving) {
+      // Reversal: drop the reference to the leaving neighbor and hand it
+      // our own reference so it can route it to its anchor.
+      expel_ref(v.ref);
+      ctx.send(v.ref, Message::present(self_info()));
+    }
+  }
+  for (const RefInfo& v : introduction_targets()) {
+    if (v.mode == ModeInfo::Leaving) continue;  // just expelled above
+    ctx.send(v.ref, Message::present(self_info()));
+  }
+}
+
+void DepartureProcess::on_timeout(Context& ctx) {
+  distrust_leaving_anchor(ctx);
+  if (mode() == Mode::Leaving) {
+    leaving_timeout(ctx);
+  } else {
+    staying_timeout(ctx);
+  }
+}
+
+void DepartureProcess::act_present(Context& ctx, const RefInfo& v) {
+  // Alg. 2, lines 1–2: fuse with a leaving anchor.
+  if (anchor_ && v.ref == anchor_->ref && v.mode == ModeInfo::Leaving) {
+    anchor_.reset();
+  }
+  if (v.ref == self()) return;  // own reference — nothing to learn
+
+  if (v.mode == ModeInfo::Leaving) {
+    if (mode() == Mode::Leaving) {
+      // Line 5: two leaving processes bounce their own (valid) info.
+      ctx.send(v.ref, Message::forward(self_info()));
+    } else {
+      // Lines 7–9: expel the leaving process and give it our reference.
+      expel_ref(v.ref);
+      ctx.send(v.ref, Message::forward(self_info()));
+    }
+    return;
+  }
+  // v believed staying (Unknown is treated as staying — it can only occur
+  // in corrupted initial states; storing it keeps the reference alive and
+  // the periodic self-introduction will correct the knowledge).
+  if (mode() == Mode::Leaving) {
+    if (anchor_) {
+      // Lines 12–13: already anchored; send our own reference to v so v
+      // learns we are leaving (reversal of the implicit edge).
+      ctx.send(v.ref, Message::forward(self_info()));
+    } else {
+      anchor_ = v;  // line 15: recruit v as anchor
+    }
+  } else {
+    store_ref(ctx, v);  // line 17 (fusion when already present)
+  }
+}
+
+void DepartureProcess::act_forward(Context& ctx, const RefInfo& v) {
+  // Alg. 3, lines 1–2.
+  if (anchor_ && v.ref == anchor_->ref && v.mode == ModeInfo::Leaving) {
+    anchor_.reset();
+  }
+  if (v.ref == self()) return;  // own reference — drop
+
+  if (v.mode == ModeInfo::Leaving) {
+    if (mode() == Mode::Leaving) {
+      if (!anchor_) {
+        // Lines 5–6.
+        ctx.send(v.ref, Message::forward(self_info()));
+      } else {
+        // Lines 7–8: delegate to the anchor. Note: possibly invalid
+        // information about v travels on, but the copy is not kept — Φ
+        // cannot increase (Lemma 3's key observation).
+        ctx.send(anchor_->ref, Message::forward(v));
+      }
+    } else {
+      // Lines 10–12.
+      expel_ref(v.ref);
+      ctx.send(v.ref, Message::forward(self_info()));
+    }
+    return;
+  }
+  if (mode() == Mode::Leaving) {
+    if (anchor_) {
+      ctx.send(anchor_->ref, Message::forward(v));  // lines 15–16
+    } else {
+      anchor_ = v;  // line 18
+    }
+  } else {
+    store_ref(ctx, v);  // lines 19–20
+  }
+}
+
+void DepartureProcess::handle_other(Context& ctx, const Message& m) {
+  // Base protocol: unknown labels are "ignored" by the paper's model, but
+  // a corrupted initial state may contain them carrying references. Treat
+  // each carried reference as introduced so no reference is destroyed.
+  for (const RefInfo& r : m.refs) act_present(ctx, r);
+}
+
+void DepartureProcess::on_message(Context& ctx, const Message& m) {
+  switch (m.verb) {
+    case Verb::Present:
+      for (const RefInfo& r : m.refs) act_present(ctx, r);
+      break;
+    case Verb::Forward:
+      for (const RefInfo& r : m.refs) act_forward(ctx, r);
+      break;
+    default:
+      handle_other(ctx, m);
+      break;
+  }
+}
+
+void DepartureProcess::collect_refs(std::vector<RefInfo>& out) const {
+  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
+  if (anchor_) out.push_back(*anchor_);
+}
+
+}  // namespace fdp

@@ -1,0 +1,135 @@
+// The self-stabilizing departure protocol — paper Algorithms 1–3.
+//
+// Each process keeps the neighborhood set u.N and the special `anchor`
+// variable (not part of u.N). The anchor is only used by leaving processes:
+// it is a reference to a process that — according to u's local information —
+// is staying; whenever a leaving u receives a reference from a third
+// process it forwards it to its anchor, eliminating references to itself
+// and handing its connectivity duties to a stayer.
+//
+// The protocol uses two remote actions:
+//   present(v)  — v is *introduced* (the sender kept its copy),
+//   forward(v)  — v is *delegated* (the sender deleted its copy),
+// plus the periodically executed timeout action. Every branch decomposes
+// into the four primitives of Section 2 (see core/primitives.hpp), which is
+// the whole safety argument (Lemma 2).
+//
+// Policy selects the problem variant:
+//   ExitWithOracle — FDP: a leaving process with empty N consults the
+//                    oracle and executes `exit` when it says true.
+//   Sleep          — FSP: same situation executes `sleep`; no oracle is
+//                    needed, and an incoming message wakes the process.
+//
+// Deviations from the paper's pseudocode (documented, behavior-preserving):
+//  * Self-references are dropped on receipt and never stored. A process
+//    trivially knows itself; self-loops are irrelevant for connectivity; and
+//    without this rule a pair of leaving processes can bounce their own
+//    references forever, which is harmless in the FDP (SINGLE still lets
+//    them exit) but would keep an FSP process from ever hibernating.
+//  * On Fusion the incoming mode knowledge overwrites the stored knowledge
+//    (the message is the fresher observation). Either choice keeps Φ
+//    non-increasing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/neighbor_set.hpp"
+#include "sim/process.hpp"
+
+namespace fdp {
+
+enum class DeparturePolicy : std::uint8_t {
+  ExitWithOracle,  ///< FDP
+  Sleep,           ///< FSP
+};
+
+class DepartureProcess : public Process {
+ public:
+  DepartureProcess(Ref self, Mode mode, std::uint64_t key,
+                   DeparturePolicy policy = DeparturePolicy::ExitWithOracle)
+      : Process(self, mode, key), n_(self), policy_(policy) {}
+
+  void on_timeout(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+  void collect_refs(std::vector<RefInfo>& out) const override;
+  [[nodiscard]] const char* protocol_name() const override {
+    return "departure";
+  }
+
+  // --- scenario / test access ---
+  [[nodiscard]] const NeighborSet& nbrs() const { return n_; }
+  [[nodiscard]] NeighborSet& nbrs_mut() { return n_; }
+  [[nodiscard]] const std::optional<RefInfo>& anchor() const {
+    return anchor_;
+  }
+  /// Sets the anchor; a self-reference is dropped (never stored).
+  void set_anchor(const RefInfo& a) {
+    if (a.ref != self()) anchor_ = a;
+  }
+  void clear_anchor() { anchor_.reset(); }
+  [[nodiscard]] DeparturePolicy policy() const { return policy_; }
+
+ protected:
+  /// Algorithm 2: u.present(v).
+  void act_present(Context& ctx, const RefInfo& v);
+  /// Algorithm 3: u.forward(v).
+  void act_forward(Context& ctx, const RefInfo& v);
+  /// Algorithm 1 lines 1–3 (shared prefix of timeout).
+  void distrust_leaving_anchor(Context& ctx);
+  /// Algorithm 1 lines 4–14, the leaving branch of timeout.
+  void leaving_timeout(Context& ctx);
+  /// Algorithm 1 lines 15–22, the staying branch of timeout.
+  void staying_timeout(Context& ctx);
+
+  /// Hook for subclasses (the Section-4 framework) to handle verbs the
+  /// base protocol does not know. The default conservatively treats every
+  /// carried reference as if it had been introduced (keeps the
+  /// conservation law intact for stray messages in corrupted states).
+  virtual void handle_other(Context& ctx, const Message& m);
+
+  // ------ storage hooks (Section-4 framework overrides these) ------
+  // The paper modifies present/forward so that "in case a staying process
+  // gets a reference from another staying process" the reference is
+  // reintegrated into the wrapped protocol P instead of joining u.N, and
+  // the timeout's neighborhood iteration ranges over all of P's stored
+  // references. The base implementations are exactly Algorithms 1–3.
+
+  /// Store a reference believed staying (Alg. 2 line 17 / Alg. 3 line 20).
+  virtual void store_ref(Context& ctx, const RefInfo& v) {
+    (void)ctx;
+    n_.insert(v);
+  }
+  /// Remove every stored copy of r (expulsion of a leaving process).
+  virtual void expel_ref(Ref r) { n_.erase(r); }
+  /// All stored references the timeout action iterates over.
+  [[nodiscard]] virtual std::vector<RefInfo> stored_neighbors() const {
+    return n_.snapshot();
+  }
+  /// Remove and return every stored reference (leaving flush, Alg. 1
+  /// lines 11–14).
+  virtual std::vector<RefInfo> take_all_refs() {
+    std::vector<RefInfo> out = n_.snapshot();
+    n_.clear();
+    return out;
+  }
+  /// True when no references are stored (Alg. 1 line 5 guard).
+  [[nodiscard]] virtual bool storage_empty() const { return n_.empty(); }
+
+  /// References the periodic self-introduction targets. For the flat u.N
+  /// of Algorithm 1 this is everything stored; a hosted overlay narrows
+  /// it to the neighbors it intends to KEEP — self-introducing to a
+  /// reference that is merely in transit would spawn a reverse edge and
+  /// keep the network churning forever.
+  [[nodiscard]] virtual std::vector<RefInfo> introduction_targets() const {
+    return n_.snapshot();
+  }
+
+  NeighborSet n_;
+  std::optional<RefInfo> anchor_;
+  DeparturePolicy policy_;
+};
+
+}  // namespace fdp

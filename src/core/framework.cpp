@@ -1,0 +1,339 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+// ---------------------------------------------------------------------------
+// FrameworkProcess
+// ---------------------------------------------------------------------------
+
+class FrameworkProcess::WrappedCtx final : public OverlayCtx {
+ public:
+  WrappedCtx(FrameworkProcess* host, Context* ctx) : host_(host), ctx_(ctx) {}
+  [[nodiscard]] Ref self() const override { return host_->self(); }
+  [[nodiscard]] std::uint64_t self_key() const override {
+    return host_->key();
+  }
+  void send_overlay(Ref dest, std::uint32_t tag,
+                    std::vector<RefInfo> refs) override {
+    host_->preprocess(*ctx_, dest, tag, std::move(refs));
+  }
+
+ private:
+  FrameworkProcess* host_;
+  Context* ctx_;
+};
+
+FrameworkProcess::FrameworkProcess(Ref self, Mode mode, std::uint64_t key,
+                                   std::unique_ptr<OverlayProtocol> overlay,
+                                   DeparturePolicy policy,
+                                   FrameworkConfig cfg)
+    : DepartureProcess(self, mode, key, policy),
+      overlay_(std::move(overlay)),
+      cfg_(cfg) {
+  FDP_CHECK(overlay_ != nullptr);
+  overlay_->bind(self, key);
+  name_ = std::string("framework[") + overlay_->name() + "]";
+}
+
+const char* FrameworkProcess::protocol_name() const { return name_.c_str(); }
+
+void FrameworkProcess::store_ref(Context& ctx, const RefInfo& v) {
+  (void)ctx;
+  if (v.ref == self()) return;
+  overlay_->integrate(v);
+}
+
+void FrameworkProcess::expel_ref(Ref r) {
+  overlay_->remove(r);
+  n_.erase(r);
+}
+
+std::vector<RefInfo> FrameworkProcess::stored_neighbors() const {
+  std::vector<RefInfo> out = overlay_->stored();
+  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
+  return out;
+}
+
+std::vector<RefInfo> FrameworkProcess::take_all_refs() {
+  std::vector<RefInfo> out = overlay_->take_all();
+  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
+  n_.clear();
+  for (Pending& e : mlist_) {
+    out.push_back(RefInfo{e.dest, e.dest_mode, 0});
+    for (const RefInfo& r : e.refs) out.push_back(r);
+  }
+  mlist_.clear();
+  return out;
+}
+
+bool FrameworkProcess::storage_empty() const {
+  return overlay_->empty() && n_.empty() && mlist_.empty();
+}
+
+std::vector<RefInfo> FrameworkProcess::introduction_targets() const {
+  std::vector<RefInfo> out = overlay_->introduction_targets();
+  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
+  return out;
+}
+
+void FrameworkProcess::collect_refs(std::vector<RefInfo>& out) const {
+  DepartureProcess::collect_refs(out);  // n_ and anchor
+  for (const RefInfo& r : overlay_->stored()) out.push_back(r);
+  for (const Pending& e : mlist_) {
+    out.push_back(RefInfo{e.dest, e.dest_mode, 0});
+    for (const RefInfo& r : e.refs) out.push_back(r);
+  }
+}
+
+void FrameworkProcess::preprocess(Context& ctx, Ref dest, std::uint32_t tag,
+                                  std::vector<RefInfo> refs) {
+  Pending e;
+  e.dest = dest;
+  e.tag = tag;
+  e.refs = std::move(refs);
+  // All modes are unverified until the verify/process round trips finish —
+  // except knowledge about ourselves, which is always valid.
+  for (RefInfo& r : e.refs) {
+    r.mode = r.ref == self() ? to_info(mode()) : ModeInfo::Unknown;
+    if (r.ref != self()) send_verify(ctx, r.ref);
+  }
+  e.dest_mode = dest == self() ? to_info(mode()) : ModeInfo::Unknown;
+  if (dest != self()) send_verify(ctx, dest);
+  mlist_.push_back(std::move(e));
+}
+
+void FrameworkProcess::send_verify(Context& ctx, Ref target) {
+  ctx.send(target, Message{Verb::Verify, 0, 0, {self_info()}});
+  ++stats_.verifies_sent;
+}
+
+void FrameworkProcess::on_verify(Context& ctx, const Message& m) {
+  // Reply process(self) to every carried reference (normally exactly one:
+  // the asker). Leaving processes answer too — that is how the rest of the
+  // system learns they are leaving. The asker's reference is consumed by
+  // the reply (Reversal).
+  for (const RefInfo& asker : m.refs) {
+    if (asker.ref == self()) continue;
+    ctx.send(asker.ref, Message{Verb::ProcessReply, 0, 0, {self_info()}});
+    ++stats_.replies_sent;
+  }
+}
+
+void FrameworkProcess::on_process_reply(Context& ctx, const Message& m) {
+  for (const RefInfo& reporter : m.refs) {
+    if (reporter.ref == self()) continue;
+    bool copy_retained = false;
+    for (Pending& e : mlist_) {
+      if (e.dest == reporter.ref && e.dest_mode == ModeInfo::Unknown) {
+        e.dest_mode = reporter.mode;
+        copy_retained = true;
+      }
+      for (RefInfo& r : e.refs) {
+        if (r.ref == reporter.ref) {
+          if (r.mode == ModeInfo::Unknown) r.mode = reporter.mode;
+          copy_retained = true;
+        }
+      }
+    }
+    // Refresh structural knowledge as well.
+    overlay_->update_mode(reporter.ref, reporter.mode);
+    if (n_.contains(reporter.ref)) {
+      n_.set_mode(reporter.ref, reporter.mode);
+      copy_retained = true;
+    }
+    for (const RefInfo& r : overlay_->stored()) {
+      if (r.ref == reporter.ref) {
+        copy_retained = true;
+        break;
+      }
+    }
+    if (!copy_retained) {
+      // Stale reply (a resent verify's duplicate answer) about a process
+      // nothing here references anymore. Re-integrating it would re-start
+      // the delegation/verify cycle and the duplicate replies would feed
+      // it forever; instead reverse: drop the copy and hand the reporter
+      // our own reference.
+      ctx.send(reporter.ref, Message::forward(self_info()));
+    }
+  }
+  try_complete(ctx);
+}
+
+void FrameworkProcess::on_overlay_msg(Context& ctx, const Message& m) {
+  if (mode() == Mode::Leaving) {
+    // A leaving process does not execute P. It answers every carried
+    // reference with a present of itself, so those processes expel it
+    // (Reversal per reference).
+    for (const RefInfo& r : m.refs) {
+      if (r.ref == self()) continue;
+      ctx.send(r.ref, Message::present(self_info()));
+    }
+    return;
+  }
+  WrappedCtx octx(this, &ctx);
+  overlay_->on_overlay_message(octx, m.tag, m.refs);
+}
+
+void FrameworkProcess::framework_timeout(Context& ctx) {
+  for (Pending& e : mlist_) {
+    ++e.age;
+    const bool resend = e.age % cfg_.resend_every == 0;
+    const bool give_up = e.age >= cfg_.give_up_age;
+    if (give_up) {
+      if (e.dest_mode == ModeInfo::Unknown) e.dest_mode = ModeInfo::Leaving;
+      for (RefInfo& r : e.refs)
+        if (r.mode == ModeInfo::Unknown) r.mode = ModeInfo::Leaving;
+      ++stats_.gave_up;
+      continue;
+    }
+    if (resend) {
+      if (e.dest_mode == ModeInfo::Unknown) send_verify(ctx, e.dest);
+      for (const RefInfo& r : e.refs)
+        if (r.mode == ModeInfo::Unknown) send_verify(ctx, r.ref);
+    }
+  }
+  try_complete(ctx);
+}
+
+void FrameworkProcess::try_complete(Context& ctx) {
+  std::vector<Pending> ready;
+  for (auto it = mlist_.begin(); it != mlist_.end();) {
+    const bool dest_known = it->dest_mode != ModeInfo::Unknown;
+    const bool params_known =
+        std::all_of(it->refs.begin(), it->refs.end(), [](const RefInfo& r) {
+          return r.mode != ModeInfo::Unknown;
+        });
+    if (dest_known && params_known) {
+      ready.push_back(std::move(*it));
+      it = mlist_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Pending& e : ready) {
+    const bool all_staying =
+        e.dest_mode == ModeInfo::Staying &&
+        std::all_of(e.refs.begin(), e.refs.end(), [](const RefInfo& r) {
+          return r.mode == ModeInfo::Staying;
+        });
+    if (all_staying) {
+      ctx.send(e.dest, Message{Verb::Overlay, e.tag, 0, e.refs});
+      ++stats_.dispatched;
+    } else {
+      postprocess(ctx, std::move(e));
+    }
+  }
+}
+
+void FrameworkProcess::postprocess(Context& ctx, Pending entry) {
+  ++stats_.postprocessed;
+  // Reintegrate staying references into P; expel leaving ones through the
+  // departure protocol's forward machinery (forward-to-self keeps the copy
+  // alive inside our own channel until act_forward routes it).
+  auto handle = [&](const RefInfo& r) {
+    if (r.ref == self()) return;
+    if (r.mode == ModeInfo::Staying) {
+      overlay_->integrate(r);
+    } else {
+      ctx.send(self(), Message::forward(r));
+    }
+  };
+  handle(RefInfo{entry.dest, entry.dest_mode, 0});
+  for (const RefInfo& r : entry.refs) handle(r);
+}
+
+void FrameworkProcess::handle_other(Context& ctx, const Message& m) {
+  switch (m.verb) {
+    case Verb::Verify:
+      on_verify(ctx, m);
+      break;
+    case Verb::ProcessReply:
+      if (mode() == Mode::Leaving) {
+        // Route the reporter's reference through the anchor machinery.
+        for (const RefInfo& r : m.refs) act_forward(ctx, r);
+      } else {
+        on_process_reply(ctx, m);
+      }
+      break;
+    case Verb::Overlay:
+      on_overlay_msg(ctx, m);
+      break;
+    default:
+      DepartureProcess::handle_other(ctx, m);
+      break;
+  }
+}
+
+void FrameworkProcess::on_timeout(Context& ctx) {
+  distrust_leaving_anchor(ctx);
+  if (mode() == Mode::Leaving) {
+    leaving_timeout(ctx);
+    return;
+  }
+  staying_timeout(ctx);      // purge leaving refs + periodic self-introduction
+  framework_timeout(ctx);    // verify resends, give-up, completions
+  WrappedCtx octx(this, &ctx);
+  overlay_->maintain(octx);  // P-timeout structural work
+}
+
+// ---------------------------------------------------------------------------
+// PlainOverlayHost
+// ---------------------------------------------------------------------------
+
+class PlainOverlayHost::DirectCtx final : public OverlayCtx {
+ public:
+  DirectCtx(PlainOverlayHost* host, Context* ctx) : host_(host), ctx_(ctx) {}
+  [[nodiscard]] Ref self() const override { return host_->self(); }
+  [[nodiscard]] std::uint64_t self_key() const override {
+    return host_->key();
+  }
+  void send_overlay(Ref dest, std::uint32_t tag,
+                    std::vector<RefInfo> refs) override {
+    ctx_->send(dest, Message{Verb::Overlay, tag, 0, std::move(refs)});
+  }
+
+ private:
+  PlainOverlayHost* host_;
+  Context* ctx_;
+};
+
+PlainOverlayHost::PlainOverlayHost(Ref self, Mode mode, std::uint64_t key,
+                                   std::unique_ptr<OverlayProtocol> overlay)
+    : Process(self, mode, key), overlay_(std::move(overlay)) {
+  FDP_CHECK(overlay_ != nullptr);
+  overlay_->bind(self, key);
+  name_ = std::string("plain[") + overlay_->name() + "]";
+}
+
+const char* PlainOverlayHost::protocol_name() const { return name_.c_str(); }
+
+void PlainOverlayHost::on_timeout(Context& ctx) {
+  DirectCtx octx(this, &ctx);
+  // Periodic self-introduction required of every P ∈ 𝒫.
+  for (const RefInfo& r : overlay_->introduction_targets()) {
+    ctx.send(r.ref, Message{Verb::Overlay, kTagDeliverRef, 0, {self_info()}});
+  }
+  overlay_->maintain(octx);
+}
+
+void PlainOverlayHost::on_message(Context& ctx, const Message& m) {
+  DirectCtx octx(this, &ctx);
+  if (m.verb == Verb::Overlay) {
+    overlay_->on_overlay_message(octx, m.tag, m.refs);
+  } else {
+    // Present/forward/user messages: conservatively integrate every
+    // carried reference (the plain host has no departure layer).
+    for (const RefInfo& r : m.refs)
+      if (r.ref != self()) overlay_->integrate(r);
+  }
+}
+
+void PlainOverlayHost::collect_refs(std::vector<RefInfo>& out) const {
+  for (const RefInfo& r : overlay_->stored()) out.push_back(r);
+}
+
+}  // namespace fdp

@@ -1,0 +1,155 @@
+// The Section-4 framework: P -> P'.
+//
+// Given any overlay maintenance protocol P ∈ 𝒫 (decomposable into the four
+// primitives, with periodic self-introduction and a postprocess action),
+// the framework produces P′ which additionally solves the FDP (Theorem 4):
+//
+//  * Every P-send v <- label(parameters) is intercepted by `preprocess`:
+//    the message is parked in the process's message list `mlist`, a
+//    verify(u) message is sent to v and to every process reference in
+//    parameters, and the send only happens once every one of them answered
+//    with a process(x) message reporting mode staying. Unanswered verifies
+//    are re-sent in timeout.
+//  * If any of them reports leaving, the local `postprocess` action runs
+//    instead: leaving references are expelled through the departure
+//    protocol's forward machinery and staying references are reintegrated
+//    into P.
+//  * A leaving process stops executing P: an incoming P message only makes
+//    it send present messages to all carried references (so they learn to
+//    drop it); its whole P state (overlay links, parked messages) is
+//    flushed through forward-to-self, exactly like u.N in Algorithm 1.
+//  * Everything else — anchors, present/forward, the SINGLE-guarded exit,
+//    the FSP sleep variant — is inherited unchanged from DepartureProcess;
+//    the framework only overrides where references are *stored* (P's
+//    structured storage instead of the flat u.N), which is precisely the
+//    modification the paper describes for staying-to-staying references.
+//
+// Engineering completion (the paper omits the framework's pseudocode "due
+// to space constraints"): a parked message whose verify is never answered
+// — possible only when the target exited while we held its reference, i.e.
+// we were its single neighbor — would wait forever. After `give_up_age`
+// timeouts the unverified references are pessimistically treated as
+// leaving and the entry is postprocessed. Mislabeling a slow stayer is
+// harmless: the expelled reference bounces back through the departure
+// protocol and is reintegrated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/departure_process.hpp"
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp {
+
+/// Implemented by every process that hosts an OverlayProtocol (the wrapped
+/// FrameworkProcess and the bare PlainOverlayHost); lets topology checkers
+/// read the overlay's structural links without knowing the host type.
+class OverlayHost {
+ public:
+  virtual ~OverlayHost() = default;
+  [[nodiscard]] virtual const OverlayProtocol& hosted_overlay() const = 0;
+};
+
+struct FrameworkConfig {
+  /// Re-send outstanding verify messages every this many timeouts.
+  std::uint32_t resend_every = 4;
+  /// After this many timeouts, unverified references in a parked message
+  /// are treated as leaving and the message is postprocessed.
+  std::uint32_t give_up_age = 64;
+};
+
+struct FrameworkStats {
+  std::uint64_t verifies_sent = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t dispatched = 0;      ///< parked messages eventually sent
+  std::uint64_t postprocessed = 0;   ///< parked messages diverted
+  std::uint64_t gave_up = 0;         ///< entries aged out
+};
+
+class FrameworkProcess : public DepartureProcess, public OverlayHost {
+ public:
+  FrameworkProcess(Ref self, Mode mode, std::uint64_t key,
+                   std::unique_ptr<OverlayProtocol> overlay,
+                   DeparturePolicy policy = DeparturePolicy::ExitWithOracle,
+                   FrameworkConfig cfg = {});
+
+  void on_timeout(Context& ctx) override;
+  void collect_refs(std::vector<RefInfo>& out) const override;
+  [[nodiscard]] const char* protocol_name() const override;
+
+  [[nodiscard]] const OverlayProtocol& hosted_overlay() const override {
+    return *overlay_;
+  }
+  [[nodiscard]] OverlayProtocol& overlay_mut() { return *overlay_; }
+  [[nodiscard]] const FrameworkStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t mlist_size() const { return mlist_.size(); }
+
+ protected:
+  // DepartureProcess storage hooks: reference storage is P's.
+  void store_ref(Context& ctx, const RefInfo& v) override;
+  void expel_ref(Ref r) override;
+  [[nodiscard]] std::vector<RefInfo> stored_neighbors() const override;
+  std::vector<RefInfo> take_all_refs() override;
+  [[nodiscard]] bool storage_empty() const override;
+  [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
+
+  void handle_other(Context& ctx, const Message& m) override;
+
+ private:
+  struct Pending {
+    Ref dest;
+    ModeInfo dest_mode = ModeInfo::Unknown;
+    std::uint32_t tag = 0;
+    std::vector<RefInfo> refs;  // modes Unknown until verified
+    std::uint32_t age = 0;      // in timeouts
+  };
+
+  /// OverlayCtx implementation routing P-sends through preprocess.
+  class WrappedCtx;
+
+  void preprocess(Context& ctx, Ref dest, std::uint32_t tag,
+                  std::vector<RefInfo> refs);
+  void send_verify(Context& ctx, Ref target);
+  void on_verify(Context& ctx, const Message& m);
+  void on_process_reply(Context& ctx, const Message& m);
+  void on_overlay_msg(Context& ctx, const Message& m);
+  void framework_timeout(Context& ctx);
+  /// Dispatch or postprocess every fully verified entry.
+  void try_complete(Context& ctx);
+  void postprocess(Context& ctx, Pending entry);
+
+  std::unique_ptr<OverlayProtocol> overlay_;
+  std::vector<Pending> mlist_;
+  FrameworkConfig cfg_;
+  FrameworkStats stats_;
+  std::string name_;
+};
+
+/// Bare host for running an overlay P *without* the framework: direct
+/// sends, no verification, no departure handling. Used for overlay unit
+/// tests and as the E6 overhead baseline (all-staying populations).
+class PlainOverlayHost final : public Process, public OverlayHost {
+ public:
+  PlainOverlayHost(Ref self, Mode mode, std::uint64_t key,
+                   std::unique_ptr<OverlayProtocol> overlay);
+
+  void on_timeout(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+  void collect_refs(std::vector<RefInfo>& out) const override;
+  [[nodiscard]] const char* protocol_name() const override;
+
+  [[nodiscard]] const OverlayProtocol& hosted_overlay() const override {
+    return *overlay_;
+  }
+  [[nodiscard]] OverlayProtocol& overlay_mut() { return *overlay_; }
+
+ private:
+  class DirectCtx;
+  std::unique_ptr<OverlayProtocol> overlay_;
+  std::string name_;
+};
+
+}  // namespace fdp

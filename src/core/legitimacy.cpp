@@ -1,0 +1,94 @@
+#include "core/legitimacy.hpp"
+
+#include "sim/world.hpp"
+
+namespace fdp {
+
+LegitimacyChecker::LegitimacyChecker(const World& w, Exclusion excl)
+    : excl_(excl) {
+  const Snapshot s = take_snapshot(w);
+  initial_ = weak_components(s.graph());
+}
+
+bool LegitimacyChecker::groups_connected(
+    const Snapshot& s, const std::vector<bool>& paths,
+    const std::vector<bool>& endpoints) const {
+  // Endpoints that shared an initial component must be in one weak
+  // component of the subgraph induced on `paths`.
+  const Components now =
+      weak_components_induced(s.graph_induced(paths), paths);
+  std::vector<NodeId> seen(initial_.count, kNoComponent);
+  for (ProcessId p = 0; p < s.size(); ++p) {
+    if (!endpoints[p] || !paths[p]) continue;
+    const NodeId init = initial_.label[p];
+    if (init == kNoComponent) continue;
+    if (seen[init] == kNoComponent) {
+      seen[init] = now.label[p];
+    } else if (seen[init] != now.label[p]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LegitimacyChecker::Verdict LegitimacyChecker::check(const World& w) const {
+  Verdict v;
+  const Snapshot s = take_snapshot(w);
+
+  v.staying_awake = true;
+  for (ProcessId p = 0; p < s.size(); ++p) {
+    if (s.mode[p] == Mode::Staying && s.life[p] != LifeState::Awake) {
+      v.staying_awake = false;
+      v.detail = "staying process " + std::to_string(p) + " is " +
+                 to_string(s.life[p]);
+      break;
+    }
+  }
+
+  v.leaving_excluded = true;
+  std::vector<bool> hib;  // computed lazily (it is the expensive part)
+  for (ProcessId p = 0; p < s.size(); ++p) {
+    if (s.mode[p] != Mode::Leaving) continue;
+    const bool gone = s.life[p] == LifeState::Gone;
+    bool ok = false;
+    switch (excl_) {
+      case Exclusion::Gone:
+        ok = gone;
+        break;
+      case Exclusion::Hibernating:
+        if (hib.empty()) hib = s.hibernating();
+        ok = hib[p];
+        break;
+      case Exclusion::Either:
+        if (!gone && hib.empty()) hib = s.hibernating();
+        ok = gone || (!hib.empty() && hib[p]);
+        break;
+    }
+    if (!ok) {
+      v.leaving_excluded = false;
+      if (v.detail.empty())
+        v.detail = "leaving process " + std::to_string(p) + " not excluded";
+      break;
+    }
+  }
+
+  std::vector<bool> staying(s.size());
+  for (ProcessId p = 0; p < s.size(); ++p)
+    staying[p] = s.mode[p] == Mode::Staying;
+  v.components_preserved = groups_connected(s, staying, staying);
+  if (!v.components_preserved && v.detail.empty())
+    v.detail = "staying processes of an initial component are disconnected";
+
+  return v;
+}
+
+bool LegitimacyChecker::safety_holds(const World& w) const {
+  const Snapshot s = take_snapshot(w);
+  const std::vector<bool> rel = s.relevant();
+  std::vector<bool> staying_rel(s.size());
+  for (ProcessId p = 0; p < s.size(); ++p)
+    staying_rel[p] = rel[p] && s.mode[p] == Mode::Staying;
+  return groups_connected(s, rel, staying_rel);
+}
+
+}  // namespace fdp

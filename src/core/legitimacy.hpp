@@ -1,0 +1,89 @@
+// Legitimate states (paper Section 1.2).
+//
+// A system state is legitimate iff
+//   (i)   every staying process is awake,
+//   (ii)  every leaving process is excluded — gone (FDP) or hibernating
+//         (FSP),
+//   (iii) for each weakly connected component of the *initial* process
+//         graph, the staying processes of that component still form a
+//         weakly connected component.
+//
+// For (iii) we check the strong form: the staying processes of an initial
+// component are weakly connected in PG induced on staying processes alone —
+// their connectivity does not borrow paths through leaving processes. In
+// the FDP this coincides with the natural reading (gone processes have no
+// live edges); in the FSP it is the robust interpretation (a hibernating
+// process never acts, so a path through it could never be used to route).
+//
+// The checker also provides the running safety invariant of Lemma 2:
+// STAYING processes that started in one component stay weakly connected in
+// PG induced on relevant processes (paths may route through relevant
+// leaving processes). Note the endpoints are staying processes only: with
+// invalid initial knowledge two mutually-anchored leaving processes can
+// legitimately strand each other (each adopts the other as anchor, one
+// exits under SINGLE, the survivor's anchor dangles) — the model checker
+// reproduces this — and the paper's conditions never promise more than
+// connectivity among the stayers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/process_graph.hpp"
+
+namespace fdp {
+
+class World;
+
+/// Which exclusion the problem variant demands for leaving processes.
+enum class Exclusion : std::uint8_t {
+  Gone,         ///< FDP: exit was executed
+  Hibernating,  ///< FSP: asleep forever
+  Either,       ///< accepted by both (used by mixed experiments)
+};
+
+class LegitimacyChecker {
+ public:
+  /// Captures the component structure of the world's *current* (initial)
+  /// process graph.
+  explicit LegitimacyChecker(const World& w, Exclusion excl);
+
+  struct Verdict {
+    bool staying_awake = false;       ///< condition (i)
+    bool leaving_excluded = false;    ///< condition (ii)
+    bool components_preserved = false;///< condition (iii)
+    [[nodiscard]] bool legitimate() const {
+      return staying_awake && leaving_excluded && components_preserved;
+    }
+    std::string detail;  ///< first violated condition, for diagnostics
+  };
+
+  [[nodiscard]] Verdict check(const World& w) const;
+  [[nodiscard]] bool legitimate(const World& w) const {
+    return check(w).legitimate();
+  }
+
+  /// Lemma 2's running safety invariant: initially-connected STAYING
+  /// processes remain weakly connected via relevant processes (see the
+  /// file comment for why the endpoints are restricted to stayers).
+  [[nodiscard]] bool safety_holds(const World& w) const;
+
+  /// Initial component label per process.
+  [[nodiscard]] const Components& initial_components() const {
+    return initial_;
+  }
+
+ private:
+  /// Are all `endpoints` of one initial component in one weak component
+  /// of PG induced on `paths`? (endpoints must be a subset of paths.)
+  [[nodiscard]] bool groups_connected(
+      const Snapshot& s, const std::vector<bool>& paths,
+      const std::vector<bool>& endpoints) const;
+
+  Exclusion excl_;
+  Components initial_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,70 @@
+#include "core/oracle.hpp"
+
+#include <cstdlib>
+#include <map>
+
+#include "graph/process_graph.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+OracleFn make_single_oracle() {
+  return [](const World& w, ProcessId p) {
+    const Snapshot s = take_snapshot(w);
+    return s.incident_relevant(p) <= 1;
+  };
+}
+
+OracleFn make_nidec_oracle() {
+  return [](const World& w, ProcessId p) {
+    const Snapshot s = take_snapshot(w);
+    return !s.referenced_anywhere(p) && w.channel(p).empty();
+  };
+}
+
+OracleFn make_always_oracle(bool value) {
+  return [value](const World&, ProcessId) { return value; };
+}
+
+OracleFn make_quiet_oracle(std::uint32_t consecutive_calls) {
+  // Stateful: per-process count of consecutive consultations that saw an
+  // empty channel. Captured by shared_ptr so the OracleFn stays copyable.
+  auto quiet = std::make_shared<std::map<ProcessId, std::uint32_t>>();
+  return [quiet, consecutive_calls](const World& w, ProcessId p) {
+    std::uint32_t& count = (*quiet)[p];
+    if (w.channel(p).empty()) {
+      ++count;
+    } else {
+      count = 0;
+    }
+    return count >= consecutive_calls;
+  };
+}
+
+OracleFn make_incident_oracle(std::size_t k) {
+  return [k](const World& w, ProcessId p) {
+    const Snapshot s = take_snapshot(w);
+    return s.incident_relevant(p) <= k;
+  };
+}
+
+OracleFn oracle_by_name(const std::string& name) {
+  if (name == "single") return make_single_oracle();
+  if (name.rfind("incident:", 0) == 0) {
+    const long k = std::strtol(name.c_str() + 9, nullptr, 10);
+    FDP_CHECK_MSG(k >= 0, "incident:<k> needs k >= 0");
+    return make_incident_oracle(static_cast<std::size_t>(k));
+  }
+  if (name == "nidec") return make_nidec_oracle();
+  if (name == "always-true") return make_always_oracle(true);
+  if (name == "always-false") return make_always_oracle(false);
+  if (name.rfind("quiet:", 0) == 0) {
+    const long k = std::strtol(name.c_str() + 6, nullptr, 10);
+    FDP_CHECK_MSG(k > 0, "quiet:<k> needs k > 0");
+    return make_quiet_oracle(static_cast<std::uint32_t>(k));
+  }
+  FDP_CHECK_MSG(false, "unknown oracle name");
+  return {};
+}
+
+}  // namespace fdp

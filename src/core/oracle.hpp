@@ -1,0 +1,49 @@
+// Oracles (paper Section 1.3).
+//
+// An oracle is a predicate O : PG x P -> {true,false} over the process
+// graph of relevant processes and the calling process. Foreback et al.
+// proved that the FDP cannot be solved without one; the paper's protocol
+// relies on SINGLE, chosen because it is "easily implementable via
+// timeouts in practice".
+//
+// This module provides:
+//  - SINGLE       (the paper's oracle): true for u iff u has edges with at
+//                 most one other relevant process.
+//  - NIDEC        (Foreback et al. [15], used by the baseline): true for u
+//                 iff no reference to u exists anywhere in the system and
+//                 u's channel is empty.
+//  - ALWAYS(b)    constant oracles, for ablation: ALWAYS(true) is unsafe
+//                 (premature exits can disconnect), ALWAYS(false) removes
+//                 liveness (nobody ever exits).
+//  - QUIET(k)     the practical timeout heuristic the paper alludes to:
+//                 true for u iff u's channel has been observed empty for k
+//                 consecutive oracle consultations. Unlike SINGLE this is
+//                 not exact — the ablation experiment quantifies the risk.
+//  - INCIDENT(k)  the natural generalization of SINGLE: true for u iff u
+//                 has edges with at most k other relevant processes.
+//                 INCIDENT(1) == SINGLE. INCIDENT(0) is safe but stricter
+//                 (it can deadlock: two leaving processes that only know
+//                 each other never reach degree 0); INCIDENT(k>=2) is
+//                 UNSAFE — u may be the only path between two neighbors.
+//                 The ablation experiment shows k = 1 is the unique safe
+//                 and live choice, which is why the paper picked it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/world.hpp"
+
+namespace fdp {
+
+[[nodiscard]] OracleFn make_single_oracle();
+[[nodiscard]] OracleFn make_nidec_oracle();
+[[nodiscard]] OracleFn make_always_oracle(bool value);
+[[nodiscard]] OracleFn make_quiet_oracle(std::uint32_t consecutive_calls);
+[[nodiscard]] OracleFn make_incident_oracle(std::size_t k);
+
+/// Name-indexed factory for experiment sweeps: "single", "nidec",
+/// "always-true", "always-false", "quiet:<k>", "incident:<k>".
+[[nodiscard]] OracleFn oracle_by_name(const std::string& name);
+
+}  // namespace fdp

@@ -1,0 +1,29 @@
+#include "core/potential.hpp"
+
+#include "sim/world.hpp"
+
+namespace fdp {
+
+PotentialBreakdown potential(const Snapshot& s) {
+  PotentialBreakdown out;
+  auto account = [&](const RefInfo& r, std::uint64_t& invalid_bucket) {
+    const ProcessId target = r.ref.id();
+    if (target >= s.size()) return;
+    if (r.mode == ModeInfo::Unknown) {
+      ++out.unknown;
+      return;
+    }
+    if (!matches(r.mode, s.mode[target])) ++invalid_bucket;
+  };
+
+  for (ProcessId p = 0; p < s.size(); ++p) {
+    if (s.life[p] == LifeState::Gone) continue;
+    for (const RefInfo& r : s.stored[p]) account(r, out.invalid_stored);
+    for (const RefInfo& r : s.in_flight[p]) account(r, out.invalid_in_flight);
+  }
+  return out;
+}
+
+std::uint64_t phi(const World& w) { return potential(take_snapshot(w)).phi(); }
+
+}  // namespace fdp

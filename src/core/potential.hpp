@@ -1,0 +1,43 @@
+// The invalid-information potential Φ (paper, proof sketch of Lemma 3).
+//
+// Φ_t = number of edges (x,y) — explicit or implicit — such that the mode
+// knowledge attached to x's reference instance of y differs from y's true
+// mode. The liveness proof rests on Φ never increasing (invalid information
+// is never duplicated: the only places a third-party reference is forwarded
+// are Algorithm 3 lines 8/16, where the sender does not keep the copy) and
+// eventually reaching zero.
+//
+// Reference instances with ModeInfo::Unknown are *unverified*, not invalid
+// (they exist only inside the Section-4 framework's message list before the
+// verify/process round trip completes) and are counted separately.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/process_graph.hpp"
+
+namespace fdp {
+
+struct PotentialBreakdown {
+  /// Invalid instances stored in local memories of non-gone processes.
+  std::uint64_t invalid_stored = 0;
+  /// Invalid instances in flight (channels of non-gone processes).
+  std::uint64_t invalid_in_flight = 0;
+  /// Unverified (Unknown) instances — framework bookkeeping, not in Φ.
+  std::uint64_t unknown = 0;
+
+  [[nodiscard]] std::uint64_t phi() const {
+    return invalid_stored + invalid_in_flight;
+  }
+};
+
+/// Compute Φ (with breakdown) for a snapshot. References held by or in the
+/// channels of gone processes are dead — they can never propagate — and are
+/// excluded, as are references to out-of-system targets.
+[[nodiscard]] PotentialBreakdown potential(const Snapshot& s);
+
+/// Convenience: Φ of a world.
+class World;
+[[nodiscard]] std::uint64_t phi(const World& w);
+
+}  // namespace fdp

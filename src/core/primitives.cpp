@@ -1,0 +1,107 @@
+#include "core/primitives.hpp"
+
+#include <map>
+
+#include "sim/world.hpp"
+
+namespace fdp {
+
+namespace {
+
+struct RefFlow {
+  std::uint64_t stored_before = 0;
+  std::uint64_t consumed = 0;  // copies in the delivered message
+  std::uint64_t stored_after = 0;
+  std::uint64_t sent = 0;          // copies in sent messages
+  bool self_sent_to = false;       // u's own ref was sent TO this process
+};
+
+}  // namespace
+
+bool audit_action(const ActionRecord& rec, PrimitiveCounts& counts,
+                  std::vector<std::string>& violations) {
+  const ProcessId self = rec.actor;
+  std::map<ProcessId, RefFlow> flow;
+
+  for (const RefInfo& r : rec.refs_before) ++flow[r.ref.id()].stored_before;
+  if (rec.consumed) {
+    for (const RefInfo& r : rec.consumed->refs) ++flow[r.ref.id()].consumed;
+  }
+  for (const RefInfo& r : rec.refs_after) ++flow[r.ref.id()].stored_after;
+  for (const auto& [to, msg] : rec.sent) {
+    for (const RefInfo& r : msg.refs) {
+      ++flow[r.ref.id()].sent;
+      if (r.ref.id() == self) flow[to.id()].self_sent_to = true;
+    }
+  }
+
+  bool ok = true;
+  for (const auto& [id, f] : flow) {
+    if (id == self) continue;  // self references are free to mint or drop
+    const std::uint64_t before = f.stored_before + f.consumed;
+    const std::uint64_t after = f.stored_after + f.sent;
+    if (before == 0 && after > 0) {
+      // A reference was fabricated — impossible for copy-store-send.
+      violations.push_back("process " + std::to_string(self) +
+                           " fabricated a reference to " + std::to_string(id));
+      ok = false;
+      continue;
+    }
+    if (before > 0 && after == 0) {
+      if (rec.exited) continue;  // exit destroys references (oracle-guarded)
+      if (!f.self_sent_to) {
+        violations.push_back("process " + std::to_string(self) +
+                             " destroyed the last reference to " +
+                             std::to_string(id) +
+                             " without reversal (step " +
+                             std::to_string(rec.step) + ")");
+        ok = false;
+        continue;
+      }
+      // Reversal: ref to id dropped, own ref sent to id.
+      ++counts.reversals;
+      continue;
+    }
+    if (before == 0) continue;  // untouched id bucket
+
+    // Classification of conserving movements (statistics only):
+    //  - copies that left a sent message or storage but survive: fusion
+    //    when total decreased, otherwise introduction/delegation by
+    //    whether storage kept a copy.
+    if (after < before) counts.fusions += before - after;
+    if (f.sent > 0) {
+      if (f.stored_after > 0) {
+        counts.introductions += f.sent;
+      } else {
+        ++counts.delegations;
+        if (f.sent > 1) counts.introductions += f.sent - 1;
+      }
+    }
+  }
+
+  // Self-introductions: own reference sent while (trivially) keeping self.
+  auto self_it = flow.find(self);
+  if (self_it != flow.end() && self_it->second.sent > 0) {
+    // Sent copies that were classified as reversals already are not
+    // double-counted here: a reversal consumed a ref to the destination.
+    counts.introductions += self_it->second.sent;
+  }
+
+  return ok;
+}
+
+void PrimitiveAuditor::on_action(const World& world, const ActionRecord& rec) {
+  (void)world;
+  ++actions_;
+  if (rec.exited) ++exits_;
+  (void)audit_action(rec, counts_, violations_);
+}
+
+void PrimitiveAuditor::reset() {
+  counts_ = {};
+  violations_.clear();
+  actions_ = 0;
+  exits_ = 0;
+}
+
+}  // namespace fdp

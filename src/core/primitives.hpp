@@ -1,0 +1,104 @@
+// The four primitives (paper Section 2) and the per-action audit.
+//
+// Introduction: u holds refs to v and w; u sends w's ref to v and KEEPS it.
+// Delegation:   u holds refs to v and w; u sends w's ref to v and DELETES it.
+// Fusion:       u holds two copies of the same ref; it keeps only one.
+// Reversal:     u holds a ref to v; u sends its OWN ref to v and deletes
+//               the ref to v.
+//
+// Lemma 1: each primitive preserves weak connectivity. The auditor below
+// turns that into a machine-checkable *local conservation law* over every
+// executed action A of a process u:
+//
+//   For every reference r (r != u) known to u before A (stored in local
+//   memory or carried by the consumed message), after A either
+//     (a) at least one copy of r survives (still stored, or inside a sent
+//         message — including messages u sent to itself), or
+//     (b) u sent its own reference TO r during A (Reversal: the edge (u,r)
+//         is replaced by the implicit edge (r,u)).
+//   Furthermore u never fabricates references: every reference appearing
+//   after A either appeared before A or is u's own.
+//
+// An action satisfying this law is decomposable into the four primitives
+// (plus free self-reference handling), and therefore preserves weak
+// connectivity; an action violating it may disconnect the graph. The only
+// exception is `exit`, which destroys u's references wholesale and is
+// guarded by the oracle — the auditor records exits separately so tests can
+// pair them with the connectivity monitor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace fdp {
+
+enum class Primitive : std::uint8_t {
+  Introduction,
+  Delegation,
+  Fusion,
+  Reversal,
+};
+
+[[nodiscard]] constexpr const char* to_string(Primitive p) {
+  switch (p) {
+    case Primitive::Introduction: return "introduction";
+    case Primitive::Delegation: return "delegation";
+    case Primitive::Fusion: return "fusion";
+    case Primitive::Reversal: return "reversal";
+  }
+  return "?";
+}
+
+/// Counts of primitive applications classified from an action's effect.
+struct PrimitiveCounts {
+  std::uint64_t introductions = 0;
+  std::uint64_t delegations = 0;
+  std::uint64_t fusions = 0;
+  std::uint64_t reversals = 0;
+
+  PrimitiveCounts& operator+=(const PrimitiveCounts& o) {
+    introductions += o.introductions;
+    delegations += o.delegations;
+    fusions += o.fusions;
+    reversals += o.reversals;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    return introductions + delegations + fusions + reversals;
+  }
+};
+
+/// Classify one action's reference movements. Returns false (and appends a
+/// description to `violations`) if the conservation law is broken.
+/// `counts` accumulates the primitive classification.
+[[nodiscard]] bool audit_action(const ActionRecord& rec,
+                                PrimitiveCounts& counts,
+                                std::vector<std::string>& violations);
+
+/// Observer that audits every executed action. Attach to a World; after a
+/// run, `ok()` reports whether every action obeyed the law.
+class PrimitiveAuditor final : public Observer {
+ public:
+  void on_action(const World& world, const ActionRecord& rec) override;
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] const PrimitiveCounts& counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t actions_checked() const { return actions_; }
+  [[nodiscard]] std::uint64_t exits_seen() const { return exits_; }
+
+  void reset();
+
+ private:
+  PrimitiveCounts counts_;
+  std::vector<std::string> violations_;
+  std::uint64_t actions_ = 0;
+  std::uint64_t exits_ = 0;
+};
+
+}  // namespace fdp

@@ -1,0 +1,122 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), components_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
+}
+
+NodeId UnionFind::find(NodeId x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --components_;
+  return true;
+}
+
+Components weak_components(const DiGraph& g) {
+  std::vector<bool> all(g.node_count(), true);
+  return weak_components_induced(g, all);
+}
+
+Components weak_components_induced(const DiGraph& g,
+                                   const std::vector<bool>& include) {
+  FDP_CHECK(include.size() == g.node_count());
+  UnionFind uf(g.node_count());
+  for (const auto& [u, v] : g.simple_edges())
+    if (include[u] && include[v]) uf.unite(u, v);
+
+  Components comps;
+  comps.label.assign(g.node_count(), kNoComponent);
+  std::vector<NodeId> remap(g.node_count(), kNoComponent);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!include[v]) continue;
+    const NodeId root = uf.find(v);
+    if (remap[root] == kNoComponent)
+      remap[root] = static_cast<NodeId>(comps.count++);
+    comps.label[v] = remap[root];
+  }
+  return comps;
+}
+
+bool is_weakly_connected(const DiGraph& g) {
+  return weak_components(g).count <= 1;
+}
+
+bool is_weakly_connected_induced(const DiGraph& g,
+                                 const std::vector<bool>& include) {
+  return weak_components_induced(g, include).count <= 1;
+}
+
+std::vector<bool> reachable_from(const DiGraph& g, NodeId src) {
+  std::vector<bool> seen(g.node_count(), false);
+  if (src >= g.node_count()) return seen;
+  std::deque<NodeId> queue{src};
+  seen[src] = true;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.out_neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool is_strongly_connected(const DiGraph& g) {
+  if (g.node_count() <= 1) return true;
+  // Forward reachability from node 0 plus reachability in the reverse
+  // graph is equivalent to strong connectivity.
+  std::vector<bool> fwd = reachable_from(g, 0);
+  if (std::find(fwd.begin(), fwd.end(), false) != fwd.end()) return false;
+  DiGraph rev(g.node_count());
+  for (const auto& [u, v] : g.simple_edges()) rev.add_edge(v, u);
+  std::vector<bool> bwd = reachable_from(rev, 0);
+  return std::find(bwd.begin(), bwd.end(), false) == bwd.end();
+}
+
+std::vector<NodeId> shortest_path(const DiGraph& g, NodeId src, NodeId dst) {
+  if (src >= g.node_count() || dst >= g.node_count()) return {};
+  std::vector<NodeId> prev(g.node_count(), kNoComponent);
+  std::deque<NodeId> queue{src};
+  prev[src] = src;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    for (NodeId v : g.out_neighbors(u)) {
+      if (prev[v] == kNoComponent) {
+        prev[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (prev[dst] == kNoComponent) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != src; v = prev[v]) path.push_back(v);
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace fdp

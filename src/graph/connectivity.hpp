@@ -1,0 +1,68 @@
+// Connectivity queries over DiGraph.
+//
+// Weak connectivity (connectivity of the underlying undirected graph) is
+// the safety currency of the whole paper: the four primitives preserve it
+// (Lemma 1) and the departure protocol must never break it among relevant
+// processes (Lemma 2). Strong reachability is needed for Corollary 1 and
+// for the shortest-path routing in the constructive proof of Theorem 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace fdp {
+
+/// Disjoint-set forest with union by size and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  NodeId find(NodeId x);
+  /// Returns true if the two sets were distinct (a merge happened).
+  bool unite(NodeId a, NodeId b);
+  [[nodiscard]] std::size_t component_count() const { return components_; }
+  [[nodiscard]] bool same(NodeId a, NodeId b) { return find(a) == find(b); }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+/// Component label per node (labels are dense in [0, count)).
+struct Components {
+  std::vector<NodeId> label;
+  std::size_t count = 0;
+};
+
+/// Weakly connected components of the whole graph.
+[[nodiscard]] Components weak_components(const DiGraph& g);
+
+/// Weakly connected components of the subgraph induced by nodes with
+/// include[v] == true. Excluded nodes get label kNoComponent.
+inline constexpr NodeId kNoComponent = ~NodeId{0};
+[[nodiscard]] Components weak_components_induced(
+    const DiGraph& g, const std::vector<bool>& include);
+
+/// True when the graph (all nodes) is weakly connected. A graph with zero
+/// or one node counts as connected.
+[[nodiscard]] bool is_weakly_connected(const DiGraph& g);
+
+/// True when the induced subgraph on `include` is weakly connected.
+[[nodiscard]] bool is_weakly_connected_induced(const DiGraph& g,
+                                               const std::vector<bool>& include);
+
+/// Directed reachability set from `src`.
+[[nodiscard]] std::vector<bool> reachable_from(const DiGraph& g, NodeId src);
+
+/// True when every node can reach every other node via directed edges.
+[[nodiscard]] bool is_strongly_connected(const DiGraph& g);
+
+/// Shortest directed path src -> dst (inclusive of both endpoints) by BFS;
+/// empty when unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_path(const DiGraph& g, NodeId src,
+                                                NodeId dst);
+
+}  // namespace fdp

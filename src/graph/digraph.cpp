@@ -1,0 +1,101 @@
+#include "graph/digraph.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+void DiGraph::add_edge(NodeId u, NodeId v, std::uint64_t count) {
+  FDP_CHECK(u < n_ && v < n_);
+  if (count == 0) return;
+  mult_[{u, v}] += count;
+  total_ += count;
+}
+
+bool DiGraph::remove_edge(NodeId u, NodeId v) {
+  auto it = mult_.find({u, v});
+  if (it == mult_.end()) return false;
+  if (--it->second == 0) mult_.erase(it);
+  --total_;
+  return true;
+}
+
+std::uint64_t DiGraph::multiplicity(NodeId u, NodeId v) const {
+  auto it = mult_.find({u, v});
+  return it == mult_.end() ? 0 : it->second;
+}
+
+std::vector<NodeId> DiGraph::out_neighbors(NodeId u) const {
+  std::vector<NodeId> out;
+  auto it = mult_.lower_bound({u, 0});
+  for (; it != mult_.end() && it->first.first == u; ++it)
+    out.push_back(it->first.second);
+  return out;
+}
+
+std::vector<Edge> DiGraph::simple_edges() const {
+  std::vector<Edge> out;
+  out.reserve(mult_.size());
+  for (const auto& [e, c] : mult_) {
+    (void)c;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Edge> DiGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(total_);
+  for (const auto& [e, c] : mult_)
+    for (std::uint64_t i = 0; i < c; ++i) out.push_back(e);
+  return out;
+}
+
+bool DiGraph::same_support(const DiGraph& other) const {
+  if (n_ != other.n_) return false;
+  if (mult_.size() != other.mult_.size()) return false;
+  auto a = mult_.begin();
+  auto b = other.mult_.begin();
+  for (; a != mult_.end(); ++a, ++b)
+    if (a->first != b->first) return false;
+  return true;
+}
+
+DiGraph DiGraph::bidirected() const {
+  DiGraph g(n_);
+  for (const auto& [e, c] : mult_) {
+    (void)c;
+    if (!g.has_edge(e.first, e.second)) g.add_edge(e.first, e.second);
+    if (!g.has_edge(e.second, e.first)) g.add_edge(e.second, e.first);
+  }
+  return g;
+}
+
+DiGraph DiGraph::support_union(const DiGraph& other) const {
+  FDP_CHECK(n_ == other.n_);
+  DiGraph g(n_);
+  for (const auto& [e, c] : mult_) {
+    (void)c;
+    g.add_edge(e.first, e.second);
+  }
+  for (const auto& [e, c] : other.mult_) {
+    (void)c;
+    if (!g.has_edge(e.first, e.second)) g.add_edge(e.first, e.second);
+  }
+  return g;
+}
+
+std::uint64_t DiGraph::strip_self_loops() {
+  std::uint64_t removed = 0;
+  for (auto it = mult_.begin(); it != mult_.end();) {
+    if (it->first.first == it->first.second) {
+      removed += it->second;
+      total_ -= it->second;
+      it = mult_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace fdp

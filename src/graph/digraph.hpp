@@ -1,0 +1,86 @@
+// Directed multigraph.
+//
+// The process graph PG of the paper is a directed *multi*-graph: a process
+// can hold several copies of the same reference (one in a variable, more in
+// in-flight messages), and the Fusion primitive exists precisely to merge
+// such duplicates. DiGraph therefore tracks edge multiplicities exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace fdp {
+
+using NodeId = std::uint32_t;
+using Edge = std::pair<NodeId, NodeId>;
+
+class DiGraph {
+ public:
+  explicit DiGraph(std::size_t n = 0) : n_(n) {}
+
+  [[nodiscard]] std::size_t node_count() const { return n_; }
+
+  /// Grow the node set (never shrinks).
+  void ensure_nodes(std::size_t n) {
+    if (n > n_) n_ = n;
+  }
+
+  void add_edge(NodeId u, NodeId v, std::uint64_t count = 1);
+
+  /// Remove one copy of (u,v); returns false if the edge is absent.
+  bool remove_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] std::uint64_t multiplicity(NodeId u, NodeId v) const;
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return multiplicity(u, v) > 0;
+  }
+
+  /// Total number of edges counting multiplicity.
+  [[nodiscard]] std::uint64_t edge_count() const { return total_; }
+  /// Number of distinct (u,v) pairs with at least one edge.
+  [[nodiscard]] std::uint64_t simple_edge_count() const {
+    return mult_.size();
+  }
+
+  /// Distinct out-neighbors of u.
+  [[nodiscard]] std::vector<NodeId> out_neighbors(NodeId u) const;
+
+  /// All distinct directed edges (no multiplicity).
+  [[nodiscard]] std::vector<Edge> simple_edges() const;
+
+  /// All edges with multiplicity expanded.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// True if the two graphs have the same *support* (distinct edge sets),
+  /// ignoring multiplicities.
+  [[nodiscard]] bool same_support(const DiGraph& other) const;
+
+  /// Exact equality including multiplicities.
+  friend bool operator==(const DiGraph& a, const DiGraph& b) {
+    return a.n_ == b.n_ && a.mult_ == b.mult_;
+  }
+
+  /// The bidirected extension: for every edge (u,v) both (u,v) and (v,u),
+  /// each with multiplicity 1 (paper, proof of Theorem 1: G'').
+  [[nodiscard]] DiGraph bidirected() const;
+
+  /// Union of supports of this and other (multiplicity 1 each).
+  [[nodiscard]] DiGraph support_union(const DiGraph& other) const;
+
+  /// Drop self-loops; returns number removed (counting multiplicity).
+  std::uint64_t strip_self_loops();
+
+  void clear() {
+    mult_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t n_;
+  std::map<Edge, std::uint64_t> mult_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fdp

@@ -1,0 +1,60 @@
+#include "graph/dot.hpp"
+
+#include "sim/world.hpp"
+
+namespace fdp {
+
+namespace {
+
+const char* node_style(Mode m, LifeState l) {
+  if (l == LifeState::Gone) return "style=dashed,color=gray";
+  if (l == LifeState::Asleep) {
+    return "style=\"filled,dashed\",fillcolor=lightblue";
+  }
+  return m == Mode::Leaving ? "style=filled,fillcolor=lightsalmon"
+                            : "style=solid";
+}
+
+void emit_edge(std::string& out, ProcessId from, const RefInfo& r,
+               const Snapshot& s, bool implicit, const DotOptions& opt) {
+  const ProcessId to = r.ref.id();
+  if (to >= s.size() || to == from) return;
+  out += "  n" + std::to_string(from) + " -> n" + std::to_string(to) + " [";
+  if (implicit) out += "style=dashed,";
+  const bool invalid = r.mode != ModeInfo::Unknown &&
+                       !matches(r.mode, s.mode[to]);
+  if (opt.highlight_invalid && invalid) out += "color=red,penwidth=2,";
+  out += "arrowsize=0.6];\n";
+}
+
+}  // namespace
+
+std::string to_dot(const Snapshot& s, const std::string& name,
+                   const DotOptions& opt) {
+  std::string out = "digraph " + name + " {\n";
+  out += "  rankdir=LR;\n  node [shape=ellipse,fontsize=10];\n";
+  for (ProcessId p = 0; p < s.size(); ++p) {
+    out += "  n" + std::to_string(p) + " [label=\"" + std::to_string(p);
+    if (opt.show_keys) out += "\\nk=" + std::to_string(s.key[p]);
+    if (s.mode[p] == Mode::Leaving) out += " (leaving)";
+    out += "\"," + std::string(node_style(s.mode[p], s.life[p])) + "];\n";
+  }
+  for (ProcessId p = 0; p < s.size(); ++p) {
+    if (s.life[p] == LifeState::Gone) continue;
+    for (const RefInfo& r : s.stored[p])
+      emit_edge(out, p, r, s, /*implicit=*/false, opt);
+    if (opt.implicit_edges) {
+      for (const RefInfo& r : s.in_flight[p])
+        emit_edge(out, p, r, s, /*implicit=*/true, opt);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string world_to_dot(const World& w, const std::string& name,
+                         const DotOptions& opt) {
+  return to_dot(take_snapshot(w), name, opt);
+}
+
+}  // namespace fdp

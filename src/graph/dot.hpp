@@ -1,0 +1,36 @@
+// Graphviz export of process-graph snapshots.
+//
+// Renders a Snapshot as a DOT digraph for debugging and documentation:
+// staying processes are solid ellipses, leaving ones are shaded, gone ones
+// dashed gray; explicit edges are solid, implicit (in-flight) edges are
+// dashed; invalid mode knowledge is highlighted in red. Pipe the output
+// through `dot -Tsvg` to visualize a run state.
+#pragma once
+
+#include <string>
+
+#include "graph/process_graph.hpp"
+
+namespace fdp {
+
+struct DotOptions {
+  /// Include implicit (in-flight) edges.
+  bool implicit_edges = true;
+  /// Color edges whose attached mode knowledge is wrong.
+  bool highlight_invalid = true;
+  /// Label nodes with their keys as well as their ids.
+  bool show_keys = false;
+};
+
+/// Render the snapshot as a DOT digraph named `name`.
+[[nodiscard]] std::string to_dot(const Snapshot& s,
+                                 const std::string& name = "PG",
+                                 const DotOptions& opt = {});
+
+/// Convenience: snapshot a world and render it.
+class World;
+[[nodiscard]] std::string world_to_dot(const World& w,
+                                       const std::string& name = "PG",
+                                       const DotOptions& opt = {});
+
+}  // namespace fdp

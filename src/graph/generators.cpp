@@ -1,0 +1,102 @@
+#include "graph/generators.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace fdp::gen {
+
+namespace {
+void both(DiGraph& g, NodeId a, NodeId b) {
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+}
+}  // namespace
+
+DiGraph line(std::size_t n) {
+  DiGraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) both(g, i, i + 1);
+  return g;
+}
+
+DiGraph ring(std::size_t n) {
+  DiGraph g = line(n);
+  if (n > 2) both(g, static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+DiGraph star(std::size_t n) {
+  DiGraph g(n);
+  for (NodeId i = 1; i < n; ++i) both(g, 0, i);
+  return g;
+}
+
+DiGraph clique(std::size_t n) {
+  DiGraph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = 0; j < n; ++j)
+      if (i != j) g.add_edge(i, j);
+  return g;
+}
+
+DiGraph binary_tree(std::size_t n) {
+  DiGraph g(n);
+  for (NodeId i = 1; i < n; ++i) both(g, i, (i - 1) / 2);
+  return g;
+}
+
+DiGraph random_tree(std::size_t n, Rng& rng) {
+  DiGraph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.below(i));
+    both(g, i, parent);
+  }
+  return g;
+}
+
+DiGraph gnp_connected(std::size_t n, double p, Rng& rng) {
+  DiGraph g = random_tree(n, rng);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = static_cast<NodeId>(i + 1); j < n; ++j)
+      if (rng.chance(p) && !g.has_edge(i, j)) both(g, i, j);
+  return g;
+}
+
+DiGraph random_weakly_connected(std::size_t n, std::size_t extra_arcs,
+                                double p_bidir, Rng& rng) {
+  DiGraph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.below(i));
+    if (rng.chance(p_bidir)) {
+      both(g, i, parent);
+    } else if (rng.chance(0.5)) {
+      g.add_edge(i, parent);
+    } else {
+      g.add_edge(parent, i);
+    }
+  }
+  for (std::size_t k = 0; k < extra_arcs && n > 1; ++k) {
+    const NodeId a = static_cast<NodeId>(rng.below(n));
+    NodeId b = static_cast<NodeId>(rng.below(n - 1));
+    if (b >= a) ++b;
+    if (!g.has_edge(a, b)) g.add_edge(a, b);
+  }
+  return g;
+}
+
+DiGraph sorted_list(std::size_t n) { return line(n); }
+
+DiGraph by_name(const char* name, std::size_t n, Rng& rng) {
+  if (!std::strcmp(name, "line")) return line(n);
+  if (!std::strcmp(name, "ring")) return ring(n);
+  if (!std::strcmp(name, "star")) return star(n);
+  if (!std::strcmp(name, "clique")) return clique(n);
+  if (!std::strcmp(name, "tree")) return random_tree(n, rng);
+  if (!std::strcmp(name, "gnp")) return gnp_connected(n, 3.0 / static_cast<double>(n ? n : 1), rng);
+  if (!std::strcmp(name, "wild"))
+    return random_weakly_connected(n, n / 2, 0.3, rng);
+  FDP_CHECK_MSG(false, "unknown topology name");
+  return DiGraph(0);
+}
+
+}  // namespace fdp::gen

@@ -1,0 +1,59 @@
+// Topology generators.
+//
+// These produce the *shapes* on which all experiments run: deterministic
+// families (line, ring, star, clique, binary tree) and random families
+// (uniform spanning trees, connected Erdős–Rényi, random weakly connected
+// digraphs). All random generators take an Rng so runs are reproducible.
+//
+// All generators return DiGraphs; helpers convert them into World initial
+// states (see analysis/scenario.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace fdp::gen {
+
+/// 0-1-2-...-(n-1), each undirected edge as two arcs.
+[[nodiscard]] DiGraph line(std::size_t n);
+
+/// line plus the closing edge (n-1)-0.
+[[nodiscard]] DiGraph ring(std::size_t n);
+
+/// node 0 is the hub; arcs both ways between hub and leaves.
+[[nodiscard]] DiGraph star(std::size_t n);
+
+/// complete digraph (both arcs between every pair).
+[[nodiscard]] DiGraph clique(std::size_t n);
+
+/// complete binary tree rooted at 0, arcs both ways.
+[[nodiscard]] DiGraph binary_tree(std::size_t n);
+
+/// Uniform-attachment random tree (each node i>0 attaches to a uniformly
+/// random earlier node), arcs both ways. Always connected.
+[[nodiscard]] DiGraph random_tree(std::size_t n, Rng& rng);
+
+/// Erdős–Rényi G(n,p) on the undirected skeleton (each undirected pair with
+/// probability p, both arcs), then forced connected by overlaying a random
+/// tree. Expected degree ≈ p·(n-1) + 2.
+[[nodiscard]] DiGraph gnp_connected(std::size_t n, double p, Rng& rng);
+
+/// A random *weakly* connected digraph: a random tree with each tree edge
+/// given a random orientation (or both, with probability `p_bidir`), plus
+/// `extra_arcs` uniformly random additional arcs. This is the "arbitrary
+/// weakly connected graph" family used for universality experiments.
+[[nodiscard]] DiGraph random_weakly_connected(std::size_t n,
+                                              std::size_t extra_arcs,
+                                              double p_bidir, Rng& rng);
+
+/// Sorted doubly linked list by node id (the home topology of the
+/// Foreback et al. baseline).
+[[nodiscard]] DiGraph sorted_list(std::size_t n);
+
+/// Name-indexed lookup used by experiment sweeps: one of
+/// "line", "ring", "star", "clique", "tree", "gnp", "wild".
+[[nodiscard]] DiGraph by_name(const char* name, std::size_t n, Rng& rng);
+
+}  // namespace fdp::gen

@@ -1,0 +1,135 @@
+#include "graph/process_graph.hpp"
+
+#include <deque>
+
+#include "sim/world.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+DiGraph Snapshot::graph() const {
+  std::vector<bool> all(size(), true);
+  return graph_induced(all);
+}
+
+DiGraph Snapshot::graph_induced(const std::vector<bool>& include) const {
+  FDP_CHECK(include.size() == size());
+  DiGraph g(size());
+  for (ProcessId p = 0; p < size(); ++p) {
+    if (!include[p]) continue;
+    for (const RefInfo& r : stored[p]) {
+      const ProcessId q = r.ref.id();
+      if (q != p && q < size() && include[q]) g.add_edge(p, q);
+    }
+    for (const RefInfo& r : in_flight[p]) {
+      const ProcessId q = r.ref.id();
+      if (q != p && q < size() && include[q]) g.add_edge(p, q);
+    }
+  }
+  return g;
+}
+
+std::vector<bool> Snapshot::hibernating() const {
+  std::vector<bool> hib(size(), false);
+  // A process is "quiet" when it could not initiate anything: asleep with
+  // an empty channel. Gone processes are inert and ignored entirely.
+  std::vector<bool> quiet(size(), false);
+  std::vector<bool> active(size(), false);  // non-gone and not quiet
+  for (ProcessId p = 0; p < size(); ++p) {
+    if (life[p] == LifeState::Gone) continue;
+    quiet[p] = life[p] == LifeState::Asleep && channel_size[p] == 0;
+    active[p] = !quiet[p];
+  }
+  // p is hibernating iff p is quiet and no active non-gone q reaches p.
+  // Compute forward reachability from all active nodes simultaneously over
+  // edges among non-gone processes.
+  std::vector<bool> include(size(), false);
+  for (ProcessId p = 0; p < size(); ++p)
+    include[p] = life[p] != LifeState::Gone;
+  const DiGraph g = graph_induced(include);
+  std::vector<bool> tainted(size(), false);
+  std::deque<ProcessId> queue;
+  for (ProcessId p = 0; p < size(); ++p) {
+    if (include[p] && active[p]) {
+      tainted[p] = true;
+      queue.push_back(p);
+    }
+  }
+  while (!queue.empty()) {
+    const ProcessId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.out_neighbors(u)) {
+      if (!tainted[v]) {
+        tainted[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (ProcessId p = 0; p < size(); ++p)
+    hib[p] = quiet[p] && !tainted[p];
+  return hib;
+}
+
+std::vector<bool> Snapshot::relevant() const {
+  std::vector<bool> rel(size(), true);
+  const std::vector<bool> hib = hibernating();
+  for (ProcessId p = 0; p < size(); ++p)
+    rel[p] = life[p] != LifeState::Gone && !hib[p];
+  return rel;
+}
+
+std::size_t Snapshot::incident_relevant(ProcessId p) const {
+  const std::vector<bool> rel = relevant();
+  const DiGraph g = graph_induced(rel);
+  if (p >= size() || !rel[p]) return 0;
+  std::vector<bool> seen(size(), false);
+  std::size_t count = 0;
+  for (NodeId v : g.out_neighbors(p)) {
+    if (v != p && !seen[v]) {
+      seen[v] = true;
+      ++count;
+    }
+  }
+  for (const auto& [u, v] : g.simple_edges()) {
+    if (v == p && u != p && !seen[u]) {
+      seen[u] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool Snapshot::referenced_anywhere(ProcessId p) const {
+  for (ProcessId q = 0; q < size(); ++q) {
+    if (q == p || life[q] == LifeState::Gone) continue;
+    for (const RefInfo& r : stored[q])
+      if (r.ref.id() == p) return true;
+    for (const RefInfo& r : in_flight[q])
+      if (r.ref.id() == p) return true;
+  }
+  return false;
+}
+
+Snapshot take_snapshot(const World& w) {
+  Snapshot s;
+  const std::size_t n = w.size();
+  s.mode.resize(n);
+  s.life.resize(n);
+  s.key.resize(n);
+  s.stored.resize(n);
+  s.in_flight.resize(n);
+  s.channel_size.resize(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    const Process& proc = w.process(p);
+    s.mode[p] = proc.mode();
+    s.life[p] = proc.life();
+    s.key[p] = proc.key();
+    proc.collect_refs(s.stored[p]);
+    s.channel_size[p] = w.channel(p).size();
+    for (const Message& m : w.channel(p).messages())
+      for (const RefInfo& r : m.refs) s.in_flight[p].push_back(r);
+  }
+  return s;
+}
+
+}  // namespace fdp

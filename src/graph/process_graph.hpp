@@ -1,0 +1,68 @@
+// Process-graph snapshots.
+//
+// The paper (Section 1.1): "there is a (directed) edge from a to b if
+// process a stores a reference of b in its local memory [explicit edge] or
+// has a message in a.Ch carrying the reference of b [implicit edge]."
+//
+// A Snapshot captures that graph plus everything oracles and checkers need:
+// modes, life states, and — crucially for the potential function Φ — every
+// reference *instance* with its attached mode knowledge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/ids.hpp"
+
+namespace fdp {
+
+class World;
+
+struct Snapshot {
+  std::vector<Mode> mode;
+  std::vector<LifeState> life;
+  std::vector<std::uint64_t> key;
+  /// Explicit reference instances: stored[p] = all refs p's local memory
+  /// holds (from Process::collect_refs).
+  std::vector<std::vector<RefInfo>> stored;
+  /// Implicit reference instances: in_flight[p] = all refs carried by
+  /// messages currently in p.Ch.
+  std::vector<std::vector<RefInfo>> in_flight;
+  std::vector<std::size_t> channel_size;
+
+  [[nodiscard]] std::size_t size() const { return mode.size(); }
+
+  /// PG over all processes: every explicit and implicit reference instance
+  /// contributes one edge (multigraph). Self-loops are kept out (they are
+  /// meaningless for connectivity and the kernel never stores them, but a
+  /// message may carry a process its own reference).
+  [[nodiscard]] DiGraph graph() const;
+
+  /// PG restricted to processes with include[p] == true; only edges with
+  /// both endpoints included appear.
+  [[nodiscard]] DiGraph graph_induced(const std::vector<bool>& include) const;
+
+  /// Hibernation per the paper: p is hibernating iff p is asleep, p.Ch is
+  /// empty, and every non-gone q with a directed path to p in PG is also
+  /// asleep with an empty channel. (Gone processes are inert — they can
+  /// never send — so they are excluded from the ancestor condition.)
+  [[nodiscard]] std::vector<bool> hibernating() const;
+
+  /// Relevant per the paper: neither gone nor hibernating.
+  [[nodiscard]] std::vector<bool> relevant() const;
+
+  /// Number of *distinct other* relevant processes v such that PG (over
+  /// relevant processes) has an edge (p,v) or (v,p). This is exactly what
+  /// the SINGLE oracle inspects.
+  [[nodiscard]] std::size_t incident_relevant(ProcessId p) const;
+
+  /// True if any reference to p exists anywhere (stored or in flight) in a
+  /// non-gone process — the NIDEC-style oracle of Foreback et al. [15].
+  [[nodiscard]] bool referenced_anywhere(ProcessId p) const;
+};
+
+/// Capture the current system state of a world.
+[[nodiscard]] Snapshot take_snapshot(const World& w);
+
+}  // namespace fdp

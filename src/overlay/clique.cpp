@@ -1,0 +1,17 @@
+#include "overlay/clique.hpp"
+
+namespace fdp {
+
+void CliqueOverlay::maintain(OverlayCtx& ctx) {
+  const std::vector<RefInfo> all = stored();
+  // Introduce every neighbor to every other neighbor (all ordered pairs;
+  // the host's self-introduction covers the self case).
+  for (const RefInfo& v : all) {
+    for (const RefInfo& w : all) {
+      if (v.ref == w.ref) continue;
+      introduce(ctx, v.ref, w);
+    }
+  }
+}
+
+}  // namespace fdp

@@ -1,0 +1,26 @@
+// Transitive-closure clique building.
+//
+// The simplest self-stabilizing overlay (Berns et al., "Building
+// self-stabilizing overlay networks with the transitive closure
+// framework"): every process continuously introduces all of its neighbors
+// to each other. The legitimate topology is the clique. The paper's proof
+// of Theorem 1 uses exactly this process for its first phase and claims
+// O(log n) communication rounds to completion — "the distances between the
+// nodes are essentially cut in half in each round"; experiment E2 measures
+// that claim on this overlay.
+//
+// Pure Introduction (plus Fusion at the receivers): trivially in 𝒫, and
+// the only bundled overlay that never deletes a reference.
+#pragma once
+
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp {
+
+class CliqueOverlay final : public OverlayProtocol {
+ public:
+  [[nodiscard]] const char* name() const override { return "clique"; }
+  void maintain(OverlayCtx& ctx) override;
+};
+
+}  // namespace fdp

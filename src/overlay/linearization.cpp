@@ -1,0 +1,52 @@
+#include "overlay/linearization.hpp"
+
+#include <algorithm>
+
+namespace fdp {
+
+void Linearization::maintain(OverlayCtx& ctx) {
+  std::vector<RefInfo> all = stored();
+  std::sort(all.begin(), all.end(), [](const RefInfo& a, const RefInfo& b) {
+    return a.key < b.key;
+  });
+
+  std::vector<RefInfo> left;   // keys < mine, ascending
+  std::vector<RefInfo> right;  // keys > mine, ascending
+  for (const RefInfo& r : all) {
+    if (r.key < key()) {
+      left.push_back(r);
+    } else if (r.key > key()) {
+      right.push_back(r);
+    }
+    // Equal keys cannot occur (keys are unique); if a corrupted state ever
+    // produced one the reference simply stays put and the periodic
+    // self-introduction keeps the edge alive.
+  }
+
+  // Delegate farther-left references one hop toward their position: the
+  // closest left neighbor is kept, x_i (i < k) goes to x_{i+1}.
+  for (std::size_t i = 0; i + 1 < left.size(); ++i) {
+    delegate(ctx, left[i + 1].ref, left[i]);
+  }
+  // Mirror image on the right: keep y_1, y_j (j > 1) goes to y_{j-1}.
+  for (std::size_t j = right.size(); j > 1; --j) {
+    delegate(ctx, right[j - 2].ref, right[j - 1]);
+  }
+}
+
+std::vector<RefInfo> Linearization::introduction_targets() const {
+  RefInfo best_left, best_right;
+  for (const RefInfo& r : stored()) {
+    if (r.key < key()) {
+      if (!best_left.ref.valid() || r.key > best_left.key) best_left = r;
+    } else if (r.key > key()) {
+      if (!best_right.ref.valid() || r.key < best_right.key) best_right = r;
+    }
+  }
+  std::vector<RefInfo> out;
+  if (best_left.ref.valid()) out.push_back(best_left);
+  if (best_right.ref.valid()) out.push_back(best_right);
+  return out;
+}
+
+}  // namespace fdp

@@ -1,0 +1,33 @@
+// Self-stabilizing linearization (sorted doubly linked list).
+//
+// The classic topological self-stabilization target (Gall et al., "Time
+// complexity of distributed topological self-stabilization: the case of
+// graph linearization"; also the home topology of Foreback et al. [15]).
+// Every process has a unique key; the legitimate topology is the sorted
+// doubly linked list: each process keeps exactly its closest left and
+// closest right neighbor.
+//
+// Maintenance rule (pure Introduction/Delegation/Fusion — a member of 𝒫):
+// sort the stored references by key around the own key; keep the closest
+// on each side; delegate every farther left reference to the next-closer
+// left neighbor and every farther right reference to the next-closer right
+// neighbor. References strictly approach their sorted position, so from any
+// weakly connected initial state the sorted list emerges; the host's
+// periodic self-introduction makes links bidirectional.
+#pragma once
+
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp {
+
+class Linearization final : public OverlayProtocol {
+ public:
+  [[nodiscard]] const char* name() const override { return "linearization"; }
+  void maintain(OverlayCtx& ctx) override;
+  /// Self-introduce only to the kept list neighbors (closest left/right);
+  /// in-transit references must not receive introductions or the network
+  /// would churn forever.
+  [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
+};
+
+}  // namespace fdp

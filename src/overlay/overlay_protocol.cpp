@@ -1,0 +1,52 @@
+#include "overlay/overlay_protocol.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+OverlayProtocol::~OverlayProtocol() = default;
+
+void OverlayProtocol::bind(Ref self, std::uint64_t key) {
+  self_ = self;
+  key_ = key;
+  nbrs_.emplace(self);
+}
+
+NeighborSet& OverlayProtocol::store() {
+  FDP_CHECK_MSG(nbrs_.has_value(), "overlay used before bind()");
+  return *nbrs_;
+}
+
+const NeighborSet& OverlayProtocol::store() const {
+  FDP_CHECK_MSG(nbrs_.has_value(), "overlay used before bind()");
+  return *nbrs_;
+}
+
+void OverlayProtocol::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
+                                         const std::vector<RefInfo>& refs) {
+  (void)ctx;
+  (void)tag;
+  for (const RefInfo& r : refs) integrate(r);
+}
+
+void OverlayProtocol::integrate(const RefInfo& r) { store().insert(r); }
+
+bool OverlayProtocol::remove(Ref r) { return store().erase(r); }
+
+void OverlayProtocol::update_mode(Ref r, ModeInfo m) {
+  if (store().contains(r)) store().set_mode(r, m);
+}
+
+std::vector<RefInfo> OverlayProtocol::stored() const {
+  return store().snapshot();
+}
+
+std::vector<RefInfo> OverlayProtocol::take_all() {
+  std::vector<RefInfo> out = store().snapshot();
+  store().clear();
+  return out;
+}
+
+bool OverlayProtocol::empty() const { return store().empty(); }
+
+}  // namespace fdp

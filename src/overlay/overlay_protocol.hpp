@@ -1,0 +1,113 @@
+// Overlay maintenance protocols — the class 𝒫 of the paper.
+//
+// 𝒫 is the set of distributed protocols whose inter-process interactions
+// decompose into the four primitives of Section 2. The paper's Section 4
+// shows how to combine any P ∈ 𝒫 (with periodic self-introduction and a
+// postprocess action) with the departure protocol to obtain P′ that also
+// solves the FDP.
+//
+// An OverlayProtocol implements only P's *structure*: which references to
+// keep, which to delegate or introduce where. The host (FrameworkProcess
+// for the wrapped P′, PlainOverlayHost for bare P) provides:
+//   - the periodic self-introduction the framework requires of P,
+//   - message transport: send_overlay() routes through the framework's
+//     preprocess/verify machinery, or directly for the plain host,
+//   - storage bookkeeping for the process-graph snapshot.
+//
+// Overlay send discipline (this is how the primitive decomposition is
+// enforced at the API level):
+//   * introduce(dest, r): send r's reference keeping the stored copy
+//     (Introduction);
+//   * delegate(dest, r): remove the stored copy, then send (Delegation;
+//     the host conserves the copy inside its message list until the
+//     verified send happens).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/neighbor_set.hpp"
+
+namespace fdp {
+
+/// Message tag for the single structural action every bundled overlay
+/// needs: "store these references" (the receiver integrates them).
+inline constexpr std::uint32_t kTagDeliverRef = 1;
+
+/// Host interface handed to the overlay during its actions.
+class OverlayCtx {
+ public:
+  virtual ~OverlayCtx() = default;
+  [[nodiscard]] virtual Ref self() const = 0;
+  [[nodiscard]] virtual std::uint64_t self_key() const = 0;
+  /// Send an overlay message (tag + references) to dest. The reference
+  /// copies inside remain accounted for by the host.
+  virtual void send_overlay(Ref dest, std::uint32_t tag,
+                            std::vector<RefInfo> refs) = 0;
+};
+
+class OverlayProtocol {
+ public:
+  virtual ~OverlayProtocol();
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Called once by the host before any other method.
+  void bind(Ref self, std::uint64_t key);
+
+  /// P-timeout structural work (beyond the host-provided periodic
+  /// self-introduction): decide which stored references to keep, delegate
+  /// or introduce. Must decompose into the four primitives.
+  virtual void maintain(OverlayCtx& ctx) = 0;
+
+  /// A P action arrived. Default: kTagDeliverRef integrates every carried
+  /// reference; other tags are integrated too (conservative default that
+  /// never destroys references).
+  virtual void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
+                                  const std::vector<RefInfo>& refs);
+
+  // --- storage (default: one NeighborSet) ---
+
+  /// Store a reference (believed staying). Fuses duplicates.
+  virtual void integrate(const RefInfo& r);
+  /// Remove every stored copy of r; true when something was removed.
+  virtual bool remove(Ref r);
+  /// Update stored knowledge about r if stored.
+  virtual void update_mode(Ref r, ModeInfo m);
+  /// Every stored reference (host snapshots, self-introduction, purges).
+  [[nodiscard]] virtual std::vector<RefInfo> stored() const;
+  /// Remove and return everything (leaving flush).
+  virtual std::vector<RefInfo> take_all();
+  [[nodiscard]] virtual bool empty() const;
+
+  /// References the periodic self-introduction should target. Defaults to
+  /// everything stored.
+  [[nodiscard]] virtual std::vector<RefInfo> introduction_targets() const {
+    return stored();
+  }
+
+ protected:
+  /// Introduction: send keeping the copy.
+  void introduce(OverlayCtx& ctx, Ref dest, const RefInfo& r) {
+    ctx.send_overlay(dest, kTagDeliverRef, {r});
+  }
+  /// Delegation: remove the stored copy, then send.
+  void delegate(OverlayCtx& ctx, Ref dest, const RefInfo& r) {
+    remove(r.ref);
+    ctx.send_overlay(dest, kTagDeliverRef, {r});
+  }
+
+  [[nodiscard]] Ref self() const { return self_; }
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+  [[nodiscard]] NeighborSet& store();
+  [[nodiscard]] const NeighborSet& store() const;
+
+ private:
+  Ref self_;
+  std::uint64_t key_ = 0;
+  std::optional<NeighborSet> nbrs_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,166 @@
+#include "overlay/ring.hpp"
+
+#include <algorithm>
+
+namespace fdp {
+
+namespace {
+bool key_less(const RefInfo& a, const RefInfo& b) { return a.key < b.key; }
+}  // namespace
+
+void RingOverlay::maintain(OverlayCtx& ctx) {
+  // --- 1. list linearization over the base storage ---
+  std::vector<RefInfo> left;   // keys < mine, ascending
+  std::vector<RefInfo> right;  // keys > mine, ascending
+  for (const RefInfo& r : store().snapshot()) {
+    if (r.key < key()) left.push_back(r);
+    else if (r.key > key()) right.push_back(r);
+  }
+  std::sort(left.begin(), left.end(), key_less);
+  std::sort(right.begin(), right.end(), key_less);
+
+  for (std::size_t i = 0; i + 1 < left.size(); ++i)
+    delegate(ctx, left[i + 1].ref, left[i]);
+  for (std::size_t j = right.size(); j > 1; --j)
+    delegate(ctx, right[j - 2].ref, right[j - 1]);
+
+  // --- 2. wrap maintenance ---
+  const bool believed_min = left.empty();
+  const bool believed_max = right.empty();
+
+  // Evict a wrap reference that no longer belongs here: re-launch it as a
+  // wrap message toward its endpoint (conserves the copy).
+  if (wrap_) {
+    const bool holds_max_candidate = wrap_->key > key();
+    if ((holds_max_candidate && !believed_min) ||
+        (!holds_max_candidate && !believed_max)) {
+      const RefInfo evicted = *wrap_;
+      wrap_.reset();
+      handle_wrap(ctx, evicted);
+    }
+  }
+
+  // Endpoints launch their own reference toward the opposite endpoint.
+  // (Self-knowledge is free, so this is a self-introduction.) Periodic —
+  // the launch must repeat so stale wrap slots heal — but throttled.
+  if (++maintain_count_ % kWrapEvery != 0) return;
+  const RefInfo me{self(), ModeInfo::Unknown, key()};
+  if (believed_min && !right.empty()) {
+    ctx.send_overlay(right.back().ref, kTagWrap, {me});
+  }
+  if (believed_max && !left.empty()) {
+    ctx.send_overlay(left.front().ref, kTagWrap, {me});
+  }
+}
+
+void RingOverlay::handle_wrap(OverlayCtx& ctx, const RefInfo& r) {
+  if (r.ref == self() || r.key == key()) return;  // own ref: drop
+
+  std::vector<RefInfo> left;
+  std::vector<RefInfo> right;
+  for (const RefInfo& s : store().snapshot()) {
+    if (s.key < key()) left.push_back(s);
+    else if (s.key > key()) right.push_back(s);
+  }
+
+  if (r.key > key()) {
+    // Max candidate looking for the minimum: store here if we believe we
+    // are the minimum, else forward one hop leftward.
+    if (left.empty()) {
+      if (!wrap_ || wrap_->key < r.key) {
+        if (wrap_ && wrap_->ref != r.ref) {
+          // The displaced candidate goes back to regular storage (it is a
+          // right neighbor like any other).
+          store().insert(*wrap_);
+        }
+        wrap_ = r;
+      } else if (wrap_->ref != r.ref) {
+        store().insert(r);
+      }
+      return;
+    }
+    const Ref next = std::min_element(left.begin(), left.end(), key_less)->ref;
+    ctx.send_overlay(next, kTagWrap, {r});
+    return;
+  }
+  // Min candidate looking for the maximum: mirror image.
+  if (right.empty()) {
+    if (!wrap_ || wrap_->key > r.key) {
+      if (wrap_ && wrap_->ref != r.ref) store().insert(*wrap_);
+      wrap_ = r;
+    } else if (wrap_->ref != r.ref) {
+      store().insert(r);
+    }
+    return;
+  }
+  const Ref next = std::max_element(right.begin(), right.end(), key_less)->ref;
+  ctx.send_overlay(next, kTagWrap, {r});
+}
+
+void RingOverlay::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
+                                     const std::vector<RefInfo>& refs) {
+  if (tag == kTagWrap) {
+    for (const RefInfo& r : refs) handle_wrap(ctx, r);
+    return;
+  }
+  OverlayProtocol::on_overlay_message(ctx, tag, refs);
+}
+
+void RingOverlay::integrate(const RefInfo& r) {
+  if (wrap_ && wrap_->ref == r.ref) {
+    wrap_->mode = r.mode;  // fuse into the wrap slot
+    return;
+  }
+  OverlayProtocol::integrate(r);
+}
+
+bool RingOverlay::remove(Ref r) {
+  bool removed = OverlayProtocol::remove(r);
+  if (wrap_ && wrap_->ref == r) {
+    wrap_.reset();
+    removed = true;
+  }
+  return removed;
+}
+
+void RingOverlay::update_mode(Ref r, ModeInfo m) {
+  OverlayProtocol::update_mode(r, m);
+  if (wrap_ && wrap_->ref == r) wrap_->mode = m;
+}
+
+std::vector<RefInfo> RingOverlay::introduction_targets() const {
+  RefInfo best_left, best_right;
+  for (const RefInfo& r : store().snapshot()) {
+    if (r.key < key()) {
+      if (!best_left.ref.valid() || r.key > best_left.key) best_left = r;
+    } else if (r.key > key()) {
+      if (!best_right.ref.valid() || r.key < best_right.key) best_right = r;
+    }
+  }
+  std::vector<RefInfo> out;
+  if (best_left.ref.valid()) out.push_back(best_left);
+  if (best_right.ref.valid()) out.push_back(best_right);
+  if (wrap_) out.push_back(*wrap_);
+  return out;
+}
+
+std::vector<RefInfo> RingOverlay::stored() const {
+  std::vector<RefInfo> out = OverlayProtocol::stored();
+  if (wrap_) out.push_back(*wrap_);
+  return out;
+}
+
+std::vector<RefInfo> RingOverlay::take_all() {
+  std::vector<RefInfo> out = OverlayProtocol::take_all();
+  if (wrap_) {
+    out.push_back(*wrap_);
+    wrap_.reset();
+  }
+  return out;
+}
+
+bool RingOverlay::empty() const {
+  return OverlayProtocol::empty() && !wrap_;
+}
+
+}  // namespace fdp

@@ -1,0 +1,71 @@
+// Self-stabilizing sorted ring (simplified Re-Chord construction).
+//
+// The legitimate topology is the bidirected cycle in key order: the sorted
+// doubly linked list plus the two wrap edges between the minimum and the
+// maximum.
+//
+// A purely "circular distance" rule is NOT self-stabilizing: a wrongly
+// ordered but symmetric cycle (e.g. key order 0-2-1-3) is locally
+// indistinguishable from the target and becomes a stuck state. Following
+// the Re-Chord idea (Kniesburges, Koutsopoulos, Scheideler, SPAA'11,
+// reference [22] of the paper), we therefore maintain the *list* with the
+// standard linearization rule — which provably untangles any weakly
+// connected state — and close the ring with explicitly routed wrap
+// references:
+//
+//  * A process with no left neighbor (believed minimum) launches its own
+//    reference as a wrap message routed rightward; one with no right
+//    neighbor (believed maximum) launches one leftward.
+//  * A wrap reference r received by u is stored in u's wrap slot when u is
+//    the endpoint on r's far side, and forwarded one hop toward that
+//    endpoint otherwise (keys strictly progress, so routing terminates).
+//  * A wrap slot that turns out wrong (a better endpoint candidate became
+//    known) is re-launched as a wrap message — never dropped, so the
+//    reference conservation law holds.
+//
+// All traffic is Introduction/Delegation/Fusion — a member of 𝒫.
+#pragma once
+
+#include <optional>
+
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp {
+
+/// Overlay message tag for wrap references in transit.
+inline constexpr std::uint32_t kTagWrap = 2;
+
+class RingOverlay final : public OverlayProtocol {
+ public:
+  [[nodiscard]] const char* name() const override { return "ring"; }
+
+  void maintain(OverlayCtx& ctx) override;
+  void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
+                          const std::vector<RefInfo>& refs) override;
+  /// Kept neighbors only: closest left, closest right and the wrap slot.
+  [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
+
+  // Storage: the base NeighborSet plus the wrap slot.
+  void integrate(const RefInfo& r) override;
+  bool remove(Ref r) override;
+  void update_mode(Ref r, ModeInfo m) override;
+  [[nodiscard]] std::vector<RefInfo> stored() const override;
+  std::vector<RefInfo> take_all() override;
+  [[nodiscard]] bool empty() const override;
+
+ private:
+  /// Route or store one wrap reference (see file comment).
+  void handle_wrap(OverlayCtx& ctx, const RefInfo& r);
+
+  /// The wrap slot: for the minimum it holds the maximum candidate (the
+  /// largest key seen), for the maximum the minimum candidate.
+  std::optional<RefInfo> wrap_;
+  /// Wrap launches are periodic (self-stabilization needs the refresh)
+  /// but throttled: every kWrapEvery-th maintain() call. Under the
+  /// framework each launch costs a full verify round per hop, so pacing
+  /// them keeps the wrapped overhead sane.
+  static constexpr std::uint32_t kWrapEvery = 4;
+  std::uint32_t maintain_count_ = 0;
+};
+
+}  // namespace fdp

@@ -1,0 +1,217 @@
+#include "overlay/skiplist.hpp"
+
+#include <algorithm>
+
+namespace fdp {
+
+void SkipListOverlay::maintain(OverlayCtx& ctx) {
+  // --- slot hygiene: evict anything that cannot be a level-1 neighbor
+  // (wrong side, short, or equal key — possible only in corrupted
+  // states); evicted references rejoin the level-0 flow. ---
+  auto sanitize = [&](std::optional<RefInfo>& slot, bool is_left) {
+    if (!slot) return;
+    const bool ok = slot->ref != self() && skip_is_tall(slot->key) &&
+                    (is_left ? slot->key < key() : slot->key > key());
+    if (!ok || !skip_is_tall(key())) {
+      if (slot->ref != self()) store().insert(*slot);
+      slot.reset();
+    }
+  };
+  sanitize(l1_left_, true);
+  sanitize(l1_right_, false);
+
+  // --- level 0: linearization. The chain includes the slot references
+  // as waypoints (they are level-0 neighbors too), but only base-storage
+  // references are ever delegated; the closest one per side is kept. ---
+  struct Item {
+    RefInfo ref;
+    bool slot;
+  };
+  std::vector<Item> left, right;
+  for (const RefInfo& r : store().snapshot()) {
+    if (r.key < key()) left.push_back({r, false});
+    else if (r.key > key()) right.push_back({r, false});
+  }
+  if (l1_left_) left.push_back({*l1_left_, true});
+  if (l1_right_) right.push_back({*l1_right_, true});
+  auto item_less = [](const Item& a, const Item& b) {
+    return a.ref.key < b.ref.key;
+  };
+  std::sort(left.begin(), left.end(), item_less);
+  std::sort(right.begin(), right.end(), item_less);
+  for (std::size_t i = 0; i + 1 < left.size(); ++i) {
+    if (!left[i].slot) delegate(ctx, left[i + 1].ref.ref, left[i].ref);
+  }
+  for (std::size_t j = right.size(); j > 1; --j) {
+    if (!right[j - 1].slot)
+      delegate(ctx, right[j - 2].ref.ref, right[j - 1].ref);
+  }
+
+  // --- level 1: periodic routed launches (tall processes only) ---
+  if (!skip_is_tall(key())) return;
+  if (++maintain_count_ % kLaunchEvery != 0) return;
+  const RefInfo me{self(), ModeInfo::Unknown, key()};
+  if (!left.empty())
+    ctx.send_overlay(left.back().ref.ref, kTagTallLeft, {me});
+  if (!right.empty())
+    ctx.send_overlay(right.front().ref.ref, kTagTallRight, {me});
+}
+
+void SkipListOverlay::slot_candidate(std::optional<RefInfo>& slot,
+                                     const RefInfo& r) {
+  if (slot && slot->ref == r.ref) {
+    slot->mode = r.mode;  // fusion
+    return;
+  }
+  const bool closer_left = slot && r.key < key() && r.key > slot->key;
+  const bool closer_right = slot && r.key > key() && r.key < slot->key;
+  if (!slot || closer_left || closer_right) {
+    if (slot) store().insert(*slot);  // displaced: rejoin level 0
+    slot = r;
+  } else {
+    store().insert(r);  // farther than the current candidate
+  }
+}
+
+void SkipListOverlay::handle_transit(OverlayCtx& ctx, const RefInfo& r,
+                                     bool leftward) {
+  if (r.ref == self() || r.key == key()) return;  // own ref: drop
+  if (skip_is_tall(key())) {
+    // First tall process on the travel path: level-1 neighbor candidate.
+    // The travel direction tells us which side the origin lies on.
+    // Additionally heal the level-0 span: if we know a process strictly
+    // BETWEEN us and the candidate, it needs to meet the candidate (we
+    // will keep the candidate in a slot, so nothing else would ever
+    // deliver that knowledge). Introduce (copy) the candidate to the
+    // in-between process closest to it; at convergence that process is
+    // the candidate's own level-0 neighbor and the copy just fuses.
+    RefInfo between;
+    for (const RefInfo& s : store().snapshot()) {
+      const bool in_span = r.key > key() ? (s.key > key() && s.key < r.key)
+                                         : (s.key < key() && s.key > r.key);
+      if (!in_span) continue;
+      const bool closer_to_r =
+          r.key > key() ? (!between.ref.valid() || s.key > between.key)
+                        : (!between.ref.valid() || s.key < between.key);
+      if (closer_to_r) between = s;
+    }
+    if (between.ref.valid()) {
+      ctx.send_overlay(between.ref, kTagDeliverRef, {r});
+    }
+    if (leftward && r.key > key()) {
+      slot_candidate(l1_right_, r);
+    } else if (!leftward && r.key < key()) {
+      slot_candidate(l1_left_, r);
+    } else {
+      store().insert(r);  // inconsistent direction: plain level-0 info
+    }
+    return;
+  }
+  // Short: forward onward without storing.
+  RefInfo next;
+  for (const RefInfo& s : store().snapshot()) {
+    if (leftward && s.key < key()) {
+      if (!next.ref.valid() || s.key > next.key) next = s;
+    } else if (!leftward && s.key > key()) {
+      if (!next.ref.valid() || s.key < next.key) next = s;
+    }
+  }
+  if (next.ref.valid()) {
+    ctx.send_overlay(next.ref, leftward ? kTagTallLeft : kTagTallRight, {r});
+  } else {
+    // Dead end: return the reference to its owner, who discards its own
+    // reference for free.
+    ctx.send_overlay(r.ref, kTagDeliverRef, {r});
+  }
+}
+
+void SkipListOverlay::integrate(const RefInfo& r) {
+  // Tall-to-tall references belong in the level-1 slots: a level-1
+  // neighbor's periodic self-introduction must not pollute the level-0
+  // flow (slot_candidate pushes farther candidates into level 0 itself).
+  if (r.ref != self() && skip_is_tall(key()) && skip_is_tall(r.key) &&
+      r.key != key()) {
+    slot_candidate(r.key < key() ? l1_left_ : l1_right_, r);
+    return;
+  }
+  OverlayProtocol::integrate(r);
+}
+
+void SkipListOverlay::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
+                                         const std::vector<RefInfo>& refs) {
+  if (tag == kTagTallLeft || tag == kTagTallRight) {
+    for (const RefInfo& r : refs) handle_transit(ctx, r, tag == kTagTallLeft);
+    return;
+  }
+  OverlayProtocol::on_overlay_message(ctx, tag, refs);
+}
+
+std::vector<RefInfo> SkipListOverlay::introduction_targets() const {
+  // Kept set: closest level-0 neighbor per side (the slot reference may
+  // be exactly that) plus the level-1 slots.
+  RefInfo l0_left, l0_right;
+  for (const RefInfo& r : stored()) {  // base storage AND slots
+    if (r.key < key()) {
+      if (!l0_left.ref.valid() || r.key > l0_left.key) l0_left = r;
+    } else if (r.key > key()) {
+      if (!l0_right.ref.valid() || r.key < l0_right.key) l0_right = r;
+    }
+  }
+  std::vector<RefInfo> out;
+  auto add = [&out](const RefInfo& r) {
+    if (!r.ref.valid()) return;
+    for (const RefInfo& x : out)
+      if (x.ref == r.ref) return;
+    out.push_back(r);
+  };
+  add(l0_left);
+  add(l0_right);
+  if (l1_left_) add(*l1_left_);
+  if (l1_right_) add(*l1_right_);
+  return out;
+}
+
+bool SkipListOverlay::remove(Ref r) {
+  bool removed = OverlayProtocol::remove(r);
+  if (l1_left_ && l1_left_->ref == r) {
+    l1_left_.reset();
+    removed = true;
+  }
+  if (l1_right_ && l1_right_->ref == r) {
+    l1_right_.reset();
+    removed = true;
+  }
+  return removed;
+}
+
+void SkipListOverlay::update_mode(Ref r, ModeInfo m) {
+  OverlayProtocol::update_mode(r, m);
+  if (l1_left_ && l1_left_->ref == r) l1_left_->mode = m;
+  if (l1_right_ && l1_right_->ref == r) l1_right_->mode = m;
+}
+
+std::vector<RefInfo> SkipListOverlay::stored() const {
+  std::vector<RefInfo> out = OverlayProtocol::stored();
+  if (l1_left_) out.push_back(*l1_left_);
+  if (l1_right_) out.push_back(*l1_right_);
+  return out;
+}
+
+std::vector<RefInfo> SkipListOverlay::take_all() {
+  std::vector<RefInfo> out = OverlayProtocol::take_all();
+  if (l1_left_) {
+    out.push_back(*l1_left_);
+    l1_left_.reset();
+  }
+  if (l1_right_) {
+    out.push_back(*l1_right_);
+    l1_right_.reset();
+  }
+  return out;
+}
+
+bool SkipListOverlay::empty() const {
+  return OverlayProtocol::empty() && !l1_left_ && !l1_right_;
+}
+
+}  // namespace fdp

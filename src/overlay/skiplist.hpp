@@ -1,0 +1,75 @@
+// Self-stabilizing two-level skip list (in the spirit of Corona / skip
+// graphs, references [25]/[4] of the paper, radically simplified).
+//
+// Every process is deterministically *tall* or *short* (a parity bit of
+// its key, so the level travels with every reference). The legitimate
+// topology is
+//   level 0: the sorted doubly linked list over ALL processes, plus
+//   level 1: the sorted doubly linked list over the TALL processes.
+//
+// Structure (mirrors the ring's wrap design):
+//  * The base storage runs UNMODIFIED linearization — level-0 references
+//    must keep flowing one hop toward their sorted position, so level-1
+//    neighbors are NOT pinned there (pinning them would dam the flow and
+//    strand the processes in between).
+//  * Each tall process keeps its level-1 neighbors in two dedicated slots
+//    (left/right), fed exclusively by routed transit messages: a tall
+//    process periodically launches its own reference left and right
+//    (kTagTallLeft/kTagTallRight); a short receiver forwards it onward in
+//    the same direction through its closest level-0 neighbor WITHOUT
+//    storing it; the first tall receiver slots it. Closer candidates
+//    displace farther ones (the displaced reference joins the level-0
+//    flow); a dead-ended transit reference is returned to its owner, who
+//    discards its own reference for free. The converged state is quiet.
+//
+// All traffic is Introduction/Delegation/Fusion — a member of 𝒫.
+#pragma once
+
+#include <bit>
+#include <optional>
+
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp {
+
+inline constexpr std::uint32_t kTagTallLeft = 3;
+inline constexpr std::uint32_t kTagTallRight = 4;
+
+/// The deterministic level coin: anyone holding a reference (which always
+/// carries the key) can evaluate it.
+[[nodiscard]] inline bool skip_is_tall(std::uint64_t key) {
+  return (std::popcount(key) & 1) == 0;
+}
+
+class SkipListOverlay final : public OverlayProtocol {
+ public:
+  [[nodiscard]] const char* name() const override { return "skiplist"; }
+
+  void maintain(OverlayCtx& ctx) override;
+  void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
+                          const std::vector<RefInfo>& refs) override;
+  [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
+
+  // Storage: base NeighborSet (level 0) + the two level-1 slots.
+  void integrate(const RefInfo& r) override;
+  bool remove(Ref r) override;
+  void update_mode(Ref r, ModeInfo m) override;
+  [[nodiscard]] std::vector<RefInfo> stored() const override;
+  std::vector<RefInfo> take_all() override;
+  [[nodiscard]] bool empty() const override;
+
+ private:
+  /// Route or slot one transit reference (leftward = travelling toward
+  /// smaller keys).
+  void handle_transit(OverlayCtx& ctx, const RefInfo& r, bool leftward);
+  /// Place a tall candidate into the given slot, displacing a farther one
+  /// into the level-0 flow. Pre: correct side, tall, not self.
+  void slot_candidate(std::optional<RefInfo>& slot, const RefInfo& r);
+
+  std::optional<RefInfo> l1_left_;
+  std::optional<RefInfo> l1_right_;
+  static constexpr std::uint32_t kLaunchEvery = 4;
+  std::uint32_t maintain_count_ = 0;
+};
+
+}  // namespace fdp

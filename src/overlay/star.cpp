@@ -1,0 +1,31 @@
+#include "overlay/star.hpp"
+
+#include <algorithm>
+
+namespace fdp {
+
+void StarOverlay::maintain(OverlayCtx& ctx) {
+  std::vector<RefInfo> all = stored();
+  if (all.empty()) return;
+  auto min_it = std::min_element(
+      all.begin(), all.end(),
+      [](const RefInfo& a, const RefInfo& b) { return a.key < b.key; });
+  if (key() < min_it->key) return;  // I am the (believed) center
+  const RefInfo center = *min_it;
+  for (const RefInfo& r : all) {
+    if (r.ref == center.ref) continue;
+    delegate(ctx, center.ref, r);
+  }
+}
+
+std::vector<RefInfo> StarOverlay::introduction_targets() const {
+  const std::vector<RefInfo> all = stored();
+  if (all.empty()) return {};
+  auto min_it = std::min_element(
+      all.begin(), all.end(),
+      [](const RefInfo& a, const RefInfo& b) { return a.key < b.key; });
+  if (key() < min_it->key) return all;  // center keeps everyone informed
+  return {*min_it};
+}
+
+}  // namespace fdp

@@ -1,0 +1,30 @@
+// Self-stabilizing min-star.
+//
+// The legitimate topology is a star centered at the process with the
+// globally smallest key: the center stores everyone, everyone else stores
+// exactly the center. A miniature "supervised overlay" pattern — useful in
+// experiments as the topology with maximal asymmetry (the center's degree
+// is n-1 while everyone else has degree 1, so departures of the center
+// exercise the worst case of the departure protocol).
+//
+// Maintenance rule: let m be the smallest-key stored reference. If my own
+// key is smaller than m's, keep everything (I believe I am the center).
+// Otherwise keep m and delegate every other reference to m — knowledge of
+// the true minimum spreads monotonically, so the star emerges. Pure
+// Introduction/Delegation/Fusion: a member of 𝒫.
+#pragma once
+
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp {
+
+class StarOverlay final : public OverlayProtocol {
+ public:
+  [[nodiscard]] const char* name() const override { return "star"; }
+  void maintain(OverlayCtx& ctx) override;
+  /// The believed center introduces itself to everyone; everyone else
+  /// only to its believed center.
+  [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
+};
+
+}  // namespace fdp

@@ -1,0 +1,139 @@
+#include "overlay/topology_checks.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "core/framework.hpp"
+#include "overlay/clique.hpp"
+#include "overlay/linearization.hpp"
+#include "overlay/ring.hpp"
+#include "overlay/skiplist.hpp"
+#include "overlay/star.hpp"
+#include "sim/world.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+namespace {
+
+using EdgeSet = std::set<std::pair<ProcessId, ProcessId>>;
+
+/// Expected overlay edges for `name` over the staying processes, which are
+/// given sorted by key. `key_of` resolves a process's key (needed by the
+/// skip list's level coin).
+EdgeSet expected_edges(const std::string& name,
+                       const std::vector<ProcessId>& by_key,
+                       const std::function<std::uint64_t(ProcessId)>& key_of) {
+  EdgeSet exp;
+  const std::size_t n = by_key.size();
+  if (n <= 1) return exp;
+  auto chain = [&exp](const std::vector<ProcessId>& order) {
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      exp.insert({order[i], order[i + 1]});
+      exp.insert({order[i + 1], order[i]});
+    }
+  };
+  if (name == "linearization") {
+    chain(by_key);
+  } else if (name == "skiplist") {
+    chain(by_key);  // level 0
+    std::vector<ProcessId> tall;
+    for (ProcessId p : by_key)
+      if (skip_is_tall(key_of(p))) tall.push_back(p);
+    chain(tall);  // level 1
+  } else if (name == "ring") {
+    // Bidirected cycle in circular key order. For n == 2 this degenerates
+    // to the single bidirected edge.
+    for (std::size_t i = 0; i < n; ++i) {
+      const ProcessId a = by_key[i];
+      const ProcessId b = by_key[(i + 1) % n];
+      if (a == b) continue;
+      exp.insert({a, b});
+      exp.insert({b, a});
+    }
+  } else if (name == "clique") {
+    for (ProcessId a : by_key)
+      for (ProcessId b : by_key)
+        if (a != b) exp.insert({a, b});
+  } else if (name == "star") {
+    const ProcessId center = by_key.front();  // smallest key
+    for (std::size_t i = 1; i < n; ++i) {
+      exp.insert({center, by_key[i]});
+      exp.insert({by_key[i], center});
+    }
+  } else {
+    FDP_CHECK_MSG(false, "unknown overlay name in check_topology");
+  }
+  return exp;
+}
+
+}  // namespace
+
+TopologyVerdict check_topology(const World& w,
+                               const std::string& overlay_name) {
+  TopologyVerdict v;
+
+  std::vector<ProcessId> stayers;
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    if (w.mode(p) != Mode::Staying) continue;
+    if (w.life(p) != LifeState::Awake) {
+      v.detail = "staying process " + std::to_string(p) + " not awake";
+      return v;
+    }
+    stayers.push_back(p);
+  }
+  std::sort(stayers.begin(), stayers.end(), [&](ProcessId a, ProcessId b) {
+    return w.process(a).key() < w.process(b).key();
+  });
+
+  EdgeSet actual;
+  for (ProcessId p : stayers) {
+    const auto* host = dynamic_cast<const OverlayHost*>(&w.process(p));
+    FDP_CHECK_MSG(host != nullptr, "process does not host an overlay");
+    for (const RefInfo& r : host->hosted_overlay().stored()) {
+      const ProcessId q = r.ref.id();
+      if (w.mode(q) != Mode::Staying) {
+        v.detail = "staying process " + std::to_string(p) +
+                   " still links to leaving process " + std::to_string(q);
+        return v;
+      }
+      actual.insert({p, q});
+    }
+  }
+
+  const EdgeSet exp = expected_edges(overlay_name, stayers,
+                                     [&w](ProcessId p) {
+                                       return w.process(p).key();
+                                     });
+  if (actual != exp) {
+    for (const auto& e : exp) {
+      if (!actual.count(e)) {
+        v.detail = "missing overlay edge " + std::to_string(e.first) + "->" +
+                   std::to_string(e.second);
+        return v;
+      }
+    }
+    for (const auto& e : actual) {
+      if (!exp.count(e)) {
+        v.detail = "surplus overlay edge " + std::to_string(e.first) + "->" +
+                   std::to_string(e.second);
+        return v;
+      }
+    }
+  }
+  v.converged = true;
+  return v;
+}
+
+std::unique_ptr<OverlayProtocol> make_overlay(const std::string& name) {
+  if (name == "linearization") return std::make_unique<Linearization>();
+  if (name == "ring") return std::make_unique<RingOverlay>();
+  if (name == "clique") return std::make_unique<CliqueOverlay>();
+  if (name == "star") return std::make_unique<StarOverlay>();
+  if (name == "skiplist") return std::make_unique<SkipListOverlay>();
+  FDP_CHECK_MSG(false, "unknown overlay name");
+  return nullptr;
+}
+
+}  // namespace fdp

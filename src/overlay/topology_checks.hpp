@@ -1,0 +1,34 @@
+// Legitimate-topology predicates for the bundled overlays.
+//
+// A wrapped protocol P′ must (Theorem 4) still solve P's problem for the
+// staying processes: after every leaving process is excluded, the staying
+// processes' *overlay links* must form P's legitimate topology. These
+// checkers read each staying awake process's hosted overlay storage and
+// compare the resulting directed edge set against the expected one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp {
+
+class World;
+
+struct TopologyVerdict {
+  bool converged = false;
+  std::string detail;  // first discrepancy, for diagnostics
+};
+
+/// Check the overlay links of all staying awake processes of `w` against
+/// the legitimate topology of the named overlay ("linearization", "ring",
+/// "clique", "star"). Every process must implement OverlayHost.
+[[nodiscard]] TopologyVerdict check_topology(const World& w,
+                                             const std::string& overlay_name);
+
+/// Factory for the bundled overlays by the same names.
+[[nodiscard]] std::unique_ptr<OverlayProtocol> make_overlay(
+    const std::string& name);
+
+}  // namespace fdp

@@ -1,0 +1,35 @@
+#include "sim/channel.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+Message Channel::take(std::size_t i) {
+  FDP_CHECK(i < msgs_.size());
+  Message m = std::move(msgs_[i]);
+  msgs_[i] = std::move(msgs_.back());
+  msgs_.pop_back();
+  return m;
+}
+
+std::size_t Channel::oldest_index() const {
+  std::size_t best = msgs_.size();
+  std::uint64_t best_seq = ~0ULL;
+  for (std::size_t i = 0; i < msgs_.size(); ++i) {
+    if (msgs_[i].seq < best_seq) {
+      best_seq = msgs_[i].seq;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t Channel::index_of_seq(std::uint64_t seq) const {
+  for (std::size_t i = 0; i < msgs_.size(); ++i)
+    if (msgs_[i].seq == seq) return i;
+  return msgs_.size();
+}
+
+}  // namespace fdp

@@ -1,0 +1,43 @@
+// Channels.
+//
+// The paper's channel u.Ch is a *set* of messages with unbounded capacity,
+// no loss and no ordering guarantee (non-FIFO delivery). We store messages
+// in arrival order but let the scheduler remove any element, which yields
+// exactly the paper's semantics: the order of the backing vector carries no
+// meaning beyond supporting age-based fair-receipt scheduling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace fdp {
+
+class Channel {
+ public:
+  void push(Message m) { msgs_.push_back(std::move(m)); }
+
+  [[nodiscard]] bool empty() const { return msgs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return msgs_.size(); }
+
+  [[nodiscard]] const Message& peek(std::size_t i) const { return msgs_[i]; }
+  [[nodiscard]] const std::vector<Message>& messages() const { return msgs_; }
+
+  /// Remove and return the message at index i (any index — non-FIFO).
+  [[nodiscard]] Message take(std::size_t i);
+
+  /// Index of the message with the smallest sequence number (oldest send),
+  /// or size() when empty. Used by fair-receipt scheduling.
+  [[nodiscard]] std::size_t oldest_index() const;
+
+  /// Find a message by its kernel sequence number; size() if absent.
+  [[nodiscard]] std::size_t index_of_seq(std::uint64_t seq) const;
+
+  void clear() { msgs_.clear(); }
+
+ private:
+  std::vector<Message> msgs_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,28 @@
+#include "sim/chaos.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+ActionChoice ChaosScheduler::next(const World& world, Rng& rng) {
+  FDP_CHECK_MSG(world_ == &world, "ChaosScheduler must be bound to the world");
+  // Bounded retry: dropping a message invalidates the inner scheduler's
+  // choice, so ask again.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const ActionChoice c = inner_->next(world, rng);
+    if (c.kind != ActionChoice::Kind::Deliver) return c;
+    if (p_drop_ > 0.0 && chaos_rng_.chance(p_drop_)) {
+      if (world_->discard_message(c.proc, c.msg_seq)) {
+        ++dropped_;
+        continue;  // message gone; pick another action
+      }
+    }
+    if (p_duplicate_ > 0.0 && chaos_rng_.chance(p_duplicate_)) {
+      if (world_->duplicate_message(c.proc, c.msg_seq)) ++duplicated_;
+    }
+    return c;
+  }
+  return inner_->next(world, rng);
+}
+
+}  // namespace fdp

@@ -1,0 +1,57 @@
+// Fault injection.
+//
+// The paper's channels never lose messages (loss would destroy references
+// and no local protocol could preserve connectivity), but they are allowed
+// to behave arbitrarily otherwise. ChaosScheduler wraps any scheduler and
+// injects faults at delivery time:
+//
+//  * duplication — with probability p_duplicate, a delivered message is
+//    re-posted to the same channel first. Duplication only COPIES
+//    references (it is an adversarial Introduction), so the departure
+//    protocol must tolerate it: safety and liveness must survive. Tests
+//    use this to probe robustness beyond the model.
+//  * loss — with probability p_drop, a message is removed from its channel
+//    without being delivered. This BREAKS the model (references are
+//    destroyed); the point of supporting it is negative testing: the
+//    safety monitors must detect the resulting disconnections, proving the
+//    instrumentation is not vacuous.
+//
+// Faults draw from their own Rng stream so a chaos run stays reproducible.
+#pragma once
+
+#include <memory>
+
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+
+class ChaosScheduler final : public Scheduler {
+ public:
+  ChaosScheduler(std::unique_ptr<Scheduler> inner, double p_duplicate,
+                 double p_drop, std::uint64_t seed)
+      : inner_(std::move(inner)),
+        p_duplicate_(p_duplicate),
+        p_drop_(p_drop),
+        chaos_rng_(seed) {}
+
+  /// The world must be passed mutably for fault injection; the Scheduler
+  /// interface is const, so ChaosScheduler is bound to one world.
+  void bind(World* world) { world_ = world; }
+
+  ActionChoice next(const World& world, Rng& rng) override;
+
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  double p_duplicate_;
+  double p_drop_;
+  Rng chaos_rng_;
+  World* world_ = nullptr;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fdp

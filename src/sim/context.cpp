@@ -1,0 +1,17 @@
+#include "sim/context.hpp"
+
+#include "sim/world.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+void Context::send(Ref to, Message m) {
+  FDP_CHECK_MSG(to.valid(), "send to null reference");
+  sends_.emplace_back(to, std::move(m));
+}
+
+bool Context::oracle() const {
+  return world_->oracle_value(self_.id());
+}
+
+}  // namespace fdp

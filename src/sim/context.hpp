@@ -1,0 +1,69 @@
+// Action execution context.
+//
+// One Context instance exists for the duration of one atomic action
+// (timeout execution or message delivery). It buffers the action's outputs
+// — sent messages and the special commands exit/sleep — which the kernel
+// applies after the action body returns; this gives the paper's atomic
+// interleaving semantics and a precise before/after pair for the primitive
+// audit.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace fdp {
+
+class World;
+
+class Context {
+ public:
+  /// Send `m` to the process referenced by `to` (which may be self()).
+  /// Corresponds to the paper's `to <- label(parameters)`.
+  void send(Ref to, Message m);
+
+  /// Execute the paper's `exit` command: the process becomes gone after
+  /// this action completes. Irrevocable.
+  void exit_process() { exit_requested_ = true; }
+
+  /// Execute the paper's `sleep` command: the process becomes asleep after
+  /// this action completes; it is woken by the next delivered message.
+  void sleep_process() { sleep_requested_ = true; }
+
+  /// Consult the oracle installed in the World for the calling process.
+  /// (The departure protocol calls this only from a leaving process's
+  /// timeout, per the paper's definition of "relying on an oracle".)
+  [[nodiscard]] bool oracle() const;
+
+  /// Per-world RNG stream (protocol-visible randomness, reproducible).
+  [[nodiscard]] Rng& rng() const { return *rng_; }
+
+  [[nodiscard]] Ref self() const { return self_; }
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+
+  // --- kernel access ---
+  [[nodiscard]] const std::vector<std::pair<Ref, Message>>& sends() const {
+    return sends_;
+  }
+  [[nodiscard]] bool exit_requested() const { return exit_requested_; }
+  [[nodiscard]] bool sleep_requested() const { return sleep_requested_; }
+
+ private:
+  friend class World;
+  Context(World* world, Ref self, std::uint64_t step, Rng* rng)
+      : world_(world), self_(self), step_(step), rng_(rng) {}
+
+  World* world_;
+  Ref self_;
+  std::uint64_t step_;
+  Rng* rng_;
+  std::vector<std::pair<Ref, Message>> sends_;
+  bool exit_requested_ = false;
+  bool sleep_requested_ = false;
+};
+
+}  // namespace fdp

@@ -1,0 +1,111 @@
+// Core identity types of the simulation model.
+//
+// The paper's model (Section 1.1) has processes with unique references;
+// protocols are "copy-store-send": they may copy references, store them,
+// send them in messages and compare them for equality — nothing else. The
+// `Ref` type encodes exactly that contract: protocol code receives `Ref`s,
+// can compare them, and can hand them back to the kernel (store / send), but
+// has no arithmetic access to the underlying identity. The raw id is exposed
+// only through `Ref::id()`, which is reserved for kernel, analysis and test
+// code (the paper's "underlying communication layer").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fdp {
+
+/// Dense process identity; index into the World's process array.
+using ProcessId = std::uint32_t;
+
+inline constexpr ProcessId kNoProcess =
+    std::numeric_limits<ProcessId>::max();
+
+/// The read-only departure intention of a process (paper: mode(u)).
+enum class Mode : std::uint8_t { Staying, Leaving };
+
+/// The life-cycle state graph of a process (paper Fig. 1):
+/// awake --exit--> gone (absorbing), awake --sleep--> asleep,
+/// asleep --message received--> awake.
+enum class LifeState : std::uint8_t { Awake, Asleep, Gone };
+
+/// A process's *knowledge* of another process's mode. Unlike Mode this can
+/// be stale/invalid (self-stabilization starts from arbitrary states) or,
+/// inside the Section-4 framework's message list, still unverified.
+enum class ModeInfo : std::uint8_t { Staying, Leaving, Unknown };
+
+[[nodiscard]] constexpr ModeInfo to_info(Mode m) {
+  return m == Mode::Staying ? ModeInfo::Staying : ModeInfo::Leaving;
+}
+
+[[nodiscard]] constexpr bool matches(ModeInfo info, Mode m) {
+  return info == to_info(m);
+}
+
+[[nodiscard]] constexpr const char* to_string(Mode m) {
+  return m == Mode::Staying ? "staying" : "leaving";
+}
+
+[[nodiscard]] constexpr const char* to_string(LifeState s) {
+  switch (s) {
+    case LifeState::Awake: return "awake";
+    case LifeState::Asleep: return "asleep";
+    case LifeState::Gone: return "gone";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(ModeInfo i) {
+  switch (i) {
+    case ModeInfo::Staying: return "staying";
+    case ModeInfo::Leaving: return "leaving";
+    case ModeInfo::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+/// An opaque process reference. Equality-comparable (the only operation the
+/// paper's protocols need: "it can check via v = w whether two references
+/// point to the same process"). Ordering is provided solely so references
+/// can key ordered containers; protocol logic must not branch on it.
+class Ref {
+ public:
+  constexpr Ref() = default;
+
+  [[nodiscard]] constexpr bool valid() const { return id_ != kNoProcess; }
+
+  friend constexpr bool operator==(Ref a, Ref b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Ref a, Ref b) { return a.id_ != b.id_; }
+  /// Container-ordering only; not part of the protocol-visible interface.
+  friend constexpr bool operator<(Ref a, Ref b) { return a.id_ < b.id_; }
+
+  /// Kernel/analysis-layer access to the raw identity.
+  [[nodiscard]] constexpr ProcessId id() const { return id_; }
+
+  /// Kernel/analysis-layer constructor.
+  [[nodiscard]] static constexpr Ref make(ProcessId id) { return Ref(id); }
+
+ private:
+  constexpr explicit Ref(ProcessId id) : id_(id) {}
+  ProcessId id_ = kNoProcess;
+};
+
+/// A reference together with the knowledge that travels with it.
+///
+/// The paper (Section 3): "whenever a process a sends a request to call
+/// present or forward containing a reference of a process b to another
+/// process c, it automatically sends some relevant information it knows
+/// about b along with it" — here the believed mode. Overlay protocols
+/// additionally piggyback an application-level key (e.g. the position used
+/// by linearization); the departure layer never reads it, matching the
+/// paper's remark that the underlying layer keeps full flexibility over
+/// referencing information.
+struct RefInfo {
+  Ref ref;
+  ModeInfo mode = ModeInfo::Unknown;
+  std::uint64_t key = 0;
+
+  friend bool operator==(const RefInfo&, const RefInfo&) = default;
+};
+
+}  // namespace fdp

@@ -1,0 +1,79 @@
+// Messages.
+//
+// The paper requires every message to name the action it triggers at the
+// receiver ("every message must be of the form <label>(<parameters>)").
+// `Verb` is that label for the actions the library itself defines; overlay
+// protocols multiplex their own actions under Verb::Overlay via `tag`.
+//
+// Every process reference carried by a message appears in `refs`; the kernel
+// derives the *implicit edges* of the process graph from exactly this field,
+// so a protocol cannot smuggle references past the connectivity accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ids.hpp"
+
+namespace fdp {
+
+enum class Verb : std::uint8_t {
+  /// present(v): Introduction — the sender keeps its reference to v.
+  Present,
+  /// forward(v): Delegation — the sender deleted its reference to v.
+  Forward,
+  /// verify(u): Section-4 framework — asks the receiver to report its mode
+  /// to u (the carried reference).
+  Verify,
+  /// process(v): Section-4 framework — the reply to verify; v is the
+  /// replying process with its true mode, `token` echoes the request.
+  ProcessReply,
+  /// An action of the wrapped overlay protocol P; `tag` selects which.
+  Overlay,
+  /// Free-form payload for tests.
+  User,
+};
+
+[[nodiscard]] constexpr const char* to_string(Verb v) {
+  switch (v) {
+    case Verb::Present: return "present";
+    case Verb::Forward: return "forward";
+    case Verb::Verify: return "verify";
+    case Verb::ProcessReply: return "process";
+    case Verb::Overlay: return "overlay";
+    case Verb::User: return "user";
+  }
+  return "?";
+}
+
+struct Message {
+  Verb verb = Verb::User;
+  /// Overlay-protocol action selector (meaningful for Verb::Overlay).
+  std::uint32_t tag = 0;
+  /// Correlation token (Section-4 framework: mlist entry id).
+  std::uint64_t token = 0;
+  /// Every process reference this message carries.
+  std::vector<RefInfo> refs;
+
+  // --- kernel bookkeeping (set by World::step on send) ---
+  /// Globally unique, monotonically increasing send sequence number.
+  std::uint64_t seq = 0;
+  /// World step count at which the message entered the channel.
+  std::uint64_t enqueued_at = 0;
+
+  /// Convenience constructors for the departure protocol's two actions.
+  [[nodiscard]] static Message present(RefInfo v) {
+    Message m;
+    m.verb = Verb::Present;
+    m.refs = {v};
+    return m;
+  }
+  [[nodiscard]] static Message forward(RefInfo v) {
+    Message m;
+    m.verb = Verb::Forward;
+    m.refs = {v};
+    return m;
+  }
+};
+
+}  // namespace fdp

@@ -1,0 +1,44 @@
+#include "sim/neighbor_set.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+NeighborSet::InsertResult NeighborSet::insert(const RefInfo& info) {
+  FDP_CHECK(info.ref.valid());
+  if (info.ref == owner_) return InsertResult::SelfDrop;
+  auto [it, added] = entries_.insert_or_assign(
+      info.ref, Entry{info.mode, info.key});
+  (void)it;
+  return added ? InsertResult::Added : InsertResult::Fused;
+}
+
+bool NeighborSet::erase(Ref r) { return entries_.erase(r) > 0; }
+
+ModeInfo NeighborSet::mode_of(Ref r) const {
+  auto it = entries_.find(r);
+  FDP_CHECK_MSG(it != entries_.end(), "mode_of on absent neighbor");
+  return it->second.mode;
+}
+
+std::uint64_t NeighborSet::key_of(Ref r) const {
+  auto it = entries_.find(r);
+  FDP_CHECK_MSG(it != entries_.end(), "key_of on absent neighbor");
+  return it->second.key;
+}
+
+void NeighborSet::set_mode(Ref r, ModeInfo m) {
+  auto it = entries_.find(r);
+  FDP_CHECK_MSG(it != entries_.end(), "set_mode on absent neighbor");
+  it->second.mode = m;
+}
+
+std::vector<RefInfo> NeighborSet::snapshot() const {
+  std::vector<RefInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [ref, e] : entries_)
+    out.push_back(RefInfo{ref, e.mode, e.key});
+  return out;
+}
+
+}  // namespace fdp

@@ -1,0 +1,65 @@
+// The neighborhood set u.N of the paper's Section 3.
+//
+// u.N is a *set* of references with attached mode knowledge: inserting a
+// reference that is already present fuses the two copies (the Fusion
+// primitive) rather than creating a duplicate. Self-references are never
+// stored: a process trivially knows itself, the paper's primitives assume
+// pairwise-distinct endpoints, and self-loops are irrelevant for (weak)
+// connectivity — dropping them is therefore always safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/ids.hpp"
+
+namespace fdp {
+
+class NeighborSet {
+ public:
+  struct Entry {
+    ModeInfo mode = ModeInfo::Unknown;
+    std::uint64_t key = 0;
+  };
+
+  /// Result of an insert, so callers can account primitives precisely.
+  enum class InsertResult {
+    Added,     ///< reference was new
+    Fused,     ///< reference already present — duplicate fused away
+    SelfDrop,  ///< reference to the owner itself — dropped
+  };
+
+  explicit NeighborSet(Ref owner) : owner_(owner) {}
+
+  /// Insert (or fuse). On fusion the incoming knowledge overwrites the
+  /// stored knowledge: the message is treated as the fresher observation.
+  InsertResult insert(const RefInfo& info);
+
+  /// Remove the reference; returns true when it was present.
+  bool erase(Ref r);
+
+  [[nodiscard]] bool contains(Ref r) const { return entries_.count(r) > 0; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Stored mode knowledge for a contained reference.
+  [[nodiscard]] ModeInfo mode_of(Ref r) const;
+  [[nodiscard]] std::uint64_t key_of(Ref r) const;
+
+  /// Overwrite the stored mode knowledge of a contained reference.
+  void set_mode(Ref r, ModeInfo m);
+
+  /// Snapshot as RefInfo list (deterministic order: by reference id).
+  [[nodiscard]] std::vector<RefInfo> snapshot() const;
+
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] Ref owner() const { return owner_; }
+
+ private:
+  Ref owner_;
+  std::map<Ref, Entry> entries_;
+};
+
+}  // namespace fdp

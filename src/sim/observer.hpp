@@ -1,0 +1,48 @@
+// Observation of atomic actions.
+//
+// Observers see a complete record of every executed action: the consumed
+// message (if any), all sends, and the actor's stored references before and
+// after. Monitors (connectivity, potential, primitive audit) are built on
+// this interface; when no observer is registered the kernel skips record
+// construction entirely.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/message.hpp"
+
+namespace fdp {
+
+class World;
+
+struct ActionRecord {
+  enum class Kind { Timeout, Deliver };
+
+  Kind kind = Kind::Timeout;
+  ProcessId actor = kNoProcess;
+  /// The delivered message (Kind::Deliver only).
+  std::optional<Message> consumed;
+  /// Messages sent during the action, with destinations.
+  std::vector<std::pair<Ref, Message>> sent;
+  /// The actor's stored references immediately before / after the action.
+  std::vector<RefInfo> refs_before;
+  std::vector<RefInfo> refs_after;
+  bool exited = false;
+  bool slept = false;
+  /// True when the delivery woke an asleep process.
+  bool woke = false;
+  /// World step index of this action (post-increment value).
+  std::uint64_t step = 0;
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// Called after the action's effects (sends, exit/sleep) are applied.
+  virtual void on_action(const World& world, const ActionRecord& rec) = 0;
+};
+
+}  // namespace fdp

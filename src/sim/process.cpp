@@ -1,0 +1,8 @@
+#include "sim/process.hpp"
+
+namespace fdp {
+
+// Out-of-line key function: anchors the vtable in one translation unit.
+Process::~Process() = default;
+
+}  // namespace fdp

@@ -1,0 +1,67 @@
+// Process base class.
+//
+// A process owns protocol variables plus the system-managed read-only
+// `mode` (staying/leaving) and life-cycle state (awake/asleep/gone). All
+// interaction with the outside world happens through the Context passed to
+// the two action entry points; a process cannot mutate channels or other
+// processes directly, which is what lets the kernel audit every action's
+// effect on the process graph (see core/primitives.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/message.hpp"
+
+namespace fdp {
+
+class Context;
+
+class Process {
+ public:
+  Process(Ref self, Mode mode, std::uint64_t key)
+      : self_(self), mode_(mode), key_(key) {}
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// The periodically executed timeout action (guard = true). Only ever
+  /// invoked while the process is awake.
+  virtual void on_timeout(Context& ctx) = 0;
+
+  /// Message delivery. Invoked for awake or asleep processes (an asleep
+  /// process is woken by the kernel immediately before this call).
+  virtual void on_message(Context& ctx, const Message& m) = 0;
+
+  /// Enumerate every process reference currently stored in local memory
+  /// together with the stored knowledge about it. This defines the
+  /// *explicit edges* of the process graph; subclasses must report all
+  /// reference-holding variables (N, anchor, overlay links, mlist, ...).
+  virtual void collect_refs(std::vector<RefInfo>& out) const = 0;
+
+  /// Human-readable protocol name for traces.
+  [[nodiscard]] virtual const char* protocol_name() const = 0;
+
+  [[nodiscard]] Ref self() const { return self_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+  [[nodiscard]] LifeState life() const { return life_; }
+
+  /// Information about oneself — always valid (paper: "the information
+  /// sent about oneself is always valid").
+  [[nodiscard]] RefInfo self_info() const {
+    return RefInfo{self_, to_info(mode_), key_};
+  }
+
+ private:
+  friend class World;
+
+  Ref self_;
+  Mode mode_;
+  std::uint64_t key_;
+  LifeState life_ = LifeState::Awake;
+};
+
+}  // namespace fdp

@@ -1,0 +1,179 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace fdp {
+
+namespace {
+
+/// Pick the i-th live message (uniform index over all live messages).
+ActionChoice pick_uniform_message(const World& w, std::uint64_t index) {
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    if (w.gone(p)) continue;
+    const Channel& ch = w.channel(p);
+    if (index < ch.size()) return ActionChoice::deliver(p, ch.peek(static_cast<std::size_t>(index)).seq);
+    index -= ch.size();
+  }
+  return ActionChoice::none();
+}
+
+}  // namespace
+
+ActionChoice RandomScheduler::next(const World& world, Rng& rng) {
+  const std::uint64_t msgs = world.live_message_count();
+  std::vector<ProcessId> awake = world.awake_ids();
+
+  const bool can_deliver = msgs > 0;
+  const bool can_timeout = !awake.empty();
+  if (!can_deliver && !can_timeout) return ActionChoice::none();
+
+  bool deliver;
+  if (can_deliver && can_timeout) {
+    if (p_deliver_ < 0.0) {
+      // Uniform over enabled actions: each message and each awake
+      // process's timeout is one candidate.
+      const std::uint64_t total = msgs + awake.size();
+      deliver = rng.below(total) < msgs;
+    } else {
+      deliver = rng.chance(p_deliver_);
+    }
+  } else {
+    deliver = can_deliver;
+  }
+
+  if (deliver) {
+    if (rng.chance(p_oldest_)) {
+      auto [proc, seq] = world.oldest_live_message();
+      return ActionChoice::deliver(proc, seq);
+    }
+    return pick_uniform_message(world, rng.below(msgs));
+  }
+  return ActionChoice::timeout(rng.pick(awake));
+}
+
+ActionChoice RoundRobinScheduler::next(const World& world, Rng& rng) {
+  (void)rng;
+  const std::uint64_t n = world.size();
+  if (n == 0) return ActionChoice::none();
+  ++tick_;
+  const bool timeout_turn = tick_ % timeout_share_ == 0;
+
+  auto try_deliver = [&]() -> ActionChoice {
+    for (std::uint64_t tried = 0; tried < n; ++tried) {
+      const ProcessId p =
+          static_cast<ProcessId>(deliver_cursor_++ % n);
+      if (!world.gone(p) && !world.channel(p).empty()) {
+        const std::size_t idx = world.channel(p).oldest_index();
+        return ActionChoice::deliver(p, world.channel(p).peek(idx).seq);
+      }
+    }
+    return ActionChoice::none();
+  };
+  auto try_timeout = [&]() -> ActionChoice {
+    for (std::uint64_t tried = 0; tried < n; ++tried) {
+      const ProcessId p =
+          static_cast<ProcessId>(timeout_cursor_++ % n);
+      if (world.life(p) == LifeState::Awake)
+        return ActionChoice::timeout(p);
+    }
+    return ActionChoice::none();
+  };
+
+  ActionChoice c = timeout_turn ? try_timeout() : try_deliver();
+  if (c.kind == ActionChoice::Kind::None)
+    c = timeout_turn ? try_deliver() : try_timeout();
+  return c;
+}
+
+void RoundScheduler::refill(const World& world, Rng& rng) {
+  // One asynchronous round: deliver every message currently enqueued (in
+  // random order), then run every currently-awake process's timeout (in
+  // random order). Items that become disabled mid-round are skipped at
+  // execution time in next().
+  std::vector<ActionChoice> items;
+  for (ProcessId p = 0; p < world.size(); ++p) {
+    if (world.gone(p)) continue;
+    for (const Message& m : world.channel(p).messages())
+      items.push_back(ActionChoice::deliver(p, m.seq));
+  }
+  rng.shuffle(items);
+  std::vector<ActionChoice> touts;
+  for (ProcessId p : world.awake_ids())
+    touts.push_back(ActionChoice::timeout(p));
+  rng.shuffle(touts);
+  items.insert(items.end(), touts.begin(), touts.end());
+  plan_.assign(items.begin(), items.end());
+}
+
+ActionChoice RoundScheduler::next(const World& world, Rng& rng) {
+  for (int refills = 0; refills < 2; ++refills) {
+    while (!plan_.empty()) {
+      ActionChoice c = plan_.front();
+      plan_.pop_front();
+      if (c.kind == ActionChoice::Kind::Deliver) {
+        if (world.gone(c.proc)) continue;
+        if (world.channel(c.proc).index_of_seq(c.msg_seq) >=
+            world.channel(c.proc).size())
+          continue;  // message already taken (cannot happen) or proc exited
+        return c;
+      }
+      if (world.life(c.proc) != LifeState::Awake) continue;
+      return c;
+    }
+    if (started_) ++rounds_;  // a full plan was drained: one round completed
+    started_ = true;
+    refill(world, rng);
+  }
+  return ActionChoice::none();
+}
+
+ActionChoice AdversarialScheduler::next(const World& world, Rng& rng) {
+  (void)rng;
+  // Deliver newest-first, but only messages older than min_age_ steps; mix
+  // in timeouts round-robin so weak fairness holds. If only young messages
+  // remain and someone is awake, prefer the timeout (maximizes delay).
+  ProcessId best_proc = kNoProcess;
+  std::uint64_t best_seq = 0;
+  bool have_old = false;
+  bool have_any = false;
+  for (ProcessId p = 0; p < world.size(); ++p) {
+    if (world.gone(p)) continue;
+    for (const Message& m : world.channel(p).messages()) {
+      have_any = true;
+      const bool aged = world.steps() >= m.enqueued_at + min_age_;
+      if (aged && (!have_old || m.seq > best_seq)) {
+        have_old = true;
+        best_seq = m.seq;
+        best_proc = p;
+      }
+    }
+  }
+
+  const std::vector<ProcessId> awake = world.awake_ids();
+  const bool want_timeout = burst_used_ >= deliver_burst_;
+
+  if (have_old && (!want_timeout || awake.empty())) {
+    ++burst_used_;
+    return ActionChoice::deliver(best_proc, best_seq);
+  }
+  if (!awake.empty()) {
+    burst_used_ = 0;
+    const ProcessId p = awake[timeout_cursor_++ % awake.size()];
+    return ActionChoice::timeout(p);
+  }
+  if (have_old) {
+    ++burst_used_;
+    return ActionChoice::deliver(best_proc, best_seq);
+  }
+  if (have_any) {
+    // Only young messages and nobody awake: the age gate must yield or the
+    // schedule would violate fair receipt — deliver the oldest young one.
+    auto [proc, seq] = world.oldest_live_message();
+    return ActionChoice::deliver(proc, seq);
+  }
+  return ActionChoice::none();
+}
+
+}  // namespace fdp

@@ -1,0 +1,127 @@
+// Schedulers.
+//
+// A computation in the paper is an infinite fair sequence of atomic action
+// executions under two assumptions: *weakly fair action execution* (an
+// always-enabled timeout of a process that is awake infinitely often runs
+// infinitely often) and *fair message receipt* (every message in the channel
+// of a non-gone process is eventually processed). Beyond fairness there are
+// no bounds: delivery is fully asynchronous and non-FIFO.
+//
+// Each scheduler below realizes one family of fair schedules:
+//  - RandomScheduler: i.i.d. random interleaving; fairness holds almost
+//    surely, and the oldest-message bias makes starvation probability decay
+//    geometrically. The default for stochastic experiments.
+//  - RoundRobinScheduler: deterministic alternation of deliver/timeout per
+//    process; fairness holds surely.
+//  - RoundScheduler: executes in *asynchronous rounds* (deliver everything
+//    enqueued before the round, then timeout everyone); gives the round
+//    complexity metric used for the O(log n) clique-building claim.
+//  - AdversarialScheduler: withholds every message for a configurable
+//    number of steps and then delivers newest-first, maximizing reordering
+//    while still satisfying fair receipt.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "util/rng.hpp"
+
+namespace fdp {
+
+class World;
+
+struct ActionChoice {
+  enum class Kind : std::uint8_t { None, Timeout, Deliver };
+  Kind kind = Kind::None;
+  ProcessId proc = kNoProcess;
+  /// Message identified by kernel sequence number (Kind::Deliver).
+  std::uint64_t msg_seq = 0;
+
+  [[nodiscard]] static ActionChoice none() { return {}; }
+  [[nodiscard]] static ActionChoice timeout(ProcessId p) {
+    return {Kind::Timeout, p, 0};
+  }
+  [[nodiscard]] static ActionChoice deliver(ProcessId p, std::uint64_t seq) {
+    return {Kind::Deliver, p, seq};
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Choose the next enabled action, or Kind::None when no action is
+  /// enabled (all channels of non-gone processes empty and no process
+  /// awake — the computation has reached a terminal configuration).
+  virtual ActionChoice next(const World& world, Rng& rng) = 0;
+};
+
+/// Uniformly random fair interleaving (see file comment).
+///
+/// By default the next action is drawn uniformly over ALL enabled actions
+/// (every live message is one action, every awake process's timeout is
+/// one action). This keeps channel backlogs bounded: when queues build
+/// up, deliveries dominate automatically. Pass p_deliver in [0,1] to fix
+/// the deliver-vs-timeout ratio instead (p_deliver < 0 = proportional).
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(double p_deliver = -1.0, double p_oldest = 0.25)
+      : p_deliver_(p_deliver), p_oldest_(p_oldest) {}
+  ActionChoice next(const World& world, Rng& rng) override;
+
+ private:
+  double p_deliver_;
+  double p_oldest_;
+};
+
+/// Deterministic fair scheduler: messages are delivered with priority
+/// (round-robin over processes, oldest first), but every `timeout_share`-th
+/// action is a timeout (round-robin over awake processes), so weak
+/// fairness holds no matter how deep the queues are.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::uint32_t timeout_share = 6)
+      : timeout_share_(timeout_share == 0 ? 1 : timeout_share) {}
+  ActionChoice next(const World& world, Rng& rng) override;
+
+ private:
+  std::uint32_t timeout_share_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t deliver_cursor_ = 0;
+  std::uint64_t timeout_cursor_ = 0;
+};
+
+/// Asynchronous rounds; exposes the completed-round counter.
+class RoundScheduler final : public Scheduler {
+ public:
+  ActionChoice next(const World& world, Rng& rng) override;
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  void refill(const World& world, Rng& rng);
+
+  std::deque<ActionChoice> plan_;
+  std::uint64_t rounds_ = 0;
+  bool started_ = false;
+};
+
+/// Maximal-delay newest-first delivery within fair receipt.
+class AdversarialScheduler final : public Scheduler {
+ public:
+  /// `min_age`: a message is withheld until it has aged this many world
+  /// steps. `deliver_burst`: after the age gate opens, how many deliveries
+  /// happen per timeout (controls message pressure).
+  explicit AdversarialScheduler(std::uint64_t min_age = 8,
+                                unsigned deliver_burst = 8)
+      : min_age_(min_age), deliver_burst_(deliver_burst) {}
+  ActionChoice next(const World& world, Rng& rng) override;
+
+ private:
+  std::uint64_t min_age_;
+  unsigned deliver_burst_;
+  unsigned burst_used_ = 0;
+  std::uint64_t timeout_cursor_ = 0;
+};
+
+}  // namespace fdp

@@ -1,0 +1,173 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+namespace fdp {
+
+World::World(std::uint64_t seed) : rng_(seed) {}
+
+void World::post(Ref to, Message m) {
+  FDP_CHECK(to.valid() && to.id() < size());
+  m.seq = next_seq_++;
+  m.enqueued_at = steps_;
+  channels_[to.id()].push(std::move(m));
+}
+
+bool World::discard_message(ProcessId id, std::uint64_t seq) {
+  FDP_CHECK(id < size());
+  Channel& ch = channels_[id];
+  const std::size_t idx = ch.index_of_seq(seq);
+  if (idx >= ch.size()) return false;
+  (void)ch.take(idx);
+  return true;
+}
+
+bool World::duplicate_message(ProcessId id, std::uint64_t seq) {
+  FDP_CHECK(id < size());
+  Channel& ch = channels_[id];
+  const std::size_t idx = ch.index_of_seq(seq);
+  if (idx >= ch.size()) return false;
+  Message copy = ch.peek(idx);
+  copy.seq = next_seq_++;
+  copy.enqueued_at = steps_;
+  ch.push(std::move(copy));
+  return true;
+}
+
+bool World::oracle_value(ProcessId id) const {
+  FDP_CHECK_MSG(static_cast<bool>(oracle_), "no oracle installed");
+  return oracle_(*this, id);
+}
+
+void World::remove_observer(Observer* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
+                   observers_.end());
+}
+
+std::vector<ProcessId> World::awake_ids() const {
+  std::vector<ProcessId> out;
+  for (ProcessId i = 0; i < procs_.size(); ++i)
+    if (procs_[i]->life() == LifeState::Awake) out.push_back(i);
+  return out;
+}
+
+std::vector<ProcessId> World::deliverable_ids() const {
+  std::vector<ProcessId> out;
+  for (ProcessId i = 0; i < procs_.size(); ++i)
+    if (procs_[i]->life() != LifeState::Gone && !channels_[i].empty())
+      out.push_back(i);
+  return out;
+}
+
+std::uint64_t World::live_message_count() const {
+  std::uint64_t n = 0;
+  for (ProcessId i = 0; i < procs_.size(); ++i)
+    if (procs_[i]->life() != LifeState::Gone) n += channels_[i].size();
+  return n;
+}
+
+std::pair<ProcessId, std::uint64_t> World::oldest_live_message() const {
+  ProcessId best_proc = kNoProcess;
+  std::uint64_t best_seq = ~0ULL;
+  for (ProcessId i = 0; i < procs_.size(); ++i) {
+    if (procs_[i]->life() == LifeState::Gone) continue;
+    for (const Message& m : channels_[i].messages()) {
+      if (m.seq < best_seq) {
+        best_seq = m.seq;
+        best_proc = i;
+      }
+    }
+  }
+  return {best_proc, best_seq};
+}
+
+bool World::step(Scheduler& sched) {
+  ActionChoice choice = sched.next(*this, rng_);
+  if (choice.kind == ActionChoice::Kind::None) return false;
+  execute(choice);
+  return true;
+}
+
+bool World::run_until(Scheduler& sched, std::uint64_t max_steps,
+                      const std::function<bool(const World&)>& done) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (done(*this)) return true;
+    if (!step(sched)) return done(*this);
+  }
+  return done(*this);
+}
+
+void World::execute(ActionChoice choice) {
+  FDP_CHECK(choice.proc < procs_.size());
+  Process& p = *procs_[choice.proc];
+  const bool want_record = !observers_.empty();
+
+  ActionRecord rec;
+  if (want_record) {
+    rec.actor = choice.proc;
+    rec.step = steps_;
+    p.collect_refs(rec.refs_before);
+  }
+
+  Context ctx(this, p.self(), steps_, &rng_);
+
+  if (choice.kind == ActionChoice::Kind::Timeout) {
+    FDP_CHECK_MSG(p.life() == LifeState::Awake,
+                  "timeout scheduled for non-awake process");
+    ++timeouts_;
+    if (want_record) rec.kind = ActionRecord::Kind::Timeout;
+    p.on_timeout(ctx);
+  } else {
+    FDP_CHECK_MSG(p.life() != LifeState::Gone,
+                  "delivery scheduled for gone process");
+    Channel& ch = channels_[choice.proc];
+    const std::size_t idx = ch.index_of_seq(choice.msg_seq);
+    FDP_CHECK_MSG(idx < ch.size(), "scheduled message vanished");
+    Message m = ch.take(idx);
+    ++deliveries_;
+    const bool woke = p.life() == LifeState::Asleep;
+    if (woke) {
+      // Paper: "p becomes awake again as soon as the corresponding message
+      // is processed" — the wake precedes the action body.
+      p.life_ = LifeState::Awake;
+      ++wakes_;
+    }
+    if (want_record) {
+      rec.kind = ActionRecord::Kind::Deliver;
+      rec.woke = woke;
+      rec.consumed = m;
+    }
+    p.on_message(ctx, m);
+  }
+
+  // Apply buffered outputs: sends first, then the special commands. The
+  // paper's exit/sleep take effect as part of the same atomic action.
+  for (auto& [to, msg] : ctx.sends_) {
+    FDP_CHECK(to.valid() && to.id() < size());
+    msg.seq = next_seq_++;
+    msg.enqueued_at = steps_;
+    ++sends_;
+    if (want_record) rec.sent.emplace_back(to, msg);
+    channels_[to.id()].push(std::move(msg));
+  }
+
+  if (ctx.exit_requested_) {
+    FDP_CHECK_MSG(!ctx.sleep_requested_, "action requested exit AND sleep");
+    p.life_ = LifeState::Gone;
+    ++exits_;
+    if (want_record) rec.exited = true;
+  } else if (ctx.sleep_requested_) {
+    p.life_ = LifeState::Asleep;
+    ++sleeps_;
+    if (want_record) rec.slept = true;
+  }
+
+  ++steps_;
+
+  if (want_record) {
+    p.collect_refs(rec.refs_after);
+    for (Observer* obs : observers_) obs->on_action(*this, rec);
+  }
+}
+
+}  // namespace fdp

@@ -1,0 +1,181 @@
+// The World: the complete system state of the paper's model.
+//
+// A World owns the processes, their channels and the step loop. One call to
+// step() executes exactly one atomic action chosen by a Scheduler — the
+// paper's "computation is an infinite fair sequence of system states such
+// that s_{i+1} is obtained by executing an action enabled in s_i".
+//
+// The kernel is single-threaded by design: the paper's concurrency model is
+// interleaving (atomic actions), so simulating it with real threads would
+// only re-derive an interleaving nondeterministically; a seeded scheduler
+// gives the same adversarial power reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/context.hpp"
+#include "sim/ids.hpp"
+#include "sim/observer.hpp"
+#include "sim/process.hpp"
+#include "sim/scheduler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fdp {
+
+/// An oracle is a predicate over the current system state and the calling
+/// process (paper Section 1.3). Installed once per World.
+using OracleFn = std::function<bool(const World&, ProcessId)>;
+
+class World {
+ public:
+  explicit World(std::uint64_t seed = 1);
+
+  // --- population ---
+
+  /// Construct a process of type P in this world. P's constructor must
+  /// accept (Ref self, Mode mode, std::uint64_t key, Args...).
+  template <typename P, typename... Args>
+  Ref spawn(Mode mode, std::uint64_t key, Args&&... args) {
+    const ProcessId id = static_cast<ProcessId>(procs_.size());
+    const Ref r = Ref::make(id);
+    procs_.push_back(
+        std::make_unique<P>(r, mode, key, std::forward<Args>(args)...));
+    channels_.emplace_back();
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const { return procs_.size(); }
+
+  [[nodiscard]] const Process& process(ProcessId id) const {
+    FDP_CHECK(id < procs_.size());
+    return *procs_[id];
+  }
+  /// Mutable access — for scenario construction and tests only; protocol
+  /// code never holds a World.
+  [[nodiscard]] Process& process_mut(ProcessId id) {
+    FDP_CHECK(id < procs_.size());
+    return *procs_[id];
+  }
+  /// Typed mutable access.
+  template <typename P>
+  [[nodiscard]] P& process_as(ProcessId id) {
+    auto* p = dynamic_cast<P*>(&process_mut(id));
+    FDP_CHECK_MSG(p != nullptr, "process type mismatch");
+    return *p;
+  }
+
+  [[nodiscard]] const Channel& channel(ProcessId id) const {
+    FDP_CHECK(id < channels_.size());
+    return channels_[id];
+  }
+
+  [[nodiscard]] Mode mode(ProcessId id) const { return process(id).mode(); }
+  [[nodiscard]] LifeState life(ProcessId id) const {
+    return process(id).life();
+  }
+  [[nodiscard]] bool gone(ProcessId id) const {
+    return life(id) == LifeState::Gone;
+  }
+
+  // --- scenario construction ---
+
+  /// Inject a message into `to`'s channel from outside any action (used to
+  /// build arbitrary initial states with in-flight messages). Assigns
+  /// kernel bookkeeping like a regular send.
+  void post(Ref to, Message m);
+
+  /// Force a life state during initial-state construction (e.g. FSP
+  /// scenarios that start with asleep processes).
+  void force_life(ProcessId id, LifeState s) { procs_[id]->life_ = s; }
+
+  // --- fault injection (see sim/chaos.hpp) ---
+
+  /// Remove a message without delivering it. Model-breaking (destroys the
+  /// references it carries); used only for negative testing. Returns true
+  /// when the message existed.
+  bool discard_message(ProcessId id, std::uint64_t seq);
+
+  /// Enqueue a copy of an existing message (fresh sequence number) —
+  /// adversarial duplication; only copies references, so protocols must
+  /// tolerate it. Returns true when the message existed.
+  bool duplicate_message(ProcessId id, std::uint64_t seq);
+
+  /// Drop every message in a channel (state reconstruction by the model
+  /// checker; model-breaking if used mid-run).
+  void clear_channel(ProcessId id) {
+    FDP_CHECK(id < channels_.size());
+    channels_[id].clear();
+  }
+
+  // --- oracle ---
+
+  void set_oracle(OracleFn fn) { oracle_ = std::move(fn); }
+  [[nodiscard]] bool oracle_value(ProcessId id) const;
+
+  // --- observers ---
+
+  void add_observer(Observer* obs) { observers_.push_back(obs); }
+  void remove_observer(Observer* obs);
+
+  // --- execution ---
+
+  /// Execute one atomic action chosen by `sched`. Returns false when the
+  /// scheduler reports no enabled action (terminal configuration).
+  bool step(Scheduler& sched);
+
+  /// Run until `done(world)` holds or `max_steps` actions executed.
+  /// Returns true when `done` held (checked before each step and after the
+  /// last one).
+  bool run_until(Scheduler& sched, std::uint64_t max_steps,
+                 const std::function<bool(const World&)>& done);
+
+  // --- scheduler support queries ---
+
+  /// Ids of awake processes (timeout enabled).
+  [[nodiscard]] std::vector<ProcessId> awake_ids() const;
+  /// Ids of non-gone processes with non-empty channels (delivery enabled).
+  [[nodiscard]] std::vector<ProcessId> deliverable_ids() const;
+  /// Total messages in channels of non-gone processes.
+  [[nodiscard]] std::uint64_t live_message_count() const;
+  /// (proc, seq) of the globally oldest live message; proc == kNoProcess
+  /// when there is none.
+  [[nodiscard]] std::pair<ProcessId, std::uint64_t> oldest_live_message()
+      const;
+
+  // --- statistics ---
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t sends() const { return sends_; }
+  [[nodiscard]] std::uint64_t exits() const { return exits_; }
+  [[nodiscard]] std::uint64_t sleeps() const { return sleeps_; }
+  [[nodiscard]] std::uint64_t wakes() const { return wakes_; }
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  void execute(ActionChoice choice);
+  void finish_action(ActionRecord* rec, Context& ctx, Process& p);
+
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<Channel> channels_;
+  std::vector<Observer*> observers_;
+  OracleFn oracle_;
+  Rng rng_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t steps_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t exits_ = 0;
+  std::uint64_t sleeps_ = 0;
+  std::uint64_t wakes_ = 0;
+};
+
+}  // namespace fdp

@@ -1,0 +1,111 @@
+#include "universality/planner.hpp"
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+std::uint64_t clique_rounds(GraphRewriter& rw) {
+  const std::size_t n = rw.graph().node_count();
+  if (n <= 1) return 0;
+  const std::uint64_t full = static_cast<std::uint64_t>(n) * (n - 1);
+  std::uint64_t rounds = 0;
+  // Guard against a disconnected input (the clique is then unreachable):
+  // cap rounds at n (the diameter bound makes ceil(log2) + 1 << n).
+  while (rw.graph().simple_edge_count() < full && rounds < n + 2) {
+    ++rounds;
+    // Synchronous-round semantics: all introductions of a round are based
+    // on the adjacency snapshot taken at the round start.
+    std::vector<std::vector<NodeId>> snapshot(n);
+    for (NodeId u = 0; u < n; ++u) snapshot[u] = rw.graph().out_neighbors(u);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : snapshot[u]) {
+        // Self-introduction keeps edges bidirectional.
+        if (!rw.graph().has_edge(v, u))
+          (void)rw.apply(RewriteOp::self_introduction(u, v));
+        for (NodeId w : snapshot[u]) {
+          if (v == w || rw.graph().has_edge(v, w)) continue;
+          (void)rw.apply(RewriteOp::introduction(u, v, w));
+        }
+      }
+    }
+  }
+  return rounds;
+}
+
+TransformStats transform_graph(const DiGraph& start, const DiGraph& target,
+                               bool verify_connectivity) {
+  const std::size_t n = start.node_count();
+  FDP_CHECK(target.node_count() == n);
+  FDP_CHECK_MSG(is_weakly_connected(start), "start must be weakly connected");
+  FDP_CHECK_MSG(is_weakly_connected(target),
+                "target must be weakly connected");
+  for (const auto& [u, v] : target.simple_edges()) {
+    FDP_CHECK_MSG(u != v, "target must not contain self-loops");
+    FDP_CHECK_MSG(target.multiplicity(u, v) == 1, "target must be simple");
+  }
+
+  TransformStats stats;
+  GraphRewriter rw(start, verify_connectivity);
+
+  // Normalize: fuse initial duplicate edges down to multiplicity one so
+  // phase A's "introduce only when absent" guard keeps the graph simple.
+  for (const auto& [u, v] : rw.graph().simple_edges()) {
+    while (rw.graph().multiplicity(u, v) > 1)
+      (void)rw.apply(RewriteOp::fusion(u, v));
+  }
+
+  // --- Phase A: clique via introductions ---
+  const std::uint64_t ops0 = rw.ops_applied();
+  stats.intro_rounds = clique_rounds(rw);
+  stats.phase_a_ops = rw.ops_applied() - ops0;
+  if (n > 1 &&
+      rw.graph().simple_edge_count() !=
+          static_cast<std::uint64_t>(n) * (n - 1)) {
+    return stats;  // not weakly connected after all — cannot succeed
+  }
+
+  // --- Phase B: prune to the bidirected extension G'' ---
+  const DiGraph gpp = target.bidirected();
+  const std::uint64_t ops1 = rw.ops_applied();
+  for (const auto& [u, w] : rw.graph().simple_edges()) {
+    if (gpp.has_edge(u, w)) continue;
+    // Delegate (u,w) along the shortest u->w path inside G''. The path's
+    // second-to-last node y has (y,w) in G'', where the copy fuses away.
+    const std::vector<NodeId> path = shortest_path(gpp, u, w);
+    FDP_CHECK_MSG(path.size() >= 3,
+                  "G'' strongly connected => path exists with >= 1 hop");
+    NodeId holder = u;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      const bool ok = rw.apply(RewriteOp::delegation(holder, path[i], w));
+      FDP_CHECK_MSG(ok, "phase B delegation precondition failed");
+      holder = path[i];
+    }
+    // holder is adjacent to w in G''; the multiplicity on (holder, w) is
+    // now 2 — fuse.
+    const bool fused = rw.apply(RewriteOp::fusion(holder, w));
+    FDP_CHECK_MSG(fused, "phase B fusion precondition failed");
+  }
+  stats.phase_b_ops = rw.ops_applied() - ops1;
+
+  // --- Phase C: reverse G'' \ G' onto the antiparallel twin and fuse ---
+  const std::uint64_t ops2 = rw.ops_applied();
+  for (const auto& [u, v] : gpp.simple_edges()) {
+    if (target.has_edge(u, v)) continue;
+    // (u,v) in G'' but not in G'. Then (v,u) must be in G': G'' is the
+    // bidirected extension, so at least one direction exists in G', and
+    // it is not (u,v).
+    const bool rev = rw.apply(RewriteOp::reversal(u, v));
+    FDP_CHECK_MSG(rev, "phase C reversal precondition failed");
+    const bool fused = rw.apply(RewriteOp::fusion(v, u));
+    FDP_CHECK_MSG(fused, "phase C fusion precondition failed");
+  }
+  stats.phase_c_ops = rw.ops_applied() - ops2;
+
+  stats.counts = rw.counts();
+  stats.connectivity_violations = rw.connectivity_violations();
+  stats.success = rw.graph() == target;
+  return stats;
+}
+
+}  // namespace fdp

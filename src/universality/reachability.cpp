@@ -1,0 +1,100 @@
+#include "universality/reachability.hpp"
+
+#include <deque>
+
+#include "universality/rewriter.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+ReachabilityExplorer::ReachabilityExplorer(std::size_t n, std::uint32_t cap)
+    : n_(n), cap_(cap) {
+  FDP_CHECK(n >= 1 && n <= 4);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = 0; v < n; ++v)
+      if (u != v) pairs_.emplace_back(u, v);
+  // Overflow guard: digits^pairs must fit 64 bits.
+  long double space = 1;
+  for (std::size_t i = 0; i < pairs_.size(); ++i)
+    space *= static_cast<long double>(cap + 1);
+  FDP_CHECK_MSG(space < 1.8e19L, "state space exceeds 64-bit encoding");
+}
+
+StateCode ReachabilityExplorer::encode(const DiGraph& g) const {
+  StateCode code = 0;
+  for (auto it = pairs_.rbegin(); it != pairs_.rend(); ++it) {
+    const std::uint64_t m = g.multiplicity(it->first, it->second);
+    FDP_CHECK(m <= cap_);
+    code = code * (cap_ + 1) + m;
+  }
+  return code;
+}
+
+DiGraph ReachabilityExplorer::decode(StateCode code) const {
+  DiGraph g(n_);
+  for (const auto& [u, v] : pairs_) {
+    const std::uint64_t m = code % (cap_ + 1);
+    code /= (cap_ + 1);
+    if (m > 0) g.add_edge(u, v, m);
+  }
+  return g;
+}
+
+void ReachabilityExplorer::successors(const DiGraph& g, unsigned allowed,
+                                      std::vector<StateCode>& out) const {
+  auto try_op = [&](const RewriteOp& op) {
+    GraphRewriter rw(g);
+    if (!rw.apply(op)) return;
+    // Enforce the multiplicity cap on the resulting state.
+    for (const auto& [a, b] : rw.graph().simple_edges())
+      if (rw.graph().multiplicity(a, b) > cap_) return;
+    out.push_back(encode(rw.graph()));
+  };
+
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < n_; ++v) {
+      if (u == v) continue;
+      if (allowed & kAllowIntroduction) {
+        try_op(RewriteOp::self_introduction(u, v));
+        for (NodeId w = 0; w < n_; ++w)
+          if (w != u && w != v) try_op(RewriteOp::introduction(u, v, w));
+      }
+      if (allowed & kAllowDelegation) {
+        for (NodeId w = 0; w < n_; ++w)
+          if (w != u && w != v) try_op(RewriteOp::delegation(u, v, w));
+      }
+      if (allowed & kAllowFusion) try_op(RewriteOp::fusion(u, v));
+      if (allowed & kAllowReversal) try_op(RewriteOp::reversal(u, v));
+    }
+  }
+}
+
+std::set<StateCode> ReachabilityExplorer::explore(const DiGraph& start,
+                                                  unsigned allowed) const {
+  std::set<StateCode> seen;
+  std::deque<StateCode> frontier;
+  const StateCode s0 = encode(start);
+  seen.insert(s0);
+  frontier.push_back(s0);
+  std::vector<StateCode> next;
+  while (!frontier.empty()) {
+    const StateCode code = frontier.front();
+    frontier.pop_front();
+    const DiGraph g = decode(code);
+    next.clear();
+    successors(g, allowed, next);
+    for (StateCode c : next) {
+      if (seen.insert(c).second) frontier.push_back(c);
+    }
+  }
+  return seen;
+}
+
+bool ReachabilityExplorer::reachable(const DiGraph& start,
+                                     const DiGraph& target,
+                                     unsigned allowed) const {
+  const std::set<StateCode> states = explore(start, allowed);
+  return states.count(encode(target)) > 0;
+}
+
+}  // namespace fdp

@@ -1,0 +1,75 @@
+// Exhaustive reachability under primitive subsets (Theorem 2).
+//
+// Theorem 2 states that all four primitives are *necessary* for
+// universality. We machine-check it two ways:
+//
+//  1. Invariant arguments (the paper's proof, turned into checkable
+//     properties of the rewriter ops):
+//       - without Introduction, the total edge count never increases;
+//       - without Fusion, it never decreases;
+//       - without Delegation, a pair of adjacent processes can never
+//         become non-adjacent (Intro adds, Fusion removes duplicates only,
+//         Reversal flips);
+//       - without Reversal, on the 2-node graph {(u,v)} the target {(v,u)}
+//         is unreachable.
+//  2. Exhaustive breadth-first search over the full state space of small
+//     multigraphs (n <= 3) with a multiplicity cap: enumerate every graph
+//     reachable using a chosen subset of the primitives. The cap bounds
+//     the (otherwise infinite) space; any state found reachable is truly
+//     reachable (the search only applies legal ops), and the witnesses of
+//     unreachability produced here are the ones the proof needs (they all
+//     live at tiny multiplicities).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace fdp {
+
+/// Bitmask of allowed primitives.
+enum : unsigned {
+  kAllowIntroduction = 1u << 0,
+  kAllowDelegation = 1u << 1,
+  kAllowFusion = 1u << 2,
+  kAllowReversal = 1u << 3,
+  kAllowAll = 0xF,
+};
+
+/// Dense encoding of a small multigraph: base-(cap+1) digits over the
+/// n*(n-1) ordered pairs (self-loops excluded).
+using StateCode = std::uint64_t;
+
+class ReachabilityExplorer {
+ public:
+  /// n <= 4 and (cap+1)^(n*(n-1)) must fit in 64 bits.
+  ReachabilityExplorer(std::size_t n, std::uint32_t cap);
+
+  [[nodiscard]] StateCode encode(const DiGraph& g) const;
+  [[nodiscard]] DiGraph decode(StateCode code) const;
+
+  /// All states reachable from `start` using the allowed primitives,
+  /// never exceeding the multiplicity cap (ops that would are skipped).
+  [[nodiscard]] std::set<StateCode> explore(const DiGraph& start,
+                                            unsigned allowed) const;
+
+  /// True when `target` is reachable from `start` under `allowed`.
+  [[nodiscard]] bool reachable(const DiGraph& start, const DiGraph& target,
+                               unsigned allowed) const;
+
+  [[nodiscard]] std::size_t nodes() const { return n_; }
+  [[nodiscard]] std::uint32_t cap() const { return cap_; }
+
+ private:
+  /// Successor states of one state under the allowed primitives.
+  void successors(const DiGraph& g, unsigned allowed,
+                  std::vector<StateCode>& out) const;
+
+  std::size_t n_;
+  std::uint32_t cap_;
+  std::vector<std::pair<NodeId, NodeId>> pairs_;  // ordered non-self pairs
+};
+
+}  // namespace fdp

@@ -1,0 +1,67 @@
+#include "universality/rewriter.hpp"
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+GraphRewriter::GraphRewriter(DiGraph g, bool verify_connectivity)
+    : g_(std::move(g)), verify_(verify_connectivity) {
+  FDP_CHECK_MSG(g_.strip_self_loops() == 0,
+                "rewriter input must not contain self-loops");
+}
+
+bool GraphRewriter::apply(const RewriteOp& op) {
+  bool ok = false;
+  switch (op.kind) {
+    case Primitive::Introduction: {
+      if (op.w == op.u) {
+        // Self-introduction: u sends its own reference to v.
+        ok = op.u != op.v && g_.has_edge(op.u, op.v);
+        if (ok) g_.add_edge(op.v, op.u);
+      } else {
+        ok = op.u != op.v && op.v != op.w && op.u != op.w &&
+             g_.has_edge(op.u, op.v) && g_.has_edge(op.u, op.w);
+        if (ok) g_.add_edge(op.v, op.w);
+      }
+      if (ok) ++counts_.introductions;
+      break;
+    }
+    case Primitive::Delegation: {
+      ok = op.u != op.v && op.v != op.w && op.u != op.w &&
+           g_.has_edge(op.u, op.v) && g_.has_edge(op.u, op.w);
+      if (ok) {
+        g_.remove_edge(op.u, op.w);
+        g_.add_edge(op.v, op.w);
+        ++counts_.delegations;
+      }
+      break;
+    }
+    case Primitive::Fusion: {
+      ok = g_.multiplicity(op.u, op.v) >= 2;
+      if (ok) {
+        g_.remove_edge(op.u, op.v);
+        ++counts_.fusions;
+      }
+      break;
+    }
+    case Primitive::Reversal: {
+      ok = op.u != op.v && g_.has_edge(op.u, op.v);
+      if (ok) {
+        g_.remove_edge(op.u, op.v);
+        g_.add_edge(op.v, op.u);
+        ++counts_.reversals;
+      }
+      break;
+    }
+  }
+  if (!ok) {
+    ++rejected_;
+    return false;
+  }
+  ++applied_;
+  if (verify_ && !is_weakly_connected(g_)) ++violations_;
+  return true;
+}
+
+}  // namespace fdp

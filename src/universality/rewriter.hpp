@@ -1,0 +1,80 @@
+// Graph rewriting with the four primitives (paper Section 2).
+//
+// The rewriter is the *abstract* counterpart of the message-passing layer:
+// it applies primitive operations directly to a directed multigraph,
+// collapsing message transit (an introduced/delegated reference appears at
+// its destination immediately). This is exactly the graph semantics used
+// in the proofs of Theorems 1 and 2, and lets us machine-check both.
+//
+// Preconditions are enforced (an op whose required edges are absent is
+// rejected), self-loops are disallowed (the primitives assume pairwise
+// distinct endpoints; a process trivially knows itself), and the rewriter
+// can optionally verify weak connectivity after every operation — the
+// machine-checked form of Lemma 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/primitives.hpp"
+#include "graph/digraph.hpp"
+
+namespace fdp {
+
+struct RewriteOp {
+  Primitive kind = Primitive::Introduction;
+  /// Introduction u,v,w : requires (u,v) and (u,w); adds (v,w). With
+  ///   w == u this is self-introduction: requires (u,v); adds (v,u).
+  /// Delegation   u,v,w : requires (u,v) and (u,w); removes (u,w), adds (v,w).
+  /// Fusion       u,v   : requires multiplicity(u,v) >= 2; removes one copy.
+  /// Reversal     u,v   : requires (u,v); removes it, adds (v,u).
+  NodeId u = 0, v = 0, w = 0;
+
+  [[nodiscard]] static RewriteOp introduction(NodeId u, NodeId v, NodeId w) {
+    return {Primitive::Introduction, u, v, w};
+  }
+  [[nodiscard]] static RewriteOp self_introduction(NodeId u, NodeId v) {
+    return {Primitive::Introduction, u, v, u};
+  }
+  [[nodiscard]] static RewriteOp delegation(NodeId u, NodeId v, NodeId w) {
+    return {Primitive::Delegation, u, v, w};
+  }
+  [[nodiscard]] static RewriteOp fusion(NodeId u, NodeId v) {
+    return {Primitive::Fusion, u, v, 0};
+  }
+  [[nodiscard]] static RewriteOp reversal(NodeId u, NodeId v) {
+    return {Primitive::Reversal, u, v, 0};
+  }
+};
+
+class GraphRewriter {
+ public:
+  /// `verify_connectivity`: re-check weak connectivity after every applied
+  /// op (slow; used by the Lemma-1 property tests).
+  explicit GraphRewriter(DiGraph g, bool verify_connectivity = false);
+
+  /// Apply one primitive. Returns false (graph unchanged) when the
+  /// preconditions do not hold.
+  bool apply(const RewriteOp& op);
+
+  [[nodiscard]] const DiGraph& graph() const { return g_; }
+  [[nodiscard]] std::uint64_t ops_applied() const { return applied_; }
+  [[nodiscard]] std::uint64_t ops_rejected() const { return rejected_; }
+  [[nodiscard]] const PrimitiveCounts& counts() const { return counts_; }
+  /// Only meaningful with verify_connectivity: number of ops after which
+  /// the graph was NOT weakly connected (Lemma 1 says this stays 0 when
+  /// the start graph is weakly connected).
+  [[nodiscard]] std::uint64_t connectivity_violations() const {
+    return violations_;
+  }
+
+ private:
+  DiGraph g_;
+  bool verify_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t violations_ = 0;
+  PrimitiveCounts counts_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,39 @@
+// Assertion helpers used throughout the library.
+//
+// FDP_CHECK is always on (it guards model invariants whose violation means
+// the simulation no longer implements the paper's semantics, so continuing
+// would silently produce wrong science). FDP_DCHECK compiles out in NDEBUG
+// builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fdp {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "FDP_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace fdp
+
+#define FDP_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) ::fdp::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FDP_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) ::fdp::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define FDP_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define FDP_DCHECK(cond) FDP_CHECK(cond)
+#endif

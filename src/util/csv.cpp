@@ -1,0 +1,34 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  if (out_) row(header);
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  bool needs = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += "\"\"";
+    else q += c;
+  }
+  q += "\"";
+  return q;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  FDP_CHECK_MSG(cells.size() == arity_, "csv row arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace fdp

@@ -1,0 +1,29 @@
+// Minimal CSV writer used by the experiment harness to dump raw per-run data
+// next to the rendered ASCII tables (for offline plotting).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fdp {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header immediately.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// True when the output file could be opened.
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// Append one row; fields are quoted as needed.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,68 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fdp {
+
+Flags::Flags(int argc, char** argv) : program_(argc > 0 ? argv[0] : "") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) {
+  auto it = values_.find(name);
+  consumed_[name] = true;
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double def) {
+  auto it = values_.find(name);
+  consumed_[name] = true;
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::get_string(const std::string& name, std::string def) {
+  auto it = values_.find(name);
+  consumed_[name] = true;
+  if (it == values_.end()) return def;
+  return it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) {
+  auto it = values_.find(name);
+  consumed_[name] = true;
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Flags::reject_unknown() const {
+  bool bad = false;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!consumed_.count(name)) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      bad = true;
+    }
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace fdp

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for examples and bench harnesses.
+//
+// Supports `--name=value` and `--name value`; unknown flags abort with a
+// usage listing so typos in experiment sweeps are caught rather than
+// silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fdp {
+
+class Flags {
+ public:
+  /// Parse argv. Flags must be registered (via get_* defaults) before parse
+  /// in usage(), but registration-on-read keeps call sites compact, so we
+  /// instead collect raw pairs here and validate on read.
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def);
+  [[nodiscard]] double get_double(const std::string& name, double def);
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string def);
+  [[nodiscard]] bool get_bool(const std::string& name, bool def);
+
+  /// Call after all get_* calls: abort with a message if any provided flag
+  /// was never consumed (catches typos).
+  void reject_unknown() const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (schedulers, generators,
+// scenario corruption) draws from an Rng seeded from a single run seed, so a
+// run is exactly reproducible from (code version, seed). We use
+// xoshiro256** seeded through SplitMix64, the canonical seeding procedure
+// recommended by the xoshiro authors; both are tiny, fast and high quality,
+// and — unlike std::mt19937_64 with std::uniform_int_distribution — produce
+// identical streams on every platform and standard library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fdp {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xfdb0'1234'5678'9abcULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fdp

@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+void Table::set_header(std::vector<std::string> header) {
+  FDP_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  FDP_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Table::fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::pm(double mean, double sd, int digits) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f +- %.*f", digits, mean, digits, sd);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += hline();
+  out += line(header_);
+  out += hline();
+  for (const auto& row : rows_) out += line(row);
+  out += hline();
+  return out;
+}
+
+void Table::print() const {
+  std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace fdp

@@ -1,0 +1,46 @@
+// ASCII table rendering for experiment harnesses.
+//
+// Every bench binary prints its results as a bordered, column-aligned table
+// so the regenerated "paper tables" (EXPERIMENTS.md) can be produced by
+// copy-paste from the bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdp {
+
+/// A simple column-aligned table with a title row and a header row.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Define the header. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row. Size must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format helpers for mixed-type rows.
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int digits = 2);
+  /// "mean ± sd" cell.
+  static std::string pm(double mean, double sd, int digits = 1);
+
+  /// Render to a string with unicode-free ASCII borders.
+  [[nodiscard]] std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fdp

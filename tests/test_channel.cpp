@@ -1,0 +1,72 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdp {
+namespace {
+
+Message msg(std::uint64_t seq) {
+  Message m;
+  m.seq = seq;
+  return m;
+}
+
+TEST(Channel, StartsEmpty) {
+  Channel ch;
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_EQ(ch.oldest_index(), 0u);
+}
+
+TEST(Channel, PushAndTakeAnyIndex) {
+  Channel ch;
+  ch.push(msg(1));
+  ch.push(msg(2));
+  ch.push(msg(3));
+  EXPECT_EQ(ch.size(), 3u);
+  const Message taken = ch.take(1);
+  EXPECT_EQ(taken.seq, 2u);
+  EXPECT_EQ(ch.size(), 2u);
+  // Remaining messages are 1 and 3 (order irrelevant).
+  std::uint64_t sum = 0;
+  for (const Message& m : ch.messages()) sum += m.seq;
+  EXPECT_EQ(sum, 4u);
+}
+
+TEST(Channel, OldestIndexFindsSmallestSeq) {
+  Channel ch;
+  ch.push(msg(9));
+  ch.push(msg(4));
+  ch.push(msg(7));
+  EXPECT_EQ(ch.peek(ch.oldest_index()).seq, 4u);
+}
+
+TEST(Channel, IndexOfSeq) {
+  Channel ch;
+  ch.push(msg(10));
+  ch.push(msg(20));
+  EXPECT_LT(ch.index_of_seq(20), ch.size());
+  EXPECT_EQ(ch.peek(ch.index_of_seq(20)).seq, 20u);
+  EXPECT_EQ(ch.index_of_seq(99), ch.size());  // absent
+}
+
+TEST(Channel, NonFifoRemovalPreservesOthers) {
+  Channel ch;
+  for (std::uint64_t s = 1; s <= 10; ++s) ch.push(msg(s));
+  (void)ch.take(ch.index_of_seq(5));
+  (void)ch.take(ch.index_of_seq(1));
+  EXPECT_EQ(ch.size(), 8u);
+  EXPECT_EQ(ch.index_of_seq(5), ch.size());
+  EXPECT_EQ(ch.index_of_seq(1), ch.size());
+  EXPECT_LT(ch.index_of_seq(10), ch.size());
+}
+
+TEST(Channel, ClearEmpties) {
+  Channel ch;
+  ch.push(msg(1));
+  ch.clear();
+  EXPECT_TRUE(ch.empty());
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,104 @@
+// Fault injection: duplication must be harmless (it only copies
+// references); loss breaks the model and the monitors must catch it.
+#include "sim/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "analysis/monitors.hpp"
+#include "core/oracle.hpp"
+
+namespace fdp {
+namespace {
+
+class DuplicationSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DuplicationSweep, ProtocolToleratesDuplicatedMessages) {
+  ScenarioConfig cfg;
+  cfg.n = 10;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.seed = GetParam();
+  Scenario sc = build_departure_scenario(cfg);
+
+  ChaosScheduler chaos(std::make_unique<RandomScheduler>(),
+                       /*p_duplicate=*/0.2, /*p_drop=*/0.0,
+                       /*seed=*/GetParam() * 97);
+  chaos.bind(sc.world.get());
+
+  SafetyMonitor safety(*sc.world, 1);
+  sc.world->add_observer(&safety);
+  LegitimacyChecker checker(*sc.world, Exclusion::Gone);
+
+  bool legit = false;
+  for (int block = 0; block < 4000 && !legit; ++block) {
+    for (int i = 0; i < 100; ++i) (void)sc.world->step(chaos);
+    legit = all_leaving_gone(*sc.world) && checker.legitimate(*sc.world);
+  }
+  EXPECT_TRUE(legit);
+  EXPECT_TRUE(safety.ok());
+  EXPECT_GT(chaos.duplicated(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DuplicationSweep,
+                         testing::Range<std::uint64_t>(1, 9));
+
+TEST(Chaos, MessageLossIsDetectedByTheMonitors) {
+  // Drop messages aggressively on a line where every leaver is a cut
+  // vertex: destroyed references eventually disconnect someone, and the
+  // safety monitor (or a failed run) must notice. This is negative
+  // testing OF THE INSTRUMENTATION, not of the protocol — the model
+  // explicitly promises loss-free channels.
+  bool detected = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !detected; ++seed) {
+    ScenarioConfig cfg;
+    cfg.n = 10;
+    cfg.topology = "line";
+    cfg.leave_fraction = 0.4;
+    cfg.seed = seed;
+    Scenario sc = build_departure_scenario(cfg);
+
+    ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.0,
+                         /*p_drop=*/0.3, seed * 131);
+    chaos.bind(sc.world.get());
+    SafetyMonitor safety(*sc.world, 1);
+    sc.world->add_observer(&safety);
+    LegitimacyChecker checker(*sc.world, Exclusion::Gone);
+    for (int i = 0; i < 30'000; ++i) (void)sc.world->step(chaos);
+    const bool legit =
+        all_leaving_gone(*sc.world) && checker.legitimate(*sc.world);
+    if (!safety.ok() || !legit) detected = true;
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(Chaos, DropAndDuplicateCountersWork) {
+  ScenarioConfig cfg;
+  cfg.n = 6;
+  cfg.topology = "ring";
+  cfg.leave_fraction = 0.0;
+  cfg.seed = 2;
+  Scenario sc = build_departure_scenario(cfg);
+  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.5, 0.2, 7);
+  chaos.bind(sc.world.get());
+  for (int i = 0; i < 5'000; ++i) (void)sc.world->step(chaos);
+  EXPECT_GT(chaos.duplicated(), 0u);
+  EXPECT_GT(chaos.dropped(), 0u);
+}
+
+TEST(Chaos, WorldDuplicateAndDiscardPrimitives) {
+  World w(1);
+  const Ref a = w.spawn<DepartureProcess>(Mode::Staying, 1);
+  w.post(a, Message::present(RefInfo{a, ModeInfo::Staying, 1}));
+  const std::uint64_t seq = w.channel(0).peek(0).seq;
+  EXPECT_TRUE(w.duplicate_message(0, seq));
+  EXPECT_EQ(w.channel(0).size(), 2u);
+  EXPECT_TRUE(w.discard_message(0, seq));
+  EXPECT_EQ(w.channel(0).size(), 1u);
+  EXPECT_FALSE(w.discard_message(0, seq));       // already gone
+  EXPECT_FALSE(w.duplicate_message(0, 999999));  // unknown seq
+}
+
+}  // namespace
+}  // namespace fdp

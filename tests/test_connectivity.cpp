@@ -1,0 +1,110 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace fdp {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.component_count(), 4u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.component_count(), 2u);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.component_count(), 1u);
+}
+
+TEST(Connectivity, WeakComponentsIgnoreDirection) {
+  DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);  // 0->1<-2 weakly connects {0,1,2}
+  const Components c = weak_components(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_NE(c.label[3], c.label[0]);
+}
+
+TEST(Connectivity, InducedComponentsExcludeNodes) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<bool> inc{true, false, true};
+  const Components c = weak_components_induced(g, inc);
+  EXPECT_EQ(c.count, 2u);  // 0 and 2 separated once 1 is excluded
+  EXPECT_EQ(c.label[1], kNoComponent);
+  EXPECT_NE(c.label[0], c.label[2]);
+}
+
+TEST(Connectivity, IsWeaklyConnectedTrivialCases) {
+  EXPECT_TRUE(is_weakly_connected(DiGraph(0)));
+  EXPECT_TRUE(is_weakly_connected(DiGraph(1)));
+  EXPECT_FALSE(is_weakly_connected(DiGraph(2)));
+}
+
+TEST(Connectivity, ReachableFromFollowsDirection) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto r = reachable_from(g, 0);
+  EXPECT_TRUE(r[0] && r[1] && r[2]);
+  const auto r2 = reachable_from(g, 2);
+  EXPECT_TRUE(r2[2]);
+  EXPECT_FALSE(r2[0]);
+}
+
+TEST(Connectivity, StronglyConnectedCycle) {
+  DiGraph cyc(3);
+  cyc.add_edge(0, 1);
+  cyc.add_edge(1, 2);
+  cyc.add_edge(2, 0);
+  EXPECT_TRUE(is_strongly_connected(cyc));
+  DiGraph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  EXPECT_FALSE(is_strongly_connected(path));
+}
+
+TEST(Connectivity, BidirectedOfConnectedIsStronglyConnected) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const DiGraph g = gen::random_weakly_connected(12, 6, 0.3, rng);
+    ASSERT_TRUE(is_weakly_connected(g));
+    EXPECT_TRUE(is_strongly_connected(g.bidirected()));
+  }
+}
+
+TEST(Connectivity, ShortestPathEndpointsInclusive) {
+  DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  const auto p = shortest_path(g, 0, 3);
+  EXPECT_EQ(p, (std::vector<NodeId>{0, 3}));
+  const auto p2 = shortest_path(g, 0, 2);
+  EXPECT_EQ(p2, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Connectivity, ShortestPathUnreachableIsEmpty) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(shortest_path(g, 1, 0).empty());
+  EXPECT_TRUE(shortest_path(g, 0, 2).empty());
+}
+
+TEST(Connectivity, ShortestPathToSelf) {
+  DiGraph g(2);
+  g.add_edge(0, 1);
+  const auto p = shortest_path(g, 0, 0);
+  EXPECT_EQ(p, (std::vector<NodeId>{0}));
+}
+
+}  // namespace
+}  // namespace fdp

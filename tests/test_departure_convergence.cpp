@@ -1,0 +1,183 @@
+// Integration: the FDP protocol reaches a legitimate state (Theorem 3) on
+// a grid of topologies, schedulers and corruption levels, with the safety
+// and potential monitors attached (Lemmas 2 and 3 as run invariants).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+
+namespace fdp {
+namespace {
+
+struct Case {
+  const char* topology;
+  SchedulerKind sched;
+  double leave_fraction;
+  double corruption;  // drives invalid modes / anchors / in-flight noise
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string s = std::string(c.topology) + "_" + to_string(c.sched) + "_l" +
+                  std::to_string(static_cast<int>(c.leave_fraction * 100)) +
+                  "_c" + std::to_string(static_cast<int>(c.corruption * 100));
+  return s;
+}
+
+class FdpConvergence : public testing::TestWithParam<Case> {};
+
+TEST_P(FdpConvergence, ReachesLegitimateStateSafely) {
+  const Case& c = GetParam();
+  ScenarioConfig cfg;
+  cfg.n = 14;
+  cfg.topology = c.topology;
+  cfg.leave_fraction = c.leave_fraction;
+  cfg.invalid_mode_prob = c.corruption;
+  cfg.random_anchor_prob = c.corruption;
+  cfg.inflight_per_node = c.corruption * 2;
+  cfg.seed = 12345;
+
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 400'000;
+  opt.scheduler = c.sched;
+  opt.with_monitors = true;
+  opt.monitor_stride = 1;
+  opt.closure_steps = 500;
+
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_TRUE(r.safety_ok) << r.failure;
+  EXPECT_TRUE(r.phi_monotone) << r.failure;
+  EXPECT_TRUE(r.audit_ok) << r.failure;
+  EXPECT_TRUE(r.closure_held);
+  EXPECT_EQ(r.exits, sc.leaving_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FdpConvergence,
+    testing::Values(
+        // Clean departures on every topology under the random scheduler.
+        Case{"line", SchedulerKind::Random, 0.3, 0.0},
+        Case{"ring", SchedulerKind::Random, 0.3, 0.0},
+        Case{"star", SchedulerKind::Random, 0.3, 0.0},
+        Case{"clique", SchedulerKind::Random, 0.3, 0.0},
+        Case{"tree", SchedulerKind::Random, 0.3, 0.0},
+        Case{"gnp", SchedulerKind::Random, 0.3, 0.0},
+        Case{"wild", SchedulerKind::Random, 0.3, 0.0},
+        // Heavy corruption (self-stabilization proper).
+        Case{"line", SchedulerKind::Random, 0.3, 0.5},
+        Case{"gnp", SchedulerKind::Random, 0.3, 0.5},
+        Case{"wild", SchedulerKind::Random, 0.3, 0.5},
+        Case{"tree", SchedulerKind::Random, 0.5, 1.0},
+        // Scheduler sweep.
+        Case{"gnp", SchedulerKind::RoundRobin, 0.3, 0.3},
+        Case{"gnp", SchedulerKind::Rounds, 0.3, 0.3},
+        Case{"gnp", SchedulerKind::Adversarial, 0.3, 0.3},
+        Case{"wild", SchedulerKind::RoundRobin, 0.5, 0.5},
+        Case{"wild", SchedulerKind::Adversarial, 0.5, 0.5},
+        // Extreme leave fractions.
+        Case{"gnp", SchedulerKind::Random, 0.9, 0.3},
+        Case{"line", SchedulerKind::Random, 0.9, 0.0},
+        Case{"star", SchedulerKind::Random, 0.8, 0.5}),
+    case_name);
+
+TEST(FdpConvergenceSeeds, ManySeedsOneConfig) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ScenarioConfig cfg;
+    cfg.n = 12;
+    cfg.topology = "wild";
+    cfg.leave_fraction = 0.4;
+    cfg.invalid_mode_prob = 0.4;
+    cfg.random_anchor_prob = 0.4;
+    cfg.inflight_per_node = 1.0;
+    cfg.seed = seed;
+    Scenario sc = build_departure_scenario(cfg);
+    RunOptions opt;
+    opt.max_steps = 400'000;
+    opt.with_monitors = true;
+    const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+    EXPECT_TRUE(r.reached_legitimate) << "seed " << seed << ": " << r.failure;
+    EXPECT_TRUE(r.safety_ok && r.phi_monotone && r.audit_ok)
+        << "seed " << seed << ": " << r.failure;
+  }
+}
+
+TEST(FdpConvergence, AllLeavingClampedToKeepOneStayer) {
+  ScenarioConfig cfg;
+  cfg.n = 6;
+  cfg.topology = "line";
+  cfg.leave_fraction = 1.0;  // clamped to n-1 leaving
+  cfg.seed = 3;
+  Scenario sc = build_departure_scenario(cfg);
+  EXPECT_EQ(sc.leaving_count, 5u);
+  RunOptions opt;
+  opt.max_steps = 400'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+}
+
+TEST(FdpConvergence, SingletonWorld) {
+  ScenarioConfig cfg;
+  cfg.n = 1;
+  cfg.leave_fraction = 0.0;
+  cfg.topology = "line";
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 100;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  EXPECT_TRUE(r.reached_legitimate);
+}
+
+TEST(FdpConvergence, NoLeavingProcessesIsImmediatelyLegitimate) {
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.leave_fraction = 0.0;
+  cfg.topology = "ring";
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 10'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  EXPECT_TRUE(r.reached_legitimate);
+  EXPECT_EQ(r.exits, 0u);
+}
+
+TEST(FdpConvergence, PhiNeverAboveInitial) {
+  ScenarioConfig cfg;
+  cfg.n = 12;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.6;
+  cfg.inflight_per_node = 2.0;
+  cfg.seed = 9;
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 400'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ASSERT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_GT(r.phi_initial, 0u);
+  EXPECT_LE(r.phi_final, r.phi_initial);
+}
+
+TEST(FdpConvergence, PhiEventuallyDrainsToZero) {
+  // Even with no departures at all, invalid knowledge about staying
+  // processes is eventually corrected by the periodic self-introduction
+  // (the paper: "periodically executed self-introduction can ensure that
+  // invalid information vanishes from the system").
+  ScenarioConfig cfg;
+  cfg.n = 12;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.0;
+  cfg.invalid_mode_prob = 0.7;
+  cfg.inflight_per_node = 2.0;
+  cfg.seed = 21;
+  Scenario sc = build_departure_scenario(cfg);
+  ASSERT_GT(phi(*sc.world), 0u);
+  RandomScheduler sched;
+  for (int block = 0; block < 150 && phi(*sc.world) > 0; ++block) {
+    for (int i = 0; i < 1000; ++i) ASSERT_TRUE(sc.world->step(sched));
+  }
+  EXPECT_EQ(phi(*sc.world), 0u);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,353 @@
+// Unit tests for the departure protocol, branch by branch against the
+// paper's Algorithms 1-3.
+#include "core/departure_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+namespace {
+
+struct Fixture {
+  World w{1};
+  std::vector<Ref> refs;
+
+  Ref spawn(Mode m, DeparturePolicy pol = DeparturePolicy::ExitWithOracle) {
+    const Ref r = w.spawn<DepartureProcess>(m, refs.size(), pol);
+    refs.push_back(r);
+    return r;
+  }
+  DepartureProcess& proc(std::size_t i) {
+    return w.process_as<DepartureProcess>(static_cast<ProcessId>(i));
+  }
+  /// Run exactly the timeout action of process i.
+  void timeout(std::size_t i) {
+    struct One : Scheduler {
+      ProcessId p;
+      bool fired = false;
+      ActionChoice next(const World&, Rng&) override {
+        if (fired) return ActionChoice::none();
+        fired = true;
+        return ActionChoice::timeout(p);
+      }
+    } s;
+    s.p = static_cast<ProcessId>(i);
+    ASSERT_TRUE(w.step(s));
+  }
+  /// Deliver one specific message (by seq) to process i.
+  void deliver(std::size_t i, std::uint64_t seq) {
+    struct One : Scheduler {
+      ProcessId p;
+      std::uint64_t seq;
+      bool fired = false;
+      ActionChoice next(const World&, Rng&) override {
+        if (fired) return ActionChoice::none();
+        fired = true;
+        return ActionChoice::deliver(p, seq);
+      }
+    } s;
+    s.p = static_cast<ProcessId>(i);
+    s.seq = seq;
+    ASSERT_TRUE(w.step(s));
+  }
+  /// Deliver the single message in i's channel.
+  void deliver_one(std::size_t i) {
+    ASSERT_EQ(w.channel(static_cast<ProcessId>(i)).size(), 1u);
+    deliver(i, w.channel(static_cast<ProcessId>(i)).peek(0).seq);
+  }
+  RefInfo info(std::size_t i, ModeInfo m) { return RefInfo{refs[i], m, i}; }
+};
+
+// --- Algorithm 1 (timeout) ---
+
+TEST(DepartureTimeout, StayingSelfIntroducesToStayingNeighbors) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.proc(0).nbrs_mut().insert(f.info(1, ModeInfo::Staying));
+  f.timeout(0);
+  // Line 22: present(u) sent to v; reference kept (line 19-22, staying).
+  EXPECT_TRUE(f.proc(0).nbrs().contains(f.refs[1]));
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  const Message& m = f.w.channel(1).peek(0);
+  EXPECT_EQ(m.verb, Verb::Present);
+  ASSERT_EQ(m.refs.size(), 1u);
+  EXPECT_EQ(m.refs[0].ref, f.refs[0]);
+  EXPECT_EQ(m.refs[0].mode, ModeInfo::Staying);  // info about self is valid
+}
+
+TEST(DepartureTimeout, StayingExpelsLeavingNeighborWithReversal) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Leaving);
+  f.proc(0).nbrs_mut().insert(f.info(1, ModeInfo::Leaving));
+  f.timeout(0);
+  // Lines 20-22: dropped from N, own reference sent to it.
+  EXPECT_FALSE(f.proc(0).nbrs().contains(f.refs[1]));
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
+}
+
+TEST(DepartureTimeout, StayingClearsAnchorToSelfChannel) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.proc(0).set_anchor(f.info(1, ModeInfo::Staying));
+  f.timeout(0);
+  // Lines 16-18: anchor moved into own channel as a present message.
+  EXPECT_FALSE(f.proc(0).anchor().has_value());
+  ASSERT_EQ(f.w.channel(0).size(), 1u);
+  EXPECT_EQ(f.w.channel(0).peek(0).verb, Verb::Present);
+  EXPECT_EQ(f.w.channel(0).peek(0).refs[0].ref, f.refs[1]);
+}
+
+TEST(DepartureTimeout, LeavingAnchorBelievedLeavingIsDistrusted) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Leaving);
+  f.proc(0).set_anchor(f.info(1, ModeInfo::Leaving));
+  f.w.set_oracle(make_always_oracle(false));
+  f.timeout(0);
+  // Lines 1-3: anchor cleared, present(anchor) to self.
+  EXPECT_FALSE(f.proc(0).anchor().has_value());
+  ASSERT_EQ(f.w.channel(0).size(), 1u);
+  EXPECT_EQ(f.w.channel(0).peek(0).refs[0].ref, f.refs[1]);
+}
+
+TEST(DepartureTimeout, LeavingFlushesNeighborhoodToSelf) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.proc(0).nbrs_mut().insert(f.info(1, ModeInfo::Staying));
+  f.proc(0).nbrs_mut().insert(f.info(2, ModeInfo::Staying));
+  f.w.set_oracle(make_always_oracle(false));
+  f.timeout(0);
+  // Lines 11-14: N emptied, two forward messages to self.
+  EXPECT_TRUE(f.proc(0).nbrs().empty());
+  EXPECT_EQ(f.w.channel(0).size(), 2u);
+  EXPECT_EQ(f.w.channel(0).peek(0).verb, Verb::Forward);
+}
+
+TEST(DepartureTimeout, LeavingExitsWhenOracleTrue) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.w.set_oracle(make_single_oracle());
+  f.timeout(0);
+  EXPECT_EQ(f.w.life(0), LifeState::Gone);
+}
+
+TEST(DepartureTimeout, LeavingDoesNotExitWhenOracleFalse) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.w.set_oracle(make_always_oracle(false));
+  f.timeout(0);
+  EXPECT_EQ(f.w.life(0), LifeState::Awake);
+}
+
+TEST(DepartureTimeout, LeavingVerifiesAnchorWhenBlocked) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.proc(0).set_anchor(f.info(1, ModeInfo::Staying));
+  f.w.set_oracle(make_always_oracle(false));
+  f.timeout(0);
+  // Lines 9-10: present(self) to anchor; anchor kept.
+  EXPECT_TRUE(f.proc(0).anchor().has_value());
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].mode, ModeInfo::Leaving);
+}
+
+// --- Algorithm 2 (present) ---
+
+TEST(DeparturePresent, StayingStoresStayingRef) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.w.post(f.refs[0], Message::present(f.info(2, ModeInfo::Staying)));
+  f.deliver_one(0);
+  EXPECT_TRUE(f.proc(0).nbrs().contains(f.refs[2]));  // line 17
+}
+
+TEST(DeparturePresent, StayingBouncesLeavingRef) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Leaving);
+  f.proc(0).nbrs_mut().insert(f.info(1, ModeInfo::Staying));  // stale
+  f.w.post(f.refs[0], Message::present(f.info(1, ModeInfo::Leaving)));
+  f.deliver_one(0);
+  // Lines 7-9: removed from N, forward(self) sent to the leaver.
+  EXPECT_FALSE(f.proc(0).nbrs().contains(f.refs[1]));
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).verb, Verb::Forward);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
+}
+
+TEST(DeparturePresent, LeavingRecruitsAnchor) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.w.post(f.refs[0], Message::present(f.info(1, ModeInfo::Staying)));
+  f.deliver_one(0);
+  // Line 15.
+  ASSERT_TRUE(f.proc(0).anchor().has_value());
+  EXPECT_EQ(f.proc(0).anchor()->ref, f.refs[1]);
+}
+
+TEST(DeparturePresent, AnchoredLeavingReversesExtraStayingRef) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.proc(0).set_anchor(f.info(1, ModeInfo::Staying));
+  f.w.post(f.refs[0], Message::present(f.info(2, ModeInfo::Staying)));
+  f.deliver_one(0);
+  // Lines 12-13: forward(self) to the presented process.
+  ASSERT_EQ(f.w.channel(2).size(), 1u);
+  EXPECT_EQ(f.w.channel(2).peek(0).refs[0].ref, f.refs[0]);
+  EXPECT_EQ(f.proc(0).anchor()->ref, f.refs[1]);  // anchor unchanged
+}
+
+TEST(DeparturePresent, LeavingAnchorReferenceClearsAnchor) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Leaving);
+  f.proc(0).set_anchor(f.info(1, ModeInfo::Staying));  // invalid belief
+  f.w.post(f.refs[0], Message::present(f.info(1, ModeInfo::Leaving)));
+  f.deliver_one(0);
+  // Lines 1-2 fire, then lines 4-5 bounce our own reference to it.
+  EXPECT_FALSE(f.proc(0).anchor().has_value());
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
+}
+
+TEST(DeparturePresent, OwnReferenceIsDropped) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.w.post(f.refs[0], Message::present(f.info(0, ModeInfo::Staying)));
+  f.deliver_one(0);
+  EXPECT_TRUE(f.proc(0).nbrs().empty());
+  EXPECT_EQ(f.w.sends(), 0u);
+}
+
+// --- Algorithm 3 (forward) ---
+
+TEST(DepartureForward, StayingStoresStayingRef) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.w.post(f.refs[0], Message::forward(f.info(1, ModeInfo::Staying)));
+  f.deliver_one(0);
+  EXPECT_TRUE(f.proc(0).nbrs().contains(f.refs[1]));  // lines 19-20
+}
+
+TEST(DepartureForward, AnchoredLeavingDelegatesToAnchor) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.proc(0).set_anchor(f.info(1, ModeInfo::Staying));
+  f.w.post(f.refs[0], Message::forward(f.info(2, ModeInfo::Staying)));
+  f.deliver_one(0);
+  // Lines 15-16: the reference travels to the anchor.
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).verb, Verb::Forward);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[2]);
+}
+
+TEST(DepartureForward, UnanchoredLeavingAdoptsAnchor) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.w.post(f.refs[0], Message::forward(f.info(1, ModeInfo::Staying)));
+  f.deliver_one(0);
+  ASSERT_TRUE(f.proc(0).anchor().has_value());  // line 18
+  EXPECT_EQ(f.proc(0).anchor()->ref, f.refs[1]);
+}
+
+TEST(DepartureForward, LeavingRefDelegatedToAnchorWithoutCopy) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Leaving);
+  f.proc(0).set_anchor(f.info(1, ModeInfo::Staying));
+  f.w.post(f.refs[0], Message::forward(f.info(2, ModeInfo::Leaving)));
+  f.deliver_one(0);
+  // Lines 7-8: invalid/valid leaving info travels on, no copy kept (the
+  // Lemma 3 observation).
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[2]);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].mode, ModeInfo::Leaving);
+  EXPECT_TRUE(f.proc(0).nbrs().empty());
+}
+
+TEST(DepartureForward, StayingExpelsLeavingRefWithReversal) {
+  Fixture f;
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Leaving);
+  f.proc(0).nbrs_mut().insert(f.info(1, ModeInfo::Staying));
+  f.w.post(f.refs[0], Message::forward(f.info(1, ModeInfo::Leaving)));
+  f.deliver_one(0);
+  EXPECT_FALSE(f.proc(0).nbrs().contains(f.refs[1]));  // lines 10-12
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
+}
+
+TEST(DepartureForward, UnanchoredLeavingBouncesLeavingRef) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Leaving);
+  f.w.post(f.refs[0], Message::forward(f.info(1, ModeInfo::Leaving)));
+  f.deliver_one(0);
+  // Lines 5-6.
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
+}
+
+// --- FSP policy ---
+
+TEST(DepartureFsp, LeavingSleepsInsteadOfExiting) {
+  Fixture f;
+  f.spawn(Mode::Leaving, DeparturePolicy::Sleep);
+  f.timeout(0);
+  EXPECT_EQ(f.w.life(0), LifeState::Asleep);
+  EXPECT_EQ(f.w.exits(), 0u);
+}
+
+TEST(DepartureFsp, SleeperWakesAndProcessesMessage) {
+  Fixture f;
+  f.spawn(Mode::Leaving, DeparturePolicy::Sleep);
+  f.spawn(Mode::Staying, DeparturePolicy::Sleep);
+  f.timeout(0);
+  ASSERT_EQ(f.w.life(0), LifeState::Asleep);
+  f.w.post(f.refs[0], Message::forward(f.info(1, ModeInfo::Staying)));
+  f.deliver_one(0);
+  EXPECT_EQ(f.w.life(0), LifeState::Awake);
+  EXPECT_TRUE(f.proc(0).anchor().has_value());
+}
+
+TEST(DepartureCollectRefs, ReportsNeighborsAndAnchor) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.spawn(Mode::Staying);
+  f.spawn(Mode::Staying);
+  f.proc(0).nbrs_mut().insert(f.info(1, ModeInfo::Staying));
+  f.proc(0).set_anchor(f.info(2, ModeInfo::Staying));
+  std::vector<RefInfo> out;
+  f.proc(0).collect_refs(out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DepartureSetAnchor, RefusesSelf) {
+  Fixture f;
+  f.spawn(Mode::Leaving);
+  f.proc(0).set_anchor(f.info(0, ModeInfo::Staying));
+  EXPECT_FALSE(f.proc(0).anchor().has_value());
+}
+
+}  // namespace
+}  // namespace fdp

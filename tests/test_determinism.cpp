@@ -1,0 +1,73 @@
+// Reproducibility: identical seeds produce identical runs, across every
+// scenario family and scheduler. This is what makes every number in
+// EXPERIMENTS.md regenerable.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+
+namespace fdp {
+namespace {
+
+struct Fingerprint {
+  std::uint64_t steps, sends, exits, sleeps, phi0, phi1;
+  bool legit;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint run_once(const ScenarioConfig& cfg, SchedulerKind sk,
+                     bool framework, Exclusion excl) {
+  Scenario sc = framework ? build_framework_scenario(cfg, "linearization")
+                          : build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 250'000;
+  opt.scheduler = sk;
+  const RunResult r = run_to_legitimacy(sc, excl, opt);
+  return Fingerprint{r.steps, r.sends,       r.exits, r.sleeps,
+                     r.phi_initial, r.phi_final, r.reached_legitimate};
+}
+
+class DeterminismSweep
+    : public testing::TestWithParam<std::tuple<SchedulerKind, bool>> {};
+
+TEST_P(DeterminismSweep, IdenticalSeedsIdenticalRuns) {
+  const auto [sk, framework] = GetParam();
+  ScenarioConfig cfg;
+  cfg.n = 10;
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.inflight_per_node = 1.0;
+  cfg.seed = 1234;
+  const Fingerprint a = run_once(cfg, sk, framework, Exclusion::Gone);
+  const Fingerprint b = run_once(cfg, sk, framework, Exclusion::Gone);
+  EXPECT_TRUE(a == b);
+  cfg.seed = 1235;
+  const Fingerprint c = run_once(cfg, sk, framework, Exclusion::Gone);
+  EXPECT_FALSE(a == c);  // different seed, different trace (w.h.p.)
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeterminismSweep,
+    testing::Combine(testing::Values(SchedulerKind::Random,
+                                     SchedulerKind::RoundRobin,
+                                     SchedulerKind::Rounds,
+                                     SchedulerKind::Adversarial),
+                     testing::Bool()));
+
+TEST(Determinism, FspRunsReproduce) {
+  ScenarioConfig cfg;
+  cfg.n = 10;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.4;
+  cfg.policy = DeparturePolicy::Sleep;
+  cfg.seed = 999;
+  const Fingerprint a =
+      run_once(cfg, SchedulerKind::Random, false, Exclusion::Hibernating);
+  const Fingerprint b =
+      run_once(cfg, SchedulerKind::Random, false, Exclusion::Hibernating);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace fdp

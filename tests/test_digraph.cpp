@@ -1,0 +1,114 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdp {
+namespace {
+
+TEST(DiGraph, StartsEmpty) {
+  DiGraph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.simple_edge_count(), 0u);
+}
+
+TEST(DiGraph, AddAndQueryEdges) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.multiplicity(0, 1), 2u);
+  EXPECT_EQ(g.multiplicity(1, 0), 0u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.simple_edge_count(), 2u);
+}
+
+TEST(DiGraph, RemoveDecrementsMultiplicity) {
+  DiGraph g(2);
+  g.add_edge(0, 1, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.multiplicity(0, 1), 1u);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(DiGraph, OutNeighborsDistinct) {
+  DiGraph g(4);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2, 3);
+  g.add_edge(1, 3);
+  const auto nbrs = g.out_neighbors(1);
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_TRUE(g.out_neighbors(0).empty());
+}
+
+TEST(DiGraph, EdgesExpandMultiplicity) {
+  DiGraph g(2);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edges().size(), 3u);
+  EXPECT_EQ(g.simple_edges().size(), 2u);
+}
+
+TEST(DiGraph, SameSupportIgnoresMultiplicity) {
+  DiGraph a(2), b(2);
+  a.add_edge(0, 1, 5);
+  b.add_edge(0, 1, 1);
+  EXPECT_TRUE(a.same_support(b));
+  b.add_edge(1, 0);
+  EXPECT_FALSE(a.same_support(b));
+}
+
+TEST(DiGraph, EqualityIncludesMultiplicity) {
+  DiGraph a(2), b(2);
+  a.add_edge(0, 1, 2);
+  b.add_edge(0, 1, 1);
+  EXPECT_FALSE(a == b);
+  b.add_edge(0, 1, 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DiGraph, BidirectedExtension) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2);
+  const DiGraph bi = g.bidirected();
+  EXPECT_EQ(bi.multiplicity(0, 1), 1u);
+  EXPECT_EQ(bi.multiplicity(1, 0), 1u);
+  EXPECT_TRUE(bi.has_edge(2, 1));
+  EXPECT_EQ(bi.edge_count(), 4u);
+}
+
+TEST(DiGraph, SupportUnion) {
+  DiGraph a(3), b(3);
+  a.add_edge(0, 1, 2);
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);
+  const DiGraph u = a.support_union(b);
+  EXPECT_EQ(u.multiplicity(0, 1), 1u);
+  EXPECT_TRUE(u.has_edge(1, 2));
+  EXPECT_EQ(u.edge_count(), 2u);
+}
+
+TEST(DiGraph, StripSelfLoops) {
+  DiGraph g(2);
+  g.add_edge(0, 0, 2);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.strip_self_loops(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(DiGraph, EnsureNodesGrows) {
+  DiGraph g(2);
+  g.ensure_nodes(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  g.ensure_nodes(3);  // never shrinks
+  EXPECT_EQ(g.node_count(), 5u);
+}
+
+}  // namespace
+}  // namespace fdp

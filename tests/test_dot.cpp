@@ -1,0 +1,78 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/departure_process.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+namespace {
+
+struct Fixture {
+  World w{1};
+  std::vector<Ref> refs;
+
+  Fixture() {
+    refs.push_back(w.spawn<DepartureProcess>(Mode::Staying, 10));
+    refs.push_back(w.spawn<DepartureProcess>(Mode::Leaving, 20));
+    refs.push_back(w.spawn<DepartureProcess>(Mode::Staying, 30));
+    w.process_as<DepartureProcess>(0).nbrs_mut().insert(
+        {refs[1], ModeInfo::Leaving, 20});
+    // Invalid knowledge: 2 believes staying-0 is leaving.
+    w.process_as<DepartureProcess>(2).nbrs_mut().insert(
+        {refs[0], ModeInfo::Leaving, 10});
+    // In-flight reference: implicit edge 1 -> 2.
+    w.post(refs[1], Message::present(RefInfo{refs[2], ModeInfo::Staying, 30}));
+  }
+};
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  Fixture f;
+  const std::string dot = world_to_dot(f.w);
+  EXPECT_NE(dot.find("digraph PG {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 ["), std::string::npos);
+  EXPECT_NE(dot.find("n1 ["), std::string::npos);
+  EXPECT_NE(dot.find("n2 ["), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n0"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);  // implicit
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, MarksLeavingAndInvalidKnowledge) {
+  Fixture f;
+  const std::string dot = world_to_dot(f.w);
+  EXPECT_NE(dot.find("(leaving)"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);  // 2's wrong belief
+}
+
+TEST(Dot, ImplicitEdgesDashedAndOptional) {
+  Fixture f;
+  const std::string with = world_to_dot(f.w);
+  EXPECT_NE(with.find("style=dashed"), std::string::npos);
+  DotOptions opt;
+  opt.implicit_edges = false;
+  const std::string without = world_to_dot(f.w, "PG", opt);
+  EXPECT_EQ(without.find("n1 -> n2"), std::string::npos);
+}
+
+TEST(Dot, GoneNodesDashedEdgesDropped) {
+  Fixture f;
+  f.w.force_life(1, LifeState::Gone);
+  const std::string dot = world_to_dot(f.w);
+  EXPECT_NE(dot.find("color=gray"), std::string::npos);
+  // 1's channel content no longer contributes edges.
+  EXPECT_EQ(dot.find("n1 -> n2"), std::string::npos);
+}
+
+TEST(Dot, ShowKeysOption) {
+  Fixture f;
+  DotOptions opt;
+  opt.show_keys = true;
+  const std::string dot = world_to_dot(f.w, "PG", opt);
+  EXPECT_NE(dot.find("k=10"), std::string::npos);
+  EXPECT_NE(dot.find("k=30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,99 @@
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+
+namespace fdp {
+namespace {
+
+TEST(Experiment, SchedulerFactoriesAndNames) {
+  for (const char* name : {"random", "roundrobin", "rounds", "adversarial"}) {
+    const SchedulerKind k = scheduler_by_name(name);
+    EXPECT_STREQ(to_string(k), name);
+    EXPECT_NE(make_scheduler(k), nullptr);
+  }
+}
+
+TEST(ExperimentDeath, UnknownSchedulerAborts) {
+  EXPECT_DEATH((void)scheduler_by_name("chaotic"), "unknown scheduler");
+}
+
+TEST(Experiment, RunReportsCounters) {
+  ScenarioConfig cfg;
+  cfg.n = 10;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.5;
+  cfg.seed = 3;
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 300'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ASSERT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_GT(r.sends, 0u);
+  EXPECT_EQ(r.exits, sc.leaving_count);
+  EXPECT_GT(r.phi_initial, 0u);
+}
+
+TEST(Experiment, RoundsSchedulerReportsRounds) {
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.topology = "line";
+  cfg.leave_fraction = 0.25;
+  cfg.seed = 5;
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 200'000;
+  opt.scheduler = SchedulerKind::Rounds;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ASSERT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_GT(r.rounds, 0u);
+}
+
+TEST(Experiment, MaxStepsRespectedOnStalledRun) {
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.topology = "line";
+  cfg.leave_fraction = 0.5;
+  cfg.oracle = "always-false";  // liveness removed: can never finish
+  cfg.seed = 7;
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 5'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  EXPECT_FALSE(r.reached_legitimate);
+  EXPECT_LE(r.steps, opt.max_steps + opt.check_every);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+TEST(Stat, MeanSdMinMax) {
+  Stat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.sd(), 1.29099, 1e-4);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stat, EmptyIsZero) {
+  Stat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sd(), 0.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 1.0);  // nearest-rank on an even count
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace fdp

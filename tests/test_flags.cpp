@@ -1,0 +1,51 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fdp {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make({"--n=32", "--rate=0.5", "--name=ring", "--deep=true"});
+  EXPECT_EQ(f.get_int("n", 0), 32);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(f.get_string("name", ""), "ring");
+  EXPECT_TRUE(f.get_bool("deep", false));
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make({"--n", "17", "--name", "star"});
+  EXPECT_EQ(f.get_int("n", 0), 17);
+  EXPECT_EQ(f.get_string("name", ""), "star");
+}
+
+TEST(Flags, BareBooleanFlag) {
+  Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f = make({});
+  EXPECT_EQ(f.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.get_bool("b", false));
+}
+
+TEST(Flags, BoolFalseSpellings) {
+  Flags f = make({"--a=false", "--b=0", "--c=no"});
+  EXPECT_FALSE(f.get_bool("a", true));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_FALSE(f.get_bool("c", true));
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,242 @@
+// Unit tests for the Section-4 framework machinery: preprocess / verify /
+// process / postprocess, mlist aging and the leaving-node behavior.
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "overlay/topology_checks.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+namespace {
+
+struct Fixture {
+  World w{1};
+  std::vector<Ref> refs;
+  std::vector<std::uint64_t> keys;
+
+  Ref spawn(Mode m, std::uint64_t key, const char* overlay = "linearization",
+            DeparturePolicy pol = DeparturePolicy::ExitWithOracle,
+            FrameworkConfig cfg = {}) {
+    const Ref r = w.spawn<FrameworkProcess>(m, key, make_overlay(overlay),
+                                            pol, cfg);
+    refs.push_back(r);
+    keys.push_back(key);
+    return r;
+  }
+  FrameworkProcess& proc(std::size_t i) {
+    return w.process_as<FrameworkProcess>(static_cast<ProcessId>(i));
+  }
+  void timeout(std::size_t i) {
+    struct One : Scheduler {
+      ProcessId p;
+      bool fired = false;
+      ActionChoice next(const World&, Rng&) override {
+        if (fired) return ActionChoice::none();
+        fired = true;
+        return ActionChoice::timeout(p);
+      }
+    } s;
+    s.p = static_cast<ProcessId>(i);
+    ASSERT_TRUE(w.step(s));
+  }
+  /// Deliver all currently queued messages (repeatedly) and run timeouts,
+  /// round-robin, for `steps` actions.
+  void run(int steps) {
+    RoundRobinScheduler sched;
+    for (int i = 0; i < steps; ++i) (void)w.step(sched);
+  }
+  RefInfo info(std::size_t i, ModeInfo m) {
+    return RefInfo{refs[i], m, keys[i]};
+  }
+};
+
+TEST(Framework, OverlaySendIsParkedAndVerified) {
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Staying, 20);
+  f.spawn(Mode::Staying, 30);
+  // Give 0 two neighbors; its linearization timeout will delegate the
+  // farther right (30) to the nearer right (20) — through preprocess.
+  f.proc(0).overlay_mut().integrate(f.info(1, ModeInfo::Staying));
+  f.proc(0).overlay_mut().integrate(f.info(2, ModeInfo::Staying));
+  f.timeout(0);
+  EXPECT_EQ(f.proc(0).mlist_size(), 1u);
+  EXPECT_GT(f.proc(0).stats().verifies_sent, 0u);
+  // The delegated reference is out of overlay storage but inside mlist —
+  // still reported by collect_refs (conservation).
+  std::vector<RefInfo> out;
+  f.proc(0).collect_refs(out);
+  bool holds_30 = false;
+  for (const RefInfo& r : out)
+    if (r.ref == f.refs[2]) holds_30 = true;
+  EXPECT_TRUE(holds_30);
+}
+
+TEST(Framework, VerifiedStayingMessageIsDispatched) {
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Staying, 20);
+  f.spawn(Mode::Staying, 30);
+  f.proc(0).overlay_mut().integrate(f.info(1, ModeInfo::Staying));
+  f.proc(0).overlay_mut().integrate(f.info(2, ModeInfo::Staying));
+  f.run(400);
+  EXPECT_GT(f.proc(0).stats().dispatched, 0u);
+  // Eventually 20 learns about 30 (the delegated reference arrived).
+  bool knows = false;
+  for (const RefInfo& r : f.proc(1).hosted_overlay().stored())
+    if (r.ref == f.refs[2]) knows = true;
+  EXPECT_TRUE(knows);
+}
+
+TEST(Framework, LeavingParamDivertsToPostprocess) {
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Staying, 20);
+  f.spawn(Mode::Leaving, 30);  // the delegated ref target is leaving
+  f.proc(0).overlay_mut().integrate(f.info(1, ModeInfo::Staying));
+  f.proc(0).overlay_mut().integrate(f.info(2, ModeInfo::Staying));
+  f.w.set_oracle(make_always_oracle(false));  // keep 2 alive to answer
+  f.run(600);
+  EXPECT_GT(f.proc(0).stats().postprocessed, 0u);
+  // The leaving reference must not live in 0's overlay storage anymore.
+  for (const RefInfo& r : f.proc(0).hosted_overlay().stored())
+    EXPECT_NE(r.ref, f.refs[2]);
+}
+
+TEST(Framework, VerifyGetsProcessReply) {
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Leaving, 20);
+  f.w.set_oracle(make_always_oracle(false));
+  // Direct verify: 1 must answer with its true (leaving) mode.
+  f.w.post(f.refs[1], Message{Verb::Verify, 0, 0, {f.proc(0).self_info()}});
+  f.run(40);
+  EXPECT_GT(f.proc(1).stats().replies_sent, 0u);
+}
+
+TEST(Framework, GiveUpAgesOutUnansweredEntries) {
+  FrameworkConfig cfg;
+  cfg.resend_every = 2;
+  cfg.give_up_age = 6;
+  Fixture f;
+  f.spawn(Mode::Staying, 10, "linearization",
+          DeparturePolicy::ExitWithOracle, cfg);
+  f.spawn(Mode::Staying, 20);
+  f.spawn(Mode::Staying, 30);
+  f.proc(0).overlay_mut().integrate(f.info(1, ModeInfo::Staying));
+  f.proc(0).overlay_mut().integrate(f.info(2, ModeInfo::Staying));
+  // Kill both targets so no verify is ever answered (they exit without
+  // the protocol noticing — an extreme crash model the give-up covers).
+  f.w.force_life(1, LifeState::Gone);
+  f.w.force_life(2, LifeState::Gone);
+  for (int i = 0; i < 12; ++i) f.timeout(0);
+  EXPECT_EQ(f.proc(0).mlist_size(), 0u);
+  EXPECT_GT(f.proc(0).stats().gave_up, 0u);
+  EXPECT_GT(f.proc(0).stats().postprocessed, 0u);
+}
+
+TEST(Framework, LeavingNodeFlushesOverlayAndMlist) {
+  Fixture f;
+  f.spawn(Mode::Leaving, 10);
+  f.spawn(Mode::Staying, 20);
+  f.spawn(Mode::Staying, 30);
+  f.proc(0).overlay_mut().integrate(f.info(1, ModeInfo::Staying));
+  f.proc(0).overlay_mut().integrate(f.info(2, ModeInfo::Staying));
+  f.w.set_oracle(make_always_oracle(false));
+  f.timeout(0);
+  EXPECT_TRUE(f.proc(0).hosted_overlay().empty());
+  EXPECT_EQ(f.proc(0).mlist_size(), 0u);
+  // Both references forwarded to self.
+  EXPECT_EQ(f.w.channel(0).size(), 2u);
+}
+
+TEST(Framework, LeavingNodeAnswersOverlayMessageWithPresents) {
+  Fixture f;
+  f.spawn(Mode::Leaving, 10);
+  f.spawn(Mode::Staying, 20);
+  f.spawn(Mode::Staying, 30);
+  f.w.set_oracle(make_always_oracle(false));
+  Message m{Verb::Overlay, kTagDeliverRef, 0,
+            {f.info(1, ModeInfo::Staying), f.info(2, ModeInfo::Staying)}};
+  f.w.post(f.refs[0], m);
+  // Deliver it.
+  RoundRobinScheduler sched;
+  (void)f.w.step(sched);  // slot 0: deliver
+  // The leaving node does not integrate; it presents itself to 1 and 2.
+  EXPECT_TRUE(f.proc(0).hosted_overlay().empty());
+  ASSERT_EQ(f.w.channel(1).size(), 1u);
+  ASSERT_EQ(f.w.channel(2).size(), 1u);
+  EXPECT_EQ(f.w.channel(1).peek(0).verb, Verb::Present);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
+  EXPECT_EQ(f.w.channel(1).peek(0).refs[0].mode, ModeInfo::Leaving);
+}
+
+TEST(Framework, StoreRefGoesToOverlayNotN) {
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Staying, 20);
+  f.w.post(f.refs[0], Message::present(f.info(1, ModeInfo::Staying)));
+  RoundRobinScheduler sched;
+  (void)f.w.step(sched);
+  EXPECT_TRUE(f.proc(0).nbrs().empty());
+  EXPECT_EQ(f.proc(0).hosted_overlay().stored().size(), 1u);
+}
+
+TEST(Framework, StayingPurgesLeavingOverlayNeighbor) {
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Leaving, 20);
+  f.proc(0).overlay_mut().integrate(f.info(1, ModeInfo::Leaving));
+  f.timeout(0);
+  EXPECT_TRUE(f.proc(0).hosted_overlay().empty());
+  // Reversal: present(self) went to the leaver.
+  ASSERT_GE(f.w.channel(1).size(), 1u);
+}
+
+TEST(Framework, ProcessReplyUpdatesKnowledgeAndCompletes) {
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Staying, 20);
+  f.spawn(Mode::Staying, 30);
+  f.proc(0).overlay_mut().integrate(f.info(1, ModeInfo::Staying));
+  f.proc(0).overlay_mut().integrate(f.info(2, ModeInfo::Staying));
+  f.timeout(0);  // parks the delegation, sends verifies
+  ASSERT_EQ(f.proc(0).mlist_size(), 1u);
+  // Hand-deliver process replies from 1 and 2.
+  f.w.post(f.refs[0],
+           Message{Verb::ProcessReply, 0, 0, {f.proc(1).self_info()}});
+  f.w.post(f.refs[0],
+           Message{Verb::ProcessReply, 0, 0, {f.proc(2).self_info()}});
+  RoundRobinScheduler sched;
+  for (int i = 0; i < 8; ++i) (void)f.w.step(sched);
+  EXPECT_EQ(f.proc(0).mlist_size(), 0u);
+  EXPECT_EQ(f.proc(0).stats().dispatched, 1u);
+}
+
+TEST(Framework, WholeWorldDepartures) {
+  // End-to-end smoke here (the full grids live in
+  // test_overlay_departures.cpp): framework + linearization + FDP.
+  Fixture f;
+  f.spawn(Mode::Staying, 10);
+  f.spawn(Mode::Leaving, 20);
+  f.spawn(Mode::Staying, 30);
+  f.spawn(Mode::Leaving, 40);
+  f.spawn(Mode::Staying, 50);
+  for (int i = 0; i + 1 < 5; ++i) {
+    f.proc(static_cast<std::size_t>(i))
+        .overlay_mut()
+        .integrate(f.info(static_cast<std::size_t>(i + 1),
+                          ModeInfo::Staying));
+  }
+  f.w.set_oracle(make_single_oracle());
+  RandomScheduler sched;
+  for (int i = 0; i < 60'000 && f.w.exits() < 2; ++i) (void)f.w.step(sched);
+  EXPECT_EQ(f.w.exits(), 2u);
+  EXPECT_EQ(f.w.life(1), LifeState::Gone);
+  EXPECT_EQ(f.w.life(3), LifeState::Gone);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,118 @@
+// The Finite Sleep Problem: with the Sleep policy and NO oracle, the
+// system reaches a state where every leaving process hibernates (and, by
+// the claim of Foreback et al. reproduced in the model tests, stays
+// permanently asleep).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "core/oracle.hpp"
+
+namespace fdp {
+namespace {
+
+ScenarioConfig fsp_config(std::uint64_t seed, const char* topo,
+                          double corruption) {
+  ScenarioConfig cfg;
+  cfg.n = 12;
+  cfg.topology = topo;
+  cfg.leave_fraction = 0.4;
+  cfg.policy = DeparturePolicy::Sleep;
+  cfg.invalid_mode_prob = corruption;
+  cfg.random_anchor_prob = corruption;
+  cfg.inflight_per_node = corruption;
+  cfg.seed = seed;
+  // The FSP needs no oracle; install a poisoned one to prove it is never
+  // consulted (consulting it would abort the run).
+  cfg.oracle = "single";
+  return cfg;
+}
+
+class FspSweep
+    : public testing::TestWithParam<std::tuple<std::uint64_t, const char*>> {};
+
+TEST_P(FspSweep, ReachesHibernation) {
+  const auto [seed, topo] = GetParam();
+  ScenarioConfig cfg = fsp_config(seed, topo, 0.3);
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 500'000;
+  opt.with_monitors = true;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_TRUE(r.safety_ok) << r.failure;
+  EXPECT_TRUE(r.phi_monotone) << r.failure;
+  EXPECT_EQ(sc.world->exits(), 0u);  // exit is not available in the FSP
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FspSweep,
+    testing::Combine(testing::Values<std::uint64_t>(1, 2, 3, 4, 5),
+                     testing::Values("line", "gnp", "wild")));
+
+TEST(Fsp, OracleIsNeverConsulted) {
+  ScenarioConfig cfg = fsp_config(7, "gnp", 0.2);
+  Scenario sc = build_departure_scenario(cfg);
+  sc.world->set_oracle([](const World&, ProcessId) -> bool {
+    ADD_FAILURE() << "FSP consulted the oracle";
+    return false;
+  });
+  RunOptions opt;
+  opt.max_steps = 300'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+}
+
+TEST(Fsp, SleepersWakeForLateMessagesAndResettle) {
+  ScenarioConfig cfg = fsp_config(11, "gnp", 0.0);
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 300'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ASSERT_TRUE(r.reached_legitimate) << r.failure;
+
+  // Poke one sleeping leaver with a fresh reference: it must wake, route
+  // the reference away and eventually hibernate again.
+  ProcessId sleeper = kNoProcess;
+  ProcessId stayer = kNoProcess;
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    if (sc.world->mode(p) == Mode::Leaving &&
+        sc.world->life(p) == LifeState::Asleep)
+      sleeper = p;
+    if (sc.world->mode(p) == Mode::Staying) stayer = p;
+  }
+  ASSERT_NE(sleeper, kNoProcess);
+  ASSERT_NE(stayer, kNoProcess);
+  sc.world->post(sc.refs[sleeper],
+                 Message::forward(RefInfo{sc.refs[stayer], ModeInfo::Staying,
+                                          sc.world->process(stayer).key()}));
+  LegitimacyChecker checker(*sc.world, Exclusion::Hibernating);
+  RandomScheduler sched;
+  bool resettled = false;
+  for (int block = 0; block < 200 && !resettled; ++block) {
+    for (int i = 0; i < 200; ++i) (void)sc.world->step(sched);
+    resettled = checker.legitimate(*sc.world);
+  }
+  EXPECT_TRUE(resettled);
+  EXPECT_GT(sc.world->wakes(), 0u);
+}
+
+TEST(Fsp, HibernatingClaimHolds) {
+  // The claim from Foreback et al. (quoted in the paper's model section):
+  // once hibernating, a process is permanently asleep — no later action
+  // can wake it, because no relevant process can ever obtain a path to it.
+  ScenarioConfig cfg = fsp_config(13, "wild", 0.3);
+  Scenario sc = build_departure_scenario(cfg);
+  RunOptions opt;
+  opt.max_steps = 300'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ASSERT_TRUE(r.reached_legitimate) << r.failure;
+  const std::uint64_t wakes_before = sc.world->wakes();
+  RandomScheduler sched;
+  for (int i = 0; i < 20'000; ++i) {
+    if (!sc.world->step(sched)) break;
+  }
+  EXPECT_EQ(sc.world->wakes(), wakes_before);
+}
+
+}  // namespace
+}  // namespace fdp

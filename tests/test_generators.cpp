@@ -1,0 +1,101 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace fdp {
+namespace {
+
+TEST(Generators, LineShape) {
+  const DiGraph g = gen::line(4);
+  EXPECT_EQ(g.edge_count(), 6u);  // 3 undirected edges, both arcs
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(Generators, RingClosesTheLoop) {
+  const DiGraph g = gen::ring(5);
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Generators, RingOfTwoHasNoDuplicateEdge) {
+  const DiGraph g = gen::ring(2);
+  EXPECT_EQ(g.multiplicity(0, 1), 1u);
+  EXPECT_EQ(g.multiplicity(1, 0), 1u);
+}
+
+TEST(Generators, StarHub) {
+  const DiGraph g = gen::star(5);
+  for (NodeId i = 1; i < 5; ++i) {
+    EXPECT_TRUE(g.has_edge(0, i));
+    EXPECT_TRUE(g.has_edge(i, 0));
+  }
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Generators, CliqueComplete) {
+  const DiGraph g = gen::clique(4);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Generators, BinaryTreeParents) {
+  const DiGraph g = gen::binary_tree(7);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.has_edge(5, 2));
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(Generators, RandomTreeConnectedWithExactEdgeCount) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 5u, 33u}) {
+    const DiGraph g = gen::random_tree(n, rng);
+    EXPECT_EQ(g.edge_count(), 2 * (n - 1));
+    EXPECT_TRUE(is_weakly_connected(g));
+  }
+}
+
+TEST(Generators, GnpConnectedAlwaysConnected) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const DiGraph g = gen::gnp_connected(20, 0.05, rng);
+    EXPECT_TRUE(is_weakly_connected(g));
+  }
+}
+
+TEST(Generators, RandomWeaklyConnectedIsWeaklyConnected) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const DiGraph g = gen::random_weakly_connected(16, 8, 0.3, rng);
+    EXPECT_TRUE(is_weakly_connected(g));
+    // But often NOT strongly connected (directed tree arcs): just verify
+    // no self-loops, which the model forbids.
+    for (const auto& [u, v] : g.simple_edges()) EXPECT_NE(u, v);
+  }
+}
+
+TEST(Generators, ByNameDispatch) {
+  Rng rng(4);
+  for (const char* name :
+       {"line", "ring", "star", "clique", "tree", "gnp", "wild"}) {
+    const DiGraph g = gen::by_name(name, 8, rng);
+    EXPECT_EQ(g.node_count(), 8u) << name;
+    EXPECT_TRUE(is_weakly_connected(g)) << name;
+  }
+}
+
+TEST(GeneratorsDeath, UnknownNameAborts) {
+  Rng rng(5);
+  EXPECT_DEATH((void)gen::by_name("nope", 4, rng), "unknown topology");
+}
+
+}  // namespace
+}  // namespace fdp

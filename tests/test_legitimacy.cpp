@@ -1,0 +1,153 @@
+#include "core/legitimacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::ScriptedProcess;
+
+struct Fixture {
+  World w{1};
+  std::vector<Ref> refs;
+
+  /// modes[i]: true = leaving. Installs a bidirected line topology.
+  explicit Fixture(const std::vector<bool>& leaving) {
+    for (std::size_t i = 0; i < leaving.size(); ++i) {
+      refs.push_back(w.spawn<ScriptedProcess>(
+          leaving[i] ? Mode::Leaving : Mode::Staying, i));
+    }
+    for (std::size_t i = 0; i + 1 < leaving.size(); ++i) {
+      link(i, i + 1);
+      link(i + 1, i);
+    }
+  }
+  void link(std::size_t a, std::size_t b) {
+    w.process_as<ScriptedProcess>(static_cast<ProcessId>(a))
+        .nbrs()
+        .insert({refs[b], to_info(w.mode(static_cast<ProcessId>(b))), b});
+  }
+  void unlink(std::size_t a, std::size_t b) {
+    w.process_as<ScriptedProcess>(static_cast<ProcessId>(a))
+        .nbrs()
+        .erase(refs[b]);
+  }
+};
+
+TEST(Legitimacy, AllStayingConnectedIsLegitimate) {
+  Fixture f({false, false, false});
+  LegitimacyChecker checker(f.w, Exclusion::Gone);
+  const auto v = checker.check(f.w);
+  EXPECT_TRUE(v.legitimate()) << v.detail;
+}
+
+TEST(Legitimacy, LeavingStillAwakeIsNotLegitimate) {
+  Fixture f({false, true, false});
+  LegitimacyChecker checker(f.w, Exclusion::Gone);
+  EXPECT_FALSE(checker.legitimate(f.w));
+}
+
+TEST(Legitimacy, LeavingGoneIsLegitimateOnceStayersLinked) {
+  Fixture f({false, true, false});
+  LegitimacyChecker checker(f.w, Exclusion::Gone);
+  // Splice the stayers around the departing middle, then exit it.
+  f.link(0, 2);
+  f.unlink(0, 1);
+  f.unlink(2, 1);
+  f.w.force_life(1, LifeState::Gone);
+  const auto v = checker.check(f.w);
+  EXPECT_TRUE(v.legitimate()) << v.detail;
+}
+
+TEST(Legitimacy, GoneLeavingButStayersSplitViolatesIII) {
+  Fixture f({false, true, false});
+  LegitimacyChecker checker(f.w, Exclusion::Gone);
+  // Middle exits without splicing: stayers 0 and 2 are now separated.
+  f.unlink(0, 1);
+  f.unlink(2, 1);
+  f.w.force_life(1, LifeState::Gone);
+  const auto v = checker.check(f.w);
+  EXPECT_FALSE(v.components_preserved);
+  EXPECT_FALSE(v.legitimate());
+}
+
+TEST(Legitimacy, StayingAsleepViolatesI) {
+  Fixture f({false, false});
+  LegitimacyChecker checker(f.w, Exclusion::Gone);
+  f.w.force_life(0, LifeState::Asleep);
+  const auto v = checker.check(f.w);
+  EXPECT_FALSE(v.staying_awake);
+}
+
+TEST(Legitimacy, FspAcceptsHibernatingLeaving) {
+  Fixture f({false, true});
+  // Remove the stayer's link to the leaver so the leaver can hibernate;
+  // the leaver may keep its anchor-like link to the stayer.
+  f.unlink(0, 1);
+  LegitimacyChecker checker(f.w, Exclusion::Hibernating);
+  f.w.force_life(1, LifeState::Asleep);
+  const auto v = checker.check(f.w);
+  EXPECT_TRUE(v.legitimate()) << v.detail;
+}
+
+TEST(Legitimacy, FspRejectsAwakeReferencedSleeper) {
+  Fixture f({false, true});
+  // Stayer still references the sleeper: an awake ancestor prevents
+  // hibernation.
+  LegitimacyChecker checker(f.w, Exclusion::Hibernating);
+  f.w.force_life(1, LifeState::Asleep);
+  EXPECT_FALSE(checker.legitimate(f.w));
+}
+
+TEST(Legitimacy, EitherAcceptsGoneOrHibernating) {
+  Fixture f({false, true, true});
+  f.unlink(0, 1);
+  f.unlink(1, 2);
+  f.unlink(2, 1);
+  f.unlink(1, 0);
+  LegitimacyChecker checker(f.w, Exclusion::Either);
+  f.w.force_life(1, LifeState::Gone);
+  f.w.force_life(2, LifeState::Asleep);
+  const auto v = checker.check(f.w);
+  EXPECT_TRUE(v.legitimate()) << v.detail;
+}
+
+TEST(Legitimacy, SeparateInitialComponentsStaySeparate) {
+  // Two disjoint pairs: legitimacy does NOT require joining them.
+  World w(1);
+  std::vector<Ref> refs;
+  for (int i = 0; i < 4; ++i)
+    refs.push_back(w.spawn<ScriptedProcess>(Mode::Staying, i));
+  auto link = [&](ProcessId a, ProcessId b) {
+    w.process_as<ScriptedProcess>(a).nbrs().insert(
+        {refs[b], ModeInfo::Staying, b});
+  };
+  link(0, 1);
+  link(1, 0);
+  link(2, 3);
+  link(3, 2);
+  LegitimacyChecker checker(w, Exclusion::Gone);
+  EXPECT_TRUE(checker.legitimate(w));
+  EXPECT_EQ(checker.initial_components().count, 2u);
+}
+
+TEST(Legitimacy, SafetyHoldsTracksRelevantConnectivity) {
+  Fixture f({false, true, false});
+  LegitimacyChecker checker(f.w, Exclusion::Gone);
+  EXPECT_TRUE(checker.safety_holds(f.w));
+  // Cut the middle out while it is still relevant: the relevant subgraph
+  // splits into {0},{1?}.. removing links both ways around 1.
+  f.unlink(0, 1);
+  f.unlink(1, 0);
+  f.unlink(1, 2);
+  f.unlink(2, 1);
+  EXPECT_FALSE(checker.safety_holds(f.w));
+  // Once 1 is gone, only stayers 0 and 2 matter — still split.
+  f.w.force_life(1, LifeState::Gone);
+  EXPECT_FALSE(checker.safety_holds(f.w));
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,69 @@
+#include "sim/neighbor_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdp {
+namespace {
+
+const Ref kOwner = Ref::make(0);
+const Ref kA = Ref::make(1);
+const Ref kB = Ref::make(2);
+
+TEST(NeighborSet, InsertAddsNewReference) {
+  NeighborSet n(kOwner);
+  EXPECT_EQ(n.insert({kA, ModeInfo::Staying, 5}),
+            NeighborSet::InsertResult::Added);
+  EXPECT_TRUE(n.contains(kA));
+  EXPECT_EQ(n.mode_of(kA), ModeInfo::Staying);
+  EXPECT_EQ(n.key_of(kA), 5u);
+}
+
+TEST(NeighborSet, DuplicateInsertIsFusion) {
+  NeighborSet n(kOwner);
+  (void)n.insert({kA, ModeInfo::Staying, 5});
+  EXPECT_EQ(n.insert({kA, ModeInfo::Leaving, 5}),
+            NeighborSet::InsertResult::Fused);
+  EXPECT_EQ(n.size(), 1u);
+  // Incoming knowledge overwrites (fresher observation).
+  EXPECT_EQ(n.mode_of(kA), ModeInfo::Leaving);
+}
+
+TEST(NeighborSet, SelfReferenceIsDropped) {
+  NeighborSet n(kOwner);
+  EXPECT_EQ(n.insert({kOwner, ModeInfo::Staying, 0}),
+            NeighborSet::InsertResult::SelfDrop);
+  EXPECT_TRUE(n.empty());
+}
+
+TEST(NeighborSet, EraseRemoves) {
+  NeighborSet n(kOwner);
+  (void)n.insert({kA, ModeInfo::Staying, 0});
+  EXPECT_TRUE(n.erase(kA));
+  EXPECT_FALSE(n.erase(kA));
+  EXPECT_TRUE(n.empty());
+}
+
+TEST(NeighborSet, SnapshotIsDeterministicallyOrdered) {
+  NeighborSet n(kOwner);
+  (void)n.insert({kB, ModeInfo::Staying, 2});
+  (void)n.insert({kA, ModeInfo::Leaving, 1});
+  const auto snap = n.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].ref, kA);
+  EXPECT_EQ(snap[1].ref, kB);
+}
+
+TEST(NeighborSet, SetModeUpdatesKnowledge) {
+  NeighborSet n(kOwner);
+  (void)n.insert({kA, ModeInfo::Unknown, 0});
+  n.set_mode(kA, ModeInfo::Staying);
+  EXPECT_EQ(n.mode_of(kA), ModeInfo::Staying);
+}
+
+TEST(NeighborSetDeath, ModeOfAbsentAborts) {
+  NeighborSet n(kOwner);
+  EXPECT_DEATH((void)n.mode_of(kA), "absent");
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,164 @@
+#include "core/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::ScriptedProcess;
+using testsupport::spawn_scripted;
+
+TEST(SingleOracle, TrueForIsolatedProcess) {
+  World w(1);
+  spawn_scripted(w, 3);
+  w.set_oracle(make_single_oracle());
+  EXPECT_TRUE(w.oracle_value(0));
+}
+
+TEST(SingleOracle, TrueWithExactlyOneNeighbor) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.set_oracle(make_single_oracle());
+  EXPECT_TRUE(w.oracle_value(0));
+  // Mutual edges with the same process still count as one.
+  w.process_as<ScriptedProcess>(1).nbrs().insert(
+      {refs[0], ModeInfo::Staying, 0});
+  EXPECT_TRUE(w.oracle_value(0));
+}
+
+TEST(SingleOracle, FalseWithTwoDistinctNeighbors) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.nbrs().insert({refs[1], ModeInfo::Staying, 0});
+  p0.nbrs().insert({refs[2], ModeInfo::Staying, 0});
+  w.set_oracle(make_single_oracle());
+  EXPECT_FALSE(w.oracle_value(0));
+}
+
+TEST(SingleOracle, CountsImplicitEdges) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  // A message in 0's channel carrying 2's reference adds neighbor 2.
+  w.post(refs[0], Message::present(RefInfo{refs[2], ModeInfo::Staying, 0}));
+  w.set_oracle(make_single_oracle());
+  EXPECT_FALSE(w.oracle_value(0));
+}
+
+TEST(SingleOracle, IgnoresGoneNeighbors) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.nbrs().insert({refs[1], ModeInfo::Staying, 0});
+  p0.nbrs().insert({refs[2], ModeInfo::Staying, 0});
+  w.force_life(2, LifeState::Gone);
+  w.set_oracle(make_single_oracle());
+  EXPECT_TRUE(w.oracle_value(0));  // only relevant neighbor is 1
+}
+
+TEST(NidecOracle, FalseWhileReferenced) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.set_oracle(make_nidec_oracle());
+  EXPECT_FALSE(w.oracle_value(1));
+  EXPECT_TRUE(w.oracle_value(0));
+}
+
+TEST(NidecOracle, FalseWithNonEmptyOwnChannel) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.post(refs[0], Message{});
+  w.set_oracle(make_nidec_oracle());
+  EXPECT_FALSE(w.oracle_value(0));
+  EXPECT_TRUE(w.oracle_value(1));
+}
+
+TEST(AlwaysOracle, Constant) {
+  World w(1);
+  spawn_scripted(w, 1);
+  w.set_oracle(make_always_oracle(true));
+  EXPECT_TRUE(w.oracle_value(0));
+  w.set_oracle(make_always_oracle(false));
+  EXPECT_FALSE(w.oracle_value(0));
+}
+
+TEST(QuietOracle, RequiresConsecutiveEmptyObservations) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 1);
+  w.set_oracle(make_quiet_oracle(3));
+  EXPECT_FALSE(w.oracle_value(0));  // 1 empty observation
+  EXPECT_FALSE(w.oracle_value(0));  // 2
+  EXPECT_TRUE(w.oracle_value(0));   // 3
+  // A message resets the streak.
+  w.post(refs[0], Message{});
+  EXPECT_FALSE(w.oracle_value(0));
+}
+
+TEST(IncidentOracle, GeneralizesSingle) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 4);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.nbrs().insert({refs[1], ModeInfo::Staying, 0});
+  p0.nbrs().insert({refs[2], ModeInfo::Staying, 0});
+
+  w.set_oracle(make_incident_oracle(0));
+  EXPECT_FALSE(w.oracle_value(0));
+  EXPECT_TRUE(w.oracle_value(3));  // isolated
+
+  w.set_oracle(make_incident_oracle(1));  // == SINGLE
+  EXPECT_FALSE(w.oracle_value(0));
+
+  w.set_oracle(make_incident_oracle(2));
+  EXPECT_TRUE(w.oracle_value(0));
+}
+
+TEST(IncidentOracle, IncidentOneMatchesSingleOracle) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 5);
+  Rng rng(3);
+  for (ProcessId p = 0; p < 5; ++p) {
+    for (ProcessId q = 0; q < 5; ++q) {
+      if (p != q && rng.chance(0.4))
+        w.process_as<ScriptedProcess>(p).nbrs().insert(
+            {refs[q], ModeInfo::Staying, 0});
+    }
+  }
+  const OracleFn single = make_single_oracle();
+  const OracleFn incident1 = make_incident_oracle(1);
+  for (ProcessId p = 0; p < 5; ++p)
+    EXPECT_EQ(single(w, p), incident1(w, p)) << "process " << p;
+}
+
+TEST(OracleByName, IncidentParsing) {
+  World w(1);
+  spawn_scripted(w, 1);
+  w.set_oracle(oracle_by_name("incident:3"));
+  EXPECT_TRUE(w.oracle_value(0));
+}
+
+TEST(OracleByName, Dispatch) {
+  World w(1);
+  spawn_scripted(w, 1);
+  for (const char* name :
+       {"single", "nidec", "always-true", "always-false", "quiet:2"}) {
+    w.set_oracle(oracle_by_name(name));
+    (void)w.oracle_value(0);  // must not abort
+  }
+  w.set_oracle(oracle_by_name("always-true"));
+  EXPECT_TRUE(w.oracle_value(0));
+}
+
+TEST(OracleByNameDeath, UnknownAborts) {
+  EXPECT_DEATH((void)oracle_by_name("magic"), "unknown oracle");
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,145 @@
+// Theorem 4 end-to-end: the wrapped protocol P' excludes all leaving
+// processes (FDP) AND still solves P's problem — the staying processes
+// converge to P's legitimate topology — from corrupted initial states.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "core/framework.hpp"
+#include "core/oracle.hpp"
+#include "overlay/topology_checks.hpp"
+
+namespace fdp {
+namespace {
+
+struct Case {
+  const char* overlay;
+  std::uint64_t seed;
+  double corruption;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  return std::string(info.param.overlay) + "_s" +
+         std::to_string(info.param.seed) + "_c" +
+         std::to_string(static_cast<int>(info.param.corruption * 100));
+}
+
+class WrappedOverlayDepartures : public testing::TestWithParam<Case> {};
+
+TEST_P(WrappedOverlayDepartures, ExcludesLeaversAndConverges) {
+  const Case& c = GetParam();
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = c.corruption;
+  cfg.random_anchor_prob = c.corruption * 0.5;
+  cfg.inflight_per_node = c.corruption;
+  cfg.seed = c.seed;
+
+  Scenario sc = build_framework_scenario(cfg, c.overlay);
+  RunOptions opt;
+  opt.max_steps = 1'500'000;
+  opt.scheduler = SchedulerKind::Random;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ASSERT_TRUE(r.reached_legitimate) << c.overlay << ": " << r.failure;
+  EXPECT_EQ(r.exits, sc.leaving_count);
+
+  // After the departures, P must still converge for the stayers.
+  RandomScheduler sched;
+  bool converged = false;
+  std::string last_detail;
+  for (int block = 0; block < 600 && !converged; ++block) {
+    for (int i = 0; i < 300; ++i) (void)sc.world->step(sched);
+    const TopologyVerdict v = check_topology(*sc.world, c.overlay);
+    converged = v.converged;
+    last_detail = v.detail;
+  }
+  EXPECT_TRUE(converged) << c.overlay << ": " << last_detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WrappedOverlayDepartures,
+    testing::Values(Case{"linearization", 1, 0.0},
+                    Case{"linearization", 2, 0.4},
+                    Case{"linearization", 3, 0.4},
+                    Case{"ring", 1, 0.0},
+                    Case{"ring", 2, 0.4},
+                    Case{"clique", 1, 0.0},
+                    Case{"clique", 2, 0.4},
+                    Case{"star", 1, 0.0},
+                    Case{"star", 2, 0.4},
+                    Case{"star", 3, 0.0},
+                    Case{"skiplist", 1, 0.0},
+                    Case{"skiplist", 2, 0.4},
+                    Case{"skiplist", 3, 0.4}),
+    case_name);
+
+TEST(WrappedOverlay, SafetyMonitoredRun) {
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.seed = 11;
+  Scenario sc = build_framework_scenario(cfg, "linearization");
+  RunOptions opt;
+  opt.max_steps = 700'000;
+  opt.with_monitors = true;
+  opt.monitor_stride = 4;  // snapshots are pricier with framework refs
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_TRUE(r.safety_ok) << r.failure;
+  EXPECT_TRUE(r.audit_ok) << r.failure;
+}
+
+TEST(WrappedOverlay, FspVariantHibernates) {
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.policy = DeparturePolicy::Sleep;
+  cfg.seed = 13;
+  Scenario sc = build_framework_scenario(cfg, "star");
+  RunOptions opt;
+  opt.max_steps = 1'000'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_EQ(sc.world->exits(), 0u);
+}
+
+TEST(WrappedOverlay, CenterOfStarCanLeave) {
+  // The worst case for the star: the center itself departs. Build keys so
+  // process 0 (center, min key) leaves.
+  World w(5);
+  std::vector<Ref> refs;
+  refs.push_back(w.spawn<FrameworkProcess>(Mode::Leaving, 1,
+                                           make_overlay("star")));
+  for (std::uint64_t i = 1; i < 7; ++i) {
+    refs.push_back(w.spawn<FrameworkProcess>(Mode::Staying, 10 * i + 10,
+                                             make_overlay("star")));
+  }
+  // Star topology centered at the leaver.
+  for (ProcessId p = 1; p < 7; ++p) {
+    w.process_as<FrameworkProcess>(0).overlay_mut().integrate(
+        RefInfo{refs[p], ModeInfo::Staying, w.process(p).key()});
+    w.process_as<FrameworkProcess>(p).overlay_mut().integrate(
+        RefInfo{refs[0], ModeInfo::Leaving, 1});
+  }
+  w.set_oracle(oracle_by_name("single"));
+  RandomScheduler sched;
+  for (int i = 0; i < 400'000 && w.exits() == 0; ++i) (void)w.step(sched);
+  EXPECT_EQ(w.exits(), 1u);
+  // The stayers must re-form a star around the new minimum.
+  bool converged = false;
+  std::string detail;
+  for (int block = 0; block < 400 && !converged; ++block) {
+    for (int i = 0; i < 300; ++i) (void)w.step(sched);
+    const TopologyVerdict v = check_topology(w, "star");
+    converged = v.converged;
+    detail = v.detail;
+  }
+  EXPECT_TRUE(converged) << detail;
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,197 @@
+// Unit tests for the overlay maintenance rules themselves: exactly which
+// references each overlay keeps, delegates and introduces per maintain().
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "overlay/clique.hpp"
+#include "overlay/linearization.hpp"
+#include "overlay/star.hpp"
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::CaptureOverlayCtx;
+
+RefInfo ri(ProcessId id, std::uint64_t key) {
+  return RefInfo{Ref::make(id), ModeInfo::Staying, key};
+}
+
+std::map<ProcessId, bool> stored_ids(const OverlayProtocol& o) {
+  std::map<ProcessId, bool> m;
+  for (const RefInfo& r : o.stored()) m[r.ref.id()] = true;
+  return m;
+}
+
+// --- Linearization ---
+
+TEST(LinearizationUnit, KeepsClosestBothSides) {
+  Linearization lin;
+  lin.bind(Ref::make(0), 500);
+  CaptureOverlayCtx ctx(Ref::make(0), 500);
+  lin.integrate(ri(1, 100));
+  lin.integrate(ri(2, 300));  // closest left
+  lin.integrate(ri(3, 700));  // closest right
+  lin.integrate(ri(4, 900));
+  lin.maintain(ctx);
+  const auto kept = stored_ids(lin);
+  EXPECT_TRUE(kept.count(2));
+  EXPECT_TRUE(kept.count(3));
+  EXPECT_FALSE(kept.count(1));
+  EXPECT_FALSE(kept.count(4));
+  // Delegations one hop toward the sorted position: 1 -> 2, 4 -> 3.
+  ASSERT_EQ(ctx.sends.size(), 2u);
+  std::map<ProcessId, ProcessId> went;  // carried -> dest
+  for (const auto& s : ctx.sends) {
+    ASSERT_EQ(s.refs.size(), 1u);
+    went[s.refs[0].ref.id()] = s.dest.id();
+    EXPECT_EQ(s.tag, kTagDeliverRef);
+  }
+  EXPECT_EQ(went[1], 2u);
+  EXPECT_EQ(went[4], 3u);
+}
+
+TEST(LinearizationUnit, ChainDelegationOrder) {
+  // Three left refs l1 < l2 < l3 < me: l1 goes to l2, l2 goes to l3.
+  Linearization lin;
+  lin.bind(Ref::make(0), 900);
+  CaptureOverlayCtx ctx(Ref::make(0), 900);
+  lin.integrate(ri(1, 100));
+  lin.integrate(ri(2, 200));
+  lin.integrate(ri(3, 300));
+  lin.maintain(ctx);
+  std::map<ProcessId, ProcessId> went;
+  for (const auto& s : ctx.sends) went[s.refs[0].ref.id()] = s.dest.id();
+  EXPECT_EQ(went[1], 2u);
+  EXPECT_EQ(went[2], 3u);
+  EXPECT_EQ(stored_ids(lin).size(), 1u);  // only l3 kept
+}
+
+TEST(LinearizationUnit, StableAtTarget) {
+  Linearization lin;
+  lin.bind(Ref::make(0), 500);
+  CaptureOverlayCtx ctx(Ref::make(0), 500);
+  lin.integrate(ri(1, 400));
+  lin.integrate(ri(2, 600));
+  lin.maintain(ctx);
+  EXPECT_TRUE(ctx.sends.empty());
+  EXPECT_EQ(lin.stored().size(), 2u);
+}
+
+TEST(LinearizationUnit, IntroductionTargetsAreTheKeptPair) {
+  Linearization lin;
+  lin.bind(Ref::make(0), 500);
+  lin.integrate(ri(1, 100));
+  lin.integrate(ri(2, 400));
+  lin.integrate(ri(3, 800));
+  lin.integrate(ri(4, 600));
+  const auto targets = lin.introduction_targets();
+  ASSERT_EQ(targets.size(), 2u);
+  std::map<ProcessId, bool> t;
+  for (const RefInfo& r : targets) t[r.ref.id()] = true;
+  EXPECT_TRUE(t[2]);  // closest left (400)
+  EXPECT_TRUE(t[4]);  // closest right (600)
+}
+
+TEST(LinearizationUnit, EmptyAndSingleSideNoSends) {
+  Linearization lin;
+  lin.bind(Ref::make(0), 500);
+  CaptureOverlayCtx ctx(Ref::make(0), 500);
+  lin.maintain(ctx);  // empty: nothing
+  EXPECT_TRUE(ctx.sends.empty());
+  lin.integrate(ri(1, 100));
+  lin.maintain(ctx);  // single neighbor: kept, nothing sent
+  EXPECT_TRUE(ctx.sends.empty());
+  EXPECT_TRUE(lin.stored().size() == 1);
+}
+
+// --- Star ---
+
+TEST(StarUnit, NonCenterDelegatesEverythingToMin) {
+  StarOverlay star;
+  star.bind(Ref::make(0), 500);
+  CaptureOverlayCtx ctx(Ref::make(0), 500);
+  star.integrate(ri(1, 100));  // believed center
+  star.integrate(ri(2, 300));
+  star.integrate(ri(3, 900));
+  star.maintain(ctx);
+  EXPECT_EQ(stored_ids(star).size(), 1u);
+  EXPECT_TRUE(stored_ids(star).count(1));
+  ASSERT_EQ(ctx.sends.size(), 2u);
+  for (const auto& s : ctx.sends) EXPECT_EQ(s.dest, Ref::make(1));
+}
+
+TEST(StarUnit, BelievedCenterKeepsAll) {
+  StarOverlay star;
+  star.bind(Ref::make(0), 10);  // smaller than everyone it knows
+  CaptureOverlayCtx ctx(Ref::make(0), 10);
+  star.integrate(ri(1, 100));
+  star.integrate(ri(2, 300));
+  star.maintain(ctx);
+  EXPECT_TRUE(ctx.sends.empty());
+  EXPECT_EQ(star.stored().size(), 2u);
+  // The center introduces itself to everyone.
+  EXPECT_EQ(star.introduction_targets().size(), 2u);
+}
+
+TEST(StarUnit, LeafIntroducesOnlyToCenter) {
+  StarOverlay star;
+  star.bind(Ref::make(0), 500);
+  star.integrate(ri(1, 100));
+  star.integrate(ri(2, 300));
+  const auto targets = star.introduction_targets();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].ref, Ref::make(1));
+}
+
+// --- Clique ---
+
+TEST(CliqueUnit, IntroducesAllOrderedPairs) {
+  CliqueOverlay clique;
+  clique.bind(Ref::make(0), 1);
+  CaptureOverlayCtx ctx(Ref::make(0), 1);
+  clique.integrate(ri(1, 10));
+  clique.integrate(ri(2, 20));
+  clique.integrate(ri(3, 30));
+  clique.maintain(ctx);
+  // 3 neighbors -> 3*2 ordered pairs.
+  EXPECT_EQ(ctx.sends.size(), 6u);
+  // Nothing is ever deleted.
+  EXPECT_EQ(clique.stored().size(), 3u);
+  // Every send keeps the copy (introduction): carried ref still stored.
+  for (const auto& s : ctx.sends) {
+    EXPECT_TRUE(stored_ids(clique).count(s.refs[0].ref.id()));
+  }
+}
+
+TEST(CliqueUnit, DefaultMessageIntegrates) {
+  CliqueOverlay clique;
+  clique.bind(Ref::make(0), 1);
+  CaptureOverlayCtx ctx(Ref::make(0), 1);
+  clique.on_overlay_message(ctx, kTagDeliverRef, {ri(7, 70), ri(8, 80)});
+  EXPECT_EQ(clique.stored().size(), 2u);
+}
+
+// --- common storage behavior through the base class ---
+
+TEST(OverlayUnit, IntegrateFusesAndUpdatesMode) {
+  Linearization lin;
+  lin.bind(Ref::make(0), 500);
+  lin.integrate(ri(1, 100));
+  RefInfo again = ri(1, 100);
+  again.mode = ModeInfo::Leaving;
+  lin.integrate(again);
+  ASSERT_EQ(lin.stored().size(), 1u);
+  EXPECT_EQ(lin.stored()[0].mode, ModeInfo::Leaving);
+}
+
+TEST(OverlayUnit, SelfReferenceNeverStored) {
+  StarOverlay star;
+  star.bind(Ref::make(3), 30);
+  star.integrate(RefInfo{Ref::make(3), ModeInfo::Staying, 30});
+  EXPECT_TRUE(star.empty());
+}
+
+}  // namespace
+}  // namespace fdp

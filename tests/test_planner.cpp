@@ -1,0 +1,119 @@
+// Theorem 1: the constructive transformation reaches ANY weakly connected
+// target from ANY weakly connected start, preserving connectivity along
+// the way; clique building takes O(log n) rounds.
+#include "universality/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace fdp {
+namespace {
+
+TEST(Planner, LineToRing) {
+  const TransformStats s =
+      transform_graph(gen::line(6), gen::ring(6), /*verify=*/true);
+  EXPECT_TRUE(s.success);
+  EXPECT_EQ(s.connectivity_violations, 0u);
+}
+
+TEST(Planner, RingToStar) {
+  const TransformStats s = transform_graph(gen::ring(7), gen::star(7), true);
+  EXPECT_TRUE(s.success);
+  EXPECT_EQ(s.connectivity_violations, 0u);
+}
+
+TEST(Planner, CliqueToLine) {
+  const TransformStats s = transform_graph(gen::clique(6), gen::line(6), true);
+  EXPECT_TRUE(s.success);
+  EXPECT_EQ(s.intro_rounds, 0u);  // already a clique
+}
+
+TEST(Planner, SingleEdgeReversal) {
+  // The paper's Theorem 2 example: {(u,v)} -> {(v,u)} needs Reversal.
+  DiGraph start(2), target(2);
+  start.add_edge(0, 1);
+  target.add_edge(1, 0);
+  const TransformStats s = transform_graph(start, target, true);
+  EXPECT_TRUE(s.success);
+  EXPECT_GE(s.counts.reversals, 1u);
+}
+
+TEST(Planner, IdentityTransform) {
+  const DiGraph g = gen::ring(5);
+  const TransformStats s = transform_graph(g, g, true);
+  EXPECT_TRUE(s.success);
+}
+
+TEST(Planner, TwoNodeGraphs) {
+  DiGraph start(2), target(2);
+  start.add_edge(0, 1);
+  target.add_edge(0, 1);
+  target.add_edge(1, 0);
+  EXPECT_TRUE(transform_graph(start, target, true).success);
+  EXPECT_TRUE(transform_graph(target, start, true).success);
+}
+
+class RandomPairSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPairSweep, ArbitraryWeaklyConnectedPairs) {
+  Rng rng(GetParam() * 101);
+  const std::size_t n = 4 + GetParam() % 8;
+  const DiGraph start = gen::random_weakly_connected(n, n / 2, 0.4, rng);
+  const DiGraph target = gen::random_weakly_connected(n, n / 2, 0.2, rng);
+  const TransformStats s = transform_graph(start, target, true);
+  EXPECT_TRUE(s.success) << "n=" << n;
+  EXPECT_EQ(s.connectivity_violations, 0u);
+  EXPECT_GT(s.total_ops(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPairSweep,
+                         testing::Range<std::uint64_t>(1, 25));
+
+TEST(Planner, CliqueRoundsLogarithmic) {
+  // From a line (diameter n-1), introduction rounds to the clique should
+  // grow like log2(n), certainly not linearly.
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    GraphRewriter rw(gen::line(n));
+    const std::uint64_t rounds = clique_rounds(rw);
+    const double bound = std::log2(static_cast<double>(n)) + 2;
+    EXPECT_LE(static_cast<double>(rounds), bound) << "n=" << n;
+    EXPECT_GE(rounds, 2u) << "n=" << n;
+    EXPECT_EQ(rw.graph().simple_edge_count(), n * (n - 1));
+  }
+}
+
+TEST(Planner, CliqueRoundsFromStarIsConstant) {
+  // A star has diameter 2: two rounds suffice regardless of n.
+  for (std::size_t n : {8u, 32u}) {
+    GraphRewriter rw(gen::star(n));
+    EXPECT_LE(clique_rounds(rw), 2u);
+  }
+}
+
+TEST(PlannerDeath, DisconnectedStartAborts) {
+  DiGraph start(3);
+  start.add_edge(0, 1);  // node 2 isolated
+  EXPECT_DEATH((void)transform_graph(start, gen::line(3)), "weakly connected");
+}
+
+TEST(PlannerDeath, MultigraphTargetAborts) {
+  DiGraph target(2);
+  target.add_edge(0, 1, 2);
+  EXPECT_DEATH((void)transform_graph(gen::line(2), target), "simple");
+}
+
+TEST(Planner, MultigraphStartIsNormalized) {
+  DiGraph start(3);
+  start.add_edge(0, 1, 3);
+  start.add_edge(1, 2, 2);
+  const TransformStats s = transform_graph(start, gen::line(3), true);
+  EXPECT_TRUE(s.success);
+  EXPECT_GT(s.counts.fusions, 0u);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,83 @@
+#include "core/potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::ScriptedProcess;
+using testsupport::spawn_scripted;
+
+std::vector<Ref> spawn_mixed(World& w) {
+  std::vector<Ref> refs;
+  refs.push_back(w.spawn<ScriptedProcess>(Mode::Staying, 0));
+  refs.push_back(w.spawn<ScriptedProcess>(Mode::Leaving, 1));
+  refs.push_back(w.spawn<ScriptedProcess>(Mode::Staying, 2));
+  return refs;
+}
+
+TEST(Potential, ZeroWhenAllKnowledgeValid) {
+  World w(1);
+  const auto refs = spawn_mixed(w);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Leaving, 0});
+  w.process_as<ScriptedProcess>(2).nbrs().insert(
+      {refs[0], ModeInfo::Staying, 0});
+  EXPECT_EQ(phi(w), 0u);
+}
+
+TEST(Potential, CountsInvalidStoredKnowledge) {
+  World w(1);
+  const auto refs = spawn_mixed(w);
+  // 0 believes leaving-1 is staying: one invalid stored instance.
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  const PotentialBreakdown b = potential(take_snapshot(w));
+  EXPECT_EQ(b.invalid_stored, 1u);
+  EXPECT_EQ(b.invalid_in_flight, 0u);
+  EXPECT_EQ(b.phi(), 1u);
+}
+
+TEST(Potential, CountsInvalidInFlightKnowledge) {
+  World w(1);
+  const auto refs = spawn_mixed(w);
+  w.post(refs[2], Message::present(RefInfo{refs[1], ModeInfo::Staying, 0}));
+  const PotentialBreakdown b = potential(take_snapshot(w));
+  EXPECT_EQ(b.invalid_in_flight, 1u);
+  EXPECT_EQ(b.phi(), 1u);
+}
+
+TEST(Potential, UnknownIsNotInvalid) {
+  World w(1);
+  const auto refs = spawn_mixed(w);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Unknown, 0});
+  const PotentialBreakdown b = potential(take_snapshot(w));
+  EXPECT_EQ(b.phi(), 0u);
+  EXPECT_EQ(b.unknown, 1u);
+}
+
+TEST(Potential, GoneHoldersExcluded) {
+  World w(1);
+  const auto refs = spawn_mixed(w);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});  // invalid
+  EXPECT_EQ(phi(w), 1u);
+  w.force_life(0, LifeState::Gone);
+  EXPECT_EQ(phi(w), 0u);
+}
+
+TEST(Potential, MultipleInstancesCountSeparately) {
+  World w(1);
+  const auto refs = spawn_mixed(w);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.post(refs[0], Message::present(RefInfo{refs[1], ModeInfo::Staying, 0}));
+  w.post(refs[2], Message::forward(RefInfo{refs[1], ModeInfo::Staying, 0}));
+  EXPECT_EQ(phi(w), 3u);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,167 @@
+#include "core/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::ScriptedProcess;
+using testsupport::spawn_scripted;
+
+/// Build a minimal ActionRecord by hand for audit_action unit tests.
+ActionRecord record(ProcessId actor) {
+  ActionRecord rec;
+  rec.actor = actor;
+  rec.kind = ActionRecord::Kind::Timeout;
+  return rec;
+}
+
+RefInfo ref(ProcessId id) { return RefInfo{Ref::make(id), ModeInfo::Staying, 0}; }
+
+TEST(AuditAction, IntroductionKeepsCopy) {
+  ActionRecord rec = record(0);
+  rec.refs_before = {ref(1), ref(2)};
+  rec.refs_after = {ref(1), ref(2)};
+  Message m = Message::present(ref(2));
+  rec.sent.emplace_back(Ref::make(1), m);
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_TRUE(audit_action(rec, counts, viol));
+  EXPECT_EQ(counts.introductions, 1u);
+  EXPECT_TRUE(viol.empty());
+}
+
+TEST(AuditAction, DelegationMovesCopy) {
+  ActionRecord rec = record(0);
+  rec.refs_before = {ref(1), ref(2)};
+  rec.refs_after = {ref(1)};  // dropped 2 from storage...
+  rec.sent.emplace_back(Ref::make(1), Message::forward(ref(2)));  // ...sent it
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_TRUE(audit_action(rec, counts, viol));
+  EXPECT_EQ(counts.delegations, 1u);
+}
+
+TEST(AuditAction, ReversalSendsSelfToDroppedTarget) {
+  ActionRecord rec = record(0);
+  rec.refs_before = {ref(1)};
+  rec.refs_after = {};
+  rec.sent.emplace_back(Ref::make(1), Message::present(ref(0)));  // own ref
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_TRUE(audit_action(rec, counts, viol));
+  EXPECT_EQ(counts.reversals, 1u);
+}
+
+TEST(AuditAction, FusionDropsDuplicate) {
+  ActionRecord rec = record(0);
+  rec.kind = ActionRecord::Kind::Deliver;
+  rec.consumed = Message::present(ref(1));  // a second copy arrives
+  rec.refs_before = {ref(1)};
+  rec.refs_after = {ref(1)};  // still exactly one copy: fusion
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_TRUE(audit_action(rec, counts, viol));
+  EXPECT_EQ(counts.fusions, 1u);
+}
+
+TEST(AuditAction, DetectsDestroyedReference) {
+  ActionRecord rec = record(0);
+  rec.refs_before = {ref(1)};
+  rec.refs_after = {};  // dropped without reversal or exit
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_FALSE(audit_action(rec, counts, viol));
+  ASSERT_EQ(viol.size(), 1u);
+  EXPECT_NE(viol[0].find("destroyed"), std::string::npos);
+}
+
+TEST(AuditAction, DetectsFabricatedReference) {
+  ActionRecord rec = record(0);
+  rec.refs_after = {ref(3)};  // appeared from nowhere
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_FALSE(audit_action(rec, counts, viol));
+  EXPECT_NE(viol[0].find("fabricated"), std::string::npos);
+}
+
+TEST(AuditAction, SelfReferencesAreFree) {
+  ActionRecord rec = record(0);
+  rec.kind = ActionRecord::Kind::Deliver;
+  rec.consumed = Message::present(ref(0));  // own ref arrives and is dropped
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_TRUE(audit_action(rec, counts, viol));
+}
+
+TEST(AuditAction, ExitMayDestroyReferences) {
+  ActionRecord rec = record(0);
+  rec.refs_before = {ref(1), ref(2)};
+  rec.refs_after = {};
+  rec.exited = true;
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_TRUE(audit_action(rec, counts, viol));
+}
+
+TEST(AuditAction, MessageRefMustBeConserved) {
+  ActionRecord rec = record(0);
+  rec.kind = ActionRecord::Kind::Deliver;
+  rec.consumed = Message::present(ref(5));
+  // Neither stored nor re-sent nor reversed: violation.
+  PrimitiveCounts counts;
+  std::vector<std::string> viol;
+  EXPECT_FALSE(audit_action(rec, counts, viol));
+}
+
+TEST(PrimitiveAuditor, FlagsViolatingProcessInAWorld) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  auto& bad = w.process_as<ScriptedProcess>(0);
+  bad.nbrs().insert({refs[1], ModeInfo::Staying, 0});
+  bad.on_timeout_fn = [&](ScriptedProcess& self, Context&) {
+    self.nbrs().erase(refs[1]);  // destroys the last copy: illegal
+  };
+  PrimitiveAuditor audit;
+  w.add_observer(&audit);
+  RoundRobinScheduler sched;
+  for (int i = 0; i < 4; ++i) (void)w.step(sched);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_GT(audit.actions_checked(), 0u);
+}
+
+TEST(PrimitiveAuditor, CleanProtocolPasses) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.nbrs().insert({refs[1], ModeInfo::Staying, 0});
+  p0.nbrs().insert({refs[2], ModeInfo::Staying, 0});
+  p0.on_timeout_fn = [&](ScriptedProcess& self, Context& ctx) {
+    // A legal mixture: introduce 2 to 1, self-introduce to 2.
+    ctx.send(refs[1], Message::present(self.nbrs().snapshot()[1]));
+    ctx.send(refs[2], Message::present(self.self_info()));
+  };
+  for (ProcessId p = 1; p < 3; ++p) {
+    auto& proc = w.process_as<ScriptedProcess>(p);
+    proc.on_message_fn = [](ScriptedProcess& self, Context&,
+                            const Message& m) {
+      for (const RefInfo& r : m.refs) self.nbrs().insert(r);
+    };
+  }
+  PrimitiveAuditor audit;
+  w.add_observer(&audit);
+  RandomScheduler sched;
+  for (int i = 0; i < 200; ++i) (void)w.step(sched);
+  EXPECT_TRUE(audit.ok()) << (audit.violations().empty()
+                                  ? ""
+                                  : audit.violations().front());
+  EXPECT_GT(audit.counts().introductions, 0u);
+  audit.reset();
+  EXPECT_EQ(audit.actions_checked(), 0u);
+  EXPECT_TRUE(audit.ok());
+}
+
+}  // namespace
+}  // namespace fdp

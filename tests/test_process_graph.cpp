@@ -1,0 +1,154 @@
+#include "graph/process_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::ScriptedProcess;
+using testsupport::spawn_scripted;
+
+TEST(Snapshot, ExplicitEdgesFromStoredRefs) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  const Snapshot s = take_snapshot(w);
+  const DiGraph g = s.graph();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Snapshot, ImplicitEdgesFromChannelMessages) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  // A message to p0 carrying p2's reference: implicit edge (0,2).
+  w.post(refs[0], Message::present(RefInfo{refs[2], ModeInfo::Staying, 0}));
+  const Snapshot s = take_snapshot(w);
+  EXPECT_TRUE(s.graph().has_edge(0, 2));
+  EXPECT_EQ(s.in_flight[0].size(), 1u);
+}
+
+TEST(Snapshot, SelfLoopsExcludedFromGraph) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.post(refs[0], Message::present(RefInfo{refs[0], ModeInfo::Staying, 0}));
+  const Snapshot s = take_snapshot(w);
+  EXPECT_EQ(s.graph().edge_count(), 0u);
+}
+
+TEST(Snapshot, InducedGraphDropsExcludedEndpoints) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.process_as<ScriptedProcess>(1).nbrs().insert(
+      {refs[2], ModeInfo::Staying, 0});
+  std::vector<bool> inc{true, true, false};
+  const DiGraph g = take_snapshot(w).graph_induced(inc);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Snapshot, HibernatingRequiresQuietAncestors) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  // 0 (awake) -> 1 (asleep, empty channel): 1 is NOT hibernating.
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.force_life(1, LifeState::Asleep);
+  w.force_life(2, LifeState::Asleep);
+  const Snapshot s = take_snapshot(w);
+  const auto hib = s.hibernating();
+  EXPECT_FALSE(hib[0]);  // awake
+  EXPECT_FALSE(hib[1]);  // awake ancestor 0
+  EXPECT_TRUE(hib[2]);   // asleep, empty channel, no ancestors
+}
+
+TEST(Snapshot, HibernationBlockedByPendingMessage) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 1);
+  w.force_life(0, LifeState::Asleep);
+  w.post(refs[0], Message{});
+  const auto hib = take_snapshot(w).hibernating();
+  EXPECT_FALSE(hib[0]);
+}
+
+TEST(Snapshot, HibernationChainOfSleepers) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  // 0 -> 1 -> 2, all asleep with empty channels: all hibernate.
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.process_as<ScriptedProcess>(1).nbrs().insert(
+      {refs[2], ModeInfo::Staying, 0});
+  for (ProcessId p = 0; p < 3; ++p) w.force_life(p, LifeState::Asleep);
+  const auto hib = take_snapshot(w).hibernating();
+  EXPECT_TRUE(hib[0] && hib[1] && hib[2]);
+}
+
+TEST(Snapshot, GoneAncestorDoesNotBlockHibernation) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.force_life(0, LifeState::Gone);  // gone processes are inert
+  w.force_life(1, LifeState::Asleep);
+  const auto hib = take_snapshot(w).hibernating();
+  EXPECT_TRUE(hib[1]);
+}
+
+TEST(Snapshot, RelevantExcludesGoneAndHibernating) {
+  World w(1);
+  spawn_scripted(w, 3);
+  w.force_life(0, LifeState::Gone);
+  w.force_life(1, LifeState::Asleep);
+  const auto rel = take_snapshot(w).relevant();
+  EXPECT_FALSE(rel[0]);
+  EXPECT_FALSE(rel[1]);  // hibernating (no ancestors, empty channel)
+  EXPECT_TRUE(rel[2]);
+}
+
+TEST(Snapshot, IncidentRelevantCountsBothDirectionsOnce) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 4);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.nbrs().insert({refs[1], ModeInfo::Staying, 0});
+  // 1 also stores 0 (mutual edge counts once) and a message to 0 carries
+  // 2's ref (edge 0->2).
+  w.process_as<ScriptedProcess>(1).nbrs().insert(
+      {refs[0], ModeInfo::Staying, 0});
+  w.post(refs[0], Message::present(RefInfo{refs[2], ModeInfo::Staying, 0}));
+  const Snapshot s = take_snapshot(w);
+  EXPECT_EQ(s.incident_relevant(0), 2u);  // {1, 2}
+  EXPECT_EQ(s.incident_relevant(3), 0u);
+}
+
+TEST(Snapshot, ReferencedAnywhereChecksStoredAndInFlight) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  const Snapshot s0 = take_snapshot(w);
+  EXPECT_FALSE(s0.referenced_anywhere(1));
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  EXPECT_TRUE(take_snapshot(w).referenced_anywhere(1));
+  w.process_as<ScriptedProcess>(0).nbrs().erase(refs[1]);
+  w.post(refs[2], Message::present(RefInfo{refs[1], ModeInfo::Staying, 0}));
+  EXPECT_TRUE(take_snapshot(w).referenced_anywhere(1));
+}
+
+TEST(Snapshot, ReferencedAnywhereIgnoresGoneHolders) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  w.force_life(0, LifeState::Gone);
+  EXPECT_FALSE(take_snapshot(w).referenced_anywhere(1));
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,154 @@
+// Theorem 2: every primitive is necessary. Exhaustive reachability over
+// small state spaces plus the invariant arguments from the proof.
+#include "universality/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "universality/rewriter.hpp"
+
+namespace fdp {
+namespace {
+
+DiGraph edge01(std::size_t n = 2) {
+  DiGraph g(n);
+  g.add_edge(0, 1);
+  return g;
+}
+
+TEST(Reachability, EncodeDecodeRoundTrip) {
+  ReachabilityExplorer ex(3, 2);
+  DiGraph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(2, 0);
+  const DiGraph back = ex.decode(ex.encode(g));
+  EXPECT_TRUE(back == g);
+}
+
+TEST(Reachability, ReversalNecessary_PaperExample) {
+  // G = {(u,v)}, G' = {(v,u)}: unreachable without Reversal even with
+  // unlimited Introduction/Delegation/Fusion (within the cap).
+  ReachabilityExplorer ex(2, 3);
+  DiGraph target(2);
+  target.add_edge(1, 0);
+  EXPECT_FALSE(ex.reachable(edge01(), target,
+                            kAllowIntroduction | kAllowDelegation |
+                                kAllowFusion));
+  EXPECT_TRUE(ex.reachable(edge01(), target, kAllowAll));
+}
+
+TEST(Reachability, IntroductionNecessary_CannotGrow) {
+  // Without Introduction no target with more edges is reachable.
+  ReachabilityExplorer ex(2, 3);
+  DiGraph target(2);
+  target.add_edge(0, 1);
+  target.add_edge(1, 0);
+  EXPECT_FALSE(ex.reachable(edge01(), target,
+                            kAllowDelegation | kAllowFusion |
+                                kAllowReversal));
+  EXPECT_TRUE(ex.reachable(edge01(), target, kAllowAll));
+}
+
+TEST(Reachability, FusionNecessary_CannotShrink) {
+  // Start with a 3-clique, target a line: fewer edges — fusion required.
+  ReachabilityExplorer ex(3, 2);
+  const DiGraph start = gen::clique(3);
+  const DiGraph target = gen::line(3);
+  EXPECT_FALSE(ex.reachable(start, target,
+                            kAllowIntroduction | kAllowDelegation |
+                                kAllowReversal));
+  EXPECT_TRUE(ex.reachable(start, target, kAllowAll));
+}
+
+TEST(Reachability, DelegationNecessary_AdjacencyPersists) {
+  // Without Delegation, two adjacent processes can never become
+  // non-adjacent: from the triangle 0-1-2 (bidirected), reach the state
+  // where 0 and 1 share no edge but the graph is still connected.
+  ReachabilityExplorer ex(3, 2);
+  DiGraph start(3);
+  start.add_edge(0, 1);
+  start.add_edge(1, 0);
+  start.add_edge(1, 2);
+  start.add_edge(2, 1);
+  start.add_edge(0, 2);
+  start.add_edge(2, 0);
+  DiGraph target(3);  // path 0-2-1, no 0<->1 edge
+  target.add_edge(0, 2);
+  target.add_edge(2, 0);
+  target.add_edge(2, 1);
+  target.add_edge(1, 2);
+  EXPECT_FALSE(ex.reachable(start, target,
+                            kAllowIntroduction | kAllowFusion |
+                                kAllowReversal));
+  EXPECT_TRUE(ex.reachable(start, target, kAllowAll));
+}
+
+TEST(Reachability, AllFourReachManyStates) {
+  ReachabilityExplorer ex(2, 2);
+  const auto all = ex.explore(edge01(), kAllowAll);
+  // With both primitives of growth and shrinkage, every nonzero weakly
+  // connected 2-node multigraph within the cap is reachable: multiplicity
+  // combos (a,b) != (0,0) with a,b <= 2 -> 8 states.
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(Reachability, EdgeCountMonotoneWithoutIntroduction) {
+  // Invariant form of the proof: delegation/fusion/reversal never
+  // increase the total edge count (checked on the rewriter directly).
+  Rng rng(5);
+  DiGraph g = gen::random_weakly_connected(5, 3, 0.5, rng);
+  GraphRewriter rw(std::move(g));
+  std::uint64_t last = rw.graph().edge_count();
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.below(5));
+    const NodeId v = static_cast<NodeId>(rng.below(5));
+    const NodeId w = static_cast<NodeId>(rng.below(5));
+    switch (rng.below(3)) {
+      case 0: (void)rw.apply(RewriteOp::delegation(u, v, w)); break;
+      case 1: (void)rw.apply(RewriteOp::fusion(u, v)); break;
+      case 2: (void)rw.apply(RewriteOp::reversal(u, v)); break;
+    }
+    EXPECT_LE(rw.graph().edge_count(), last);
+    last = rw.graph().edge_count();
+  }
+}
+
+TEST(Reachability, EdgeCountMonotoneWithoutFusion) {
+  Rng rng(6);
+  DiGraph g = gen::random_weakly_connected(5, 3, 0.5, rng);
+  GraphRewriter rw(std::move(g));
+  std::uint64_t last = rw.graph().edge_count();
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.below(5));
+    const NodeId v = static_cast<NodeId>(rng.below(5));
+    const NodeId w = static_cast<NodeId>(rng.below(5));
+    switch (rng.below(3)) {
+      case 0: (void)rw.apply(RewriteOp::introduction(u, v, w)); break;
+      case 1: (void)rw.apply(RewriteOp::delegation(u, v, w)); break;
+      case 2: (void)rw.apply(RewriteOp::reversal(u, v)); break;
+    }
+    EXPECT_GE(rw.graph().edge_count(), last);
+    last = rw.graph().edge_count();
+  }
+}
+
+TEST(Reachability, ExploredStatesStayWeaklyConnected) {
+  // Lemma 1 over the entire reachable space of a small start graph.
+  ReachabilityExplorer ex(3, 2);
+  const auto states = ex.explore(gen::line(3), kAllowAll);
+  int disconnected = 0;
+  for (const StateCode code : states) {
+    if (!is_weakly_connected(ex.decode(code))) ++disconnected;
+  }
+  EXPECT_EQ(disconnected, 0);
+  EXPECT_GT(states.size(), 10u);
+}
+
+TEST(ReachabilityDeath, TooLargeStateSpaceAborts) {
+  // 4 nodes -> 12 ordered pairs; cap 63 -> 64^12 = 2^72 codes: too large.
+  EXPECT_DEATH(ReachabilityExplorer(4, 63), "state space");
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,188 @@
+// Unit tests for the ring overlay's wrap machinery (the part that closes
+// the sorted list into a cycle, see overlay/ring.hpp).
+#include "overlay/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "overlay/topology_checks.hpp"
+
+namespace fdp {
+namespace {
+
+/// OverlayCtx capturing sends for inspection.
+class CaptureCtx final : public OverlayCtx {
+ public:
+  CaptureCtx(Ref self, std::uint64_t key) : self_(self), key_(key) {}
+  [[nodiscard]] Ref self() const override { return self_; }
+  [[nodiscard]] std::uint64_t self_key() const override { return key_; }
+  void send_overlay(Ref dest, std::uint32_t tag,
+                    std::vector<RefInfo> refs) override {
+    sends.push_back({dest, tag, std::move(refs)});
+  }
+
+  struct Send {
+    Ref dest;
+    std::uint32_t tag;
+    std::vector<RefInfo> refs;
+  };
+  std::vector<Send> sends;
+
+ private:
+  Ref self_;
+  std::uint64_t key_;
+};
+
+RefInfo ri(ProcessId id, std::uint64_t key) {
+  return RefInfo{Ref::make(id), ModeInfo::Staying, key};
+}
+
+TEST(RingWrap, BelievedMinStoresMaxCandidate) {
+  RingOverlay ring;
+  ring.bind(Ref::make(0), 100);  // no left neighbors => believed min
+  CaptureCtx ctx(Ref::make(0), 100);
+  ring.integrate(ri(1, 200));  // one right neighbor
+  ring.on_overlay_message(ctx, kTagWrap, {ri(9, 900)});
+  // Stored: right neighbor + wrap slot.
+  EXPECT_EQ(ring.stored().size(), 2u);
+  bool has_wrap = false;
+  for (const RefInfo& r : ring.stored())
+    if (r.ref == Ref::make(9)) has_wrap = true;
+  EXPECT_TRUE(has_wrap);
+  EXPECT_TRUE(ctx.sends.empty());  // stored, not forwarded
+}
+
+TEST(RingWrap, BetterMaxCandidateDisplacesWorse) {
+  RingOverlay ring;
+  ring.bind(Ref::make(0), 100);
+  CaptureCtx ctx(Ref::make(0), 100);
+  ring.on_overlay_message(ctx, kTagWrap, {ri(5, 500)});
+  ring.on_overlay_message(ctx, kTagWrap, {ri(9, 900)});
+  // 9 displaces 5; 5 returns to regular storage (it is a right neighbor).
+  std::map<ProcessId, bool> present;
+  for (const RefInfo& r : ring.stored()) present[r.ref.id()] = true;
+  EXPECT_TRUE(present[5]);
+  EXPECT_TRUE(present[9]);
+  // A weaker candidate later does not displace.
+  ring.on_overlay_message(ctx, kTagWrap, {ri(7, 700)});
+  EXPECT_EQ(ring.stored().size(), 3u);
+}
+
+TEST(RingWrap, NonEndpointForwardsTowardMin) {
+  RingOverlay ring;
+  ring.bind(Ref::make(5), 500);
+  CaptureCtx ctx(Ref::make(5), 500);
+  ring.integrate(ri(3, 300));  // left neighbors exist: not the min
+  ring.integrate(ri(1, 100));
+  // A max candidate looking for the min must be forwarded to the
+  // SMALLEST known left neighbor.
+  ring.on_overlay_message(ctx, kTagWrap, {ri(9, 900)});
+  ASSERT_EQ(ctx.sends.size(), 1u);
+  EXPECT_EQ(ctx.sends[0].dest, Ref::make(1));
+  EXPECT_EQ(ctx.sends[0].tag, kTagWrap);
+  ASSERT_EQ(ctx.sends[0].refs.size(), 1u);
+  EXPECT_EQ(ctx.sends[0].refs[0].ref, Ref::make(9));
+}
+
+TEST(RingWrap, MinCandidateForwardsTowardMax) {
+  RingOverlay ring;
+  ring.bind(Ref::make(5), 500);
+  CaptureCtx ctx(Ref::make(5), 500);
+  ring.integrate(ri(7, 700));
+  ring.integrate(ri(9, 900));
+  ring.on_overlay_message(ctx, kTagWrap, {ri(1, 100)});
+  ASSERT_EQ(ctx.sends.size(), 1u);
+  EXPECT_EQ(ctx.sends[0].dest, Ref::make(9));  // largest known right
+}
+
+TEST(RingWrap, OwnReferenceDropped) {
+  RingOverlay ring;
+  ring.bind(Ref::make(5), 500);
+  CaptureCtx ctx(Ref::make(5), 500);
+  ring.on_overlay_message(ctx, kTagWrap, {ri(5, 500)});
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ctx.sends.empty());
+}
+
+TEST(RingWrap, EvictionRelaunchesStaleWrap) {
+  RingOverlay ring;
+  ring.bind(Ref::make(4), 400);
+  CaptureCtx ctx(Ref::make(4), 400);
+  // Believed min: accept a max candidate into the wrap slot.
+  ring.integrate(ri(7, 700));
+  ring.on_overlay_message(ctx, kTagWrap, {ri(9, 900)});
+  ASSERT_EQ(ring.stored().size(), 2u);
+  // Now we learn about a smaller process: we are NOT the min, the wrap
+  // slot is stale. maintain() must relaunch the candidate leftward.
+  ring.integrate(ri(1, 100));
+  ring.maintain(ctx);
+  bool relaunched = false;
+  for (const auto& s : ctx.sends) {
+    if (s.tag == kTagWrap && s.refs.size() == 1 &&
+        s.refs[0].ref == Ref::make(9) && s.dest == Ref::make(1))
+      relaunched = true;
+  }
+  EXPECT_TRUE(relaunched);
+  // The slot itself is clear now.
+  for (const RefInfo& r : ring.stored()) EXPECT_NE(r.ref, Ref::make(9));
+}
+
+TEST(RingWrap, EndpointsLaunchPeriodically) {
+  RingOverlay ring;
+  ring.bind(Ref::make(0), 100);
+  CaptureCtx ctx(Ref::make(0), 100);
+  ring.integrate(ri(1, 200));
+  // Launches are throttled; across enough maintain() calls at least one
+  // wrap launch toward the believed max must happen.
+  for (int i = 0; i < 8; ++i) ring.maintain(ctx);
+  bool launched = false;
+  for (const auto& s : ctx.sends) {
+    if (s.tag == kTagWrap && s.refs.size() == 1 &&
+        s.refs[0].ref == Ref::make(0))
+      launched = true;
+  }
+  EXPECT_TRUE(launched);
+}
+
+TEST(RingWrap, TakeAllIncludesWrapSlot) {
+  RingOverlay ring;
+  ring.bind(Ref::make(0), 100);
+  CaptureCtx ctx(Ref::make(0), 100);
+  ring.integrate(ri(1, 200));
+  ring.on_overlay_message(ctx, kTagWrap, {ri(9, 900)});
+  const auto all = ring.take_all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingWrap, UpdateModePropagatesToWrapSlot) {
+  RingOverlay ring;
+  ring.bind(Ref::make(0), 100);
+  CaptureCtx ctx(Ref::make(0), 100);
+  ring.on_overlay_message(ctx, kTagWrap, {ri(9, 900)});
+  ring.update_mode(Ref::make(9), ModeInfo::Leaving);
+  ASSERT_EQ(ring.stored().size(), 1u);
+  EXPECT_EQ(ring.stored()[0].mode, ModeInfo::Leaving);
+}
+
+TEST(RingWrap, IntroductionTargetsAreKeptNeighborsPlusWrap) {
+  RingOverlay ring;
+  ring.bind(Ref::make(5), 500);
+  CaptureCtx ctx(Ref::make(5), 500);
+  ring.integrate(ri(3, 300));   // closest left
+  ring.integrate(ri(1, 100));   // farther left: not a target
+  ring.integrate(ri(7, 700));   // closest right
+  ring.integrate(ri(9, 900));   // farther right: not a target
+  const auto targets = ring.introduction_targets();
+  std::map<ProcessId, bool> t;
+  for (const RefInfo& r : targets) t[r.ref.id()] = true;
+  EXPECT_TRUE(t[3]);
+  EXPECT_TRUE(t[7]);
+  EXPECT_FALSE(t[1]);
+  EXPECT_FALSE(t[9]);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,177 @@
+#include "analysis/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/monitors.hpp"
+#include "core/framework.hpp"
+#include "core/legitimacy.hpp"
+#include "core/potential.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/process_graph.hpp"
+
+namespace fdp {
+namespace {
+
+TEST(Scenario, PopulationMatchesConfig) {
+  ScenarioConfig cfg;
+  cfg.n = 20;
+  cfg.leave_fraction = 0.25;
+  cfg.topology = "ring";
+  cfg.seed = 1;
+  const Scenario sc = build_departure_scenario(cfg);
+  EXPECT_EQ(sc.world->size(), 20u);
+  EXPECT_EQ(sc.leaving_count, 5u);
+  std::size_t leaving = 0;
+  for (ProcessId p = 0; p < 20; ++p)
+    if (sc.world->mode(p) == Mode::Leaving) ++leaving;
+  EXPECT_EQ(leaving, 5u);
+}
+
+TEST(Scenario, AtLeastOneStayingEvenAtFullFraction) {
+  ScenarioConfig cfg;
+  cfg.n = 5;
+  cfg.leave_fraction = 1.0;
+  cfg.topology = "line";
+  const Scenario sc = build_departure_scenario(cfg);
+  EXPECT_EQ(sc.leaving_count, 4u);
+}
+
+TEST(Scenario, KeysAreUniqueAndNonzero) {
+  ScenarioConfig cfg;
+  cfg.n = 50;
+  cfg.topology = "tree";
+  const Scenario sc = build_departure_scenario(cfg);
+  std::set<std::uint64_t> keys;
+  for (ProcessId p = 0; p < 50; ++p) {
+    EXPECT_NE(sc.world->process(p).key(), 0u);
+    keys.insert(sc.world->process(p).key());
+  }
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(Scenario, InitialGraphWeaklyConnected) {
+  for (const char* topo : {"line", "ring", "star", "clique", "tree", "gnp",
+                           "wild"}) {
+    ScenarioConfig cfg;
+    cfg.n = 12;
+    cfg.topology = topo;
+    cfg.seed = 9;
+    const Scenario sc = build_departure_scenario(cfg);
+    const Snapshot s = take_snapshot(*sc.world);
+    EXPECT_TRUE(is_weakly_connected(s.graph())) << topo;
+  }
+}
+
+TEST(Scenario, CorruptionProducesInvalidInformation) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.5;
+  cfg.invalid_mode_prob = 1.0;  // every stored belief flipped
+  cfg.seed = 4;
+  const Scenario sc = build_departure_scenario(cfg);
+  EXPECT_GT(phi(*sc.world), 0u);
+}
+
+TEST(Scenario, NoCorruptionMeansValidState) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.5;
+  cfg.seed = 4;
+  const Scenario sc = build_departure_scenario(cfg);
+  EXPECT_EQ(phi(*sc.world), 0u);
+}
+
+TEST(Scenario, InFlightMessagesInjected) {
+  ScenarioConfig cfg;
+  cfg.n = 10;
+  cfg.topology = "line";
+  cfg.inflight_per_node = 2.0;
+  cfg.seed = 6;
+  const Scenario sc = build_departure_scenario(cfg);
+  EXPECT_EQ(sc.world->live_message_count(), 20u);
+}
+
+TEST(Scenario, AnchorsInjectedOnRequest) {
+  ScenarioConfig cfg;
+  cfg.n = 10;
+  cfg.topology = "line";
+  cfg.random_anchor_prob = 1.0;
+  cfg.seed = 8;
+  const Scenario sc = build_departure_scenario(cfg);
+  std::size_t anchored = 0;
+  for (ProcessId p = 0; p < 10; ++p) {
+    if (sc.world->process_as<DepartureProcess>(p).anchor().has_value())
+      ++anchored;
+  }
+  EXPECT_EQ(anchored, 10u);
+}
+
+TEST(Scenario, SameSeedSameScenario) {
+  ScenarioConfig cfg;
+  cfg.n = 12;
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.4;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.seed = 77;
+  const Scenario a = build_departure_scenario(cfg);
+  const Scenario b = build_departure_scenario(cfg);
+  for (ProcessId p = 0; p < 12; ++p) {
+    EXPECT_EQ(a.world->mode(p), b.world->mode(p));
+    EXPECT_EQ(a.world->process(p).key(), b.world->process(p).key());
+  }
+  EXPECT_TRUE(take_snapshot(*a.world).graph() ==
+              take_snapshot(*b.world).graph());
+}
+
+TEST(Scenario, FrameworkScenarioHostsOverlay) {
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.topology = "gnp";
+  cfg.seed = 2;
+  const Scenario sc = build_framework_scenario(cfg, "ring");
+  for (ProcessId p = 0; p < 8; ++p) {
+    const auto* host = dynamic_cast<const OverlayHost*>(&sc.world->process(p));
+    ASSERT_NE(host, nullptr);
+    EXPECT_STREQ(host->hosted_overlay().name(), "ring");
+  }
+}
+
+TEST(Scenario, BaselineScenarioUsesNidec) {
+  ScenarioConfig cfg;
+  cfg.n = 6;
+  cfg.topology = "line";
+  cfg.seed = 2;
+  const Scenario sc = build_baseline_scenario(cfg);
+  // A referenced process gets false; process 0 is referenced by 1 in the
+  // line topology.
+  EXPECT_FALSE(sc.world->oracle_value(0));
+}
+
+TEST(Scenario, TerminationPrechecks) {
+  ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.topology = "line";
+  cfg.leave_fraction = 0.5;
+  cfg.seed = 5;
+  const Scenario sc = build_departure_scenario(cfg);
+  EXPECT_FALSE(all_leaving_gone(*sc.world));
+  EXPECT_FALSE(all_leaving_inactive(*sc.world));
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (sc.world->mode(p) == Mode::Leaving)
+      sc.world->force_life(p, LifeState::Asleep);
+  }
+  EXPECT_FALSE(all_leaving_gone(*sc.world));
+  EXPECT_TRUE(all_leaving_inactive(*sc.world));
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (sc.world->mode(p) == Mode::Leaving)
+      sc.world->force_life(p, LifeState::Gone);
+  }
+  EXPECT_TRUE(all_leaving_gone(*sc.world));
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,180 @@
+// Unit tests for the two-level skip list overlay: the deterministic level
+// coin, transit routing, level-1 slots and span healing.
+#include "overlay/skiplist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::CaptureOverlayCtx;
+
+// Keys with known tallness (popcount parity): even popcount = tall.
+constexpr std::uint64_t kTall1 = 0b11;     // popcount 2 -> tall
+constexpr std::uint64_t kTall2 = 0b1100;   // popcount 2 -> tall
+constexpr std::uint64_t kTall3 = 0b110000; // popcount 2 -> tall
+constexpr std::uint64_t kShort1 = 0b100;   // popcount 1 -> short
+constexpr std::uint64_t kShort2 = 0b10000; // popcount 1 -> short
+
+RefInfo ri(ProcessId id, std::uint64_t key) {
+  return RefInfo{Ref::make(id), ModeInfo::Staying, key};
+}
+
+TEST(SkipList, LevelCoinIsPopcountParity) {
+  EXPECT_TRUE(skip_is_tall(kTall1));
+  EXPECT_TRUE(skip_is_tall(kTall2));
+  EXPECT_FALSE(skip_is_tall(kShort1));
+  EXPECT_FALSE(skip_is_tall(kShort2));
+}
+
+TEST(SkipList, ShortForwardsTransitWithoutStoring) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kShort1);  // key 4, short
+  CaptureOverlayCtx ctx(Ref::make(0), kShort1);
+  sl.integrate(ri(1, kTall1));   // left neighbor  (key 3)
+  sl.integrate(ri(2, kShort2));  // right neighbor (key 16)
+  // A tall ref travelling leftward must be forwarded to the closest left
+  // neighbor, not stored.
+  const std::size_t before = sl.stored().size();
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(9, kTall3)});
+  EXPECT_EQ(sl.stored().size(), before);
+  ASSERT_EQ(ctx.sends.size(), 1u);
+  EXPECT_EQ(ctx.sends[0].dest, Ref::make(1));
+  EXPECT_EQ(ctx.sends[0].tag, kTagTallLeft);
+}
+
+TEST(SkipList, ShortDeadEndReturnsToOwner) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kShort1);
+  CaptureOverlayCtx ctx(Ref::make(0), kShort1);
+  // No left neighbor at all: the leftward transit has nowhere to go.
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(9, kTall3)});
+  EXPECT_TRUE(sl.empty());
+  ASSERT_EQ(ctx.sends.size(), 1u);
+  EXPECT_EQ(ctx.sends[0].dest, Ref::make(9));  // back to the owner
+  EXPECT_EQ(ctx.sends[0].tag, kTagDeliverRef);
+}
+
+TEST(SkipList, TallSlotsTransitCandidate) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kTall2);  // key 12, tall
+  CaptureOverlayCtx ctx(Ref::make(0), kTall2);
+  // A leftward-travelling candidate has a LARGER key (origin to our
+  // right): it becomes the level-1 right neighbor.
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(9, kTall3)});
+  ASSERT_EQ(sl.stored().size(), 1u);
+  EXPECT_EQ(sl.stored()[0].ref, Ref::make(9));
+  // Its introduction targets include the slot.
+  bool in_targets = false;
+  for (const RefInfo& r : sl.introduction_targets())
+    if (r.ref == Ref::make(9)) in_targets = true;
+  EXPECT_TRUE(in_targets);
+}
+
+TEST(SkipList, CloserCandidateDisplacesFarther) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kTall1);  // key 3
+  CaptureOverlayCtx ctx(Ref::make(0), kTall1);
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(9, kTall3)});  // key 48
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(8, kTall2)});  // key 12: closer
+  // Both retained: 8 in the slot, 9 back in level-0 storage.
+  std::map<ProcessId, bool> ids;
+  for (const RefInfo& r : sl.stored()) ids[r.ref.id()] = true;
+  EXPECT_TRUE(ids[8]);
+  EXPECT_TRUE(ids[9]);
+}
+
+TEST(SkipList, SpanHealingIntroducesCandidateToInBetween) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kTall1);  // key 3, tall
+  CaptureOverlayCtx ctx(Ref::make(0), kTall1);
+  sl.integrate(ri(4, kShort1));  // key 4: strictly between 3 and 48
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(9, kTall3)});  // key 48
+  // The in-between short must be introduced to the candidate.
+  bool healed = false;
+  for (const auto& s : ctx.sends) {
+    if (s.dest == Ref::make(4) && s.tag == kTagDeliverRef &&
+        s.refs.size() == 1 && s.refs[0].ref == Ref::make(9))
+      healed = true;
+  }
+  EXPECT_TRUE(healed);
+}
+
+TEST(SkipList, TallToTallIntegrationGoesToSlot) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kTall2);  // key 12
+  // A present() from a tall process lands in the slot, not level 0.
+  sl.integrate(ri(1, kTall1));  // key 3 (left, tall)
+  ASSERT_EQ(sl.stored().size(), 1u);
+  // Level-0 storage must stay empty: maintain() delegates nothing.
+  CaptureOverlayCtx ctx(Ref::make(0), kTall2);
+  sl.maintain(ctx);
+  for (const auto& s : ctx.sends) EXPECT_EQ(s.tag, kTagTallLeft);
+}
+
+TEST(SkipList, ShortIntegratesTallIntoLevelZero) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kShort1);
+  sl.integrate(ri(1, kTall1));
+  EXPECT_EQ(sl.stored().size(), 1u);
+  // For a short node everything is level-0: delegation applies normally.
+}
+
+TEST(SkipList, DelegationFlowsThroughSlotWaypoints) {
+  // Tall node with slot-right v (key 12) and a store ref w beyond it
+  // (key 48): w must be delegated TO v, draining level 0.
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kTall1);  // key 3
+  CaptureOverlayCtx ctx(Ref::make(0), kTall1);
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(5, kTall2)});  // slot: key 12
+  ctx.sends.clear();
+  sl.integrate(ri(6, kShort2));  // key 16 -- store, beyond the slot
+  sl.maintain(ctx);
+  bool delegated = false;
+  for (const auto& s : ctx.sends) {
+    if (s.dest == Ref::make(5) && s.tag == kTagDeliverRef &&
+        s.refs.size() == 1 && s.refs[0].ref == Ref::make(6))
+      delegated = true;
+  }
+  EXPECT_TRUE(delegated);
+  // w left the base storage (conserved inside the send).
+  for (const RefInfo& r : sl.stored()) EXPECT_NE(r.ref, Ref::make(6));
+}
+
+TEST(SkipList, RemoveAndTakeAllCoverSlots) {
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kTall1);
+  CaptureOverlayCtx ctx(Ref::make(0), kTall1);
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(9, kTall3)});
+  sl.integrate(ri(4, kShort1));
+  EXPECT_TRUE(sl.remove(Ref::make(9)));
+  EXPECT_FALSE(sl.remove(Ref::make(9)));
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(9, kTall3)});
+  const auto all = sl.take_all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(sl.empty());
+}
+
+TEST(SkipList, ShortWithCorruptedSlotEvictsOnMaintain) {
+  // A corrupted state could hand a SHORT process slot content via
+  // restore-like mutation; directly exercise sanitize via maintain after
+  // forcing the slot through the tall-integration path is impossible for
+  // a short node, so instead check a tall node's wrong-side eviction.
+  SkipListOverlay sl;
+  sl.bind(Ref::make(0), kTall2);  // key 12
+  CaptureOverlayCtx ctx(Ref::make(0), kTall2);
+  // Right slot gets a candidate... which is actually on the LEFT side
+  // (inconsistent direction message): it must go to level 0 instead.
+  sl.on_overlay_message(ctx, kTagTallLeft, {ri(1, kTall1)});  // key 3 < 12
+  // Stored as plain level-0 info (inconsistent direction).
+  ASSERT_EQ(sl.stored().size(), 1u);
+  sl.maintain(ctx);  // must not crash; ref may be slotted/kept
+  EXPECT_GE(sl.stored().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fdp

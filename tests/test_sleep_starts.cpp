@@ -1,0 +1,98 @@
+// Initial states with asleep processes — the arbitrary-state corner the
+// model explicitly allows (any asleep process with a pending message is
+// relevant, hence a legal initial state).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "analysis/monitors.hpp"
+
+namespace fdp {
+namespace {
+
+ScenarioConfig sleepy_config(std::uint64_t seed, DeparturePolicy policy) {
+  ScenarioConfig cfg;
+  cfg.n = 12;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.policy = policy;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.initial_asleep_prob = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SleepStarts, SleepersAreRelevantByConstruction) {
+  Scenario sc = build_departure_scenario(
+      sleepy_config(3, DeparturePolicy::ExitWithOracle));
+  const Snapshot s = take_snapshot(*sc.world);
+  std::size_t asleep = 0;
+  const auto hib = s.hibernating();
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    if (s.life[p] == LifeState::Asleep) {
+      ++asleep;
+      EXPECT_FALSE(hib[p]) << "initial sleeper " << p << " is hibernating";
+    }
+  }
+  EXPECT_GT(asleep, 0u);
+}
+
+class SleepStartSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SleepStartSweep, FdpConvergesFromSleepyStates) {
+  Scenario sc = build_departure_scenario(
+      sleepy_config(GetParam(), DeparturePolicy::ExitWithOracle));
+  RunOptions opt;
+  opt.max_steps = 500'000;
+  opt.with_monitors = true;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_TRUE(r.safety_ok && r.phi_monotone && r.audit_ok) << r.failure;
+  // Every staying sleeper must have been woken (condition (i)).
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    if (sc.world->mode(p) == Mode::Staying) {
+      EXPECT_EQ(sc.world->life(p), LifeState::Awake);
+    }
+  }
+}
+
+TEST_P(SleepStartSweep, FspConvergesFromSleepyStates) {
+  Scenario sc = build_departure_scenario(
+      sleepy_config(GetParam() + 100, DeparturePolicy::Sleep));
+  RunOptions opt;
+  opt.max_steps = 500'000;
+  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_EQ(sc.world->exits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SleepStartSweep,
+                         testing::Range<std::uint64_t>(1, 9));
+
+TEST(Traffic, PerProcessAccounting) {
+  ScenarioConfig cfg;
+  cfg.n = 8;
+  cfg.topology = "star";  // node with the smallest id is the hub
+  cfg.leave_fraction = 0.0;
+  cfg.seed = 5;
+  Scenario sc = build_departure_scenario(cfg);
+  TrafficMonitor traffic;
+  sc.world->add_observer(&traffic);
+  RandomScheduler sched;
+  for (int i = 0; i < 5'000; ++i) (void)sc.world->step(sched);
+
+  std::uint64_t sent_total = 0, recv_total = 0;
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    sent_total += traffic.sent_by(p);
+    recv_total += traffic.received_by(p);
+  }
+  EXPECT_EQ(sent_total, traffic.total_sent());
+  EXPECT_EQ(recv_total, traffic.deliveries());
+  EXPECT_GT(traffic.sent(Verb::Present), 0u);
+  // The star hub (process 0 by construction of gen::star) receives far
+  // more than the mean: imbalance well above 1.
+  EXPECT_GT(traffic.receive_imbalance(), 1.5);
+  EXPECT_GT(traffic.received_by(0), traffic.received_by(1));
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,90 @@
+// Shared helpers for the test suite: tiny processes with controllable
+// behavior, and world-construction shortcuts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/neighbor_set.hpp"
+#include "sim/world.hpp"
+
+namespace fdp::testsupport {
+
+/// A process driven by std::function hooks; stores references in a
+/// NeighborSet like the real protocols.
+class ScriptedProcess final : public Process {
+ public:
+  using TimeoutFn = std::function<void(ScriptedProcess&, Context&)>;
+  using MessageFn =
+      std::function<void(ScriptedProcess&, Context&, const Message&)>;
+
+  ScriptedProcess(Ref self, Mode mode, std::uint64_t key)
+      : Process(self, mode, key), nbrs_(self) {}
+
+  void on_timeout(Context& ctx) override {
+    ++timeout_count;
+    if (on_timeout_fn) on_timeout_fn(*this, ctx);
+  }
+  void on_message(Context& ctx, const Message& m) override {
+    ++message_count;
+    received.push_back(m);
+    if (on_message_fn) on_message_fn(*this, ctx, m);
+  }
+  void collect_refs(std::vector<RefInfo>& out) const override {
+    for (const RefInfo& r : nbrs_.snapshot()) out.push_back(r);
+  }
+  [[nodiscard]] const char* protocol_name() const override {
+    return "scripted";
+  }
+
+  NeighborSet& nbrs() { return nbrs_; }
+
+  TimeoutFn on_timeout_fn;
+  MessageFn on_message_fn;
+  int timeout_count = 0;
+  int message_count = 0;
+  std::vector<Message> received;
+
+ private:
+  NeighborSet nbrs_;
+};
+
+/// Spawn `n` scripted processes (all staying, key = id) into a world.
+inline std::vector<Ref> spawn_scripted(World& w, std::size_t n) {
+  std::vector<Ref> refs;
+  for (std::size_t i = 0; i < n; ++i)
+    refs.push_back(w.spawn<ScriptedProcess>(Mode::Staying, i));
+  return refs;
+}
+
+}  // namespace fdp::testsupport
+
+#include "overlay/overlay_protocol.hpp"
+
+namespace fdp::testsupport {
+
+/// OverlayCtx that records sends instead of delivering them.
+class CaptureOverlayCtx final : public OverlayCtx {
+ public:
+  CaptureOverlayCtx(Ref self, std::uint64_t key) : self_(self), key_(key) {}
+  [[nodiscard]] Ref self() const override { return self_; }
+  [[nodiscard]] std::uint64_t self_key() const override { return key_; }
+  void send_overlay(Ref dest, std::uint32_t tag,
+                    std::vector<RefInfo> refs) override {
+    sends.push_back({dest, tag, std::move(refs)});
+  }
+
+  struct Send {
+    Ref dest;
+    std::uint32_t tag;
+    std::vector<RefInfo> refs;
+  };
+  std::vector<Send> sends;
+
+ private:
+  Ref self_;
+  std::uint64_t key_;
+};
+
+}  // namespace fdp::testsupport

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fdp {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t("t");
+  t.set_header({"x", "yy"});
+  t.add_row({"abcdef", "1"});
+  const std::string out = t.render();
+  // Each rendered line after the title must have the same length.
+  std::size_t first_len = 0;
+  std::size_t pos = out.find('\n') + 1;
+  while (pos < out.size()) {
+    const std::size_t end = out.find('\n', pos);
+    if (end == std::string::npos) break;
+    const std::size_t len = end - pos;
+    if (first_len == 0) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = end + 1;
+  }
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(-5)), "-5");
+  EXPECT_EQ(Table::num(static_cast<std::uint64_t>(7)), "7");
+  EXPECT_EQ(Table::fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::pm(1.5, 0.25, 1), "1.5 +- 0.2");
+}
+
+TEST(TableDeath, RowArityMismatchAborts) {
+  Table t("t");
+  t.set_header({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = testing::TempDir() + "fdp_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row({"1", "plain"});
+    csv.row({"has,comma", "has\"quote"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"has\"\"quote\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,83 @@
+#include "analysis/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/scenario.hpp"
+#include "core/oracle.hpp"
+
+namespace fdp {
+namespace {
+
+TEST(Trace, RecordsActionsToRing) {
+  ScenarioConfig cfg;
+  cfg.n = 6;
+  cfg.topology = "ring";
+  cfg.leave_fraction = 0.3;
+  cfg.seed = 4;
+  Scenario sc = build_departure_scenario(cfg);
+  TraceRecorder trace(/*ring_capacity=*/16);
+  sc.world->add_observer(&trace);
+  RandomScheduler sched;
+  for (int i = 0; i < 100; ++i) (void)sc.world->step(sched);
+  EXPECT_EQ(trace.recorded(), 100u);
+  EXPECT_EQ(trace.ring().size(), 16u);  // capped
+  for (const std::string& line : trace.ring()) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"actor\":"), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+  }
+}
+
+TEST(Trace, StreamsToFile) {
+  const std::string path = testing::TempDir() + "fdp_trace_test.jsonl";
+  {
+    ScenarioConfig cfg;
+    cfg.n = 4;
+    cfg.topology = "line";
+    cfg.seed = 1;
+    Scenario sc = build_departure_scenario(cfg);
+    TraceRecorder trace(8, path);
+    sc.world->add_observer(&trace);
+    RandomScheduler sched;
+    for (int i = 0; i < 50; ++i) (void)sc.world->step(sched);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+  }
+  EXPECT_EQ(lines, 50);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, JsonEncodesMessageContent) {
+  ActionRecord rec;
+  rec.step = 7;
+  rec.actor = 3;
+  rec.kind = ActionRecord::Kind::Deliver;
+  rec.consumed = Message::present(RefInfo{Ref::make(5), ModeInfo::Leaving, 0});
+  rec.sent.emplace_back(Ref::make(2),
+                        Message::forward(RefInfo{Ref::make(5),
+                                                 ModeInfo::Leaving, 0}));
+  rec.exited = true;
+  const std::string json = TraceRecorder::to_json(rec);
+  EXPECT_NE(json.find("\"step\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"actor\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"deliver\""), std::string::npos);
+  EXPECT_NE(json.find("\"verb\":\"present\""), std::string::npos);
+  EXPECT_NE(json.find("\"verb\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"leaving\""), std::string::npos);
+  EXPECT_NE(json.find("\"exited\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,200 @@
+#include "sim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace fdp {
+namespace {
+
+using testsupport::ScriptedProcess;
+using testsupport::spawn_scripted;
+
+TEST(World, SpawnAssignsDenseIds) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(refs[0].id(), 0u);
+  EXPECT_EQ(refs[2].id(), 2u);
+  EXPECT_EQ(w.process(1).self(), refs[1]);
+}
+
+TEST(World, TimeoutExecutesAwakeProcess) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 1);
+  (void)refs;
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(w.step(sched));
+  EXPECT_EQ(w.timeouts(), 1u);
+  EXPECT_EQ(w.process_as<ScriptedProcess>(0).timeout_count, 1);
+}
+
+TEST(World, SendAndDeliver) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.on_timeout_fn = [&](ScriptedProcess& self, Context& ctx) {
+    (void)self;
+    ctx.send(refs[1], Message::present(RefInfo{refs[0], ModeInfo::Staying, 0}));
+  };
+  RoundRobinScheduler sched;
+  // Run a few steps: p0 timeout sends; delivery reaches p1.
+  for (int i = 0; i < 4; ++i) (void)w.step(sched);
+  EXPECT_GE(w.sends(), 1u);
+  EXPECT_GE(w.deliveries(), 1u);
+  EXPECT_GE(w.process_as<ScriptedProcess>(1).message_count, 1);
+}
+
+TEST(World, SelfSendIsDelivered) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 1);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  bool sent = false;
+  p0.on_timeout_fn = [&](ScriptedProcess&, Context& ctx) {
+    if (!sent) {
+      ctx.send(refs[0], Message{});
+      sent = true;
+    }
+  };
+  RoundRobinScheduler sched;
+  for (int i = 0; i < 4; ++i) (void)w.step(sched);
+  EXPECT_EQ(w.process_as<ScriptedProcess>(0).message_count, 1);
+}
+
+TEST(World, ExitMakesProcessGoneAndFreezesChannel) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.on_timeout_fn = [&](ScriptedProcess&, Context& ctx) {
+    ctx.exit_process();
+  };
+  auto& p1 = w.process_as<ScriptedProcess>(1);
+  p1.on_timeout_fn = [&](ScriptedProcess&, Context& ctx) {
+    ctx.send(refs[0], Message{});
+  };
+  RoundRobinScheduler sched;
+  for (int i = 0; i < 10; ++i) (void)w.step(sched);
+  EXPECT_EQ(w.life(0), LifeState::Gone);
+  EXPECT_EQ(w.exits(), 1u);
+  // Messages to the gone process pile up, never delivered.
+  EXPECT_GT(w.channel(0).size(), 0u);
+  EXPECT_EQ(w.process_as<ScriptedProcess>(0).message_count, 0);
+  // Gone processes never run their timeout again.
+  const int timeouts_after = p0.timeout_count;
+  for (int i = 0; i < 10; ++i) (void)w.step(sched);
+  EXPECT_EQ(p0.timeout_count, timeouts_after);
+}
+
+TEST(World, SleepAndWakeOnMessage) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.on_timeout_fn = [&](ScriptedProcess&, Context& ctx) {
+    ctx.sleep_process();
+  };
+  bool p1_sent = false;
+  auto& p1 = w.process_as<ScriptedProcess>(1);
+  p1.on_timeout_fn = [&](ScriptedProcess&, Context& ctx) {
+    if (w.life(0) == LifeState::Asleep && !p1_sent) {
+      ctx.send(refs[0], Message{});
+      p1_sent = true;
+    }
+  };
+  RoundRobinScheduler sched;
+  for (int i = 0; i < 20 && w.wakes() == 0; ++i) (void)w.step(sched);
+  EXPECT_EQ(w.sleeps(), 1u);  // slept once...
+  EXPECT_EQ(w.wakes(), 1u);   // ...and was woken by the message
+  EXPECT_EQ(w.process_as<ScriptedProcess>(0).message_count, 1);
+  EXPECT_EQ(w.life(0), LifeState::Awake);
+}
+
+TEST(World, LiveMessageCountIgnoresGoneChannels) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.post(refs[0], Message{});
+  w.post(refs[1], Message{});
+  EXPECT_EQ(w.live_message_count(), 2u);
+  w.force_life(0, LifeState::Gone);
+  EXPECT_EQ(w.live_message_count(), 1u);
+}
+
+TEST(World, OldestLiveMessage) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.post(refs[1], Message{});  // seq 1
+  w.post(refs[0], Message{});  // seq 2
+  const auto [proc, seq] = w.oldest_live_message();
+  EXPECT_EQ(proc, 1u);
+  EXPECT_EQ(seq, 1u);
+}
+
+TEST(World, RunUntilStopsOnPredicate) {
+  World w(1);
+  spawn_scripted(w, 2);
+  RandomScheduler sched;
+  const bool ok = w.run_until(sched, 1000, [](const World& world) {
+    return world.steps() >= 10;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(w.steps(), 10u);
+}
+
+TEST(World, ObserverSeesActionRecord) {
+  struct Probe final : Observer {
+    int actions = 0;
+    int sends_seen = 0;
+    void on_action(const World&, const ActionRecord& rec) override {
+      ++actions;
+      sends_seen += static_cast<int>(rec.sent.size());
+    }
+  } probe;
+
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.on_timeout_fn = [&](ScriptedProcess&, Context& ctx) {
+    ctx.send(refs[1], Message{});
+  };
+  w.add_observer(&probe);
+  RoundRobinScheduler sched;
+  for (int i = 0; i < 6; ++i) (void)w.step(sched);
+  EXPECT_EQ(probe.actions, 6);
+  EXPECT_GT(probe.sends_seen, 0);
+  w.remove_observer(&probe);
+  (void)w.step(sched);
+  EXPECT_EQ(probe.actions, 6);
+}
+
+TEST(World, OracleInstalledAndQueried) {
+  World w(1);
+  spawn_scripted(w, 1);
+  w.set_oracle([](const World&, ProcessId p) { return p == 0; });
+  EXPECT_TRUE(w.oracle_value(0));
+}
+
+TEST(WorldDeath, OracleWithoutInstallAborts) {
+  World w(1);
+  spawn_scripted(w, 1);
+  EXPECT_DEATH((void)w.oracle_value(0), "no oracle");
+}
+
+TEST(World, DeterministicGivenSeedAndScheduler) {
+  auto run = [](std::uint64_t seed) {
+    World w(seed);
+    const auto refs = spawn_scripted(w, 4);
+    for (ProcessId p = 0; p < 4; ++p) {
+      auto& proc = w.process_as<ScriptedProcess>(p);
+      proc.on_timeout_fn = [&, p](ScriptedProcess&, Context& ctx) {
+        ctx.send(refs[(p + 1) % 4], Message{});
+      };
+    }
+    RandomScheduler sched;
+    for (int i = 0; i < 200; ++i) (void)w.step(sched);
+    return std::tuple(w.sends(), w.deliveries(), w.timeouts());
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace fdp
