@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_universality.dir/bench_e2_universality.cpp.o"
+  "CMakeFiles/bench_e2_universality.dir/bench_e2_universality.cpp.o.d"
+  "bench_e2_universality"
+  "bench_e2_universality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_universality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

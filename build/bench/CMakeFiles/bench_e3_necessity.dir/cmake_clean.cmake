@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_necessity.dir/bench_e3_necessity.cpp.o"
+  "CMakeFiles/bench_e3_necessity.dir/bench_e3_necessity.cpp.o.d"
+  "bench_e3_necessity"
+  "bench_e3_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_fdp.dir/bench_e4_fdp.cpp.o"
+  "CMakeFiles/bench_e4_fdp.dir/bench_e4_fdp.cpp.o.d"
+  "bench_e4_fdp"
+  "bench_e4_fdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_fdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

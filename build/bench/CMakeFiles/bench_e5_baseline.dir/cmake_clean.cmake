@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_baseline.dir/bench_e5_baseline.cpp.o"
+  "CMakeFiles/bench_e5_baseline.dir/bench_e5_baseline.cpp.o.d"
+  "bench_e5_baseline"
+  "bench_e5_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

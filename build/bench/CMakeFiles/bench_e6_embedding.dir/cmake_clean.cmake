@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_embedding.dir/bench_e6_embedding.cpp.o"
+  "CMakeFiles/bench_e6_embedding.dir/bench_e6_embedding.cpp.o.d"
+  "bench_e6_embedding"
+  "bench_e6_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

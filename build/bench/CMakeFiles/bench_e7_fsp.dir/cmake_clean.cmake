@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_fsp.dir/bench_e7_fsp.cpp.o"
+  "CMakeFiles/bench_e7_fsp.dir/bench_e7_fsp.cpp.o.d"
+  "bench_e7_fsp"
+  "bench_e7_fsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_fsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

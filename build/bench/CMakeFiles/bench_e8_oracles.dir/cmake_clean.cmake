@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_oracles.dir/bench_e8_oracles.cpp.o"
+  "CMakeFiles/bench_e8_oracles.dir/bench_e8_oracles.cpp.o.d"
+  "bench_e8_oracles"
+  "bench_e8_oracles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

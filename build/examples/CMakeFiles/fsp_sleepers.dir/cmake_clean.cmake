@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_sleepers.dir/fsp_sleepers.cpp.o"
+  "CMakeFiles/fsp_sleepers.dir/fsp_sleepers.cpp.o.d"
+  "fsp_sleepers"
+  "fsp_sleepers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_sleepers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_healing_ring.dir/self_healing_ring.cpp.o"
+  "CMakeFiles/self_healing_ring.dir/self_healing_ring.cpp.o.d"
+  "self_healing_ring"
+  "self_healing_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_healing_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

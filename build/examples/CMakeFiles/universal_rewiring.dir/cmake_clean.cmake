@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_rewiring.dir/universal_rewiring.cpp.o"
+  "CMakeFiles/universal_rewiring.dir/universal_rewiring.cpp.o.d"
+  "universal_rewiring"
+  "universal_rewiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_rewiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

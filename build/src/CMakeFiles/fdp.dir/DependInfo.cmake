@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cpp" "src/CMakeFiles/fdp.dir/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/CMakeFiles/fdp.dir/analysis/metrics.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/analysis/metrics.cpp.o.d"
+  "/root/repo/src/analysis/modelcheck.cpp" "src/CMakeFiles/fdp.dir/analysis/modelcheck.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/analysis/modelcheck.cpp.o.d"
+  "/root/repo/src/analysis/monitors.cpp" "src/CMakeFiles/fdp.dir/analysis/monitors.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/analysis/monitors.cpp.o.d"
+  "/root/repo/src/analysis/scenario.cpp" "src/CMakeFiles/fdp.dir/analysis/scenario.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/analysis/scenario.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/CMakeFiles/fdp.dir/analysis/trace.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/analysis/trace.cpp.o.d"
+  "/root/repo/src/baseline/sorted_list_departure.cpp" "src/CMakeFiles/fdp.dir/baseline/sorted_list_departure.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/baseline/sorted_list_departure.cpp.o.d"
+  "/root/repo/src/core/departure_process.cpp" "src/CMakeFiles/fdp.dir/core/departure_process.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/core/departure_process.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/CMakeFiles/fdp.dir/core/framework.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/core/framework.cpp.o.d"
+  "/root/repo/src/core/legitimacy.cpp" "src/CMakeFiles/fdp.dir/core/legitimacy.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/core/legitimacy.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/CMakeFiles/fdp.dir/core/oracle.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/core/oracle.cpp.o.d"
+  "/root/repo/src/core/potential.cpp" "src/CMakeFiles/fdp.dir/core/potential.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/core/potential.cpp.o.d"
+  "/root/repo/src/core/primitives.cpp" "src/CMakeFiles/fdp.dir/core/primitives.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/core/primitives.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/fdp.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/fdp.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/fdp.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/fdp.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/process_graph.cpp" "src/CMakeFiles/fdp.dir/graph/process_graph.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/graph/process_graph.cpp.o.d"
+  "/root/repo/src/overlay/clique.cpp" "src/CMakeFiles/fdp.dir/overlay/clique.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/overlay/clique.cpp.o.d"
+  "/root/repo/src/overlay/linearization.cpp" "src/CMakeFiles/fdp.dir/overlay/linearization.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/overlay/linearization.cpp.o.d"
+  "/root/repo/src/overlay/overlay_protocol.cpp" "src/CMakeFiles/fdp.dir/overlay/overlay_protocol.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/overlay/overlay_protocol.cpp.o.d"
+  "/root/repo/src/overlay/ring.cpp" "src/CMakeFiles/fdp.dir/overlay/ring.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/overlay/ring.cpp.o.d"
+  "/root/repo/src/overlay/skiplist.cpp" "src/CMakeFiles/fdp.dir/overlay/skiplist.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/overlay/skiplist.cpp.o.d"
+  "/root/repo/src/overlay/star.cpp" "src/CMakeFiles/fdp.dir/overlay/star.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/overlay/star.cpp.o.d"
+  "/root/repo/src/overlay/topology_checks.cpp" "src/CMakeFiles/fdp.dir/overlay/topology_checks.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/overlay/topology_checks.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/CMakeFiles/fdp.dir/sim/channel.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/sim/channel.cpp.o.d"
+  "/root/repo/src/sim/chaos.cpp" "src/CMakeFiles/fdp.dir/sim/chaos.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/sim/chaos.cpp.o.d"
+  "/root/repo/src/sim/context.cpp" "src/CMakeFiles/fdp.dir/sim/context.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/sim/context.cpp.o.d"
+  "/root/repo/src/sim/neighbor_set.cpp" "src/CMakeFiles/fdp.dir/sim/neighbor_set.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/sim/neighbor_set.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/fdp.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/sim/process.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/fdp.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/fdp.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/sim/world.cpp.o.d"
+  "/root/repo/src/universality/planner.cpp" "src/CMakeFiles/fdp.dir/universality/planner.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/universality/planner.cpp.o.d"
+  "/root/repo/src/universality/reachability.cpp" "src/CMakeFiles/fdp.dir/universality/reachability.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/universality/reachability.cpp.o.d"
+  "/root/repo/src/universality/rewriter.cpp" "src/CMakeFiles/fdp.dir/universality/rewriter.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/universality/rewriter.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/fdp.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/fdp.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/fdp.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/fdp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/fdp.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

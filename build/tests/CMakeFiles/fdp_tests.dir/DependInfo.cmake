@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/fdp_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/fdp_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_chaos.cpp" "tests/CMakeFiles/fdp_tests.dir/test_chaos.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_chaos.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/fdp_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_connectivity.cpp" "tests/CMakeFiles/fdp_tests.dir/test_connectivity.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_connectivity.cpp.o.d"
+  "/root/repo/tests/test_departure_convergence.cpp" "tests/CMakeFiles/fdp_tests.dir/test_departure_convergence.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_departure_convergence.cpp.o.d"
+  "/root/repo/tests/test_departure_properties.cpp" "tests/CMakeFiles/fdp_tests.dir/test_departure_properties.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_departure_properties.cpp.o.d"
+  "/root/repo/tests/test_departure_unit.cpp" "tests/CMakeFiles/fdp_tests.dir/test_departure_unit.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_departure_unit.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/fdp_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_digraph.cpp" "tests/CMakeFiles/fdp_tests.dir/test_digraph.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_digraph.cpp.o.d"
+  "/root/repo/tests/test_dot.cpp" "tests/CMakeFiles/fdp_tests.dir/test_dot.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_dot.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/fdp_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/fdp_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_framework.cpp" "tests/CMakeFiles/fdp_tests.dir/test_framework.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_framework.cpp.o.d"
+  "/root/repo/tests/test_fsp.cpp" "tests/CMakeFiles/fdp_tests.dir/test_fsp.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_fsp.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/fdp_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_legitimacy.cpp" "tests/CMakeFiles/fdp_tests.dir/test_legitimacy.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_legitimacy.cpp.o.d"
+  "/root/repo/tests/test_modelcheck.cpp" "tests/CMakeFiles/fdp_tests.dir/test_modelcheck.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_modelcheck.cpp.o.d"
+  "/root/repo/tests/test_neighbor_set.cpp" "tests/CMakeFiles/fdp_tests.dir/test_neighbor_set.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_neighbor_set.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/fdp_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_overlay_departures.cpp" "tests/CMakeFiles/fdp_tests.dir/test_overlay_departures.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_overlay_departures.cpp.o.d"
+  "/root/repo/tests/test_overlay_units.cpp" "tests/CMakeFiles/fdp_tests.dir/test_overlay_units.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_overlay_units.cpp.o.d"
+  "/root/repo/tests/test_overlays.cpp" "tests/CMakeFiles/fdp_tests.dir/test_overlays.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_overlays.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/fdp_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_potential.cpp" "tests/CMakeFiles/fdp_tests.dir/test_potential.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_potential.cpp.o.d"
+  "/root/repo/tests/test_primitives_audit.cpp" "tests/CMakeFiles/fdp_tests.dir/test_primitives_audit.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_primitives_audit.cpp.o.d"
+  "/root/repo/tests/test_process_graph.cpp" "tests/CMakeFiles/fdp_tests.dir/test_process_graph.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_process_graph.cpp.o.d"
+  "/root/repo/tests/test_reachability.cpp" "tests/CMakeFiles/fdp_tests.dir/test_reachability.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_reachability.cpp.o.d"
+  "/root/repo/tests/test_rewriter.cpp" "tests/CMakeFiles/fdp_tests.dir/test_rewriter.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_rewriter.cpp.o.d"
+  "/root/repo/tests/test_ring_wrap.cpp" "tests/CMakeFiles/fdp_tests.dir/test_ring_wrap.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_ring_wrap.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/fdp_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/fdp_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/fdp_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_skiplist.cpp" "tests/CMakeFiles/fdp_tests.dir/test_skiplist.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_skiplist.cpp.o.d"
+  "/root/repo/tests/test_sleep_starts.cpp" "tests/CMakeFiles/fdp_tests.dir/test_sleep_starts.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_sleep_starts.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/fdp_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/fdp_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/fdp_tests.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/fdp_tests.dir/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
