@@ -5,7 +5,17 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/driver.hpp"
+#include "util/flags.hpp"
+
 namespace fdp::bench {
+
+/// Every bench accepts --workers (0 = one per hardware core) and fans its
+/// seed sweeps across the shared parallel driver.
+inline ExperimentDriver driver_from_flags(Flags& flags) {
+  return ExperimentDriver(
+      static_cast<unsigned>(flags.get_int("workers", 0)));
+}
 
 /// Wall-clock stopwatch (seconds).
 class Timer {

@@ -5,24 +5,31 @@
 // multigraphs. Every op is followed by a connectivity re-check (the table
 // reports the violation count, which Lemma 1 predicts to be exactly 0),
 // and for the three-primitive subset we verify the initial reachability
-// matrix is still dominated at the end of each run.
+// matrix is still dominated at the end of each run. Seeds fan out across
+// the driver's worker pool; the violation counts are aggregated in seed
+// order and independent of --workers.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "universality/rewriter.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace fdp {
 namespace {
 
+struct SeedTally {
+  std::uint64_t ops = 0;
+  std::uint64_t weak_violations = 0;
+  std::uint64_t strong_losses = 0;  // 3-primitive subset runs
+};
+
 struct Row {
   std::size_t n = 0;
   std::uint64_t ops = 0;
   std::uint64_t weak_violations = 0;
-  std::uint64_t strong_losses = 0;  // 3-primitive subset runs
+  std::uint64_t strong_losses = 0;
   double ops_per_sec = 0;
 };
 
@@ -39,41 +46,55 @@ RewriteOp random_op(Rng& rng, std::size_t n, bool allow_reversal) {
   }
 }
 
-Row run_scale(std::size_t n, std::uint64_t target_ops, std::uint64_t seeds) {
+SeedTally run_seed(std::size_t n, std::uint64_t target_ops,
+                   std::uint64_t seed) {
+  SeedTally tally;
+  Rng rng(seed * 7919 + n);
+  // All four primitives, connectivity verified after every op.
+  {
+    DiGraph g = gen::random_weakly_connected(n, n, 0.3, rng);
+    GraphRewriter rw(std::move(g), /*verify=*/true);
+    std::uint64_t guard = 0;
+    while (rw.ops_applied() < target_ops && ++guard < 50 * target_ops) {
+      (void)rw.apply(random_op(rng, n, /*allow_reversal=*/true));
+    }
+    tally.ops += rw.ops_applied();
+    tally.weak_violations += rw.connectivity_violations();
+  }
+  // Introduction/Delegation/Fusion only: reachability must be preserved.
+  {
+    DiGraph g = gen::random_weakly_connected(n, n, 0.3, rng);
+    std::vector<std::vector<bool>> reach0;
+    for (NodeId u = 0; u < n; ++u) reach0.push_back(reachable_from(g, u));
+    GraphRewriter rw(std::move(g));
+    std::uint64_t guard = 0;
+    while (rw.ops_applied() < target_ops / 2 &&
+           ++guard < 50 * target_ops) {
+      (void)rw.apply(random_op(rng, n, /*allow_reversal=*/false));
+    }
+    tally.ops += rw.ops_applied();
+    for (NodeId u = 0; u < n; ++u) {
+      const auto now = reachable_from(rw.graph(), u);
+      for (NodeId v = 0; v < n; ++v)
+        if (reach0[u][v] && !now[v]) ++tally.strong_losses;
+    }
+  }
+  return tally;
+}
+
+Row run_scale(const ExperimentDriver& driver, std::size_t n,
+              std::uint64_t target_ops, std::uint64_t seeds) {
   Row row;
   row.n = n;
   bench::Timer timer;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    Rng rng(seed * 7919 + n);
-    // All four primitives, connectivity verified after every op.
-    {
-      DiGraph g = gen::random_weakly_connected(n, n, 0.3, rng);
-      GraphRewriter rw(std::move(g), /*verify=*/true);
-      std::uint64_t guard = 0;
-      while (rw.ops_applied() < target_ops && ++guard < 50 * target_ops) {
-        (void)rw.apply(random_op(rng, n, /*allow_reversal=*/true));
-      }
-      row.ops += rw.ops_applied();
-      row.weak_violations += rw.connectivity_violations();
-    }
-    // Introduction/Delegation/Fusion only: reachability must be preserved.
-    {
-      DiGraph g = gen::random_weakly_connected(n, n, 0.3, rng);
-      std::vector<std::vector<bool>> reach0;
-      for (NodeId u = 0; u < n; ++u) reach0.push_back(reachable_from(g, u));
-      GraphRewriter rw(std::move(g));
-      std::uint64_t guard = 0;
-      while (rw.ops_applied() < target_ops / 2 &&
-             ++guard < 50 * target_ops) {
-        (void)rw.apply(random_op(rng, n, /*allow_reversal=*/false));
-      }
-      row.ops += rw.ops_applied();
-      for (NodeId u = 0; u < n; ++u) {
-        const auto now = reachable_from(rw.graph(), u);
-        for (NodeId v = 0; v < n; ++v)
-          if (reach0[u][v] && !now[v]) ++row.strong_losses;
-      }
-    }
+  const std::vector<SeedTally> tallies =
+      driver.map(seeds, [&](std::uint64_t i) {
+        return run_seed(n, target_ops, i + 1);
+      });
+  for (const SeedTally& tally : tallies) {
+    row.ops += tally.ops;
+    row.weak_violations += tally.weak_violations;
+    row.strong_losses += tally.strong_losses;
   }
   row.ops_per_sec = static_cast<double>(row.ops) / timer.seconds();
   return row;
@@ -89,6 +110,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.get_int("seeds", 5));
   const std::uint64_t ops =
       static_cast<std::uint64_t>(flags.get_int("ops", 2000));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner("E1 / Lemma 1",
@@ -99,7 +121,7 @@ int main(int argc, char** argv) {
   t.set_header({"n", "applied ops", "weak-conn violations",
                 "reachability losses", "ops/sec"});
   for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
-    const Row r = run_scale(n, ops, seeds);
+    const Row r = run_scale(driver, n, ops, seeds);
     t.add_row({Table::num(static_cast<std::uint64_t>(r.n)),
                Table::num(r.ops), Table::num(r.weak_violations),
                Table::num(r.strong_losses), Table::fixed(r.ops_per_sec, 0)});

@@ -5,13 +5,13 @@
 //          diameter start (line) and random starts — expect ~log2(n).
 // Table 2: full random G -> G' transformations — success rate, op counts
 //          by phase and primitive (all with per-op connectivity checking).
+// Per-seed work fans out across the driver's worker pool.
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "analysis/metrics.hpp"
 #include "graph/generators.hpp"
 #include "universality/planner.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t seeds =
       static_cast<std::uint64_t>(flags.get_int("seeds", 10));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner("E2 / Theorem 1",
@@ -31,12 +32,15 @@ int main(int argc, char** argv) {
     for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
       GraphRewriter line_rw(gen::line(n));
       const std::uint64_t line_rounds = clique_rounds(line_rw);
+      const std::vector<std::uint64_t> rounds =
+          driver.map(seeds, [&](std::uint64_t i) {
+            Rng rng(i + 1);
+            GraphRewriter rw(
+                gen::random_weakly_connected(n, n / 2, 0.3, rng));
+            return clique_rounds(rw);
+          });
       Stat rnd;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        Rng rng(seed);
-        GraphRewriter rw(gen::random_weakly_connected(n, n / 2, 0.3, rng));
-        rnd.add(static_cast<double>(clique_rounds(rw)));
-      }
+      for (std::uint64_t r : rounds) rnd.add(static_cast<double>(r));
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  Table::fixed(std::log2(static_cast<double>(n)), 1),
                  Table::num(line_rounds), Table::pm(rnd.mean(), rnd.sd(), 1)});
@@ -49,18 +53,20 @@ int main(int argc, char** argv) {
     t.set_header({"n", "runs", "success", "conn violations", "total ops",
                   "intro", "delegate", "fuse", "reverse"});
     for (std::size_t n : {8u, 16u, 32u, 64u}) {
+      const std::vector<TransformStats> stats =
+          driver.map(seeds, [&](std::uint64_t i) {
+            Rng rng((i + 1) * 13 + n);
+            const DiGraph start =
+                gen::random_weakly_connected(n, n / 2, 0.4, rng);
+            const DiGraph target =
+                gen::random_weakly_connected(n, n / 2, 0.2, rng);
+            return transform_graph(start, target, /*verify=*/true);
+          });
       std::uint64_t successes = 0;
       std::uint64_t violations = 0;
       Stat ops;
       PrimitiveCounts counts;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        Rng rng(seed * 13 + n);
-        const DiGraph start =
-            gen::random_weakly_connected(n, n / 2, 0.4, rng);
-        const DiGraph target =
-            gen::random_weakly_connected(n, n / 2, 0.2, rng);
-        const TransformStats s = transform_graph(start, target,
-                                                 /*verify=*/true);
+      for (const TransformStats& s : stats) {
         successes += s.success ? 1 : 0;
         violations += s.connectivity_violations;
         ops.add(static_cast<double>(s.total_ops()));

@@ -65,11 +65,25 @@ std::vector<Witness> witnesses() {
 }  // namespace
 }  // namespace fdp
 
+namespace fdp {
+namespace {
+
+struct WitnessRow {
+  bool reachable_without = false;
+  bool reachable_all = false;
+  std::uint64_t states_without = 0;
+  std::uint64_t states_all = 0;
+};
+
+}  // namespace
+}  // namespace fdp
+
 int main(int argc, char** argv) {
   using namespace fdp;
   Flags flags(argc, argv);
   const std::uint32_t cap =
       static_cast<std::uint32_t>(flags.get_int("cap", 2));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner("E3 / Theorem 2",
@@ -79,16 +93,28 @@ int main(int argc, char** argv) {
   Table t("E3: necessity witnesses (exhaustive BFS, multiplicity cap)");
   t.set_header({"dropped primitive", "witness", "reachable w/o it",
                 "reachable with all 4", "states w/o", "states all-4"});
-  for (const Witness& w : witnesses()) {
-    const ReachabilityExplorer ex(w.n, cap);
-    const auto without = ex.explore(w.start, w.mask);
-    const auto with_all = ex.explore(w.start, kAllowAll);
-    const bool r_without = without.count(ex.encode(w.target)) > 0;
-    const bool r_all = with_all.count(ex.encode(w.target)) > 0;
-    t.add_row({w.dropped, w.description, r_without ? "YES (!)" : "no",
-               r_all ? "yes" : "NO (!)",
-               Table::num(static_cast<std::uint64_t>(without.size())),
-               Table::num(static_cast<std::uint64_t>(with_all.size()))});
+  const std::vector<Witness> ws = witnesses();
+  const std::vector<WitnessRow> rows =
+      driver.map(ws.size(), [&](std::uint64_t i) {
+        const Witness& w = ws[i];
+        const ReachabilityExplorer ex(w.n, cap);
+        const auto without = ex.explore(w.start, w.mask);
+        const auto with_all = ex.explore(w.start, kAllowAll);
+        WitnessRow row;
+        row.reachable_without = without.count(ex.encode(w.target)) > 0;
+        row.reachable_all = with_all.count(ex.encode(w.target)) > 0;
+        row.states_without = without.size();
+        row.states_all = with_all.size();
+        return row;
+      });
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    const Witness& w = ws[i];
+    const WitnessRow& row = rows[i];
+    t.add_row({w.dropped, w.description,
+               row.reachable_without ? "YES (!)" : "no",
+               row.reachable_all ? "yes" : "NO (!)",
+               Table::num(row.states_without),
+               Table::num(row.states_all)});
   }
   t.print();
 
@@ -96,13 +122,11 @@ int main(int argc, char** argv) {
   // primitive subset can explore from a line start.
   Table t2("E3b: reachable-state counts from a 3-node line, by subset");
   t2.set_header({"subset", "reachable states"});
-  const ReachabilityExplorer ex(3, cap);
-  const DiGraph start = gen::line(3);
   struct Sub {
     const char* name;
     unsigned mask;
   };
-  const Sub subs[] = {
+  const std::vector<Sub> subs = {
       {"all four", kAllowAll},
       {"-introduction", kAllowAll & ~kAllowIntroduction},
       {"-delegation", kAllowAll & ~kAllowDelegation},
@@ -111,9 +135,14 @@ int main(int argc, char** argv) {
       {"intro+deleg+fusion (weakly universal)",
        kAllowIntroduction | kAllowDelegation | kAllowFusion},
   };
-  for (const Sub& s : subs) {
-    const auto states = ex.explore(start, s.mask);
-    t2.add_row({s.name, Table::num(static_cast<std::uint64_t>(states.size()))});
+  const std::vector<std::uint64_t> sizes =
+      driver.map(subs.size(), [&](std::uint64_t i) {
+        const ReachabilityExplorer ex(3, cap);
+        return static_cast<std::uint64_t>(
+            ex.explore(gen::line(3), subs[i].mask).size());
+      });
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    t2.add_row({subs[i].name, Table::num(sizes[i])});
   }
   t2.print();
 

@@ -6,51 +6,39 @@
 // Table b: convergence vs leave fraction.
 // Table c: convergence vs corruption level (self-stabilization cost).
 // Table d: scheduler family comparison.
+//
+// All sweeps run on the parallel ExperimentDriver; aggregate tables are
+// byte-identical for any --workers value. --csv <path> dumps the raw
+// per-trial rows of the scaling sweep for offline plotting.
 #include "bench_common.hpp"
-#include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace fdp {
 namespace {
 
-struct Agg {
-  Stat steps, rounds, sends;
-  std::uint64_t runs = 0, ok = 0, safety_bad = 0, phi_bad = 0, audit_bad = 0;
-};
-
-Agg sweep(ScenarioConfig base, SchedulerKind sched, std::uint64_t seeds,
-          bool monitors) {
-  Agg a;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    base.seed = seed * 977 + base.n;
-    Scenario sc = build_departure_scenario(base);
-    RunOptions opt;
-    opt.max_steps = 3'000'000;
-    opt.scheduler = sched;
-    opt.with_monitors = monitors;
-    opt.monitor_stride = 4;
-    const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
-    ++a.runs;
-    if (r.reached_legitimate) ++a.ok;
-    if (!r.safety_ok) ++a.safety_bad;
-    if (!r.phi_monotone) ++a.phi_bad;
-    if (!r.audit_ok) ++a.audit_bad;
-    a.steps.add(static_cast<double>(r.steps));
-    a.rounds.add(static_cast<double>(r.rounds));
-    a.sends.add(static_cast<double>(r.sends));
-  }
-  return a;
+ScenarioSpec corrupted_gnp(std::size_t n) {
+  ScenarioSpec sc;
+  sc.config.n = n;
+  sc.config.topology = "gnp";
+  sc.config.leave_fraction = 0.3;
+  sc.config.invalid_mode_prob = 0.3;
+  sc.config.random_anchor_prob = 0.3;
+  sc.config.inflight_per_node = 1.0;
+  return sc;
 }
 
-std::string verdict(const Agg& a) {
-  if (a.ok == a.runs && !a.safety_bad && !a.phi_bad && !a.audit_bad)
-    return "clean";
-  return "ok=" + std::to_string(a.ok) + "/" + std::to_string(a.runs) +
-         " safety!=" + std::to_string(a.safety_bad) +
-         " phi!=" + std::to_string(a.phi_bad) +
-         " audit!=" + std::to_string(a.audit_bad);
+ExperimentSpec sweep_spec(ScenarioSpec scenario, SchedulerKind sched,
+                          std::uint64_t seeds, bool monitors) {
+  const std::uint64_t salt = scenario.config.n;
+  ExperimentSpec spec;
+  spec.scenario(std::move(scenario))
+      .scheduler(SchedulerSpec::of(sched))
+      .max_steps(3'000'000)
+      .seeds(1, seeds)
+      .seed_mix(977, salt);
+  if (monitors) spec.monitors(true, 4);
+  return spec;
 }
 
 }  // namespace
@@ -61,6 +49,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t seeds =
       static_cast<std::uint64_t>(flags.get_int("seeds", 10));
+  const std::string csv_path = flags.get_string("csv", "");
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner("E4 / Theorem 3",
@@ -70,20 +60,24 @@ int main(int argc, char** argv) {
   {
     Table t("E4a: scaling with n (gnp topology, 30% leaving, corrupted, "
             "round scheduler)");
-    t.set_header({"n", "rounds", "steps", "messages", "verdict"});
+    t.set_header({"n", "rounds", "steps", "steps p50/p95", "messages",
+                  "phi drained", "verdict"});
     for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
-      ScenarioConfig cfg;
-      cfg.n = n;
-      cfg.topology = "gnp";
-      cfg.leave_fraction = 0.3;
-      cfg.invalid_mode_prob = 0.3;
-      cfg.random_anchor_prob = 0.3;
-      cfg.inflight_per_node = 1.0;
-      const Agg a = sweep(cfg, SchedulerKind::Rounds, seeds, n <= 32);
+      const ExperimentSpec spec =
+          sweep_spec(corrupted_gnp(n), SchedulerKind::Rounds, seeds, n <= 32);
+      const ExperimentResult res = driver.run(spec);
+      const Aggregate& a = res.agg;
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  Table::pm(a.rounds.mean(), a.rounds.sd(), 1),
                  Table::pm(a.steps.mean(), a.steps.sd(), 0),
-                 Table::pm(a.sends.mean(), a.sends.sd(), 0), verdict(a)});
+                 Table::quantiles(a.steps.median(), a.steps.percentile(0.95)),
+                 Table::pm(a.sends.mean(), a.sends.sd(), 0),
+                 Table::pm(a.phi_drain.mean(), a.phi_drain.sd(), 0),
+                 a.verdict()});
+      if (!csv_path.empty() && n == 32) {
+        const std::string err = write_trials_csv(csv_path, spec, res.trials);
+        if (!err.empty()) std::fprintf(stderr, "E4a csv: %s\n", err.c_str());
+      }
     }
     t.print();
   }
@@ -92,16 +86,14 @@ int main(int argc, char** argv) {
     Table t("E4b: leave fraction sweep (n=32, gnp, corrupted)");
     t.set_header({"leaving %", "rounds", "messages", "verdict"});
     for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-      ScenarioConfig cfg;
-      cfg.n = 32;
-      cfg.topology = "gnp";
-      cfg.leave_fraction = frac;
-      cfg.invalid_mode_prob = 0.3;
-      cfg.inflight_per_node = 1.0;
-      const Agg a = sweep(cfg, SchedulerKind::Rounds, seeds, false);
+      ScenarioSpec sc = corrupted_gnp(32);
+      sc.config.leave_fraction = frac;
+      sc.config.random_anchor_prob = 0.0;
+      const Aggregate a =
+          driver.run(sweep_spec(sc, SchedulerKind::Rounds, seeds, false)).agg;
       t.add_row({Table::num(static_cast<std::int64_t>(frac * 100)),
                  Table::pm(a.rounds.mean(), a.rounds.sd(), 1),
-                 Table::pm(a.sends.mean(), a.sends.sd(), 0), verdict(a)});
+                 Table::pm(a.sends.mean(), a.sends.sd(), 0), a.verdict()});
     }
     t.print();
   }
@@ -110,19 +102,19 @@ int main(int argc, char** argv) {
     Table t("E4c: corruption sweep (n=32, wild, 30% leaving)");
     t.set_header({"corruption", "phi_0 proxy", "rounds", "verdict"});
     for (double c : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-      ScenarioConfig cfg;
-      cfg.n = 32;
-      cfg.topology = "wild";
-      cfg.leave_fraction = 0.3;
-      cfg.invalid_mode_prob = c;
-      cfg.random_anchor_prob = c;
-      cfg.inflight_per_node = 2 * c;
+      ScenarioSpec sc;
+      sc.config.n = 32;
+      sc.config.topology = "wild";
+      sc.config.leave_fraction = 0.3;
+      sc.config.invalid_mode_prob = c;
+      sc.config.random_anchor_prob = c;
+      sc.config.inflight_per_node = 2 * c;
       // Measure initial phi on one representative scenario.
-      cfg.seed = 1;
-      const std::uint64_t phi0 = phi(*build_departure_scenario(cfg).world);
-      const Agg a = sweep(cfg, SchedulerKind::Rounds, seeds, false);
+      const std::uint64_t phi0 = phi(*sc.build(1).world);
+      const Aggregate a =
+          driver.run(sweep_spec(sc, SchedulerKind::Rounds, seeds, false)).agg;
       t.add_row({Table::fixed(c, 2), Table::num(phi0),
-                 Table::pm(a.rounds.mean(), a.rounds.sd(), 1), verdict(a)});
+                 Table::pm(a.rounds.mean(), a.rounds.sd(), 1), a.verdict()});
     }
     t.print();
   }
@@ -133,15 +125,11 @@ int main(int argc, char** argv) {
     for (SchedulerKind k :
          {SchedulerKind::Random, SchedulerKind::RoundRobin,
           SchedulerKind::Rounds, SchedulerKind::Adversarial}) {
-      ScenarioConfig cfg;
-      cfg.n = 32;
-      cfg.topology = "gnp";
-      cfg.leave_fraction = 0.3;
-      cfg.invalid_mode_prob = 0.3;
-      cfg.inflight_per_node = 1.0;
-      const Agg a = sweep(cfg, k, seeds, false);
+      ScenarioSpec sc = corrupted_gnp(32);
+      sc.config.random_anchor_prob = 0.0;
+      const Aggregate a = driver.run(sweep_spec(sc, k, seeds, false)).agg;
       t.add_row({to_string(k), Table::pm(a.steps.mean(), a.steps.sd(), 0),
-                 Table::pm(a.sends.mean(), a.sends.sd(), 0), verdict(a)});
+                 Table::pm(a.sends.mean(), a.sends.sd(), 0), a.verdict()});
     }
     t.print();
   }

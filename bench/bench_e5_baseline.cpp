@@ -11,41 +11,23 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace fdp {
 namespace {
 
-struct Agg {
-  Stat steps, sends;
-  std::uint64_t ok = 0, runs = 0;
-};
-
-Agg run_many(bool baseline, const char* topology, std::size_t n,
-             std::uint64_t seeds) {
-  Agg a;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    ScenarioConfig cfg;
-    cfg.n = n;
-    cfg.topology = topology;
-    cfg.leave_fraction = 0.3;
-    cfg.seed = seed * 31 + n;
-    Scenario sc = baseline ? build_baseline_scenario(cfg)
-                           : build_departure_scenario(cfg);
-    RunOptions opt;
-    opt.max_steps = 2'000'000;
-    const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
-    ++a.runs;
-    if (r.reached_legitimate) {
-      ++a.ok;
-      a.steps.add(static_cast<double>(r.steps));
-      a.sends.add(static_cast<double>(r.sends));
-    }
-  }
-  return a;
+Aggregate run_many(const ExperimentDriver& driver, bool baseline,
+                   const char* topology, std::size_t n,
+                   std::uint64_t seeds) {
+  ScenarioSpec sc;
+  sc.family = baseline ? ScenarioFamily::Baseline : ScenarioFamily::Departure;
+  sc.config.n = n;
+  sc.config.topology = topology;
+  sc.config.leave_fraction = 0.3;
+  ExperimentSpec spec;
+  spec.scenario(sc).max_steps(2'000'000).seeds(1, seeds).seed_mix(31, n);
+  return driver.run(spec).agg;
 }
 
 }  // namespace
@@ -56,6 +38,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t seeds =
       static_cast<std::uint64_t>(flags.get_int("seeds", 10));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner(
@@ -67,11 +50,11 @@ int main(int argc, char** argv) {
   t.set_header({"topology", "protocol", "solved", "steps", "messages"});
   for (const char* topo : {"line", "ring", "star", "clique", "gnp"}) {
     for (int b = 0; b < 2; ++b) {
-      const Agg a = run_many(b == 1, topo, 32, seeds);
+      const Aggregate a = run_many(driver, b == 1, topo, 32, seeds);
       t.add_row({topo, b ? "baseline[15]" : "ours",
-                 Table::num(a.ok) + "/" + Table::num(a.runs),
-                 a.ok ? Table::pm(a.steps.mean(), a.steps.sd(), 0) : "-",
-                 a.ok ? Table::pm(a.sends.mean(), a.sends.sd(), 0) : "-"});
+                 Table::num(a.solved) + "/" + Table::num(a.trials),
+                 a.solved ? Table::pm(a.steps.mean(), a.steps.sd(), 0) : "-",
+                 a.solved ? Table::pm(a.sends.mean(), a.sends.sd(), 0) : "-"});
     }
   }
   t.print();
@@ -87,8 +70,8 @@ int main(int argc, char** argv) {
   t2.set_header({"n", "ours steps", "baseline steps", "ours msgs",
                  "baseline msgs"});
   for (std::size_t n : {8u, 16u, 32u, 64u}) {
-    const Agg ours = run_many(false, "line", n, seeds);
-    const Agg base = run_many(true, "line", n, seeds);
+    const Aggregate ours = run_many(driver, false, "line", n, seeds);
+    const Aggregate base = run_many(driver, true, "line", n, seeds);
     t2.add_row({Table::num(static_cast<std::uint64_t>(n)),
                 Table::pm(ours.steps.mean(), ours.steps.sd(), 0),
                 Table::pm(base.steps.mean(), base.steps.sd(), 0),

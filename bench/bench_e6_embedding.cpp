@@ -6,14 +6,16 @@
 //          exclusion, and the verify/process traffic breakdown.
 // Table b: overhead — bare P vs wrapped P' on an all-staying population:
 //          messages until first convergence to the target topology.
+//
+// Both tables fan their per-seed trials (which are two-phase, so more
+// than a single run_to_legitimacy) across the driver's worker pool via
+// ExperimentDriver::map.
 #include "bench_common.hpp"
-#include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
 #include "core/framework.hpp"
 #include "analysis/monitors.hpp"
 #include "graph/generators.hpp"
 #include "overlay/topology_checks.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace fdp {
@@ -50,6 +52,90 @@ FrameworkStats total_stats(const World& w) {
   return total;
 }
 
+struct WrappedTrial {
+  bool solved = false;
+  bool converged = false;
+  std::uint64_t excl_steps = 0;
+  std::uint64_t topo_steps = 0;
+  FrameworkStats stats;
+};
+
+WrappedTrial wrapped_trial(const char* overlay, std::size_t n,
+                           std::uint64_t seed) {
+  ScenarioSpec scenario;
+  scenario.family = ScenarioFamily::Framework;
+  scenario.overlay = overlay;
+  scenario.config.n = n;
+  scenario.config.topology = "wild";
+  scenario.config.leave_fraction = 0.3;
+  scenario.config.invalid_mode_prob = 0.3;
+  ExperimentSpec spec;
+  spec.scenario(scenario).max_steps(4'000'000);
+  Scenario sc = scenario.build(seed * 7 + 1);
+  WrappedTrial out;
+  const RunResult r = run_to_legitimacy(sc, spec);
+  if (!r.reached_legitimate) return out;
+  out.solved = true;
+  out.excl_steps = r.steps;
+  RandomScheduler sched;
+  const std::uint64_t extra =
+      steps_to_topology(*sc.world, overlay, sched, 3'000'000);
+  if (extra != ~0ULL) {
+    out.converged = true;
+    out.topo_steps = extra;
+  }
+  out.stats = total_stats(*sc.world);
+  return out;
+}
+
+struct OverheadTrial {
+  bool bare_ok = false;
+  bool wrapped_ok = false;
+  std::uint64_t bare_msgs = 0;
+  std::uint64_t wrapped_msgs = 0;
+};
+
+OverheadTrial overhead_trial(const char* overlay, std::size_t n,
+                             std::uint64_t seed) {
+  OverheadTrial out;
+  // Bare P.
+  {
+    World w(seed);
+    Rng rng(seed * 1000 + 7);
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < n; ++i) keys.push_back(rng() | 1);
+    std::vector<Ref> refs;
+    for (std::size_t i = 0; i < n; ++i)
+      refs.push_back(w.spawn<PlainOverlayHost>(Mode::Staying, keys[i],
+                                               make_overlay(overlay)));
+    const DiGraph g = gen::by_name("wild", n, rng);
+    for (const auto& [u, v] : g.simple_edges())
+      w.process_as<PlainOverlayHost>(u).overlay_mut().integrate(
+          RefInfo{refs[v], ModeInfo::Staying, keys[v]});
+    RandomScheduler sched;
+    if (steps_to_topology(w, overlay, sched, 2'000'000) != ~0ULL) {
+      out.bare_ok = true;
+      out.bare_msgs = w.sends();
+    }
+  }
+  // Wrapped P', same topology/keys distribution.
+  {
+    ScenarioSpec scenario;
+    scenario.family = ScenarioFamily::Framework;
+    scenario.overlay = overlay;
+    scenario.config.n = n;
+    scenario.config.topology = "wild";
+    scenario.config.leave_fraction = 0.0;
+    Scenario sc = scenario.build(seed);
+    RandomScheduler sched;
+    if (steps_to_topology(*sc.world, overlay, sched, 2'000'000) != ~0ULL) {
+      out.wrapped_ok = true;
+      out.wrapped_msgs = sc.world->sends();
+    }
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace fdp
 
@@ -60,6 +146,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.get_int("seeds", 6));
   const std::size_t n =
       static_cast<std::size_t>(flags.get_int("n", 16));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner("E6 / Theorem 4",
@@ -73,34 +160,24 @@ int main(int argc, char** argv) {
                   "steps to topology", "verify msgs", "postproc", "gave up"});
     for (const char* overlay :
        {"linearization", "ring", "clique", "star", "skiplist"}) {
+      const std::vector<WrappedTrial> trials =
+          driver.map(seeds, [&](std::uint64_t i) {
+            return wrapped_trial(overlay, n, i + 1);
+          });
       std::uint64_t solved = 0, converged = 0;
       Stat excl, topo;
       FrameworkStats fs;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        ScenarioConfig cfg;
-        cfg.n = n;
-        cfg.topology = "wild";
-        cfg.leave_fraction = 0.3;
-        cfg.invalid_mode_prob = 0.3;
-        cfg.seed = seed * 7 + 1;
-        Scenario sc = build_framework_scenario(cfg, overlay);
-        RunOptions opt;
-        opt.max_steps = 4'000'000;
-        const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
-        if (!r.reached_legitimate) continue;
+      for (const WrappedTrial& trial : trials) {
+        if (!trial.solved) continue;
         ++solved;
-        excl.add(static_cast<double>(r.steps));
-        RandomScheduler sched;
-        const std::uint64_t extra = steps_to_topology(
-            *sc.world, overlay, sched, 3'000'000);
-        if (extra != ~0ULL) {
+        excl.add(static_cast<double>(trial.excl_steps));
+        if (trial.converged) {
           ++converged;
-          topo.add(static_cast<double>(extra));
+          topo.add(static_cast<double>(trial.topo_steps));
         }
-        const FrameworkStats s = total_stats(*sc.world);
-        fs.verifies_sent += s.verifies_sent;
-        fs.postprocessed += s.postprocessed;
-        fs.gave_up += s.gave_up;
+        fs.verifies_sent += trial.stats.verifies_sent;
+        fs.postprocessed += trial.stats.postprocessed;
+        fs.gave_up += trial.stats.gave_up;
       }
       t.add_row({overlay,
                  Table::num(solved) + "+" + Table::num(converged) + "/" +
@@ -120,39 +197,15 @@ int main(int argc, char** argv) {
                   "overhead factor"});
     for (const char* overlay :
        {"linearization", "ring", "clique", "star", "skiplist"}) {
+      const std::vector<OverheadTrial> trials =
+          driver.map(seeds, [&](std::uint64_t i) {
+            return overhead_trial(overlay, n, i + 1);
+          });
       Stat bare, wrapped;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        // Bare P.
-        {
-          World w(seed);
-          Rng rng(seed * 1000 + 7);
-          std::vector<std::uint64_t> keys;
-          for (std::size_t i = 0; i < n; ++i) keys.push_back(rng() | 1);
-          std::vector<Ref> refs;
-          for (std::size_t i = 0; i < n; ++i)
-            refs.push_back(w.spawn<PlainOverlayHost>(Mode::Staying, keys[i],
-                                                     make_overlay(overlay)));
-          const DiGraph g = gen::by_name("wild", n, rng);
-          for (const auto& [u, v] : g.simple_edges())
-            w.process_as<PlainOverlayHost>(u).overlay_mut().integrate(
-                RefInfo{refs[v], ModeInfo::Staying, keys[v]});
-          RandomScheduler sched;
-          if (steps_to_topology(w, overlay, sched, 2'000'000) != ~0ULL)
-            bare.add(static_cast<double>(w.sends()));
-        }
-        // Wrapped P', same topology/keys distribution.
-        {
-          ScenarioConfig cfg;
-          cfg.n = n;
-          cfg.topology = "wild";
-          cfg.leave_fraction = 0.0;
-          cfg.seed = seed;
-          Scenario sc = build_framework_scenario(cfg, overlay);
-          RandomScheduler sched;
-          if (steps_to_topology(*sc.world, overlay, sched, 2'000'000) !=
-              ~0ULL)
-            wrapped.add(static_cast<double>(sc.world->sends()));
-        }
+      for (const OverheadTrial& trial : trials) {
+        if (trial.bare_ok) bare.add(static_cast<double>(trial.bare_msgs));
+        if (trial.wrapped_ok)
+          wrapped.add(static_cast<double>(trial.wrapped_msgs));
       }
       const double factor =
           bare.mean() > 0 ? wrapped.mean() / bare.mean() : 0.0;

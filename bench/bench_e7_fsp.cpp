@@ -6,16 +6,76 @@
 // Table b: wake-up behavior — poke every sleeper once after legitimacy;
 //          the system must resettle, counting the wakes it costs.
 #include "bench_common.hpp"
-#include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
+
+namespace fdp {
+namespace {
+
+ScenarioSpec fsp_scenario(std::size_t n) {
+  ScenarioSpec sc;
+  sc.config.n = n;
+  sc.config.topology = "gnp";
+  sc.config.leave_fraction = 0.4;
+  sc.config.policy = DeparturePolicy::Sleep;
+  return sc;
+}
+
+/// Table-b trial: run to FSP legitimacy, poke every sleeper, count the
+/// cost of resettling. One self-contained unit of work per seed.
+struct ResettleRow {
+  bool initial_ok = false;
+  bool resettled = false;
+  std::uint64_t extra_steps = 0;
+  std::uint64_t extra_wakes = 0;
+};
+
+ResettleRow resettle_trial(std::uint64_t seed) {
+  ScenarioSpec scenario = fsp_scenario(24);
+  ExperimentSpec spec;
+  spec.scenario(scenario)
+      .max_steps(3'000'000)
+      .exclusion(Exclusion::Hibernating);
+  Scenario sc = scenario.build(seed);
+  ResettleRow row;
+  const RunResult r = run_to_legitimacy(sc, spec);
+  if (!r.reached_legitimate) return row;
+  row.initial_ok = true;
+  // Poke every sleeping leaver with a reference to some stayer.
+  ProcessId stayer = kNoProcess;
+  for (ProcessId p = 0; p < sc.world->size(); ++p)
+    if (sc.world->mode(p) == Mode::Staying) stayer = p;
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    if (sc.world->mode(p) == Mode::Leaving &&
+        sc.world->life(p) == LifeState::Asleep) {
+      sc.world->post(
+          sc.refs[p],
+          Message::forward(RefInfo{sc.refs[stayer], ModeInfo::Staying,
+                                   sc.world->process(stayer).key()}));
+    }
+  }
+  const std::uint64_t steps0 = sc.world->steps();
+  const std::uint64_t wakes0 = sc.world->wakes();
+  LegitimacyChecker checker(*sc.world, Exclusion::Hibernating);
+  RandomScheduler sched;
+  for (int block = 0; block < 2000 && !row.resettled; ++block) {
+    for (int i = 0; i < 200; ++i) (void)sc.world->step(sched);
+    row.resettled = checker.legitimate(*sc.world);
+  }
+  row.extra_steps = sc.world->steps() - steps0;
+  row.extra_wakes = sc.world->wakes() - wakes0;
+  return row;
+}
+
+}  // namespace
+}  // namespace fdp
 
 int main(int argc, char** argv) {
   using namespace fdp;
   Flags flags(argc, argv);
   const std::uint64_t seeds =
       static_cast<std::uint64_t>(flags.get_int("seeds", 8));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner("E7 / FSP",
@@ -27,36 +87,22 @@ int main(int argc, char** argv) {
             "scheduler)");
     t.set_header({"n", "solved", "steps", "sleeps", "wakes", "exits"});
     for (std::size_t n : {8u, 16u, 32u, 64u}) {
-      std::uint64_t solved = 0;
-      Stat steps, sleeps, wakes;
-      std::uint64_t exits = 0;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        ScenarioConfig cfg;
-        cfg.n = n;
-        cfg.topology = "gnp";
-        cfg.leave_fraction = 0.4;
-        cfg.policy = DeparturePolicy::Sleep;
-        cfg.invalid_mode_prob = 0.3;
-        cfg.inflight_per_node = 1.0;
-        cfg.seed = seed * 17 + n;
-        Scenario sc = build_departure_scenario(cfg);
-        RunOptions opt;
-        opt.max_steps = 3'000'000;
-        const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
-        if (r.reached_legitimate) {
-          ++solved;
-          steps.add(static_cast<double>(r.steps));
-          sleeps.add(static_cast<double>(r.sleeps));
-          wakes.add(static_cast<double>(r.wakes));
-        }
-        exits += sc.world->exits();
-      }
+      ScenarioSpec sc = fsp_scenario(n);
+      sc.config.invalid_mode_prob = 0.3;
+      sc.config.inflight_per_node = 1.0;
+      ExperimentSpec spec;
+      spec.scenario(sc)
+          .max_steps(3'000'000)
+          .exclusion(Exclusion::Hibernating)
+          .seeds(1, seeds)
+          .seed_mix(17, n);
+      const Aggregate a = driver.run(spec).agg;
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                 Table::num(solved) + "/" + Table::num(seeds),
-                 Table::pm(steps.mean(), steps.sd(), 0),
-                 Table::pm(sleeps.mean(), sleeps.sd(), 0),
-                 Table::pm(wakes.mean(), wakes.sd(), 0),
-                 Table::num(exits)});
+                 Table::num(a.solved) + "/" + Table::num(a.trials),
+                 Table::pm(a.steps.mean(), a.steps.sd(), 0),
+                 Table::pm(a.sleeps.mean(), a.sleeps.sd(), 0),
+                 Table::pm(a.wakes.mean(), a.wakes.sd(), 0),
+                 Table::num(a.total_exits)});
     }
     t.print();
   }
@@ -64,46 +110,16 @@ int main(int argc, char** argv) {
   {
     Table t("E7b: resettling after poking every sleeper (n=24)");
     t.set_header({"seed", "resettled", "extra steps", "extra wakes"});
+    const std::vector<ResettleRow> rows =
+        driver.map(seeds, [](std::uint64_t i) { return resettle_trial(i + 1); });
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      ScenarioConfig cfg;
-      cfg.n = 24;
-      cfg.topology = "gnp";
-      cfg.leave_fraction = 0.4;
-      cfg.policy = DeparturePolicy::Sleep;
-      cfg.seed = seed;
-      Scenario sc = build_departure_scenario(cfg);
-      RunOptions opt;
-      opt.max_steps = 3'000'000;
-      const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
-      if (!r.reached_legitimate) {
+      const ResettleRow& row = rows[seed - 1];
+      if (!row.initial_ok) {
         t.add_row({Table::num(seed), "no (initial run failed)", "-", "-"});
         continue;
       }
-      // Poke every sleeping leaver with a reference to some stayer.
-      ProcessId stayer = kNoProcess;
-      for (ProcessId p = 0; p < sc.world->size(); ++p)
-        if (sc.world->mode(p) == Mode::Staying) stayer = p;
-      for (ProcessId p = 0; p < sc.world->size(); ++p) {
-        if (sc.world->mode(p) == Mode::Leaving &&
-            sc.world->life(p) == LifeState::Asleep) {
-          sc.world->post(
-              sc.refs[p],
-              Message::forward(RefInfo{sc.refs[stayer], ModeInfo::Staying,
-                                       sc.world->process(stayer).key()}));
-        }
-      }
-      const std::uint64_t steps0 = sc.world->steps();
-      const std::uint64_t wakes0 = sc.world->wakes();
-      LegitimacyChecker checker(*sc.world, Exclusion::Hibernating);
-      RandomScheduler sched;
-      bool resettled = false;
-      for (int block = 0; block < 2000 && !resettled; ++block) {
-        for (int i = 0; i < 200; ++i) (void)sc.world->step(sched);
-        resettled = checker.legitimate(*sc.world);
-      }
-      t.add_row({Table::num(seed), resettled ? "yes" : "NO",
-                 Table::num(sc.world->steps() - steps0),
-                 Table::num(sc.world->wakes() - wakes0)});
+      t.add_row({Table::num(seed), row.resettled ? "yes" : "NO",
+                 Table::num(row.extra_steps), Table::num(row.extra_wakes)});
     }
     t.print();
   }

@@ -14,9 +14,7 @@
 //                   visible).
 //   always-false  — never exits: trivially safe, no liveness.
 #include "bench_common.hpp"
-#include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
-#include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -24,6 +22,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t seeds =
       static_cast<std::uint64_t>(flags.get_int("seeds", 20));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
   flags.reject_unknown();
 
   bench::banner("E8 / oracle ablation",
@@ -36,34 +35,22 @@ int main(int argc, char** argv) {
   for (const char* oracle :
        {"single", "incident:0", "incident:2", "incident:3", "nidec",
         "quiet:4", "quiet:16", "always-true", "always-false"}) {
-    std::uint64_t solved = 0, unsafe = 0, exits = 0;
-    std::uint64_t expected_exits = 0;
-    Stat steps;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      ScenarioConfig cfg;
-      cfg.n = 24;
-      cfg.topology = "line";  // lines make premature exits bite hardest
-      cfg.leave_fraction = 0.4;
-      cfg.oracle = oracle;
-      cfg.seed = seed * 13;
-      Scenario sc = build_departure_scenario(cfg);
-      expected_exits += sc.leaving_count;
-      RunOptions opt;
-      opt.max_steps = 120'000;
-      opt.with_monitors = true;
-      opt.monitor_stride = 4;
-      const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
-      if (r.reached_legitimate) {
-        ++solved;
-        steps.add(static_cast<double>(r.steps));
-      }
-      if (!r.safety_ok) ++unsafe;
-      exits += sc.world->exits();
-    }
-    t.add_row({oracle, Table::num(solved) + "/" + Table::num(seeds),
-               Table::num(unsafe),
-               Table::num(exits) + "/" + Table::num(expected_exits),
-               solved ? Table::pm(steps.mean(), steps.sd(), 0) : "-"});
+    ScenarioSpec sc;
+    sc.config.n = 24;
+    sc.config.topology = "line";  // lines make premature exits bite hardest
+    sc.config.leave_fraction = 0.4;
+    sc.config.oracle = oracle;
+    ExperimentSpec spec;
+    spec.scenario(sc)
+        .max_steps(120'000)
+        .monitors(true, 4)
+        .seeds(1, seeds)
+        .seed_mix(13, 0);
+    const Aggregate a = driver.run(spec).agg;
+    t.add_row({oracle, Table::num(a.solved) + "/" + Table::num(a.trials),
+               Table::num(a.safety_violations),
+               Table::num(a.total_exits) + "/" + Table::num(a.expected_exits),
+               a.solved ? Table::pm(a.steps.mean(), a.steps.sd(), 0) : "-"});
   }
   t.print();
 

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Regenerate every experiment table from EXPERIMENTS.md.
 #
-# Usage: scripts/run_experiments.sh [build-dir] [output-file]
+# The E1–E8 benches fan their seed sweeps across the ExperimentDriver's
+# worker pool; --workers picks the pool size (0 = one per hardware core).
+# Worker count changes wall-clock only — every table is byte-identical
+# for any value, so regenerated outputs diff cleanly.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [output-file] [workers]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-bench_output.txt}"
+WORKERS="${3:-0}"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "error: '$BUILD_DIR' does not look like a configured build tree" >&2
@@ -17,7 +23,12 @@ fi
   for b in "$BUILD_DIR"/bench/bench_*; do
     [ -x "$b" ] || continue
     echo "##### $b"
-    "$b"
+    case "$(basename "$b")" in
+      # The driver-based benches accept --workers; the model checker and
+      # the single-kernel microbench are inherently serial.
+      bench_e[1-8]_*) "$b" --workers "$WORKERS" ;;
+      *) "$b" ;;
+    esac
     echo "exit=$?"
   done
 } 2>&1 | tee "$OUT"

@@ -1,0 +1,94 @@
+#include "analysis/driver.hpp"
+
+#include <chrono>
+
+#include "analysis/trace.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace fdp {
+
+namespace {
+
+std::string substitute_seed(const std::string& pattern, std::uint64_t seed) {
+  const auto pos = pattern.find("{seed}");
+  if (pos == std::string::npos) return pattern;
+  return pattern.substr(0, pos) + std::to_string(seed) +
+         pattern.substr(pos + 6);
+}
+
+}  // namespace
+
+unsigned resolve_workers(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ExperimentResult ExperimentDriver::run(const ExperimentSpec& spec) const {
+  const std::string problem = spec.validate();
+  FDP_CHECK_MSG(problem.empty(), "invalid ExperimentSpec");
+
+  const unsigned requested = spec.workers() != 0 ? spec.workers() : workers_;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<TrialResult> trials =
+      parallel_map(spec.seed_count(), requested, [&](std::uint64_t i) {
+        TrialResult t;
+        t.index = i;
+        t.seed = spec.trial_seed(i);
+        Scenario sc = spec.scenario().build(t.seed);
+        t.leaving_count = sc.leaving_count;
+        if (spec.trace_pattern().empty()) {
+          t.run = run_to_legitimacy(sc, spec);
+        } else {
+          TraceRecorder trace(
+              /*ring_capacity=*/1,
+              substitute_seed(spec.trace_pattern(), t.seed));
+          t.run = run_to_legitimacy(sc, spec, &trace);
+          if (!trace.flush()) t.trace_error = trace.error();
+        }
+        return t;
+      });
+
+  ExperimentResult res;
+  res.agg = aggregate(trials);
+  res.trials = std::move(trials);
+  res.workers_used =
+      static_cast<unsigned>(std::min<std::uint64_t>(
+          resolve_workers(requested), std::max<std::uint64_t>(
+                                          spec.seed_count(), 1)));
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+std::string write_trials_csv(const std::string& path,
+                             const ExperimentSpec& spec,
+                             const std::vector<TrialResult>& trials) {
+  CsvWriter csv(path,
+                {"scenario", "scheduler", "seed", "solved", "steps", "rounds",
+                 "sends", "exits", "sleeps", "wakes", "phi_initial",
+                 "phi_final", "phi_drain", "safety_ok", "phi_monotone",
+                 "audit_ok", "closure_held", "failure"});
+  if (!csv.ok()) return "cannot open CSV output '" + path + "'";
+  const std::string scenario = spec.scenario().label();
+  const std::string scheduler = spec.scheduler().name();
+  for (const TrialResult& t : trials) {
+    const RunResult& r = t.run;
+    csv.row({scenario, scheduler, std::to_string(t.seed),
+             r.reached_legitimate ? "1" : "0", std::to_string(r.steps),
+             std::to_string(r.rounds), std::to_string(r.sends),
+             std::to_string(r.exits), std::to_string(r.sleeps),
+             std::to_string(r.wakes), std::to_string(r.phi_initial),
+             std::to_string(r.phi_final), std::to_string(r.phi_drain()),
+             r.safety_ok ? "1" : "0", r.phi_monotone ? "1" : "0",
+             r.audit_ok ? "1" : "0", r.closure_held ? "1" : "0", r.failure});
+  }
+  if (!csv.finish())
+    return "write error while dumping CSV to '" + path + "'";
+  return "";
+}
+
+}  // namespace fdp

@@ -1,0 +1,98 @@
+// The parallel multi-trial experiment driver.
+//
+// Every statistical claim in the paper (Lemma 2 safety, Lemma 3 Φ-drain,
+// the O(log n) round bounds) is a statement over *many* seeded
+// adversarial schedules. The driver fans an ExperimentSpec's trial matrix
+// (scenario spec x scheduler spec x seed range) across a std::thread
+// worker pool. Each worker builds its own independent World replica via
+// ScenarioSpec::build(seed), so trials share no mutable state; results
+// are written into a preallocated slot per trial and aggregated in seed
+// order, which makes the output — tables, CSV, aggregates — byte-identical
+// whether the sweep ran on 1 thread or N.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace fdp {
+
+/// Workers actually used for a request: `requested`, or one per hardware
+/// core when `requested` is 0.
+[[nodiscard]] unsigned resolve_workers(unsigned requested);
+
+/// Deterministic parallel map: apply `fn` to every index in [0, count)
+/// on `workers` threads and return the results in index order (identical
+/// to the sequential result regardless of worker count). R must be
+/// default-constructible; `fn` must not touch shared mutable state.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::uint64_t count, unsigned workers, Fn&& fn)
+    -> std::vector<decltype(fn(std::uint64_t{}))> {
+  using R = decltype(fn(std::uint64_t{}));
+  std::vector<R> out(static_cast<std::size_t>(count));
+  if (count == 0) return out;
+  const unsigned pool = std::min<std::uint64_t>(resolve_workers(workers),
+                                                count);
+  if (pool <= 1) {
+    for (std::uint64_t i = 0; i < count; ++i) out[i] = fn(i);
+    return out;
+  }
+  std::atomic<std::uint64_t> next{0};
+  auto work = [&]() {
+    for (std::uint64_t i = next.fetch_add(1); i < count;
+         i = next.fetch_add(1)) {
+      out[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (unsigned t = 0; t < pool; ++t) threads.emplace_back(work);
+  for (std::thread& t : threads) t.join();
+  return out;
+}
+
+/// A finished experiment: per-trial results in seed order plus their
+/// deterministic aggregate (and the wall-clock the sweep took, which is
+/// the only field allowed to differ between worker counts).
+struct ExperimentResult {
+  std::vector<TrialResult> trials;
+  Aggregate agg;
+  unsigned workers_used = 1;
+  double wall_seconds = 0.0;
+};
+
+class ExperimentDriver {
+ public:
+  /// `workers` = 0 picks one per hardware core. A spec's own workers()
+  /// setting (when non-zero) takes precedence per run.
+  explicit ExperimentDriver(unsigned workers = 0) : workers_(workers) {}
+
+  [[nodiscard]] unsigned workers() const { return resolve_workers(workers_); }
+
+  /// Execute the spec's full seed sweep. FDP_CHECKs that the spec
+  /// validates; call spec.validate() first to handle errors gracefully.
+  [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec) const;
+
+  /// Deterministic parallel map over [0, count) using this driver's pool
+  /// size — the escape hatch for bench harnesses whose per-seed work is
+  /// more than one run_to_legitimacy call.
+  template <typename Fn>
+  [[nodiscard]] auto map(std::uint64_t count, Fn&& fn) const {
+    return parallel_map(count, workers_, std::forward<Fn>(fn));
+  }
+
+ private:
+  unsigned workers_;
+};
+
+/// Dump one row per trial (seed, solved, steps, rounds, messages, Φ,
+/// verdicts) to `path`. Returns "" on success or a diagnostic.
+[[nodiscard]] std::string write_trials_csv(const std::string& path,
+                                           const ExperimentSpec& spec,
+                                           const std::vector<TrialResult>&
+                                               trials);
+
+}  // namespace fdp

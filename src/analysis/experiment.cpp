@@ -3,6 +3,7 @@
 #include "analysis/monitors.hpp"
 #include "core/primitives.hpp"
 #include "util/check.hpp"
+#include "util/flags.hpp"
 
 namespace fdp {
 
@@ -25,33 +26,111 @@ SchedulerKind scheduler_by_name(const std::string& name) {
   return SchedulerKind::Random;
 }
 
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind k) {
-  switch (k) {
-    case SchedulerKind::Random: return std::make_unique<RandomScheduler>();
+std::unique_ptr<Scheduler> SchedulerSpec::make() const {
+  switch (kind) {
+    case SchedulerKind::Random:
+      return std::make_unique<RandomScheduler>(p_deliver, p_oldest);
     case SchedulerKind::RoundRobin:
-      return std::make_unique<RoundRobinScheduler>();
+      return std::make_unique<RoundRobinScheduler>(timeout_share);
     case SchedulerKind::Rounds: return std::make_unique<RoundScheduler>();
     case SchedulerKind::Adversarial:
-      return std::make_unique<AdversarialScheduler>();
+      return std::make_unique<AdversarialScheduler>(adv_min_age,
+                                                    adv_deliver_burst);
   }
   return nullptr;
 }
 
-RunResult run_to_legitimacy(Scenario& sc, Exclusion exclusion,
-                            const RunOptions& opt) {
+SchedulerSpec scheduler_spec_from_flags(Flags& flags,
+                                        const std::string& default_kind) {
+  SchedulerSpec spec =
+      SchedulerSpec::of(scheduler_by_name(flags.get_string("sched",
+                                                           default_kind)));
+  spec.adv_min_age = static_cast<std::uint64_t>(
+      flags.get_int("sched-delay", static_cast<std::int64_t>(spec.adv_min_age)));
+  spec.adv_deliver_burst = static_cast<std::uint32_t>(flags.get_int(
+      "sched-burst", static_cast<std::int64_t>(spec.adv_deliver_burst)));
+  spec.timeout_share = static_cast<std::uint32_t>(flags.get_int(
+      "sched-timeout-share", static_cast<std::int64_t>(spec.timeout_share)));
+  return spec;
+}
+
+std::string ExperimentSpec::validate() const {
+  if (max_steps_ == 0) return "max_steps must be > 0";
+  if (check_every_ == 0) return "check_every must be > 0";
+  if (with_monitors_ && monitor_stride_ == 0)
+    return "monitor_stride must be > 0";
+  if (seed_count_ == 0) return "seed range is empty (seed count must be > 0)";
+  if (seed_mul_ == 0) return "seed_mix multiplier must be > 0";
+  if (scenario_.config.n == 0) return "scenario population is empty (n = 0)";
+  if (!trace_pattern_.empty() &&
+      trace_pattern_.find("{seed}") == std::string::npos)
+    return "trace_pattern must contain the {seed} placeholder";
+  if (scheduler_.make() == nullptr) return "unknown scheduler kind";
+  return "";
+}
+
+void Aggregate::add(const TrialResult& t) {
+  const RunResult& r = t.run;
+  ++trials;
+  total_exits += r.exits;
+  expected_exits += t.leaving_count;
+  if (!r.safety_ok) ++safety_violations;
+  if (!r.phi_monotone) ++phi_violations;
+  if (!r.audit_ok) ++audit_violations;
+  if (!r.closure_held) ++closure_violations;
+  if (!t.trace_error.empty()) {
+    ++trace_errors;
+    if (first_failure.empty()) first_failure = t.trace_error;
+  }
+  if (!r.failure.empty() && first_failure.empty()) first_failure = r.failure;
+  if (!r.reached_legitimate) return;
+  ++solved;
+  steps.add(static_cast<double>(r.steps));
+  rounds.add(static_cast<double>(r.rounds));
+  sends.add(static_cast<double>(r.sends));
+  sleeps.add(static_cast<double>(r.sleeps));
+  wakes.add(static_cast<double>(r.wakes));
+  phi_drain.add(static_cast<double>(r.phi_drain()));
+}
+
+std::string Aggregate::verdict() const {
+  if (clean()) return "clean";
+  std::string s =
+      "ok=" + std::to_string(solved) + "/" + std::to_string(trials);
+  if (safety_violations) s += " safety!=" + std::to_string(safety_violations);
+  if (phi_violations) s += " phi!=" + std::to_string(phi_violations);
+  if (audit_violations) s += " audit!=" + std::to_string(audit_violations);
+  if (closure_violations)
+    s += " closure!=" + std::to_string(closure_violations);
+  if (trace_errors) s += " trace!=" + std::to_string(trace_errors);
+  return s;
+}
+
+Aggregate aggregate(const std::vector<TrialResult>& trials) {
+  Aggregate a;
+  for (const TrialResult& t : trials) a.add(t);
+  return a;
+}
+
+RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
+                            Observer* extra) {
+  const std::string problem = spec.validate();
+  FDP_CHECK_MSG(problem.empty(), "invalid ExperimentSpec");
+
   World& w = *sc.world;
   RunResult res;
   res.phi_initial = phi(w);
 
-  LegitimacyChecker checker(w, exclusion);
-  std::unique_ptr<Scheduler> sched = make_scheduler(opt.scheduler);
+  LegitimacyChecker checker(w, spec.exclusion());
+  std::unique_ptr<Scheduler> sched = spec.scheduler().make();
 
+  if (extra != nullptr) w.add_observer(extra);
   std::unique_ptr<SafetyMonitor> safety;
   std::unique_ptr<PotentialMonitor> pot;
   std::unique_ptr<PrimitiveAuditor> audit;
-  if (opt.with_monitors) {
-    safety = std::make_unique<SafetyMonitor>(w, opt.monitor_stride);
-    pot = std::make_unique<PotentialMonitor>(w, opt.monitor_stride);
+  if (spec.with_monitors()) {
+    safety = std::make_unique<SafetyMonitor>(w, spec.monitor_stride());
+    pot = std::make_unique<PotentialMonitor>(w, spec.monitor_stride());
     audit = std::make_unique<PrimitiveAuditor>();
     w.add_observer(safety.get());
     w.add_observer(pot.get());
@@ -59,21 +138,22 @@ RunResult run_to_legitimacy(Scenario& sc, Exclusion exclusion,
   }
 
   const auto cheap_done = [&](const World& world) {
-    return exclusion == Exclusion::Gone ? all_leaving_gone(world)
-                                        : all_leaving_inactive(world);
+    return spec.exclusion() == Exclusion::Gone
+               ? all_leaving_gone(world)
+               : all_leaving_inactive(world);
   };
 
   bool legit = false;
-  while (w.steps() < opt.max_steps) {
+  while (w.steps() < spec.max_steps()) {
     if (cheap_done(w) && checker.legitimate(w)) {
       legit = true;
       break;
     }
     bool progressed = false;
-    for (std::uint64_t i = 0; i < opt.check_every; ++i) {
+    for (std::uint64_t i = 0; i < spec.check_every(); ++i) {
       if (!w.step(*sched)) break;
       progressed = true;
-      if (w.steps() >= opt.max_steps) break;
+      if (w.steps() >= spec.max_steps()) break;
     }
     if (!progressed) break;  // terminal configuration
   }
@@ -90,14 +170,14 @@ RunResult run_to_legitimacy(Scenario& sc, Exclusion exclusion,
     res.rounds = rs->rounds();
   }
 
-  if (legit && opt.closure_steps > 0) {
-    for (std::uint64_t i = 0; i < opt.closure_steps; ++i) {
+  if (legit && spec.closure_steps() > 0) {
+    for (std::uint64_t i = 0; i < spec.closure_steps(); ++i) {
       if (!w.step(*sched)) break;
     }
     res.closure_held = checker.legitimate(w);
   }
 
-  if (opt.with_monitors) {
+  if (spec.with_monitors()) {
     res.safety_ok = safety->ok();
     res.phi_monotone = pot->ok();
     res.audit_ok = audit->ok();
@@ -115,6 +195,7 @@ RunResult run_to_legitimacy(Scenario& sc, Exclusion exclusion,
     w.remove_observer(pot.get());
     w.remove_observer(audit.get());
   }
+  if (extra != nullptr) w.remove_observer(extra);
   if (!legit && res.failure.empty()) {
     res.failure = checker.check(w).detail;
   }

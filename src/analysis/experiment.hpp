@@ -1,18 +1,27 @@
-// Experiment runner: drives one scenario to its legitimate state under a
-// chosen scheduler, with optional invariant monitors, and reports
-// everything the bench tables print.
+// Experiment API: a validated, value-semantic description of a trial
+// matrix (scenario spec x scheduler spec x seed range) plus the
+// single-trial runner that drives one scenario to its legitimate state.
+//
+// The multi-trial, multi-threaded driver that executes a whole
+// ExperimentSpec lives in analysis/driver.hpp; this header owns the
+// vocabulary types shared by the driver, the benches and the tests.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "analysis/metrics.hpp"
 #include "analysis/scenario.hpp"
 #include "core/legitimacy.hpp"
 #include "core/potential.hpp"
+#include "sim/observer.hpp"
 #include "sim/scheduler.hpp"
 
 namespace fdp {
+
+class Flags;
 
 enum class SchedulerKind : std::uint8_t {
   Random,
@@ -23,21 +32,141 @@ enum class SchedulerKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SchedulerKind k);
 [[nodiscard]] SchedulerKind scheduler_by_name(const std::string& name);
-[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind k);
 
-struct RunOptions {
-  std::uint64_t max_steps = 2'000'000;
-  /// Attach SafetyMonitor/PotentialMonitor/PrimitiveAuditor. Slows runs by
-  /// an O(E) snapshot per checked action.
-  bool with_monitors = false;
-  /// Monitor stride (actions between checks).
-  std::uint64_t monitor_stride = 1;
+/// A scheduler *description*: kind plus every tuning knob the concrete
+/// schedulers expose (the old make_scheduler(SchedulerKind) hardcoded all
+/// of them). Value type, so a trial matrix can carry it by copy and every
+/// worker instantiates its own independent Scheduler from it.
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::Random;
+
+  // --- RandomScheduler ---
+  /// Probability of picking a delivery over a timeout; < 0 = proportional
+  /// to the number of enabled actions of each kind.
+  double p_deliver = -1.0;
+  /// Probability that a delivery picks the globally oldest message.
+  double p_oldest = 0.25;
+
+  // --- RoundRobinScheduler ---
+  /// Every `timeout_share`-th action is a timeout.
+  std::uint32_t timeout_share = 6;
+
+  // --- AdversarialScheduler ---
+  /// Withholding delay: a message is deliverable only after it aged this
+  /// many world steps.
+  std::uint64_t adv_min_age = 8;
+  /// Deliveries per timeout once the age gate opens.
+  std::uint32_t adv_deliver_burst = 8;
+
+  [[nodiscard]] static SchedulerSpec of(SchedulerKind k) {
+    SchedulerSpec s;
+    s.kind = k;
+    return s;
+  }
+
+  /// Instantiate a fresh scheduler configured from this spec.
+  [[nodiscard]] std::unique_ptr<Scheduler> make() const;
+
+  [[nodiscard]] const char* name() const { return to_string(kind); }
+};
+
+/// Build a SchedulerSpec from command-line flags: --sched (name),
+/// --sched-delay (adversarial withholding delay), --sched-burst
+/// (adversarial deliver burst), --sched-timeout-share (round-robin).
+[[nodiscard]] SchedulerSpec scheduler_spec_from_flags(
+    Flags& flags, const std::string& default_kind = "random");
+
+/// Everything one experiment needs: the per-trial run knobs plus the
+/// trial matrix (scenario x scheduler x seeds) and driver settings.
+/// Builder-style — setters return *this so specs read as one chained
+/// expression — and validated: validate() reports the first problem,
+/// and the runners refuse invalid specs.
+class ExperimentSpec {
+ public:
+  // --- per-trial run knobs ---
+  ExperimentSpec& max_steps(std::uint64_t v) { max_steps_ = v; return *this; }
+  /// Attach SafetyMonitor/PotentialMonitor/PrimitiveAuditor, checking
+  /// every `stride` actions. Slows runs by an O(E) snapshot per check.
+  ExperimentSpec& monitors(bool on, std::uint64_t stride = 1) {
+    with_monitors_ = on;
+    monitor_stride_ = stride;
+    return *this;
+  }
   /// Steps between (cheap) termination checks.
-  std::uint64_t check_every = 64;
-  SchedulerKind scheduler = SchedulerKind::Random;
+  ExperimentSpec& check_every(std::uint64_t v) { check_every_ = v; return *this; }
   /// After reaching legitimacy, run this many extra steps and re-check
   /// (closure property).
-  std::uint64_t closure_steps = 0;
+  ExperimentSpec& closure_steps(std::uint64_t v) { closure_steps_ = v; return *this; }
+  /// FDP (Gone) or FSP (Hibernating) acceptance criterion.
+  ExperimentSpec& exclusion(Exclusion e) { exclusion_ = e; return *this; }
+  ExperimentSpec& scheduler(SchedulerSpec s) { scheduler_ = s; return *this; }
+
+  // --- trial matrix ---
+  ExperimentSpec& scenario(ScenarioSpec s) { scenario_ = std::move(s); return *this; }
+  /// Seed sweep [first, first + count).
+  ExperimentSpec& seeds(std::uint64_t first, std::uint64_t count) {
+    seed_first_ = first;
+    seed_count_ = count;
+    return *this;
+  }
+  /// Decorrelate sweeps: the scenario seed of trial i is
+  /// (first + i) * mul + add (mul defaults to 1, add to 0).
+  ExperimentSpec& seed_mix(std::uint64_t mul, std::uint64_t add) {
+    seed_mul_ = mul;
+    seed_add_ = add;
+    return *this;
+  }
+
+  // --- driver settings ---
+  /// Worker threads; 0 = one per hardware core.
+  ExperimentSpec& workers(unsigned w) { workers_ = w; return *this; }
+  /// When non-empty, every trial streams a JSONL trace to this path with
+  /// "{seed}" replaced by the trial's scenario seed (the placeholder is
+  /// required so parallel trials never share a stream).
+  ExperimentSpec& trace_pattern(std::string pattern) {
+    trace_pattern_ = std::move(pattern);
+    return *this;
+  }
+
+  // --- getters ---
+  [[nodiscard]] std::uint64_t max_steps() const { return max_steps_; }
+  [[nodiscard]] bool with_monitors() const { return with_monitors_; }
+  [[nodiscard]] std::uint64_t monitor_stride() const { return monitor_stride_; }
+  [[nodiscard]] std::uint64_t check_every() const { return check_every_; }
+  [[nodiscard]] std::uint64_t closure_steps() const { return closure_steps_; }
+  [[nodiscard]] Exclusion exclusion() const { return exclusion_; }
+  [[nodiscard]] const SchedulerSpec& scheduler() const { return scheduler_; }
+  [[nodiscard]] const ScenarioSpec& scenario() const { return scenario_; }
+  [[nodiscard]] std::uint64_t seed_first() const { return seed_first_; }
+  [[nodiscard]] std::uint64_t seed_count() const { return seed_count_; }
+  [[nodiscard]] unsigned workers() const { return workers_; }
+  [[nodiscard]] const std::string& trace_pattern() const {
+    return trace_pattern_;
+  }
+
+  /// Scenario seed of trial i (applies the seed_mix affine map).
+  [[nodiscard]] std::uint64_t trial_seed(std::uint64_t i) const {
+    return (seed_first_ + i) * seed_mul_ + seed_add_;
+  }
+
+  /// First problem with this spec, or "" when it is runnable.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::uint64_t max_steps_ = 2'000'000;
+  bool with_monitors_ = false;
+  std::uint64_t monitor_stride_ = 1;
+  std::uint64_t check_every_ = 64;
+  std::uint64_t closure_steps_ = 0;
+  Exclusion exclusion_ = Exclusion::Gone;
+  SchedulerSpec scheduler_;
+  ScenarioSpec scenario_;
+  std::uint64_t seed_first_ = 1;
+  std::uint64_t seed_count_ = 1;
+  std::uint64_t seed_mul_ = 1;
+  std::uint64_t seed_add_ = 0;
+  unsigned workers_ = 0;
+  std::string trace_pattern_;
 };
 
 struct RunResult {
@@ -56,12 +185,60 @@ struct RunResult {
   bool phi_monotone = true;
   bool audit_ok = true;
   std::string failure;  ///< first diagnostic when something went wrong
+
+  /// Invalid-information drained: Φ(start) - Φ(end) (0 if Φ grew, which
+  /// the monitors would flag).
+  [[nodiscard]] std::uint64_t phi_drain() const {
+    return phi_initial >= phi_final ? phi_initial - phi_final : 0;
+  }
 };
 
-/// Run a departure-protocol scenario (bare, framework or baseline — the
+/// One cell of the trial matrix, as executed by the driver.
+struct TrialResult {
+  std::uint64_t index = 0;       ///< position in the seed sweep
+  std::uint64_t seed = 0;        ///< scenario seed actually used
+  std::size_t leaving_count = 0; ///< leavers the built scenario contained
+  RunResult run;
+  std::string trace_error;       ///< non-empty if the JSONL trace failed
+};
+
+/// Deterministic aggregate over a trial set: population counters plus
+/// exact order statistics (mean/p50/p95) of the per-run measurements.
+/// Timing samples cover solved trials only; counters cover all trials.
+struct Aggregate {
+  std::uint64_t trials = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t safety_violations = 0;
+  std::uint64_t phi_violations = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t closure_violations = 0;
+  std::uint64_t trace_errors = 0;
+  std::uint64_t total_exits = 0;          ///< all trials
+  std::uint64_t expected_exits = 0;       ///< sum of scenario leaving counts
+  Samples steps, rounds, sends, sleeps, wakes, phi_drain;
+  std::string first_failure;
+
+  void add(const TrialResult& t);
+
+  [[nodiscard]] bool clean() const {
+    return solved == trials && safety_violations == 0 &&
+           phi_violations == 0 && audit_violations == 0 &&
+           closure_violations == 0 && trace_errors == 0;
+  }
+  /// "clean", or a compact breakdown of what went wrong.
+  [[nodiscard]] std::string verdict() const;
+};
+
+[[nodiscard]] Aggregate aggregate(const std::vector<TrialResult>& trials);
+
+/// Run one departure-protocol scenario (bare, framework or baseline — the
 /// scenario already owns the right process population) until legitimacy.
-/// `exclusion` selects the FDP/FSP acceptance criterion.
-[[nodiscard]] RunResult run_to_legitimacy(Scenario& sc, Exclusion exclusion,
-                                          const RunOptions& opt);
+/// Uses only the per-trial knobs of `spec` (max_steps, monitors,
+/// check_every, closure_steps, exclusion, scheduler); the trial matrix
+/// belongs to the driver. `extra` is attached as an observer for the
+/// duration of the run (e.g. a per-trial TraceRecorder).
+[[nodiscard]] RunResult run_to_legitimacy(Scenario& sc,
+                                          const ExperimentSpec& spec,
+                                          Observer* extra = nullptr);
 
 }  // namespace fdp

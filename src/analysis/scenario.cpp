@@ -110,6 +110,35 @@ void corrupt_and_inject(const ScenarioConfig& cfg, const Population& pop,
 
 }  // namespace
 
+const char* to_string(ScenarioFamily f) {
+  switch (f) {
+    case ScenarioFamily::Departure: return "departure";
+    case ScenarioFamily::Framework: return "framework";
+    case ScenarioFamily::Baseline: return "baseline";
+  }
+  return "?";
+}
+
+Scenario ScenarioSpec::build(std::uint64_t seed) const {
+  ScenarioConfig cfg = config;
+  cfg.seed = seed;
+  switch (family) {
+    case ScenarioFamily::Departure: return build_departure_scenario(cfg);
+    case ScenarioFamily::Framework:
+      return build_framework_scenario(cfg, overlay);
+    case ScenarioFamily::Baseline: return build_baseline_scenario(cfg);
+  }
+  FDP_CHECK_MSG(false, "unknown scenario family");
+  return {};
+}
+
+std::string ScenarioSpec::label() const {
+  std::string s = to_string(family);
+  if (family == ScenarioFamily::Framework) s += ":" + overlay;
+  s += "/" + config.topology + "/n" + std::to_string(config.n);
+  return s;
+}
+
 Scenario build_departure_scenario(const ScenarioConfig& cfg) {
   Rng rng(cfg.seed);
   const Population pop = plan_population(cfg, rng);

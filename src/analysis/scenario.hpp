@@ -56,6 +56,38 @@ struct Scenario {
   std::size_t leaving_count = 0;
 };
 
+/// Which process population a scenario instantiates.
+enum class ScenarioFamily : std::uint8_t {
+  Departure,  ///< bare DepartureProcess nodes (Section 3 protocol)
+  Framework,  ///< FrameworkProcess hosting an overlay (Section 4, P')
+  Baseline,   ///< SortedListDeparture prior art (NIDEC oracle)
+};
+
+[[nodiscard]] const char* to_string(ScenarioFamily f);
+
+/// Re-entrant scenario factory: a value type describing *how* to build a
+/// trial world, decoupled from any built instance. `build(seed)` can be
+/// called concurrently from many threads — every call constructs a fully
+/// independent World — which is what lets the parallel ExperimentDriver
+/// fan one spec across a worker pool. `clone()` is provided for symmetry
+/// with heavier factories; on this value type it is a plain copy.
+struct ScenarioSpec {
+  ScenarioFamily family = ScenarioFamily::Departure;
+  ScenarioConfig config;
+  /// Overlay protocol hosted by the framework (ScenarioFamily::Framework
+  /// only): "linearization", "ring", "clique", "star", "skiplist".
+  std::string overlay = "linearization";
+
+  [[nodiscard]] ScenarioSpec clone() const { return *this; }
+
+  /// Build an independent trial instance. `seed` overrides `config.seed`
+  /// so one spec drives a whole seed sweep.
+  [[nodiscard]] Scenario build(std::uint64_t seed) const;
+
+  /// Short label ("departure/gnp/n32") for tables and CSV rows.
+  [[nodiscard]] std::string label() const;
+};
+
 /// Population of bare DepartureProcess nodes (Section 3 protocol).
 [[nodiscard]] Scenario build_departure_scenario(const ScenarioConfig& cfg);
 

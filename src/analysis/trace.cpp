@@ -24,8 +24,11 @@ void append_message_json(std::string& s, const Message& m) {
 }  // namespace
 
 TraceRecorder::TraceRecorder(std::size_t ring_capacity, std::string path)
-    : capacity_(ring_capacity) {
-  if (!path.empty()) out_.open(path);
+    : capacity_(ring_capacity), path_(std::move(path)) {
+  if (path_.empty()) return;
+  out_.open(path_);
+  if (!out_.is_open())
+    error_ = "cannot open trace output '" + path_ + "'";
 }
 
 std::string TraceRecorder::to_json(const ActionRecord& rec) {
@@ -56,10 +59,23 @@ std::string TraceRecorder::to_json(const ActionRecord& rec) {
 void TraceRecorder::on_action(const World& world, const ActionRecord& rec) {
   (void)world;
   std::string line = to_json(rec);
-  if (out_.is_open()) out_ << line << '\n';
+  if (out_.is_open() && error_.empty()) {
+    out_ << line << '\n';
+    if (!out_)
+      error_ = "write failed on trace output '" + path_ + "' after " +
+               std::to_string(recorded_) + " records";
+  }
   ring_.push_back(std::move(line));
   while (ring_.size() > capacity_) ring_.pop_front();
   ++recorded_;
+}
+
+bool TraceRecorder::flush() {
+  if (!out_.is_open()) return ok();
+  out_.flush();
+  if (!out_ && error_.empty())
+    error_ = "flush failed on trace output '" + path_ + "'";
+  return ok();
 }
 
 void TraceRecorder::print_ring() const {

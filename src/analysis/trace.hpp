@@ -16,10 +16,16 @@
 
 namespace fdp {
 
+// A TraceRecorder owns all of its state (ring, stream, error), so the
+// parallel experiment driver can attach one recorder per trial World with
+// no sharing between workers — provided each trial streams to its own
+// file path.
 class TraceRecorder final : public Observer {
  public:
   /// Keep the last `ring_capacity` records in memory; if `path` is
-  /// non-empty, additionally stream every record to that file.
+  /// non-empty, additionally stream every record to that file. A path
+  /// that cannot be opened is an error — check ok()/error() — and the
+  /// recorder keeps working in ring-only mode.
   explicit TraceRecorder(std::size_t ring_capacity = 256,
                          std::string path = "");
 
@@ -27,6 +33,16 @@ class TraceRecorder final : public Observer {
 
   [[nodiscard]] const std::deque<std::string>& ring() const { return ring_; }
   [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+  /// False when the stream could not be opened or a write failed; the
+  /// JSONL output is incomplete in that case (the ring is unaffected).
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Flush the stream and surface any pending write failure. Called by
+  /// the destructor implicitly via ofstream; call explicitly when the
+  /// verdict matters before the recorder dies.
+  bool flush();
 
   /// Render one action record as a single JSON line (exposed for tests).
   [[nodiscard]] static std::string to_json(const ActionRecord& rec);
@@ -38,6 +54,8 @@ class TraceRecorder final : public Observer {
   std::size_t capacity_;
   std::deque<std::string> ring_;
   std::ofstream out_;
+  std::string path_;
+  std::string error_;
   std::uint64_t recorded_ = 0;
 };
 

@@ -31,4 +31,10 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   out_ << '\n';
 }
 
+bool CsvWriter::finish() {
+  if (!out_.is_open()) return false;
+  out_.flush();
+  return static_cast<bool>(out_);
+}
+
 }  // namespace fdp

@@ -13,11 +13,15 @@ class CsvWriter {
   /// Opens `path` for writing and emits the header immediately.
   CsvWriter(const std::string& path, std::vector<std::string> header);
 
-  /// True when the output file could be opened.
+  /// True when the output file could be opened and no write has failed.
   [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
 
   /// Append one row; fields are quoted as needed.
   void row(const std::vector<std::string>& cells);
+
+  /// Flush and report whether every write (including this flush) reached
+  /// the file — call once at the end so silent stream failures surface.
+  [[nodiscard]] bool finish();
 
  private:
   static std::string escape(const std::string& s);

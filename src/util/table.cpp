@@ -41,6 +41,12 @@ std::string Table::pm(double mean, double sd, int digits) {
   return buf;
 }
 
+std::string Table::quantiles(double p50, double p95, int digits) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f/%.*f", digits, p50, digits, p95);
+  return buf;
+}
+
 std::string Table::render() const {
   std::vector<std::size_t> width(header_.size(), 0);
   for (std::size_t c = 0; c < header_.size(); ++c)

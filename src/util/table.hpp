@@ -28,6 +28,8 @@ class Table {
   static std::string fixed(double v, int digits = 2);
   /// "mean ± sd" cell.
   static std::string pm(double mean, double sd, int digits = 1);
+  /// "p50/p95" quantile cell (aggregate sweeps).
+  static std::string quantiles(double p50, double p95, int digits = 0);
 
   /// Render to a string with unicode-free ASCII borders.
   [[nodiscard]] std::string render() const;

@@ -42,9 +42,9 @@ TEST_P(BaselineDepartures, ExcludesLeaversOnListWorkload) {
   cfg.leave_fraction = 0.3;
   cfg.seed = GetParam();
   Scenario sc = build_baseline_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 600'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(600'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_EQ(r.exits, sc.leaving_count);
 }

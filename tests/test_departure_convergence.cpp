@@ -37,14 +37,13 @@ TEST_P(FdpConvergence, ReachesLegitimateStateSafely) {
   cfg.seed = 12345;
 
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 400'000;
-  opt.scheduler = c.sched;
-  opt.with_monitors = true;
-  opt.monitor_stride = 1;
-  opt.closure_steps = 500;
+  ExperimentSpec opt;
+  opt.max_steps(400'000);
+  opt.scheduler(SchedulerSpec::of(c.sched));
+  opt.monitors(true, 1);
+  opt.closure_steps(500);
 
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_TRUE(r.safety_ok) << r.failure;
   EXPECT_TRUE(r.phi_monotone) << r.failure;
@@ -92,10 +91,10 @@ TEST(FdpConvergenceSeeds, ManySeedsOneConfig) {
     cfg.inflight_per_node = 1.0;
     cfg.seed = seed;
     Scenario sc = build_departure_scenario(cfg);
-    RunOptions opt;
-    opt.max_steps = 400'000;
-    opt.with_monitors = true;
-    const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+    ExperimentSpec opt;
+    opt.max_steps(400'000);
+    opt.monitors(true);
+    const RunResult r = run_to_legitimacy(sc, opt);
     EXPECT_TRUE(r.reached_legitimate) << "seed " << seed << ": " << r.failure;
     EXPECT_TRUE(r.safety_ok && r.phi_monotone && r.audit_ok)
         << "seed " << seed << ": " << r.failure;
@@ -110,9 +109,9 @@ TEST(FdpConvergence, AllLeavingClampedToKeepOneStayer) {
   cfg.seed = 3;
   Scenario sc = build_departure_scenario(cfg);
   EXPECT_EQ(sc.leaving_count, 5u);
-  RunOptions opt;
-  opt.max_steps = 400'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(400'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
 }
 
@@ -122,9 +121,9 @@ TEST(FdpConvergence, SingletonWorld) {
   cfg.leave_fraction = 0.0;
   cfg.topology = "line";
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 100;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(100);
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate);
 }
 
@@ -134,9 +133,9 @@ TEST(FdpConvergence, NoLeavingProcessesIsImmediatelyLegitimate) {
   cfg.leave_fraction = 0.0;
   cfg.topology = "ring";
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 10'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(10'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate);
   EXPECT_EQ(r.exits, 0u);
 }
@@ -150,9 +149,9 @@ TEST(FdpConvergence, PhiNeverAboveInitial) {
   cfg.inflight_per_node = 2.0;
   cfg.seed = 9;
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 400'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(400'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   ASSERT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_GT(r.phi_initial, 0u);
   EXPECT_LE(r.phi_final, r.phi_initial);

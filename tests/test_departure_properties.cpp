@@ -24,13 +24,13 @@ TEST_P(FdpPropertySweep, InvariantsHoldOnEveryAction) {
   cfg.seed = GetParam();
 
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 300'000;
-  opt.with_monitors = true;
-  opt.monitor_stride = 1;
-  opt.scheduler =
-      GetParam() % 3 == 0 ? SchedulerKind::Adversarial : SchedulerKind::Random;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(300'000);
+  opt.monitors(true, 1);
+  opt.scheduler(SchedulerSpec::of(
+      GetParam() % 3 == 0 ? SchedulerKind::Adversarial
+                          : SchedulerKind::Random));
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_TRUE(r.safety_ok) << r.failure;
   EXPECT_TRUE(r.phi_monotone) << r.failure;
@@ -53,10 +53,10 @@ TEST(FdpProperty, UnsafeOracleCanDisconnect) {
     cfg.seed = seed;
     cfg.oracle = "always-true";
     Scenario sc = build_departure_scenario(cfg);
-    RunOptions opt;
-    opt.max_steps = 50'000;
-    opt.with_monitors = true;
-    const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+    ExperimentSpec opt;
+    opt.max_steps(50'000);
+    opt.monitors(true);
+    const RunResult r = run_to_legitimacy(sc, opt);
     if (!r.safety_ok || !r.reached_legitimate) saw_violation = true;
   }
   EXPECT_TRUE(saw_violation);
@@ -101,10 +101,10 @@ TEST(FdpProperty, ClosureLegitimateStaysLegitimate) {
   cfg.leave_fraction = 0.3;
   cfg.seed = 23;
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 300'000;
-  opt.closure_steps = 5'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(300'000);
+  opt.closure_steps(5'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   ASSERT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_TRUE(r.closure_held);
 }
@@ -119,9 +119,9 @@ TEST(FdpProperty, QuietOracleUsuallySafeOnSparseWorkload) {
   cfg.seed = 31;
   cfg.oracle = "quiet:12";
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 200'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(200'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   // We only require termination here; safety of the heuristic is
   // quantified (not asserted) in bench_e8_oracles.
   EXPECT_TRUE(all_leaving_gone(*sc.world));

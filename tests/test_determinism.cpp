@@ -19,10 +19,10 @@ Fingerprint run_once(const ScenarioConfig& cfg, SchedulerKind sk,
                      bool framework, Exclusion excl) {
   Scenario sc = framework ? build_framework_scenario(cfg, "linearization")
                           : build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 250'000;
-  opt.scheduler = sk;
-  const RunResult r = run_to_legitimacy(sc, excl, opt);
+  ExperimentSpec opt;
+  opt.max_steps(250'000);
+  opt.scheduler(SchedulerSpec::of(sk));
+  const RunResult r = run_to_legitimacy(sc, opt.exclusion(excl));
   return Fingerprint{r.steps, r.sends,       r.exits, r.sleeps,
                      r.phi_initial, r.phi_final, r.reached_legitimate};
 }

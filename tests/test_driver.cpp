@@ -1,0 +1,239 @@
+// The parallel experiment driver: spec validation, deterministic
+// fan-out (worker count must never change any result), per-trial trace
+// attachment and the CSV dump.
+#include "analysis/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+namespace fdp {
+namespace {
+
+ScenarioSpec small_departure_scenario() {
+  ScenarioSpec sc;
+  sc.family = ScenarioFamily::Departure;
+  sc.config.n = 8;
+  sc.config.topology = "gnp";
+  sc.config.leave_fraction = 0.3;
+  sc.config.invalid_mode_prob = 0.2;
+  return sc;
+}
+
+TEST(ParallelMap, MatchesSequentialInIndexOrder) {
+  auto fn = [](std::uint64_t i) { return i * i + 1; };
+  const auto seq = parallel_map(64, 1, fn);
+  const auto par = parallel_map(64, 8, fn);
+  ASSERT_EQ(seq.size(), 64u);
+  EXPECT_EQ(seq, par);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(seq[i], i * i + 1);
+}
+
+TEST(ParallelMap, EmptyAndSingleton) {
+  auto fn = [](std::uint64_t i) { return i + 7; };
+  EXPECT_TRUE(parallel_map(0, 4, fn).empty());
+  const auto one = parallel_map(1, 4, fn);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7u);
+}
+
+TEST(Driver, ResolveWorkersNeverZero) {
+  EXPECT_GE(resolve_workers(0), 1u);
+  EXPECT_EQ(resolve_workers(3), 3u);
+}
+
+TEST(ExperimentSpecValidation, DefaultsWithScenarioAreRunnable) {
+  ExperimentSpec spec;
+  spec.scenario(small_departure_scenario());
+  EXPECT_EQ(spec.validate(), "");
+}
+
+TEST(ExperimentSpecValidation, RejectsZeroMaxSteps) {
+  ExperimentSpec spec;
+  spec.scenario(small_departure_scenario()).max_steps(0);
+  EXPECT_NE(spec.validate().find("max_steps"), std::string::npos);
+}
+
+TEST(ExperimentSpecValidation, RejectsEmptySeedRange) {
+  ExperimentSpec spec;
+  spec.scenario(small_departure_scenario()).seeds(1, 0);
+  EXPECT_NE(spec.validate().find("seed"), std::string::npos);
+}
+
+TEST(ExperimentSpecValidation, RejectsBadKnobs) {
+  EXPECT_NE(ExperimentSpec{}
+                .scenario(small_departure_scenario())
+                .check_every(0)
+                .validate(),
+            "");
+  EXPECT_NE(ExperimentSpec{}
+                .scenario(small_departure_scenario())
+                .monitors(true, 0)
+                .validate(),
+            "");
+  EXPECT_NE(ExperimentSpec{}
+                .scenario(small_departure_scenario())
+                .seed_mix(0, 5)
+                .validate(),
+            "");
+  ScenarioSpec empty;
+  empty.config.n = 0;
+  EXPECT_NE(ExperimentSpec{}.scenario(empty).validate(), "");
+  EXPECT_NE(ExperimentSpec{}
+                .scenario(small_departure_scenario())
+                .trace_pattern("trace.jsonl")  // missing {seed}
+                .validate(),
+            "");
+}
+
+TEST(ExperimentSpec, TrialSeedAppliesAffineMix) {
+  ExperimentSpec spec;
+  spec.seeds(10, 4).seed_mix(977, 3);
+  EXPECT_EQ(spec.trial_seed(0), 10 * 977 + 3);
+  EXPECT_EQ(spec.trial_seed(3), 13 * 977 + 3);
+}
+
+// The tentpole guarantee: aggregates over a seed sweep are identical for
+// 1 worker and 8 workers — same trials, same order, same statistics,
+// byte-identical CSV.
+TEST(Driver, SweepIsDeterministicAcrossWorkerCounts) {
+  ExperimentSpec spec;
+  spec.scenario(small_departure_scenario())
+      .max_steps(300'000)
+      .monitors(true, 8)
+      .seeds(1, 32);
+
+  const ExperimentResult serial = ExperimentDriver(1).run(spec);
+  const ExperimentResult parallel = ExperimentDriver(8).run(spec);
+
+  ASSERT_EQ(serial.trials.size(), 32u);
+  ASSERT_EQ(parallel.trials.size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const TrialResult& a = serial.trials[i];
+    const TrialResult& b = parallel.trials[i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.leaving_count, b.leaving_count);
+    EXPECT_EQ(a.run.reached_legitimate, b.run.reached_legitimate);
+    EXPECT_EQ(a.run.steps, b.run.steps);
+    EXPECT_EQ(a.run.sends, b.run.sends);
+    EXPECT_EQ(a.run.exits, b.run.exits);
+    EXPECT_EQ(a.run.phi_initial, b.run.phi_initial);
+    EXPECT_EQ(a.run.phi_final, b.run.phi_final);
+    EXPECT_EQ(a.run.failure, b.run.failure);
+  }
+
+  const Aggregate& x = serial.agg;
+  const Aggregate& y = parallel.agg;
+  EXPECT_EQ(x.trials, y.trials);
+  EXPECT_EQ(x.solved, y.solved);
+  EXPECT_EQ(x.total_exits, y.total_exits);
+  EXPECT_EQ(x.expected_exits, y.expected_exits);
+  EXPECT_DOUBLE_EQ(x.steps.mean(), y.steps.mean());
+  EXPECT_DOUBLE_EQ(x.steps.median(), y.steps.median());
+  EXPECT_DOUBLE_EQ(x.steps.percentile(0.95), y.steps.percentile(0.95));
+  EXPECT_DOUBLE_EQ(x.phi_drain.mean(), y.phi_drain.mean());
+  EXPECT_EQ(x.verdict(), y.verdict());
+
+  // Byte-identical CSV regardless of worker count.
+  const std::string p1 = testing::TempDir() + "fdp_trials_w1.csv";
+  const std::string p8 = testing::TempDir() + "fdp_trials_w8.csv";
+  ASSERT_EQ(write_trials_csv(p1, spec, serial.trials), "");
+  ASSERT_EQ(write_trials_csv(p8, spec, parallel.trials), "");
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  const std::string csv1 = slurp(p1);
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, slurp(p8));
+  std::remove(p1.c_str());
+  std::remove(p8.c_str());
+}
+
+TEST(Driver, RunRefusesInvalidSpec) {
+  ExperimentSpec spec;
+  spec.scenario(small_departure_scenario()).max_steps(0);
+  EXPECT_DEATH((void)ExperimentDriver(1).run(spec), "invalid ExperimentSpec");
+}
+
+TEST(Driver, PerTrialTracesLandInSeparateFiles) {
+  ExperimentSpec spec;
+  spec.scenario(small_departure_scenario())
+      .max_steps(200'000)
+      .seeds(1, 3)
+      .trace_pattern(testing::TempDir() + "fdp_drv_{seed}.jsonl");
+  const ExperimentResult res = ExperimentDriver(2).run(spec);
+  EXPECT_EQ(res.agg.trace_errors, 0u);
+  for (const TrialResult& t : res.trials) {
+    EXPECT_EQ(t.trace_error, "");
+    const std::string path =
+        testing::TempDir() + "fdp_drv_" + std::to_string(t.seed) + ".jsonl";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) ++lines;
+    EXPECT_EQ(lines, t.run.steps);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Driver, UnwritableTracePathIsSurfacedNotFatal) {
+  ExperimentSpec spec;
+  spec.scenario(small_departure_scenario())
+      .max_steps(100'000)
+      .seeds(1, 2)
+      .trace_pattern("/nonexistent-dir/fdp_{seed}.jsonl");
+  const ExperimentResult res = ExperimentDriver(2).run(spec);
+  EXPECT_EQ(res.agg.trace_errors, 2u);
+  for (const TrialResult& t : res.trials) {
+    EXPECT_NE(t.trace_error.find("cannot open"), std::string::npos)
+        << t.trace_error;
+    EXPECT_TRUE(t.run.reached_legitimate);  // the run itself still counts
+  }
+  EXPECT_NE(res.agg.verdict(), "clean");
+}
+
+TEST(Driver, AggregateSeparatesSolvedTimingsFromCounters) {
+  std::vector<TrialResult> trials(3);
+  trials[0].run.reached_legitimate = true;
+  trials[0].run.steps = 100;
+  trials[0].run.exits = 2;
+  trials[1].run.reached_legitimate = true;
+  trials[1].run.steps = 300;
+  trials[1].run.exits = 2;
+  trials[2].run.reached_legitimate = false;  // timed out: no timing sample
+  trials[2].run.steps = 9999;
+  trials[2].run.failure = "step budget exhausted";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    trials[i].index = i;
+    trials[i].leaving_count = 2;
+  }
+  const Aggregate a = aggregate(trials);
+  EXPECT_EQ(a.trials, 3u);
+  EXPECT_EQ(a.solved, 2u);
+  EXPECT_EQ(a.steps.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.steps.mean(), 200.0);
+  EXPECT_EQ(a.total_exits, 4u);
+  EXPECT_EQ(a.expected_exits, 6u);
+  EXPECT_FALSE(a.clean());
+  EXPECT_EQ(a.first_failure, "step budget exhausted");
+}
+
+TEST(Driver, MapRunsArbitraryPerSeedWork) {
+  const ExperimentDriver driver(4);
+  const std::vector<std::uint64_t> out =
+      driver.map(16, [](std::uint64_t i) { return i * 3; });
+  std::uint64_t sum = std::accumulate(out.begin(), out.end(),
+                                      std::uint64_t{0});
+  EXPECT_EQ(sum, 3 * (15 * 16) / 2);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -11,7 +11,9 @@ TEST(Experiment, SchedulerFactoriesAndNames) {
   for (const char* name : {"random", "roundrobin", "rounds", "adversarial"}) {
     const SchedulerKind k = scheduler_by_name(name);
     EXPECT_STREQ(to_string(k), name);
-    EXPECT_NE(make_scheduler(k), nullptr);
+    const SchedulerSpec spec = SchedulerSpec::of(k);
+    EXPECT_NE(spec.make(), nullptr);
+    EXPECT_EQ(spec.name(), name);
   }
 }
 
@@ -27,9 +29,9 @@ TEST(Experiment, RunReportsCounters) {
   cfg.invalid_mode_prob = 0.5;
   cfg.seed = 3;
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 300'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(300'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   ASSERT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_GT(r.steps, 0u);
   EXPECT_GT(r.sends, 0u);
@@ -44,10 +46,10 @@ TEST(Experiment, RoundsSchedulerReportsRounds) {
   cfg.leave_fraction = 0.25;
   cfg.seed = 5;
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 200'000;
-  opt.scheduler = SchedulerKind::Rounds;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(200'000);
+  opt.scheduler(SchedulerSpec::of(SchedulerKind::Rounds));
+  const RunResult r = run_to_legitimacy(sc, opt);
   ASSERT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_GT(r.rounds, 0u);
 }
@@ -60,11 +62,11 @@ TEST(Experiment, MaxStepsRespectedOnStalledRun) {
   cfg.oracle = "always-false";  // liveness removed: can never finish
   cfg.seed = 7;
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 5'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(5'000);
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_FALSE(r.reached_legitimate);
-  EXPECT_LE(r.steps, opt.max_steps + opt.check_every);
+  EXPECT_LE(r.steps, opt.max_steps() + opt.check_every());
   EXPECT_FALSE(r.failure.empty());
 }
 

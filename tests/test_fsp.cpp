@@ -34,10 +34,10 @@ TEST_P(FspSweep, ReachesHibernation) {
   const auto [seed, topo] = GetParam();
   ScenarioConfig cfg = fsp_config(seed, topo, 0.3);
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 500'000;
-  opt.with_monitors = true;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ExperimentSpec opt;
+  opt.max_steps(500'000);
+  opt.monitors(true);
+  const RunResult r = run_to_legitimacy(sc, opt.exclusion(Exclusion::Hibernating));
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_TRUE(r.safety_ok) << r.failure;
   EXPECT_TRUE(r.phi_monotone) << r.failure;
@@ -56,18 +56,18 @@ TEST(Fsp, OracleIsNeverConsulted) {
     ADD_FAILURE() << "FSP consulted the oracle";
     return false;
   });
-  RunOptions opt;
-  opt.max_steps = 300'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ExperimentSpec opt;
+  opt.max_steps(300'000);
+  const RunResult r = run_to_legitimacy(sc, opt.exclusion(Exclusion::Hibernating));
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
 }
 
 TEST(Fsp, SleepersWakeForLateMessagesAndResettle) {
   ScenarioConfig cfg = fsp_config(11, "gnp", 0.0);
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 300'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ExperimentSpec opt;
+  opt.max_steps(300'000);
+  const RunResult r = run_to_legitimacy(sc, opt.exclusion(Exclusion::Hibernating));
   ASSERT_TRUE(r.reached_legitimate) << r.failure;
 
   // Poke one sleeping leaver with a fresh reference: it must wake, route
@@ -102,9 +102,9 @@ TEST(Fsp, HibernatingClaimHolds) {
   // can wake it, because no relevant process can ever obtain a path to it.
   ScenarioConfig cfg = fsp_config(13, "wild", 0.3);
   Scenario sc = build_departure_scenario(cfg);
-  RunOptions opt;
-  opt.max_steps = 300'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ExperimentSpec opt;
+  opt.max_steps(300'000);
+  const RunResult r = run_to_legitimacy(sc, opt.exclusion(Exclusion::Hibernating));
   ASSERT_TRUE(r.reached_legitimate) << r.failure;
   const std::uint64_t wakes_before = sc.world->wakes();
   RandomScheduler sched;

@@ -37,10 +37,10 @@ TEST_P(WrappedOverlayDepartures, ExcludesLeaversAndConverges) {
   cfg.seed = c.seed;
 
   Scenario sc = build_framework_scenario(cfg, c.overlay);
-  RunOptions opt;
-  opt.max_steps = 1'500'000;
-  opt.scheduler = SchedulerKind::Random;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(1'500'000);
+  opt.scheduler(SchedulerSpec::of(SchedulerKind::Random));
+  const RunResult r = run_to_legitimacy(sc, opt);
   ASSERT_TRUE(r.reached_legitimate) << c.overlay << ": " << r.failure;
   EXPECT_EQ(r.exits, sc.leaving_count);
 
@@ -82,11 +82,10 @@ TEST(WrappedOverlay, SafetyMonitoredRun) {
   cfg.invalid_mode_prob = 0.3;
   cfg.seed = 11;
   Scenario sc = build_framework_scenario(cfg, "linearization");
-  RunOptions opt;
-  opt.max_steps = 700'000;
-  opt.with_monitors = true;
-  opt.monitor_stride = 4;  // snapshots are pricier with framework refs
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(700'000);
+  opt.monitors(true, 4);  // snapshots are pricier with framework refs
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_TRUE(r.safety_ok) << r.failure;
   EXPECT_TRUE(r.audit_ok) << r.failure;
@@ -100,9 +99,9 @@ TEST(WrappedOverlay, FspVariantHibernates) {
   cfg.policy = DeparturePolicy::Sleep;
   cfg.seed = 13;
   Scenario sc = build_framework_scenario(cfg, "star");
-  RunOptions opt;
-  opt.max_steps = 1'000'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ExperimentSpec opt;
+  opt.max_steps(1'000'000);
+  const RunResult r = run_to_legitimacy(sc, opt.exclusion(Exclusion::Hibernating));
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_EQ(sc.world->exits(), 0u);
 }

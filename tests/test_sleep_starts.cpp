@@ -41,10 +41,10 @@ class SleepStartSweep : public testing::TestWithParam<std::uint64_t> {};
 TEST_P(SleepStartSweep, FdpConvergesFromSleepyStates) {
   Scenario sc = build_departure_scenario(
       sleepy_config(GetParam(), DeparturePolicy::ExitWithOracle));
-  RunOptions opt;
-  opt.max_steps = 500'000;
-  opt.with_monitors = true;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Gone, opt);
+  ExperimentSpec opt;
+  opt.max_steps(500'000);
+  opt.monitors(true);
+  const RunResult r = run_to_legitimacy(sc, opt);
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_TRUE(r.safety_ok && r.phi_monotone && r.audit_ok) << r.failure;
   // Every staying sleeper must have been woken (condition (i)).
@@ -58,9 +58,9 @@ TEST_P(SleepStartSweep, FdpConvergesFromSleepyStates) {
 TEST_P(SleepStartSweep, FspConvergesFromSleepyStates) {
   Scenario sc = build_departure_scenario(
       sleepy_config(GetParam() + 100, DeparturePolicy::Sleep));
-  RunOptions opt;
-  opt.max_steps = 500'000;
-  const RunResult r = run_to_legitimacy(sc, Exclusion::Hibernating, opt);
+  ExperimentSpec opt;
+  opt.max_steps(500'000);
+  const RunResult r = run_to_legitimacy(sc, opt.exclusion(Exclusion::Hibernating));
   EXPECT_TRUE(r.reached_legitimate) << r.failure;
   EXPECT_EQ(sc.world->exits(), 0u);
 }

@@ -58,6 +58,45 @@ TEST(Trace, StreamsToFile) {
   std::remove(path.c_str());
 }
 
+TEST(Trace, SurfacesUnopenableStream) {
+  TraceRecorder trace(4, "/nonexistent-dir/fdp_trace.jsonl");
+  EXPECT_FALSE(trace.ok());
+  EXPECT_NE(trace.error().find("cannot open"), std::string::npos);
+  EXPECT_NE(trace.error().find("/nonexistent-dir/fdp_trace.jsonl"),
+            std::string::npos);
+  EXPECT_FALSE(trace.flush());
+
+  // Recording into a dead stream is harmless: the ring still works.
+  ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.topology = "line";
+  cfg.seed = 2;
+  Scenario sc = build_departure_scenario(cfg);
+  sc.world->add_observer(&trace);
+  RandomScheduler sched;
+  for (int i = 0; i < 20; ++i) (void)sc.world->step(sched);
+  EXPECT_EQ(trace.recorded(), 20u);
+  EXPECT_FALSE(trace.ring().empty());
+  EXPECT_FALSE(trace.flush());
+}
+
+TEST(Trace, FlushReportsHealthyStream) {
+  const std::string path = testing::TempDir() + "fdp_trace_flush.jsonl";
+  TraceRecorder trace(4, path);
+  ASSERT_TRUE(trace.ok()) << trace.error();
+  ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.topology = "line";
+  cfg.seed = 3;
+  Scenario sc = build_departure_scenario(cfg);
+  sc.world->add_observer(&trace);
+  RandomScheduler sched;
+  for (int i = 0; i < 20; ++i) (void)sc.world->step(sched);
+  EXPECT_TRUE(trace.flush());
+  EXPECT_EQ(trace.error(), "");
+  std::remove(path.c_str());
+}
+
 TEST(Trace, JsonEncodesMessageContent) {
   ActionRecord rec;
   rec.step = 7;
