@@ -2,6 +2,10 @@
 // substrate costs that every experiment in this repository pays.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <utility>
+
+#include "analysis/monitors.hpp"
 #include "analysis/scenario.hpp"
 #include "core/legitimacy.hpp"
 #include "core/oracle.hpp"
@@ -9,12 +13,87 @@
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/process_graph.hpp"
+#include "sim/context.hpp"
 #include "universality/rewriter.hpp"
 
 namespace fdp {
 namespace {
 
+// The quiescent bulk of a large overlay: present and awake, but currently
+// taking no protocol actions beyond consuming its kernel timeouts.
+class IdleProcess final : public Process {
+ public:
+  IdleProcess(Ref self, Mode mode, std::uint64_t key)
+      : Process(self, mode, key) {}
+  void on_timeout(Context&) override {}
+  void on_message(Context&, const Message&) override {}
+  void collect_refs(std::vector<RefInfo>&) const override {}
+  [[nodiscard]] const char* protocol_name() const override { return "idle"; }
+};
+
+// A small active set that keeps reference-carrying messages moving around a
+// fixed ring, independent of the world size.
+class ChurnProcess final : public Process {
+ public:
+  ChurnProcess(Ref self, Mode mode, std::uint64_t key)
+      : Process(self, mode, key) {}
+  void set_next(Ref next) { next_ = next; }
+  void on_timeout(Context& ctx) override {
+    if (next_.valid()) ctx.send(next_, Message::present(self_info()));
+  }
+  void on_message(Context&, const Message&) override {}
+  void collect_refs(std::vector<RefInfo>& out) const override {
+    if (next_.valid()) out.push_back(RefInfo{next_, ModeInfo::Staying, 0});
+  }
+  [[nodiscard]] const char* protocol_name() const override { return "churn"; }
+
+ private:
+  Ref next_;
+};
+
 void BM_WorldStep(benchmark::State& state) {
+  // Per-step *kernel* cost as a function of world size — the tentpole claim
+  // of the index rewrite. The per-step workload is held constant (one
+  // scheduler decision plus one bounded action: an idle timeout, or a send
+  // or delivery on an 8-process churn ring) while the total world size n
+  // grows, so any growth in per-step time is kernel overhead. With the
+  // maintained indices the curve must stay flat; the old O(n)-scan kernel
+  // grows linearly (scripts/check_kernel_scaling.py gates CI on n=16 vs
+  // n=256 vs n=4096). BM_WorldStepDense below measures the complementary
+  // shape where every process acts.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChurners = 8;
+  World w(42);
+  std::vector<Ref> ring;
+  for (std::size_t i = 0; i < kChurners; ++i)
+    ring.push_back(w.spawn<ChurnProcess>(Mode::Staying, i));
+  for (std::size_t i = 0; i < kChurners; ++i)
+    w.process_as<ChurnProcess>(ring[i].id())
+        .set_next(ring[(i + 1) % kChurners]);
+  for (std::size_t i = kChurners; i < n; ++i)
+    w.spawn<IdleProcess>(Mode::Staying, i);
+  RandomScheduler sched;
+  for (auto _ : state) {
+    w.step(sched);  // awake processes always exist: never exhausts
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorldStep)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_WorldStepDense(benchmark::State& state) {
+  // The full departure scenario: every process runs the protocol, so each
+  // step touches a different process's state and the resident set grows
+  // with n. Per-step time therefore includes the workload's inherent cache
+  // footprint on top of the kernel cost isolated by BM_WorldStep — expect a
+  // mild upward drift with n from memory effects alone (it was ~500x
+  // before the index rewrite, when the kernel itself did O(n + m) scans
+  // per step).
   ScenarioConfig cfg;
   cfg.n = static_cast<std::size_t>(state.range(0));
   cfg.topology = "gnp";
@@ -32,7 +111,13 @@ void BM_WorldStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_WorldStep)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_WorldStepDense)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
 
 void BM_Snapshot(benchmark::State& state) {
   ScenarioConfig cfg;
@@ -45,7 +130,16 @@ void BM_Snapshot(benchmark::State& state) {
     benchmark::DoNotOptimize(take_snapshot(*sc.world));
   }
 }
-BENCHMARK(BM_Snapshot)->Arg(16)->Arg(64)->Arg(256);
+// Snapshots stay O(n + m) by design (they copy the state); the contrast
+// with BM_WorldStep's flat curve is what justifies keeping phi()
+// recomputes off the hot path.
+BENCHMARK(BM_Snapshot)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
 
 void BM_SingleOracle(benchmark::State& state) {
   ScenarioConfig cfg;
@@ -112,6 +206,76 @@ void BM_RewriterOp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RewriterOp);
+
+void BM_OldestLiveMessage(benchmark::State& state) {
+  // The fair-receipt query: O(log m) amortized via the lazily-compacted
+  // min-seq heap (was a full channel scan). Interleave with steps so the
+  // heap keeps taking stale entries.
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "gnp";
+  cfg.inflight_per_node = 2.0;
+  cfg.seed = 11;
+  Scenario sc = build_departure_scenario(cfg);
+  RandomScheduler sched;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc.world->oldest_live_message());
+    if (!sc.world->step(sched)) {
+      state.PauseTiming();
+      sc = build_departure_scenario(cfg);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_OldestLiveMessage)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ChannelIndexOfSeq(benchmark::State& state) {
+  // Seq lookup in one channel: O(1) expected via the seq -> slot hash
+  // (was a linear scan of the message vector).
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Channel ch;
+  for (std::size_t s = 1; s <= m; ++s) {
+    Message msg;
+    msg.seq = s;
+    ch.push(std::move(msg));
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.index_of_seq(1 + rng.below(m)));
+  }
+}
+BENCHMARK(BM_ChannelIndexOfSeq)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MonitoredWorldStep(benchmark::State& state) {
+  // Stride-1 Φ monitoring on every step. Incremental maintenance makes
+  // this O(refs touched by the action) — compare against BM_WorldStep at
+  // the same n to read off the monitoring overhead.
+  ScenarioConfig cfg;
+  cfg.n = static_cast<std::size_t>(state.range(0));
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.oracle = "single";
+  cfg.seed = 42;
+  auto fresh = [&cfg] {
+    Scenario sc = build_departure_scenario(cfg);
+    auto mon = std::make_unique<PotentialMonitor>(*sc.world, 1);
+    mon->set_crosscheck_every(0);
+    sc.world->add_observer(mon.get());
+    return std::pair(std::move(sc), std::move(mon));
+  };
+  auto [sc, mon] = fresh();
+  RandomScheduler sched;
+  for (auto _ : state) {
+    if (!sc.world->step(sched)) {
+      state.PauseTiming();
+      std::tie(sc, mon) = fresh();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitoredWorldStep)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_ScenarioBuild(benchmark::State& state) {
   ScenarioConfig cfg;

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate kernel per-step cost on world size.
+
+Reads google-benchmark JSON (--benchmark_format=json) and checks that
+BM_WorldStep's per-iteration time stays essentially flat as n grows: the
+maintained world indices promise per-step cost independent of world size,
+so time(n=4096) must stay within --max-ratio of time(n=16). A linear
+kernel regression (any O(n) scan creeping back into the hot path) shows
+up as a ~256x ratio and fails loudly.
+
+Usage: check_kernel_scaling.py BENCH_kernel.json
+           [--bench BM_WorldStep] [--ns 16,256,4096] [--max-ratio 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path, bench):
+    """name -> cpu time in ns for every '<bench>/<n>' entry."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name", "")
+        prefix = bench + "/"
+        if not name.startswith(prefix):
+            continue
+        try:
+            n = int(name[len(prefix):].split("/")[0])
+        except ValueError:
+            continue
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[n] = float(entry["cpu_time"]) * scale
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--bench", default="BM_WorldStep")
+    ap.add_argument("--ns", default="16,256,4096",
+                    help="comma-separated world sizes to compare")
+    ap.add_argument("--max-ratio", type=float, default=2.0,
+                    help="largest allowed time(max n) / time(min n)")
+    args = ap.parse_args()
+
+    ns = sorted(int(x) for x in args.ns.split(","))
+    times = load_times(args.json_path, args.bench)
+    missing = [n for n in ns if n not in times]
+    if missing:
+        print(f"FAIL: {args.json_path} has no {args.bench} results for "
+              f"n={missing} (have n={sorted(times)})")
+        return 1
+
+    for n in ns:
+        print(f"{args.bench}/{n}: {times[n]:.1f} ns/step")
+
+    base, top = times[ns[0]], times[ns[-1]]
+    ratio = top / base
+    print(f"ratio n={ns[-1]} vs n={ns[0]}: {ratio:.2f}x "
+          f"(limit {args.max_ratio:.2f}x)")
+    if ratio > args.max_ratio:
+        print(f"FAIL: per-step cost grows with world size — some O(n) scan "
+              f"is back on the hot path")
+        return 1
+
+    # Also reject super-linear blowup between adjacent sampled sizes, so a
+    # regression localized to mid-range n cannot hide behind a fast top end.
+    for lo, hi in zip(ns, ns[1:]):
+        growth = times[hi] / times[lo]
+        if growth > args.max_ratio:
+            print(f"FAIL: step time grows {growth:.2f}x from n={lo} to "
+                  f"n={hi} (limit {args.max_ratio:.2f}x)")
+            return 1
+
+    print("OK: per-step kernel cost is flat in world size")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,31 +6,128 @@
 
 namespace fdp {
 
+namespace {
+
+/// Could this action have changed the process graph's edge set or the
+/// relevant set? Deliveries always shrink a channel (hibernation input);
+/// sends, ref changes and life transitions speak for themselves. Only a
+/// pure no-op timeout — no sends, no stored-ref change, no exit/sleep —
+/// is provably verdict-preserving.
+bool structurally_relevant(const ActionRecord& rec) {
+  return rec.kind == ActionRecord::Kind::Deliver || rec.exited || rec.slept ||
+         !rec.sent.empty() || rec.refs_before != rec.refs_after;
+}
+
+}  // namespace
+
 SafetyMonitor::SafetyMonitor(const World& w, std::uint64_t stride)
     : checker_(w, Exclusion::Either), stride_(stride == 0 ? 1 : stride) {}
 
 void SafetyMonitor::on_action(const World& world, const ActionRecord& rec) {
+  if (structurally_relevant(rec)) dirty_ = true;
   if (++since_ < stride_) return;
   since_ = 0;
+  if (!dirty_) {
+    // Nothing since the last BFS could have changed the verdict.
+    ++skipped_;
+    return;
+  }
+  dirty_ = false;
   ++checks_;
   if (!checker_.safety_holds(world)) violations_.push_back(rec.step);
 }
 
+void SafetyMonitor::on_inject(const World& world, ProcessId to,
+                              const Message& m) {
+  (void)world;
+  (void)to;
+  (void)m;
+  dirty_ = true;
+}
+
+void SafetyMonitor::on_remove(const World& world, ProcessId from,
+                              const Message& m) {
+  (void)world;
+  (void)from;
+  (void)m;
+  dirty_ = true;
+}
+
 PotentialMonitor::PotentialMonitor(const World& w, std::uint64_t stride)
-    : stride_(stride == 0 ? 1 : stride) {
+    : stride_(stride == 0 ? 1 : stride),
+#ifdef NDEBUG
+      crosscheck_every_(0)
+#else
+      crosscheck_every_(1024)
+#endif
+{
   initial_ = phi(w);
   last_ = initial_;
+  phi_ = static_cast<std::int64_t>(initial_);
   series_.emplace_back(0, initial_);
 }
 
-void PotentialMonitor::on_action(const World& world,
-                                 const ActionRecord& rec) {
+void PotentialMonitor::apply_action_delta(const World& world,
+                                          const ActionRecord& rec) {
+  // Reconstruct Φ's change from the action's complete effect record.
+  // Every term mirrors one clause of potential()'s accounting; instance
+  // verdicts are immutable (true modes never change), so only instance
+  // creation/destruction/ownership moves matter.
+  std::int64_t d = 0;
+  // Stored refs of the actor: replaced wholesale by the action. A gone
+  // actor's stored refs stop counting (potential() skips gone holders).
+  d -= static_cast<std::int64_t>(invalid_count(world, rec.refs_before));
+  if (!rec.exited)
+    d += static_cast<std::int64_t>(invalid_count(world, rec.refs_after));
+  // The consumed message left the actor's (live) channel.
+  if (rec.consumed)
+    d += -static_cast<std::int64_t>(invalid_count(world, rec.consumed->refs));
+  // Sends enter the destination's channel. Count against the holder's
+  // life *before* this action's exit applies: a self-send of an exiting
+  // actor is settled by the channel sweep below, and no other process's
+  // life can change within the action.
+  for (const auto& [to, msg] : rec.sent) {
+    if (to.id() == rec.actor || world.life(to.id()) != LifeState::Gone)
+      d += static_cast<std::int64_t>(invalid_count(world, msg.refs));
+  }
+  // Exit kills the whole channel: every in-flight instance (including any
+  // self-send from this very action) stops counting.
+  if (rec.exited)
+    for (const Message& m : world.channel(rec.actor).messages())
+      d -= static_cast<std::int64_t>(invalid_count(world, m.refs));
+  phi_ += d;
+  FDP_CHECK_MSG(phi_ >= 0, "incremental phi went negative");
+}
+
+void PotentialMonitor::on_action(const World& world, const ActionRecord& rec) {
+  apply_action_delta(world, rec);
+
+  if (crosscheck_every_ > 0 && ++since_crosscheck_ >= crosscheck_every_) {
+    since_crosscheck_ = 0;
+    FDP_CHECK_MSG(static_cast<std::uint64_t>(phi_) == phi(world),
+                  "incremental phi diverged from full recompute");
+  }
+
   if (++since_ < stride_) return;
   since_ = 0;
-  const std::uint64_t now = phi(world);
+  const std::uint64_t now = static_cast<std::uint64_t>(phi_);
   if (now > last_) increases_.push_back({rec.step, last_, now});
   last_ = now;
   series_.emplace_back(rec.step, now);
+}
+
+void PotentialMonitor::on_inject(const World& world, ProcessId to,
+                                 const Message& m) {
+  if (world.life(to) != LifeState::Gone)
+    phi_ += static_cast<std::int64_t>(invalid_count(world, m.refs));
+}
+
+void PotentialMonitor::on_remove(const World& world, ProcessId from,
+                                 const Message& m) {
+  if (world.life(from) != LifeState::Gone) {
+    phi_ -= static_cast<std::int64_t>(invalid_count(world, m.refs));
+    FDP_CHECK_MSG(phi_ >= 0, "incremental phi went negative");
+  }
 }
 
 void TrafficMonitor::on_action(const World& world, const ActionRecord& rec) {

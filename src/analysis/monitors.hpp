@@ -13,6 +13,20 @@
 // exact; larger strides trade completeness for speed in long benches. For
 // the *monotone* potential a stride is still sound for detecting sustained
 // increases (Φ_t > Φ_{t-stride} implies some step increased it).
+//
+// Both monitors are *incremental*:
+//  * PotentialMonitor never re-snapshots the world. Φ is maintained from
+//    each ActionRecord's deltas (stored refs before/after, the consumed
+//    message, sends, exit) plus the out-of-action inject/remove hooks
+//    (chaos faults, scenario posts) — O(refs touched by the action), so
+//    stride=1 monitoring costs the same at n=10k as at n=16. A periodic
+//    full-recompute cross-check (on by default in debug builds; see
+//    set_crosscheck_every) asserts the maintained value against phi(world).
+//  * SafetyMonitor re-runs its weak-connectivity BFS only when something
+//    since the last check could have changed the process graph or the
+//    relevant set: any delivery, send, exit, sleep, ref change, or
+//    external channel mutation. Pure no-op timeouts — the steady state of
+//    a converged run — skip the BFS entirely.
 #pragma once
 
 #include <cstdint>
@@ -30,18 +44,28 @@ class SafetyMonitor final : public Observer {
   explicit SafetyMonitor(const World& w, std::uint64_t stride = 1);
 
   void on_action(const World& world, const ActionRecord& rec) override;
+  void on_inject(const World& world, ProcessId to, const Message& m) override;
+  void on_remove(const World& world, ProcessId from,
+                 const Message& m) override;
 
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<std::uint64_t>& violations() const {
     return violations_;  // step numbers at which safety was broken
   }
+  /// Connectivity BFS runs actually performed.
   [[nodiscard]] std::uint64_t checks() const { return checks_; }
+  /// Stride points skipped because no action since the last check could
+  /// have changed the verdict.
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
 
  private:
   LegitimacyChecker checker_;
   std::uint64_t stride_;
   std::uint64_t since_ = 0;
   std::uint64_t checks_ = 0;
+  std::uint64_t skipped_ = 0;
+  /// The edge set / relevant set may differ from the last checked state.
+  bool dirty_ = true;
   std::vector<std::uint64_t> violations_;
 };
 
@@ -50,6 +74,9 @@ class PotentialMonitor final : public Observer {
   explicit PotentialMonitor(const World& w, std::uint64_t stride = 1);
 
   void on_action(const World& world, const ActionRecord& rec) override;
+  void on_inject(const World& world, ProcessId to, const Message& m) override;
+  void on_remove(const World& world, ProcessId from,
+                 const Message& m) override;
 
   [[nodiscard]] bool ok() const { return increases_.empty(); }
   /// (step, before, after) triples where Φ increased.
@@ -63,17 +90,36 @@ class PotentialMonitor final : public Observer {
   }
   [[nodiscard]] std::uint64_t initial_phi() const { return initial_; }
   [[nodiscard]] std::uint64_t last_phi() const { return last_; }
+  /// The incrementally maintained Φ of the current state (last_phi() is
+  /// the value at the last stride sample; this is live).
+  [[nodiscard]] std::uint64_t current_phi() const {
+    return static_cast<std::uint64_t>(phi_);
+  }
   /// Sampled (step, phi) series for decay plots.
   [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
   series() const {
     return series_;
   }
 
+  /// Cross-check the maintained Φ against a full recompute every `every`
+  /// actions (0 disables). Defaults to every 1024 actions in debug builds
+  /// and off in NDEBUG builds; a mismatch is an FDP_CHECK failure (the
+  /// incremental accounting itself would be broken — continuing would
+  /// produce wrong science).
+  void set_crosscheck_every(std::uint64_t every) { crosscheck_every_ = every; }
+
  private:
+  void apply_action_delta(const World& world, const ActionRecord& rec);
+
   std::uint64_t stride_;
   std::uint64_t since_ = 0;
   std::uint64_t initial_ = 0;
   std::uint64_t last_ = 0;
+  /// Maintained Φ; signed so a buggy negative excursion trips a check
+  /// instead of wrapping.
+  std::int64_t phi_ = 0;
+  std::uint64_t crosscheck_every_;
+  std::uint64_t since_crosscheck_ = 0;
   std::vector<Increase> increases_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> series_;
 };

@@ -119,7 +119,7 @@ void SortedListDeparture::on_message(Context& ctx, const Message& m) {
 }
 
 void SortedListDeparture::collect_refs(std::vector<RefInfo>& out) const {
-  for (const RefInfo& r : nbrs_.snapshot()) out.push_back(r);
+  nbrs_.append_to(out);
 }
 
 }  // namespace fdp

@@ -163,7 +163,7 @@ void DepartureProcess::on_message(Context& ctx, const Message& m) {
 }
 
 void DepartureProcess::collect_refs(std::vector<RefInfo>& out) const {
-  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
+  n_.append_to(out);
   if (anchor_) out.push_back(*anchor_);
 }
 

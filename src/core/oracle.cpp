@@ -8,17 +8,14 @@
 
 namespace fdp {
 
-OracleFn make_single_oracle() {
-  return [](const World& w, ProcessId p) {
-    const Snapshot s = take_snapshot(w);
-    return s.incident_relevant(p) <= 1;
-  };
-}
+OracleFn make_single_oracle() { return make_incident_oracle(1); }
 
 OracleFn make_nidec_oracle() {
   return [](const World& w, ProcessId p) {
-    const Snapshot s = take_snapshot(w);
-    return !s.referenced_anywhere(p) && w.channel(p).empty();
+    // World::referenced_by_other is the maintained-index form of
+    // Snapshot::referenced_anywhere: any non-gone q != p holding an
+    // instance of p. O(holders of p) instead of an O(n + m) scan.
+    return !w.referenced_by_other(p) && w.channel(p).empty();
   };
 }
 
@@ -43,6 +40,10 @@ OracleFn make_quiet_oracle(std::uint32_t consecutive_calls) {
 
 OracleFn make_incident_oracle(std::size_t k) {
   return [k](const World& w, ProcessId p) {
+    // Hibernation needs a quiet process (asleep with an empty channel).
+    // With none, "relevant" degenerates to "non-gone" and the maintained
+    // edge index answers in O(degree) instead of an O(n + m) snapshot.
+    if (w.quiet_count() == 0) return w.incident_nongone(p) <= k;
     const Snapshot s = take_snapshot(w);
     return s.incident_relevant(p) <= k;
   };

@@ -26,4 +26,18 @@ PotentialBreakdown potential(const Snapshot& s) {
 
 std::uint64_t phi(const World& w) { return potential(take_snapshot(w)).phi(); }
 
+bool counts_invalid(const World& w, const RefInfo& r) {
+  const ProcessId target = r.ref.id();
+  if (target >= w.size()) return false;
+  if (r.mode == ModeInfo::Unknown) return false;
+  return !matches(r.mode, w.mode(target));
+}
+
+std::uint64_t invalid_count(const World& w, const std::vector<RefInfo>& refs) {
+  std::uint64_t n = 0;
+  for (const RefInfo& r : refs)
+    if (counts_invalid(w, r)) ++n;
+  return n;
+}
+
 }  // namespace fdp

@@ -40,4 +40,15 @@ struct PotentialBreakdown {
 class World;
 [[nodiscard]] std::uint64_t phi(const World& w);
 
+/// Whether one reference instance counts toward Φ: in-system target,
+/// verified (non-Unknown) knowledge, and that knowledge contradicts the
+/// target's true mode. True modes are immutable, so an instance's verdict
+/// never changes over a run — which is what makes Φ maintainable from
+/// per-action deltas (see PotentialMonitor).
+[[nodiscard]] bool counts_invalid(const World& w, const RefInfo& r);
+
+/// Number of Φ-counting instances in one reference list. O(|refs|).
+[[nodiscard]] std::uint64_t invalid_count(const World& w,
+                                          const std::vector<RefInfo>& refs);
+
 }  // namespace fdp

@@ -6,30 +6,53 @@
 
 namespace fdp {
 
+void Channel::push(Message m) {
+  const bool fresh = slot_.emplace(m.seq, msgs_.size()).second;
+  FDP_CHECK_MSG(fresh, "duplicate sequence number pushed into channel");
+  if (heap_synced_) min_seq_.push(m.seq);
+  msgs_.push_back(std::move(m));
+}
+
 Message Channel::take(std::size_t i) {
   FDP_CHECK(i < msgs_.size());
   Message m = std::move(msgs_[i]);
-  msgs_[i] = std::move(msgs_.back());
+  slot_.erase(m.seq);
+  if (i != msgs_.size() - 1) {
+    msgs_[i] = std::move(msgs_.back());
+    slot_[msgs_[i].seq] = i;
+  }
   msgs_.pop_back();
+  // m.seq's heap entry (if any) goes stale; oldest_index() discards it
+  // lazily.
   return m;
 }
 
 std::size_t Channel::oldest_index() const {
-  std::size_t best = msgs_.size();
-  std::uint64_t best_seq = ~0ULL;
-  for (std::size_t i = 0; i < msgs_.size(); ++i) {
-    if (msgs_[i].seq < best_seq) {
-      best_seq = msgs_[i].seq;
-      best = i;
-    }
+  if (!heap_synced_) {
+    // First oldest-message query on this channel: build the heap from the
+    // live message set. O(m) once; maintained incrementally afterwards.
+    min_seq_ = {};
+    for (const Message& m : msgs_) min_seq_.push(m.seq);
+    heap_synced_ = true;
   }
-  return best;
+  while (!min_seq_.empty()) {
+    const auto it = slot_.find(min_seq_.top());
+    if (it != slot_.end()) return it->second;
+    min_seq_.pop();  // stale: that message was taken
+  }
+  return msgs_.size();
 }
 
 std::size_t Channel::index_of_seq(std::uint64_t seq) const {
-  for (std::size_t i = 0; i < msgs_.size(); ++i)
-    if (msgs_[i].seq == seq) return i;
-  return msgs_.size();
+  const auto it = slot_.find(seq);
+  return it != slot_.end() ? it->second : msgs_.size();
+}
+
+void Channel::clear() {
+  msgs_.clear();
+  slot_.clear();
+  min_seq_ = {};
+  heap_synced_ = false;
 }
 
 }  // namespace fdp

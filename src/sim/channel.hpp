@@ -5,9 +5,23 @@
 // in arrival order but let the scheduler remove any element, which yields
 // exactly the paper's semantics: the order of the backing vector carries no
 // meaning beyond supporting age-based fair-receipt scheduling.
+//
+// Alongside the backing vector the channel maintains two indices so that
+// the kernel's hot-path queries never scan the message set:
+//  * a seq -> slot hash, making index_of_seq/contains O(1) expected, and
+//  * a lazily-compacted min-heap of sequence numbers, making oldest_index
+//    O(log m) amortized (each pushed seq is popped at most once; stale
+//    heads — seqs already taken — are discarded on query). The heap is
+//    itself built lazily, on the first oldest_index() call: channels whose
+//    oldest message is never queried carry no heap at all.
+// Sequence numbers must be unique within a channel (the kernel's are
+// globally unique); push() checks this.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -16,7 +30,7 @@ namespace fdp {
 
 class Channel {
  public:
-  void push(Message m) { msgs_.push_back(std::move(m)); }
+  void push(Message m);
 
   [[nodiscard]] bool empty() const { return msgs_.empty(); }
   [[nodiscard]] std::size_t size() const { return msgs_.size(); }
@@ -34,10 +48,24 @@ class Channel {
   /// Find a message by its kernel sequence number; size() if absent.
   [[nodiscard]] std::size_t index_of_seq(std::uint64_t seq) const;
 
-  void clear() { msgs_.clear(); }
+  /// Whether a message with this sequence number is present.
+  [[nodiscard]] bool contains(std::uint64_t seq) const {
+    return slot_.find(seq) != slot_.end();
+  }
+
+  void clear();
 
  private:
   std::vector<Message> msgs_;
+  /// seq -> index into msgs_.
+  std::unordered_map<std::uint64_t, std::size_t> slot_;
+  /// Min-heap of seqs, compacted lazily in oldest_index(). Built on the
+  /// first oldest_index() call and maintained from then on; channels that
+  /// are never asked for their oldest message pay nothing on push().
+  mutable std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                              std::greater<>>
+      min_seq_;
+  mutable bool heap_synced_ = false;
 };
 
 }  // namespace fdp

@@ -1,44 +1,82 @@
 #include "sim/neighbor_set.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace fdp {
 
+namespace {
+
+struct RefLess {
+  bool operator()(const std::pair<Ref, NeighborSet::Entry>& e, Ref r) const {
+    return e.first < r;
+  }
+};
+
+}  // namespace
+
+const std::pair<Ref, NeighborSet::Entry>* NeighborSet::find(Ref r) const {
+  const auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), r, RefLess{});
+  if (it == entries_.end() || !(it->first == r)) return nullptr;
+  return &*it;
+}
+
+std::pair<Ref, NeighborSet::Entry>* NeighborSet::find(Ref r) {
+  return const_cast<std::pair<Ref, Entry>*>(
+      static_cast<const NeighborSet*>(this)->find(r));
+}
+
 NeighborSet::InsertResult NeighborSet::insert(const RefInfo& info) {
   FDP_CHECK(info.ref.valid());
   if (info.ref == owner_) return InsertResult::SelfDrop;
-  auto [it, added] = entries_.insert_or_assign(
-      info.ref, Entry{info.mode, info.key});
-  (void)it;
-  return added ? InsertResult::Added : InsertResult::Fused;
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                                   info.ref, RefLess{});
+  if (it != entries_.end() && it->first == info.ref) {
+    it->second = Entry{info.mode, info.key};
+    return InsertResult::Fused;
+  }
+  entries_.insert(it, {info.ref, Entry{info.mode, info.key}});
+  return InsertResult::Added;
 }
 
-bool NeighborSet::erase(Ref r) { return entries_.erase(r) > 0; }
+bool NeighborSet::erase(Ref r) {
+  const auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), r, RefLess{});
+  if (it == entries_.end() || !(it->first == r)) return false;
+  entries_.erase(it);
+  return true;
+}
 
 ModeInfo NeighborSet::mode_of(Ref r) const {
-  auto it = entries_.find(r);
-  FDP_CHECK_MSG(it != entries_.end(), "mode_of on absent neighbor");
-  return it->second.mode;
+  const auto* e = find(r);
+  FDP_CHECK_MSG(e != nullptr, "mode_of on absent neighbor");
+  return e->second.mode;
 }
 
 std::uint64_t NeighborSet::key_of(Ref r) const {
-  auto it = entries_.find(r);
-  FDP_CHECK_MSG(it != entries_.end(), "key_of on absent neighbor");
-  return it->second.key;
+  const auto* e = find(r);
+  FDP_CHECK_MSG(e != nullptr, "key_of on absent neighbor");
+  return e->second.key;
 }
 
 void NeighborSet::set_mode(Ref r, ModeInfo m) {
-  auto it = entries_.find(r);
-  FDP_CHECK_MSG(it != entries_.end(), "set_mode on absent neighbor");
-  it->second.mode = m;
+  auto* e = find(r);
+  FDP_CHECK_MSG(e != nullptr, "set_mode on absent neighbor");
+  e->second.mode = m;
 }
 
 std::vector<RefInfo> NeighborSet::snapshot() const {
   std::vector<RefInfo> out;
   out.reserve(entries_.size());
+  append_to(out);
+  return out;
+}
+
+void NeighborSet::append_to(std::vector<RefInfo>& out) const {
   for (const auto& [ref, e] : entries_)
     out.push_back(RefInfo{ref, e.mode, e.key});
-  return out;
 }
 
 }  // namespace fdp

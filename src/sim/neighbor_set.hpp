@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/ids.hpp"
@@ -39,7 +39,7 @@ class NeighborSet {
   /// Remove the reference; returns true when it was present.
   bool erase(Ref r);
 
-  [[nodiscard]] bool contains(Ref r) const { return entries_.count(r) > 0; }
+  [[nodiscard]] bool contains(Ref r) const { return find(r) != nullptr; }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
@@ -52,14 +52,24 @@ class NeighborSet {
 
   /// Snapshot as RefInfo list (deterministic order: by reference id).
   [[nodiscard]] std::vector<RefInfo> snapshot() const;
+  /// Append the snapshot to `out` without allocating a temporary (same
+  /// order) — the kernel's per-step collect_refs path.
+  void append_to(std::vector<RefInfo>& out) const;
 
   void clear() { entries_.clear(); }
 
   [[nodiscard]] Ref owner() const { return owner_; }
 
  private:
+  // Flat vector sorted by Ref id: neighborhoods are small, so binary
+  // search + shifting beats a node-based map, and iteration is one cache
+  // line instead of a pointer chase per neighbor. Order (and thus every
+  // snapshot) is identical to the std::map this replaced.
+  [[nodiscard]] const std::pair<Ref, Entry>* find(Ref r) const;
+  [[nodiscard]] std::pair<Ref, Entry>* find(Ref r);
+
   Ref owner_;
-  std::map<Ref, Entry> entries_;
+  std::vector<std::pair<Ref, Entry>> entries_;
 };
 
 }  // namespace fdp

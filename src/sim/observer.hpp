@@ -43,6 +43,27 @@ class Observer {
   virtual ~Observer() = default;
   /// Called after the action's effects (sends, exit/sleep) are applied.
   virtual void on_action(const World& world, const ActionRecord& rec) = 0;
+
+  /// A message entered `to`'s channel OUTSIDE any action: World::post
+  /// (scenario construction) or adversarial duplication (ChaosScheduler).
+  /// Fired after the message is enqueued. Incremental monitors need these
+  /// events — such mutations change the process graph and Φ without any
+  /// ActionRecord being emitted.
+  virtual void on_inject(const World& world, ProcessId to, const Message& m) {
+    (void)world;
+    (void)to;
+    (void)m;
+  }
+
+  /// A message left `from`'s channel without being delivered (fault
+  /// injection via discard_message, or clear_channel). Fired after
+  /// removal.
+  virtual void on_remove(const World& world, ProcessId from,
+                         const Message& m) {
+    (void)world;
+    (void)from;
+    (void)m;
+  }
 };
 
 }  // namespace fdp

@@ -8,25 +8,32 @@ namespace fdp {
 
 namespace {
 
-/// Pick the i-th live message (uniform index over all live messages).
-ActionChoice pick_uniform_message(const World& w, std::uint64_t index) {
-  for (ProcessId p = 0; p < w.size(); ++p) {
-    if (w.gone(p)) continue;
-    const Channel& ch = w.channel(p);
-    if (index < ch.size()) return ActionChoice::deliver(p, ch.peek(static_cast<std::size_t>(index)).seq);
-    index -= ch.size();
+/// Round-robin successor search over a stable id space: the first
+/// position >= cursor (mod n) accepted by `next_at` (a wrapped index
+/// query), advancing the monotone cursor exactly as the old linear probe
+/// did — by (offset of the hit) + 1 on success, by n on failure.
+template <typename NextAt>
+ProcessId rr_advance(std::uint64_t& cursor, std::uint64_t n, NextAt next_at) {
+  const ProcessId start = static_cast<ProcessId>(cursor % n);
+  ProcessId p = next_at(start);
+  if (p == kNoProcess && start != 0) p = next_at(0);  // wrap around
+  if (p == kNoProcess) {
+    cursor += n;  // probed everyone, found nothing
+    return kNoProcess;
   }
-  return ActionChoice::none();
+  const std::uint64_t offset = p >= start ? p - start : n - start + p;
+  cursor += offset + 1;
+  return p;
 }
 
 }  // namespace
 
 ActionChoice RandomScheduler::next(const World& world, Rng& rng) {
   const std::uint64_t msgs = world.live_message_count();
-  std::vector<ProcessId> awake = world.awake_ids();
+  const std::uint64_t awake = world.awake_count();
 
   const bool can_deliver = msgs > 0;
-  const bool can_timeout = !awake.empty();
+  const bool can_timeout = awake > 0;
   if (!can_deliver && !can_timeout) return ActionChoice::none();
 
   bool deliver;
@@ -34,8 +41,7 @@ ActionChoice RandomScheduler::next(const World& world, Rng& rng) {
     if (p_deliver_ < 0.0) {
       // Uniform over enabled actions: each message and each awake
       // process's timeout is one candidate.
-      const std::uint64_t total = msgs + awake.size();
-      deliver = rng.below(total) < msgs;
+      deliver = rng.below(msgs + awake) < msgs;
     } else {
       deliver = rng.chance(p_deliver_);
     }
@@ -48,9 +54,10 @@ ActionChoice RandomScheduler::next(const World& world, Rng& rng) {
       auto [proc, seq] = world.oldest_live_message();
       return ActionChoice::deliver(proc, seq);
     }
-    return pick_uniform_message(world, rng.below(msgs));
+    auto [proc, seq] = world.kth_live_message(rng.below(msgs));
+    return ActionChoice::deliver(proc, seq);
   }
-  return ActionChoice::timeout(rng.pick(awake));
+  return ActionChoice::timeout(world.kth_awake(rng.below(awake)));
 }
 
 ActionChoice RoundRobinScheduler::next(const World& world, Rng& rng) {
@@ -61,24 +68,19 @@ ActionChoice RoundRobinScheduler::next(const World& world, Rng& rng) {
   const bool timeout_turn = tick_ % timeout_share_ == 0;
 
   auto try_deliver = [&]() -> ActionChoice {
-    for (std::uint64_t tried = 0; tried < n; ++tried) {
-      const ProcessId p =
-          static_cast<ProcessId>(deliver_cursor_++ % n);
-      if (!world.gone(p) && !world.channel(p).empty()) {
-        const std::size_t idx = world.channel(p).oldest_index();
-        return ActionChoice::deliver(p, world.channel(p).peek(idx).seq);
-      }
-    }
-    return ActionChoice::none();
+    const ProcessId p = rr_advance(
+        deliver_cursor_, n,
+        [&](ProcessId from) { return world.next_deliverable(from); });
+    if (p == kNoProcess) return ActionChoice::none();
+    const std::size_t idx = world.channel(p).oldest_index();
+    return ActionChoice::deliver(p, world.channel(p).peek(idx).seq);
   };
   auto try_timeout = [&]() -> ActionChoice {
-    for (std::uint64_t tried = 0; tried < n; ++tried) {
-      const ProcessId p =
-          static_cast<ProcessId>(timeout_cursor_++ % n);
-      if (world.life(p) == LifeState::Awake)
-        return ActionChoice::timeout(p);
-    }
-    return ActionChoice::none();
+    const ProcessId p = rr_advance(
+        timeout_cursor_, n,
+        [&](ProcessId from) { return world.next_awake(from); });
+    if (p == kNoProcess) return ActionChoice::none();
+    return ActionChoice::timeout(p);
   };
 
   ActionChoice c = timeout_turn ? try_timeout() : try_deliver();
@@ -91,7 +93,8 @@ void RoundScheduler::refill(const World& world, Rng& rng) {
   // One asynchronous round: deliver every message currently enqueued (in
   // random order), then run every currently-awake process's timeout (in
   // random order). Items that become disabled mid-round are skipped at
-  // execution time in next().
+  // execution time in next(). Building the plan is O(n + m), paid once
+  // per round, so the amortized per-step cost stays constant.
   std::vector<ActionChoice> items;
   for (ProcessId p = 0; p < world.size(); ++p) {
     if (world.gone(p)) continue;
@@ -114,9 +117,9 @@ ActionChoice RoundScheduler::next(const World& world, Rng& rng) {
       plan_.pop_front();
       if (c.kind == ActionChoice::Kind::Deliver) {
         if (world.gone(c.proc)) continue;
-        if (world.channel(c.proc).index_of_seq(c.msg_seq) >=
-            world.channel(c.proc).size())
-          continue;  // message already taken (cannot happen) or proc exited
+        if (!world.channel(c.proc).contains(c.msg_seq))
+          continue;  // dropped out from under the plan by ChaosScheduler /
+                     // discard_message, or the receiver exited mid-round
         return c;
       }
       if (world.life(c.proc) != LifeState::Awake) continue;
@@ -129,43 +132,63 @@ ActionChoice RoundScheduler::next(const World& world, Rng& rng) {
   return ActionChoice::none();
 }
 
+void AdversarialScheduler::sync(const World& world) {
+  // Ingest every sequence number assigned since the last call. Each seq is
+  // visited exactly once over the scheduler's lifetime, so this is O(1)
+  // amortized per sent message. Seqs already consumed (or in a gone
+  // process's channel) are simply absent from the live index and skipped.
+  const std::uint64_t watermark = world.seq_watermark();
+  for (std::uint64_t seq = synced_seq_; seq < watermark; ++seq) {
+    const ProcessId p = world.find_live_message(seq);
+    if (p == kNoProcess) continue;
+    const Channel& ch = world.channel(p);
+    pending_.push_back(
+        Pending{seq, p, ch.peek(ch.index_of_seq(seq)).enqueued_at});
+  }
+  synced_seq_ = watermark;
+  // Graduate messages whose age gate opened. Seq order implies enqueue
+  // order, so pending_ is age-sorted and the front is always the next to
+  // graduate.
+  while (!pending_.empty() &&
+         world.steps() >= pending_.front().enqueued_at + min_age_) {
+    aged_.emplace(pending_.front().seq, pending_.front().proc);
+    pending_.pop_front();
+  }
+}
+
 ActionChoice AdversarialScheduler::next(const World& world, Rng& rng) {
   (void)rng;
   // Deliver newest-first, but only messages older than min_age_ steps; mix
   // in timeouts round-robin so weak fairness holds. If only young messages
   // remain and someone is awake, prefer the timeout (maximizes delay).
-  ProcessId best_proc = kNoProcess;
-  std::uint64_t best_seq = 0;
-  bool have_old = false;
-  bool have_any = false;
-  for (ProcessId p = 0; p < world.size(); ++p) {
-    if (world.gone(p)) continue;
-    for (const Message& m : world.channel(p).messages()) {
-      have_any = true;
-      const bool aged = world.steps() >= m.enqueued_at + min_age_;
-      if (aged && (!have_old || m.seq > best_seq)) {
-        have_old = true;
-        best_seq = m.seq;
-        best_proc = p;
-      }
-    }
-  }
+  sync(world);
+  while (!aged_.empty() &&
+         world.find_live_message(aged_.top().first) != aged_.top().second)
+    aged_.pop();  // consumed, dropped, or receiver exited
 
-  const std::vector<ProcessId> awake = world.awake_ids();
+  const bool have_old = !aged_.empty();
+  const bool have_any = world.live_message_count() > 0;
+  const std::uint64_t awake = world.awake_count();
   const bool want_timeout = burst_used_ >= deliver_burst_;
 
-  if (have_old && (!want_timeout || awake.empty())) {
+  if (have_old && (!want_timeout || awake == 0)) {
     ++burst_used_;
-    return ActionChoice::deliver(best_proc, best_seq);
+    return ActionChoice::deliver(aged_.top().second, aged_.top().first);
   }
-  if (!awake.empty()) {
+  if (awake > 0) {
     burst_used_ = 0;
-    const ProcessId p = awake[timeout_cursor_++ % awake.size()];
+    // Round-robin over the stable ProcessId space. (Indexing a freshly
+    // built awake vector with a free-running cursor — as this scheduler
+    // once did — lets a process slip ahead of the cursor every time the
+    // vector's contents shift, which can starve it indefinitely.)
+    const ProcessId p = rr_advance(
+        timeout_cursor_, world.size(),
+        [&](ProcessId from) { return world.next_awake(from); });
     return ActionChoice::timeout(p);
   }
   if (have_old) {
     ++burst_used_;
-    return ActionChoice::deliver(best_proc, best_seq);
+    return ActionChoice::deliver(aged_.top().second, aged_.top().first);
   }
   if (have_any) {
     // Only young messages and nobody awake: the age gate must yield or the

@@ -19,10 +19,19 @@
 //  - AdversarialScheduler: withholds every message for a configurable
 //    number of steps and then delivers newest-first, maximizing reordering
 //    while still satisfying fair receipt.
+//
+// All schedulers run against the World's maintained indices (world.hpp):
+// no scheduler allocates or scans per step, so choosing an action costs
+// O(log n) regardless of population or backlog size. The random and
+// round-robin samplers enumerate candidates in exactly the ascending-id /
+// channel-slot order the previous O(n) scans used, which keeps seeded
+// traces byte-identical across the index rewrite.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/ids.hpp"
@@ -107,6 +116,14 @@ class RoundScheduler final : public Scheduler {
 };
 
 /// Maximal-delay newest-first delivery within fair receipt.
+///
+/// Instead of rescanning every channel per step, the scheduler ingests
+/// messages from the kernel's live-message index through a sequence-number
+/// cursor (seq assignment order has non-decreasing enqueue step, so the
+/// pending queue is age-sorted for free), graduates them into a max-seq
+/// heap once the age gate opens, and validates heap tops lazily against
+/// the index — consumed or dropped messages simply fall out. O(log m)
+/// amortized per choice.
 class AdversarialScheduler final : public Scheduler {
  public:
   /// `min_age`: a message is withheld until it has aged this many world
@@ -118,10 +135,28 @@ class AdversarialScheduler final : public Scheduler {
   ActionChoice next(const World& world, Rng& rng) override;
 
  private:
+  struct Pending {
+    std::uint64_t seq;
+    ProcessId proc;
+    std::uint64_t enqueued_at;
+  };
+
+  /// Ingest messages assigned since the last call; graduate aged ones.
+  void sync(const World& world);
+
   std::uint64_t min_age_;
   unsigned deliver_burst_;
   unsigned burst_used_ = 0;
+  /// Round-robin cursor over the STABLE ProcessId space (not over a
+  /// freshly built awake vector, whose contents shift as processes
+  /// sleep/wake and could starve a process under weak fairness).
   std::uint64_t timeout_cursor_ = 0;
+  /// All seqs < synced_seq_ have been ingested.
+  std::uint64_t synced_seq_ = 1;
+  /// Ingested but not yet aged, in enqueue (== age) order.
+  std::deque<Pending> pending_;
+  /// Aged candidates, newest (max seq) first; validated lazily.
+  std::priority_queue<std::pair<std::uint64_t, ProcessId>> aged_;
 };
 
 }  // namespace fdp

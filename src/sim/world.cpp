@@ -6,32 +6,213 @@ namespace fdp {
 
 World::World(std::uint64_t seed) : rng_(seed) {}
 
-void World::post(Ref to, Message m) {
-  FDP_CHECK(to.valid() && to.id() < size());
+const Message& World::admit(ProcessId to, Message&& m) {
   m.seq = next_seq_++;
   m.enqueued_at = steps_;
-  channels_[to.id()].push(std::move(m));
+  const LifeState to_life = life_mirror_[to];
+  const bool live = to_life != LifeState::Gone;
+  if (live) {
+    live_seq_.emplace(m.seq, to);
+    live_fw_.add(to, 1);
+    oldest_heap_.emplace(m.seq, to);
+  }
+  if (to_life == LifeState::Asleep && channels_[to].empty())
+    --quiet_count_;  // no longer quiet: something to wake up for
+  channels_[to].push(std::move(m));
+  const Message& admitted = channels_[to].messages().back();
+  if (live && edges_synced_) add_message_refs(to, admitted);
+  return admitted;
+}
+
+Message World::take_message(ProcessId p, std::size_t idx) {
+  Message m = channels_[p].take(idx);
+  // Registered iff the holder was live; its oldest_heap_ entry goes stale
+  // and is discarded lazily.
+  if (live_seq_.erase(m.seq) > 0) {
+    live_fw_.add(p, -1);
+    if (edges_synced_) remove_message_refs(p, m);
+  }
+  if (life_mirror_[p] == LifeState::Asleep && channels_[p].empty())
+    ++quiet_count_;
+  return m;
+}
+
+void World::set_life(ProcessId p, LifeState to) {
+  Process& proc = *procs_[p];
+  const LifeState from = proc.life_;
+  if (from == to) return;
+  if (from == LifeState::Asleep && channels_[p].empty()) --quiet_count_;
+  proc.life_ = to;
+  life_mirror_[p] = to;
+  if (to == LifeState::Asleep && channels_[p].empty()) ++quiet_count_;
+  awake_fw_.set(p, to == LifeState::Awake ? 1 : 0);
+  if (to == LifeState::Gone) {
+    // The channel's messages are dead: they can never be delivered, and
+    // none of p's reference instances can ever propagate again.
+    for (const Message& m : channels_[p].messages()) live_seq_.erase(m.seq);
+    live_fw_.set(p, 0);
+    if (edges_synced_) deregister_process_edges(p);
+  } else if (from == LifeState::Gone) {
+    // Resurrection (model-checker state reconstruction): the channel's
+    // messages — and every instance p holds — become live again.
+    for (const Message& m : channels_[p].messages()) {
+      live_seq_.emplace(m.seq, p);
+      oldest_heap_.emplace(m.seq, p);
+    }
+    live_fw_.set(p, channels_[p].size());
+    if (edges_synced_) register_process_edges(p);
+  }
+}
+
+namespace {
+
+void counts_add(World::EdgeCounts& v, ProcessId peer) {
+  for (auto& [q, cnt] : v) {
+    if (q == peer) {
+      ++cnt;
+      return;
+    }
+  }
+  v.emplace_back(peer, 1);
+}
+
+void counts_remove(World::EdgeCounts& v, ProcessId peer) {
+  for (auto& e : v) {
+    if (e.first == peer) {
+      if (--e.second == 0) {
+        e = v.back();
+        v.pop_back();
+      }
+      return;
+    }
+  }
+  FDP_DCHECK(false);
+}
+
+}  // namespace
+
+void World::add_edge_instance(ProcessId holder, ProcessId target) const {
+  if (target >= size()) return;  // out-of-system reference: no edge
+  counts_add(ref_out_[holder], target);
+  counts_add(ref_in_[target], holder);
+}
+
+void World::remove_edge_instance(ProcessId holder, ProcessId target) const {
+  if (target >= size()) return;
+  counts_remove(ref_out_[holder], target);
+  counts_remove(ref_in_[target], holder);
+}
+
+void World::add_message_refs(ProcessId holder, const Message& m) const {
+  for (const RefInfo& r : m.refs) add_edge_instance(holder, r.ref.id());
+}
+
+void World::remove_message_refs(ProcessId holder, const Message& m) const {
+  for (const RefInfo& r : m.refs) remove_edge_instance(holder, r.ref.id());
+}
+
+void World::register_process_edges(ProcessId p) const {
+  for (const RefInfo& r : ref_list_[p]) add_edge_instance(p, r.ref.id());
+  for (const Message& m : channels_[p].messages()) add_message_refs(p, m);
+}
+
+void World::deregister_process_edges(ProcessId p) const {
+  for (const RefInfo& r : ref_list_[p]) remove_edge_instance(p, r.ref.id());
+  for (const Message& m : channels_[p].messages()) remove_message_refs(p, m);
+}
+
+void World::ensure_edge_index() const {
+  if (edges_synced_) return;
+  ref_out_.assign(size(), {});
+  ref_in_.assign(size(), {});
+  for (ProcessId p = 0; p < size(); ++p) {
+    // Refresh the stored-ref cache for everyone — including gone
+    // processes, whose refs can no longer change but must be re-added
+    // verbatim if the model checker resurrects them.
+    ref_list_[p].clear();
+    procs_[p]->collect_refs(ref_list_[p]);
+    if (life_mirror_[p] != LifeState::Gone) register_process_edges(p);
+  }
+  edges_synced_ = true;
+}
+
+std::size_t World::incident_nongone(ProcessId p) const {
+  FDP_CHECK(p < size());
+  if (gone(p)) return 0;
+  ensure_edge_index();
+  const EdgeCounts& out = ref_out_[p];
+  std::size_t count = 0;
+  for (const auto& [q, cnt] : out) {
+    (void)cnt;
+    if (q != p && !gone(q)) ++count;
+  }
+  for (const auto& [q, cnt] : ref_in_[p]) {
+    (void)cnt;
+    if (q == p || gone(q)) continue;
+    bool also_out = false;
+    for (const auto& [t, c] : out) {
+      (void)c;
+      if (t == q) {
+        also_out = true;
+        break;
+      }
+    }
+    if (!also_out) ++count;
+  }
+  return count;
+}
+
+bool World::referenced_by_other(ProcessId p) const {
+  FDP_CHECK(p < size());
+  ensure_edge_index();
+  for (const auto& [q, cnt] : ref_in_[p]) {
+    (void)cnt;
+    if (q != p && !gone(q)) return true;
+  }
+  return false;
+}
+
+void World::notify_inject(ProcessId to, const Message& m) {
+  for (Observer* obs : observers_) obs->on_inject(*this, to, m);
+}
+
+void World::notify_remove(ProcessId from, const Message& m) {
+  for (Observer* obs : observers_) obs->on_remove(*this, from, m);
+}
+
+void World::post(Ref to, Message m) {
+  FDP_CHECK(to.valid() && to.id() < size());
+  const Message& admitted = admit(to.id(), std::move(m));
+  if (!observers_.empty()) notify_inject(to.id(), admitted);
 }
 
 bool World::discard_message(ProcessId id, std::uint64_t seq) {
   FDP_CHECK(id < size());
-  Channel& ch = channels_[id];
-  const std::size_t idx = ch.index_of_seq(seq);
-  if (idx >= ch.size()) return false;
-  (void)ch.take(idx);
+  const std::size_t idx = channels_[id].index_of_seq(seq);
+  if (idx >= channels_[id].size()) return false;
+  const Message taken = take_message(id, idx);
+  if (!observers_.empty()) notify_remove(id, taken);
   return true;
 }
 
 bool World::duplicate_message(ProcessId id, std::uint64_t seq) {
   FDP_CHECK(id < size());
-  Channel& ch = channels_[id];
+  const Channel& ch = channels_[id];
   const std::size_t idx = ch.index_of_seq(seq);
   if (idx >= ch.size()) return false;
   Message copy = ch.peek(idx);
-  copy.seq = next_seq_++;
-  copy.enqueued_at = steps_;
-  ch.push(std::move(copy));
+  const Message& admitted = admit(id, std::move(copy));
+  if (!observers_.empty()) notify_inject(id, admitted);
   return true;
+}
+
+void World::clear_channel(ProcessId id) {
+  FDP_CHECK(id < channels_.size());
+  Channel& ch = channels_[id];
+  while (!ch.empty()) {
+    const Message taken = take_message(id, ch.size() - 1);
+    if (!observers_.empty()) notify_remove(id, taken);
+  }
 }
 
 bool World::oracle_value(ProcessId id) const {
@@ -46,39 +227,27 @@ void World::remove_observer(Observer* obs) {
 
 std::vector<ProcessId> World::awake_ids() const {
   std::vector<ProcessId> out;
+  out.reserve(static_cast<std::size_t>(awake_fw_.total()));
   for (ProcessId i = 0; i < procs_.size(); ++i)
-    if (procs_[i]->life() == LifeState::Awake) out.push_back(i);
+    if (life_mirror_[i] == LifeState::Awake) out.push_back(i);
   return out;
 }
 
 std::vector<ProcessId> World::deliverable_ids() const {
   std::vector<ProcessId> out;
   for (ProcessId i = 0; i < procs_.size(); ++i)
-    if (procs_[i]->life() != LifeState::Gone && !channels_[i].empty())
-      out.push_back(i);
+    if (live_fw_.weight(i) > 0) out.push_back(i);
   return out;
 }
 
-std::uint64_t World::live_message_count() const {
-  std::uint64_t n = 0;
-  for (ProcessId i = 0; i < procs_.size(); ++i)
-    if (procs_[i]->life() != LifeState::Gone) n += channels_[i].size();
-  return n;
-}
-
 std::pair<ProcessId, std::uint64_t> World::oldest_live_message() const {
-  ProcessId best_proc = kNoProcess;
-  std::uint64_t best_seq = ~0ULL;
-  for (ProcessId i = 0; i < procs_.size(); ++i) {
-    if (procs_[i]->life() == LifeState::Gone) continue;
-    for (const Message& m : channels_[i].messages()) {
-      if (m.seq < best_seq) {
-        best_seq = m.seq;
-        best_proc = i;
-      }
-    }
+  while (!oldest_heap_.empty()) {
+    const auto [seq, p] = oldest_heap_.top();
+    const auto it = live_seq_.find(seq);
+    if (it != live_seq_.end() && it->second == p) return {p, seq};
+    oldest_heap_.pop();  // stale: consumed, dropped, or holder gone
   }
-  return {best_proc, best_seq};
+  return {kNoProcess, ~0ULL};
 }
 
 bool World::step(Scheduler& sched) {
@@ -106,7 +275,12 @@ void World::execute(ActionChoice choice) {
   if (want_record) {
     rec.actor = choice.proc;
     rec.step = steps_;
-    p.collect_refs(rec.refs_before);
+    // While the edge index is synced, ref_list_ already holds the actor's
+    // current refs — no pre-action collect_refs needed.
+    if (edges_synced_)
+      rec.refs_before = ref_list_[choice.proc];
+    else
+      p.collect_refs(rec.refs_before);
   }
 
   Context ctx(this, p.self(), steps_, &rng_);
@@ -120,16 +294,16 @@ void World::execute(ActionChoice choice) {
   } else {
     FDP_CHECK_MSG(p.life() != LifeState::Gone,
                   "delivery scheduled for gone process");
-    Channel& ch = channels_[choice.proc];
-    const std::size_t idx = ch.index_of_seq(choice.msg_seq);
-    FDP_CHECK_MSG(idx < ch.size(), "scheduled message vanished");
-    Message m = ch.take(idx);
+    const std::size_t idx = channels_[choice.proc].index_of_seq(choice.msg_seq);
+    FDP_CHECK_MSG(idx < channels_[choice.proc].size(),
+                  "scheduled message vanished");
+    Message m = take_message(choice.proc, idx);
     ++deliveries_;
     const bool woke = p.life() == LifeState::Asleep;
     if (woke) {
       // Paper: "p becomes awake again as soon as the corresponding message
       // is processed" — the wake precedes the action body.
-      p.life_ = LifeState::Awake;
+      set_life(choice.proc, LifeState::Awake);
       ++wakes_;
     }
     if (want_record) {
@@ -144,30 +318,60 @@ void World::execute(ActionChoice choice) {
   // paper's exit/sleep take effect as part of the same atomic action.
   for (auto& [to, msg] : ctx.sends_) {
     FDP_CHECK(to.valid() && to.id() < size());
-    msg.seq = next_seq_++;
-    msg.enqueued_at = steps_;
     ++sends_;
-    if (want_record) rec.sent.emplace_back(to, msg);
-    channels_[to.id()].push(std::move(msg));
+    const Message& admitted = admit(to.id(), std::move(msg));
+    if (want_record) rec.sent.emplace_back(to, admitted);
+  }
+
+  if (edges_synced_) {
+    // Stored-ref diff for the actor — before any exit deregisters it, so
+    // deregister_process_edges sees the index matching the new refs. One
+    // collect_refs into a reused scratch buffer; the count maps are only
+    // touched when the refs actually changed.
+    scratch_refs_.clear();
+    p.collect_refs(scratch_refs_);
+    std::vector<RefInfo>& before = ref_list_[choice.proc];
+    if (scratch_refs_ != before) {
+      // Minimal multiset diff on target ids: edges only care about the
+      // target, so a mode/key-only change costs no index update and a
+      // single inserted ref touches one counter, not the whole row.
+      scratch_matched_.assign(before.size(), 0);
+      for (const RefInfo& a : scratch_refs_) {
+        bool matched = false;
+        for (std::size_t i = 0; i < before.size(); ++i) {
+          if (!scratch_matched_[i] && before[i].ref.id() == a.ref.id()) {
+            scratch_matched_[i] = 1;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) add_edge_instance(choice.proc, a.ref.id());
+      }
+      for (std::size_t i = 0; i < before.size(); ++i)
+        if (!scratch_matched_[i])
+          remove_edge_instance(choice.proc, before[i].ref.id());
+      before.swap(scratch_refs_);
+    }
+    if (want_record) rec.refs_after = ref_list_[choice.proc];
+  } else if (want_record) {
+    p.collect_refs(rec.refs_after);
   }
 
   if (ctx.exit_requested_) {
     FDP_CHECK_MSG(!ctx.sleep_requested_, "action requested exit AND sleep");
-    p.life_ = LifeState::Gone;
+    set_life(choice.proc, LifeState::Gone);
     ++exits_;
     if (want_record) rec.exited = true;
   } else if (ctx.sleep_requested_) {
-    p.life_ = LifeState::Asleep;
+    set_life(choice.proc, LifeState::Asleep);
     ++sleeps_;
     if (want_record) rec.slept = true;
   }
 
   ++steps_;
 
-  if (want_record) {
-    p.collect_refs(rec.refs_after);
+  if (want_record)
     for (Observer* obs : observers_) obs->on_action(*this, rec);
-  }
 }
 
 }  // namespace fdp

@@ -9,11 +9,34 @@
 // interleaving (atomic actions), so simulating it with real threads would
 // only re-derive an interleaving nondeterministically; a seeded scheduler
 // gives the same adversarial power reproducibly.
+//
+// Every scheduler-support query is backed by indices the kernel maintains
+// incrementally inside post/execute/discard/life transitions, so per-step
+// cost is independent of world size (see DESIGN.md, "kernel complexity"):
+//  * a Fenwick tree over "awake" indicators — O(log n) count/sample/
+//    next-awake, in ascending-id order (byte-identical to the scans these
+//    replaced);
+//  * a Fenwick tree over per-process live-channel sizes — O(1) live
+//    message count, O(log n) k-th-live-message and next-deliverable;
+//  * a seq -> process hash of every live message — O(1) existence checks
+//    (the AdversarialScheduler's candidate feed);
+//  * a lazily-compacted min-seq heap — O(log m) amortized
+//    oldest_live_message;
+//  * a lazy PG edge-instance index (holder <-> target instance counts) —
+//    O(degree) incident_nongone/referenced_by_other, the snapshot-free
+//    fast path of the SINGLE and NIDEC oracles. Lazy because scenario
+//    construction and tests mutate stored references behind the kernel's
+//    back (via process_mut); the index is rebuilt at the next query and
+//    maintained incrementally from then on, so worlds that never consult
+//    it pay nothing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/channel.hpp"
@@ -23,6 +46,7 @@
 #include "sim/process.hpp"
 #include "sim/scheduler.hpp"
 #include "util/check.hpp"
+#include "util/fenwick.hpp"
 #include "util/rng.hpp"
 
 namespace fdp {
@@ -33,6 +57,9 @@ using OracleFn = std::function<bool(const World&, ProcessId)>;
 
 class World {
  public:
+  /// Flat (peer, instance-count) adjacency row of the lazy edge index.
+  using EdgeCounts = std::vector<std::pair<ProcessId, std::uint32_t>>;
+
   explicit World(std::uint64_t seed = 1);
 
   // --- population ---
@@ -46,6 +73,12 @@ class World {
     procs_.push_back(
         std::make_unique<P>(r, mode, key, std::forward<Args>(args)...));
     channels_.emplace_back();
+    life_mirror_.push_back(LifeState::Awake);  // processes spawn awake
+    awake_fw_.push_back(1);
+    live_fw_.push_back(0);
+    ref_out_.emplace_back();
+    ref_in_.emplace_back();
+    ref_list_.emplace_back();
     return r;
   }
 
@@ -56,9 +89,12 @@ class World {
     return *procs_[id];
   }
   /// Mutable access — for scenario construction and tests only; protocol
-  /// code never holds a World.
+  /// code never holds a World. The caller may mutate stored references
+  /// directly, so this drops the edge-instance index; it is rebuilt at
+  /// the next incident_nongone / referenced_by_other query.
   [[nodiscard]] Process& process_mut(ProcessId id) {
     FDP_CHECK(id < procs_.size());
+    edges_synced_ = false;
     return *procs_[id];
   }
   /// Typed mutable access.
@@ -75,8 +111,11 @@ class World {
   }
 
   [[nodiscard]] Mode mode(ProcessId id) const { return process(id).mode(); }
+  /// Reads the dense life mirror (kept in lock-step with Process::life by
+  /// set_life) — no pointer chase into the process object on hot paths.
   [[nodiscard]] LifeState life(ProcessId id) const {
-    return process(id).life();
+    FDP_CHECK(id < life_mirror_.size());
+    return life_mirror_[id];
   }
   [[nodiscard]] bool gone(ProcessId id) const {
     return life(id) == LifeState::Gone;
@@ -90,8 +129,14 @@ class World {
   void post(Ref to, Message m);
 
   /// Force a life state during initial-state construction (e.g. FSP
-  /// scenarios that start with asleep processes).
-  void force_life(ProcessId id, LifeState s) { procs_[id]->life_ = s; }
+  /// scenarios that start with asleep processes, or the model checker
+  /// reconstructing an arbitrary state — including Gone -> Awake). Routes
+  /// through the same transition bookkeeping as regular execution so every
+  /// maintained index stays consistent.
+  void force_life(ProcessId id, LifeState s) {
+    FDP_CHECK(id < procs_.size());
+    set_life(id, s);
+  }
 
   // --- fault injection (see sim/chaos.hpp) ---
 
@@ -107,10 +152,7 @@ class World {
 
   /// Drop every message in a channel (state reconstruction by the model
   /// checker; model-breaking if used mid-run).
-  void clear_channel(ProcessId id) {
-    FDP_CHECK(id < channels_.size());
-    channels_[id].clear();
-  }
+  void clear_channel(ProcessId id);
 
   // --- oracle ---
 
@@ -134,18 +176,83 @@ class World {
   bool run_until(Scheduler& sched, std::uint64_t max_steps,
                  const std::function<bool(const World&)>& done);
 
-  // --- scheduler support queries ---
+  // --- scheduler support queries (all sub-linear; see file comment) ---
 
-  /// Ids of awake processes (timeout enabled).
+  /// Ids of awake processes (timeout enabled). O(n): kept for tests, the
+  /// model checker and per-round planning; hot paths use the queries
+  /// below.
   [[nodiscard]] std::vector<ProcessId> awake_ids() const;
   /// Ids of non-gone processes with non-empty channels (delivery enabled).
+  /// O(n); same audience as awake_ids().
   [[nodiscard]] std::vector<ProcessId> deliverable_ids() const;
-  /// Total messages in channels of non-gone processes.
-  [[nodiscard]] std::uint64_t live_message_count() const;
+
+  /// Number of awake processes. O(1).
+  [[nodiscard]] std::uint64_t awake_count() const { return awake_fw_.total(); }
+  /// The k-th awake process in ascending id order, k < awake_count().
+  /// O(log n).
+  [[nodiscard]] ProcessId kth_awake(std::uint64_t k) const {
+    return static_cast<ProcessId>(awake_fw_.select(k));
+  }
+  /// Smallest awake id >= from, or kNoProcess. O(log n).
+  [[nodiscard]] ProcessId next_awake(ProcessId from) const {
+    const std::size_t p = awake_fw_.next_positive(from);
+    return p < size() ? static_cast<ProcessId>(p) : kNoProcess;
+  }
+
+  /// Total messages in channels of non-gone processes. O(1).
+  [[nodiscard]] std::uint64_t live_message_count() const {
+    return live_fw_.total();
+  }
+  /// The k-th live message in (process ascending, channel slot) order —
+  /// the enumeration order of a full channel scan. O(log n).
+  [[nodiscard]] std::pair<ProcessId, std::uint64_t> kth_live_message(
+      std::uint64_t k) const {
+    const std::size_t p = live_fw_.select(k);
+    const std::uint64_t within = k - live_fw_.prefix(p);
+    return {static_cast<ProcessId>(p),
+            channels_[p].peek(static_cast<std::size_t>(within)).seq};
+  }
+  /// Smallest non-gone id >= from with a non-empty channel, or kNoProcess.
+  /// O(log n).
+  [[nodiscard]] ProcessId next_deliverable(ProcessId from) const {
+    const std::size_t p = live_fw_.next_positive(from);
+    return p < size() ? static_cast<ProcessId>(p) : kNoProcess;
+  }
+
   /// (proc, seq) of the globally oldest live message; proc == kNoProcess
-  /// when there is none.
+  /// when there is none. O(log m) amortized.
   [[nodiscard]] std::pair<ProcessId, std::uint64_t> oldest_live_message()
       const;
+
+  // --- oracle support queries (see core/oracle.cpp) ---
+
+  /// Number of asleep processes with empty channels. Hibernation requires
+  /// such a "quiet" process, so when this is zero "relevant" degenerates
+  /// to "non-gone" and the oracles can skip the snapshot. O(1).
+  [[nodiscard]] std::uint64_t quiet_count() const { return quiet_count_; }
+
+  /// Number of distinct non-gone processes q != p sharing a PG edge with
+  /// p in either direction (an explicit or implicit reference instance
+  /// held by a non-gone process). Equals Snapshot::incident_relevant(p)
+  /// whenever quiet_count() == 0. O(degree of p) after the first call.
+  [[nodiscard]] std::size_t incident_nongone(ProcessId p) const;
+
+  /// Whether any non-gone process q != p holds a reference instance of p
+  /// (stored or in q's channel) — the NIDEC oracle's scan, minus the
+  /// caller's own channel. O(holders of p) after the first call.
+  [[nodiscard]] bool referenced_by_other(ProcessId p) const;
+
+  /// Every sequence number ever assigned is < seq_watermark(). Monotone;
+  /// lets consumers (AdversarialScheduler) ingest new messages by cursor
+  /// instead of rescanning channels.
+  [[nodiscard]] std::uint64_t seq_watermark() const { return next_seq_; }
+  /// The process whose channel holds the live message `seq`, or
+  /// kNoProcess (consumed, dropped, or in a gone process's channel). O(1)
+  /// expected.
+  [[nodiscard]] ProcessId find_live_message(std::uint64_t seq) const {
+    const auto it = live_seq_.find(seq);
+    return it != live_seq_.end() ? it->second : kNoProcess;
+  }
 
   // --- statistics ---
 
@@ -161,10 +268,38 @@ class World {
 
  private:
   void execute(ActionChoice choice);
-  void finish_action(ActionRecord* rec, Context& ctx, Process& p);
+
+  /// Assign kernel bookkeeping (seq, enqueued_at), register the message
+  /// with every maintained index and enqueue it. Returns the enqueued
+  /// message (reference valid until the channel is next mutated).
+  const Message& admit(ProcessId to, Message&& m);
+  /// Remove the message at channel slot `idx` of `p`, deregistering it.
+  Message take_message(ProcessId p, std::size_t idx);
+  /// Apply a life transition, updating the awake roster and — on Gone
+  /// transitions in either direction — the live-message indices.
+  void set_life(ProcessId p, LifeState to);
+
+  void notify_inject(ProcessId to, const Message& m);
+  void notify_remove(ProcessId from, const Message& m);
+
+  // Edge-instance index plumbing. The helpers are const because they only
+  // touch the mutable lazy index; kernel mutation paths call them guarded
+  // by edges_synced_.
+  void add_edge_instance(ProcessId holder, ProcessId target) const;
+  void remove_edge_instance(ProcessId holder, ProcessId target) const;
+  void add_message_refs(ProcessId holder, const Message& m) const;
+  void remove_message_refs(ProcessId holder, const Message& m) const;
+  /// Register/deregister every instance held by p (stored + own channel).
+  void register_process_edges(ProcessId p) const;
+  void deregister_process_edges(ProcessId p) const;
+  void ensure_edge_index() const;
 
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<Channel> channels_;
+  /// Dense copy of every process's LifeState (authoritative copy lives in
+  /// the Process; set_life writes both). Hot paths read this instead of
+  /// chasing the unique_ptr.
+  std::vector<LifeState> life_mirror_;
   std::vector<Observer*> observers_;
   OracleFn oracle_;
   Rng rng_;
@@ -176,6 +311,39 @@ class World {
   std::uint64_t exits_ = 0;
   std::uint64_t sleeps_ = 0;
   std::uint64_t wakes_ = 0;
+
+  // --- maintained world indices (see file comment) ---
+  Fenwick awake_fw_;  ///< weight 1 per awake process
+  Fenwick live_fw_;   ///< channel size per non-gone process, else 0
+  /// seq -> holder for every live message.
+  std::unordered_map<std::uint64_t, ProcessId> live_seq_;
+  /// Min-heap over (seq, proc) of every registration; stale entries
+  /// (consumed/dropped/gone) are discarded lazily in oldest_live_message.
+  mutable std::priority_queue<
+      std::pair<std::uint64_t, ProcessId>,
+      std::vector<std::pair<std::uint64_t, ProcessId>>,
+      std::greater<>>
+      oldest_heap_;
+  /// Asleep processes with empty channels (hibernation candidates).
+  std::uint64_t quiet_count_ = 0;
+  /// Lazy PG edge-instance index over instances held by non-gone
+  /// processes: ref_out_[h] / ref_in_[t] hold (peer, count) pairs — the
+  /// number of reference instances of t that h holds (stored or in h's
+  /// channel). Flat unsorted vectors: degrees are small, so a linear scan
+  /// stays in one cache line where a hash map would chase buckets. Built
+  /// on first query; dropped whenever process_mut hands out direct
+  /// mutable access; maintained incrementally in between.
+  mutable bool edges_synced_ = false;
+  mutable std::vector<EdgeCounts> ref_out_;
+  mutable std::vector<EdgeCounts> ref_in_;
+  /// Per-process cache of the last collect_refs result while synced: the
+  /// stored-ref side of the index. Lets execute() diff the actor with a
+  /// single collect_refs call and touch the count vectors only for targets
+  /// that actually changed (refs cannot change while a process is Gone, so
+  /// the cache stays valid across exit/resurrection).
+  mutable std::vector<std::vector<RefInfo>> ref_list_;
+  mutable std::vector<RefInfo> scratch_refs_;
+  mutable std::vector<char> scratch_matched_;
 };
 
 }  // namespace fdp

@@ -1,0 +1,112 @@
+// Fenwick (binary indexed) tree over a dense index space.
+//
+// The kernel's maintained world indices are weight arrays over ProcessId:
+// "1 if awake", "channel size if not gone". A Fenwick tree keeps prefix
+// sums of such an array under point updates in O(log n), which buys the
+// two queries every scheduler needs without scanning the population:
+//
+//   select(k)        — the position holding the k-th weight unit. Sampling
+//                      the k-th awake process / k-th live message in
+//                      *ascending index order* — the exact enumeration
+//                      order the original O(n) scans used, so index-based
+//                      sampling is byte-identical to the scan it replaces.
+//   next_positive(i) — the first position >= i with positive weight; the
+//                      round-robin cursor advance.
+//
+// Weights are unsigned; add() takes a signed delta and checks underflow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+class Fenwick {
+ public:
+  Fenwick() = default;
+  explicit Fenwick(std::size_t n) : weight_(n, 0), tree_(n + 1, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return weight_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t weight(std::size_t i) const {
+    FDP_DCHECK(i < weight_.size());
+    return weight_[i];
+  }
+
+  /// Grow the index space by one position of weight `w`.
+  void push_back(std::uint64_t w) {
+    const std::size_t j = weight_.size() + 1;  // 1-based tree index
+    // tree_[j] covers the weight range [j - lowbit(j), j) (0-based); all
+    // of it except the new position is already summed by the old tree.
+    tree_.push_back(prefix(j - 1) - prefix(j - (j & ~(j - 1)) ));
+    weight_.push_back(0);
+    if (w != 0) add(weight_.size() - 1, static_cast<std::int64_t>(w));
+  }
+
+  /// Point update: weight_[i] += delta (must not underflow).
+  void add(std::size_t i, std::int64_t delta) {
+    if (delta == 0) return;
+    FDP_DCHECK(i < weight_.size());
+    FDP_DCHECK(delta > 0 ||
+               weight_[i] >= static_cast<std::uint64_t>(-delta));
+    weight_[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(weight_[i]) + delta);
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) +
+                                        delta);
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(tree_[j]) + delta);
+    }
+  }
+
+  void set(std::size_t i, std::uint64_t w) {
+    add(i, static_cast<std::int64_t>(w) -
+               static_cast<std::int64_t>(weight(i)));
+  }
+
+  /// Sum of weights at positions [0, n).
+  [[nodiscard]] std::uint64_t prefix(std::size_t n) const {
+    FDP_DCHECK(n <= weight_.size());
+    std::uint64_t sum = 0;
+    for (std::size_t j = n; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  /// The position p with prefix(p) <= k < prefix(p + 1). Requires
+  /// k < total(). For 0/1 weights this is the k-th set position; for
+  /// channel-size weights it is the process holding the k-th message in
+  /// (process asc, channel slot) enumeration order.
+  [[nodiscard]] std::size_t select(std::uint64_t k) const {
+    FDP_DCHECK(k < total_);
+    std::size_t pos = 0;  // 1-based cursor into tree_
+    std::size_t mask = 1;
+    while (mask * 2 < tree_.size()) mask *= 2;
+    for (; mask > 0; mask /= 2) {
+      const std::size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= k) {
+        pos = next;
+        k -= tree_[next];
+      }
+    }
+    return pos;  // 1-based prefix end == 0-based position
+  }
+
+  /// Smallest position >= from with positive weight, or size() if none.
+  [[nodiscard]] std::size_t next_positive(std::size_t from) const {
+    if (from >= weight_.size()) return weight_.size();
+    if (weight_[from] > 0) return from;
+    const std::uint64_t before = prefix(from);
+    if (before >= total_) return weight_.size();
+    return select(before);
+  }
+
+ private:
+  std::vector<std::uint64_t> weight_;
+  std::vector<std::uint64_t> tree_{0};  // tree_[0] unused (1-based sentinel)
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fdp

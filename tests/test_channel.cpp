@@ -66,6 +66,55 @@ TEST(Channel, ClearEmpties) {
   ch.push(msg(1));
   ch.clear();
   EXPECT_TRUE(ch.empty());
+  EXPECT_FALSE(ch.contains(1));
+  // A fresh message set after clear: old seqs must not leak from the
+  // lazily-compacted oldest-index heap.
+  ch.push(msg(8));
+  EXPECT_EQ(ch.peek(ch.oldest_index()).seq, 8u);
+}
+
+TEST(Channel, Contains) {
+  Channel ch;
+  ch.push(msg(5));
+  EXPECT_TRUE(ch.contains(5));
+  EXPECT_FALSE(ch.contains(6));
+  (void)ch.take(ch.index_of_seq(5));
+  EXPECT_FALSE(ch.contains(5));
+}
+
+TEST(Channel, TakeLastSlotKeepsIndexConsistent) {
+  // take() swap-removes; taking the last slot is the self-swap edge case.
+  Channel ch;
+  ch.push(msg(1));
+  ch.push(msg(2));
+  const Message taken = ch.take(1);
+  EXPECT_EQ(taken.seq, 2u);
+  EXPECT_EQ(ch.index_of_seq(1), 0u);
+  EXPECT_EQ(ch.peek(ch.oldest_index()).seq, 1u);
+}
+
+TEST(Channel, OldestIndexSurvivesInterleavedRemovals) {
+  // The min-seq heap discards stale heads lazily: removing the current
+  // oldest (and re-querying) must always surface the true next-oldest.
+  Channel ch;
+  for (std::uint64_t s : {7u, 3u, 9u, 1u, 5u}) ch.push(msg(s));
+  std::vector<std::uint64_t> drained;
+  while (!ch.empty()) drained.push_back(ch.take(ch.oldest_index()).seq);
+  EXPECT_EQ(drained, (std::vector<std::uint64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(Channel, OldestIndexAfterArbitraryRemoval) {
+  Channel ch;
+  for (std::uint64_t s = 1; s <= 5; ++s) ch.push(msg(s));
+  (void)ch.take(ch.index_of_seq(1));  // remove the heap's current min
+  (void)ch.take(ch.index_of_seq(2));  // and the next
+  EXPECT_EQ(ch.peek(ch.oldest_index()).seq, 3u);
+}
+
+TEST(ChannelDeath, DuplicateSeqAborts) {
+  Channel ch;
+  ch.push(msg(4));
+  EXPECT_DEATH(ch.push(msg(4)), "duplicate");
 }
 
 }  // namespace

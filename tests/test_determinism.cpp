@@ -1,9 +1,20 @@
 // Reproducibility: identical seeds produce identical runs, across every
 // scenario family and scheduler. This is what makes every number in
 // EXPERIMENTS.md regenerable.
+//
+// The GoldenTrace suite goes further: it pins the *exact* action sequence
+// of each scheduler on a fixed scenario to a baked-in hash. Same-seed
+// reproducibility would not notice a kernel change that perturbs every run
+// the same way; the golden hashes do. They were captured before the
+// index-based kernel rewrite and must survive it bit for bit (the rewrite
+// changes data structures, not decisions).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "analysis/experiment.hpp"
+#include "core/potential.hpp"
+#include "sim/chaos.hpp"
 
 namespace fdp {
 namespace {
@@ -54,6 +65,103 @@ INSTANTIATE_TEST_SUITE_P(
                                      SchedulerKind::Rounds,
                                      SchedulerKind::Adversarial),
                      testing::Bool()));
+
+// FNV-1a over the executed action stream: every decision a scheduler makes
+// feeds the hash, so two runs collide only if they took identical actions.
+class TraceHasher final : public Observer {
+ public:
+  void on_action(const World& world, const ActionRecord& rec) override {
+    (void)world;
+    mix(static_cast<std::uint64_t>(rec.kind));
+    mix(rec.actor);
+    mix(rec.consumed ? rec.consumed->seq : 0);
+    mix(rec.sent.size());
+    mix((rec.exited ? 1u : 0u) | (rec.slept ? 2u : 0u) | (rec.woke ? 4u : 0u));
+  }
+  [[nodiscard]] std::uint64_t hash() const { return h_; }
+
+ private:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+// A scenario that exercises every life state and message path: asleep
+// starts, leavers, invalid modes, anchors, initial in-flight traffic.
+ScenarioConfig golden_config() {
+  ScenarioConfig cfg;
+  cfg.n = 24;
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.random_anchor_prob = 0.2;
+  cfg.inflight_per_node = 1.0;
+  cfg.initial_asleep_prob = 0.2;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+std::uint64_t golden_trace(std::unique_ptr<Scheduler> sched,
+                           ChaosScheduler* chaos_bind = nullptr) {
+  Scenario sc = build_departure_scenario(golden_config());
+  if (chaos_bind != nullptr) chaos_bind->bind(sc.world.get());
+  TraceHasher hasher;
+  sc.world->add_observer(&hasher);
+  for (int i = 0; i < 20'000; ++i)
+    if (!sc.world->step(*sched)) break;
+  EXPECT_EQ(phi(*sc.world), 0u);  // converged: Φ drained in every config
+  return hasher.hash();
+}
+
+TEST(GoldenTrace, RandomScheduler) {
+  EXPECT_EQ(golden_trace(std::make_unique<RandomScheduler>()),
+            0x09162da6df64f356ULL);
+}
+
+TEST(GoldenTrace, RoundRobinScheduler) {
+  EXPECT_EQ(golden_trace(std::make_unique<RoundRobinScheduler>()),
+            0x67c4e241927a7b23ULL);
+}
+
+TEST(GoldenTrace, RoundScheduler) {
+  EXPECT_EQ(golden_trace(std::make_unique<RoundScheduler>()),
+            0x539cbb7b00397967ULL);
+}
+
+TEST(GoldenTrace, AdversarialScheduler) {
+  // This hash is from AFTER the timeout-cursor fix: the scheduler now
+  // round-robins timeouts over the stable ProcessId space instead of an
+  // index into a freshly built awake vector (which drifted whenever
+  // membership changed, starving processes under heavy churn). Delivery
+  // decisions are unchanged; timeout order is intentionally different
+  // from the pre-fix kernel.
+  EXPECT_EQ(golden_trace(std::make_unique<AdversarialScheduler>()),
+            0x6cd1b25d3101706aULL);
+}
+
+TEST(GoldenTrace, ChaosOverRandom) {
+  auto chaos = std::make_unique<ChaosScheduler>(
+      std::make_unique<RandomScheduler>(), /*p_duplicate=*/0.10,
+      /*p_drop=*/0.05, /*seed=*/77);
+  ChaosScheduler* raw = chaos.get();
+  EXPECT_EQ(golden_trace(std::move(chaos), raw), 0xab5c80ab4b67ce60ULL);
+}
+
+TEST(GoldenTrace, ChaosOverRounds) {
+  // Regression for the RoundScheduler plan-invalidation path: chaos drops
+  // messages that are already in the current round's plan, so next() must
+  // skip entries whose message vanished from under it (the old comment
+  // claimed this "cannot happen").
+  auto chaos = std::make_unique<ChaosScheduler>(
+      std::make_unique<RoundScheduler>(), /*p_duplicate=*/0.10,
+      /*p_drop=*/0.05, /*seed=*/77);
+  ChaosScheduler* raw = chaos.get();
+  EXPECT_EQ(golden_trace(std::move(chaos), raw), 0xe3d27894bea06050ULL);
+}
 
 TEST(Determinism, FspRunsReproduce) {
   ScenarioConfig cfg;

@@ -1,0 +1,116 @@
+#include "util/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace fdp {
+namespace {
+
+TEST(Fenwick, EmptyTree) {
+  Fenwick fw;
+  EXPECT_EQ(fw.size(), 0u);
+  EXPECT_EQ(fw.total(), 0u);
+  EXPECT_EQ(fw.prefix(0), 0u);
+  EXPECT_EQ(fw.next_positive(0), 0u);
+}
+
+TEST(Fenwick, FirstPushBackIsQueryable) {
+  // Regression: the default-constructed tree must carry its 1-based
+  // sentinel slot, or the very first push_back writes the node for
+  // position 0 into tree_[0] and every later prefix() reads shifted.
+  Fenwick fw;
+  fw.push_back(3);
+  EXPECT_EQ(fw.total(), 3u);
+  EXPECT_EQ(fw.prefix(1), 3u);
+  EXPECT_EQ(fw.select(0), 0u);
+  EXPECT_EQ(fw.select(2), 0u);
+}
+
+TEST(Fenwick, PushBackMidweightSplitsCorrectly) {
+  // Appending at a power-of-two boundary makes the new node cover the
+  // whole existing range — the widest case of push_back's node seeding.
+  Fenwick fw;
+  const std::uint64_t ws[8] = {3, 1, 0, 2, 1, 0, 3, 2};
+  for (std::uint64_t w : ws) fw.push_back(w);
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k <= 8; ++k) {
+    EXPECT_EQ(fw.prefix(k), cum) << "k=" << k;
+    if (k < 8) cum += ws[k];
+  }
+}
+
+TEST(Fenwick, SizedConstructorStartsZeroed) {
+  Fenwick fw(5);
+  EXPECT_EQ(fw.size(), 5u);
+  EXPECT_EQ(fw.total(), 0u);
+  fw.set(3, 7);
+  EXPECT_EQ(fw.prefix(3), 0u);
+  EXPECT_EQ(fw.prefix(4), 7u);
+  EXPECT_EQ(fw.next_positive(0), 3u);
+  EXPECT_EQ(fw.next_positive(4), 5u);
+}
+
+TEST(Fenwick, MatchesReferenceArrayUnderRandomOps) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    Fenwick fw;
+    std::vector<std::uint64_t> ref;
+    const int n = 1 + static_cast<int>(rng() % 40);
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t w = rng() % 4;
+      fw.push_back(w);
+      ref.push_back(w);
+    }
+    for (int op = 0; op < 200; ++op) {
+      const std::size_t i = rng() % ref.size();
+      const std::uint64_t w = rng() % 5;
+      fw.set(i, w);
+      ref[i] = w;
+
+      std::uint64_t tot = 0;
+      for (std::uint64_t v : ref) tot += v;
+      ASSERT_EQ(fw.total(), tot);
+
+      std::uint64_t cum = 0;
+      for (std::size_t k = 0; k <= ref.size(); ++k) {
+        ASSERT_EQ(fw.prefix(k), cum) << "trial=" << trial << " k=" << k;
+        if (k < ref.size()) cum += ref[k];
+      }
+
+      std::size_t pos = 0;
+      std::uint64_t seen = 0;
+      for (std::uint64_t k = 0; k < tot; ++k) {
+        while (seen + ref[pos] <= k) seen += ref[pos++];
+        ASSERT_EQ(fw.select(k), pos) << "trial=" << trial << " k=" << k;
+      }
+
+      for (std::size_t f = 0; f <= ref.size(); ++f) {
+        std::size_t want = ref.size();
+        for (std::size_t j = f; j < ref.size(); ++j)
+          if (ref[j] > 0) {
+            want = j;
+            break;
+          }
+        ASSERT_EQ(fw.next_positive(f), want) << "trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(Fenwick, SelectEnumeratesInAscendingPositionOrder) {
+  // The property the schedulers' byte-identical sampling rests on: k-th
+  // weight unit in position-ascending order, ties broken by position.
+  Fenwick fw;
+  fw.push_back(2);  // units 0,1 -> position 0
+  fw.push_back(0);
+  fw.push_back(3);  // units 2,3,4 -> position 2
+  EXPECT_EQ(fw.select(0), 0u);
+  EXPECT_EQ(fw.select(1), 0u);
+  EXPECT_EQ(fw.select(2), 2u);
+  EXPECT_EQ(fw.select(4), 2u);
+}
+
+}  // namespace
+}  // namespace fdp

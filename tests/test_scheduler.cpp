@@ -128,6 +128,40 @@ TEST(AdversarialScheduler, StillFairToTimeouts) {
     EXPECT_GT(w.process_as<ScriptedProcess>(p).timeout_count, 10);
 }
 
+TEST(AdversarialScheduler, TimeoutRotationSurvivesMembershipChurn) {
+  // Regression: the timeout cursor used to index a freshly built vector
+  // of awake ids, so each exit shifted every later slot under the cursor
+  // and processes could be skipped round after round (weak-fairness
+  // drift). The cursor now advances over the stable ProcessId space:
+  // once membership stops changing, timeouts rotate exactly.
+  World w(1);
+  spawn_scripted(w, 8);
+  for (ProcessId leaver : {ProcessId{3}, ProcessId{5}}) {
+    auto& proc = w.process_as<ScriptedProcess>(leaver);
+    proc.on_timeout_fn = [](ScriptedProcess& self, Context& ctx) {
+      if (self.timeout_count >= 3) ctx.exit_process();
+    };
+  }
+  AdversarialScheduler sched(/*min_age=*/1'000'000, /*deliver_burst=*/1);
+  // Churn phase: both leavers exit on their third timeout.
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(w.step(sched));
+  ASSERT_EQ(w.exits(), 2u);
+  int before[8];
+  for (ProcessId p = 0; p < 8; ++p)
+    before[p] = w.process_as<ScriptedProcess>(p).timeout_count;
+  // Stable phase: 10 full rotations over the 6 survivors.
+  for (int i = 0; i < 60; ++i) ASSERT_TRUE(w.step(sched));
+  for (ProcessId p = 0; p < 8; ++p) {
+    const int delta =
+        w.process_as<ScriptedProcess>(p).timeout_count - before[p];
+    if (p == 3 || p == 5) {
+      EXPECT_EQ(delta, 0) << "gone process " << p << " ran";
+    } else {
+      EXPECT_EQ(delta, 10) << "process " << p << " under/over-scheduled";
+    }
+  }
+}
+
 TEST(AdversarialScheduler, DeliversNewestFirstAmongAged) {
   World w(1);
   const auto refs = spawn_scripted(w, 1);

@@ -32,7 +32,7 @@ class ScriptedProcess final : public Process {
     if (on_message_fn) on_message_fn(*this, ctx, m);
   }
   void collect_refs(std::vector<RefInfo>& out) const override {
-    for (const RefInfo& r : nbrs_.snapshot()) out.push_back(r);
+    nbrs_.append_to(out);
   }
   [[nodiscard]] const char* protocol_name() const override {
     return "scripted";

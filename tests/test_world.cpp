@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/process_graph.hpp"
 #include "test_support.hpp"
+#include "util/rng.hpp"
 
 namespace fdp {
 namespace {
@@ -128,6 +130,93 @@ TEST(World, OldestLiveMessage) {
   EXPECT_EQ(seq, 1u);
 }
 
+TEST(World, AwakeIndexTracksForcedTransitions) {
+  World w(1);
+  spawn_scripted(w, 5);
+  EXPECT_EQ(w.awake_count(), 5u);
+  w.force_life(1, LifeState::Asleep);
+  w.force_life(3, LifeState::Gone);
+  EXPECT_EQ(w.awake_count(), 3u);
+  EXPECT_EQ(w.kth_awake(0), 0u);
+  EXPECT_EQ(w.kth_awake(1), 2u);
+  EXPECT_EQ(w.kth_awake(2), 4u);
+  EXPECT_EQ(w.next_awake(0), 0u);
+  EXPECT_EQ(w.next_awake(1), 2u);
+  EXPECT_EQ(w.next_awake(5), kNoProcess);
+  w.force_life(1, LifeState::Awake);
+  EXPECT_EQ(w.awake_count(), 4u);
+  EXPECT_EQ(w.kth_awake(1), 1u);
+}
+
+TEST(World, ResurrectionReregistersChannelMessages) {
+  // The model checker reconstructs arbitrary states via force_life,
+  // including Gone -> Awake. Messages parked in the gone channel must
+  // rejoin every live-message index on the way back.
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.post(refs[0], Message{});  // seq 1
+  w.post(refs[0], Message{});  // seq 2
+  w.force_life(0, LifeState::Gone);
+  EXPECT_EQ(w.live_message_count(), 0u);
+  EXPECT_EQ(w.find_live_message(1), kNoProcess);
+  EXPECT_EQ(w.oldest_live_message().first, kNoProcess);
+  w.force_life(0, LifeState::Awake);
+  EXPECT_EQ(w.live_message_count(), 2u);
+  EXPECT_EQ(w.find_live_message(1), 0u);
+  EXPECT_EQ(w.find_live_message(2), 0u);
+  const auto [proc, seq] = w.oldest_live_message();
+  EXPECT_EQ(proc, 0u);
+  EXPECT_EQ(seq, 1u);
+}
+
+TEST(World, SeqWatermarkBoundsEveryAssignedSeq) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  const std::uint64_t before = w.seq_watermark();
+  w.post(refs[1], Message{});
+  EXPECT_EQ(w.seq_watermark(), before + 1);
+  const std::uint64_t seq = w.channel(1).peek(0).seq;
+  EXPECT_LT(seq, w.seq_watermark());
+  EXPECT_EQ(w.find_live_message(seq), 1u);
+  EXPECT_TRUE(w.discard_message(1, seq));
+  EXPECT_EQ(w.find_live_message(seq), kNoProcess);
+}
+
+TEST(World, ClearChannelUpdatesLiveIndices) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 2);
+  w.post(refs[0], Message{});
+  w.post(refs[0], Message{});
+  w.post(refs[1], Message{});
+  EXPECT_EQ(w.live_message_count(), 3u);
+  w.clear_channel(0);
+  EXPECT_EQ(w.live_message_count(), 1u);
+  EXPECT_EQ(w.next_deliverable(0), 1u);
+  EXPECT_EQ(w.oldest_live_message().first, 1u);
+}
+
+TEST(World, KthLiveMessageMatchesChannelScanOrder) {
+  // kth_live_message must enumerate in (process ascending, channel slot)
+  // order — the order the pre-index kernel's full scan produced, which
+  // is what keeps RandomScheduler's sampling byte-identical.
+  World w(1);
+  const auto refs = spawn_scripted(w, 4);
+  w.post(refs[0], Message{});
+  w.post(refs[2], Message{});
+  w.post(refs[2], Message{});
+  w.post(refs[3], Message{});
+  w.force_life(3, LifeState::Gone);  // channel 3 drops out of the index
+  std::vector<std::pair<ProcessId, std::uint64_t>> want;
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (w.gone(p)) continue;
+    for (std::size_t i = 0; i < w.channel(p).size(); ++i)
+      want.emplace_back(p, w.channel(p).peek(i).seq);
+  }
+  ASSERT_EQ(w.live_message_count(), want.size());
+  for (std::uint64_t k = 0; k < want.size(); ++k)
+    EXPECT_EQ(w.kth_live_message(k), want[k]) << "k=" << k;
+}
+
 TEST(World, RunUntilStopsOnPredicate) {
   World w(1);
   spawn_scripted(w, 2);
@@ -176,6 +265,87 @@ TEST(WorldDeath, OracleWithoutInstallAborts) {
   World w(1);
   spawn_scripted(w, 1);
   EXPECT_DEATH((void)w.oracle_value(0), "no oracle");
+}
+
+TEST(World, QuietCountTracksSleepChannelAndLifeTransitions) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 3);
+  EXPECT_EQ(w.quiet_count(), 0u);  // everyone spawns awake
+  w.force_life(0, LifeState::Asleep);
+  w.force_life(1, LifeState::Asleep);
+  EXPECT_EQ(w.quiet_count(), 2u);
+  // A message into a quiet channel un-quiets it; draining re-quiets it.
+  w.post(refs[0], Message{});
+  EXPECT_EQ(w.quiet_count(), 1u);
+  const std::uint64_t seq = w.channel(0).messages().front().seq;
+  ASSERT_TRUE(w.discard_message(0, seq));
+  EXPECT_EQ(w.quiet_count(), 2u);
+  // Gone and Awake are never quiet, in both transition directions.
+  w.force_life(1, LifeState::Gone);
+  EXPECT_EQ(w.quiet_count(), 1u);
+  w.force_life(0, LifeState::Awake);
+  EXPECT_EQ(w.quiet_count(), 0u);
+  w.force_life(2, LifeState::Asleep);
+  EXPECT_EQ(w.quiet_count(), 1u);
+}
+
+TEST(World, IncidentNongoneMatchesSnapshotWhenNoQuietProcess) {
+  // Random churn: stored-ref rewrites, sends carrying refs, exits. With
+  // every process awake the maintained edge index must agree with the
+  // full snapshot's incident_relevant at every step.
+  for (std::uint64_t seed : {11u, 29u}) {
+    World w(seed);
+    const auto refs = spawn_scripted(w, 12);
+    Rng rng(seed * 997);
+    for (ProcessId p = 0; p < 12; ++p) {
+      auto& proc = w.process_as<ScriptedProcess>(p);
+      proc.on_timeout_fn = [&, p](ScriptedProcess& self, Context& ctx) {
+        const ProcessId q = rng.below(12);
+        if (rng.chance(0.4)) {
+          self.nbrs().insert({refs[q], ModeInfo::Staying, 0});
+        } else if (rng.chance(0.4)) {
+          ctx.send(refs[q],
+                   Message::present(RefInfo{refs[p], ModeInfo::Staying, 0}));
+        } else if (rng.chance(0.3) && self.timeout_count > 4) {
+          ctx.exit_process();
+        }
+      };
+      proc.on_message_fn = [&](ScriptedProcess& self, Context&,
+                               const Message& m) {
+        for (const RefInfo& r : m.refs) self.nbrs().insert(r);
+      };
+    }
+    RandomScheduler sched;
+    for (int i = 0; i < 400; ++i) {
+      if (!w.step(sched)) break;
+      ASSERT_EQ(w.quiet_count(), 0u);
+      const Snapshot s = take_snapshot(w);
+      for (ProcessId p = 0; p < 12; ++p) {
+        ASSERT_EQ(w.incident_nongone(p), s.incident_relevant(p))
+            << "seed " << seed << " step " << i << " proc " << p;
+        ASSERT_EQ(w.referenced_by_other(p), s.referenced_anywhere(p))
+            << "seed " << seed << " step " << i << " proc " << p;
+      }
+    }
+  }
+}
+
+TEST(World, EdgeIndexRebuildsAfterOutOfBandMutation) {
+  World w(1);
+  const auto refs = spawn_scripted(w, 4);
+  w.process_as<ScriptedProcess>(0).nbrs().insert(
+      {refs[1], ModeInfo::Staying, 0});
+  EXPECT_EQ(w.incident_nongone(0), 1u);
+  // process_mut-style access invalidates the index; the next query must
+  // observe the new stored refs, not the cached adjacency.
+  auto& p0 = w.process_as<ScriptedProcess>(0);
+  p0.nbrs().insert({refs[2], ModeInfo::Staying, 0});
+  p0.nbrs().insert({refs[3], ModeInfo::Staying, 0});
+  EXPECT_EQ(w.incident_nongone(0), 3u);
+  EXPECT_TRUE(w.referenced_by_other(2));
+  w.force_life(2, LifeState::Gone);
+  EXPECT_EQ(w.incident_nongone(0), 2u);
+  EXPECT_EQ(w.incident_nongone(2), 0u);
 }
 
 TEST(World, DeterministicGivenSeedAndScheduler) {
