@@ -7,6 +7,7 @@
 
 #include "analysis/monitors.hpp"
 #include "analysis/scenario.hpp"
+#include "util/alloc_stats.hpp"
 #include "core/legitimacy.hpp"
 #include "core/oracle.hpp"
 #include "core/potential.hpp"
@@ -85,6 +86,46 @@ BENCHMARK(BM_WorldStep)
     ->Arg(1024)
     ->Arg(4096)
     ->Arg(16384);
+
+void BM_WorldStepAllocs(benchmark::State& state) {
+  // The zero-allocation steady-state claim, measured: same churn-ring
+  // workload as BM_WorldStep, but instead of time it reports heap
+  // allocations per step via the counting operator new linked into this
+  // binary (src/util/alloc_stats_hook.cpp). After a warm-up that lets
+  // every arena, hash table and heap reach its high-water capacity, a
+  // step must not allocate at all — scripts/check_kernel_scaling.py gates
+  // CI on allocs_per_step == 0 (and on alloc_hook == 1, so a binary
+  // missing the hook cannot pass vacuously).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChurners = 8;
+  World w(42);
+  std::vector<Ref> ring;
+  for (std::size_t i = 0; i < kChurners; ++i)
+    ring.push_back(w.spawn<ChurnProcess>(Mode::Staying, i));
+  for (std::size_t i = 0; i < kChurners; ++i)
+    w.process_as<ChurnProcess>(ring[i].id())
+        .set_next(ring[(i + 1) % kChurners]);
+  for (std::size_t i = kChurners; i < n; ++i)
+    w.spawn<IdleProcess>(Mode::Staying, i);
+  RandomScheduler sched;
+  for (std::size_t i = 0; i < 50000; ++i) w.step(sched);  // warm-up
+
+  const auto before = alloc_stats::snapshot();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    w.step(sched);
+    ++steps;
+  }
+  const double allocs =
+      static_cast<double>(alloc_stats::allocs_since(before));
+  state.counters["allocs_per_step"] =
+      benchmark::Counter(steps > 0 ? allocs / static_cast<double>(steps)
+                                   : 0.0);
+  state.counters["alloc_hook"] =
+      benchmark::Counter(alloc_stats::hooked() ? 1.0 : 0.0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorldStepAllocs)->Arg(16)->Arg(4096);
 
 void BM_WorldStepDense(benchmark::State& state) {
   // The full departure scenario: every process runs the protocol, so each

@@ -1,15 +1,33 @@
 #!/usr/bin/env python3
-"""Gate kernel per-step cost on world size.
+"""Gate kernel per-step cost on world size and allocation budget.
 
-Reads google-benchmark JSON (--benchmark_format=json) and checks that
-BM_WorldStep's per-iteration time stays essentially flat as n grows: the
-maintained world indices promise per-step cost independent of world size,
-so time(n=4096) must stay within --max-ratio of time(n=16). A linear
-kernel regression (any O(n) scan creeping back into the hot path) shows
-up as a ~256x ratio and fails loudly.
+Reads google-benchmark JSON (--benchmark_format=json) and checks:
 
-Usage: check_kernel_scaling.py BENCH_kernel.json
+1. Scaling: BM_WorldStep's per-iteration time stays essentially flat as
+   n grows. The maintained world indices promise per-step cost
+   independent of world size, so time(n=4096) must stay within
+   --max-ratio of time(n=16). A linear kernel regression (any O(n) scan
+   creeping back into the hot path) shows up as a ~256x ratio and fails
+   loudly.
+
+2. Allocation budget: BM_WorldStepAllocs reports the counted heap
+   allocations per step in the steady state (after warm-up). The hot
+   path is designed to be allocation-free — channel slots, message ref
+   buffers, and all world indices reuse high-water-mark storage — so
+   allocs_per_step must stay below --max-allocs (default 0.001, i.e.
+   at most one residual allocation per thousand steps; the only
+   tolerated source is residual capacity growth in long-lived tables).
+   The alloc_hook counter must equal 1, proving the counting
+   operator new/delete was actually linked in; otherwise the check
+   would pass vacuously.
+
+With --emit PATH, also writes a condensed machine-readable summary
+(ns/step per n, allocs/step, steps/sec) for CI artifact upload.
+
+Usage: check_kernel_scaling.py bench_output.json
            [--bench BM_WorldStep] [--ns 16,256,4096] [--max-ratio 2.0]
+           [--allocs-bench BM_WorldStepAllocs] [--max-allocs 0.001]
+           [--skip-allocs] [--emit BENCH_kernel.json]
 """
 
 import argparse
@@ -17,11 +35,11 @@ import json
 import sys
 
 
-def load_times(path, bench):
-    """name -> cpu time in ns for every '<bench>/<n>' entry."""
+def load_entries(path, bench):
+    """name -> benchmark entry for every '<bench>/<n>' result."""
     with open(path) as f:
         doc = json.load(f)
-    times = {}
+    entries = {}
     for entry in doc.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
             continue
@@ -33,10 +51,101 @@ def load_times(path, bench):
             n = int(name[len(prefix):].split("/")[0])
         except ValueError:
             continue
-        unit = entry.get("time_unit", "ns")
-        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-        times[n] = float(entry["cpu_time"]) * scale
-    return times
+        entries[n] = entry
+    return entries
+
+
+def cpu_ns(entry):
+    unit = entry.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return float(entry["cpu_time"]) * scale
+
+
+def check_scaling(entries, ns, bench, max_ratio):
+    missing = [n for n in ns if n not in entries]
+    if missing:
+        print(f"FAIL: no {bench} results for n={missing} "
+              f"(have n={sorted(entries)})")
+        return False
+
+    for n in ns:
+        print(f"{bench}/{n}: {cpu_ns(entries[n]):.1f} ns/step")
+
+    base, top = cpu_ns(entries[ns[0]]), cpu_ns(entries[ns[-1]])
+    ratio = top / base
+    print(f"ratio n={ns[-1]} vs n={ns[0]}: {ratio:.2f}x "
+          f"(limit {max_ratio:.2f}x)")
+    if ratio > max_ratio:
+        print("FAIL: per-step cost grows with world size — some O(n) scan "
+              "is back on the hot path")
+        return False
+
+    # Also reject super-linear blowup between adjacent sampled sizes, so a
+    # regression localized to mid-range n cannot hide behind a fast top end.
+    for lo, hi in zip(ns, ns[1:]):
+        growth = cpu_ns(entries[hi]) / cpu_ns(entries[lo])
+        if growth > max_ratio:
+            print(f"FAIL: step time grows {growth:.2f}x from n={lo} to "
+                  f"n={hi} (limit {max_ratio:.2f}x)")
+            return False
+
+    print("OK: per-step kernel cost is flat in world size")
+    return True
+
+
+def check_allocs(entries, bench, max_allocs):
+    if not entries:
+        print(f"FAIL: no {bench} results — the allocation budget was not "
+              f"measured (was the benchmark filter too narrow?)")
+        return False
+
+    ok = True
+    for n in sorted(entries):
+        entry = entries[n]
+        hook = entry.get("alloc_hook")
+        allocs = entry.get("allocs_per_step")
+        if hook != 1.0:
+            print(f"FAIL: {bench}/{n}: alloc_hook={hook!r} — counting "
+                  f"operator new/delete not linked; allocs/step is "
+                  f"meaningless")
+            ok = False
+            continue
+        if allocs is None:
+            print(f"FAIL: {bench}/{n}: no allocs_per_step counter")
+            ok = False
+            continue
+        verdict = "OK" if allocs <= max_allocs else "FAIL"
+        print(f"{verdict}: {bench}/{n}: {allocs:.6f} allocs/step "
+              f"(budget {max_allocs})")
+        if allocs > max_allocs:
+            print("      steady-state heap allocation crept back into the "
+                  "hot path (Message refs spilling? channel slots not "
+                  "pooled? scratch buffer freed per step?)")
+            ok = False
+    if ok:
+        print("OK: steady-state hot path is allocation-free")
+    return ok
+
+
+def emit_summary(path, step_entries, alloc_entries, ns):
+    summary = {
+        "schema": "fdp-kernel-bench/1",
+        "per_n": {},
+    }
+    for n in ns:
+        row = {}
+        if n in step_entries:
+            t = cpu_ns(step_entries[n])
+            row["ns_per_step"] = round(t, 3)
+            row["steps_per_sec"] = round(1e9 / t, 1) if t > 0 else None
+        if n in alloc_entries:
+            row["allocs_per_step"] = alloc_entries[n].get("allocs_per_step")
+            row["alloc_hook"] = alloc_entries[n].get("alloc_hook")
+        summary["per_n"][str(n)] = row
+    with open(path, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {path}")
 
 
 def main():
@@ -47,39 +156,29 @@ def main():
                     help="comma-separated world sizes to compare")
     ap.add_argument("--max-ratio", type=float, default=2.0,
                     help="largest allowed time(max n) / time(min n)")
+    ap.add_argument("--allocs-bench", default="BM_WorldStepAllocs")
+    ap.add_argument("--max-allocs", type=float, default=0.001,
+                    help="largest allowed steady-state allocations per step")
+    ap.add_argument("--skip-allocs", action="store_true",
+                    help="only check scaling, not the allocation budget")
+    ap.add_argument("--emit", metavar="PATH",
+                    help="write a condensed JSON summary (CI artifact)")
     args = ap.parse_args()
 
     ns = sorted(int(x) for x in args.ns.split(","))
-    times = load_times(args.json_path, args.bench)
-    missing = [n for n in ns if n not in times]
-    if missing:
-        print(f"FAIL: {args.json_path} has no {args.bench} results for "
-              f"n={missing} (have n={sorted(times)})")
-        return 1
+    step_entries = load_entries(args.json_path, args.bench)
+    alloc_entries = load_entries(args.json_path, args.allocs_bench)
 
-    for n in ns:
-        print(f"{args.bench}/{n}: {times[n]:.1f} ns/step")
+    ok = check_scaling(step_entries, ns, args.bench, args.max_ratio)
+    if not args.skip_allocs:
+        ok = check_allocs(alloc_entries, args.allocs_bench,
+                          args.max_allocs) and ok
 
-    base, top = times[ns[0]], times[ns[-1]]
-    ratio = top / base
-    print(f"ratio n={ns[-1]} vs n={ns[0]}: {ratio:.2f}x "
-          f"(limit {args.max_ratio:.2f}x)")
-    if ratio > args.max_ratio:
-        print(f"FAIL: per-step cost grows with world size — some O(n) scan "
-              f"is back on the hot path")
-        return 1
+    if args.emit:
+        emit_ns = sorted(set(ns) | set(alloc_entries))
+        emit_summary(args.emit, step_entries, alloc_entries, emit_ns)
 
-    # Also reject super-linear blowup between adjacent sampled sizes, so a
-    # regression localized to mid-range n cannot hide behind a fast top end.
-    for lo, hi in zip(ns, ns[1:]):
-        growth = times[hi] / times[lo]
-        if growth > args.max_ratio:
-            print(f"FAIL: step time grows {growth:.2f}x from n={lo} to "
-                  f"n={hi} (limit {args.max_ratio:.2f}x)")
-            return 1
-
-    print("OK: per-step kernel cost is flat in world size")
-    return 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -32,12 +32,19 @@ ExperimentResult ExperimentDriver::run(const ExperimentSpec& spec) const {
   const unsigned requested = spec.workers() != 0 ? spec.workers() : workers_;
   const auto t0 = std::chrono::steady_clock::now();
 
-  std::vector<TrialResult> trials =
-      parallel_map(spec.seed_count(), requested, [&](std::uint64_t i) {
+  // Each worker thread keeps one World alive for the whole sweep: a trial
+  // recycles the previous trial's world via build(seed, reuse), whose
+  // reset-based construction is byte-identical to a fresh build — only the
+  // allocator traffic differs.
+  struct WorkerState {
+    std::unique_ptr<World> world;
+  };
+  std::vector<TrialResult> trials = parallel_map_with<WorkerState>(
+      spec.seed_count(), requested, [&](std::uint64_t i, WorkerState& ws) {
         TrialResult t;
         t.index = i;
         t.seed = spec.trial_seed(i);
-        Scenario sc = spec.scenario().build(t.seed);
+        Scenario sc = spec.scenario().build(t.seed, std::move(ws.world));
         t.leaving_count = sc.leaving_count;
         if (spec.trace_pattern().empty()) {
           t.run = run_to_legitimacy(sc, spec);
@@ -48,6 +55,7 @@ ExperimentResult ExperimentDriver::run(const ExperimentSpec& spec) const {
           t.run = run_to_legitimacy(sc, spec, &trace);
           if (!trace.flush()) t.trace_error = trace.error();
         }
+        ws.world = std::move(sc.world);  // retire for the next trial
         return t;
       });
 

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -45,6 +46,42 @@ template <typename Fn>
     for (std::uint64_t i = next.fetch_add(1); i < count;
          i = next.fetch_add(1)) {
       out[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (unsigned t = 0; t < pool; ++t) threads.emplace_back(work);
+  for (std::thread& t : threads) t.join();
+  return out;
+}
+
+/// parallel_map with per-worker scratch state: each worker thread owns one
+/// default-constructed State for its whole lifetime and `fn(i, state)` may
+/// mutate it freely. This is how the driver reuses one World per thread
+/// across a trial sweep (the state caches the retired world between
+/// trials). Determinism contract: `fn`'s RESULT must not depend on the
+/// state's history — state is a capacity cache, not an input — so the
+/// output stays byte-identical for any worker count.
+template <typename State, typename Fn>
+[[nodiscard]] auto parallel_map_with(std::uint64_t count, unsigned workers,
+                                     Fn&& fn)
+    -> std::vector<decltype(fn(std::uint64_t{}, std::declval<State&>()))> {
+  using R = decltype(fn(std::uint64_t{}, std::declval<State&>()));
+  std::vector<R> out(static_cast<std::size_t>(count));
+  if (count == 0) return out;
+  const unsigned pool = std::min<std::uint64_t>(resolve_workers(workers),
+                                                count);
+  if (pool <= 1) {
+    State state{};
+    for (std::uint64_t i = 0; i < count; ++i) out[i] = fn(i, state);
+    return out;
+  }
+  std::atomic<std::uint64_t> next{0};
+  auto work = [&]() {
+    State state{};
+    for (std::uint64_t i = next.fetch_add(1); i < count;
+         i = next.fetch_add(1)) {
+      out[i] = fn(i, state);
     }
   };
   std::vector<std::thread> threads;

@@ -120,13 +120,20 @@ const char* to_string(ScenarioFamily f) {
 }
 
 Scenario ScenarioSpec::build(std::uint64_t seed) const {
+  return build(seed, nullptr);
+}
+
+Scenario ScenarioSpec::build(std::uint64_t seed,
+                             std::unique_ptr<World> reuse) const {
   ScenarioConfig cfg = config;
   cfg.seed = seed;
   switch (family) {
-    case ScenarioFamily::Departure: return build_departure_scenario(cfg);
+    case ScenarioFamily::Departure:
+      return build_departure_scenario(cfg, std::move(reuse));
     case ScenarioFamily::Framework:
-      return build_framework_scenario(cfg, overlay);
-    case ScenarioFamily::Baseline: return build_baseline_scenario(cfg);
+      return build_framework_scenario(cfg, overlay, std::move(reuse));
+    case ScenarioFamily::Baseline:
+      return build_baseline_scenario(cfg, std::move(reuse));
   }
   FDP_CHECK_MSG(false, "unknown scenario family");
   return {};
@@ -139,12 +146,16 @@ std::string ScenarioSpec::label() const {
   return s;
 }
 
-Scenario build_departure_scenario(const ScenarioConfig& cfg) {
+Scenario build_departure_scenario(const ScenarioConfig& cfg,
+                                  std::unique_ptr<World> reuse) {
   Rng rng(cfg.seed);
   const Population pop = plan_population(cfg, rng);
 
   Scenario sc;
-  sc.world = std::make_unique<World>(cfg.seed ^ 0x5eedULL);
+  // Fresh and recycled worlds take the same reset(seed) path, so a reused
+  // world replays byte-identically to a newly constructed one.
+  sc.world = reuse != nullptr ? std::move(reuse) : std::make_unique<World>();
+  sc.world->reset(cfg.seed ^ 0x5eedULL);
   sc.leaving = pop.leaving;
   sc.leaving_count = pop.leaving_count;
   for (std::size_t i = 0; i < cfg.n; ++i) {
@@ -166,12 +177,16 @@ Scenario build_departure_scenario(const ScenarioConfig& cfg) {
 }
 
 Scenario build_framework_scenario(const ScenarioConfig& cfg,
-                                  const std::string& overlay) {
+                                  const std::string& overlay,
+                                  std::unique_ptr<World> reuse) {
   Rng rng(cfg.seed);
   const Population pop = plan_population(cfg, rng);
 
   Scenario sc;
-  sc.world = std::make_unique<World>(cfg.seed ^ 0x5eedULL);
+  // Fresh and recycled worlds take the same reset(seed) path, so a reused
+  // world replays byte-identically to a newly constructed one.
+  sc.world = reuse != nullptr ? std::move(reuse) : std::make_unique<World>();
+  sc.world->reset(cfg.seed ^ 0x5eedULL);
   sc.leaving = pop.leaving;
   sc.leaving_count = pop.leaving_count;
   for (std::size_t i = 0; i < cfg.n; ++i) {
@@ -192,12 +207,16 @@ Scenario build_framework_scenario(const ScenarioConfig& cfg,
   return sc;
 }
 
-Scenario build_baseline_scenario(const ScenarioConfig& cfg) {
+Scenario build_baseline_scenario(const ScenarioConfig& cfg,
+                                 std::unique_ptr<World> reuse) {
   Rng rng(cfg.seed);
   const Population pop = plan_population(cfg, rng);
 
   Scenario sc;
-  sc.world = std::make_unique<World>(cfg.seed ^ 0x5eedULL);
+  // Fresh and recycled worlds take the same reset(seed) path, so a reused
+  // world replays byte-identically to a newly constructed one.
+  sc.world = reuse != nullptr ? std::move(reuse) : std::make_unique<World>();
+  sc.world->reset(cfg.seed ^ 0x5eedULL);
   sc.leaving = pop.leaving;
   sc.leaving_count = pop.leaving_count;
   for (std::size_t i = 0; i < cfg.n; ++i) {

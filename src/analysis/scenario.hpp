@@ -84,21 +84,36 @@ struct ScenarioSpec {
   /// so one spec drives a whole seed sweep.
   [[nodiscard]] Scenario build(std::uint64_t seed) const;
 
+  /// Like build(seed), but recycle `reuse` (a World retired from an
+  /// earlier trial) instead of constructing a new one: the world is
+  /// reset(seed)-rewound, which keeps every channel arena, index table
+  /// and scratch buffer at its high-water capacity. Results are
+  /// byte-identical to build(seed) — ExperimentDriver workers rely on
+  /// this to run a whole sweep with one World per thread. `reuse` may be
+  /// null (degenerates to build(seed)).
+  [[nodiscard]] Scenario build(std::uint64_t seed,
+                               std::unique_ptr<World> reuse) const;
+
   /// Short label ("departure/gnp/n32") for tables and CSV rows.
   [[nodiscard]] std::string label() const;
 };
 
-/// Population of bare DepartureProcess nodes (Section 3 protocol).
-[[nodiscard]] Scenario build_departure_scenario(const ScenarioConfig& cfg);
+/// Population of bare DepartureProcess nodes (Section 3 protocol). All
+/// builders accept an optional retired World to recycle (see
+/// ScenarioSpec::build(seed, reuse)).
+[[nodiscard]] Scenario build_departure_scenario(
+    const ScenarioConfig& cfg, std::unique_ptr<World> reuse = nullptr);
 
 /// Population of FrameworkProcess nodes hosting the named overlay
 /// (Section 4 protocol P′).
-[[nodiscard]] Scenario build_framework_scenario(const ScenarioConfig& cfg,
-                                                const std::string& overlay);
+[[nodiscard]] Scenario build_framework_scenario(
+    const ScenarioConfig& cfg, const std::string& overlay,
+    std::unique_ptr<World> reuse = nullptr);
 
 /// Population of baseline SortedListDeparture nodes (installs the NIDEC
 /// oracle regardless of cfg.oracle).
-[[nodiscard]] Scenario build_baseline_scenario(const ScenarioConfig& cfg);
+[[nodiscard]] Scenario build_baseline_scenario(
+    const ScenarioConfig& cfg, std::unique_ptr<World> reuse = nullptr);
 
 /// Cheap termination pre-checks used by run loops (full legitimacy is
 /// verified separately once these hold).

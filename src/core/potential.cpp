@@ -33,7 +33,7 @@ bool counts_invalid(const World& w, const RefInfo& r) {
   return !matches(r.mode, w.mode(target));
 }
 
-std::uint64_t invalid_count(const World& w, const std::vector<RefInfo>& refs) {
+std::uint64_t invalid_count(const World& w, std::span<const RefInfo> refs) {
   std::uint64_t n = 0;
   for (const RefInfo& r : refs)
     if (counts_invalid(w, r)) ++n;

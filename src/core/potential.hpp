@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "graph/process_graph.hpp"
 
@@ -48,7 +49,9 @@ class World;
 [[nodiscard]] bool counts_invalid(const World& w, const RefInfo& r);
 
 /// Number of Φ-counting instances in one reference list. O(|refs|).
+/// Takes a span so both std::vector and Message::refs (RefList) callers
+/// convert without copying.
 [[nodiscard]] std::uint64_t invalid_count(const World& w,
-                                          const std::vector<RefInfo>& refs);
+                                          std::span<const RefInfo> refs);
 
 }  // namespace fdp

@@ -23,7 +23,7 @@ const NeighborSet& OverlayProtocol::store() const {
 }
 
 void OverlayProtocol::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                         const std::vector<RefInfo>& refs) {
+                                         std::span<const RefInfo> refs) {
   (void)ctx;
   (void)tag;
   for (const RefInfo& r : refs) integrate(r);

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/ids.hpp"
@@ -64,9 +65,18 @@ class OverlayProtocol {
 
   /// A P action arrived. Default: kTagDeliverRef integrates every carried
   /// reference; other tags are integrated too (conservative default that
-  /// never destroys references).
+  /// never destroys references). Spans so both std::vector and the
+  /// kernel's inline RefList bind without copying.
   virtual void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                  const std::vector<RefInfo>& refs);
+                                  std::span<const RefInfo> refs);
+  /// Braced-list convenience (a span cannot bind an initializer list);
+  /// dispatches to the virtual overload. Overriders re-expose it with
+  /// `using OverlayProtocol::on_overlay_message;`.
+  void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
+                          std::initializer_list<RefInfo> refs) {
+    on_overlay_message(
+        ctx, tag, std::span<const RefInfo>(refs.begin(), refs.size()));
+  }
 
   // --- storage (default: one NeighborSet) ---
 

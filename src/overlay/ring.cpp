@@ -98,7 +98,7 @@ void RingOverlay::handle_wrap(OverlayCtx& ctx, const RefInfo& r) {
 }
 
 void RingOverlay::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                     const std::vector<RefInfo>& refs) {
+                                     std::span<const RefInfo> refs) {
   if (tag == kTagWrap) {
     for (const RefInfo& r : refs) handle_wrap(ctx, r);
     return;

@@ -40,8 +40,9 @@ class RingOverlay final : public OverlayProtocol {
   [[nodiscard]] const char* name() const override { return "ring"; }
 
   void maintain(OverlayCtx& ctx) override;
+  using OverlayProtocol::on_overlay_message;
   void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                          const std::vector<RefInfo>& refs) override;
+                          std::span<const RefInfo> refs) override;
   /// Kept neighbors only: closest left, closest right and the wrap slot.
   [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
 

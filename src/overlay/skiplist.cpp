@@ -138,7 +138,7 @@ void SkipListOverlay::integrate(const RefInfo& r) {
 }
 
 void SkipListOverlay::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                         const std::vector<RefInfo>& refs) {
+                                         std::span<const RefInfo> refs) {
   if (tag == kTagTallLeft || tag == kTagTallRight) {
     for (const RefInfo& r : refs) handle_transit(ctx, r, tag == kTagTallLeft);
     return;

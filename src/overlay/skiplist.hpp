@@ -46,8 +46,9 @@ class SkipListOverlay final : public OverlayProtocol {
   [[nodiscard]] const char* name() const override { return "skiplist"; }
 
   void maintain(OverlayCtx& ctx) override;
+  using OverlayProtocol::on_overlay_message;
   void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                          const std::vector<RefInfo>& refs) override;
+                          std::span<const RefInfo> refs) override;
   [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
 
   // Storage: base NeighborSet (level 0) + the two level-1 slots.

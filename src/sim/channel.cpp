@@ -2,26 +2,40 @@
 
 #include <utility>
 
+#include "sim/message_pool.hpp"
 #include "util/check.hpp"
 
 namespace fdp {
 
 void Channel::push(Message m) {
-  const bool fresh = slot_.emplace(m.seq, msgs_.size()).second;
+  const bool fresh = slot_.emplace(
+      m.seq, static_cast<std::uint32_t>(order_.size()));
   FDP_CHECK_MSG(fresh, "duplicate sequence number pushed into channel");
   if (heap_synced_) min_seq_.push(m.seq);
-  msgs_.push_back(std::move(m));
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+    slots_[s] = std::move(m);
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(m));
+  }
+  order_.push_back(s);
 }
 
 Message Channel::take(std::size_t i) {
-  FDP_CHECK(i < msgs_.size());
-  Message m = std::move(msgs_[i]);
+  FDP_CHECK(i < order_.size());
+  const std::uint32_t s = order_[i];
+  Message m = std::move(slots_[s]);
   slot_.erase(m.seq);
-  if (i != msgs_.size() - 1) {
-    msgs_[i] = std::move(msgs_.back());
-    slot_[msgs_[i].seq] = i;
+  free_.push_back(s);
+  if (i != order_.size() - 1) {
+    order_[i] = order_.back();
+    slot_.insert_or_assign(slots_[order_[i]].seq,
+                           static_cast<std::uint32_t>(i));
   }
-  msgs_.pop_back();
+  order_.pop_back();
   // m.seq's heap entry (if any) goes stale; oldest_index() discards it
   // lazily.
   return m;
@@ -31,28 +45,42 @@ std::size_t Channel::oldest_index() const {
   if (!heap_synced_) {
     // First oldest-message query on this channel: build the heap from the
     // live message set. O(m) once; maintained incrementally afterwards.
-    min_seq_ = {};
-    for (const Message& m : msgs_) min_seq_.push(m.seq);
+    min_seq_.clear();
+    for (std::size_t i = 0; i < order_.size(); ++i)
+      min_seq_.push(slots_[order_[i]].seq);
     heap_synced_ = true;
   }
   while (!min_seq_.empty()) {
-    const auto it = slot_.find(min_seq_.top());
-    if (it != slot_.end()) return it->second;
+    const std::uint32_t* idx = slot_.find(min_seq_.top());
+    if (idx != nullptr) return *idx;
     min_seq_.pop();  // stale: that message was taken
   }
-  return msgs_.size();
+  return order_.size();
 }
 
 std::size_t Channel::index_of_seq(std::uint64_t seq) const {
-  const auto it = slot_.find(seq);
-  return it != slot_.end() ? it->second : msgs_.size();
+  const std::uint32_t* idx = slot_.find(seq);
+  return idx != nullptr ? *idx : order_.size();
 }
 
-void Channel::clear() {
-  msgs_.clear();
+void Channel::clear() { reset(nullptr); }
+
+void Channel::reset(MessagePool* pool) {
+  if (pool != nullptr) {
+    // Only live slots can hold a spilled buffer (take() move-empties the
+    // dead ones), so harvesting the dense view covers everything.
+    for (const std::uint32_t s : order_) pool->recycle(slots_[s]);
+  }
+  order_.clear();
   slot_.clear();
-  min_seq_ = {};
+  min_seq_.clear();
   heap_synced_ = false;
+  // Refill the freelist so pushes reuse slots in ascending arena order —
+  // the same order a fresh channel would assign them.
+  free_.clear();
+  for (std::uint32_t s = static_cast<std::uint32_t>(slots_.size()); s > 0;
+       --s)
+    free_.push_back(s - 1);
 }
 
 }  // namespace fdp

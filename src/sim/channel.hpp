@@ -1,14 +1,23 @@
 // Channels.
 //
 // The paper's channel u.Ch is a *set* of messages with unbounded capacity,
-// no loss and no ordering guarantee (non-FIFO delivery). We store messages
+// no loss and no ordering guarantee (non-FIFO delivery). We expose messages
 // in arrival order but let the scheduler remove any element, which yields
-// exactly the paper's semantics: the order of the backing vector carries no
-// meaning beyond supporting age-based fair-receipt scheduling.
+// exactly the paper's semantics: the dense order carries no meaning beyond
+// supporting age-based fair-receipt scheduling.
 //
-// Alongside the backing vector the channel maintains two indices so that
-// the kernel's hot-path queries never scan the message set:
-//  * a seq -> slot hash, making index_of_seq/contains O(1) expected, and
+// Storage is a slot pool: messages live in a stable arena (`slots_`), dead
+// slots go onto a freelist, and a dense index array (`order_`) presents the
+// same arrival-order-with-swap-remove view the old message vector had —
+// peek(i) enumerates byte-identically to the previous layout, but take()
+// moves one 8-byte index instead of a Message, and a drained-and-refilled
+// channel allocates nothing (slots, freelist, hash and heap all keep their
+// capacity; see DESIGN.md, "memory model").
+//
+// Alongside the arena the channel maintains two indices so that the
+// kernel's hot-path queries never scan the message set:
+//  * a seq -> dense-slot flat hash, making index_of_seq/contains O(1)
+//    expected with no per-entry allocation, and
 //  * a lazily-compacted min-heap of sequence numbers, making oldest_index
 //    O(log m) amortized (each pushed seq is popped at most once; stale
 //    heads — seqs already taken — are discarded on query). The heap is
@@ -20,25 +29,81 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/message.hpp"
+#include "util/check.hpp"
+#include "util/flat_map.hpp"
+#include "util/min_heap.hpp"
 
 namespace fdp {
+
+class MessagePool;
 
 class Channel {
  public:
   void push(Message m);
 
-  [[nodiscard]] bool empty() const { return msgs_.empty(); }
-  [[nodiscard]] std::size_t size() const { return msgs_.size(); }
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
 
-  [[nodiscard]] const Message& peek(std::size_t i) const { return msgs_[i]; }
-  [[nodiscard]] const std::vector<Message>& messages() const { return msgs_; }
+  /// The message at dense position i (arrival order modulo swap-removes —
+  /// the enumeration order every scan-equivalent query is defined over).
+  [[nodiscard]] const Message& peek(std::size_t i) const {
+    FDP_DCHECK(i < order_.size());
+    return slots_[order_[i]];
+  }
 
-  /// Remove and return the message at index i (any index — non-FIFO).
+  /// Lightweight range view over the live messages in dense order — the
+  /// drop-in replacement for the old `const std::vector<Message>&` return
+  /// (messages no longer sit contiguously; they live in pooled slots).
+  class View {
+   public:
+    class iterator {
+     public:
+      using value_type = Message;
+      using reference = const Message&;
+      using difference_type = std::ptrdiff_t;
+      iterator(const Channel* ch, std::size_t i) : ch_(ch), i_(i) {}
+      reference operator*() const { return ch_->peek(i_); }
+      const Message* operator->() const { return &ch_->peek(i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator t = *this;
+        ++i_;
+        return t;
+      }
+      friend bool operator==(iterator a, iterator b) { return a.i_ == b.i_; }
+      friend bool operator!=(iterator a, iterator b) { return a.i_ != b.i_; }
+
+     private:
+      const Channel* ch_;
+      std::size_t i_;
+    };
+
+    explicit View(const Channel* ch) : ch_(ch) {}
+    [[nodiscard]] iterator begin() const { return {ch_, 0}; }
+    [[nodiscard]] iterator end() const { return {ch_, ch_->size()}; }
+    [[nodiscard]] std::size_t size() const { return ch_->size(); }
+    [[nodiscard]] bool empty() const { return ch_->empty(); }
+    [[nodiscard]] const Message& operator[](std::size_t i) const {
+      return ch_->peek(i);
+    }
+    [[nodiscard]] const Message& front() const { return ch_->peek(0); }
+    [[nodiscard]] const Message& back() const {
+      return ch_->peek(ch_->size() - 1);
+    }
+
+   private:
+    const Channel* ch_;
+  };
+
+  [[nodiscard]] View messages() const { return View(this); }
+
+  /// Remove and return the message at dense index i (any index — non-FIFO).
   [[nodiscard]] Message take(std::size_t i);
 
   /// Index of the message with the smallest sequence number (oldest send),
@@ -50,21 +115,31 @@ class Channel {
 
   /// Whether a message with this sequence number is present.
   [[nodiscard]] bool contains(std::uint64_t seq) const {
-    return slot_.find(seq) != slot_.end();
+    return slot_.contains(seq);
   }
 
   void clear();
 
+  /// Rewind to empty without freeing anything: the arena, freelist, hash
+  /// and heap all keep their capacity, and spilled ref buffers of live
+  /// messages are handed to `pool` (when given) instead of freed. After
+  /// reset the slot-assignment order matches a freshly constructed
+  /// channel, so a reused world replays byte-identically.
+  void reset(MessagePool* pool);
+
  private:
-  std::vector<Message> msgs_;
-  /// seq -> index into msgs_.
-  std::unordered_map<std::uint64_t, std::size_t> slot_;
+  /// Stable message arena; dead slots keep a moved-out Message.
+  std::vector<Message> slots_;
+  /// Arena indices of dead slots, ready for reuse.
+  std::vector<std::uint32_t> free_;
+  /// Dense view: order_[i] is the arena slot of the i-th live message.
+  std::vector<std::uint32_t> order_;
+  /// seq -> dense index into order_.
+  FlatMap64<std::uint32_t> slot_;
   /// Min-heap of seqs, compacted lazily in oldest_index(). Built on the
   /// first oldest_index() call and maintained from then on; channels that
   /// are never asked for their oldest message pay nothing on push().
-  mutable std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
-                              std::greater<>>
-      min_seq_;
+  mutable MinHeap<std::uint64_t> min_seq_;
   mutable bool heap_synced_ = false;
 };
 

@@ -7,7 +7,7 @@ namespace fdp {
 
 void Context::send(Ref to, Message m) {
   FDP_CHECK_MSG(to.valid(), "send to null reference");
-  sends_.emplace_back(to, std::move(m));
+  sends_->emplace_back(to, std::move(m));
 }
 
 bool Context::oracle() const {

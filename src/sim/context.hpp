@@ -47,21 +47,26 @@ class Context {
 
   // --- kernel access ---
   [[nodiscard]] const std::vector<std::pair<Ref, Message>>& sends() const {
-    return sends_;
+    return *sends_;
   }
   [[nodiscard]] bool exit_requested() const { return exit_requested_; }
   [[nodiscard]] bool sleep_requested() const { return sleep_requested_; }
 
  private:
   friend class World;
-  Context(World* world, Ref self, std::uint64_t step, Rng* rng)
-      : world_(world), self_(self), step_(step), rng_(rng) {}
+  /// `sends` is a World-owned scratch buffer, cleared (capacity kept) by
+  /// the kernel before each action — a Context per step must not cost a
+  /// vector allocation. The kernel is single-threaded and actions never
+  /// nest, so one buffer per World suffices.
+  Context(World* world, Ref self, std::uint64_t step, Rng* rng,
+          std::vector<std::pair<Ref, Message>>* sends)
+      : world_(world), self_(self), step_(step), rng_(rng), sends_(sends) {}
 
   World* world_;
   Ref self_;
   std::uint64_t step_;
   Rng* rng_;
-  std::vector<std::pair<Ref, Message>> sends_;
+  std::vector<std::pair<Ref, Message>>* sends_;
   bool exit_requested_ = false;
   bool sleep_requested_ = false;
 };

@@ -8,12 +8,19 @@
 // Every process reference carried by a message appears in `refs`; the kernel
 // derives the *implicit edges* of the process graph from exactly this field,
 // so a protocol cannot smuggle references past the connectivity accounting.
+//
+// `refs` is a SmallVec with two inline slots: the paper's protocol actions
+// carry at most one or two references (present(v), forward(v), verify(u),
+// process(v)), so constructing, copying and consuming a message never
+// touches the allocator in the common case. Only overlay batch messages
+// with three or more references spill to the heap; those spilled buffers
+// are recycled by the per-world MessagePool instead of freed.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "sim/ids.hpp"
+#include "util/small_vec.hpp"
 
 namespace fdp {
 
@@ -46,6 +53,9 @@ enum class Verb : std::uint8_t {
   return "?";
 }
 
+/// Reference payload of a message: two inline slots, heap beyond.
+using RefList = SmallVec<RefInfo, 2>;
+
 struct Message {
   Verb verb = Verb::User;
   /// Overlay-protocol action selector (meaningful for Verb::Overlay).
@@ -53,7 +63,7 @@ struct Message {
   /// Correlation token (Section-4 framework: mlist entry id).
   std::uint64_t token = 0;
   /// Every process reference this message carries.
-  std::vector<RefInfo> refs;
+  RefList refs;
 
   // --- kernel bookkeeping (set by World::step on send) ---
   /// Globally unique, monotonically increasing send sequence number.

@@ -1,0 +1,81 @@
+// Recycler for the rare spilled Message::refs buffers.
+//
+// Messages carry their references inline (RefList keeps two slots in the
+// Message object), so the hot path never allocates. Overlay batch messages
+// can exceed two references and spill to a heap buffer; when the kernel
+// consumes or drops such a message, the World hands it to its MessagePool,
+// which detaches the buffer into a freelist instead of freeing it.
+// duplicate_message and other kernel-side copy paths then draw from the
+// freelist, so a channel that drains and refills — even with oversized
+// messages — reaches zero steady-state allocations.
+//
+// Debug builds assert the freelist never receives the same buffer twice
+// (a double release would hand one buffer to two messages).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+class MessagePool {
+ public:
+  MessagePool() = default;
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+  ~MessagePool() {
+    for (const RefList::HeapBuf& b : free_) ::operator delete(b.ptr);
+  }
+
+  /// Harvest the spilled buffer of a dead message (if any) into the
+  /// freelist. The message is left empty on inline storage.
+  void recycle(Message& m) { release(m.refs.release_heap()); }
+
+  /// Return a detached buffer to the freelist. No-op for {nullptr, 0}.
+  void release(RefList::HeapBuf b) {
+    if (b.ptr == nullptr) return;
+#if !defined(NDEBUG)
+    for (const RefList::HeapBuf& f : free_)
+      FDP_DCHECK(f.ptr != b.ptr);  // double release: buffer already pooled
+#endif
+    free_.push_back(b);
+  }
+
+  /// Take a pooled buffer with capacity >= need, or {nullptr, 0} when the
+  /// freelist has none (the caller falls back to a plain allocation).
+  [[nodiscard]] RefList::HeapBuf acquire(std::size_t need) {
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].cap >= need) {
+        const RefList::HeapBuf b = free_[i];
+        free_[i] = free_.back();
+        free_.pop_back();
+        return b;
+      }
+    }
+    return {};
+  }
+
+  /// Copy `src` into `dst` using pooled storage when `src` does not fit
+  /// inline — the allocation-free message copy used by kernel duplication.
+  void assign_refs(RefList& dst, std::span<const RefInfo> src) {
+    if (src.size() > dst.capacity()) {
+      const RefList::HeapBuf b = acquire(src.size());
+      if (b.ptr != nullptr) {
+        release(dst.release_heap());
+        dst.adopt_heap(b);
+      }
+    }
+    dst.assign(src.data(), src.size());
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<RefList::HeapBuf> free_;
+};
+
+}  // namespace fdp

@@ -6,6 +6,28 @@ namespace fdp {
 
 World::World(std::uint64_t seed) : rng_(seed) {}
 
+void World::reset(std::uint64_t seed) {
+  // Drain every channel into the message pool first: only live messages
+  // can own spilled ref buffers, and recycling them is what makes a reused
+  // world's next trial allocation-free even for oversized messages.
+  for (Channel& ch : channels_) ch.reset(&msg_pool_);
+  procs_.clear();  // protocol state is per-trial; processes are rebuilt
+  // channels_/life_mirror_/ref rows are retained: spawn() reuses row id
+  // when present, and rows beyond the next population's size are never
+  // read (every kernel loop is bounded by procs_.size()).
+  observers_.clear();
+  oracle_ = nullptr;
+  rng_ = Rng(seed);
+  next_seq_ = 1;
+  steps_ = timeouts_ = deliveries_ = sends_ = exits_ = sleeps_ = wakes_ = 0;
+  awake_fw_.clear();
+  live_fw_.clear();
+  live_seq_.clear();
+  oldest_heap_.clear();
+  quiet_count_ = 0;
+  edges_synced_ = false;  // rebuilt lazily; rows cleared by the rebuild
+}
+
 const Message& World::admit(ProcessId to, Message&& m) {
   m.seq = next_seq_++;
   m.enqueued_at = steps_;
@@ -28,7 +50,7 @@ Message World::take_message(ProcessId p, std::size_t idx) {
   Message m = channels_[p].take(idx);
   // Registered iff the holder was live; its oldest_heap_ entry goes stale
   // and is discarded lazily.
-  if (live_seq_.erase(m.seq) > 0) {
+  if (live_seq_.erase(m.seq)) {
     live_fw_.add(p, -1);
     if (edges_synced_) remove_message_refs(p, m);
   }
@@ -123,8 +145,16 @@ void World::deregister_process_edges(ProcessId p) const {
 
 void World::ensure_edge_index() const {
   if (edges_synced_) return;
-  ref_out_.assign(size(), {});
-  ref_in_.assign(size(), {});
+  // Clear row by row instead of assign(): assign would free every inner
+  // vector's capacity, turning each rebuild into O(n) fresh allocations.
+  if (ref_out_.size() < size()) {
+    ref_out_.resize(size());
+    ref_in_.resize(size());
+  }
+  for (ProcessId p = 0; p < size(); ++p) {
+    ref_out_[p].clear();
+    ref_in_[p].clear();
+  }
   for (ProcessId p = 0; p < size(); ++p) {
     // Refresh the stored-ref cache for everyone — including gone
     // processes, whose refs can no longer change but must be re-added
@@ -190,8 +220,9 @@ bool World::discard_message(ProcessId id, std::uint64_t seq) {
   FDP_CHECK(id < size());
   const std::size_t idx = channels_[id].index_of_seq(seq);
   if (idx >= channels_[id].size()) return false;
-  const Message taken = take_message(id, idx);
+  Message taken = take_message(id, idx);
   if (!observers_.empty()) notify_remove(id, taken);
+  msg_pool_.recycle(taken);
   return true;
 }
 
@@ -200,7 +231,14 @@ bool World::duplicate_message(ProcessId id, std::uint64_t seq) {
   const Channel& ch = channels_[id];
   const std::size_t idx = ch.index_of_seq(seq);
   if (idx >= ch.size()) return false;
-  Message copy = ch.peek(idx);
+  const Message& src = ch.peek(idx);
+  Message copy;
+  copy.verb = src.verb;
+  copy.tag = src.tag;
+  copy.token = src.token;
+  // Pool-backed ref copy: a duplicated oversized message reuses a recycled
+  // spill buffer instead of allocating one.
+  msg_pool_.assign_refs(copy.refs, {src.refs.data(), src.refs.size()});
   const Message& admitted = admit(id, std::move(copy));
   if (!observers_.empty()) notify_inject(id, admitted);
   return true;
@@ -210,8 +248,9 @@ void World::clear_channel(ProcessId id) {
   FDP_CHECK(id < channels_.size());
   Channel& ch = channels_[id];
   while (!ch.empty()) {
-    const Message taken = take_message(id, ch.size() - 1);
+    Message taken = take_message(id, ch.size() - 1);
     if (!observers_.empty()) notify_remove(id, taken);
+    msg_pool_.recycle(taken);
   }
 }
 
@@ -243,8 +282,8 @@ std::vector<ProcessId> World::deliverable_ids() const {
 std::pair<ProcessId, std::uint64_t> World::oldest_live_message() const {
   while (!oldest_heap_.empty()) {
     const auto [seq, p] = oldest_heap_.top();
-    const auto it = live_seq_.find(seq);
-    if (it != live_seq_.end() && it->second == p) return {p, seq};
+    const ProcessId* holder = live_seq_.find(seq);
+    if (holder != nullptr && *holder == p) return {p, seq};
     oldest_heap_.pop();  // stale: consumed, dropped, or holder gone
   }
   return {kNoProcess, ~0ULL};
@@ -283,7 +322,8 @@ void World::execute(ActionChoice choice) {
       p.collect_refs(rec.refs_before);
   }
 
-  Context ctx(this, p.self(), steps_, &rng_);
+  sends_scratch_.clear();  // capacity retained across steps
+  Context ctx(this, p.self(), steps_, &rng_, &sends_scratch_);
 
   if (choice.kind == ActionChoice::Kind::Timeout) {
     FDP_CHECK_MSG(p.life() == LifeState::Awake,
@@ -312,11 +352,12 @@ void World::execute(ActionChoice choice) {
       rec.consumed = m;
     }
     p.on_message(ctx, m);
+    msg_pool_.recycle(m);  // consumed: pool any spilled ref buffer
   }
 
   // Apply buffered outputs: sends first, then the special commands. The
   // paper's exit/sleep take effect as part of the same atomic action.
-  for (auto& [to, msg] : ctx.sends_) {
+  for (auto& [to, msg] : sends_scratch_) {
     FDP_CHECK(to.valid() && to.id() < size());
     ++sends_;
     const Message& admitted = admit(to.id(), std::move(msg));

@@ -34,19 +34,20 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/channel.hpp"
 #include "sim/context.hpp"
 #include "sim/ids.hpp"
+#include "sim/message_pool.hpp"
 #include "sim/observer.hpp"
 #include "sim/process.hpp"
 #include "sim/scheduler.hpp"
 #include "util/check.hpp"
 #include "util/fenwick.hpp"
+#include "util/flat_map.hpp"
+#include "util/min_heap.hpp"
 #include "util/rng.hpp"
 
 namespace fdp {
@@ -62,23 +63,42 @@ class World {
 
   explicit World(std::uint64_t seed = 1);
 
+  /// Rewind to the freshly-constructed-with-`seed` state WITHOUT freeing
+  /// memory: every channel arena, Fenwick tree, hash table, heap and
+  /// scratch buffer keeps its capacity, and spilled message-ref buffers
+  /// are recycled into the message pool. A reset world re-populated by the
+  /// same spawn/wiring sequence replays byte-identically to a fresh one —
+  /// which is what lets ExperimentDriver workers reuse one World across a
+  /// whole trial sweep instead of reallocating it per trial.
+  void reset(std::uint64_t seed);
+
   // --- population ---
 
   /// Construct a process of type P in this world. P's constructor must
-  /// accept (Ref self, Mode mode, std::uint64_t key, Args...).
+  /// accept (Ref self, Mode mode, std::uint64_t key, Args...). Per-id
+  /// kernel rows left behind by World::reset are reused, not reallocated.
   template <typename P, typename... Args>
   Ref spawn(Mode mode, std::uint64_t key, Args&&... args) {
     const ProcessId id = static_cast<ProcessId>(procs_.size());
     const Ref r = Ref::make(id);
     procs_.push_back(
         std::make_unique<P>(r, mode, key, std::forward<Args>(args)...));
-    channels_.emplace_back();
-    life_mirror_.push_back(LifeState::Awake);  // processes spawn awake
+    if (id < channels_.size()) {
+      // Row retained across a reset; the channel was drained by reset().
+      FDP_DCHECK(channels_[id].empty());
+      life_mirror_[id] = LifeState::Awake;  // processes spawn awake
+      ref_out_[id].clear();
+      ref_in_[id].clear();
+      ref_list_[id].clear();
+    } else {
+      channels_.emplace_back();
+      life_mirror_.push_back(LifeState::Awake);
+      ref_out_.emplace_back();
+      ref_in_.emplace_back();
+      ref_list_.emplace_back();
+    }
     awake_fw_.push_back(1);
     live_fw_.push_back(0);
-    ref_out_.emplace_back();
-    ref_in_.emplace_back();
-    ref_list_.emplace_back();
     return r;
   }
 
@@ -250,8 +270,8 @@ class World {
   /// kNoProcess (consumed, dropped, or in a gone process's channel). O(1)
   /// expected.
   [[nodiscard]] ProcessId find_live_message(std::uint64_t seq) const {
-    const auto it = live_seq_.find(seq);
-    return it != live_seq_.end() ? it->second : kNoProcess;
+    const ProcessId* p = live_seq_.find(seq);
+    return p != nullptr ? *p : kNoProcess;
   }
 
   // --- statistics ---
@@ -315,15 +335,17 @@ class World {
   // --- maintained world indices (see file comment) ---
   Fenwick awake_fw_;  ///< weight 1 per awake process
   Fenwick live_fw_;   ///< channel size per non-gone process, else 0
-  /// seq -> holder for every live message.
-  std::unordered_map<std::uint64_t, ProcessId> live_seq_;
+  /// seq -> holder for every live message. Flat open-addressing table:
+  /// steady-state insert/erase never touch the allocator.
+  FlatMap64<ProcessId> live_seq_;
   /// Min-heap over (seq, proc) of every registration; stale entries
   /// (consumed/dropped/gone) are discarded lazily in oldest_live_message.
-  mutable std::priority_queue<
-      std::pair<std::uint64_t, ProcessId>,
-      std::vector<std::pair<std::uint64_t, ProcessId>>,
-      std::greater<>>
-      oldest_heap_;
+  mutable MinHeap<std::pair<std::uint64_t, ProcessId>> oldest_heap_;
+  /// Recycler for spilled Message::refs buffers (see sim/message_pool.hpp).
+  MessagePool msg_pool_;
+  /// Reused Context output buffer — one action's sends, cleared (capacity
+  /// kept) at the start of every execute().
+  std::vector<std::pair<Ref, Message>> sends_scratch_;
   /// Asleep processes with empty channels (hibernation candidates).
   std::uint64_t quiet_count_ = 0;
   /// Lazy PG edge-instance index over instances held by non-gone

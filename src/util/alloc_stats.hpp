@@ -1,0 +1,43 @@
+// Thread-local allocation counters.
+//
+// The zero-allocation steady-state claim (DESIGN.md, "memory model") is
+// enforced, not asserted: benchmarks and tests read these counters around a
+// measured region and fail when the count moves. The counters are bumped by
+// replacement operator new/delete defined in alloc_stats_hook.cpp — a TU
+// linked ONLY into the bench and test binaries, never into the fdp library,
+// so shipping code pays nothing. When the hook TU is absent the counters
+// simply stay zero; callers must check hooked() before treating a zero
+// delta as proof (a gate that cannot fail measures nothing).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fdp::alloc_stats {
+
+struct Counters {
+  std::uint64_t allocs = 0;    ///< operator new calls (all variants)
+  std::uint64_t deallocs = 0;  ///< operator delete calls (all variants)
+  std::uint64_t bytes = 0;     ///< total bytes requested
+};
+
+/// Per-thread running totals since thread start. Trivially constructible on
+/// purpose: operator new may run before any dynamic initializer.
+inline thread_local Counters tl_counters{};
+
+/// Set once by alloc_stats_hook.cpp's initializer; false in binaries that
+/// do not link the hook TU.
+inline std::atomic<bool> hook_installed{false};
+
+[[nodiscard]] inline bool hooked() {
+  return hook_installed.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline Counters snapshot() { return tl_counters; }
+
+/// Allocations on this thread since `before` was snapshotted.
+[[nodiscard]] inline std::uint64_t allocs_since(const Counters& before) {
+  return tl_counters.allocs - before.allocs;
+}
+
+}  // namespace fdp::alloc_stats

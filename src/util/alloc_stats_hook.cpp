@@ -1,0 +1,108 @@
+// Replacement global operator new/delete that count into
+// alloc_stats::tl_counters. Linked only into bench and test executables
+// (see bench/CMakeLists.txt, tests/CMakeLists.txt) — the fdp library itself
+// never carries this TU, so instrumentation cannot leak into normal use.
+//
+// Every replaceable allocation signature is covered so no call path slips
+// past the counters: plain, array, aligned, and nothrow forms. Sized
+// deletes funnel into the unsized ones.
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc_stats.hpp"
+
+namespace {
+
+struct HookInstalledFlag {
+  HookInstalledFlag() {
+    fdp::alloc_stats::hook_installed.store(true, std::memory_order_relaxed);
+  }
+} hook_installed_flag;
+
+void* counted_alloc(std::size_t n) {
+  auto& c = fdp::alloc_stats::tl_counters;
+  ++c.allocs;
+  c.bytes += n;
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  auto& c = fdp::alloc_stats::tl_counters;
+  ++c.allocs;
+  c.bytes += n;
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, n == 0 ? align : n) != 0) return nullptr;
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ++fdp::alloc_stats::tl_counters.deallocs;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t al) {
+  void* p = counted_aligned_alloc(n, static_cast<std::size_t>(al));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t al) {
+  void* p = counted_aligned_alloc(n, static_cast<std::size_t>(al));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -94,6 +94,15 @@ class Fenwick {
     return pos;  // 1-based prefix end == 0-based position
   }
 
+  /// Shrink to an empty index space, keeping the backing capacity so a
+  /// rebuilt population (World::reset + re-spawn) allocates nothing.
+  void clear() {
+    weight_.clear();
+    tree_.clear();
+    tree_.push_back(0);
+    total_ = 0;
+  }
+
   /// Smallest position >= from with positive weight, or size() if none.
   [[nodiscard]] std::size_t next_positive(std::size_t from) const {
     if (from >= weight_.size()) return weight_.size();

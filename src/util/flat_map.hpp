@@ -1,0 +1,147 @@
+// Open-addressing hash map from non-zero 64-bit keys to small values.
+//
+// The kernel's seq -> holder / seq -> slot indices used to be
+// std::unordered_map, whose node-per-entry layout costs one allocation per
+// insert and one free per erase — on the hot path that is one alloc per
+// message sent. FlatMap64 stores entries in one power-of-two slot array
+// (linear probing, backward-shift deletion), so in steady state — once the
+// table has grown to its high-water size — insert and erase never touch
+// the allocator, and clear() keeps the capacity for the next trial.
+//
+// Key 0 is the empty-slot sentinel and must not be inserted; the kernel's
+// keys are message sequence numbers, which start at 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+template <typename V>
+class FlatMap64 {
+ public:
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Insert (key, val) if absent. Returns true when inserted, false when
+  /// the key was already present (the stored value is left untouched).
+  bool emplace(std::uint64_t key, V val) {
+    FDP_DCHECK(key != 0);
+    reserve_one();
+    std::size_t i = ideal(key);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].val = val;
+    ++size_;
+    return true;
+  }
+
+  /// Insert or overwrite.
+  void insert_or_assign(std::uint64_t key, V val) {
+    FDP_DCHECK(key != 0);
+    reserve_one();
+    std::size_t i = ideal(key);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) {
+        slots_[i].val = val;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].val = val;
+    ++size_;
+  }
+
+  [[nodiscard]] const V* find(std::uint64_t key) const {
+    if (size_ == 0) return nullptr;
+    std::size_t i = ideal(key);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == key) return &slots_[i].val;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Remove the key; true when it was present. Backward-shift deletion:
+  /// no tombstones, so probe lengths never degrade over a long run.
+  bool erase(std::uint64_t key) {
+    if (size_ == 0) return false;
+    std::size_t i = ideal(key);
+    while (slots_[i].key != key) {
+      if (slots_[i].key == 0) return false;
+      i = (i + 1) & mask_;
+    }
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (slots_[j].key == 0) break;
+      const std::size_t k = ideal(slots_[j].key);
+      // Slot j may fill the hole at i iff its ideal position is cyclically
+      // outside (i, j] — otherwise moving it would break its probe chain.
+      const bool movable = j > i ? (k <= i || k > j) : (k <= i && k > j);
+      if (movable) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i].key = 0;
+    --size_;
+    return true;
+  }
+
+  /// Empty the map but keep the slot array (steady-state reuse).
+  void clear() {
+    for (Slot& s : slots_) s.key = 0;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    V val{};
+  };
+
+  [[nodiscard]] std::size_t ideal(std::uint64_t key) const {
+    // splitmix64 finalizer: sequential seqs must not probe sequentially.
+    std::uint64_t k = key;
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k) & mask_;
+  }
+
+  void reserve_one() {
+    if (slots_.empty()) {
+      slots_.resize(16);
+      mask_ = 15;
+      return;
+    }
+    // Grow at 3/4 load.
+    if ((size_ + 1) * 4 <= slots_.size() * 3) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const Slot& s : old)
+      if (s.key != 0) emplace(s.key, s.val);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fdp

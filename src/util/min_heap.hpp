@@ -1,0 +1,63 @@
+// A min-heap over a reusable vector.
+//
+// std::priority_queue hides its container, so the only way to empty one is
+// to assign a fresh instance — which frees the backing store. The kernel's
+// lazily-compacted min-seq heaps live for the whole process and are rewound
+// on World::reset, so they need clear()-keeps-capacity semantics (and an
+// O(n) bulk rebuild for the lazily built per-channel heaps). Top/pop/push
+// behave exactly like std::priority_queue with std::greater: top() is the
+// smallest element.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+template <typename T>
+class MinHeap {
+ public:
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+
+  [[nodiscard]] const T& top() const {
+    FDP_DCHECK(!v_.empty());
+    return v_.front();
+  }
+
+  void push(T x) {
+    v_.push_back(std::move(x));
+    std::push_heap(v_.begin(), v_.end(), std::greater<T>{});
+  }
+
+  template <typename... Args>
+  void emplace(Args&&... args) {
+    push(T{std::forward<Args>(args)...});
+  }
+
+  void pop() {
+    FDP_DCHECK(!v_.empty());
+    std::pop_heap(v_.begin(), v_.end(), std::greater<T>{});
+    v_.pop_back();
+  }
+
+  /// Empty the heap but keep the backing capacity.
+  void clear() { v_.clear(); }
+
+  /// Bulk rebuild from a range: O(n), used by the lazily built per-channel
+  /// heaps on their first query.
+  template <typename It>
+  void assign(It first, It last) {
+    v_.assign(first, last);
+    std::make_heap(v_.begin(), v_.end(), std::greater<T>{});
+  }
+
+ private:
+  std::vector<T> v_;
+};
+
+}  // namespace fdp

@@ -1,0 +1,232 @@
+// A small-buffer vector for trivially copyable elements.
+//
+// The paper's copy-store-send protocols send at most one or two references
+// per message (present(v), forward(v), verify(u), process(v)), yet
+// Message::refs used to be a std::vector — one heap allocation per message
+// on the kernel's hottest path. SmallVec keeps up to N elements inline in
+// the object itself and only spills to the heap beyond that, so the common
+// case constructs, copies and destroys without touching the allocator.
+//
+// The element type must be trivially copyable: growth and copies are plain
+// memcpy, which is what makes a Message move as cheap as copying ~60 bytes.
+// Spilled heap buffers are raw ::operator new storage; they can be detached
+// with release_heap() and re-attached with adopt_heap(), which is how
+// MessagePool recycles the rare oversized buffers instead of freeing them
+// (see sim/message_pool.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec relies on memcpy growth");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  /// A detached spilled buffer (raw ::operator new storage of `cap`
+  /// elements). Plain handle type so a pool can stash it in a vector.
+  struct HeapBuf {
+    T* ptr = nullptr;
+    std::uint32_t cap = 0;
+  };
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> il) { append(il.begin(), il.size()); }
+
+  /// Converting constructors: the protocol layers still traffic in
+  /// std::vector<RefInfo>; both lvalues and rvalues copy the elements
+  /// (they are trivially copyable — there is nothing cheaper to steal
+  /// from an allocator-owned buffer we cannot adopt).
+  SmallVec(const std::vector<T>& v) {  // NOLINT(google-explicit-constructor)
+    append(v.data(), v.size());
+  }
+  SmallVec(std::vector<T>&& v) {  // NOLINT(google-explicit-constructor)
+    append(v.data(), v.size());
+  }
+
+  SmallVec(const SmallVec& o) { append(o.data(), o.size()); }
+
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) assign(o.data(), o.size());
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      free_heap();
+      steal(o);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(std::initializer_list<T> il) {
+    assign(il.begin(), il.size());
+    return *this;
+  }
+
+  ~SmallVec() { free_heap(); }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  /// Whether the elements live on the heap (spilled past N).
+  [[nodiscard]] bool spilled() const { return data_ != inline_ptr(); }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    FDP_DCHECK(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    FDP_DCHECK(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& x) {
+    if (size_ == cap_) grow(size_ + 1);
+    data_[size_++] = x;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    push_back(T{std::forward<Args>(args)...});
+    return back();
+  }
+  void pop_back() {
+    FDP_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Drops the elements but keeps the storage (inline or spilled) for
+  /// reuse — clearing never frees.
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void assign(const T* src, std::size_t n) {
+    if (n > cap_) grow_discard(n);
+    if (n > 0) std::memcpy(data_, src, n * sizeof(T));
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  /// Detach the spilled buffer, leaving this vec empty on inline storage.
+  /// Returns {nullptr, 0} when nothing was spilled.
+  [[nodiscard]] HeapBuf release_heap() {
+    if (!spilled()) return {};
+    HeapBuf b{data_, cap_};
+    data_ = inline_ptr();
+    size_ = 0;
+    cap_ = N;
+    return b;
+  }
+
+  /// Install a recycled spilled buffer as this vec's storage. Existing
+  /// elements are preserved (they fit: callers only adopt larger buffers).
+  void adopt_heap(HeapBuf b) {
+    FDP_DCHECK(b.ptr != nullptr && b.cap >= size_);
+    if (size_ > 0) std::memcpy(b.ptr, data_, size_ * sizeof(T));
+    free_heap();
+    data_ = b.ptr;
+    cap_ = b.cap;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::uint32_t i = 0; i < a.size_; ++i)
+      if (!(a.data_[i] == b.data_[i])) return false;
+    return true;
+  }
+
+ private:
+  [[nodiscard]] T* inline_ptr() {
+    return reinterpret_cast<T*>(inline_);  // NOLINT: trivially copyable T
+  }
+  [[nodiscard]] const T* inline_ptr() const {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  static T* alloc(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void free_heap() {
+    if (spilled()) ::operator delete(data_);
+  }
+
+  void grow(std::size_t need) {
+    std::size_t cap = cap_ * 2;
+    if (cap < need) cap = need;
+    T* p = alloc(cap);
+    if (size_ > 0) std::memcpy(p, data_, size_ * sizeof(T));
+    free_heap();
+    data_ = p;
+    cap_ = static_cast<std::uint32_t>(cap);
+  }
+
+  /// Grow without preserving contents (assign is about to overwrite).
+  void grow_discard(std::size_t need) {
+    std::size_t cap = cap_ * 2;
+    if (cap < need) cap = need;
+    T* p = alloc(cap);
+    free_heap();
+    data_ = p;
+    cap_ = static_cast<std::uint32_t>(cap);
+  }
+
+  void append(const T* src, std::size_t n) {
+    if (n > cap_) grow(size_ + n);
+    if (n > 0) std::memcpy(data_ + size_, src, n * sizeof(T));
+    size_ += static_cast<std::uint32_t>(n);
+  }
+
+  /// Take over `o`'s contents; `o` is left empty on inline storage. The
+  /// caller has already released our own heap buffer (or we have none).
+  void steal(SmallVec& o) {
+    if (o.spilled()) {
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.data_ = o.inline_ptr();
+      o.size_ = 0;
+      o.cap_ = N;
+    } else {
+      data_ = inline_ptr();
+      cap_ = N;
+      size_ = o.size_;
+      if (size_ > 0) std::memcpy(data_, o.data_, size_ * sizeof(T));
+      o.size_ = 0;
+    }
+  }
+
+  T* data_ = inline_ptr();
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+  alignas(T) std::byte inline_[N * sizeof(T)];
+};
+
+}  // namespace fdp

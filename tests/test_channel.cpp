@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace fdp {
 namespace {
 
@@ -109,6 +113,54 @@ TEST(Channel, OldestIndexAfterArbitraryRemoval) {
   (void)ch.take(ch.index_of_seq(1));  // remove the heap's current min
   (void)ch.take(ch.index_of_seq(2));  // and the next
   EXPECT_EQ(ch.peek(ch.oldest_index()).seq, 3u);
+}
+
+// Every take() swap-removes a slot, reordering the dense view under the
+// lazily-rebuilt min-seq heap. Interleave random pushes with removals at
+// random positions and check oldest_index() against a naive linear scan
+// after every mutation — any heap/slot-map inconsistency introduced by
+// the reordering shows up as a wrong or out-of-range oldest slot.
+TEST(Channel, OldestIndexMatchesNaiveScanUnderChurn) {
+  Channel ch;
+  Rng rng(99);
+  std::uint64_t next_seq = 1;
+  for (int round = 0; round < 2000; ++round) {
+    const bool do_push = ch.empty() || rng.below(3) != 0;
+    if (do_push) {
+      ch.push(msg(next_seq++));
+    } else {
+      (void)ch.take(rng.below(ch.size()));
+    }
+    if (ch.empty()) {
+      EXPECT_EQ(ch.oldest_index(), 0u);
+      continue;
+    }
+    std::size_t naive = 0;
+    for (std::size_t i = 1; i < ch.size(); ++i)
+      if (ch.peek(i).seq < ch.peek(naive).seq) naive = i;
+    const std::size_t idx = ch.oldest_index();
+    ASSERT_LT(idx, ch.size());
+    EXPECT_EQ(ch.peek(idx).seq, ch.peek(naive).seq) << "round " << round;
+  }
+}
+
+// Draining strictly oldest-first after heavy churn must produce seqs in
+// ascending order (the heap may hold stale entries for taken messages;
+// they must all be discarded, never surfaced).
+TEST(Channel, OldestFirstDrainAfterChurnIsSorted) {
+  Channel ch;
+  Rng rng(7);
+  std::uint64_t next_seq = 1;
+  for (int round = 0; round < 500; ++round) {
+    if (ch.empty() || rng.below(2) == 0) ch.push(msg(next_seq++));
+    else (void)ch.take(rng.below(ch.size()));
+  }
+  std::uint64_t prev = 0;
+  while (!ch.empty()) {
+    const Message m = ch.take(ch.oldest_index());
+    EXPECT_GT(m.seq, prev);
+    prev = m.seq;
+  }
 }
 
 TEST(ChannelDeath, DuplicateSeqAborts) {

@@ -40,6 +40,40 @@ TEST(ParallelMap, EmptyAndSingleton) {
   EXPECT_EQ(one[0], 7u);
 }
 
+TEST(ParallelMapWith, MatchesSequentialAndReusesState) {
+  // Each worker carries a counter; the per-index result must not depend on
+  // it (the determinism contract: worker state is a capacity cache only),
+  // but the state must persist across the indices one worker processes.
+  struct Scratch {
+    std::uint64_t calls = 0;
+  };
+  auto fn = [](std::uint64_t i, Scratch& s) {
+    ++s.calls;
+    return i * 3 + 1;
+  };
+  const auto seq = parallel_map_with<Scratch>(64, 1, fn);
+  const auto par = parallel_map_with<Scratch>(64, 8, fn);
+  ASSERT_EQ(seq.size(), 64u);
+  EXPECT_EQ(seq, par);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(seq[i], i * 3 + 1);
+}
+
+TEST(ParallelMapWith, SingleWorkerSeesEveryIndex) {
+  struct Scratch {
+    std::vector<std::uint64_t> seen;
+  };
+  std::vector<std::uint64_t> order;
+  auto fn = [&order](std::uint64_t i, Scratch& s) {
+    s.seen.push_back(i);
+    if (s.seen.size() == 16) order = s.seen;  // one worker: full history
+    return i;
+  };
+  (void)parallel_map_with<Scratch>(16, 1, fn);
+  std::vector<std::uint64_t> expect(16);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);  // one worker processes indices in order
+}
+
 TEST(Driver, ResolveWorkersNeverZero) {
   EXPECT_GE(resolve_workers(0), 1u);
   EXPECT_EQ(resolve_workers(3), 3u);

@@ -13,7 +13,7 @@ TEST(Experiment, SchedulerFactoriesAndNames) {
     EXPECT_STREQ(to_string(k), name);
     const SchedulerSpec spec = SchedulerSpec::of(k);
     EXPECT_NE(spec.make(), nullptr);
-    EXPECT_EQ(spec.name(), name);
+    EXPECT_STREQ(spec.name(), name);
   }
 }
 

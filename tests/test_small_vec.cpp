@@ -1,0 +1,201 @@
+// SmallVec is the storage behind Message::refs: up to N elements inline in
+// the object, heap spill only beyond that. These tests pin the properties
+// the kernel depends on — the inline/spill boundary, storage retention
+// across clear(), buffer hand-off for the pool, and value semantics.
+#include "util/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/alloc_stats.hpp"
+
+namespace fdp {
+namespace {
+
+using Vec2 = SmallVec<std::uint64_t, 2>;
+
+TEST(SmallVec, StartsInlineAndEmpty) {
+  Vec2 v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 2u);
+  EXPECT_FALSE(v.spilled());
+}
+
+TEST(SmallVec, StaysInlineUpToN) {
+  Vec2 v;
+  const auto before = alloc_stats::snapshot();
+  v.push_back(10);
+  v.push_back(20);
+  if (alloc_stats::hooked()) {
+    EXPECT_EQ(alloc_stats::allocs_since(before), 0u);
+  }
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10u);
+  EXPECT_EQ(v[1], 20u);
+}
+
+TEST(SmallVec, SpillsPastNAndPreservesElements) {
+  Vec2 v{1, 2};
+  v.push_back(3);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[1], 2u);
+  EXPECT_EQ(v[2], 3u);
+  EXPECT_GE(v.capacity(), 3u);
+}
+
+TEST(SmallVec, DataPointerMovesOffInlineOnSpill) {
+  Vec2 v{1, 2};
+  const std::uint64_t* inline_data = v.data();
+  v.push_back(3);
+  EXPECT_NE(v.data(), inline_data);  // now heap storage
+  // Iterators over the spilled storage see every element in order.
+  std::uint64_t sum = 0;
+  for (std::uint64_t x : v) sum += x;
+  EXPECT_EQ(sum, 6u);
+}
+
+TEST(SmallVec, ClearKeepsStorage) {
+  Vec2 v{1, 2, 3, 4};
+  ASSERT_TRUE(v.spilled());
+  const std::uint64_t* heap_data = v.data();
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.data(), heap_data);
+  EXPECT_EQ(v.capacity(), cap);
+  // Refilling reuses the retained buffer: no allocation.
+  const auto before = alloc_stats::snapshot();
+  for (std::uint64_t i = 0; i < cap; ++i) v.push_back(i);
+  if (alloc_stats::hooked()) {
+    EXPECT_EQ(alloc_stats::allocs_since(before), 0u);
+  }
+}
+
+TEST(SmallVec, CopyIsDeepAcrossSpillBoundary) {
+  Vec2 small{7, 8};
+  Vec2 big{1, 2, 3, 4, 5};
+  Vec2 small_copy = small;
+  Vec2 big_copy = big;
+  EXPECT_EQ(small_copy, small);
+  EXPECT_EQ(big_copy, big);
+  EXPECT_NE(big_copy.data(), big.data());  // independent storage
+  big_copy[0] = 99;
+  EXPECT_EQ(big[0], 1u);
+}
+
+TEST(SmallVec, MoveStealsSpilledBuffer) {
+  Vec2 v{1, 2, 3};
+  const std::uint64_t* heap_data = v.data();
+  Vec2 moved = std::move(v);
+  EXPECT_EQ(moved.data(), heap_data);  // buffer stolen, not copied
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_TRUE(v.empty());          // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(v.spilled());       // source reset to inline storage
+  v.push_back(42);                 // source is reusable
+  EXPECT_EQ(v[0], 42u);
+}
+
+TEST(SmallVec, MoveOfInlineVecCopiesAndEmptiesSource) {
+  Vec2 v{5, 6};
+  Vec2 moved = std::move(v);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], 5u);
+  EXPECT_FALSE(moved.spilled());
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVec, MoveAssignReleasesOwnBuffer) {
+  Vec2 a{1, 2, 3};
+  Vec2 b{9, 8, 7, 6};
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], 9u);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVec, AssignFromVectorRoundTrips) {
+  std::vector<std::uint64_t> src(17);
+  std::iota(src.begin(), src.end(), 0);
+  Vec2 v = src;  // implicit converting ctor (protocol layers rely on it)
+  ASSERT_EQ(v.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(v[i], src[i]);
+}
+
+TEST(SmallVec, AssignShrinkKeepsCapacity) {
+  Vec2 v{1, 2, 3, 4, 5};
+  const std::size_t cap = v.capacity();
+  const std::uint64_t two[] = {8, 9};
+  v.assign(two, 2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], 9u);
+  EXPECT_EQ(v.capacity(), cap);  // shrinking assign never reallocates
+  EXPECT_TRUE(v.spilled());
+}
+
+TEST(SmallVec, ReleaseHeapDetachesAndResets) {
+  Vec2 v{1, 2, 3};
+  ASSERT_TRUE(v.spilled());
+  const std::size_t cap = v.capacity();
+  Vec2::HeapBuf b = v.release_heap();
+  ASSERT_NE(b.ptr, nullptr);
+  EXPECT_EQ(b.cap, cap);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.capacity(), 2u);
+
+  // Re-attaching the buffer restores heap storage without allocating.
+  Vec2 w{4, 5};
+  const auto before = alloc_stats::snapshot();
+  w.adopt_heap(b);
+  if (alloc_stats::hooked()) {
+    EXPECT_EQ(alloc_stats::allocs_since(before), 0u);
+  }
+  EXPECT_TRUE(w.spilled());
+  EXPECT_EQ(w.capacity(), cap);
+  EXPECT_EQ(w.size(), 2u);  // existing elements migrated into the buffer
+  EXPECT_EQ(w[0], 4u);
+  EXPECT_EQ(w[1], 5u);
+}
+
+TEST(SmallVec, ReleaseHeapOnInlineIsNull) {
+  Vec2 v{1};
+  Vec2::HeapBuf b = v.release_heap();
+  EXPECT_EQ(b.ptr, nullptr);
+  EXPECT_EQ(v.size(), 1u);  // inline contents untouched
+}
+
+TEST(SmallVec, EqualityComparesElements) {
+  Vec2 a{1, 2, 3};
+  Vec2 b{1, 2, 3};
+  Vec2 c{1, 2};
+  EXPECT_EQ(a, b);  // one spilled, equal by value
+  EXPECT_FALSE(a == c);
+  b[2] = 4;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SmallVec, GrowthDoublesCapacity) {
+  Vec2 v;
+  std::size_t reallocs = 0;
+  std::size_t last_cap = v.capacity();
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    v.push_back(i);
+    if (v.capacity() != last_cap) {
+      ++reallocs;
+      last_cap = v.capacity();
+    }
+  }
+  EXPECT_LE(reallocs, 10u);  // geometric growth, not per-push
+  for (std::uint64_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+}
+
+}  // namespace
+}  // namespace fdp

@@ -1,0 +1,214 @@
+// World::reset(seed) rewinds a world to the just-constructed state while
+// keeping every channel arena, index table and scratch buffer at its
+// high-water capacity. The contract the ExperimentDriver's per-thread
+// world reuse depends on: a reset world is *byte-identical* in behavior to
+// a freshly constructed one — same action trace, step for step, under
+// every scheduler.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scenario.hpp"
+#include "sim/world.hpp"
+#include "util/alloc_stats.hpp"
+
+namespace fdp {
+namespace {
+
+// FNV-1a over the executed action stream (same mixing as the golden-trace
+// suite): two runs collide only if they took identical actions.
+class TraceHasher final : public Observer {
+ public:
+  void on_action(const World& world, const ActionRecord& rec) override {
+    (void)world;
+    mix(static_cast<std::uint64_t>(rec.kind));
+    mix(rec.actor);
+    mix(rec.consumed ? rec.consumed->seq : 0);
+    mix(rec.sent.size());
+    mix((rec.exited ? 1u : 0u) | (rec.slept ? 2u : 0u) | (rec.woke ? 4u : 0u));
+  }
+  [[nodiscard]] std::uint64_t hash() const { return h_; }
+
+ private:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+ScenarioConfig stress_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 18;
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.random_anchor_prob = 0.2;
+  cfg.inflight_per_node = 1.0;
+  cfg.initial_asleep_prob = 0.2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::uint64_t run_trace(Scenario& sc, SchedulerKind sk, int steps) {
+  auto sched = SchedulerSpec::of(sk).make();
+  TraceHasher hasher;
+  sc.world->add_observer(&hasher);
+  for (int i = 0; i < steps; ++i)
+    if (!sc.world->step(*sched)) break;
+  return hasher.hash();
+}
+
+class WorldReset : public testing::TestWithParam<SchedulerKind> {};
+
+// Fresh-built world vs. a world recycled from a *different* trial (other
+// seed, dirty channels/indices at arbitrary high-water marks): identical
+// action traces.
+TEST_P(WorldReset, ReusedWorldTraceMatchesFresh) {
+  const SchedulerKind sk = GetParam();
+
+  Scenario fresh = build_departure_scenario(stress_config(777));
+  const std::uint64_t fresh_hash = run_trace(fresh, sk, 5000);
+
+  // Dirty a world on an unrelated trial, then recycle it into the same
+  // scenario the fresh world ran.
+  Scenario dirty = build_departure_scenario(stress_config(31337));
+  (void)run_trace(dirty, sk, 2500);  // leave it mid-flight, channels loaded
+  Scenario reused =
+      build_departure_scenario(stress_config(777), std::move(dirty.world));
+  const std::uint64_t reused_hash = run_trace(reused, sk, 5000);
+
+  EXPECT_EQ(reused_hash, fresh_hash);
+}
+
+// Same property across scenario families: a world retired from a departure
+// trial is recycled into a framework trial (different process population,
+// different message mix).
+TEST_P(WorldReset, ReuseAcrossScenarioFamilies) {
+  const SchedulerKind sk = GetParam();
+
+  Scenario fresh = build_framework_scenario(stress_config(99), "ring");
+  const std::uint64_t fresh_hash = run_trace(fresh, sk, 5000);
+
+  Scenario dirty = build_departure_scenario(stress_config(5));
+  (void)run_trace(dirty, sk, 2000);
+  Scenario reused = build_framework_scenario(stress_config(99), "ring",
+                                             std::move(dirty.world));
+  const std::uint64_t reused_hash = run_trace(reused, sk, 5000);
+
+  EXPECT_EQ(reused_hash, fresh_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, WorldReset,
+                         testing::Values(SchedulerKind::Random,
+                                         SchedulerKind::RoundRobin,
+                                         SchedulerKind::Rounds,
+                                         SchedulerKind::Adversarial),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// One world cycled through a whole seed sweep stays equivalent to building
+// each trial from scratch — the exact loop an ExperimentDriver worker runs.
+TEST(WorldReset, SweepWithOneWorldMatchesFreshBuilds) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::Departure;
+  spec.config = stress_config(0);
+
+  std::unique_ptr<World> carried;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Scenario fresh = spec.build(seed);
+    const std::uint64_t fresh_hash =
+        run_trace(fresh, SchedulerKind::Random, 4000);
+
+    Scenario reused = spec.build(seed, std::move(carried));
+    const std::uint64_t reused_hash =
+        run_trace(reused, SchedulerKind::Random, 4000);
+
+    EXPECT_EQ(reused_hash, fresh_hash) << "seed " << seed;
+    carried = std::move(reused.world);
+  }
+}
+
+// reset() must rewind statistics and population, not just channels.
+TEST(WorldReset, ResetRewindsCountersAndPopulation) {
+  Scenario sc = build_departure_scenario(stress_config(12));
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
+  for (int i = 0; i < 1000; ++i)
+    if (!sc.world->step(*sched)) break;
+  ASSERT_GT(sc.world->steps(), 0u);
+
+  sc.world->reset(12);
+  EXPECT_EQ(sc.world->steps(), 0u);
+  EXPECT_EQ(sc.world->size(), 0u);
+  EXPECT_EQ(sc.world->sends(), 0u);
+  EXPECT_EQ(sc.world->deliveries(), 0u);
+}
+
+// Minimal processes whose handlers are themselves allocation-free, so any
+// allocation observed during stepping comes from the kernel.
+class IdleProc final : public Process {
+ public:
+  IdleProc(Ref self, Mode mode, std::uint64_t key) : Process(self, mode, key) {}
+  void on_timeout(Context&) override {}
+  void on_message(Context&, const Message&) override {}
+  void collect_refs(std::vector<RefInfo>&) const override {}
+  const char* protocol_name() const override { return "idle"; }
+};
+
+class PingProc final : public Process {
+ public:
+  PingProc(Ref self, Mode mode, std::uint64_t key) : Process(self, mode, key) {}
+  void set_next(Ref next) { next_ = next; }
+  void on_timeout(Context& ctx) override {
+    if (next_.valid()) ctx.send(next_, Message::present(self_info()));
+  }
+  void on_message(Context&, const Message&) override {}
+  void collect_refs(std::vector<RefInfo>& out) const override {
+    if (next_.valid()) out.push_back(RefInfo{next_, ModeInfo::Staying, 0});
+  }
+  const char* protocol_name() const override { return "ping"; }
+
+ private:
+  Ref next_;
+};
+
+// After a few warm-up cycles the reset/respawn/run loop reaches the
+// kernel's high-water marks: further cycles step with ZERO allocations.
+// (Per-cycle allocations outside the snapshot — the Process objects
+// themselves and the scheduler — are construction, not stepping.)
+TEST(WorldReset, SteadyStateResetCycleIsAllocationFree) {
+  if (!alloc_stats::hooked())
+    GTEST_SKIP() << "counting operator new/delete not linked";
+
+  World w(1);
+  auto cycle = [&w](std::uint64_t seed) -> std::uint64_t {
+    w.reset(seed);
+    constexpr std::size_t kRing = 8;
+    std::vector<Ref> ring;
+    for (std::size_t i = 0; i < kRing; ++i)
+      ring.push_back(w.spawn<PingProc>(Mode::Staying, i));
+    for (std::size_t i = 0; i < kRing; ++i)
+      w.process_as<PingProc>(ring[i].id()).set_next(ring[(i + 1) % kRing]);
+    for (std::size_t i = kRing; i < 32; ++i)
+      w.spawn<IdleProc>(Mode::Staying, i);
+    auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
+    const auto before = alloc_stats::snapshot();
+    for (int i = 0; i < 5000; ++i)
+      if (!w.step(*sched)) break;
+    return alloc_stats::allocs_since(before);
+  };
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) (void)cycle(seed);  // warm
+
+  std::uint64_t total = 0;
+  for (std::uint64_t seed = 4; seed <= 7; ++seed) total += cycle(seed);
+  EXPECT_EQ(total, 0u);
+}
+
+}  // namespace
+}  // namespace fdp
