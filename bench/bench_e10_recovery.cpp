@@ -1,0 +1,214 @@
+// E10 — runtime fault injection and recovery.
+//
+// E4 stresses *initial-state* corruption and the chaos runs stress
+// *delivery*; this harness perturbs the protocol while it runs (see
+// sim/fault.hpp): crash-restarts to arbitrary-but-legal local states,
+// neighbor-knowledge scrambling, message duplication bursts and timed
+// partition windows, plus an unreliable SINGLE oracle. Claims measured:
+//   (a) no fault class that respects the model (references are never
+//       destroyed, deliveries only delayed) breaks Lemma 2 safety or
+//       registers a protocol Φ increase — the runs re-stabilize;
+//   (b) oracle false POSITIVES break the model, and the safety monitors
+//       flag every resulting disconnection (no silent failures);
+//   (c) every perturbation gets a finite measured steps-to-re-legitimacy
+//       (the RecoveryMonitor closes each one).
+#include "bench_common.hpp"
+#include "analysis/metrics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fdp;
+
+ScenarioSpec corrupted_scenario() {
+  ScenarioSpec sc;
+  sc.config.n = 24;
+  sc.config.topology = "wild";
+  sc.config.leave_fraction = 0.3;
+  sc.config.invalid_mode_prob = 0.3;
+  sc.config.random_anchor_prob = 0.2;
+  sc.config.inflight_per_node = 1.0;
+  return sc;
+}
+
+ExperimentSpec fault_sweep(const FaultPlan& plan, std::uint64_t seeds) {
+  ExperimentSpec spec;
+  spec.scenario(corrupted_scenario())
+      .max_steps(600'000)
+      .monitors(true, 4)
+      .closure_steps(200)
+      .faults(plan)
+      .seeds(1, seeds)
+      .seed_mix(17, 3);
+  return spec;
+}
+
+std::string relegit(const Aggregate& a) {
+  if (a.recovery_steps.count() == 0) return "-";
+  return Table::pm(a.recovery_steps.mean(), a.recovery_steps.sd(), 0) +
+         " (max " + Table::fixed(a.recovery_steps.percentile(1.0), 0) + ")";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", 20));
+  const ExperimentDriver driver = bench::driver_from_flags(flags);
+  flags.reject_unknown();
+
+  bench::banner("E10 / runtime faults & recovery",
+                "model-respecting runtime faults never break safety and "
+                "every perturbation has a finite measured recovery; "
+                "oracle false positives are flagged 100%");
+
+  // --- (a)+(c): fault classes, one sweep each -------------------------
+  struct Row {
+    const char* name;
+    FaultPlan plan;
+  };
+  std::vector<Row> rows;
+  {
+    FaultPlan p;  // repeated single-victim restarts
+    p.at(100, FaultKind::CrashRestart)
+        .at(400, FaultKind::CrashRestart)
+        .at(800, FaultKind::CrashRestart);
+    rows.push_back({"crash-restart x3", p});
+  }
+  {
+    FaultPlan p;
+    p.at(100, FaultKind::Scramble)
+        .at(400, FaultKind::Scramble)
+        .at(800, FaultKind::Scramble);
+    rows.push_back({"scramble x3", p});
+  }
+  {
+    FaultPlan p;
+    p.at(100, FaultKind::DuplicateBurst, 8).at(500, FaultKind::DuplicateBurst, 8);
+    rows.push_back({"dup-burst x2 (8 msgs)", p});
+  }
+  {
+    FaultPlan p;
+    p.at(100, FaultKind::PartitionStart).at(600, FaultKind::PartitionStart);
+    p.partition_window = 96;
+    rows.push_back({"partition x2 (96 steps)", p});
+  }
+  {
+    FaultPlan p;
+    p.p_crash = 0.003;
+    p.p_scramble = 0.003;
+    p.p_duplicate = 0.003;
+    p.p_partition = 0.001;
+    p.stochastic_until = 2'000;
+    rows.push_back({"stochastic storm (2k steps)", p});
+  }
+  {
+    rows.push_back({"everything at once", [] {
+                      FaultPlan p;
+                      p.at(50, FaultKind::CrashRestart)
+                          .at(150, FaultKind::Scramble)
+                          .at(250, FaultKind::DuplicateBurst, 6)
+                          .at(350, FaultKind::PartitionStart);
+                      p.p_crash = 0.002;
+                      p.p_scramble = 0.002;
+                      p.stochastic_until = 1'500;
+                      return p;
+                    }()});
+  }
+
+  Table t1("E10a: fault classes (n=24 wild, 30% leaving, corrupted start)");
+  t1.set_header({"fault class", "solved", "safety", "phi", "injected",
+                 "unrecovered", "steps to re-legitimacy"});
+  bool all_recovered = true;
+  for (const Row& row : rows) {
+    const Aggregate a = driver.run(fault_sweep(row.plan, seeds)).agg;
+    t1.add_row({row.name, Table::num(a.solved) + "/" + Table::num(a.trials),
+                Table::num(a.safety_violations), Table::num(a.phi_violations),
+                Table::num(a.faults_injected),
+                Table::num(a.faults_unrecovered), relegit(a)});
+    all_recovered &= a.faults_unrecovered == 0 && a.solved == a.trials &&
+                     a.safety_violations == 0 && a.phi_violations == 0;
+  }
+  t1.print();
+  std::printf("verdict: %s\n",
+              all_recovered ? "every class survived, every perturbation "
+                              "measurably recovered"
+                            : "VIOLATIONS ABOVE — investigate");
+
+  // --- (a) continued: lying oracle, safe direction --------------------
+  Table t2("E10b: unreliable SINGLE oracle — false negatives (safe lies)");
+  t2.set_header(
+      {"p_false_neg", "solved", "safety", "steps (solved runs)"});
+  for (double p : {0.0, 0.25, 0.5}) {
+    ScenarioSpec sc = corrupted_scenario();
+    sc.config.oracle_p_false_neg = p;
+    ExperimentSpec spec;
+    spec.scenario(sc)
+        .max_steps(600'000)
+        .monitors(true, 4)
+        .seeds(1, seeds)
+        .seed_mix(17, 3);
+    const Aggregate a = driver.run(spec).agg;
+    t2.add_row({Table::fixed(p, 2),
+                Table::num(a.solved) + "/" + Table::num(a.trials),
+                Table::num(a.safety_violations),
+                a.solved ? Table::pm(a.steps.mean(), a.steps.sd(), 0) : "-"});
+  }
+  t2.print();
+
+  // --- (b): lying oracle, unsafe direction ----------------------------
+  // A false positive can authorize an exit that disconnects stayers; the
+  // point of this table is that NO such disconnection goes unflagged: a
+  // trial either converges with safety intact, or the safety monitor
+  // raised a violation. "silent" counts trials that failed without a
+  // safety flag — it must be 0 for the monitors to be trustworthy.
+  Table t3("E10c: oracle false positives on a line (worst case) — detection");
+  t3.set_header({"p_false_pos", "solved+safe", "safety flagged", "silent"});
+  bool none_silent = true;
+  for (double p : {0.2, 0.5, 0.8}) {
+    ScenarioSpec sc;
+    sc.config.n = 16;
+    sc.config.topology = "line";  // leavers are cut vertices
+    sc.config.leave_fraction = 0.4;
+    sc.config.oracle_p_false_pos = p;
+    ExperimentSpec spec;
+    spec.scenario(sc)
+        .max_steps(200'000)
+        .monitors(true, 1)
+        .seeds(1, seeds)
+        .seed_mix(17, 3);
+    const ExperimentResult res = driver.run(spec);
+    std::uint64_t clean = 0, flagged = 0, silent = 0;
+    for (const TrialResult& tr : res.trials) {
+      if (!tr.run.safety_ok) {
+        ++flagged;
+      } else if (tr.run.reached_legitimate) {
+        ++clean;
+      } else {
+        ++silent;  // failed run the monitors did not explain
+      }
+    }
+    none_silent &= silent == 0;
+    t3.add_row({Table::fixed(p, 2), Table::num(clean), Table::num(flagged),
+                Table::num(silent)});
+  }
+  t3.print();
+  std::printf("verdict: %s\n\n",
+              none_silent ? "0 silent failures — the safety monitor "
+                            "explains every non-converged trial"
+                          : "SILENT FAILURES — monitor coverage gap");
+
+  std::printf(
+      "Reading: crash-restart rebuilds a victim's state arbitrarily (but\n"
+      "legally: no reference destroyed), scrambling flips stored mode\n"
+      "knowledge, bursts duplicate in-flight messages, partitions delay a\n"
+      "random cut for a window. All are within the self-stabilization\n"
+      "model, so Lemma 2 holds throughout and Φ re-drains — the recovery\n"
+      "column is the measured re-stabilization time. Oracle false\n"
+      "negatives only delay exits (safe); false positives leave the model\n"
+      "and are caught by the safety monitor on every occurrence.\n");
+
+  return 0;
+}

@@ -1,4 +1,4 @@
-// E10 — exhaustive bounded verification of the departure protocol.
+// E11 — exhaustive bounded verification of the departure protocol.
 //
 // For every small configuration below, the model checker explores ALL
 // interleavings (up to the in-flight bound) and reports the full state
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("inflight", 6));
   flags.reject_unknown();
 
-  bench::banner("E10 / bounded model checking",
+  bench::banner("E11 / bounded model checking",
                 "all interleavings of small worlds satisfy safety, Phi "
                 "monotonicity and bounded liveness");
 
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
        Exclusion::Hibernating},
   };
 
-  Table t("E10: exhaustive exploration (in-flight bound " +
+  Table t("E11: exhaustive exploration (in-flight bound " +
           std::to_string(inflight) + ")");
   t.set_header({"configuration", "states", "transitions", "legit states",
                 "safety viol.", "phi increases", "stuck states",

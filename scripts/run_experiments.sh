@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Regenerate every experiment table from EXPERIMENTS.md.
 #
-# The E1–E8 benches fan their seed sweeps across the ExperimentDriver's
-# worker pool; --workers picks the pool size (0 = one per hardware core).
-# Worker count changes wall-clock only — every table is byte-identical
-# for any value, so regenerated outputs diff cleanly.
+# The driver-based benches fan their seed sweeps across the
+# ExperimentDriver's worker pool; --workers picks the pool size (0 = one
+# per hardware core). Worker count changes wall-clock only — every table
+# is byte-identical for any value, so regenerated outputs diff cleanly.
 #
 # Usage: scripts/run_experiments.sh [build-dir] [output-file] [workers]
 set -euo pipefail
@@ -19,14 +19,42 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
+# The experiment suite is a fixed set: a missing binary means a broken or
+# stale build, and silently skipping it would regenerate an incomplete
+# EXPERIMENTS.md. Fail fast instead.
+EXPECTED=(
+  bench_e1_primitives
+  bench_e2_universality
+  bench_e3_necessity
+  bench_e4_fdp
+  bench_e5_baseline
+  bench_e6_embedding
+  bench_e7_fsp
+  bench_e8_oracles
+  bench_e10_recovery
+  bench_modelcheck
+  bench_micro_kernel
+)
+missing=0
+for name in "${EXPECTED[@]}"; do
+  if [ ! -x "$BUILD_DIR/bench/$name" ]; then
+    echo "error: expected bench binary '$BUILD_DIR/bench/$name' is missing or not executable" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "hint: rebuild with: cmake --build '$BUILD_DIR'" >&2
+  exit 1
+fi
+
 {
-  for b in "$BUILD_DIR"/bench/bench_*; do
-    [ -x "$b" ] || continue
+  for name in "${EXPECTED[@]}"; do
+    b="$BUILD_DIR/bench/$name"
     echo "##### $b"
-    case "$(basename "$b")" in
+    case "$name" in
       # The driver-based benches accept --workers; the model checker and
       # the single-kernel microbench are inherently serial.
-      bench_e[1-8]_*) "$b" --workers "$WORKERS" ;;
+      bench_e[0-9]*_*) "$b" --workers "$WORKERS" ;;
       *) "$b" ;;
     esac
     echo "exit=$?"

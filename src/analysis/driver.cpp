@@ -44,18 +44,51 @@ ExperimentResult ExperimentDriver::run(const ExperimentSpec& spec) const {
         TrialResult t;
         t.index = i;
         t.seed = spec.trial_seed(i);
-        Scenario sc = spec.scenario().build(t.seed, std::move(ws.world));
-        t.leaving_count = sc.leaving_count;
-        if (spec.trace_pattern().empty()) {
-          t.run = run_to_legitimacy(sc, spec);
-        } else {
-          TraceRecorder trace(
-              /*ring_capacity=*/1,
-              substitute_seed(spec.trace_pattern(), t.seed));
-          t.run = run_to_legitimacy(sc, spec, &trace);
-          if (!trace.flush()) t.trace_error = trace.error();
+        // Crash isolation: a trial that throws is recorded failed and the
+        // sweep continues; with retries() > 0 it is re-attempted first.
+        // Every attempt rebuilds the scenario from the trial seed, so a
+        // retry replays the identical world — useful only against
+        // environmental failures (trace I/O, OOM), which is why retries
+        // are opt-in. Results stay deterministic either way: the outcome
+        // of seed s never depends on what other trials did.
+        const unsigned attempts = 1 + spec.retries();
+        for (unsigned a = 0; a < attempts; ++a) {
+          t.attempts = a + 1;
+          t.threw = false;
+          t.run = RunResult{};
+          t.trace_error.clear();
+          try {
+            if (spec.trial_start_hook()) spec.trial_start_hook()(t.seed);
+            Scenario sc = spec.scenario().build(t.seed, std::move(ws.world));
+            t.leaving_count = sc.leaving_count;
+            if (spec.trace_pattern().empty()) {
+              t.run = run_to_legitimacy(sc, spec);
+            } else {
+              TraceRecorder trace(
+                  /*ring_capacity=*/1,
+                  substitute_seed(spec.trace_pattern(), t.seed));
+              t.run = run_to_legitimacy(sc, spec, &trace);
+              if (!trace.flush()) t.trace_error = trace.error();
+            }
+            ws.world = std::move(sc.world);  // retire for the next trial
+            break;
+          } catch (const std::exception& e) {
+            t.threw = true;
+            t.run = RunResult{};
+            t.run.reached_legitimate = false;
+            t.run.failure = std::string("trial threw: ") + e.what();
+          } catch (...) {
+            t.threw = true;
+            t.run = RunResult{};
+            t.run.reached_legitimate = false;
+            t.run.failure = "trial threw: unknown exception";
+          }
+          // The world may have been half-mutated when the exception
+          // unwound; drop it so the next attempt (or trial) builds cold.
+          // build(seed, nullptr) is byte-identical to build(seed, reuse),
+          // so discarding the cache cannot perturb later results.
+          ws.world.reset();
         }
-        ws.world = std::move(sc.world);  // retire for the next trial
         return t;
       });
 
@@ -79,7 +112,9 @@ std::string write_trials_csv(const std::string& path,
                 {"scenario", "scheduler", "seed", "solved", "steps", "rounds",
                  "sends", "exits", "sleeps", "wakes", "phi_initial",
                  "phi_final", "phi_drain", "safety_ok", "phi_monotone",
-                 "audit_ok", "closure_held", "failure"});
+                 "audit_ok", "closure_held", "faults_injected",
+                 "faults_recovered", "recovery_steps_max",
+                 "recovery_steps_mean", "attempts", "threw", "failure"});
   if (!csv.ok()) return "cannot open CSV output '" + path + "'";
   const std::string scenario = spec.scenario().label();
   const std::string scheduler = spec.scheduler().name();
@@ -92,7 +127,12 @@ std::string write_trials_csv(const std::string& path,
              std::to_string(r.wakes), std::to_string(r.phi_initial),
              std::to_string(r.phi_final), std::to_string(r.phi_drain()),
              r.safety_ok ? "1" : "0", r.phi_monotone ? "1" : "0",
-             r.audit_ok ? "1" : "0", r.closure_held ? "1" : "0", r.failure});
+             r.audit_ok ? "1" : "0", r.closure_held ? "1" : "0",
+             std::to_string(r.faults_injected),
+             std::to_string(r.faults_recovered),
+             std::to_string(r.recovery_steps_max),
+             std::to_string(r.recovery_steps_mean),
+             std::to_string(t.attempts), t.threw ? "1" : "0", r.failure});
   }
   if (!csv.finish())
     return "write error while dumping CSV to '" + path + "'";

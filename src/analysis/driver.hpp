@@ -9,6 +9,12 @@
 // are written into a preallocated slot per trial and aggregated in seed
 // order, which makes the output — tables, CSV, aggregates — byte-identical
 // whether the sweep ran on 1 thread or N.
+//
+// Trials are crash-isolated: an exception escaping one trial marks that
+// trial failed (TrialResult::threw, with the diagnostic in run.failure)
+// and the sweep continues; ExperimentSpec::retries() opts into bounded
+// re-attempts first. FDP_CHECK failures are invariant violations and
+// still abort the process — isolating those would mask broken science.
 #pragma once
 
 #include <atomic>

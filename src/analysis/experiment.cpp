@@ -1,9 +1,12 @@
 #include "analysis/experiment.hpp"
 
+#include <chrono>
+
 #include "analysis/monitors.hpp"
 #include "core/primitives.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 
 namespace fdp {
 
@@ -66,6 +69,9 @@ std::string ExperimentSpec::validate() const {
       trace_pattern_.find("{seed}") == std::string::npos)
     return "trace_pattern must contain the {seed} placeholder";
   if (scheduler_.make() == nullptr) return "unknown scheduler kind";
+  const std::string fault_problem = faults_.validate();
+  if (!fault_problem.empty()) return "faults: " + fault_problem;
+  if (trial_timeout_ < 0.0) return "trial_timeout must be >= 0";
   return "";
 }
 
@@ -82,6 +88,9 @@ void Aggregate::add(const TrialResult& t) {
     ++trace_errors;
     if (first_failure.empty()) first_failure = t.trace_error;
   }
+  if (t.threw) ++exceptions;
+  faults_injected += r.faults_injected;
+  faults_unrecovered += r.faults_injected - r.faults_recovered;
   if (!r.failure.empty() && first_failure.empty()) first_failure = r.failure;
   if (!r.reached_legitimate) return;
   ++solved;
@@ -91,6 +100,8 @@ void Aggregate::add(const TrialResult& t) {
   sleeps.add(static_cast<double>(r.sleeps));
   wakes.add(static_cast<double>(r.wakes));
   phi_drain.add(static_cast<double>(r.phi_drain()));
+  if (r.faults_injected > 0)
+    recovery_steps.add(static_cast<double>(r.recovery_steps_max));
 }
 
 std::string Aggregate::verdict() const {
@@ -103,6 +114,9 @@ std::string Aggregate::verdict() const {
   if (closure_violations)
     s += " closure!=" + std::to_string(closure_violations);
   if (trace_errors) s += " trace!=" + std::to_string(trace_errors);
+  if (exceptions) s += " threw!=" + std::to_string(exceptions);
+  if (faults_unrecovered)
+    s += " unrecovered!=" + std::to_string(faults_unrecovered);
   return s;
 }
 
@@ -124,6 +138,19 @@ RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
   LegitimacyChecker checker(w, spec.exclusion());
   std::unique_ptr<Scheduler> sched = spec.scheduler().make();
 
+  // Fault campaign: wrap the scheduler in the injector, seeded from the
+  // plan seed mixed with the trial seed (own stream — the schedule Rng is
+  // untouched, so fault runs replay byte-identically like chaos runs).
+  FaultScheduler* injector = nullptr;
+  if (!spec.faults().empty()) {
+    std::uint64_t mix = spec.faults().seed ^ (sc.seed * 0x9e3779b97f4a7c15ULL);
+    auto fs = std::make_unique<FaultScheduler>(std::move(sched), spec.faults(),
+                                               splitmix64(mix));
+    fs->bind(&w);
+    injector = fs.get();
+    sched = std::move(fs);
+  }
+
   if (extra != nullptr) w.add_observer(extra);
   std::unique_ptr<SafetyMonitor> safety;
   std::unique_ptr<PotentialMonitor> pot;
@@ -136,17 +163,42 @@ RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
     w.add_observer(pot.get());
     w.add_observer(audit.get());
   }
+  std::unique_ptr<RecoveryMonitor> recovery;
+  if (injector != nullptr) {
+    recovery = std::make_unique<RecoveryMonitor>(
+        w, spec.exclusion(),
+        spec.with_monitors() ? spec.monitor_stride() : 8);
+    w.add_observer(recovery.get());
+  }
 
   const auto cheap_done = [&](const World& world) {
     return spec.exclusion() == Exclusion::Gone
                ? all_leaving_gone(world)
                : all_leaving_inactive(world);
   };
+  // A fault run must not terminate while perturbations are still pending:
+  // an "early" legitimate state would cut the campaign short.
+  const auto done_now = [&](const World& world) {
+    return cheap_done(world) &&
+           (injector == nullptr || injector->exhausted(world.steps())) &&
+           checker.legitimate(world);
+  };
+
+  const bool timed = spec.trial_timeout() > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(spec.trial_timeout()));
 
   bool legit = false;
   while (w.steps() < spec.max_steps()) {
-    if (cheap_done(w) && checker.legitimate(w)) {
+    if (done_now(w)) {
       legit = true;
+      break;
+    }
+    if (timed && std::chrono::steady_clock::now() >= deadline) {
+      res.failure = "wall-clock budget exhausted (trial_timeout = " +
+                    std::to_string(spec.trial_timeout()) + "s)";
       break;
     }
     bool progressed = false;
@@ -157,7 +209,7 @@ RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
     }
     if (!progressed) break;  // terminal configuration
   }
-  if (!legit) legit = cheap_done(w) && checker.legitimate(w);
+  if (!legit) legit = done_now(w);
 
   res.reached_legitimate = legit;
   res.steps = w.steps();
@@ -166,7 +218,8 @@ RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
   res.sleeps = w.sleeps();
   res.wakes = w.wakes();
   res.phi_final = phi(w);
-  if (auto* rs = dynamic_cast<RoundScheduler*>(sched.get())) {
+  Scheduler* base = injector != nullptr ? injector->inner() : sched.get();
+  if (auto* rs = dynamic_cast<RoundScheduler*>(base)) {
     res.rounds = rs->rounds();
   }
 
@@ -194,6 +247,14 @@ RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
     w.remove_observer(safety.get());
     w.remove_observer(pot.get());
     w.remove_observer(audit.get());
+  }
+  if (injector != nullptr) {
+    recovery->finalize(w);
+    res.faults_injected = recovery->injected();
+    res.faults_recovered = recovery->recovered();
+    res.recovery_steps_max = recovery->worst_relegit_steps();
+    res.recovery_steps_mean = recovery->mean_relegit_steps();
+    w.remove_observer(recovery.get());
   }
   if (extra != nullptr) w.remove_observer(extra);
   if (!legit && res.failure.empty()) {

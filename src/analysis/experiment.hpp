@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "analysis/scenario.hpp"
 #include "core/legitimacy.hpp"
 #include "core/potential.hpp"
+#include "sim/fault.hpp"
 #include "sim/observer.hpp"
 #include "sim/scheduler.hpp"
 
@@ -100,6 +102,42 @@ class ExperimentSpec {
   /// FDP (Gone) or FSP (Hibernating) acceptance criterion.
   ExperimentSpec& exclusion(Exclusion e) { exclusion_ = e; return *this; }
   ExperimentSpec& scheduler(SchedulerSpec s) { scheduler_ = s; return *this; }
+  /// Inject runtime faults mid-run (sim/fault.hpp; empty plan = off). The
+  /// injector wraps the configured scheduler per trial and draws from its
+  /// own Rng stream seeded from plan.seed mixed with the trial seed, so
+  /// fault campaigns replay byte-identically for any worker count. A
+  /// RecoveryMonitor is attached automatically; its measurements land in
+  /// RunResult's fault fields.
+  ExperimentSpec& faults(FaultPlan plan) {
+    faults_ = std::move(plan);
+    return *this;
+  }
+  /// Per-trial wall-clock budget in seconds (0 = off), checked between
+  /// check_every blocks; an over-budget trial is recorded failed and the
+  /// sweep continues. This is a real-time safety net for fault campaigns
+  /// with unknown convergence — a sweep that actually trips it is no
+  /// longer machine-independent, so deterministic budgets should use
+  /// max_steps.
+  ExperimentSpec& trial_timeout(double seconds) {
+    trial_timeout_ = seconds;
+    return *this;
+  }
+  /// Extra attempts for a trial whose execution THROWS (total attempts =
+  /// 1 + retries; each retry rebuilds the scenario from the same seed).
+  /// Exception isolation itself is unconditional — a throwing trial is
+  /// recorded failed with diagnostics and the sweep continues.
+  ExperimentSpec& retries(unsigned r) {
+    retries_ = r;
+    return *this;
+  }
+  /// Test/diagnostic hook invoked with the trial seed at the start of
+  /// every attempt, inside the driver's isolation scope (so a throwing
+  /// hook exercises the failure path). Must be thread-safe; called
+  /// concurrently from worker threads.
+  ExperimentSpec& on_trial_start(std::function<void(std::uint64_t)> fn) {
+    on_trial_start_ = std::move(fn);
+    return *this;
+  }
 
   // --- trial matrix ---
   ExperimentSpec& scenario(ScenarioSpec s) { scenario_ = std::move(s); return *this; }
@@ -136,6 +174,13 @@ class ExperimentSpec {
   [[nodiscard]] std::uint64_t closure_steps() const { return closure_steps_; }
   [[nodiscard]] Exclusion exclusion() const { return exclusion_; }
   [[nodiscard]] const SchedulerSpec& scheduler() const { return scheduler_; }
+  [[nodiscard]] const FaultPlan& faults() const { return faults_; }
+  [[nodiscard]] double trial_timeout() const { return trial_timeout_; }
+  [[nodiscard]] unsigned retries() const { return retries_; }
+  [[nodiscard]] const std::function<void(std::uint64_t)>& trial_start_hook()
+      const {
+    return on_trial_start_;
+  }
   [[nodiscard]] const ScenarioSpec& scenario() const { return scenario_; }
   [[nodiscard]] std::uint64_t seed_first() const { return seed_first_; }
   [[nodiscard]] std::uint64_t seed_count() const { return seed_count_; }
@@ -160,6 +205,10 @@ class ExperimentSpec {
   std::uint64_t closure_steps_ = 0;
   Exclusion exclusion_ = Exclusion::Gone;
   SchedulerSpec scheduler_;
+  FaultPlan faults_;
+  double trial_timeout_ = 0.0;
+  unsigned retries_ = 0;
+  std::function<void(std::uint64_t)> on_trial_start_;
   ScenarioSpec scenario_;
   std::uint64_t seed_first_ = 1;
   std::uint64_t seed_count_ = 1;
@@ -184,6 +233,12 @@ struct RunResult {
   bool safety_ok = true;
   bool phi_monotone = true;
   bool audit_ok = true;
+  // Fault-campaign measurements (populated only when the spec carried a
+  // FaultPlan; see RecoveryMonitor).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_recovered = 0;   ///< re-legitimacy time measured
+  std::uint64_t recovery_steps_max = 0; ///< worst steps-to-re-legitimacy
+  double recovery_steps_mean = 0.0;
   std::string failure;  ///< first diagnostic when something went wrong
 
   /// Invalid-information drained: Φ(start) - Φ(end) (0 if Φ grew, which
@@ -200,6 +255,12 @@ struct TrialResult {
   std::size_t leaving_count = 0; ///< leavers the built scenario contained
   RunResult run;
   std::string trace_error;       ///< non-empty if the JSONL trace failed
+  /// Execution attempts consumed (1 + retries used; see
+  /// ExperimentSpec::retries).
+  unsigned attempts = 1;
+  /// True when the final attempt ended in a caught exception; run.failure
+  /// carries the diagnostic and the sweep continued (crash isolation).
+  bool threw = false;
 };
 
 /// Deterministic aggregate over a trial set: population counters plus
@@ -213,9 +274,14 @@ struct Aggregate {
   std::uint64_t audit_violations = 0;
   std::uint64_t closure_violations = 0;
   std::uint64_t trace_errors = 0;
+  std::uint64_t exceptions = 0;           ///< trials whose execution threw
   std::uint64_t total_exits = 0;          ///< all trials
   std::uint64_t expected_exits = 0;       ///< sum of scenario leaving counts
+  std::uint64_t faults_injected = 0;      ///< runtime perturbations applied
+  std::uint64_t faults_unrecovered = 0;   ///< no re-legitimacy measured
   Samples steps, rounds, sends, sleeps, wakes, phi_drain;
+  /// Per-trial WORST steps-to-re-legitimacy (solved fault trials only).
+  Samples recovery_steps;
   std::string first_failure;
 
   void add(const TrialResult& t);
@@ -223,7 +289,8 @@ struct Aggregate {
   [[nodiscard]] bool clean() const {
     return solved == trials && safety_violations == 0 &&
            phi_violations == 0 && audit_violations == 0 &&
-           closure_violations == 0 && trace_errors == 0;
+           closure_violations == 0 && trace_errors == 0 && exceptions == 0 &&
+           faults_unrecovered == 0;
   }
   /// "clean", or a compact breakdown of what went wrong.
   [[nodiscard]] std::string verdict() const;

@@ -53,6 +53,18 @@ void SafetyMonitor::on_remove(const World& world, ProcessId from,
   dirty_ = true;
 }
 
+void SafetyMonitor::on_fault(const World& world, FaultKind kind,
+                             ProcessId target, bool applied) {
+  (void)world;
+  (void)kind;
+  (void)target;
+  // A fault rearranges stored references behind the ActionRecord stream's
+  // back; the next stride check must re-run the BFS. (Legal faults never
+  // destroy references, so the verdict itself must still hold — that is
+  // exactly what the monitor verifies.)
+  if (applied) dirty_ = true;
+}
+
 PotentialMonitor::PotentialMonitor(const World& w, std::uint64_t stride)
     : stride_(stride == 0 ? 1 : stride),
 #ifdef NDEBUG
@@ -128,6 +140,111 @@ void PotentialMonitor::on_remove(const World& world, ProcessId from,
     phi_ -= static_cast<std::int64_t>(invalid_count(world, m.refs));
     FDP_CHECK_MSG(phi_ >= 0, "incremental phi went negative");
   }
+}
+
+void PotentialMonitor::on_fault(const World& world, FaultKind kind,
+                                ProcessId target, bool applied) {
+  (void)kind;
+  (void)target;
+  if (!applied) return;
+  // Re-baseline from a full recompute: the fault mutated stored state (or
+  // injected copies) outside the per-action delta stream, and its Φ jump
+  // is legal — Lemma 3 constrains the protocol, not the adversary. From
+  // here on only protocol actions can register an increase.
+  phi_ = static_cast<std::int64_t>(phi(world));
+  last_ = static_cast<std::uint64_t>(phi_);
+  since_crosscheck_ = 0;
+}
+
+RecoveryMonitor::RecoveryMonitor(const World& w, Exclusion excl,
+                                 std::uint64_t stride)
+    : checker_(w, excl), stride_(stride == 0 ? 1 : stride) {}
+
+void RecoveryMonitor::on_fault(const World& world, FaultKind kind,
+                               ProcessId target, bool applied) {
+  if (!applied) {
+    // Snapshot the pre-fault potential; left dangling (harmless) when the
+    // victim turns out not to support the fault.
+    pre_phi_ = phi(world);
+    return;
+  }
+  Recovery r;
+  r.step = world.steps();
+  r.kind = kind;
+  r.target = target;
+  r.phi_before = pre_phi_;
+  r.phi_after = phi(world);
+  // A perturbation that didn't raise Φ has nothing to drain.
+  if (r.phi_after <= r.phi_before) r.phi_drain_steps = 0;
+  records_.push_back(r);
+  outstanding_ = true;
+}
+
+void RecoveryMonitor::on_action(const World& world, const ActionRecord& rec) {
+  if (!outstanding_) return;
+  if (++since_ < stride_) return;
+  since_ = 0;
+  sweep(world, rec.step);
+}
+
+void RecoveryMonitor::sweep(const World& world, std::uint64_t now) {
+  bool phi_pending = false;
+  bool legit_pending = false;
+  for (const Recovery& r : records_) {
+    phi_pending |= r.phi_drain_steps == kNotRecovered;
+    legit_pending |= r.relegit_steps == kNotRecovered;
+  }
+  if (phi_pending) {
+    const std::uint64_t cur = phi(world);
+    for (Recovery& r : records_) {
+      if (r.phi_drain_steps == kNotRecovered && cur <= r.phi_before) {
+        r.phi_drain_steps = now - r.step;
+      }
+    }
+  }
+  if (legit_pending && checker_.legitimate(world)) {
+    for (Recovery& r : records_) {
+      if (r.relegit_steps == kNotRecovered) r.relegit_steps = now - r.step;
+    }
+    legit_pending = false;
+  }
+  outstanding_ = legit_pending;
+  if (!outstanding_) {
+    for (const Recovery& r : records_) {
+      outstanding_ |= r.phi_drain_steps == kNotRecovered;
+    }
+  }
+}
+
+void RecoveryMonitor::finalize(const World& w) {
+  if (outstanding_) sweep(w, w.steps());
+}
+
+std::uint64_t RecoveryMonitor::recovered() const {
+  std::uint64_t n = 0;
+  for (const Recovery& r : records_) n += r.relegit_steps != kNotRecovered;
+  return n;
+}
+
+std::uint64_t RecoveryMonitor::worst_relegit_steps() const {
+  std::uint64_t worst = 0;
+  for (const Recovery& r : records_) {
+    if (r.relegit_steps != kNotRecovered)
+      worst = std::max(worst, r.relegit_steps);
+  }
+  return worst;
+}
+
+double RecoveryMonitor::mean_relegit_steps() const {
+  std::uint64_t sum = 0;
+  std::uint64_t n = 0;
+  for (const Recovery& r : records_) {
+    if (r.relegit_steps != kNotRecovered) {
+      sum += r.relegit_steps;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
 }
 
 void TrafficMonitor::on_action(const World& world, const ActionRecord& rec) {

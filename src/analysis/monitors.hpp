@@ -47,6 +47,8 @@ class SafetyMonitor final : public Observer {
   void on_inject(const World& world, ProcessId to, const Message& m) override;
   void on_remove(const World& world, ProcessId from,
                  const Message& m) override;
+  void on_fault(const World& world, FaultKind kind, ProcessId target,
+                bool applied) override;
 
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<std::uint64_t>& violations() const {
@@ -77,6 +79,12 @@ class PotentialMonitor final : public Observer {
   void on_inject(const World& world, ProcessId to, const Message& m) override;
   void on_remove(const World& world, ProcessId from,
                  const Message& m) override;
+  /// Runtime faults may legally jump Φ (that is their point); the monitor
+  /// re-baselines on the applied announcement so only *protocol* actions
+  /// can register an increase, and the incremental value stays in sync
+  /// with state the fault mutated behind the ActionRecord stream's back.
+  void on_fault(const World& world, FaultKind kind, ProcessId target,
+                bool applied) override;
 
   [[nodiscard]] bool ok() const { return increases_.empty(); }
   /// (step, before, after) triples where Φ increased.
@@ -122,6 +130,65 @@ class PotentialMonitor final : public Observer {
   std::uint64_t since_crosscheck_ = 0;
   std::vector<Increase> increases_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> series_;
+};
+
+/// Measures how fast the protocol restabilizes after each runtime fault
+/// (sim/fault.hpp): per applied perturbation it records the Φ jump and the
+/// number of steps until (a) Φ is back at or below its pre-fault value and
+/// (b) the run is legitimate again. Both sweeps are full recomputes at a
+/// stride — the monitor is meant for fault campaigns on experiment-sized
+/// worlds, not for the allocation-free hot path.
+class RecoveryMonitor final : public Observer {
+ public:
+  /// Sentinel for "not (yet) recovered".
+  static constexpr std::uint64_t kNotRecovered = ~std::uint64_t{0};
+
+  struct Recovery {
+    std::uint64_t step = 0;  ///< world step at which the fault applied
+    FaultKind kind = FaultKind::CrashRestart;
+    ProcessId target = kNoProcess;  ///< kNoProcess for world-scoped faults
+    std::uint64_t phi_before = 0;
+    std::uint64_t phi_after = 0;
+    /// Steps until Φ first measured at or below phi_before.
+    std::uint64_t phi_drain_steps = kNotRecovered;
+    /// Steps until the run first measured legitimate again.
+    std::uint64_t relegit_steps = kNotRecovered;
+  };
+
+  explicit RecoveryMonitor(const World& w, Exclusion excl = Exclusion::Either,
+                           std::uint64_t stride = 8);
+
+  void on_action(const World& world, const ActionRecord& rec) override;
+  void on_fault(const World& world, FaultKind kind, ProcessId target,
+                bool applied) override;
+
+  /// Close outstanding records against the final state (call once after
+  /// the run loop; a run that ends legitimate has every perturbation
+  /// recovered by definition).
+  void finalize(const World& w);
+
+  [[nodiscard]] const std::vector<Recovery>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t injected() const { return records_.size(); }
+  /// Perturbations whose re-legitimacy time was measured.
+  [[nodiscard]] std::uint64_t recovered() const;
+  [[nodiscard]] bool all_recovered() const {
+    return recovered() == injected();
+  }
+  /// Max / mean measured steps-to-re-legitimacy (0 with no recoveries).
+  [[nodiscard]] std::uint64_t worst_relegit_steps() const;
+  [[nodiscard]] double mean_relegit_steps() const;
+
+ private:
+  void sweep(const World& world, std::uint64_t now);
+
+  LegitimacyChecker checker_;
+  std::uint64_t stride_;
+  std::uint64_t since_ = 0;
+  std::uint64_t pre_phi_ = 0;  ///< set by the before-announcement
+  bool outstanding_ = false;
+  std::vector<Recovery> records_;
 };
 
 class TrafficMonitor final : public Observer {

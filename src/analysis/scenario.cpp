@@ -108,6 +108,18 @@ void corrupt_and_inject(const ScenarioConfig& cfg, const Population& pop,
   }
 }
 
+/// The configured oracle, wrapped to lie when the unreliability knobs are
+/// set. The lie stream is seeded from the trial seed so sweeps stay
+/// reproducible and trials independent.
+OracleFn scenario_oracle(const ScenarioConfig& cfg, OracleFn inner) {
+  if (cfg.oracle_p_false_pos > 0.0 || cfg.oracle_p_false_neg > 0.0) {
+    return make_unreliable_oracle(std::move(inner), cfg.oracle_p_false_pos,
+                                  cfg.oracle_p_false_neg,
+                                  cfg.seed ^ 0x0bac1eULL);
+  }
+  return inner;
+}
+
 }  // namespace
 
 const char* to_string(ScenarioFamily f) {
@@ -172,7 +184,8 @@ Scenario build_departure_scenario(const ScenarioConfig& cfg,
                      [&](ProcessId p, const RefInfo& a) {
                        sc.world->process_as<DepartureProcess>(p).set_anchor(a);
                      });
-  sc.world->set_oracle(oracle_by_name(cfg.oracle));
+  sc.world->set_oracle(scenario_oracle(cfg, oracle_by_name(cfg.oracle)));
+  sc.seed = cfg.seed;
   return sc;
 }
 
@@ -203,7 +216,8 @@ Scenario build_framework_scenario(const ScenarioConfig& cfg,
                      [&](ProcessId p, const RefInfo& a) {
                        sc.world->process_as<FrameworkProcess>(p).set_anchor(a);
                      });
-  sc.world->set_oracle(oracle_by_name(cfg.oracle));
+  sc.world->set_oracle(scenario_oracle(cfg, oracle_by_name(cfg.oracle)));
+  sc.seed = cfg.seed;
   return sc;
 }
 
@@ -230,7 +244,8 @@ Scenario build_baseline_scenario(const ScenarioConfig& cfg,
   }
   // The baseline has no anchors; only in-flight corruption applies.
   corrupt_and_inject(cfg, pop, sc, rng, [](ProcessId, const RefInfo&) {});
-  sc.world->set_oracle(make_nidec_oracle());
+  sc.world->set_oracle(scenario_oracle(cfg, make_nidec_oracle()));
+  sc.seed = cfg.seed;
   return sc;
 }
 

@@ -47,6 +47,14 @@ struct ScenarioConfig {
 
   /// Oracle name (see oracle_by_name); the FDP default is "single".
   std::string oracle = "single";
+
+  // --- oracle unreliability (see make_unreliable_oracle) ---
+  /// Probability a false oracle answer is reported true. UNSAFE: premature
+  /// exits can disconnect stayers — the safety monitors must flag it.
+  double oracle_p_false_pos = 0.0;
+  /// Probability a true oracle answer is reported false. Safe: exits are
+  /// only delayed (the lie re-rolls per consultation).
+  double oracle_p_false_neg = 0.0;
 };
 
 struct Scenario {
@@ -54,6 +62,9 @@ struct Scenario {
   std::vector<Ref> refs;          ///< by process id
   std::vector<bool> leaving;      ///< by process id
   std::size_t leaving_count = 0;
+  /// The seed this instance was built from (run loops derive per-trial
+  /// fault streams from it; see run_to_legitimacy).
+  std::uint64_t seed = 0;
 };
 
 /// Which process population a scenario instantiates.

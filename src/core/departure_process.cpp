@@ -1,5 +1,7 @@
 #include "core/departure_process.hpp"
 
+#include "util/rng.hpp"
+
 namespace fdp {
 
 void DepartureProcess::distrust_leaving_anchor(Context& ctx) {
@@ -165,6 +167,49 @@ void DepartureProcess::on_message(Context& ctx, const Message& m) {
 void DepartureProcess::collect_refs(std::vector<RefInfo>& out) const {
   n_.append_to(out);
   if (anchor_) out.push_back(*anchor_);
+}
+
+bool DepartureProcess::fault_crash_restart(Rng& rng) {
+  // Gather every reference the departure layer stores, wipe the layer,
+  // and rebuild an arbitrary-but-legal restart state from the survivors.
+  std::vector<RefInfo> stored = n_.snapshot();
+  if (anchor_) stored.push_back(*anchor_);
+  n_.clear();
+  anchor_.reset();
+  for (RefInfo v : stored) {
+    // All knowledge is re-rolled: the restarted process no longer trusts
+    // anything it learned. Only Staying/Leaving beliefs are produced —
+    // both are legal protocol states; wrongness is what Φ measures.
+    v.mode = rng.chance(0.5) ? ModeInfo::Staying : ModeInfo::Leaving;
+    n_.insert(v);
+  }
+  // A restart may come up holding a (copied) anchor it believes staying.
+  const std::vector<RefInfo> rebuilt = n_.snapshot();
+  if (!rebuilt.empty() && rng.chance(0.5)) {
+    RefInfo a = rebuilt[rng.below(rebuilt.size())];
+    a.mode = ModeInfo::Staying;  // anchors are believed staying, possibly wrongly
+    set_anchor(a);
+  }
+  return true;
+}
+
+bool DepartureProcess::fault_scramble(Rng& rng) {
+  // Flip stored mode beliefs in place; occasionally demote the anchor
+  // back into u.N (fusing with an existing copy if present). Reference
+  // multiset aside from fusion is untouched.
+  for (const RefInfo& v : n_.snapshot()) {
+    if (rng.chance(0.5)) {
+      n_.set_mode(v.ref, v.mode == ModeInfo::Leaving ? ModeInfo::Staying
+                                                     : ModeInfo::Leaving);
+    }
+  }
+  if (anchor_ && rng.chance(0.5)) {
+    RefInfo a = *anchor_;
+    a.mode = rng.chance(0.5) ? ModeInfo::Staying : ModeInfo::Leaving;
+    anchor_.reset();
+    n_.insert(a);
+  }
+  return true;
 }
 
 }  // namespace fdp

@@ -59,6 +59,16 @@ class DepartureProcess : public Process {
     return "departure";
   }
 
+  // --- runtime fault hooks (sim/fault.hpp) ---
+  // Both operate on the departure layer's own storage (u.N and anchor)
+  // directly, NOT through the virtual storage hooks: a Section-4 framework
+  // subclass keeps its hosted-overlay links untouched and inherits a
+  // perturbation of exactly the state Algorithms 1–3 own. The distinct
+  // references stored before and after are identical (duplicates may
+  // fuse), so Lemma 2's edge set survives — only knowledge is corrupted.
+  bool fault_crash_restart(Rng& rng) override;
+  bool fault_scramble(Rng& rng) override;
+
   // --- scenario / test access ---
   [[nodiscard]] const NeighborSet& nbrs() const { return n_; }
   [[nodiscard]] NeighborSet& nbrs_mut() { return n_; }

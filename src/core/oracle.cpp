@@ -49,6 +49,24 @@ OracleFn make_incident_oracle(std::size_t k) {
   };
 }
 
+OracleFn make_unreliable_oracle(OracleFn inner, double p_false_pos,
+                                double p_false_neg, std::uint64_t seed) {
+  FDP_CHECK_MSG(p_false_pos >= 0.0 && p_false_pos <= 1.0 &&
+                    p_false_neg >= 0.0 && p_false_neg <= 1.0,
+                "oracle lie probabilities must lie in [0, 1]");
+  // Stateful (own Rng stream); shared_ptr keeps the OracleFn copyable,
+  // matching the quiet-oracle idiom.
+  auto lie_rng = std::make_shared<Rng>(seed);
+  return [inner = std::move(inner), p_false_pos, p_false_neg,
+          lie_rng](const World& w, ProcessId p) {
+    const bool truth = inner(w, p);
+    if (truth) {
+      return p_false_neg > 0.0 && lie_rng->chance(p_false_neg) ? false : true;
+    }
+    return p_false_pos > 0.0 && lie_rng->chance(p_false_pos);
+  };
+}
+
 OracleFn oracle_by_name(const std::string& name) {
   if (name == "single") return make_single_oracle();
   if (name.rfind("incident:", 0) == 0) {

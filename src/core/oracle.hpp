@@ -46,4 +46,17 @@ namespace fdp {
 /// "always-true", "always-false", "quiet:<k>", "incident:<k>".
 [[nodiscard]] OracleFn oracle_by_name(const std::string& name);
 
+/// Wrap an oracle so it lies: with probability `p_false_pos` a false inner
+/// answer is reported true (UNSAFE — a premature exit can destroy the
+/// channel-held references of the leaver; the safety monitors must catch
+/// every resulting disconnection), and with probability `p_false_neg` a
+/// true inner answer is reported false (safe — exits are merely delayed;
+/// liveness still holds because the lie is rolled per consultation, so the
+/// oracle stays eventually-true). Lies draw from their own Rng stream
+/// seeded with `seed`, keeping runs reproducible.
+[[nodiscard]] OracleFn make_unreliable_oracle(OracleFn inner,
+                                              double p_false_pos,
+                                              double p_false_neg,
+                                              std::uint64_t seed);
+
 }  // namespace fdp

@@ -5,7 +5,9 @@
 namespace fdp {
 
 ActionChoice ChaosScheduler::next(const World& world, Rng& rng) {
-  FDP_CHECK_MSG(world_ == &world, "ChaosScheduler must be bound to the world");
+  FDP_CHECK_MSG(world_ != nullptr,
+                "ChaosScheduler::bind(world) must be called before next()");
+  FDP_CHECK_MSG(world_ == &world, "ChaosScheduler is bound to a different world");
   // Bounded retry: dropping a message invalidates the inner scheduler's
   // choice, so ask again.
   for (int attempt = 0; attempt < 64; ++attempt) {

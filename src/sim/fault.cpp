@@ -1,0 +1,146 @@
+#include "sim/fault.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+std::string FaultPlan::validate() const {
+  auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!prob_ok(p_crash) || !prob_ok(p_scramble) || !prob_ok(p_duplicate) ||
+      !prob_ok(p_partition)) {
+    return "fault probabilities must lie in [0, 1]";
+  }
+  const bool stochastic =
+      p_crash > 0.0 || p_scramble > 0.0 || p_duplicate > 0.0 ||
+      p_partition > 0.0;
+  if (stochastic && stochastic_until == 0) {
+    return "stochastic fault probabilities set but stochastic_until == 0 "
+           "(the regime would never fire)";
+  }
+  if (partition_window == 0) return "partition_window must be positive";
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].step < events[i - 1].step) {
+      return "scheduled fault events must be sorted by step";
+    }
+  }
+  return "";
+}
+
+ActionChoice FaultScheduler::next(const World& world, Rng& rng) {
+  FDP_CHECK_MSG(world_ != nullptr,
+                "FaultScheduler::bind(world) must be called before next()");
+  FDP_CHECK_MSG(world_ == &world, "FaultScheduler is bound to a different world");
+  const std::uint64_t now = world.steps();
+
+  // Scheduled events due now (or overdue — the plan may schedule several
+  // at one step).
+  while (cursor_ < plan_.events.size() && plan_.events[cursor_].step <= now) {
+    apply(plan_.events[cursor_], now);
+    ++cursor_;
+  }
+
+  // Stochastic regime: one roll per fault class per world step.
+  if (now < plan_.stochastic_until && now != last_stochastic_step_) {
+    last_stochastic_step_ = now;
+    if (plan_.p_crash > 0.0 && fault_rng_.chance(plan_.p_crash)) {
+      apply(FaultEvent{now, FaultKind::CrashRestart, 1}, now);
+    }
+    if (plan_.p_scramble > 0.0 && fault_rng_.chance(plan_.p_scramble)) {
+      apply(FaultEvent{now, FaultKind::Scramble, 1}, now);
+    }
+    if (plan_.p_duplicate > 0.0 && fault_rng_.chance(plan_.p_duplicate)) {
+      apply(FaultEvent{now, FaultKind::DuplicateBurst, 0}, now);
+    }
+    if (plan_.p_partition > 0.0 && fault_rng_.chance(plan_.p_partition)) {
+      apply(FaultEvent{now, FaultKind::PartitionStart, 1}, now);
+    }
+  }
+
+  if (partition_until_ > now) {
+    // Veto deliveries into the blocked side; bounded retry against the
+    // inner scheduler (stateful inners advance their cursors, so retries
+    // make progress).
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const ActionChoice c = inner_->next(world, rng);
+      if (c.kind != ActionChoice::Kind::Deliver) return c;
+      if (c.proc >= blocked_.size() || !blocked_[c.proc]) return c;
+      ++withheld_;
+    }
+    // The inner scheduler keeps proposing blocked deliveries. Let time
+    // pass on the live side instead.
+    if (world.awake_count() > 0) {
+      const ProcessId p = world.kth_awake(fault_rng_.below(world.awake_count()));
+      return ActionChoice::timeout(p);
+    }
+    // Nothing but blocked deliveries is enabled: leak one (counted), so
+    // fair receipt is delayed, never denied.
+    ++partition_leaks_;
+  }
+  return inner_->next(world, rng);
+}
+
+void FaultScheduler::apply(const FaultEvent& ev, std::uint64_t now) {
+  switch (ev.kind) {
+    case FaultKind::CrashRestart:
+    case FaultKind::Scramble: {
+      for (std::uint32_t i = 0; i < ev.count; ++i) {
+        if (world_->awake_count() == 0) break;
+        const ProcessId victim = world_->kth_awake(
+            fault_rng_.below(world_->awake_count()));
+        world_->announce_fault(ev.kind, victim, /*applied=*/false);
+        const bool ok =
+            ev.kind == FaultKind::CrashRestart
+                ? world_->process_mut(victim).fault_crash_restart(fault_rng_)
+                : world_->process_mut(victim).fault_scramble(fault_rng_);
+        if (!ok) continue;  // victim type doesn't support the fault
+        if (ev.kind == FaultKind::CrashRestart) {
+          ++crashes_;
+        } else {
+          ++scrambles_;
+        }
+        world_->announce_fault(ev.kind, victim, /*applied=*/true);
+      }
+      break;
+    }
+    case FaultKind::DuplicateBurst: {
+      if (world_->live_message_count() == 0) break;
+      world_->announce_fault(ev.kind, kNoProcess, /*applied=*/false);
+      const std::uint32_t burst =
+          ev.count > 0 ? ev.count : plan_.duplicate_burst;
+      std::uint64_t done = 0;
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        const std::uint64_t live = world_->live_message_count();
+        if (live == 0) break;
+        const auto [p, seq] = world_->kth_live_message(fault_rng_.below(live));
+        if (world_->duplicate_message(p, seq)) ++done;
+      }
+      if (done > 0) {
+        duplicates_ += done;
+        ++bursts_;
+        world_->announce_fault(ev.kind, kNoProcess, /*applied=*/true);
+      }
+      break;
+    }
+    case FaultKind::PartitionStart: {
+      if (partition_until_ > now) break;  // a window is already open
+      const std::size_t n = world_->size();
+      if (n == 0) break;
+      world_->announce_fault(ev.kind, kNoProcess, /*applied=*/false);
+      blocked_.assign(n, 0);
+      bool any = false;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (fault_rng_.chance(0.5)) {
+          blocked_[p] = 1;
+          any = true;
+        }
+      }
+      if (!any) blocked_[fault_rng_.below(n)] = 1;
+      partition_until_ = now + plan_.partition_window;
+      ++partitions_;
+      world_->announce_fault(ev.kind, kNoProcess, /*applied=*/true);
+      break;
+    }
+  }
+}
+
+}  // namespace fdp

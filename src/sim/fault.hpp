@@ -1,0 +1,157 @@
+// Runtime fault injection.
+//
+// ChaosScheduler (sim/chaos.hpp) perturbs *delivery*; the FaultScheduler
+// perturbs *running state*. It wraps any scheduler and, at scheduled or
+// stochastic step points, injects the mid-flight faults the paper's
+// self-stabilization argument (Lemmas 2–3) promises to survive:
+//
+//  * crash-restart — a victim wipes its local protocol state and rebuilds
+//    an arbitrary-but-legal copy-store-send state from the references it
+//    held (Process::fault_crash_restart). No reference is destroyed, so
+//    Lemma 2 safety must survive; Φ may jump and must re-drain.
+//  * scramble — stored mode knowledge is flipped / the anchor demoted
+//    without a full restart (Process::fault_scramble).
+//  * duplication burst — a batch of adversarial message duplications
+//    (copies only; an adversarial Introduction, like ChaosScheduler's
+//    p_duplicate but in bursts).
+//  * partition window — for `partition_window` steps, deliveries INTO a
+//    randomly chosen victim side are withheld, then released. Since the
+//    kernel does not track message origin, the cut is modeled as the
+//    victim side's inbound links being down; delivery is only delayed,
+//    never denied (bounded retry falls back to a timeout on the live
+//    side, and when nothing but blocked deliveries is enabled one
+//    delivery leaks through, counted, so fair receipt still holds).
+//
+// Faults draw from their own seeded Rng stream (like ChaosScheduler), so a
+// fault-injected run replays byte-identically for any worker count and
+// across World::reset reuse. Every injection is announced to observers via
+// World::announce_fault; monitors re-baseline there (a fault may legally
+// jump Φ), and the RecoveryMonitor (analysis/monitors.hpp) measures
+// steps-to-Φ-drain and steps-to-re-legitimacy per perturbation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+
+/// One scheduled fault. `count` is the number of victims (crash/scramble)
+/// or the burst size (DuplicateBurst; 0 means FaultPlan::duplicate_burst);
+/// it is ignored for PartitionStart (the window length comes from the
+/// plan).
+struct FaultEvent {
+  std::uint64_t step = 0;
+  FaultKind kind = FaultKind::CrashRestart;
+  std::uint32_t count = 1;
+};
+
+/// A campaign description: explicit events plus per-step probabilities for
+/// a stochastic regime that lasts until `stochastic_until`.
+struct FaultPlan {
+  /// Scheduled events, non-decreasing by step (validate() enforces this).
+  std::vector<FaultEvent> events;
+
+  // Per-step probabilities, rolled once per world step while
+  // steps < stochastic_until.
+  double p_crash = 0.0;
+  double p_scramble = 0.0;
+  double p_duplicate = 0.0;
+  double p_partition = 0.0;
+  std::uint64_t stochastic_until = 0;
+
+  /// Duplications per DuplicateBurst event (when the event doesn't carry
+  /// its own count).
+  std::uint32_t duplicate_burst = 4;
+  /// Steps a partition window stays closed.
+  std::uint64_t partition_window = 64;
+
+  /// Base seed of the fault stream; mixed with the scenario seed by
+  /// run_to_legitimacy so trials stay independent.
+  std::uint64_t seed = 0xFA17ED;
+
+  /// Convenience: append a scheduled event.
+  FaultPlan& at(std::uint64_t step, FaultKind kind, std::uint32_t count = 1) {
+    events.push_back(FaultEvent{step, kind, count});
+    return *this;
+  }
+
+  /// True when the plan injects nothing (no events, no stochastic regime).
+  [[nodiscard]] bool empty() const {
+    return events.empty() &&
+           (stochastic_until == 0 ||
+            (p_crash <= 0.0 && p_scramble <= 0.0 && p_duplicate <= 0.0 &&
+             p_partition <= 0.0));
+  }
+
+  /// "" when well-formed, else a human-readable complaint.
+  [[nodiscard]] std::string validate() const;
+};
+
+class FaultScheduler final : public Scheduler {
+ public:
+  /// `seed` seeds the private fault stream (callers mix plan.seed with the
+  /// trial seed; see run_to_legitimacy).
+  FaultScheduler(std::unique_ptr<Scheduler> inner, FaultPlan plan,
+                 std::uint64_t seed)
+      : inner_(std::move(inner)), plan_(std::move(plan)), fault_rng_(seed) {}
+
+  /// The world must be passed mutably for fault injection; the Scheduler
+  /// interface is const, so a FaultScheduler is bound to one world.
+  void bind(World* world) { world_ = world; }
+
+  ActionChoice next(const World& world, Rng& rng) override;
+
+  /// The wrapped scheduler (run loops read per-kind state off it, e.g.
+  /// RoundScheduler::rounds()).
+  [[nodiscard]] Scheduler* inner() const { return inner_.get(); }
+
+  /// True once every scheduled event fired, the stochastic regime is over
+  /// and no partition window is open — i.e. the run can terminate once
+  /// legitimate without cutting a perturbation short.
+  [[nodiscard]] bool exhausted(std::uint64_t now) const {
+    return cursor_ >= plan_.events.size() && now >= plan_.stochastic_until &&
+           partition_until_ <= now;
+  }
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t scrambles() const { return scrambles_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t partitions() const { return partitions_; }
+  /// Delivery choices vetoed inside partition windows.
+  [[nodiscard]] std::uint64_t withheld() const { return withheld_; }
+  /// Deliveries let through a partition because nothing else was enabled.
+  [[nodiscard]] std::uint64_t partition_leaks() const {
+    return partition_leaks_;
+  }
+  /// Total applied perturbations (crash + scramble + burst + partition
+  /// events — what the RecoveryMonitor sees as `applied` announcements).
+  [[nodiscard]] std::uint64_t injected() const {
+    return crashes_ + scrambles_ + bursts_ + partitions_;
+  }
+
+ private:
+  void apply(const FaultEvent& ev, std::uint64_t now);
+
+  std::unique_ptr<Scheduler> inner_;
+  FaultPlan plan_;
+  Rng fault_rng_;
+  World* world_ = nullptr;
+  std::size_t cursor_ = 0;  ///< next unfired scheduled event
+  std::uint64_t last_stochastic_step_ = ~std::uint64_t{0};
+  std::uint64_t partition_until_ = 0;
+  std::vector<char> blocked_;  ///< inbound-blocked side of the open window
+  std::uint64_t crashes_ = 0;
+  std::uint64_t scrambles_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t withheld_ = 0;
+  std::uint64_t partition_leaks_ = 0;
+};
+
+}  // namespace fdp

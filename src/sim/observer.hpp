@@ -18,6 +18,27 @@ namespace fdp {
 
 class World;
 
+/// Runtime fault classes injected by the FaultScheduler (sim/fault.hpp).
+/// Declared here (not in fault.hpp) because the Observer interface is the
+/// consumer: monitors react to fault announcements without depending on
+/// the injector.
+enum class FaultKind : std::uint8_t {
+  CrashRestart,    ///< a process wiped its local state and rebuilt it
+  Scramble,        ///< stored mode knowledge flipped / anchor juggled
+  DuplicateBurst,  ///< a burst of adversarial message duplications
+  PartitionStart,  ///< a delivery-withholding window opened
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::CrashRestart: return "crash-restart";
+    case FaultKind::Scramble: return "scramble";
+    case FaultKind::DuplicateBurst: return "dup-burst";
+    case FaultKind::PartitionStart: return "partition";
+  }
+  return "?";
+}
+
 struct ActionRecord {
   enum class Kind { Timeout, Deliver };
 
@@ -63,6 +84,23 @@ class Observer {
     (void)world;
     (void)from;
     (void)m;
+  }
+
+  /// A runtime fault is being injected (World::announce_fault, driven by
+  /// the FaultScheduler). Fired twice per fault: once with
+  /// `applied = false` immediately BEFORE the mutation (so monitors can
+  /// snapshot pre-fault state — a before-announcement may be left dangling
+  /// when the victim turns out not to support the fault) and once with
+  /// `applied = true` after it took effect. `target` is kNoProcess for
+  /// world-scoped faults (duplication bursts, partitions). Incremental
+  /// monitors must re-baseline on the applied announcement: a fault may
+  /// legally jump Φ upward or perturb state no ActionRecord describes.
+  virtual void on_fault(const World& world, FaultKind kind, ProcessId target,
+                        bool applied) {
+    (void)world;
+    (void)kind;
+    (void)target;
+    (void)applied;
   }
 };
 

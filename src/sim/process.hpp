@@ -17,6 +17,7 @@
 namespace fdp {
 
 class Context;
+class Rng;
 
 class Process {
  public:
@@ -43,6 +44,25 @@ class Process {
 
   /// Human-readable protocol name for traces.
   [[nodiscard]] virtual const char* protocol_name() const = 0;
+
+  /// Runtime fault hooks (driven by the FaultScheduler, sim/fault.hpp).
+  /// Both must leave the process in a *legal* copy-store-send state: the
+  /// set of distinct references stored afterwards must equal the set
+  /// stored before (knowledge about them may be arbitrarily wrong, and
+  /// duplicate copies may be fused) — dropping the last copy of a
+  /// reference would delete a process-graph edge, which no fault model in
+  /// this repo is allowed to do (DESIGN.md "Fault model"). Return false
+  /// when the process type does not support the fault; the injector then
+  /// skips the victim.
+  virtual bool fault_crash_restart(Rng& rng) {
+    (void)rng;
+    return false;
+  }
+  /// Flip stored mode knowledge / juggle the anchor without restarting.
+  virtual bool fault_scramble(Rng& rng) {
+    (void)rng;
+    return false;
+  }
 
   [[nodiscard]] Ref self() const { return self_; }
   [[nodiscard]] Mode mode() const { return mode_; }

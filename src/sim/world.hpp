@@ -174,6 +174,13 @@ class World {
   /// checker; model-breaking if used mid-run).
   void clear_channel(ProcessId id);
 
+  /// Announce a runtime fault to every observer (called by the
+  /// FaultScheduler around each injected perturbation; see
+  /// Observer::on_fault for the before/after contract).
+  void announce_fault(FaultKind kind, ProcessId target, bool applied) {
+    for (Observer* o : observers_) o->on_fault(*this, kind, target, applied);
+  }
+
   // --- oracle ---
 
   void set_oracle(OracleFn fn) { oracle_ = std::move(fn); }

@@ -87,6 +87,75 @@ TEST(Chaos, DropAndDuplicateCountersWork) {
   EXPECT_GT(chaos.dropped(), 0u);
 }
 
+TEST(ChaosDeathTest, NextWithoutBindDies) {
+  // Regression for the bind() footgun: an unbound ChaosScheduler used to
+  // be constructible and steppable, crashing deep inside next(). It must
+  // fail loudly, naming the missing call.
+  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.2, 0.0, 7);
+  ScenarioConfig cfg;
+  cfg.n = 6;
+  cfg.topology = "ring";
+  cfg.seed = 3;
+  Scenario sc = build_departure_scenario(cfg);
+  EXPECT_DEATH((void)sc.world->step(chaos), "bind");
+}
+
+TEST(ChaosDeathTest, NextOnDifferentWorldDies) {
+  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.2, 0.0, 7);
+  ScenarioConfig cfg;
+  cfg.n = 6;
+  cfg.topology = "ring";
+  cfg.seed = 3;
+  Scenario bound = build_departure_scenario(cfg);
+  chaos.bind(bound.world.get());
+  cfg.seed = 4;
+  Scenario other = build_departure_scenario(cfg);
+  EXPECT_DEATH((void)other.world->step(chaos), "different world");
+}
+
+// The k-parameterized oracles keep internal per-process state (QUIET's
+// consecutive-call counter) or read channel occupancy (INCIDENT); a
+// duplication storm attacks exactly those inputs. Convergence and safety
+// must hold for both, like the SINGLE runs above.
+class StormOracleSweep
+    : public testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {};
+
+TEST_P(StormOracleSweep, ParameterizedOraclesSurviveDuplicationStorms) {
+  const auto [oracle, seed] = GetParam();
+  ScenarioConfig cfg;
+  cfg.n = 10;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.oracle = oracle;
+  cfg.seed = seed;
+  Scenario sc = build_departure_scenario(cfg);
+
+  // p_duplicate = 0.5 is a storm: half of all scheduler choices clone a
+  // random in-flight message first.
+  ChaosScheduler chaos(std::make_unique<RandomScheduler>(),
+                       /*p_duplicate=*/0.5, /*p_drop=*/0.0, seed * 193);
+  chaos.bind(sc.world.get());
+
+  SafetyMonitor safety(*sc.world, 1);
+  sc.world->add_observer(&safety);
+  LegitimacyChecker checker(*sc.world, Exclusion::Gone);
+
+  bool legit = false;
+  for (int block = 0; block < 8000 && !legit; ++block) {
+    for (int i = 0; i < 100; ++i) (void)sc.world->step(chaos);
+    legit = all_leaving_gone(*sc.world) && checker.legitimate(*sc.world);
+  }
+  EXPECT_TRUE(legit);
+  EXPECT_TRUE(safety.ok());
+  EXPECT_GT(chaos.duplicated(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StormOracleSweep,
+    testing::Combine(testing::Values("quiet:3", "incident:2"),
+                     testing::Range<std::uint64_t>(1, 5)));
+
 TEST(Chaos, WorldDuplicateAndDiscardPrimitives) {
   World w(1);
   const Ref a = w.spawn<DepartureProcess>(Mode::Staying, 1);

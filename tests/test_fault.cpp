@@ -1,0 +1,397 @@
+// Runtime fault injection (sim/fault.hpp): campaigns must be survivable
+// (Lemmas 2-3 are self-stabilization claims — crash-restarts, scrambles,
+// duplication bursts and partition windows may delay but never derail
+// convergence), measurable (RecoveryMonitor closes every perturbation),
+// and deterministic (fault streams are seeded; worker count and World
+// reuse must not change a single action).
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "analysis/driver.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/monitors.hpp"
+#include "core/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace fdp {
+namespace {
+
+ScenarioConfig corrupted_config(std::uint64_t seed, std::size_t n = 16) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.random_anchor_prob = 0.2;
+  cfg.inflight_per_node = 1.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FaultPlan full_campaign() {
+  FaultPlan plan;
+  plan.at(50, FaultKind::CrashRestart)
+      .at(150, FaultKind::Scramble)
+      .at(250, FaultKind::DuplicateBurst, 6)
+      .at(350, FaultKind::PartitionStart);
+  plan.partition_window = 48;
+  plan.p_crash = 0.002;
+  plan.p_scramble = 0.002;
+  plan.p_duplicate = 0.002;
+  plan.stochastic_until = 900;
+  return plan;
+}
+
+TEST(FaultPlan, ValidateCatchesMalformedPlans) {
+  FaultPlan p;
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_TRUE(p.empty());
+
+  p.p_crash = 1.5;
+  EXPECT_FALSE(p.validate().empty());
+  p.p_crash = 0.1;
+  // Stochastic probability without a horizon would silently inject nothing.
+  EXPECT_FALSE(p.validate().empty());
+  p.stochastic_until = 100;
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_FALSE(p.empty());
+
+  p.partition_window = 0;
+  EXPECT_FALSE(p.validate().empty());
+  p.partition_window = 32;
+
+  p.at(90, FaultKind::Scramble).at(40, FaultKind::CrashRestart);
+  EXPECT_FALSE(p.validate().empty());  // events out of order
+}
+
+TEST(FaultSchedulerDeathTest, NextWithoutBindDies) {
+  FaultScheduler fs(std::make_unique<RandomScheduler>(),
+                    FaultPlan{}.at(1, FaultKind::Scramble), 7);
+  Scenario sc = build_departure_scenario(corrupted_config(3, 8));
+  EXPECT_DEATH((void)sc.world->step(fs), "bind");
+}
+
+// The contract of Process::fault_crash_restart / fault_scramble: the
+// distinct set of held references must be preserved (a fault corrupts
+// knowledge, it does not destroy references — that is what keeps Lemma 2
+// applicable), and no reference may come back with Unknown mode info.
+TEST(Fault, CrashRestartPreservesDistinctReferenceSet) {
+  Scenario sc = build_departure_scenario(corrupted_config(11));
+  Rng rng(99);
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    auto& proc = sc.world->process_as<DepartureProcess>(p);
+    std::set<ProcessId> before;
+    for (const RefInfo& v : proc.nbrs().snapshot()) before.insert(v.ref.id());
+    if (proc.anchor()) before.insert(proc.anchor()->ref.id());
+
+    ASSERT_TRUE(proc.fault_crash_restart(rng));
+
+    std::set<ProcessId> after;
+    for (const RefInfo& v : proc.nbrs().snapshot()) {
+      EXPECT_NE(v.mode, ModeInfo::Unknown);
+      after.insert(v.ref.id());
+    }
+    if (proc.anchor()) {
+      EXPECT_NE(proc.anchor()->mode, ModeInfo::Unknown);
+      after.insert(proc.anchor()->ref.id());
+    }
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(Fault, ScramblePreservesDistinctReferenceSet) {
+  Scenario sc = build_departure_scenario(corrupted_config(12));
+  Rng rng(100);
+  for (ProcessId p = 0; p < sc.world->size(); ++p) {
+    auto& proc = sc.world->process_as<DepartureProcess>(p);
+    std::set<ProcessId> before;
+    for (const RefInfo& v : proc.nbrs().snapshot()) before.insert(v.ref.id());
+    if (proc.anchor()) before.insert(proc.anchor()->ref.id());
+
+    ASSERT_TRUE(proc.fault_scramble(rng));
+
+    std::set<ProcessId> after;
+    for (const RefInfo& v : proc.nbrs().snapshot()) {
+      EXPECT_NE(v.mode, ModeInfo::Unknown);
+      after.insert(v.ref.id());
+    }
+    if (proc.anchor()) after.insert(proc.anchor()->ref.id());
+    EXPECT_EQ(before, after);
+  }
+}
+
+// The headline robustness claim: a full campaign — scheduled crash,
+// scramble, duplication burst, partition window, plus a stochastic
+// regime — never breaks safety, never registers a protocol Φ increase,
+// and every perturbation gets a finite measured recovery.
+class FaultCampaignSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultCampaignSweep, CampaignIsSurvivedAndMeasured) {
+  Scenario sc = build_departure_scenario(corrupted_config(GetParam()));
+  ExperimentSpec spec;
+  spec.max_steps(400'000)
+      .monitors(true, 1)
+      .closure_steps(200)
+      .faults(full_campaign());
+  const RunResult r = run_to_legitimacy(sc, spec);
+
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_TRUE(r.safety_ok) << r.failure;
+  EXPECT_TRUE(r.phi_monotone) << r.failure;
+  EXPECT_TRUE(r.audit_ok) << r.failure;
+  EXPECT_TRUE(r.closure_held);
+  EXPECT_GE(r.faults_injected, 4u);  // at least the scheduled events
+  EXPECT_EQ(r.faults_recovered, r.faults_injected);
+  EXPECT_GT(r.recovery_steps_max, 0u);
+  EXPECT_LT(r.recovery_steps_max, RecoveryMonitor::kNotRecovered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultCampaignSweep,
+                         testing::Range<std::uint64_t>(1, 9));
+
+// A run must not terminate "legitimate" while the campaign is still
+// pending: schedule the only fault far beyond natural convergence and
+// check it still fires (exhausted() gates termination).
+TEST(Fault, RunWaitsForPendingScheduledFaults) {
+  Scenario sc = build_departure_scenario(corrupted_config(5, 10));
+  FaultPlan plan;
+  plan.at(40'000, FaultKind::CrashRestart);
+  ExperimentSpec spec;
+  spec.max_steps(400'000).monitors(true, 1).faults(plan);
+  const RunResult r = run_to_legitimacy(sc, spec);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_EQ(r.faults_injected, 1u);
+  EXPECT_EQ(r.faults_recovered, 1u);
+  EXPECT_GT(r.steps, 40'000u);
+}
+
+// Oracle false negatives ("you still have incident edges" when the truth
+// is no) are safe lies: exits are delayed, never wrongly granted. The run
+// must still converge with clean monitors.
+class LyingOracleSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LyingOracleSweep, FalseNegativesOnlyDelayConvergence) {
+  ScenarioConfig cfg = corrupted_config(GetParam(), 12);
+  cfg.oracle_p_false_neg = 0.5;
+  Scenario sc = build_departure_scenario(cfg);
+  ExperimentSpec spec;
+  spec.max_steps(800'000).monitors(true, 1);
+  const RunResult r = run_to_legitimacy(sc, spec);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_TRUE(r.safety_ok) << r.failure;
+  EXPECT_TRUE(r.phi_monotone) << r.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LyingOracleSweep,
+                         testing::Range<std::uint64_t>(1, 7));
+
+// Oracle false positives grant exits the oracle contract forbids; on a
+// line where most leavers are cut vertices that eventually disconnects a
+// stayer, and the instrumentation — not the protocol — must catch it.
+// Negative testing OF THE MONITORS, like Chaos.MessageLossIsDetected.
+TEST(Fault, FalsePositiveOracleIsCaughtByTheMonitors) {
+  bool detected = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !detected; ++seed) {
+    ScenarioConfig cfg;
+    cfg.n = 10;
+    cfg.topology = "line";
+    cfg.leave_fraction = 0.4;
+    cfg.seed = seed;
+    cfg.oracle_p_false_pos = 0.8;
+    Scenario sc = build_departure_scenario(cfg);
+    ExperimentSpec spec;
+    spec.max_steps(100'000).monitors(true, 1);
+    const RunResult r = run_to_legitimacy(sc, spec);
+    if (!r.safety_ok || !r.reached_legitimate) detected = true;
+  }
+  EXPECT_TRUE(detected);
+}
+
+// --- driver crash isolation -------------------------------------------
+
+ExperimentSpec sweep_spec(std::uint64_t seeds) {
+  ScenarioSpec scen;
+  scen.config = corrupted_config(0, 12);
+  ExperimentSpec spec;
+  spec.scenario(scen).seeds(1, seeds).max_steps(400'000).faults(
+      full_campaign());
+  return spec;
+}
+
+struct TrialFingerprint {
+  std::uint64_t seed, steps, sends, exits, injected, recovered, worst;
+  bool solved, threw;
+  unsigned attempts;
+
+  friend bool operator==(const TrialFingerprint&,
+                         const TrialFingerprint&) = default;
+};
+
+std::vector<TrialFingerprint> fingerprints(const ExperimentResult& res) {
+  std::vector<TrialFingerprint> out;
+  for (const TrialResult& t : res.trials) {
+    out.push_back({t.seed, t.run.steps, t.run.sends, t.run.exits,
+                   t.run.faults_injected, t.run.faults_recovered,
+                   t.run.recovery_steps_max, t.run.reached_legitimate,
+                   t.threw, t.attempts});
+  }
+  return out;
+}
+
+TEST(Driver, ThrowingTrialIsIsolatedAndSweepCompletes) {
+  constexpr std::uint64_t kPoisoned = 4;
+  ExperimentSpec spec = sweep_spec(8);
+  spec.on_trial_start([](std::uint64_t seed) {
+    if (seed == kPoisoned) throw std::runtime_error("injected test failure");
+  });
+
+  const ExperimentResult res = ExperimentDriver(4).run(spec);
+  ASSERT_EQ(res.trials.size(), 8u);
+  EXPECT_EQ(res.agg.trials, 8u);
+  EXPECT_EQ(res.agg.exceptions, 1u);
+  EXPECT_EQ(res.agg.solved, 7u);
+  for (const TrialResult& t : res.trials) {
+    if (t.seed == kPoisoned) {
+      EXPECT_TRUE(t.threw);
+      EXPECT_FALSE(t.run.reached_legitimate);
+      EXPECT_NE(t.run.failure.find("trial threw"), std::string::npos)
+          << t.run.failure;
+      EXPECT_NE(t.run.failure.find("injected test failure"),
+                std::string::npos);
+    } else {
+      EXPECT_FALSE(t.threw);
+      EXPECT_TRUE(t.run.reached_legitimate) << t.run.failure;
+    }
+  }
+
+  // Aggregation stays deterministic and worker-count invariant even with
+  // a poisoned trial in the sweep.
+  spec.workers(1);
+  const ExperimentResult seq = ExperimentDriver(1).run(spec);
+  EXPECT_EQ(fingerprints(res), fingerprints(seq));
+  EXPECT_EQ(res.agg.verdict(), seq.agg.verdict());
+}
+
+TEST(Driver, OptInRetrySalvagesTransientFailures) {
+  constexpr std::uint64_t kFlaky = 3;
+  ExperimentSpec spec = sweep_spec(6);
+  auto first_attempts = std::make_shared<std::atomic<int>>(0);
+  spec.retries(1).on_trial_start([first_attempts](std::uint64_t seed) {
+    if (seed == kFlaky && first_attempts->fetch_add(1) == 0)
+      throw std::runtime_error("transient");
+  });
+
+  const ExperimentResult res = ExperimentDriver(2).run(spec);
+  EXPECT_EQ(res.agg.exceptions, 0u);
+  EXPECT_EQ(res.agg.solved, 6u);
+  EXPECT_TRUE(res.agg.clean()) << res.agg.verdict();
+  for (const TrialResult& t : res.trials) {
+    EXPECT_EQ(t.attempts, t.seed == kFlaky ? 2u : 1u);
+    EXPECT_FALSE(t.threw);
+  }
+}
+
+TEST(Driver, ExhaustedRetriesRecordTheFailure) {
+  ExperimentSpec spec = sweep_spec(3);
+  spec.retries(2).on_trial_start([](std::uint64_t seed) {
+    if (seed == 2) throw std::runtime_error("permanent");
+  });
+  const ExperimentResult res = ExperimentDriver(1).run(spec);
+  EXPECT_EQ(res.agg.exceptions, 1u);
+  EXPECT_EQ(res.agg.solved, 2u);
+  EXPECT_EQ(res.trials[1].attempts, 3u);  // 1 + retries(2)
+  EXPECT_TRUE(res.trials[1].threw);
+}
+
+TEST(Driver, WallClockTimeoutFailsTheTrialNotTheSweep) {
+  ExperimentSpec spec = sweep_spec(2);
+  spec.trial_timeout(1e-9);  // expires before the first deadline check
+  const ExperimentResult res = ExperimentDriver(1).run(spec);
+  EXPECT_EQ(res.agg.solved, 0u);
+  EXPECT_EQ(res.agg.exceptions, 0u);  // a timeout is a result, not a crash
+  for (const TrialResult& t : res.trials) {
+    EXPECT_FALSE(t.run.reached_legitimate);
+    EXPECT_NE(t.run.failure.find("wall-clock"), std::string::npos)
+        << t.run.failure;
+  }
+}
+
+// --- determinism -------------------------------------------------------
+
+TEST(FaultDeterminism, SweepIsWorkerCountInvariant) {
+  ExperimentSpec spec = sweep_spec(8);
+  spec.monitors(true, 8);
+  spec.workers(1);
+  const ExperimentResult w1 = ExperimentDriver(1).run(spec);
+  spec.workers(8);
+  const ExperimentResult w8 = ExperimentDriver(8).run(spec);
+  EXPECT_EQ(fingerprints(w1), fingerprints(w8));
+  EXPECT_EQ(w1.agg.verdict(), w8.agg.verdict());
+  EXPECT_GT(w1.agg.faults_injected, 0u);
+}
+
+// FNV-1a over the executed action stream (same mixer as the GoldenTrace
+// suite): a fresh world and a reset-reused world must replay a
+// fault-injected run action for action.
+class TraceHasher final : public Observer {
+ public:
+  void on_action(const World& world, const ActionRecord& rec) override {
+    (void)world;
+    mix(static_cast<std::uint64_t>(rec.kind));
+    mix(rec.actor);
+    mix(rec.consumed ? rec.consumed->seq : 0);
+    mix(rec.sent.size());
+    mix((rec.exited ? 1u : 0u) | (rec.slept ? 2u : 0u) | (rec.woke ? 4u : 0u));
+  }
+  void on_fault(const World& world, FaultKind kind, ProcessId target,
+                bool applied) override {
+    (void)world;
+    mix(static_cast<std::uint64_t>(kind));
+    mix(target);
+    mix(applied ? 1 : 0);
+  }
+  [[nodiscard]] std::uint64_t hash() const { return h_; }
+
+ private:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t faulted_trace(std::unique_ptr<World> reuse,
+                            std::unique_ptr<World>* retired) {
+  ScenarioSpec scen;
+  scen.config = corrupted_config(0, 16);
+  Scenario sc = scen.build(2026, std::move(reuse));
+  FaultScheduler fs(std::make_unique<RandomScheduler>(), full_campaign(),
+                    /*seed=*/515);
+  fs.bind(sc.world.get());
+  TraceHasher hasher;
+  sc.world->add_observer(&hasher);
+  for (int i = 0; i < 30'000; ++i)
+    if (!sc.world->step(fs)) break;
+  EXPECT_GT(fs.injected(), 0u);
+  sc.world->remove_observer(&hasher);
+  if (retired != nullptr) *retired = std::move(sc.world);
+  return hasher.hash();
+}
+
+TEST(FaultDeterminism, ResetReuseReplaysByteIdentically) {
+  std::unique_ptr<World> retired;
+  const std::uint64_t fresh = faulted_trace(nullptr, &retired);
+  ASSERT_NE(retired, nullptr);
+  const std::uint64_t reused = faulted_trace(std::move(retired), nullptr);
+  EXPECT_EQ(fresh, reused);
+}
+
+}  // namespace
+}  // namespace fdp
