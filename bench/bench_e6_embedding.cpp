@@ -11,6 +11,7 @@
 // than a single run_to_legitimacy) across the driver's worker pool via
 // ExperimentDriver::map.
 #include "bench_common.hpp"
+#include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
 #include "core/framework.hpp"
 #include "analysis/monitors.hpp"
@@ -77,9 +78,9 @@ WrappedTrial wrapped_trial(const char* overlay, std::size_t n,
   if (!r.reached_legitimate) return out;
   out.solved = true;
   out.excl_steps = r.steps;
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   const std::uint64_t extra =
-      steps_to_topology(*sc.world, overlay, sched, 3'000'000);
+      steps_to_topology(*sc.world, overlay, *sched, 3'000'000);
   if (extra != ~0ULL) {
     out.converged = true;
     out.topo_steps = extra;
@@ -112,8 +113,8 @@ OverheadTrial overhead_trial(const char* overlay, std::size_t n,
     for (const auto& [u, v] : g.simple_edges())
       w.process_as<PlainOverlayHost>(u).overlay_mut().integrate(
           RefInfo{refs[v], ModeInfo::Staying, keys[v]});
-    RandomScheduler sched;
-    if (steps_to_topology(w, overlay, sched, 2'000'000) != ~0ULL) {
+    auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
+    if (steps_to_topology(w, overlay, *sched, 2'000'000) != ~0ULL) {
       out.bare_ok = true;
       out.bare_msgs = w.sends();
     }
@@ -127,8 +128,8 @@ OverheadTrial overhead_trial(const char* overlay, std::size_t n,
     scenario.config.topology = "wild";
     scenario.config.leave_fraction = 0.0;
     Scenario sc = scenario.build(seed);
-    RandomScheduler sched;
-    if (steps_to_topology(*sc.world, overlay, sched, 2'000'000) != ~0ULL) {
+    auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
+    if (steps_to_topology(*sc.world, overlay, *sched, 2'000'000) != ~0ULL) {
       out.wrapped_ok = true;
       out.wrapped_msgs = sc.world->sends();
     }

@@ -6,6 +6,7 @@
 // Table b: wake-up behavior — poke every sleeper once after legitimacy;
 //          the system must resettle, counting the wakes it costs.
 #include "bench_common.hpp"
+#include "analysis/experiment.hpp"
 #include "analysis/metrics.hpp"
 #include "util/table.hpp"
 
@@ -57,9 +58,9 @@ ResettleRow resettle_trial(std::uint64_t seed) {
   const std::uint64_t steps0 = sc.world->steps();
   const std::uint64_t wakes0 = sc.world->wakes();
   LegitimacyChecker checker(*sc.world, Exclusion::Hibernating);
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   for (int block = 0; block < 2000 && !row.resettled; ++block) {
-    for (int i = 0; i < 200; ++i) (void)sc.world->step(sched);
+    for (int i = 0; i < 200; ++i) (void)sc.world->step(*sched);
     row.resettled = checker.legitimate(*sc.world);
   }
   row.extra_steps = sc.world->steps() - steps0;

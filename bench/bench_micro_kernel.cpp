@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "analysis/experiment.hpp"
 #include "analysis/monitors.hpp"
 #include "analysis/scenario.hpp"
 #include "util/alloc_stats.hpp"
@@ -73,9 +74,9 @@ void BM_WorldStep(benchmark::State& state) {
         .set_next(ring[(i + 1) % kChurners]);
   for (std::size_t i = kChurners; i < n; ++i)
     w.spawn<IdleProcess>(Mode::Staying, i);
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   for (auto _ : state) {
-    w.step(sched);  // awake processes always exist: never exhausts
+    w.step(*sched);  // awake processes always exist: never exhausts
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -107,13 +108,13 @@ void BM_WorldStepAllocs(benchmark::State& state) {
         .set_next(ring[(i + 1) % kChurners]);
   for (std::size_t i = kChurners; i < n; ++i)
     w.spawn<IdleProcess>(Mode::Staying, i);
-  RandomScheduler sched;
-  for (std::size_t i = 0; i < 50000; ++i) w.step(sched);  // warm-up
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
+  for (std::size_t i = 0; i < 50000; ++i) w.step(*sched);  // warm-up
 
   const auto before = alloc_stats::snapshot();
   std::uint64_t steps = 0;
   for (auto _ : state) {
-    w.step(sched);
+    w.step(*sched);
     ++steps;
   }
   const double allocs =
@@ -142,9 +143,9 @@ void BM_WorldStepDense(benchmark::State& state) {
   cfg.oracle = "single";
   cfg.seed = 42;
   Scenario sc = build_departure_scenario(cfg);
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   for (auto _ : state) {
-    if (!sc.world->step(sched)) {
+    if (!sc.world->step(*sched)) {
       state.PauseTiming();
       sc = build_departure_scenario(cfg);
       state.ResumeTiming();
@@ -258,10 +259,10 @@ void BM_OldestLiveMessage(benchmark::State& state) {
   cfg.inflight_per_node = 2.0;
   cfg.seed = 11;
   Scenario sc = build_departure_scenario(cfg);
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sc.world->oldest_live_message());
-    if (!sc.world->step(sched)) {
+    if (!sc.world->step(*sched)) {
       state.PauseTiming();
       sc = build_departure_scenario(cfg);
       state.ResumeTiming();
@@ -306,9 +307,9 @@ void BM_MonitoredWorldStep(benchmark::State& state) {
     return std::pair(std::move(sc), std::move(mon));
   };
   auto [sc, mon] = fresh();
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   for (auto _ : state) {
-    if (!sc.world->step(sched)) {
+    if (!sc.world->step(*sched)) {
       state.PauseTiming();
       std::tie(sc, mon) = fresh();
       state.ResumeTiming();

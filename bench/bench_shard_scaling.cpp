@@ -1,0 +1,159 @@
+// Shard-scaling benchmark: epoch throughput of the sharded kernel
+// (sim/sharded_world.hpp) on the E4 churn shape as a function of shard
+// count, plus the classic per-action step loop as the baseline.
+//
+// BM_ShardedChurn/k/n measures actions per second of a k-shard run; the
+// sharded contract makes the executed trace identical for every k, so any
+// items/sec difference is pure kernel parallelism (scripts/
+// check_shard_scaling.py gates the k=8 vs k=1 speedup on multi-core CI
+// and records the curve in BENCH_shard.json). BM_ClassicChurn/n is the
+// same scenario on World::step — the overhead floor the 1-shard engine is
+// gated against.
+//
+// Invoked as `bench_shard_scaling --campaign [n] [shards]` the binary
+// instead runs ONE full churn campaign to termination and prints a
+// wall-clock summary — the million-process acceptance run recorded in
+// EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scenario.hpp"
+#include "core/potential.hpp"
+#include "core/primitives.hpp"
+#include "sim/sharded_world.hpp"
+
+namespace fdp {
+namespace {
+
+// The E4 departure-under-churn shape: sparse random overlay, 30% leavers,
+// corrupted mode knowledge, initial in-flight traffic.
+ScenarioConfig churn_config(std::size_t n) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.inflight_per_node = 1.0;
+  cfg.oracle = "single";
+  cfg.seed = 42;
+  return cfg;
+}
+
+void BM_ShardedChurn(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const ScenarioConfig cfg = churn_config(n);
+
+  Scenario sc = build_departure_scenario(cfg);
+  auto sw = std::make_unique<ShardedWorld>(*sc.world, k, ShardPolicy{},
+                                           /*seed=*/0xC0FFEE);
+  std::uint64_t actions = 0;
+  for (auto _ : state) {
+    if (!sw->epoch()) {
+      state.PauseTiming();
+      actions += sc.world->steps();
+      sw.reset();  // join workers before the world goes away
+      sc = build_departure_scenario(cfg);
+      sw = std::make_unique<ShardedWorld>(*sc.world, k, ShardPolicy{},
+                                          /*seed=*/0xC0FFEE);
+      state.ResumeTiming();
+    }
+  }
+  actions += sc.world->steps();
+  // One iteration is one epoch; items/sec reports executed actions/sec so
+  // shard counts are comparable (the trace, hence the action total, is
+  // k-invariant).
+  state.SetItemsProcessed(static_cast<std::int64_t>(actions));
+}
+BENCHMARK(BM_ShardedChurn)
+    ->Args({1, 4096})
+    ->Args({2, 4096})
+    ->Args({4, 4096})
+    ->Args({8, 4096})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_ClassicChurn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ScenarioConfig cfg = churn_config(n);
+  Scenario sc = build_departure_scenario(cfg);
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
+  for (auto _ : state) {
+    if (!sc.world->step(*sched)) {
+      state.PauseTiming();
+      sc = build_departure_scenario(cfg);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassicChurn)->Arg(4096)->UseRealTime();
+
+int run_campaign(std::size_t n, unsigned k) {
+  using clock = std::chrono::steady_clock;
+  std::printf("building E4 churn scenario: n=%zu ...\n", n);
+  const auto t0 = clock::now();
+  Scenario sc = build_departure_scenario(churn_config(n));
+  World& w = *sc.world;
+  const auto t1 = clock::now();
+  std::printf("build: %.1fs  leavers=%zu  phi0=%llu\n",
+              std::chrono::duration<double>(t1 - t0).count(), sc.leaving_count,
+              static_cast<unsigned long long>(phi(w)));
+
+  // The run ends at the FDP objective — every leaver excluded — not at
+  // kernel quiescence: staying processes keep exchanging keep-alive
+  // traffic indefinitely, so E4 worlds have no terminal configuration.
+  ShardedWorld sw(w, k, ShardPolicy{}, /*seed=*/0xC0FFEE);
+  std::uint64_t epochs = 0;
+  while (w.exits() < sc.leaving_count && sw.epoch()) {
+    ++epochs;
+    if ((epochs & 15) == 0) {
+      std::printf("  epoch %llu: steps=%llu exits=%llu/%zu\n",
+                  static_cast<unsigned long long>(epochs),
+                  static_cast<unsigned long long>(w.steps()),
+                  static_cast<unsigned long long>(w.exits()),
+                  sc.leaving_count);
+      std::fflush(stdout);
+    }
+  }
+  sw.finalize();
+  const auto t2 = clock::now();
+  const double secs = std::chrono::duration<double>(t2 - t1).count();
+  const bool done = all_leaving_gone(w);
+  std::printf(
+      "campaign: shards=%u epochs=%llu steps=%llu sends=%llu exits=%llu/%zu "
+      "phi=%llu %s in %.1fs (%.2fM actions/s)\n",
+      k, static_cast<unsigned long long>(sw.epochs()),
+      static_cast<unsigned long long>(w.steps()),
+      static_cast<unsigned long long>(w.sends()),
+      static_cast<unsigned long long>(w.exits()), sc.leaving_count,
+      static_cast<unsigned long long>(phi(w)),
+      done ? "CONVERGED" : "NOT-CONVERGED", secs,
+      static_cast<double>(w.steps()) / secs / 1e6);
+  return done ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fdp
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--campaign") == 0) {
+      const std::size_t n =
+          i + 1 < argc ? std::strtoull(argv[i + 1], nullptr, 10) : 1'000'000;
+      const unsigned k = i + 2 < argc
+                             ? static_cast<unsigned>(std::atoi(argv[i + 2]))
+                             : 8;
+      return fdp::run_campaign(n, k);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

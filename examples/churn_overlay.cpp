@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/experiment.hpp"
 #include "core/framework.hpp"
 #include "core/oracle.hpp"
 #include "overlay/topology_checks.hpp"
@@ -27,9 +28,9 @@ Ref join(World& w, Mode mode, std::uint64_t key) {
 }
 
 bool settle(World& w, const char* what, std::uint64_t budget) {
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   for (std::uint64_t used = 0; used < budget; used += 500) {
-    for (int i = 0; i < 500; ++i) (void)w.step(sched);
+    for (int i = 0; i < 500; ++i) (void)w.step(*sched);
     if (check_topology(w, "linearization").converged) {
       std::printf("  %s: sorted list re-formed after <= %llu steps\n", what,
                   static_cast<unsigned long long>(used + 500));
@@ -79,14 +80,14 @@ int main(int argc, char** argv) {
 
   std::printf("overlay of %zu nodes, %zu of them leaving\n", n, leavers);
 
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   const std::size_t per_wave = std::max<std::size_t>(1, leavers / waves);
   std::size_t reported = 0;
   for (int wave = 1; wave <= waves; ++wave) {
     const std::size_t target =
         std::min(leavers, reported + per_wave + (wave == waves ? leavers : 0));
     std::uint64_t guard = 0;
-    while (w.exits() < target && ++guard < 4'000'000) (void)w.step(sched);
+    while (w.exits() < target && ++guard < 4'000'000) (void)w.step(*sched);
     reported = w.exits();
     std::printf("wave %d: %llu departures completed (steps so far %llu)\n",
                 wave, static_cast<unsigned long long>(w.exits()),

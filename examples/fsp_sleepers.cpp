@@ -51,11 +51,11 @@ int main(int argc, char** argv) {
               sc.leaving_count);
 
   LegitimacyChecker checker(*sc.world, Exclusion::Hibernating);
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   std::uint64_t guard = 0;
   while (!(all_leaving_inactive(*sc.world) &&
            checker.legitimate(*sc.world))) {
-    if (!sc.world->step(sched) || ++guard > 3'000'000) {
+    if (!sc.world->step(*sched) || ++guard > 3'000'000) {
       std::printf("did not settle\n");
       return 1;
     }
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
                                           sc.world->process(stayer).key()}));
   guard = 0;
   while (!checker.legitimate(*sc.world)) {
-    if (!sc.world->step(sched) || ++guard > 1'000'000) {
+    if (!sc.world->step(*sched) || ++guard > 1'000'000) {
       std::printf("did not resettle\n");
       return 1;
     }
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   // Closure: nothing can wake a hibernating process ever again.
   const std::uint64_t wakes_before = sc.world->wakes();
   for (int i = 0; i < 50'000; ++i) {
-    if (!sc.world->step(sched)) break;
+    if (!sc.world->step(*sched)) break;
   }
   std::printf("50k more steps: %llu additional wakes (hibernating = "
               "permanently asleep)\n",

@@ -35,10 +35,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(phi(*sc.world)));
 
   LegitimacyChecker checker(*sc.world, Exclusion::Gone);
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   std::uint64_t next_report = 1;
   while (!(all_leaving_gone(*sc.world) && checker.legitimate(*sc.world))) {
-    if (!sc.world->step(sched)) break;
+    if (!sc.world->step(*sched)) break;
     if (sc.world->steps() >= next_report) {
       std::printf(
           "step %7llu: exits %llu/%zu, phi=%llu, live messages %llu\n",

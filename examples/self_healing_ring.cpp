@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/experiment.hpp"
 #include "analysis/monitors.hpp"
 #include "core/framework.hpp"
 #include "core/oracle.hpp"
@@ -73,16 +74,16 @@ int main(int argc, char** argv) {
   SafetyMonitor safety(w, /*stride=*/4);
   w.add_observer(&safety);
 
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   std::uint64_t guard = 0;
-  while (w.exits() < leave && ++guard < 6'000'000) (void)w.step(sched);
+  while (w.exits() < leave && ++guard < 6'000'000) (void)w.step(*sched);
   std::printf("departures: %llu/%zu after %llu steps\n",
               static_cast<unsigned long long>(w.exits()), leave,
               static_cast<unsigned long long>(w.steps()));
 
   bool converged = false;
   for (int block = 0; block < 4000 && !converged; ++block) {
-    for (int i = 0; i < 300; ++i) (void)w.step(sched);
+    for (int i = 0; i < 300; ++i) (void)w.step(*sched);
     converged = check_topology(w, "ring").converged;
   }
   std::printf("sorted ring over the %zu stayers: %s\n", n - leave,

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Gate sharded-kernel scaling on shard count and baseline overhead.
+
+Reads google-benchmark JSON from bench_shard_scaling
+(--benchmark_format=json) and checks:
+
+1. Scaling: BM_ShardedChurn's actions/sec at --top shards must be at
+   least min(--speedup-cap, --cores-frac * cpu_count) times the 1-shard
+   rate. The executed trace is shard-count invariant, so the speedup is
+   pure kernel parallelism. On boxes with fewer than 2 cores the check is
+   SKIPPED (marker "skipped (1 core)") — there is nothing to scale onto —
+   but the summary is still emitted so the curve is recorded.
+
+2. Overhead floor: the 1-shard sharded engine must stay within
+   --max-overhead of the classic per-action loop (BM_ClassicChurn) on the
+   same scenario. The epoch machinery buys parallelism; it must not cost
+   an order of magnitude when k=1. This check runs regardless of core
+   count.
+
+With --emit PATH, writes a condensed machine-readable summary
+(actions/sec per shard count, classic baseline, speedup, gate verdicts)
+for CI artifact upload / committing as BENCH_shard.json.
+
+Usage: check_shard_scaling.py bench_shard_raw.json
+           [--bench BM_ShardedChurn] [--classic-bench BM_ClassicChurn]
+           [--n 4096] [--top 8] [--speedup-cap 3.0] [--cores-frac 0.6]
+           [--max-overhead 3.0] [--emit BENCH_shard.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_doc(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def int_segments(name):
+    """Integer path segments of 'BM_Foo/1/4096/real_time' -> [1, 4096]."""
+    out = []
+    for seg in name.split("/")[1:]:
+        try:
+            out.append(int(seg))
+        except ValueError:
+            pass  # real_time / process_time suffixes
+    return out
+
+
+def items_per_sec(doc, bench, want):
+    """items_per_second of the '<bench>/<want...>' entry, or None."""
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name", "")
+        if not name.startswith(bench + "/"):
+            continue
+        if int_segments(name)[: len(want)] == list(want):
+            ips = entry.get("items_per_second")
+            return float(ips) if ips is not None else None
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path")
+    ap.add_argument("--bench", default="BM_ShardedChurn")
+    ap.add_argument("--classic-bench", default="BM_ClassicChurn")
+    ap.add_argument("--n", type=int, default=4096,
+                    help="world size the gate reads")
+    ap.add_argument("--shards", default="1,2,4,8",
+                    help="shard counts recorded in the summary")
+    ap.add_argument("--top", type=int, default=8,
+                    help="shard count the speedup gate compares against 1")
+    ap.add_argument("--speedup-cap", type=float, default=3.0,
+                    help="never require more than this speedup")
+    ap.add_argument("--cores-frac", type=float, default=0.6,
+                    help="required speedup = min(cap, frac * cpu_count)")
+    ap.add_argument("--max-overhead", type=float, default=3.0,
+                    help="largest allowed classic/(1-shard) throughput ratio")
+    ap.add_argument("--emit", metavar="PATH",
+                    help="write a condensed JSON summary")
+    args = ap.parse_args()
+
+    doc = load_doc(args.json_path)
+    shard_counts = sorted(int(x) for x in args.shards.split(","))
+    per_shard = {}
+    for k in shard_counts:
+        ips = items_per_sec(doc, args.bench, (k, args.n))
+        if ips is not None:
+            per_shard[k] = ips
+            print(f"{args.bench}/{k}/{args.n}: {ips / 1e6:.3f}M actions/s")
+    classic = items_per_sec(doc, args.classic_bench, (args.n,))
+    if classic is not None:
+        print(f"{args.classic_bench}/{args.n}: {classic / 1e6:.3f}M steps/s")
+
+    cores = os.cpu_count() or 1
+    ok = True
+    speedup = None
+    gate = "ok"
+
+    if 1 not in per_shard:
+        print(f"FAIL: no {args.bench}/1/{args.n} result to baseline against")
+        return 1
+
+    # 1. Speedup gate (multi-core only).
+    if cores < 2:
+        gate = "skipped (1 core)"
+        print(f"SKIP: shard-scaling gate skipped (1 core) — "
+              f"recording the curve only")
+    elif args.top not in per_shard:
+        print(f"FAIL: no {args.bench}/{args.top}/{args.n} result")
+        ok = False
+        gate = "missing top shard count"
+    else:
+        required = min(args.speedup_cap, args.cores_frac * cores)
+        speedup = per_shard[args.top] / per_shard[1]
+        print(f"speedup {args.top}-shard vs 1-shard: {speedup:.2f}x "
+              f"(required {required:.2f}x on {cores} cores)")
+        if speedup < required:
+            print("FAIL: the sharded kernel does not scale — epoch barriers "
+                  "or the serial epilogue are eating the parallel phases")
+            ok = False
+            gate = "failed"
+
+    # 2. Overhead floor vs the classic engine (always).
+    if classic is not None:
+        overhead = classic / per_shard[1]
+        print(f"classic vs 1-shard overhead: {overhead:.2f}x "
+              f"(limit {args.max_overhead:.2f}x)")
+        if overhead > args.max_overhead:
+            print("FAIL: the 1-shard epoch engine costs too much over the "
+                  "classic step loop — the epoch machinery regressed")
+            ok = False
+    else:
+        print(f"WARN: no {args.classic_bench} result; overhead not checked")
+
+    if args.emit:
+        summary = {
+            "schema": "fdp-shard-bench/1",
+            "n": args.n,
+            "cores": cores,
+            "gate": gate if ok else "failed",
+            "actions_per_sec_per_shards": {
+                str(k): round(v, 1) for k, v in sorted(per_shard.items())
+            },
+            "classic_steps_per_sec":
+                round(classic, 1) if classic is not None else None,
+            "speedup_top_vs_1":
+                round(speedup, 3) if speedup is not None else None,
+        }
+        with open(args.emit, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.emit}")
+
+    if ok:
+        print("OK: shard-scaling checks passed"
+              if gate == "ok" else f"OK: {gate}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 
 #include "analysis/monitors.hpp"
 #include "core/primitives.hpp"
+#include "sim/sharded_world.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -72,6 +73,19 @@ std::string ExperimentSpec::validate() const {
   const std::string fault_problem = faults_.validate();
   if (!fault_problem.empty()) return "faults: " + fault_problem;
   if (trial_timeout_ < 0.0) return "trial_timeout must be >= 0";
+  if (shards_ > 0) {
+    // The sharded kernel consults the oracle for all active leaving
+    // processes concurrently (phase 1), so per-call oracle state would be
+    // both racy and consultation-order-dependent. Two oracles keep such
+    // state (core/oracle.cpp): the quiet:* family (a shared per-process
+    // call counter) and the unreliable wrapper (a shared lie-Rng stream).
+    if (scenario_.config.oracle.rfind("quiet", 0) == 0)
+      return "sharded runs need a stateless oracle (quiet:* counts calls)";
+    if (scenario_.config.oracle_p_false_pos > 0.0 ||
+        scenario_.config.oracle_p_false_neg > 0.0)
+      return "sharded runs need a reliable oracle (the unreliable wrapper's "
+             "lie stream depends on consultation order)";
+  }
   return "";
 }
 
@@ -126,10 +140,171 @@ Aggregate aggregate(const std::vector<TrialResult>& trials) {
   return a;
 }
 
+namespace {
+
+ShardPolicy shard_policy_of(const SchedulerSpec& ss) {
+  ShardPolicy pol;
+  switch (ss.kind) {
+    case SchedulerKind::Random: pol.kind = ShardPolicy::Kind::Random; break;
+    case SchedulerKind::RoundRobin:
+      pol.kind = ShardPolicy::Kind::RoundRobin;
+      pol.timeout_share = ss.timeout_share;
+      break;
+    case SchedulerKind::Rounds: pol.kind = ShardPolicy::Kind::Rounds; break;
+    case SchedulerKind::Adversarial:
+      pol.kind = ShardPolicy::Kind::Adversarial;
+      pol.adv_min_age = ss.adv_min_age;
+      pol.adv_deliver_burst = ss.adv_deliver_burst;
+      break;
+  }
+  return pol;
+}
+
+// The epoch-stepped twin of the classic loop below. Same monitors and
+// termination rules with two substitutions: scheduling state lives in the
+// per-epoch ShardPolicy instead of a Scheduler object, and Φ monotonicity
+// is checked at epoch granularity by recomputing phi(w) at each barrier —
+// the per-action PotentialMonitor double-counts when an exit and a
+// same-epoch admission touch the same channel, so it is NOT attached here.
+RunResult run_to_legitimacy_sharded(Scenario& sc, const ExperimentSpec& spec,
+                                    Observer* extra) {
+  World& w = *sc.world;
+  RunResult res;
+  res.phi_initial = phi(w);
+
+  LegitimacyChecker checker(w, spec.exclusion());
+
+  std::uint64_t tmix = sc.seed ^ 0x5ba2d3f0c4856a11ULL;
+  ShardedWorld sw(w, spec.shards(), shard_policy_of(spec.scheduler()),
+                  splitmix64(tmix));
+  const bool have_faults = !spec.faults().empty();
+  if (have_faults) {
+    std::uint64_t fmix = spec.faults().seed ^ (sc.seed * 0x9e3779b97f4a7c15ULL);
+    sw.set_fault_plan(spec.faults(), splitmix64(fmix));
+  }
+
+  if (extra != nullptr) w.add_observer(extra);
+  std::unique_ptr<SafetyMonitor> safety;
+  std::unique_ptr<PrimitiveAuditor> audit;
+  if (spec.with_monitors()) {
+    safety = std::make_unique<SafetyMonitor>(w, spec.monitor_stride());
+    audit = std::make_unique<PrimitiveAuditor>();
+    w.add_observer(safety.get());
+    w.add_observer(audit.get());
+  }
+  std::unique_ptr<RecoveryMonitor> recovery;
+  if (have_faults) {
+    recovery = std::make_unique<RecoveryMonitor>(
+        w, spec.exclusion(),
+        spec.with_monitors() ? spec.monitor_stride() : 8);
+    w.add_observer(recovery.get());
+  }
+
+  const auto cheap_done = [&](const World& world) {
+    return spec.exclusion() == Exclusion::Gone
+               ? all_leaving_gone(world)
+               : all_leaving_inactive(world);
+  };
+  const auto done_now = [&](const World& world) {
+    return cheap_done(world) && (!have_faults || sw.faults_exhausted()) &&
+           checker.legitimate(world);
+  };
+
+  const bool timed = spec.trial_timeout() > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(spec.trial_timeout()));
+
+  bool phi_ok = true;
+  std::uint64_t phi_bad_epoch = 0;
+  double prev_phi = res.phi_initial;
+  std::uint64_t last_injected = 0;
+
+  bool legit = false;
+  while (w.steps() < spec.max_steps()) {
+    if (done_now(w)) {
+      legit = true;
+      break;
+    }
+    if (timed && std::chrono::steady_clock::now() >= deadline) {
+      res.failure = "wall-clock budget exhausted (trial_timeout = " +
+                    std::to_string(spec.trial_timeout()) + "s)";
+      break;
+    }
+    if (!sw.epoch()) break;  // terminal configuration
+    if (spec.with_monitors()) {
+      const double cur = phi(w);
+      if (sw.faults_injected() != last_injected) {
+        last_injected = sw.faults_injected();  // fault added potential
+      } else if (phi_ok && cur > prev_phi + 1e-9) {
+        phi_ok = false;
+        phi_bad_epoch = sw.epochs();
+      }
+      prev_phi = cur;
+    }
+  }
+  if (!legit) legit = done_now(w);
+  sw.finalize();
+
+  res.reached_legitimate = legit;
+  res.steps = w.steps();
+  res.sends = w.sends();
+  res.exits = w.exits();
+  res.sleeps = w.sleeps();
+  res.wakes = w.wakes();
+  res.phi_final = phi(w);
+  // One epoch == one asynchronous round in the Rounds policy.
+  if (spec.scheduler().kind == SchedulerKind::Rounds) res.rounds = sw.epochs();
+
+  if (legit && spec.closure_steps() > 0) {
+    // finalize() rebuilt the live indices, so the classic loop composes.
+    std::unique_ptr<Scheduler> sched = spec.scheduler().make();
+    for (std::uint64_t i = 0; i < spec.closure_steps(); ++i) {
+      if (!w.step(*sched)) break;
+    }
+    res.closure_held = checker.legitimate(w);
+  }
+
+  if (spec.with_monitors()) {
+    res.safety_ok = safety->ok();
+    res.phi_monotone = phi_ok;
+    res.audit_ok = audit->ok();
+    if (!res.safety_ok) {
+      res.failure = "safety violated at step " +
+                    std::to_string(safety->violations().front());
+    } else if (!res.phi_monotone) {
+      res.failure =
+          "phi increased at epoch " + std::to_string(phi_bad_epoch);
+    } else if (!res.audit_ok) {
+      res.failure = audit->violations().front();
+    }
+    w.remove_observer(safety.get());
+    w.remove_observer(audit.get());
+  }
+  if (have_faults) {
+    recovery->finalize(w);
+    res.faults_injected = recovery->injected();
+    res.faults_recovered = recovery->recovered();
+    res.recovery_steps_max = recovery->worst_relegit_steps();
+    res.recovery_steps_mean = recovery->mean_relegit_steps();
+    w.remove_observer(recovery.get());
+  }
+  if (extra != nullptr) w.remove_observer(extra);
+  if (!legit && res.failure.empty()) {
+    res.failure = checker.check(w).detail;
+  }
+  return res;
+}
+
+}  // namespace
+
 RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
                             Observer* extra) {
   const std::string problem = spec.validate();
   FDP_CHECK_MSG(problem.empty(), "invalid ExperimentSpec");
+
+  if (spec.shards() > 0) return run_to_legitimacy_sharded(sc, spec, extra);
 
   World& w = *sc.world;
   RunResult res;

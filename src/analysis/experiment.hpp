@@ -36,9 +36,10 @@ enum class SchedulerKind : std::uint8_t {
 [[nodiscard]] SchedulerKind scheduler_by_name(const std::string& name);
 
 /// A scheduler *description*: kind plus every tuning knob the concrete
-/// schedulers expose (the old make_scheduler(SchedulerKind) hardcoded all
-/// of them). Value type, so a trial matrix can carry it by copy and every
-/// worker instantiates its own independent Scheduler from it.
+/// schedulers expose. This is the ONE scheduler factory — examples,
+/// benches, tests and the driver all instantiate through of()/make().
+/// Value type, so a trial matrix can carry it by copy and every worker
+/// instantiates its own independent Scheduler from it.
 struct SchedulerSpec {
   SchedulerKind kind = SchedulerKind::Random;
 
@@ -112,6 +113,18 @@ class ExperimentSpec {
     faults_ = std::move(plan);
     return *this;
   }
+  /// Execute trials on the epoch-stepped sharded kernel
+  /// (sim/sharded_world.hpp) with this many shards instead of the classic
+  /// per-action step loop (0 = classic). The SchedulerSpec maps onto the
+  /// equivalent per-epoch ShardPolicy; the action trace is byte-identical
+  /// for every shard count, but NOT to the classic engine's (the epoch
+  /// model is a different — equally legal — adversary). Requires a
+  /// stateless oracle: validate() rejects "quiet:*" and unreliable-oracle
+  /// configurations, whose per-call state is consultation-order-dependent.
+  ExperimentSpec& shards(unsigned k) {
+    shards_ = k;
+    return *this;
+  }
   /// Per-trial wall-clock budget in seconds (0 = off), checked between
   /// check_every blocks; an over-budget trial is recorded failed and the
   /// sweep continues. This is a real-time safety net for fault campaigns
@@ -174,6 +187,7 @@ class ExperimentSpec {
   [[nodiscard]] std::uint64_t closure_steps() const { return closure_steps_; }
   [[nodiscard]] Exclusion exclusion() const { return exclusion_; }
   [[nodiscard]] const SchedulerSpec& scheduler() const { return scheduler_; }
+  [[nodiscard]] unsigned shards() const { return shards_; }
   [[nodiscard]] const FaultPlan& faults() const { return faults_; }
   [[nodiscard]] double trial_timeout() const { return trial_timeout_; }
   [[nodiscard]] unsigned retries() const { return retries_; }
@@ -205,6 +219,7 @@ class ExperimentSpec {
   std::uint64_t closure_steps_ = 0;
   Exclusion exclusion_ = Exclusion::Gone;
   SchedulerSpec scheduler_;
+  unsigned shards_ = 0;
   FaultPlan faults_;
   double trial_timeout_ = 0.0;
   unsigned retries_ = 0;

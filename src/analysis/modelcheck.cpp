@@ -17,7 +17,7 @@ namespace {
 struct OneShot final : Scheduler {
   ActionChoice choice;
   bool fired = false;
-  ActionChoice next(const World&, Rng&) override {
+  ActionChoice next(const KernelView&, Rng&) override {
     if (fired) return ActionChoice::none();
     fired = true;
     return choice;

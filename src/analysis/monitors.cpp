@@ -162,6 +162,20 @@ RecoveryMonitor::RecoveryMonitor(const World& w, Exclusion excl,
 
 void RecoveryMonitor::on_fault(const World& world, FaultKind kind,
                                ProcessId target, bool applied) {
+  if (kind == FaultKind::PartitionEnd) {
+    // The window closed: start the open record's recovery clock here —
+    // the cut only delays progress, so steps-to-Φ-drain and re-legitimacy
+    // are attributed to the release of withheld deliveries, not to the
+    // step the window opened. No new record is created.
+    if (applied && open_window_ != kNoOpenWindow) {
+      Recovery& r = records_[open_window_];
+      r.step = world.steps();
+      r.phi_after = phi(world);
+      if (r.phi_after <= r.phi_before) r.phi_drain_steps = 0;
+      open_window_ = kNoOpenWindow;
+    }
+    return;
+  }
   if (!applied) {
     // Snapshot the pre-fault potential; left dangling (harmless) when the
     // victim turns out not to support the fault.
@@ -178,6 +192,11 @@ void RecoveryMonitor::on_fault(const World& world, FaultKind kind,
   if (r.phi_after <= r.phi_before) r.phi_drain_steps = 0;
   records_.push_back(r);
   outstanding_ = true;
+  if (kind == FaultKind::PartitionStart) {
+    // Held out of sweeps until the matching PartitionEnd.
+    records_.back().phi_drain_steps = kNotRecovered;
+    open_window_ = records_.size() - 1;
+  }
 }
 
 void RecoveryMonitor::on_action(const World& world, const ActionRecord& rec) {
@@ -188,27 +207,36 @@ void RecoveryMonitor::on_action(const World& world, const ActionRecord& rec) {
 }
 
 void RecoveryMonitor::sweep(const World& world, std::uint64_t now) {
+  // An open partition window's record is held out: its clock only starts
+  // at the PartitionEnd boundary.
+  const auto held = [this](std::size_t i) { return i == open_window_; };
   bool phi_pending = false;
   bool legit_pending = false;
-  for (const Recovery& r : records_) {
-    phi_pending |= r.phi_drain_steps == kNotRecovered;
-    legit_pending |= r.relegit_steps == kNotRecovered;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (held(i)) continue;
+    phi_pending |= records_[i].phi_drain_steps == kNotRecovered;
+    legit_pending |= records_[i].relegit_steps == kNotRecovered;
   }
   if (phi_pending) {
     const std::uint64_t cur = phi(world);
-    for (Recovery& r : records_) {
-      if (r.phi_drain_steps == kNotRecovered && cur <= r.phi_before) {
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      Recovery& r = records_[i];
+      if (!held(i) && r.phi_drain_steps == kNotRecovered &&
+          cur <= r.phi_before) {
         r.phi_drain_steps = now - r.step;
       }
     }
   }
   if (legit_pending && checker_.legitimate(world)) {
-    for (Recovery& r : records_) {
-      if (r.relegit_steps == kNotRecovered) r.relegit_steps = now - r.step;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      Recovery& r = records_[i];
+      if (!held(i) && r.relegit_steps == kNotRecovered) {
+        r.relegit_steps = now - r.step;
+      }
     }
     legit_pending = false;
   }
-  outstanding_ = legit_pending;
+  outstanding_ = legit_pending || open_window_ != kNoOpenWindow;
   if (!outstanding_) {
     for (const Recovery& r : records_) {
       outstanding_ |= r.phi_drain_steps == kNotRecovered;
@@ -217,6 +245,9 @@ void RecoveryMonitor::sweep(const World& world, std::uint64_t now) {
 }
 
 void RecoveryMonitor::finalize(const World& w) {
+  // A window the run ended inside never got its PartitionEnd: release it
+  // with its clock still at the open step (best available attribution).
+  open_window_ = kNoOpenWindow;
   if (outstanding_) sweep(w, w.steps());
 }
 

@@ -144,7 +144,12 @@ class RecoveryMonitor final : public Observer {
   static constexpr std::uint64_t kNotRecovered = ~std::uint64_t{0};
 
   struct Recovery {
-    std::uint64_t step = 0;  ///< world step at which the fault applied
+    /// World step the recovery clock starts at. For most faults this is
+    /// the step the fault applied; for a partition window it is rebased
+    /// to the step the window CLOSED (FaultKind::PartitionEnd) — the cut
+    /// only delays progress, so drain/re-legitimacy are attributed to the
+    /// boundary where withheld deliveries are released.
+    std::uint64_t step = 0;
     FaultKind kind = FaultKind::CrashRestart;
     ProcessId target = kNoProcess;  ///< kNoProcess for world-scoped faults
     std::uint64_t phi_before = 0;
@@ -188,6 +193,11 @@ class RecoveryMonitor final : public Observer {
   std::uint64_t since_ = 0;
   std::uint64_t pre_phi_ = 0;  ///< set by the before-announcement
   bool outstanding_ = false;
+  /// Index into records_ of the partition window currently open, or
+  /// kNoOpenWindow. The record is held out of sweeps until PartitionEnd
+  /// rebases its clock to the close step.
+  static constexpr std::size_t kNoOpenWindow = ~std::size_t{0};
+  std::size_t open_window_ = kNoOpenWindow;
   std::vector<Recovery> records_;
 };
 

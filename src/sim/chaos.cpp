@@ -1,17 +1,19 @@
 #include "sim/chaos.hpp"
 
+#include "sim/kernel_view.hpp"
 #include "util/check.hpp"
 
 namespace fdp {
 
-ActionChoice ChaosScheduler::next(const World& world, Rng& rng) {
+ActionChoice ChaosScheduler::next(const KernelView& view, Rng& rng) {
   FDP_CHECK_MSG(world_ != nullptr,
                 "ChaosScheduler::bind(world) must be called before next()");
-  FDP_CHECK_MSG(world_ == &world, "ChaosScheduler is bound to a different world");
+  FDP_CHECK_MSG(world_ == &view.world(),
+                "ChaosScheduler is bound to a different world");
   // Bounded retry: dropping a message invalidates the inner scheduler's
   // choice, so ask again.
   for (int attempt = 0; attempt < 64; ++attempt) {
-    const ActionChoice c = inner_->next(world, rng);
+    const ActionChoice c = inner_->next(view, rng);
     if (c.kind != ActionChoice::Kind::Deliver) return c;
     if (p_drop_ > 0.0 && chaos_rng_.chance(p_drop_)) {
       if (world_->discard_message(c.proc, c.msg_seq)) {
@@ -24,7 +26,7 @@ ActionChoice ChaosScheduler::next(const World& world, Rng& rng) {
     }
     return c;
   }
-  return inner_->next(world, rng);
+  return inner_->next(view, rng);
 }
 
 }  // namespace fdp

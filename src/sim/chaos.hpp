@@ -39,7 +39,7 @@ class ChaosScheduler final : public Scheduler {
   /// interface is const, so ChaosScheduler is bound to one world.
   void bind(World* world) { world_ = world; }
 
-  ActionChoice next(const World& world, Rng& rng) override;
+  ActionChoice next(const KernelView& view, Rng& rng) override;
 
   [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }

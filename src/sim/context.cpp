@@ -11,6 +11,15 @@ void Context::send(Ref to, Message m) {
 }
 
 bool Context::oracle() const {
+  if (oracle_pre_ != nullptr) {
+    // Sharded epoch execution: the verdict was precomputed at the epoch
+    // barrier (sim/sharded_world.hpp). A zero entry means the kernel did
+    // not anticipate this consult — a bug in the precompute filter, not a
+    // legal "ask again later".
+    FDP_CHECK_MSG(*oracle_pre_ != 0,
+                  "oracle consulted without an epoch precompute");
+    return *oracle_pre_ == 2;
+  }
   return world_->oracle_value(self_.id());
 }
 

@@ -54,10 +54,12 @@ class Context {
 
  private:
   friend class World;
+  friend class ShardedWorld;
   /// `sends` is a World-owned scratch buffer, cleared (capacity kept) by
   /// the kernel before each action — a Context per step must not cost a
   /// vector allocation. The kernel is single-threaded and actions never
-  /// nest, so one buffer per World suffices.
+  /// nest, so one buffer per World suffices. (The sharded kernel hands
+  /// each shard its own buffer instead.)
   Context(World* world, Ref self, std::uint64_t step, Rng* rng,
           std::vector<std::pair<Ref, Message>>* sends)
       : world_(world), self_(self), step_(step), rng_(rng), sends_(sends) {}
@@ -67,6 +69,11 @@ class Context {
   std::uint64_t step_;
   Rng* rng_;
   std::vector<std::pair<Ref, Message>>* sends_;
+  /// Sharded-kernel oracle override: when set, oracle() reads this
+  /// precomputed verdict (0 = not precomputed — consulting is an error,
+  /// 1 = false, 2 = true) instead of calling into the World, whose
+  /// edge/quiet indices are not safe to read from a parallel turn phase.
+  const std::uint8_t* oracle_pre_ = nullptr;
   bool exit_requested_ = false;
   bool sleep_requested_ = false;
 };

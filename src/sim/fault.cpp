@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include "sim/kernel_view.hpp"
 #include "util/check.hpp"
 
 namespace fdp {
@@ -26,11 +27,24 @@ std::string FaultPlan::validate() const {
   return "";
 }
 
-ActionChoice FaultScheduler::next(const World& world, Rng& rng) {
+ActionChoice FaultScheduler::next(const KernelView& view, Rng& rng) {
   FDP_CHECK_MSG(world_ != nullptr,
                 "FaultScheduler::bind(world) must be called before next()");
-  FDP_CHECK_MSG(world_ == &world, "FaultScheduler is bound to a different world");
-  const std::uint64_t now = world.steps();
+  FDP_CHECK_MSG(world_ == &view.world(),
+                "FaultScheduler is bound to a different world");
+  const std::uint64_t now = view.steps();
+
+  // Announce the close of a partition window exactly once, before any new
+  // fault can fire this step: RecoveryMonitor attributes steps-to-Φ-drain
+  // to this boundary (the cut only *delays* progress, so recovery starts
+  // when deliveries are released, not when the window opened).
+  if (window_open_ && partition_until_ <= now) {
+    window_open_ = false;
+    world_->announce_fault(FaultKind::PartitionEnd, kNoProcess,
+                           /*applied=*/false);
+    world_->announce_fault(FaultKind::PartitionEnd, kNoProcess,
+                           /*applied=*/true);
+  }
 
   // Scheduled events due now (or overdue — the plan may schedule several
   // at one step).
@@ -61,22 +75,22 @@ ActionChoice FaultScheduler::next(const World& world, Rng& rng) {
     // inner scheduler (stateful inners advance their cursors, so retries
     // make progress).
     for (int attempt = 0; attempt < 32; ++attempt) {
-      const ActionChoice c = inner_->next(world, rng);
+      const ActionChoice c = inner_->next(view, rng);
       if (c.kind != ActionChoice::Kind::Deliver) return c;
       if (c.proc >= blocked_.size() || !blocked_[c.proc]) return c;
       ++withheld_;
     }
     // The inner scheduler keeps proposing blocked deliveries. Let time
     // pass on the live side instead.
-    if (world.awake_count() > 0) {
-      const ProcessId p = world.kth_awake(fault_rng_.below(world.awake_count()));
+    if (view.awake_count() > 0) {
+      const ProcessId p = view.kth_awake(fault_rng_.below(view.awake_count()));
       return ActionChoice::timeout(p);
     }
     // Nothing but blocked deliveries is enabled: leak one (counted), so
     // fair receipt is delayed, never denied.
     ++partition_leaks_;
   }
-  return inner_->next(world, rng);
+  return inner_->next(view, rng);
 }
 
 void FaultScheduler::apply(const FaultEvent& ev, std::uint64_t now) {
@@ -136,6 +150,7 @@ void FaultScheduler::apply(const FaultEvent& ev, std::uint64_t now) {
       }
       if (!any) blocked_[fault_rng_.below(n)] = 1;
       partition_until_ = now + plan_.partition_window;
+      window_open_ = true;
       ++partitions_;
       world_->announce_fault(ev.kind, kNoProcess, /*applied=*/true);
       break;

@@ -104,7 +104,7 @@ class FaultScheduler final : public Scheduler {
   /// interface is const, so a FaultScheduler is bound to one world.
   void bind(World* world) { world_ = world; }
 
-  ActionChoice next(const World& world, Rng& rng) override;
+  ActionChoice next(const KernelView& view, Rng& rng) override;
 
   /// The wrapped scheduler (run loops read per-kind state off it, e.g.
   /// RoundScheduler::rounds()).
@@ -144,6 +144,8 @@ class FaultScheduler final : public Scheduler {
   std::size_t cursor_ = 0;  ///< next unfired scheduled event
   std::uint64_t last_stochastic_step_ = ~std::uint64_t{0};
   std::uint64_t partition_until_ = 0;
+  /// A window is open and its PartitionEnd has not been announced yet.
+  bool window_open_ = false;
   std::vector<char> blocked_;  ///< inbound-blocked side of the open window
   std::uint64_t crashes_ = 0;
   std::uint64_t scrambles_ = 0;

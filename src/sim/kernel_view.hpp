@@ -1,0 +1,154 @@
+// KernelView: the scheduler-facing surface of the kernel.
+//
+// A Scheduler never needs the whole World — it needs the maintained
+// sampling indices (awake roster, live-message counts, oldest-seq heap),
+// read access to channels and life states, and the step clock. KernelView
+// packages exactly that surface behind an id *window* [lo, hi):
+//
+//  * The full-window view (implicitly constructible from `const World&`)
+//    delegates every query 1:1 to the World's O(log n) indices, so the
+//    classic single-threaded step loop keeps its hot path — and its byte-
+//    identical golden traces — unchanged.
+//  * A sub-window view restricts every query to processes in [lo, hi):
+//    counts become Fenwick prefix differences, k-th selection offsets into
+//    the window, and cursor wrap-around stays inside the window. This is
+//    the shard-local view of the sharded kernel (sim/sharded_world.hpp):
+//    a scheduler handed a sub-window can only observe and schedule its own
+//    shard's processes.
+//
+// The class is a concrete, non-virtual friend of World: every full-window
+// query inlines to the same loads the schedulers previously did on the
+// World directly, so the redesign costs nothing on the ~95 ns steady-state
+// step path.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/world.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+class KernelView {
+ public:
+  /// Full-window view. Implicit on purpose: existing `sched.next(world,
+  /// rng)` call sites keep compiling — this conversion is the migration
+  /// shim promised by the Scheduler-API redesign.
+  KernelView(const World& w)  // NOLINT(google-explicit-constructor)
+      : w_(&w), lo_(0), hi_(static_cast<ProcessId>(w.size())) {}
+
+  /// Shard-local view over processes with id in [lo, hi).
+  KernelView(const World& w, ProcessId lo, ProcessId hi)
+      : w_(&w), lo_(lo), hi_(hi) {
+    FDP_DCHECK(lo <= hi && hi <= w.size());
+  }
+
+  [[nodiscard]] const World& world() const { return *w_; }
+  [[nodiscard]] ProcessId lo() const { return lo_; }
+  [[nodiscard]] ProcessId hi() const { return hi_; }
+  /// Number of process ids inside the window.
+  [[nodiscard]] std::uint64_t span() const { return hi_ - lo_; }
+  [[nodiscard]] bool full() const { return lo_ == 0 && hi_ == w_->size(); }
+
+  // --- per-process state (any id; window-independent) ---
+
+  [[nodiscard]] std::size_t size() const { return w_->size(); }
+  [[nodiscard]] LifeState life(ProcessId p) const { return w_->life(p); }
+  [[nodiscard]] bool gone(ProcessId p) const { return w_->gone(p); }
+  [[nodiscard]] const Channel& channel(ProcessId p) const {
+    return w_->channel(p);
+  }
+  [[nodiscard]] std::uint64_t steps() const { return w_->steps(); }
+
+  // --- awake roster (window-filtered) ---
+
+  [[nodiscard]] std::uint64_t awake_count() const {
+    if (full()) return w_->awake_count();
+    return w_->awake_fw_.prefix(hi_) - w_->awake_fw_.prefix(lo_);
+  }
+  /// The k-th awake process of the window in ascending id order.
+  [[nodiscard]] ProcessId kth_awake(std::uint64_t k) const {
+    if (full()) return w_->kth_awake(k);
+    return static_cast<ProcessId>(
+        w_->awake_fw_.select(w_->awake_fw_.prefix(lo_) + k));
+  }
+  /// Smallest awake id in [max(from, lo), hi), or kNoProcess.
+  [[nodiscard]] ProcessId next_awake(ProcessId from) const {
+    const ProcessId p = w_->next_awake(from < lo_ ? lo_ : from);
+    return p < hi_ ? p : kNoProcess;
+  }
+  /// Awake ids inside the window (O(window); tests and per-round plans).
+  [[nodiscard]] std::vector<ProcessId> awake_ids() const {
+    if (full()) return w_->awake_ids();
+    std::vector<ProcessId> out;
+    for (ProcessId p = lo_; p < hi_; ++p)
+      if (w_->life(p) == LifeState::Awake) out.push_back(p);
+    return out;
+  }
+
+  // --- live messages (window-filtered) ---
+
+  [[nodiscard]] std::uint64_t live_message_count() const {
+    if (full()) return w_->live_message_count();
+    return w_->live_fw_.prefix(hi_) - w_->live_fw_.prefix(lo_);
+  }
+  /// The k-th live message of the window in (process ascending, channel
+  /// slot) order.
+  [[nodiscard]] std::pair<ProcessId, std::uint64_t> kth_live_message(
+      std::uint64_t k) const {
+    if (full()) return w_->kth_live_message(k);
+    return w_->kth_live_message(w_->live_fw_.prefix(lo_) + k);
+  }
+  /// Smallest non-gone id in [max(from, lo), hi) with a non-empty channel.
+  [[nodiscard]] ProcessId next_deliverable(ProcessId from) const {
+    const ProcessId p = w_->next_deliverable(from < lo_ ? lo_ : from);
+    return p < hi_ ? p : kNoProcess;
+  }
+  /// (proc, seq) of the window's oldest live message; kNoProcess when
+  /// none. Full window: O(log m) amortized off the world's heap. Sub
+  /// window: O(window) channel scan (shard-local schedulers that need
+  /// this per step should track their own candidates instead).
+  [[nodiscard]] std::pair<ProcessId, std::uint64_t> oldest_live_message()
+      const {
+    if (full()) return w_->oldest_live_message();
+    ProcessId best = kNoProcess;
+    std::uint64_t best_seq = ~0ULL;
+    for (ProcessId p = w_->next_deliverable(lo_); p != kNoProcess && p < hi_;
+         p = w_->next_deliverable(p + 1)) {
+      const Channel& ch = w_->channel(p);
+      const std::uint64_t seq = ch.peek(ch.oldest_index()).seq;
+      if (seq < best_seq) {
+        best_seq = seq;
+        best = p;
+      }
+    }
+    return {best, best == kNoProcess ? ~0ULL : best_seq};
+  }
+
+  // --- message identity (window-filtered) ---
+
+  [[nodiscard]] std::uint64_t seq_watermark() const {
+    return w_->seq_watermark();
+  }
+  /// Holder of live message `seq` if it lies inside the window, else
+  /// kNoProcess.
+  [[nodiscard]] ProcessId find_live_message(std::uint64_t seq) const {
+    const ProcessId p = w_->find_live_message(seq);
+    if (p == kNoProcess || full()) return p;
+    return (p >= lo_ && p < hi_) ? p : kNoProcess;
+  }
+
+  // --- oracle context (deliberately NOT window-filtered: oracles are
+  // predicates over the whole system state) ---
+
+  [[nodiscard]] std::uint64_t quiet_count() const { return w_->quiet_count(); }
+
+ private:
+  const World* w_;
+  ProcessId lo_;
+  ProcessId hi_;
+};
+
+}  // namespace fdp

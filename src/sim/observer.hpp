@@ -27,6 +27,7 @@ enum class FaultKind : std::uint8_t {
   Scramble,        ///< stored mode knowledge flipped / anchor juggled
   DuplicateBurst,  ///< a burst of adversarial message duplications
   PartitionStart,  ///< a delivery-withholding window opened
+  PartitionEnd,    ///< the window closed; withheld deliveries released
 };
 
 [[nodiscard]] constexpr const char* to_string(FaultKind k) {
@@ -35,6 +36,7 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::Scramble: return "scramble";
     case FaultKind::DuplicateBurst: return "dup-burst";
     case FaultKind::PartitionStart: return "partition";
+    case FaultKind::PartitionEnd: return "partition-end";
   }
   return "?";
 }

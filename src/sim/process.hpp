@@ -77,6 +77,7 @@ class Process {
 
  private:
   friend class World;
+  friend class ShardedWorld;  // buffered life transitions at epoch barriers
 
   Ref self_;
   Mode mode_;

@@ -2,35 +2,40 @@
 
 #include <algorithm>
 
-#include "sim/world.hpp"
+#include "sim/kernel_view.hpp"
 
 namespace fdp {
 
 namespace {
 
-/// Round-robin successor search over a stable id space: the first
-/// position >= cursor (mod n) accepted by `next_at` (a wrapped index
-/// query), advancing the monotone cursor exactly as the old linear probe
-/// did — by (offset of the hit) + 1 on success, by n on failure.
+/// Round-robin successor search over a stable id window [view.lo, view.hi):
+/// the first position >= cursor (mod span) accepted by `next_at` (a wrapped
+/// index query), advancing the monotone cursor exactly as the old linear
+/// probe did — by (offset of the hit) + 1 on success, by span on failure.
+/// The cursor counts window-relative positions, so a full-window view
+/// reproduces the historical global-cursor arithmetic bit for bit.
 template <typename NextAt>
-ProcessId rr_advance(std::uint64_t& cursor, std::uint64_t n, NextAt next_at) {
-  const ProcessId start = static_cast<ProcessId>(cursor % n);
+ProcessId rr_advance(std::uint64_t& cursor, const KernelView& view,
+                     NextAt next_at) {
+  const std::uint64_t n = view.span();
+  const ProcessId start = view.lo() + static_cast<ProcessId>(cursor % n);
   ProcessId p = next_at(start);
-  if (p == kNoProcess && start != 0) p = next_at(0);  // wrap around
+  if (p == kNoProcess && start != view.lo())
+    p = next_at(view.lo());  // wrap around
   if (p == kNoProcess) {
     cursor += n;  // probed everyone, found nothing
     return kNoProcess;
   }
-  const std::uint64_t offset = p >= start ? p - start : n - start + p;
+  const std::uint64_t offset = p >= start ? p - start : n - (start - p);
   cursor += offset + 1;
   return p;
 }
 
 }  // namespace
 
-ActionChoice RandomScheduler::next(const World& world, Rng& rng) {
-  const std::uint64_t msgs = world.live_message_count();
-  const std::uint64_t awake = world.awake_count();
+ActionChoice RandomScheduler::next(const KernelView& view, Rng& rng) {
+  const std::uint64_t msgs = view.live_message_count();
+  const std::uint64_t awake = view.awake_count();
 
   const bool can_deliver = msgs > 0;
   const bool can_timeout = awake > 0;
@@ -51,34 +56,33 @@ ActionChoice RandomScheduler::next(const World& world, Rng& rng) {
 
   if (deliver) {
     if (rng.chance(p_oldest_)) {
-      auto [proc, seq] = world.oldest_live_message();
+      auto [proc, seq] = view.oldest_live_message();
       return ActionChoice::deliver(proc, seq);
     }
-    auto [proc, seq] = world.kth_live_message(rng.below(msgs));
+    auto [proc, seq] = view.kth_live_message(rng.below(msgs));
     return ActionChoice::deliver(proc, seq);
   }
-  return ActionChoice::timeout(world.kth_awake(rng.below(awake)));
+  return ActionChoice::timeout(view.kth_awake(rng.below(awake)));
 }
 
-ActionChoice RoundRobinScheduler::next(const World& world, Rng& rng) {
+ActionChoice RoundRobinScheduler::next(const KernelView& view, Rng& rng) {
   (void)rng;
-  const std::uint64_t n = world.size();
-  if (n == 0) return ActionChoice::none();
+  if (view.span() == 0) return ActionChoice::none();
   ++tick_;
   const bool timeout_turn = tick_ % timeout_share_ == 0;
 
   auto try_deliver = [&]() -> ActionChoice {
     const ProcessId p = rr_advance(
-        deliver_cursor_, n,
-        [&](ProcessId from) { return world.next_deliverable(from); });
+        deliver_cursor_, view,
+        [&](ProcessId from) { return view.next_deliverable(from); });
     if (p == kNoProcess) return ActionChoice::none();
-    const std::size_t idx = world.channel(p).oldest_index();
-    return ActionChoice::deliver(p, world.channel(p).peek(idx).seq);
+    const std::size_t idx = view.channel(p).oldest_index();
+    return ActionChoice::deliver(p, view.channel(p).peek(idx).seq);
   };
   auto try_timeout = [&]() -> ActionChoice {
     const ProcessId p = rr_advance(
-        timeout_cursor_, n,
-        [&](ProcessId from) { return world.next_awake(from); });
+        timeout_cursor_, view,
+        [&](ProcessId from) { return view.next_awake(from); });
     if (p == kNoProcess) return ActionChoice::none();
     return ActionChoice::timeout(p);
   };
@@ -89,59 +93,60 @@ ActionChoice RoundRobinScheduler::next(const World& world, Rng& rng) {
   return c;
 }
 
-void RoundScheduler::refill(const World& world, Rng& rng) {
+void RoundScheduler::refill(const KernelView& view, Rng& rng) {
   // One asynchronous round: deliver every message currently enqueued (in
   // random order), then run every currently-awake process's timeout (in
   // random order). Items that become disabled mid-round are skipped at
-  // execution time in next(). Building the plan is O(n + m), paid once
-  // per round, so the amortized per-step cost stays constant.
+  // execution time in next(). Building the plan is O(window + m), paid
+  // once per round, so the amortized per-step cost stays constant.
   std::vector<ActionChoice> items;
-  for (ProcessId p = 0; p < world.size(); ++p) {
-    if (world.gone(p)) continue;
-    for (const Message& m : world.channel(p).messages())
+  for (ProcessId p = view.lo(); p < view.hi(); ++p) {
+    if (view.gone(p)) continue;
+    for (const Message& m : view.channel(p).messages())
       items.push_back(ActionChoice::deliver(p, m.seq));
   }
   rng.shuffle(items);
   std::vector<ActionChoice> touts;
-  for (ProcessId p : world.awake_ids())
+  for (ProcessId p : view.awake_ids())
     touts.push_back(ActionChoice::timeout(p));
   rng.shuffle(touts);
   items.insert(items.end(), touts.begin(), touts.end());
   plan_.assign(items.begin(), items.end());
 }
 
-ActionChoice RoundScheduler::next(const World& world, Rng& rng) {
+ActionChoice RoundScheduler::next(const KernelView& view, Rng& rng) {
   for (int refills = 0; refills < 2; ++refills) {
     while (!plan_.empty()) {
       ActionChoice c = plan_.front();
       plan_.pop_front();
       if (c.kind == ActionChoice::Kind::Deliver) {
-        if (world.gone(c.proc)) continue;
-        if (!world.channel(c.proc).contains(c.msg_seq))
+        if (view.gone(c.proc)) continue;
+        if (!view.channel(c.proc).contains(c.msg_seq))
           continue;  // dropped out from under the plan by ChaosScheduler /
                      // discard_message, or the receiver exited mid-round
         return c;
       }
-      if (world.life(c.proc) != LifeState::Awake) continue;
+      if (view.life(c.proc) != LifeState::Awake) continue;
       return c;
     }
     if (started_) ++rounds_;  // a full plan was drained: one round completed
     started_ = true;
-    refill(world, rng);
+    refill(view, rng);
   }
   return ActionChoice::none();
 }
 
-void AdversarialScheduler::sync(const World& world) {
+void AdversarialScheduler::sync(const KernelView& view) {
   // Ingest every sequence number assigned since the last call. Each seq is
   // visited exactly once over the scheduler's lifetime, so this is O(1)
   // amortized per sent message. Seqs already consumed (or in a gone
-  // process's channel) are simply absent from the live index and skipped.
-  const std::uint64_t watermark = world.seq_watermark();
+  // process's channel, or outside the view's window) are simply absent
+  // from the filtered live index and skipped.
+  const std::uint64_t watermark = view.seq_watermark();
   for (std::uint64_t seq = synced_seq_; seq < watermark; ++seq) {
-    const ProcessId p = world.find_live_message(seq);
+    const ProcessId p = view.find_live_message(seq);
     if (p == kNoProcess) continue;
-    const Channel& ch = world.channel(p);
+    const Channel& ch = view.channel(p);
     pending_.push_back(
         Pending{seq, p, ch.peek(ch.index_of_seq(seq)).enqueued_at});
   }
@@ -150,25 +155,25 @@ void AdversarialScheduler::sync(const World& world) {
   // order, so pending_ is age-sorted and the front is always the next to
   // graduate.
   while (!pending_.empty() &&
-         world.steps() >= pending_.front().enqueued_at + min_age_) {
+         view.steps() >= pending_.front().enqueued_at + min_age_) {
     aged_.emplace(pending_.front().seq, pending_.front().proc);
     pending_.pop_front();
   }
 }
 
-ActionChoice AdversarialScheduler::next(const World& world, Rng& rng) {
+ActionChoice AdversarialScheduler::next(const KernelView& view, Rng& rng) {
   (void)rng;
   // Deliver newest-first, but only messages older than min_age_ steps; mix
   // in timeouts round-robin so weak fairness holds. If only young messages
   // remain and someone is awake, prefer the timeout (maximizes delay).
-  sync(world);
+  sync(view);
   while (!aged_.empty() &&
-         world.find_live_message(aged_.top().first) != aged_.top().second)
+         view.find_live_message(aged_.top().first) != aged_.top().second)
     aged_.pop();  // consumed, dropped, or receiver exited
 
   const bool have_old = !aged_.empty();
-  const bool have_any = world.live_message_count() > 0;
-  const std::uint64_t awake = world.awake_count();
+  const bool have_any = view.live_message_count() > 0;
+  const std::uint64_t awake = view.awake_count();
   const bool want_timeout = burst_used_ >= deliver_burst_;
 
   if (have_old && (!want_timeout || awake == 0)) {
@@ -182,8 +187,8 @@ ActionChoice AdversarialScheduler::next(const World& world, Rng& rng) {
     // once did — lets a process slip ahead of the cursor every time the
     // vector's contents shift, which can starve it indefinitely.)
     const ProcessId p = rr_advance(
-        timeout_cursor_, world.size(),
-        [&](ProcessId from) { return world.next_awake(from); });
+        timeout_cursor_, view,
+        [&](ProcessId from) { return view.next_awake(from); });
     return ActionChoice::timeout(p);
   }
   if (have_old) {
@@ -193,7 +198,7 @@ ActionChoice AdversarialScheduler::next(const World& world, Rng& rng) {
   if (have_any) {
     // Only young messages and nobody awake: the age gate must yield or the
     // schedule would violate fair receipt — deliver the oldest young one.
-    auto [proc, seq] = world.oldest_live_message();
+    auto [proc, seq] = view.oldest_live_message();
     return ActionChoice::deliver(proc, seq);
   }
   return ActionChoice::none();

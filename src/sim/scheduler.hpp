@@ -20,12 +20,15 @@
 //    number of steps and then delivers newest-first, maximizing reordering
 //    while still satisfying fair receipt.
 //
-// All schedulers run against the World's maintained indices (world.hpp):
-// no scheduler allocates or scans per step, so choosing an action costs
-// O(log n) regardless of population or backlog size. The random and
-// round-robin samplers enumerate candidates in exactly the ascending-id /
-// channel-slot order the previous O(n) scans used, which keeps seeded
-// traces byte-identical across the index rewrite.
+// All schedulers run against a KernelView (sim/kernel_view.hpp) — the
+// scheduler-facing window onto the kernel's maintained indices. The classic
+// step loop hands them the full-window view (implicitly converted from the
+// World), so no scheduler allocates or scans per step and choosing an
+// action costs O(log n) regardless of population or backlog size; the
+// sharded kernel hands them a shard-local sub-window instead. The random
+// and round-robin samplers enumerate candidates in exactly the
+// ascending-id / channel-slot order the previous O(n) scans used, which
+// keeps seeded traces byte-identical across the index rewrite.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +42,7 @@
 
 namespace fdp {
 
-class World;
+class KernelView;
 
 struct ActionChoice {
   enum class Kind : std::uint8_t { None, Timeout, Deliver };
@@ -63,7 +66,7 @@ class Scheduler {
   /// Choose the next enabled action, or Kind::None when no action is
   /// enabled (all channels of non-gone processes empty and no process
   /// awake — the computation has reached a terminal configuration).
-  virtual ActionChoice next(const World& world, Rng& rng) = 0;
+  virtual ActionChoice next(const KernelView& view, Rng& rng) = 0;
 };
 
 /// Uniformly random fair interleaving (see file comment).
@@ -77,7 +80,7 @@ class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(double p_deliver = -1.0, double p_oldest = 0.25)
       : p_deliver_(p_deliver), p_oldest_(p_oldest) {}
-  ActionChoice next(const World& world, Rng& rng) override;
+  ActionChoice next(const KernelView& view, Rng& rng) override;
 
  private:
   double p_deliver_;
@@ -92,7 +95,7 @@ class RoundRobinScheduler final : public Scheduler {
  public:
   explicit RoundRobinScheduler(std::uint32_t timeout_share = 6)
       : timeout_share_(timeout_share == 0 ? 1 : timeout_share) {}
-  ActionChoice next(const World& world, Rng& rng) override;
+  ActionChoice next(const KernelView& view, Rng& rng) override;
 
  private:
   std::uint32_t timeout_share_;
@@ -104,11 +107,11 @@ class RoundRobinScheduler final : public Scheduler {
 /// Asynchronous rounds; exposes the completed-round counter.
 class RoundScheduler final : public Scheduler {
  public:
-  ActionChoice next(const World& world, Rng& rng) override;
+  ActionChoice next(const KernelView& view, Rng& rng) override;
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
 
  private:
-  void refill(const World& world, Rng& rng);
+  void refill(const KernelView& view, Rng& rng);
 
   std::deque<ActionChoice> plan_;
   std::uint64_t rounds_ = 0;
@@ -132,7 +135,7 @@ class AdversarialScheduler final : public Scheduler {
   explicit AdversarialScheduler(std::uint64_t min_age = 8,
                                 unsigned deliver_burst = 8)
       : min_age_(min_age), deliver_burst_(deliver_burst) {}
-  ActionChoice next(const World& world, Rng& rng) override;
+  ActionChoice next(const KernelView& view, Rng& rng) override;
 
  private:
   struct Pending {
@@ -142,7 +145,7 @@ class AdversarialScheduler final : public Scheduler {
   };
 
   /// Ingest messages assigned since the last call; graduate aged ones.
-  void sync(const World& world);
+  void sync(const KernelView& view);
 
   std::uint64_t min_age_;
   unsigned deliver_burst_;

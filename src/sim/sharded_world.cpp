@@ -1,0 +1,795 @@
+#include "sim/sharded_world.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+namespace {
+
+// Duplicates of world.cpp's file-local edge-count helpers: the sharded
+// kernel updates rows of the same lazy edge index, but its own-row /
+// bucketed-remote-row split means it cannot route through World's
+// add/remove_edge_instance (those touch both rows at once).
+void counts_add(World::EdgeCounts& v, ProcessId peer) {
+  for (auto& [q, cnt] : v) {
+    if (q == peer) {
+      ++cnt;
+      return;
+    }
+  }
+  v.emplace_back(peer, 1);
+}
+
+void counts_remove(World::EdgeCounts& v, ProcessId peer) {
+  for (auto& e : v) {
+    if (e.first == peer) {
+      if (--e.second == 0) {
+        e = v.back();
+        v.pop_back();
+      }
+      return;
+    }
+  }
+  FDP_DCHECK(false);
+}
+
+constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
+
+}  // namespace
+
+ShardedWorld::ShardedWorld(World& w, unsigned shards, ShardPolicy policy,
+                           std::uint64_t seed)
+    : w_(&w), k_(shards == 0 ? 1 : shards), policy_(policy), seed_(seed) {
+  FDP_CHECK_MSG(w.size() > 0, "sharded execution needs a populated world");
+  if (k_ > w.size()) k_ = static_cast<unsigned>(w.size());
+  const std::size_t n = w.size();
+  shards_.resize(k_);
+  for (unsigned s = 0; s < k_; ++s) {
+    // Contiguous ascending-id blocks: concatenating per-shard output in
+    // shard order yields global id order for every k — the determinism
+    // invariant rests on exactly this.
+    shards_[s].lo = static_cast<ProcessId>(n * s / k_);
+    shards_[s].hi = static_cast<ProcessId>(n * (s + 1) / k_);
+    shards_[s].pool = std::make_unique<MessagePool>();
+  }
+  ref_buckets_.resize(static_cast<std::size_t>(k_) * k_);
+  seq_base_.assign(k_, 0);
+  mode_cache_.resize(n);
+  for (ProcessId p = 0; p < n; ++p) mode_cache_[p] = w.process(p).mode();
+  oracle_bits_.assign(n, 0);
+  // The edge index backs the oracle precompute and is maintained
+  // incrementally by the turn phases; build it once up front.
+  w.ensure_edge_index();
+  if (k_ > 1) {
+    bar_ = std::make_unique<std::barrier<std::function<void()>>>(
+        static_cast<std::ptrdiff_t>(k_),
+        std::function<void()>([this] { on_phase_barrier(); }));
+    workers_.reserve(k_ - 1);
+    for (unsigned s = 1; s < k_; ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  }
+}
+
+ShardedWorld::~ShardedWorld() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+void ShardedWorld::set_fault_plan(FaultPlan plan, std::uint64_t seed) {
+  const std::string err = plan.validate();
+  FDP_CHECK_MSG(err.empty(), "invalid fault plan");
+  fault_plan_ = std::move(plan);
+  fault_rng_ = Rng(seed);
+  have_faults_ = true;
+  fault_cursor_ = 0;
+}
+
+std::uint64_t ShardedWorld::turn_seed(ProcessId p, std::uint64_t e) const {
+  // Stateless per-(process, epoch) stream: two SplitMix64 steps over a
+  // state that folds in the run seed, the id and the epoch. No shard- or
+  // order-dependent input — this is what makes every turn's randomness
+  // identical for every k.
+  std::uint64_t st =
+      seed_ ^ ((static_cast<std::uint64_t>(p) + 1) * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(st);
+  st ^= (e + 1) * 0xbf58476d1ce4e5b9ULL;
+  return splitmix64(st);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch driver
+
+bool ShardedWorld::epoch() {
+  FDP_CHECK_MSG(!finalized_, "epoch() called after finalize()");
+  // Re-sync the edge index: barrier faults (and any between-epoch
+  // process_mut from scenario code) drop it; the rebuild also refreshes
+  // the ref_list_ stored-ref cache the turn diff relies on.
+  w_->ensure_edge_index();
+  for (Shard& sh : shards_) {
+    sh.outbox.clear();
+    sh.records.clear();
+    sh.life_events.clear();
+    sh.actions = sh.timeouts = sh.deliveries = sh.sends_n = 0;
+    sh.exits = sh.sleeps = sh.wakes = sh.withheld = 0;
+    sh.quiet_delta = 0;
+    sh.error = nullptr;
+  }
+  for (auto& b : ref_buckets_) b.clear();
+  epoch_progress_ = false;
+  barrier_fault_applied_ = false;
+
+  if (k_ == 1) {
+    phase1_oracle(0);
+    phase2_turns(0);
+    compute_seq_bases();
+    phase3_admit(0);
+    phase4_edges(0);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++ticket_;
+    }
+    cv_.notify_all();
+    run_shard_epoch(0);
+    for (Shard& sh : shards_) {
+      if (sh.error) std::rethrow_exception(sh.error);
+    }
+  }
+  epilogue();
+  // A zero-action epoch is NOT terminal when an enabled action merely
+  // wasn't scheduled this epoch: RoundRobin runs timeouts only every
+  // timeout_share-th epoch, and Adversarial ages messages before
+  // delivering them. Progress is guaranteed within a bounded number of
+  // epochs whenever some process is awake or some live channel is
+  // non-empty, so only true quiescence ends the run (the scan is O(n) but
+  // runs only on empty epochs, which come in bounded streaks).
+  return epoch_progress_ || barrier_fault_applied_ || !quiescent();
+}
+
+bool ShardedWorld::quiescent() const {
+  for (ProcessId p = 0; p < w_->size(); ++p) {
+    const LifeState l = w_->life_mirror_[p];
+    if (l == LifeState::Awake) return false;
+    if (l == LifeState::Asleep && !w_->channels_[p].empty()) return false;
+  }
+  return true;
+}
+
+void ShardedWorld::worker_loop(unsigned s) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return stop_ || ticket_ > seen; });
+      if (stop_) return;
+      seen = ticket_;
+    }
+    run_shard_epoch(s);
+  }
+}
+
+void ShardedWorld::run_shard_epoch(unsigned s) {
+  Shard& sh = shards_[s];
+  // A phase that throws poisons only this shard; it still arrives at every
+  // barrier so the others drain the epoch, and the main thread rethrows
+  // before the epilogue. (Model-invariant violations FDP_CHECK-abort and
+  // never get here; this guards real exceptions like bad_alloc.)
+  try {
+    phase1_oracle(s);
+  } catch (...) {
+    sh.error = std::current_exception();
+  }
+  bar_->arrive_and_wait();
+  if (!sh.error) {
+    try {
+      phase2_turns(s);
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+  }
+  bar_->arrive_and_wait();
+  if (!sh.error) {
+    try {
+      phase3_admit(s);
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+  }
+  bar_->arrive_and_wait();
+  if (!sh.error) {
+    try {
+      phase4_edges(s);
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+  }
+  bar_->arrive_and_wait();
+}
+
+void ShardedWorld::on_phase_barrier() {
+  if (stage_ == 1) compute_seq_bases();
+  stage_ = (stage_ + 1) & 3u;
+}
+
+void ShardedWorld::compute_seq_bases() {
+  // Prefix sums over outbox sizes: the j-th send emitted by shard s gets
+  // seq_base_[s] + j, so the assignment is identical for every k (the
+  // concatenation of outboxes in shard order is the 1-shard emission
+  // order).
+  std::uint64_t base = w_->next_seq_;
+  for (unsigned s = 0; s < k_; ++s) {
+    seq_base_[s] = base;
+    base += shards_[s].outbox.size();
+  }
+  w_->next_seq_ = base;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: oracle precompute
+
+void ShardedWorld::phase1_oracle(unsigned s) {
+  const Shard& sh = shards_[s];
+  const bool have_oracle = static_cast<bool>(w_->oracle_);
+  for (ProcessId p = sh.lo; p < sh.hi; ++p) {
+    std::uint8_t bits = 0;
+    // Any non-gone leaving-mode process that can act this epoch (awake, or
+    // deliverable) may consult the oracle from its action body; evaluate
+    // the predicate against the stable inter-epoch state. Staying
+    // processes never consult (paper: oracles are for leaving processes).
+    if (have_oracle && mode_cache_[p] == Mode::Leaving) {
+      const LifeState l = w_->life_mirror_[p];
+      if (l == LifeState::Awake ||
+          (l != LifeState::Gone && !w_->channels_[p].empty())) {
+        bits = w_->oracle_(*w_, p) ? 2 : 1;
+      }
+    }
+    oracle_bits_[p] = bits;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: turns
+
+void ShardedWorld::phase2_turns(unsigned s) {
+  Shard& sh = shards_[s];
+  for (ProcessId p = sh.lo; p < sh.hi; ++p) run_turn(sh, p);
+}
+
+void ShardedWorld::run_turn(Shard& sh, ProcessId p) {
+  const LifeState l0 = w_->life_mirror_[p];
+  if (l0 == LifeState::Gone) return;
+  Channel& ch = w_->channels_[p];
+  const std::size_t m0 = ch.size();
+  const bool blocked =
+      window_open_ && p < blocked_.size() && blocked_[p] != 0;
+  if (l0 != LifeState::Awake && (m0 == 0 || blocked)) {
+    // Asleep with nothing deliverable: no enabled action this epoch.
+    if (blocked) sh.withheld += m0;
+    return;
+  }
+
+  const std::uint64_t e = epochs_;
+  Rng trng(turn_seed(p, e));
+
+  // Plan the turn: the pending set is the channel content at turn start
+  // (same-epoch sends are parked in outboxes until the barrier, so the
+  // channel only shrinks while the turn runs).
+  auto& seqs = sh.seq_scratch;
+  seqs.clear();
+  bool timeout_first = false;
+  std::uint64_t timeout_slot = kNoSlot;
+  switch (policy_.kind) {
+    case ShardPolicy::Kind::Random: {
+      seqs.reserve(m0);
+      for (std::size_t i = 0; i < m0; ++i) seqs.push_back(ch.peek(i).seq);
+      trng.shuffle(seqs);
+      if (l0 == LifeState::Awake)
+        timeout_slot = trng.below(static_cast<std::uint64_t>(m0) + 1);
+      break;
+    }
+    case ShardPolicy::Kind::RoundRobin: {
+      seqs.reserve(m0);
+      for (std::size_t i = 0; i < m0; ++i) seqs.push_back(ch.peek(i).seq);
+      std::sort(seqs.begin(), seqs.end());  // oldest send first
+      if (l0 == LifeState::Awake && e % policy_.timeout_share == 0)
+        timeout_slot = seqs.size();
+      break;
+    }
+    case ShardPolicy::Kind::Rounds: {
+      // The paper's asynchronous round: every pending message delivered,
+      // then one timeout — an epoch IS a round.
+      seqs.reserve(m0);
+      for (std::size_t i = 0; i < m0; ++i) seqs.push_back(ch.peek(i).seq);
+      std::sort(seqs.begin(), seqs.end());
+      if (l0 == LifeState::Awake) timeout_slot = seqs.size();
+      break;
+    }
+    case ShardPolicy::Kind::Adversarial: {
+      // Maximal within-fairness delay: timeout first, then only messages
+      // aged at least min_age epochs, newest first, burst-capped.
+      if (l0 == LifeState::Awake) timeout_first = true;
+      for (std::size_t i = 0; i < m0; ++i) {
+        const Message& m = ch.peek(i);
+        if (m.enqueued_at + policy_.adv_min_age <= e) seqs.push_back(m.seq);
+      }
+      std::sort(seqs.begin(), seqs.end(), std::greater<std::uint64_t>());
+      if (seqs.size() > policy_.adv_deliver_burst)
+        seqs.resize(policy_.adv_deliver_burst);
+      break;
+    }
+  }
+
+  if (blocked) {
+    // Partition window: deliveries into this process are withheld (the
+    // blocked set is chosen serially at the barrier, so it is k-invariant
+    // and the turn stays deterministic). Timeouts still run — time passes
+    // on both sides of a cut.
+    sh.withheld += seqs.size();
+    seqs.clear();
+    if (timeout_slot != kNoSlot) timeout_slot = 0;
+  }
+
+  if (timeout_first && w_->life_mirror_[p] == LifeState::Awake) {
+    exec_action(sh, p, /*is_timeout=*/true, 0, trng);
+    if (w_->life_mirror_[p] == LifeState::Gone) return;  // exit ends the turn
+  }
+  for (std::uint64_t j = 0; j <= seqs.size(); ++j) {
+    if (j == timeout_slot && w_->life_mirror_[p] == LifeState::Awake) {
+      // The slot is fixed at planning time; if an earlier delivery put the
+      // process to sleep, the timeout is silently skipped (not enabled).
+      exec_action(sh, p, /*is_timeout=*/true, 0, trng);
+      if (w_->life_mirror_[p] == LifeState::Gone) return;
+    }
+    if (j == seqs.size()) break;
+    exec_action(sh, p, /*is_timeout=*/false, seqs[j], trng);
+    if (w_->life_mirror_[p] == LifeState::Gone) return;
+  }
+}
+
+void ShardedWorld::exec_action(Shard& sh, ProcessId p, bool is_timeout,
+                               std::uint64_t seq, Rng& trng) {
+  const unsigned s = static_cast<unsigned>(&sh - shards_.data());
+  Process& proc = *w_->procs_[p];
+  Channel& ch = w_->channels_[p];
+  const bool want_record = !w_->observers_.empty();
+
+  PendingRecord pr;
+  ActionRecord& rec = pr.rec;
+  if (want_record) {
+    rec.actor = p;
+    rec.refs_before = w_->ref_list_[p];  // synced: current stored refs
+  }
+
+  sh.sends.clear();
+  Context ctx(w_, proc.self(), epochs_, &trng, &sh.sends);
+  ctx.oracle_pre_ = &oracle_bits_[p];
+
+  if (is_timeout) {
+    FDP_CHECK_MSG(w_->life_mirror_[p] == LifeState::Awake,
+                  "timeout scheduled for non-awake process");
+    ++sh.timeouts;
+    if (want_record) rec.kind = ActionRecord::Kind::Timeout;
+    proc.on_timeout(ctx);
+  } else {
+    const std::size_t idx = ch.index_of_seq(seq);
+    FDP_CHECK_MSG(idx < ch.size(), "scheduled message vanished");
+    Message m = ch.take(idx);
+    // Every message in a non-gone process's channel is registered in the
+    // edge index; remove the own-row side here and bucket the remote side.
+    for (const RefInfo& r : m.refs) {
+      if (r.ref.id() < w_->size()) {
+        counts_remove(w_->ref_out_[p], r.ref.id());
+        bucket_ref(s, r.ref.id(), p, -1);
+      }
+    }
+    if (w_->life_mirror_[p] == LifeState::Asleep && ch.empty())
+      ++sh.quiet_delta;
+    ++sh.deliveries;
+    const bool woke = w_->life_mirror_[p] == LifeState::Asleep;
+    if (woke) {
+      set_life_buffered(sh, p, LifeState::Awake);
+      ++sh.wakes;
+    }
+    if (want_record) {
+      rec.kind = ActionRecord::Kind::Deliver;
+      rec.woke = woke;
+      rec.consumed = m;
+    }
+    proc.on_message(ctx, m);
+    sh.pool->recycle(m);
+  }
+
+  // Buffered outputs. Sends — self-sends included — go to the shard
+  // outbox; their k-invariant seqs are assigned at the barrier.
+  pr.outbox_start = static_cast<std::uint32_t>(sh.outbox.size());
+  for (auto& [to, msg] : sh.sends) {
+    FDP_CHECK(to.valid() && to.id() < w_->size());
+    ++sh.sends_n;
+    msg.enqueued_at = epochs_;  // epoch granularity (see DESIGN.md)
+    if (want_record) rec.sent.emplace_back(to, msg);  // seq patched at flush
+    sh.outbox.emplace_back(to, std::move(msg));
+  }
+  pr.outbox_count =
+      static_cast<std::uint32_t>(sh.outbox.size()) - pr.outbox_start;
+
+  // Stored-ref diff — identical to World::execute's, except the ref_in
+  // side of every change is bucketed to the target's owner shard.
+  sh.ref_scratch.clear();
+  proc.collect_refs(sh.ref_scratch);
+  std::vector<RefInfo>& stored = w_->ref_list_[p];
+  if (sh.ref_scratch != stored) {
+    sh.match_scratch.assign(stored.size(), 0);
+    for (const RefInfo& a : sh.ref_scratch) {
+      bool matched = false;
+      for (std::size_t i = 0; i < stored.size(); ++i) {
+        if (!sh.match_scratch[i] && stored[i].ref.id() == a.ref.id()) {
+          sh.match_scratch[i] = 1;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched && a.ref.id() < w_->size()) {
+        counts_add(w_->ref_out_[p], a.ref.id());
+        bucket_ref(s, a.ref.id(), p, +1);
+      }
+    }
+    for (std::size_t i = 0; i < stored.size(); ++i) {
+      if (!sh.match_scratch[i] && stored[i].ref.id() < w_->size()) {
+        counts_remove(w_->ref_out_[p], stored[i].ref.id());
+        bucket_ref(s, stored[i].ref.id(), p, -1);
+      }
+    }
+    stored.swap(sh.ref_scratch);
+  }
+  if (want_record) rec.refs_after = stored;
+
+  if (ctx.exit_requested_) {
+    FDP_CHECK_MSG(!ctx.sleep_requested_, "action requested exit AND sleep");
+    set_life_buffered(sh, p, LifeState::Gone);
+    ++sh.exits;
+    // Deregister every instance p still holds (stored refs + remaining
+    // channel messages) — the sharded mirror of deregister_process_edges.
+    // Same-epoch sends TO p are never registered: admission sees the Gone
+    // state, exactly like classic admit() after an exit.
+    for (const RefInfo& r : stored) {
+      if (r.ref.id() < w_->size()) {
+        counts_remove(w_->ref_out_[p], r.ref.id());
+        bucket_ref(s, r.ref.id(), p, -1);
+      }
+    }
+    for (const Message& m : ch.messages()) {
+      for (const RefInfo& r : m.refs) {
+        if (r.ref.id() < w_->size()) {
+          counts_remove(w_->ref_out_[p], r.ref.id());
+          bucket_ref(s, r.ref.id(), p, -1);
+        }
+      }
+    }
+    if (want_record) rec.exited = true;
+  } else if (ctx.sleep_requested_) {
+    set_life_buffered(sh, p, LifeState::Asleep);
+    ++sh.sleeps;
+    if (want_record) rec.slept = true;
+  }
+
+  ++sh.actions;
+  if (want_record) sh.records.push_back(std::move(pr));
+}
+
+void ShardedWorld::set_life_buffered(Shard& sh, ProcessId p, LifeState to) {
+  Process& proc = *w_->procs_[p];
+  const LifeState from = proc.life_;
+  if (from == to) return;
+  const bool empty = w_->channels_[p].empty();
+  if (from == LifeState::Asleep && empty) --sh.quiet_delta;
+  proc.life_ = to;
+  w_->life_mirror_[p] = to;
+  if (to == LifeState::Asleep && empty) ++sh.quiet_delta;
+  // awake_fw_ is shared; reconcile at the barrier (last event wins).
+  sh.life_events.emplace_back(p, to);
+}
+
+void ShardedWorld::bucket_ref(unsigned src, ProcessId target,
+                              ProcessId holder, std::int32_t delta) {
+  ref_buckets_[static_cast<std::size_t>(src) * k_ + owner(target)].push_back(
+      RefEvent{target, holder, delta});
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: cross-shard admission
+
+void ShardedWorld::phase3_admit(unsigned d) {
+  Shard& dst = shards_[d];
+  for (unsigned s = 0; s < k_; ++s) {
+    auto& out = shards_[s].outbox;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const ProcessId to = out[i].first.id();
+      if (to < dst.lo || to >= dst.hi) continue;
+      // Each outbox entry is claimed by exactly one destination shard, so
+      // moving out of the source vector is race-free.
+      Message m = std::move(out[i].second);
+      m.seq = seq_base_[s] + i;
+      m.enqueued_at = epochs_;
+      const LifeState l = w_->life_mirror_[to];
+      if (l == LifeState::Asleep && w_->channels_[to].empty())
+        --dst.quiet_delta;  // no longer quiet
+      if (l != LifeState::Gone) {
+        for (const RefInfo& r : m.refs) {
+          if (r.ref.id() < w_->size()) {
+            counts_add(w_->ref_out_[to], r.ref.id());
+            bucket_ref(d, r.ref.id(), to, +1);
+          }
+        }
+      }
+      w_->channels_[to].push(std::move(m));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: remote edge rows
+
+void ShardedWorld::phase4_edges(unsigned d) {
+  const Shard& dst = shards_[d];
+  (void)dst;
+  for (unsigned s = 0; s < k_; ++s) {
+    for (const RefEvent& ev :
+         ref_buckets_[static_cast<std::size_t>(s) * k_ + d]) {
+      if (ev.delta > 0) {
+        counts_add(w_->ref_in_[ev.target], ev.holder);
+      } else {
+        counts_remove(w_->ref_in_[ev.target], ev.holder);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial epilogue
+
+void ShardedWorld::epilogue() {
+  std::uint64_t total_actions = 0;
+  std::int64_t quiet_delta = 0;
+  for (unsigned s = 0; s < k_; ++s) {
+    Shard& sh = shards_[s];
+    for (const auto& [p, l] : sh.life_events) {
+      w_->awake_fw_.set(p, l == LifeState::Awake ? 1 : 0);
+    }
+    w_->timeouts_ += sh.timeouts;
+    w_->deliveries_ += sh.deliveries;
+    w_->sends_ += sh.sends_n;
+    w_->exits_ += sh.exits;
+    w_->sleeps_ += sh.sleeps;
+    w_->wakes_ += sh.wakes;
+    withheld_total_ += sh.withheld;
+    quiet_delta += sh.quiet_delta;
+    total_actions += sh.actions;
+  }
+  w_->quiet_count_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(w_->quiet_count_) + quiet_delta);
+
+  if (!w_->observers_.empty()) {
+    // Flush the epoch's records in (shard, emission) order — the global
+    // id order — assigning consecutive step numbers and the final seqs of
+    // each record's sends. Observers see the end-of-epoch world state
+    // (the sharded contract; monitors doing full recomputes are exact,
+    // per-action incremental ones belong to the classic engine).
+    for (unsigned s = 0; s < k_; ++s) {
+      for (PendingRecord& pr : shards_[s].records) {
+        pr.rec.step = w_->steps_++;
+        for (std::uint32_t j = 0; j < pr.outbox_count; ++j) {
+          pr.rec.sent[j].second.seq = seq_base_[s] + pr.outbox_start + j;
+        }
+        for (Observer* o : w_->observers_) o->on_action(*w_, pr.rec);
+      }
+    }
+  } else {
+    w_->steps_ += total_actions;
+  }
+
+  epoch_progress_ = total_actions > 0;
+  if (have_faults_) inject_due_faults();
+  ++epochs_;
+}
+
+// ---------------------------------------------------------------------------
+// Barrier-time fault injection
+
+void ShardedWorld::inject_due_faults() {
+  const std::uint64_t now = w_->steps_;
+
+  // Close a due window first (and announce it exactly once): recovery
+  // attribution starts where withheld deliveries are released.
+  if (window_open_ && partition_until_ <= now) {
+    window_open_ = false;
+    barrier_fault_applied_ = true;
+    w_->announce_fault(FaultKind::PartitionEnd, kNoProcess, false);
+    w_->announce_fault(FaultKind::PartitionEnd, kNoProcess, true);
+  }
+
+  while (fault_cursor_ < fault_plan_.events.size() &&
+         fault_plan_.events[fault_cursor_].step <= now) {
+    apply_fault(fault_plan_.events[fault_cursor_]);
+    ++fault_cursor_;
+  }
+
+  // Stochastic regime: the classic injector rolls once per step; at epoch
+  // granularity that collapses to one roll per fault class per EPOCH — a
+  // documented reinterpretation (DESIGN.md, "sharded kernel").
+  if (now < fault_plan_.stochastic_until &&
+      epochs_ != last_stochastic_epoch_) {
+    last_stochastic_epoch_ = epochs_;
+    if (fault_plan_.p_crash > 0.0 && fault_rng_.chance(fault_plan_.p_crash))
+      apply_fault(FaultEvent{now, FaultKind::CrashRestart, 1});
+    if (fault_plan_.p_scramble > 0.0 &&
+        fault_rng_.chance(fault_plan_.p_scramble))
+      apply_fault(FaultEvent{now, FaultKind::Scramble, 1});
+    if (fault_plan_.p_duplicate > 0.0 &&
+        fault_rng_.chance(fault_plan_.p_duplicate))
+      apply_fault(FaultEvent{now, FaultKind::DuplicateBurst, 0});
+    if (fault_plan_.p_partition > 0.0 &&
+        fault_rng_.chance(fault_plan_.p_partition))
+      apply_fault(FaultEvent{now, FaultKind::PartitionStart, 1});
+  }
+
+  // Progress guarantee: an epoch in which everything enabled was blocked
+  // deliveries must still terminate the window — the sharded analogue of
+  // the classic injector's partition leak.
+  if (!epoch_progress_ && !barrier_fault_applied_ && window_open_) {
+    window_open_ = false;
+    partition_until_ = now;
+    barrier_fault_applied_ = true;
+    w_->announce_fault(FaultKind::PartitionEnd, kNoProcess, false);
+    w_->announce_fault(FaultKind::PartitionEnd, kNoProcess, true);
+  }
+}
+
+void ShardedWorld::apply_fault(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::CrashRestart:
+    case FaultKind::Scramble: {
+      for (std::uint32_t i = 0; i < ev.count; ++i) {
+        if (w_->awake_count() == 0) break;  // awake_fw_ reconciled above
+        const ProcessId victim =
+            w_->kth_awake(fault_rng_.below(w_->awake_count()));
+        w_->announce_fault(ev.kind, victim, false);
+        const bool ok =
+            ev.kind == FaultKind::CrashRestart
+                ? w_->process_mut(victim).fault_crash_restart(fault_rng_)
+                : w_->process_mut(victim).fault_scramble(fault_rng_);
+        if (!ok) continue;
+        if (ev.kind == FaultKind::CrashRestart) {
+          ++crashes_;
+        } else {
+          ++scrambles_;
+        }
+        barrier_fault_applied_ = true;
+        // process_mut dropped the edge index; the next epoch() rebuilds it
+        // before the oracle precompute reads it.
+        w_->announce_fault(ev.kind, victim, true);
+      }
+      break;
+    }
+    case FaultKind::DuplicateBurst: {
+      // The live-message Fenwick is stale during a sharded run; count and
+      // select by scanning channels (serial, fault-path only).
+      std::uint64_t live = 0;
+      for (ProcessId p = 0; p < w_->size(); ++p) {
+        if (w_->life_mirror_[p] != LifeState::Gone)
+          live += w_->channels_[p].size();
+      }
+      if (live == 0) break;
+      w_->announce_fault(ev.kind, kNoProcess, false);
+      const std::uint32_t burst =
+          ev.count > 0 ? ev.count : fault_plan_.duplicate_burst;
+      std::uint64_t done = 0;
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        if (live == 0) break;
+        const auto [p, seq] = scan_kth_live(fault_rng_.below(live));
+        if (p == kNoProcess) break;
+        const Channel& ch = w_->channels_[p];
+        const std::size_t idx = ch.index_of_seq(seq);
+        if (idx >= ch.size()) continue;
+        const Message& src = ch.peek(idx);
+        Message copy;
+        copy.verb = src.verb;
+        copy.tag = src.tag;
+        copy.token = src.token;
+        w_->msg_pool_.assign_refs(copy.refs, {src.refs.data(),
+                                              src.refs.size()});
+        copy.seq = w_->next_seq_++;
+        copy.enqueued_at = epochs_;
+        if (w_->life_mirror_[p] == LifeState::Asleep &&
+            w_->channels_[p].empty())
+          --w_->quiet_count_;
+        if (w_->edges_synced_) {
+          for (const RefInfo& r : copy.refs) {
+            if (r.ref.id() < w_->size()) {
+              counts_add(w_->ref_out_[p], r.ref.id());
+              counts_add(w_->ref_in_[r.ref.id()], p);
+            }
+          }
+        }
+        w_->channels_[p].push(std::move(copy));
+        if (!w_->observers_.empty())
+          w_->notify_inject(p, w_->channels_[p].messages().back());
+        ++live;
+        ++done;
+      }
+      if (done > 0) {
+        duplicates_ += done;
+        ++bursts_;
+        barrier_fault_applied_ = true;
+        w_->announce_fault(ev.kind, kNoProcess, true);
+      }
+      break;
+    }
+    case FaultKind::PartitionStart: {
+      if (window_open_) break;  // one window at a time
+      const std::size_t n = w_->size();
+      if (n == 0) break;
+      w_->announce_fault(ev.kind, kNoProcess, false);
+      blocked_.assign(n, 0);
+      bool any = false;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (fault_rng_.chance(0.5)) {
+          blocked_[p] = 1;
+          any = true;
+        }
+      }
+      if (!any) blocked_[fault_rng_.below(n)] = 1;
+      partition_until_ = w_->steps_ + fault_plan_.partition_window;
+      window_open_ = true;
+      ++partitions_;
+      barrier_fault_applied_ = true;
+      w_->announce_fault(ev.kind, kNoProcess, true);
+      break;
+    }
+    case FaultKind::PartitionEnd:
+      break;  // synthesized at window close, never scheduled
+  }
+}
+
+std::pair<ProcessId, std::uint64_t> ShardedWorld::scan_kth_live(
+    std::uint64_t k) const {
+  for (ProcessId p = 0; p < w_->size(); ++p) {
+    if (w_->life_mirror_[p] == LifeState::Gone) continue;
+    const std::size_t sz = w_->channels_[p].size();
+    if (k < sz) return {p, w_->channels_[p].peek(k).seq};
+    k -= sz;
+  }
+  return {kNoProcess, 0};
+}
+
+// ---------------------------------------------------------------------------
+// Handover back to the classic engine
+
+void ShardedWorld::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Rebuild the live-message indices the epoch loop left stale.
+  w_->live_seq_.clear();
+  w_->oldest_heap_.clear();
+  for (ProcessId p = 0; p < w_->size(); ++p) {
+    const Channel& ch = w_->channels_[p];
+    const bool live = w_->life_mirror_[p] != LifeState::Gone;
+    w_->live_fw_.set(p, live ? static_cast<std::uint32_t>(ch.size()) : 0);
+    if (!live) continue;
+    for (const Message& m : ch.messages()) {
+      w_->live_seq_.emplace(m.seq, p);
+      w_->oldest_heap_.emplace(m.seq, p);
+    }
+  }
+}
+
+}  // namespace fdp

@@ -1,0 +1,244 @@
+// The sharded kernel: epoch-stepped parallel execution of the paper's
+// interleaving model (conservative PDES).
+//
+// A ShardedWorld partitions the process-id space into k contiguous shards
+// and executes the system in *epochs*. Within one epoch every shard runs
+// the turns of its own processes in parallel; all cross-process effects —
+// sends (including self-sends), edge-index updates of remote rows, life
+// and counter reconciliation, observer notification and fault injection —
+// are buffered into bounded per-shard queues and drained at a
+// deterministic epoch barrier in (source shard ascending, emission order)
+// order. Because the shards are ascending-id blocks, that concatenation
+// order equals ascending (actor id, emission index) for EVERY k, which is
+// the whole determinism argument:
+//
+//   the action trace of a k-shard run is byte-identical to the 1-shard
+//   run for any k — tests/test_sharded.cpp pins this with the same
+//   FNV-1a trace hash the classic golden-trace tests use.
+//
+// What a "turn" is depends on the scheduler family (ShardPolicy, mapped
+// from SchedulerSpec by the experiment layer). Global stateful schedulers
+// cannot be partition-invariant (their cursor/RNG state would depend on
+// k), so the sharded kernel re-derives each family as a per-(process,
+// epoch) policy driven by a stateless Rng(mix(seed, p, epoch)):
+//
+//   Random      — deliver this epoch's pending messages in shuffled order
+//                 with the timeout inserted at a random position;
+//   RoundRobin  — oldest-first deliveries; timeout only on epochs that
+//                 are multiples of timeout_share;
+//   Rounds      — the paper's asynchronous rounds: deliver everything
+//                 enqueued before the epoch, then timeout (one epoch ==
+//                 one round);
+//   Adversarial — timeout first, then messages aged >= min_age epochs,
+//                 newest-first, capped at deliver_burst.
+//
+// An epoch is four phases over k threads plus a serial barrier epilogue:
+//   P1  oracle precompute — verdicts for every active leaving-mode
+//       process, read by Context::oracle() during turns (the shared edge
+//       index is stable between barriers, so the parallel reads are safe);
+//   P2  turns — own-process mutation only; sends go to the shard outbox,
+//       remote edge-index updates to per-(src,dst) buckets;
+//   P3  admission — each shard drains every outbox into its own channels;
+//       sequence numbers are preassigned from per-shard bases (prefix sums
+//       over outbox sizes), so they too are k-invariant;
+//   P4  remote edge rows — each shard applies the ref_in updates targeting
+//       its processes;
+//   epilogue (serial) — reconcile counters and the awake Fenwick, flush
+//       ActionRecords to observers in shard order (assigning the global
+//       step index), inject runtime faults, decide termination.
+//
+// The World's live-message indices (live Fenwick, seq map, oldest heap)
+// are deliberately left stale during a sharded run and rebuilt once by
+// finalize(); the classic step loop composes before/after a sharded run
+// on the same World.
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/world.hpp"
+
+namespace fdp {
+
+/// The per-epoch scheduling family of a sharded run. Defined here (not in
+/// the analysis layer) so sim/ stays self-contained; the experiment layer
+/// maps SchedulerSpec onto this (analysis/experiment.cpp).
+struct ShardPolicy {
+  enum class Kind : std::uint8_t { Random, RoundRobin, Rounds, Adversarial };
+  Kind kind = Kind::Random;
+  /// RoundRobin: timeouts run on epochs with epoch % timeout_share == 0.
+  std::uint32_t timeout_share = 6;
+  /// Adversarial: a message is deliverable after aging this many epochs.
+  std::uint64_t adv_min_age = 8;
+  /// Adversarial: deliveries per process per epoch once aged.
+  std::uint32_t adv_deliver_burst = 8;
+};
+
+class ShardedWorld {
+ public:
+  /// `shards` >= 1; processes are partitioned into contiguous id blocks.
+  /// `seed` drives every per-(process, epoch) turn Rng. The world must be
+  /// fully populated; spawning after construction is not supported.
+  ShardedWorld(World& w, unsigned shards, ShardPolicy policy,
+               std::uint64_t seed);
+  ~ShardedWorld();
+
+  ShardedWorld(const ShardedWorld&) = delete;
+  ShardedWorld& operator=(const ShardedWorld&) = delete;
+
+  /// Install a runtime fault campaign (same FaultPlan vocabulary as the
+  /// classic FaultScheduler). Scheduled steps and stochastic_until are
+  /// measured in world steps (actions), checked at epoch barriers; the
+  /// stochastic probabilities are rolled once per EPOCH (documented
+  /// reinterpretation of the per-step regime), and partition windows
+  /// withhold deliveries into the blocked side for partition_window steps.
+  void set_fault_plan(FaultPlan plan, std::uint64_t seed);
+
+  /// Run one epoch. Returns false when the epoch executed no action and
+  /// injected no fault — the sharded analogue of a terminal configuration.
+  bool epoch();
+
+  /// Rebuild the World's live-message indices from the channels so the
+  /// classic step loop (closure checks, mixed-mode tests) can take over.
+  /// Idempotent; call after the last epoch().
+  void finalize();
+
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  [[nodiscard]] unsigned shards() const { return k_; }
+
+  /// True once every scheduled fault fired, the stochastic regime is past
+  /// and no partition window is open (mirrors FaultScheduler::exhausted).
+  [[nodiscard]] bool faults_exhausted() const {
+    return fault_cursor_ >= fault_plan_.events.size() &&
+           w_->steps() >= fault_plan_.stochastic_until && !window_open_;
+  }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return crashes_ + scrambles_ + bursts_ + partitions_;
+  }
+  [[nodiscard]] std::uint64_t withheld() const { return withheld_total_; }
+
+ private:
+  struct PendingRecord {
+    ActionRecord rec;
+    std::uint32_t outbox_start = 0;
+    std::uint32_t outbox_count = 0;
+  };
+
+  /// A remote edge-index update: holder gained/lost one reference
+  /// instance of target; applied to ref_in_[target] by target's shard.
+  struct RefEvent {
+    ProcessId target;
+    ProcessId holder;
+    std::int32_t delta;
+  };
+
+  struct Shard {
+    ProcessId lo = 0;
+    ProcessId hi = 0;
+    std::vector<std::pair<Ref, Message>> outbox;
+    std::vector<std::pair<Ref, Message>> sends;  ///< one action's Context buffer
+    std::vector<PendingRecord> records;
+    std::vector<std::pair<ProcessId, LifeState>> life_events;
+    std::vector<std::uint64_t> seq_scratch;
+    std::vector<RefInfo> ref_scratch;
+    std::vector<char> match_scratch;
+    /// World's pool is not thread-safe; one per shard (unique_ptr keeps
+    /// Shard movable — MessagePool itself is pinned).
+    std::unique_ptr<MessagePool> pool;
+    // per-epoch tallies, reconciled at the barrier
+    std::uint64_t actions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t sends_n = 0;
+    std::uint64_t exits = 0;
+    std::uint64_t sleeps = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t withheld = 0;
+    std::int64_t quiet_delta = 0;
+    std::exception_ptr error;
+  };
+
+  [[nodiscard]] unsigned owner(ProcessId p) const {
+    unsigned s = 1;
+    while (s < k_ && shards_[s].lo <= p) ++s;
+    return s - 1;
+  }
+  [[nodiscard]] std::uint64_t turn_seed(ProcessId p, std::uint64_t e) const;
+
+  void run_shard_epoch(unsigned s);
+  void phase1_oracle(unsigned s);
+  void phase2_turns(unsigned s);
+  void phase3_admit(unsigned s);
+  void phase4_edges(unsigned s);
+  void compute_seq_bases();  ///< serial, between P2 and P3
+  void on_phase_barrier();   ///< barrier completion; dispatches on stage_
+  void epilogue();           ///< serial end-of-epoch work
+
+  void run_turn(Shard& sh, ProcessId p);
+  void exec_action(Shard& sh, ProcessId p, bool is_timeout, std::uint64_t seq,
+                   Rng& trng);
+  void set_life_buffered(Shard& sh, ProcessId p, LifeState to);
+  void bucket_ref(unsigned src, ProcessId target, ProcessId holder,
+                  std::int32_t delta);
+
+  [[nodiscard]] bool quiescent() const;
+
+  void inject_due_faults();
+  void apply_fault(const FaultEvent& ev);
+  [[nodiscard]] std::pair<ProcessId, std::uint64_t> scan_kth_live(
+      std::uint64_t k) const;
+
+  void worker_loop(unsigned s);
+
+  World* w_;
+  unsigned k_;
+  ShardPolicy policy_;
+  std::uint64_t seed_;
+  std::uint64_t epochs_ = 0;
+  bool finalized_ = false;
+
+  std::vector<Shard> shards_;
+  /// (src * k + dst) remote-edge buckets; src writes, dst applies.
+  std::vector<std::vector<RefEvent>> ref_buckets_;
+  std::vector<std::uint64_t> seq_base_;  ///< per-src-shard first seq
+  std::vector<Mode> mode_cache_;         ///< modes are immutable
+  std::vector<std::uint8_t> oracle_bits_;  ///< 0 absent / 1 false / 2 true
+  bool epoch_progress_ = false;
+
+  // --- fault injection (barrier-time) ---
+  FaultPlan fault_plan_;
+  Rng fault_rng_{0};
+  bool have_faults_ = false;
+  std::size_t fault_cursor_ = 0;
+  std::uint64_t last_stochastic_epoch_ = ~std::uint64_t{0};
+  std::uint64_t partition_until_ = 0;
+  bool window_open_ = false;
+  std::vector<char> blocked_;
+  bool barrier_fault_applied_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t scrambles_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t withheld_total_ = 0;
+
+  // --- worker coordination (k > 1 only) ---
+  unsigned stage_ = 0;
+  std::unique_ptr<std::barrier<std::function<void()>>> bar_;
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::uint64_t ticket_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fdp

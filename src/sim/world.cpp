@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/kernel_view.hpp"
+
 namespace fdp {
 
 World::World(std::uint64_t seed) : rng_(seed) {}

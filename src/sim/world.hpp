@@ -294,6 +294,12 @@ class World {
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
+  /// The scheduler-facing window type reads the maintained indices
+  /// directly (sim/kernel_view.hpp); the sharded kernel steps whole
+  /// epochs against the internals (sim/sharded_world.hpp).
+  friend class KernelView;
+  friend class ShardedWorld;
+
   void execute(ActionChoice choice);
 
   /// Assign kernel bookkeeping (seq, enqueued_at), register the message

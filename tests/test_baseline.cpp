@@ -64,7 +64,7 @@ TEST(Baseline, NidecGateRespectsInFlightReferences) {
   // Timeout the leaver directly: oracle must refuse (b references it).
   struct One : Scheduler {
     bool fired = false;
-    ActionChoice next(const World&, Rng&) override {
+    ActionChoice next(const KernelView&, Rng&) override {
       if (fired) return ActionChoice::none();
       fired = true;
       return ActionChoice::timeout(0);

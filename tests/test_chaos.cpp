@@ -22,7 +22,7 @@ TEST_P(DuplicationSweep, ProtocolToleratesDuplicatedMessages) {
   cfg.seed = GetParam();
   Scenario sc = build_departure_scenario(cfg);
 
-  ChaosScheduler chaos(std::make_unique<RandomScheduler>(),
+  ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(),
                        /*p_duplicate=*/0.2, /*p_drop=*/0.0,
                        /*seed=*/GetParam() * 97);
   chaos.bind(sc.world.get());
@@ -59,7 +59,7 @@ TEST(Chaos, MessageLossIsDetectedByTheMonitors) {
     cfg.seed = seed;
     Scenario sc = build_departure_scenario(cfg);
 
-    ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.0,
+    ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(), 0.0,
                          /*p_drop=*/0.3, seed * 131);
     chaos.bind(sc.world.get());
     SafetyMonitor safety(*sc.world, 1);
@@ -80,7 +80,7 @@ TEST(Chaos, DropAndDuplicateCountersWork) {
   cfg.leave_fraction = 0.0;
   cfg.seed = 2;
   Scenario sc = build_departure_scenario(cfg);
-  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.5, 0.2, 7);
+  ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(), 0.5, 0.2, 7);
   chaos.bind(sc.world.get());
   for (int i = 0; i < 5'000; ++i) (void)sc.world->step(chaos);
   EXPECT_GT(chaos.duplicated(), 0u);
@@ -91,7 +91,7 @@ TEST(ChaosDeathTest, NextWithoutBindDies) {
   // Regression for the bind() footgun: an unbound ChaosScheduler used to
   // be constructible and steppable, crashing deep inside next(). It must
   // fail loudly, naming the missing call.
-  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.2, 0.0, 7);
+  ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(), 0.2, 0.0, 7);
   ScenarioConfig cfg;
   cfg.n = 6;
   cfg.topology = "ring";
@@ -101,7 +101,7 @@ TEST(ChaosDeathTest, NextWithoutBindDies) {
 }
 
 TEST(ChaosDeathTest, NextOnDifferentWorldDies) {
-  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.2, 0.0, 7);
+  ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(), 0.2, 0.0, 7);
   ScenarioConfig cfg;
   cfg.n = 6;
   cfg.topology = "ring";
@@ -133,7 +133,7 @@ TEST_P(StormOracleSweep, ParameterizedOraclesSurviveDuplicationStorms) {
 
   // p_duplicate = 0.5 is a storm: half of all scheduler choices clone a
   // random in-flight message first.
-  ChaosScheduler chaos(std::make_unique<RandomScheduler>(),
+  ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(),
                        /*p_duplicate=*/0.5, /*p_drop=*/0.0, seed * 193);
   chaos.bind(sc.world.get());
 

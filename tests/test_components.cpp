@@ -3,6 +3,7 @@
 // connected, but nothing may require joining them.
 #include <gtest/gtest.h>
 
+#include "analysis/experiment.hpp"
 #include "analysis/monitors.hpp"
 #include "core/departure_process.hpp"
 #include "core/legitimacy.hpp"
@@ -45,10 +46,10 @@ TEST(Components, EachIslandReachesLegitimacyIndependently) {
   ASSERT_EQ(checker.initial_components().count, 2u);
   SafetyMonitor safety(t.w, 1);
   t.w.add_observer(&safety);
-  RandomScheduler sched;
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
   bool legit = false;
   for (int i = 0; i < 100'000 && !legit; ++i) {
-    (void)t.w.step(sched);
+    (void)t.w.step(*sched);
     if (i % 64 == 0) legit = checker.legitimate(t.w);
   }
   EXPECT_TRUE(legit) << checker.check(t.w).detail;
@@ -58,8 +59,8 @@ TEST(Components, EachIslandReachesLegitimacyIndependently) {
 
 TEST(Components, IslandsNeverMerge) {
   TwoIslands t;
-  RandomScheduler sched;
-  for (int i = 0; i < 20'000; ++i) (void)t.w.step(sched);
+  auto sched = SchedulerSpec::of(SchedulerKind::Random).make();
+  for (int i = 0; i < 20'000; ++i) (void)t.w.step(*sched);
   // No reference may ever cross islands: copy-store-send cannot invent
   // one, and the kernel audit would catch fabrication. Verify directly.
   const Snapshot s = take_snapshot(t.w);

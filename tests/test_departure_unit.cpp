@@ -27,7 +27,7 @@ struct Fixture {
     struct One : Scheduler {
       ProcessId p;
       bool fired = false;
-      ActionChoice next(const World&, Rng&) override {
+      ActionChoice next(const KernelView&, Rng&) override {
         if (fired) return ActionChoice::none();
         fired = true;
         return ActionChoice::timeout(p);
@@ -42,7 +42,7 @@ struct Fixture {
       ProcessId p;
       std::uint64_t seq;
       bool fired = false;
-      ActionChoice next(const World&, Rng&) override {
+      ActionChoice next(const KernelView&, Rng&) override {
         if (fired) return ActionChoice::none();
         fired = true;
         return ActionChoice::deliver(p, seq);

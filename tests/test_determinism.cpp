@@ -118,17 +118,17 @@ std::uint64_t golden_trace(std::unique_ptr<Scheduler> sched,
 }
 
 TEST(GoldenTrace, RandomScheduler) {
-  EXPECT_EQ(golden_trace(std::make_unique<RandomScheduler>()),
+  EXPECT_EQ(golden_trace(SchedulerSpec::of(SchedulerKind::Random).make()),
             0x09162da6df64f356ULL);
 }
 
 TEST(GoldenTrace, RoundRobinScheduler) {
-  EXPECT_EQ(golden_trace(std::make_unique<RoundRobinScheduler>()),
+  EXPECT_EQ(golden_trace(SchedulerSpec::of(SchedulerKind::RoundRobin).make()),
             0x67c4e241927a7b23ULL);
 }
 
 TEST(GoldenTrace, RoundScheduler) {
-  EXPECT_EQ(golden_trace(std::make_unique<RoundScheduler>()),
+  EXPECT_EQ(golden_trace(SchedulerSpec::of(SchedulerKind::Rounds).make()),
             0x539cbb7b00397967ULL);
 }
 
@@ -139,13 +139,13 @@ TEST(GoldenTrace, AdversarialScheduler) {
   // membership changed, starving processes under heavy churn). Delivery
   // decisions are unchanged; timeout order is intentionally different
   // from the pre-fix kernel.
-  EXPECT_EQ(golden_trace(std::make_unique<AdversarialScheduler>()),
+  EXPECT_EQ(golden_trace(SchedulerSpec::of(SchedulerKind::Adversarial).make()),
             0x6cd1b25d3101706aULL);
 }
 
 TEST(GoldenTrace, ChaosOverRandom) {
   auto chaos = std::make_unique<ChaosScheduler>(
-      std::make_unique<RandomScheduler>(), /*p_duplicate=*/0.10,
+      SchedulerSpec::of(SchedulerKind::Random).make(), /*p_duplicate=*/0.10,
       /*p_drop=*/0.05, /*seed=*/77);
   ChaosScheduler* raw = chaos.get();
   EXPECT_EQ(golden_trace(std::move(chaos), raw), 0xab5c80ab4b67ce60ULL);
@@ -157,7 +157,7 @@ TEST(GoldenTrace, ChaosOverRounds) {
   // skip entries whose message vanished from under it (the old comment
   // claimed this "cannot happen").
   auto chaos = std::make_unique<ChaosScheduler>(
-      std::make_unique<RoundScheduler>(), /*p_duplicate=*/0.10,
+      SchedulerSpec::of(SchedulerKind::Rounds).make(), /*p_duplicate=*/0.10,
       /*p_drop=*/0.05, /*seed=*/77);
   ChaosScheduler* raw = chaos.get();
   EXPECT_EQ(golden_trace(std::move(chaos), raw), 0xe3d27894bea06050ULL);

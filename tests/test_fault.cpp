@@ -70,7 +70,7 @@ TEST(FaultPlan, ValidateCatchesMalformedPlans) {
 }
 
 TEST(FaultSchedulerDeathTest, NextWithoutBindDies) {
-  FaultScheduler fs(std::make_unique<RandomScheduler>(),
+  FaultScheduler fs(SchedulerSpec::of(SchedulerKind::Random).make(),
                     FaultPlan{}.at(1, FaultKind::Scramble), 7);
   Scenario sc = build_departure_scenario(corrupted_config(3, 8));
   EXPECT_DEATH((void)sc.world->step(fs), "bind");
@@ -321,6 +321,70 @@ TEST(Driver, WallClockTimeoutFailsTheTrialNotTheSweep) {
   }
 }
 
+// --- partition window close --------------------------------------------
+
+// Records every fault announcement with the step it arrived at.
+class FaultLog final : public Observer {
+ public:
+  struct Ev {
+    FaultKind kind;
+    bool applied;
+    std::uint64_t step;
+  };
+  void on_action(const World& world, const ActionRecord& rec) override {
+    (void)world;
+    (void)rec;
+  }
+  void on_fault(const World& world, FaultKind kind, ProcessId target,
+                bool applied) override {
+    (void)target;
+    events.push_back({kind, applied, world.steps()});
+  }
+  std::vector<Ev> events;
+};
+
+// Every PartitionStart must be matched by a PartitionEnd announcement when
+// the window closes — that boundary is where the RecoveryMonitor rebases
+// the window's recovery clock (the cut only delays progress, so drain and
+// re-legitimacy are attributed to the release of withheld deliveries).
+TEST(Fault, PartitionWindowCloseIsAnnounced) {
+  Scenario sc = build_departure_scenario(corrupted_config(7));
+  FaultPlan plan;
+  plan.at(50, FaultKind::PartitionStart);
+  plan.partition_window = 48;
+  FaultScheduler fs(SchedulerSpec::of(SchedulerKind::Random).make(), plan,
+                    /*seed=*/99);
+  fs.bind(sc.world.get());
+  FaultLog log;
+  RecoveryMonitor recovery(*sc.world, Exclusion::Gone, /*stride=*/1);
+  sc.world->add_observer(&log);
+  sc.world->add_observer(&recovery);
+  for (int i = 0; i < 30'000; ++i)
+    if (!sc.world->step(fs)) break;
+  recovery.finalize(*sc.world);
+
+  std::uint64_t opened = 0, closed = 0, open_step = 0, close_step = 0;
+  for (const FaultLog::Ev& ev : log.events) {
+    if (ev.kind == FaultKind::PartitionStart && ev.applied) {
+      ++opened;
+      open_step = ev.step;
+    }
+    if (ev.kind == FaultKind::PartitionEnd && ev.applied) {
+      ++closed;
+      close_step = ev.step;
+    }
+  }
+  ASSERT_EQ(opened, 1u);
+  ASSERT_EQ(closed, 1u);
+  EXPECT_GE(close_step, open_step + plan.partition_window);
+
+  // The recovery clock was rebased to the close boundary: the measured
+  // recovery must be shorter than "steps since the window opened".
+  EXPECT_EQ(recovery.injected(), 1u);
+  EXPECT_EQ(recovery.recovered(), 1u);
+  EXPECT_LT(recovery.worst_relegit_steps(), RecoveryMonitor::kNotRecovered);
+}
+
 // --- determinism -------------------------------------------------------
 
 TEST(FaultDeterminism, SweepIsWorkerCountInvariant) {
@@ -372,7 +436,7 @@ std::uint64_t faulted_trace(std::unique_ptr<World> reuse,
   ScenarioSpec scen;
   scen.config = corrupted_config(0, 16);
   Scenario sc = scen.build(2026, std::move(reuse));
-  FaultScheduler fs(std::make_unique<RandomScheduler>(), full_campaign(),
+  FaultScheduler fs(SchedulerSpec::of(SchedulerKind::Random).make(), full_campaign(),
                     /*seed=*/515);
   fs.bind(sc.world.get());
   TraceHasher hasher;

@@ -32,7 +32,7 @@ struct Fixture {
     struct One : Scheduler {
       ProcessId p;
       bool fired = false;
-      ActionChoice next(const World&, Rng&) override {
+      ActionChoice next(const KernelView&, Rng&) override {
         if (fired) return ActionChoice::none();
         fired = true;
         return ActionChoice::timeout(p);

@@ -2,6 +2,7 @@
 // they replaced: the maintained Φ equals a full recompute at every step
 // (including under chaos faults, which mutate channels outside actions),
 // and the safety monitor's BFS-skipping never changes its verdict.
+#include "analysis/experiment.hpp"
 #include "analysis/monitors.hpp"
 
 #include <gtest/gtest.h>
@@ -34,7 +35,7 @@ TEST(PotentialMonitor, IncrementalPhiMatchesFullRecomputeEveryStep) {
   // the delta-maintained Φ equals potential() recomputed from scratch.
   for (std::uint64_t seed : {3u, 11u}) {
     Scenario sc = build_departure_scenario(monitor_config(seed));
-    ChaosScheduler chaos(std::make_unique<RandomScheduler>(),
+    ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(),
                          /*p_duplicate=*/0.15, /*p_drop=*/0.10, seed * 13);
     chaos.bind(sc.world.get());
     PotentialMonitor mon(*sc.world, 1);
@@ -52,7 +53,7 @@ TEST(PotentialMonitor, BuiltInCrosscheckRunsCleanAtStrideOne) {
   // Same property via the monitor's own knob: a divergence would abort
   // via FDP_CHECK, so surviving the run is the assertion.
   Scenario sc = build_departure_scenario(monitor_config(7));
-  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.15, 0.10, 91);
+  ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(), 0.15, 0.10, 91);
   chaos.bind(sc.world.get());
   PotentialMonitor mon(*sc.world, 1);
   mon.set_crosscheck_every(1);
@@ -129,7 +130,7 @@ TEST(SafetyMonitor, ChaosChannelMutationsMarkDirty) {
     cfg.seed = 6;
     return cfg;
   }());
-  ChaosScheduler chaos(std::make_unique<RandomScheduler>(), 0.0,
+  ChaosScheduler chaos(SchedulerSpec::of(SchedulerKind::Random).make(), 0.0,
                        /*p_drop=*/0.3, 41);
   chaos.bind(sc.world.get());
   SafetyMonitor mon(*sc.world, 1);

@@ -1,3 +1,7 @@
+// Unit tests of the concrete scheduler classes. These construct
+// RandomScheduler & co. directly on purpose — the classes ARE the unit
+// under test here. Everything else (examples, benches, integration
+// tests) instantiates schedulers through SchedulerSpec::of(kind).make().
 #include "sim/scheduler.hpp"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,251 @@
+// The sharded kernel's headline contract (sim/sharded_world.hpp): the
+// action trace of a k-shard run is byte-identical to the 1-shard run of
+// the SAME engine for every k — across all four scheduling policies, with
+// and without a fault campaign, and across World::reset reuse. The hashes
+// are compared, not baked in: the invariant is cross-k equality, not a
+// pinned sequence (the per-epoch policies are a different — equally
+// legal — adversary than the classic schedulers, so classic golden hashes
+// do not apply).
+#include "sim/sharded_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/experiment.hpp"
+#include "analysis/monitors.hpp"
+#include "core/potential.hpp"
+
+namespace fdp {
+namespace {
+
+// Same mixer as the GoldenTrace suite: every decision feeds the hash.
+class TraceHasher final : public Observer {
+ public:
+  void on_action(const World& world, const ActionRecord& rec) override {
+    (void)world;
+    mix(static_cast<std::uint64_t>(rec.kind));
+    mix(rec.actor);
+    mix(rec.consumed ? rec.consumed->seq : 0);
+    mix(rec.sent.size());
+    mix((rec.exited ? 1u : 0u) | (rec.slept ? 2u : 0u) | (rec.woke ? 4u : 0u));
+  }
+  void on_fault(const World& world, FaultKind kind, ProcessId target,
+                bool applied) override {
+    (void)world;
+    mix(static_cast<std::uint64_t>(kind));
+    mix(target);
+    mix(applied ? 1 : 0);
+  }
+  [[nodiscard]] std::uint64_t hash() const { return h_; }
+
+ private:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+// Every life state and message path: asleep starts, leavers, invalid
+// modes, anchors, initial in-flight traffic (the GoldenTrace scenario).
+ScenarioConfig wild_config() {
+  ScenarioConfig cfg;
+  cfg.n = 24;
+  cfg.topology = "wild";
+  cfg.leave_fraction = 0.3;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.random_anchor_prob = 0.2;
+  cfg.inflight_per_node = 1.0;
+  cfg.initial_asleep_prob = 0.2;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+FaultPlan full_campaign() {
+  FaultPlan plan;
+  plan.at(50, FaultKind::CrashRestart)
+      .at(150, FaultKind::Scramble)
+      .at(250, FaultKind::DuplicateBurst, 6)
+      .at(350, FaultKind::PartitionStart);
+  plan.partition_window = 48;
+  plan.p_crash = 0.002;
+  plan.p_scramble = 0.002;
+  plan.p_duplicate = 0.002;
+  plan.stochastic_until = 900;
+  return plan;
+}
+
+struct ShardRun {
+  std::uint64_t hash, steps, sends, exits, epochs, injected;
+  std::uint64_t phi_final;
+
+  friend bool operator==(const ShardRun&, const ShardRun&) = default;
+};
+
+ShardRun sharded_run(unsigned k, ShardPolicy::Kind kind, bool faults,
+                     std::unique_ptr<World> reuse = nullptr,
+                     std::unique_ptr<World>* retired = nullptr) {
+  ScenarioSpec scen;
+  scen.config = wild_config();
+  Scenario sc = scen.build(wild_config().seed, std::move(reuse));
+  World& w = *sc.world;
+
+  ShardPolicy pol;
+  pol.kind = kind;
+  ShardedWorld sw(w, k, pol, /*seed=*/0xC0FFEE);
+  if (faults) sw.set_fault_plan(full_campaign(), /*seed=*/515);
+
+  TraceHasher hasher;
+  w.add_observer(&hasher);
+  for (int e = 0; e < 20'000; ++e) {
+    if (!sw.epoch()) break;
+  }
+  sw.finalize();
+  w.remove_observer(&hasher);
+  if (faults) {
+    EXPECT_GT(sw.faults_injected(), 0u);
+  }
+  if (retired != nullptr) *retired = std::move(sc.world);
+  return ShardRun{hasher.hash(), w.steps(), w.sends(),
+                  w.exits(),     sw.epochs(), sw.faults_injected(),
+                  phi(w)};
+}
+
+class ShardInvariance
+    : public testing::TestWithParam<std::tuple<ShardPolicy::Kind, bool>> {};
+
+TEST_P(ShardInvariance, TraceIsShardCountInvariant) {
+  const auto [kind, faults] = GetParam();
+  const ShardRun one = sharded_run(1, kind, faults);
+  EXPECT_GT(one.steps, 0u);
+  for (unsigned k : {2u, 4u, 8u}) {
+    const ShardRun many = sharded_run(k, kind, faults);
+    EXPECT_TRUE(one == many) << "k=" << k << " diverged (hash "
+                             << std::hex << many.hash << " vs " << one.hash
+                             << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardInvariance,
+    testing::Combine(testing::Values(ShardPolicy::Kind::Random,
+                                     ShardPolicy::Kind::RoundRobin,
+                                     ShardPolicy::Kind::Rounds,
+                                     ShardPolicy::Kind::Adversarial),
+                     testing::Bool()));
+
+TEST(Sharded, ShardCountClampsToPopulation) {
+  // k > n clamps to n one-process shards; the invariance must still hold.
+  const ShardRun one = sharded_run(1, ShardPolicy::Kind::Random, false);
+  const ShardRun many = sharded_run(64, ShardPolicy::Kind::Random, false);
+  EXPECT_TRUE(one == many);
+}
+
+TEST(Sharded, ConvergesAndDrainsPhi) {
+  const ShardRun r = sharded_run(4, ShardPolicy::Kind::Rounds, false);
+  EXPECT_EQ(r.phi_final, 0u);
+  EXPECT_GT(r.epochs, 0u);
+}
+
+TEST(Sharded, ResetReuseReplaysByteIdentically) {
+  std::unique_ptr<World> retired;
+  const ShardRun fresh =
+      sharded_run(4, ShardPolicy::Kind::Random, true, nullptr, &retired);
+  ASSERT_NE(retired, nullptr);
+  const ShardRun reused =
+      sharded_run(4, ShardPolicy::Kind::Random, true, std::move(retired));
+  EXPECT_TRUE(fresh == reused);
+}
+
+// --- experiment-layer integration --------------------------------------
+
+struct Fingerprint {
+  std::uint64_t steps, sends, exits, sleeps, wakes, injected;
+  std::uint64_t phi0, phi1;
+  bool legit;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint exp_run(unsigned shards, SchedulerKind sk, bool faults) {
+  Scenario sc = build_departure_scenario(wild_config());
+  ExperimentSpec spec;
+  spec.max_steps(400'000)
+      .monitors(true, 1)
+      .closure_steps(200)
+      .shards(shards)
+      .scheduler(SchedulerSpec::of(sk));
+  if (faults) spec.faults(full_campaign());
+  const RunResult r = run_to_legitimacy(sc, spec);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_TRUE(r.safety_ok) << r.failure;
+  EXPECT_TRUE(r.phi_monotone) << r.failure;
+  EXPECT_TRUE(r.audit_ok) << r.failure;
+  EXPECT_TRUE(r.closure_held);
+  if (faults) {
+    EXPECT_GE(r.faults_injected, 4u);  // at least the scheduled events
+    EXPECT_EQ(r.faults_recovered, r.faults_injected);
+    EXPECT_LT(r.recovery_steps_max, RecoveryMonitor::kNotRecovered);
+  }
+  return Fingerprint{r.steps,  r.sends, r.exits,       r.sleeps, r.wakes,
+                     r.faults_injected, r.phi_initial, r.phi_final,
+                     r.reached_legitimate};
+}
+
+class ShardedExperiment
+    : public testing::TestWithParam<std::tuple<SchedulerKind, bool>> {};
+
+TEST_P(ShardedExperiment, RunToLegitimacyIsShardCountInvariant) {
+  const auto [sk, faults] = GetParam();
+  const Fingerprint one = exp_run(1, sk, faults);
+  const Fingerprint four = exp_run(4, sk, faults);
+  EXPECT_TRUE(one == four);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardedExperiment,
+    testing::Combine(testing::Values(SchedulerKind::Random,
+                                     SchedulerKind::RoundRobin,
+                                     SchedulerKind::Rounds,
+                                     SchedulerKind::Adversarial),
+                     testing::Bool()));
+
+TEST(ShardedExperimentSpec, CountsEpochsAsRounds) {
+  Scenario sc = build_departure_scenario(wild_config());
+  ExperimentSpec spec;
+  spec.max_steps(400'000)
+      .shards(2)
+      .scheduler(SchedulerSpec::of(SchedulerKind::Rounds));
+  const RunResult r = run_to_legitimacy(sc, spec);
+  EXPECT_TRUE(r.reached_legitimate) << r.failure;
+  EXPECT_GT(r.rounds, 0u);
+}
+
+TEST(ShardedExperimentSpec, RejectsStatefulOracles) {
+  ScenarioSpec scen;
+  scen.config = wild_config();
+  ExperimentSpec spec;
+  spec.scenario(scen).shards(2);
+  EXPECT_TRUE(spec.validate().empty());
+
+  // quiet:* keeps a per-call counter — consultation-order-dependent.
+  scen.config.oracle = "quiet:2";
+  spec.scenario(scen);
+  EXPECT_FALSE(spec.validate().empty());
+  spec.shards(0);
+  EXPECT_TRUE(spec.validate().empty());  // fine on the classic engine
+
+  // The unreliable wrapper draws lies from a shared Rng stream.
+  scen.config = wild_config();
+  scen.config.oracle_p_false_neg = 0.5;
+  spec.scenario(scen).shards(2);
+  EXPECT_FALSE(spec.validate().empty());
+  spec.shards(0);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+}  // namespace
+}  // namespace fdp
