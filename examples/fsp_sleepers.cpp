@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
   Scenario sc = build_departure_scenario(cfg);
   // Poison the oracle: the FSP must never consult it.
-  sc.world->set_oracle([](const World&, ProcessId) -> bool {
+  sc.world->set_oracle([](const Substrate&, ProcessId) -> bool {
     std::fprintf(stderr, "BUG: oracle consulted in FSP mode\n");
     std::abort();
   });

@@ -32,6 +32,7 @@ EXPECTED=(
   bench_e7_fsp
   bench_e8_oracles
   bench_e10_recovery
+  bench_e13_live
   bench_modelcheck
   bench_micro_kernel
 )

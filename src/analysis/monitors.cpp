@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "sim/world.hpp"
+#include "sim/substrate.hpp"
+#include "util/check.hpp"
 
 namespace fdp {
 
@@ -20,10 +21,10 @@ bool structurally_relevant(const ActionRecord& rec) {
 
 }  // namespace
 
-SafetyMonitor::SafetyMonitor(const World& w, std::uint64_t stride)
+SafetyMonitor::SafetyMonitor(const Substrate& w, std::uint64_t stride)
     : checker_(w, Exclusion::Either), stride_(stride == 0 ? 1 : stride) {}
 
-void SafetyMonitor::on_action(const World& world, const ActionRecord& rec) {
+void SafetyMonitor::on_action(const Substrate& world, const ActionRecord& rec) {
   if (structurally_relevant(rec)) dirty_ = true;
   if (++since_ < stride_) return;
   since_ = 0;
@@ -37,7 +38,7 @@ void SafetyMonitor::on_action(const World& world, const ActionRecord& rec) {
   if (!checker_.safety_holds(world)) violations_.push_back(rec.step);
 }
 
-void SafetyMonitor::on_inject(const World& world, ProcessId to,
+void SafetyMonitor::on_inject(const Substrate& world, ProcessId to,
                               const Message& m) {
   (void)world;
   (void)to;
@@ -45,7 +46,7 @@ void SafetyMonitor::on_inject(const World& world, ProcessId to,
   dirty_ = true;
 }
 
-void SafetyMonitor::on_remove(const World& world, ProcessId from,
+void SafetyMonitor::on_remove(const Substrate& world, ProcessId from,
                               const Message& m) {
   (void)world;
   (void)from;
@@ -53,7 +54,7 @@ void SafetyMonitor::on_remove(const World& world, ProcessId from,
   dirty_ = true;
 }
 
-void SafetyMonitor::on_fault(const World& world, FaultKind kind,
+void SafetyMonitor::on_fault(const Substrate& world, FaultKind kind,
                              ProcessId target, bool applied) {
   (void)world;
   (void)kind;
@@ -65,7 +66,7 @@ void SafetyMonitor::on_fault(const World& world, FaultKind kind,
   if (applied) dirty_ = true;
 }
 
-PotentialMonitor::PotentialMonitor(const World& w, std::uint64_t stride)
+PotentialMonitor::PotentialMonitor(const Substrate& w, std::uint64_t stride)
     : stride_(stride == 0 ? 1 : stride),
 #ifdef NDEBUG
       crosscheck_every_(0)
@@ -79,7 +80,7 @@ PotentialMonitor::PotentialMonitor(const World& w, std::uint64_t stride)
   series_.emplace_back(0, initial_);
 }
 
-void PotentialMonitor::apply_action_delta(const World& world,
+void PotentialMonitor::apply_action_delta(const Substrate& world,
                                           const ActionRecord& rec) {
   // Reconstruct Φ's change from the action's complete effect record.
   // Every term mirrors one clause of potential()'s accounting; instance
@@ -105,13 +106,14 @@ void PotentialMonitor::apply_action_delta(const World& world,
   // Exit kills the whole channel: every in-flight instance (including any
   // self-send from this very action) stops counting.
   if (rec.exited)
-    for (const Message& m : world.channel(rec.actor).messages())
+    world.each_pending(rec.actor, [&](const Message& m) {
       d -= static_cast<std::int64_t>(invalid_count(world, m.refs));
+    });
   phi_ += d;
   FDP_CHECK_MSG(phi_ >= 0, "incremental phi went negative");
 }
 
-void PotentialMonitor::on_action(const World& world, const ActionRecord& rec) {
+void PotentialMonitor::on_action(const Substrate& world, const ActionRecord& rec) {
   apply_action_delta(world, rec);
 
   if (crosscheck_every_ > 0 && ++since_crosscheck_ >= crosscheck_every_) {
@@ -128,13 +130,13 @@ void PotentialMonitor::on_action(const World& world, const ActionRecord& rec) {
   series_.emplace_back(rec.step, now);
 }
 
-void PotentialMonitor::on_inject(const World& world, ProcessId to,
+void PotentialMonitor::on_inject(const Substrate& world, ProcessId to,
                                  const Message& m) {
   if (world.life(to) != LifeState::Gone)
     phi_ += static_cast<std::int64_t>(invalid_count(world, m.refs));
 }
 
-void PotentialMonitor::on_remove(const World& world, ProcessId from,
+void PotentialMonitor::on_remove(const Substrate& world, ProcessId from,
                                  const Message& m) {
   if (world.life(from) != LifeState::Gone) {
     phi_ -= static_cast<std::int64_t>(invalid_count(world, m.refs));
@@ -142,7 +144,7 @@ void PotentialMonitor::on_remove(const World& world, ProcessId from,
   }
 }
 
-void PotentialMonitor::on_fault(const World& world, FaultKind kind,
+void PotentialMonitor::on_fault(const Substrate& world, FaultKind kind,
                                 ProcessId target, bool applied) {
   (void)kind;
   (void)target;
@@ -156,11 +158,11 @@ void PotentialMonitor::on_fault(const World& world, FaultKind kind,
   since_crosscheck_ = 0;
 }
 
-RecoveryMonitor::RecoveryMonitor(const World& w, Exclusion excl,
+RecoveryMonitor::RecoveryMonitor(const Substrate& w, Exclusion excl,
                                  std::uint64_t stride)
     : checker_(w, excl), stride_(stride == 0 ? 1 : stride) {}
 
-void RecoveryMonitor::on_fault(const World& world, FaultKind kind,
+void RecoveryMonitor::on_fault(const Substrate& world, FaultKind kind,
                                ProcessId target, bool applied) {
   if (kind == FaultKind::PartitionEnd) {
     // The window closed: start the open record's recovery clock here —
@@ -169,7 +171,7 @@ void RecoveryMonitor::on_fault(const World& world, FaultKind kind,
     // step the window opened. No new record is created.
     if (applied && open_window_ != kNoOpenWindow) {
       Recovery& r = records_[open_window_];
-      r.step = world.steps();
+      r.step = world.clock();
       r.phi_after = phi(world);
       if (r.phi_after <= r.phi_before) r.phi_drain_steps = 0;
       open_window_ = kNoOpenWindow;
@@ -183,7 +185,7 @@ void RecoveryMonitor::on_fault(const World& world, FaultKind kind,
     return;
   }
   Recovery r;
-  r.step = world.steps();
+  r.step = world.clock();
   r.kind = kind;
   r.target = target;
   r.phi_before = pre_phi_;
@@ -199,14 +201,14 @@ void RecoveryMonitor::on_fault(const World& world, FaultKind kind,
   }
 }
 
-void RecoveryMonitor::on_action(const World& world, const ActionRecord& rec) {
+void RecoveryMonitor::on_action(const Substrate& world, const ActionRecord& rec) {
   if (!outstanding_) return;
   if (++since_ < stride_) return;
   since_ = 0;
   sweep(world, rec.step);
 }
 
-void RecoveryMonitor::sweep(const World& world, std::uint64_t now) {
+void RecoveryMonitor::sweep(const Substrate& world, std::uint64_t now) {
   // An open partition window's record is held out: its clock only starts
   // at the PartitionEnd boundary.
   const auto held = [this](std::size_t i) { return i == open_window_; };
@@ -244,11 +246,11 @@ void RecoveryMonitor::sweep(const World& world, std::uint64_t now) {
   }
 }
 
-void RecoveryMonitor::finalize(const World& w) {
+void RecoveryMonitor::finalize(const Substrate& w) {
   // A window the run ended inside never got its PartitionEnd: release it
   // with its clock still at the open step (best available attribution).
   open_window_ = kNoOpenWindow;
-  if (outstanding_) sweep(w, w.steps());
+  if (outstanding_) sweep(w, w.clock());
 }
 
 std::uint64_t RecoveryMonitor::recovered() const {
@@ -278,7 +280,7 @@ double RecoveryMonitor::mean_relegit_steps() const {
   return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
 }
 
-void TrafficMonitor::on_action(const World& world, const ActionRecord& rec) {
+void TrafficMonitor::on_action(const Substrate& world, const ActionRecord& rec) {
   if (sent_by_.size() < world.size()) {
     sent_by_.resize(world.size(), 0);
     received_by_.resize(world.size(), 0);

@@ -41,13 +41,13 @@ namespace fdp {
 
 class SafetyMonitor final : public Observer {
  public:
-  explicit SafetyMonitor(const World& w, std::uint64_t stride = 1);
+  explicit SafetyMonitor(const Substrate& w, std::uint64_t stride = 1);
 
-  void on_action(const World& world, const ActionRecord& rec) override;
-  void on_inject(const World& world, ProcessId to, const Message& m) override;
-  void on_remove(const World& world, ProcessId from,
+  void on_action(const Substrate& world, const ActionRecord& rec) override;
+  void on_inject(const Substrate& world, ProcessId to, const Message& m) override;
+  void on_remove(const Substrate& world, ProcessId from,
                  const Message& m) override;
-  void on_fault(const World& world, FaultKind kind, ProcessId target,
+  void on_fault(const Substrate& world, FaultKind kind, ProcessId target,
                 bool applied) override;
 
   [[nodiscard]] bool ok() const { return violations_.empty(); }
@@ -73,17 +73,17 @@ class SafetyMonitor final : public Observer {
 
 class PotentialMonitor final : public Observer {
  public:
-  explicit PotentialMonitor(const World& w, std::uint64_t stride = 1);
+  explicit PotentialMonitor(const Substrate& w, std::uint64_t stride = 1);
 
-  void on_action(const World& world, const ActionRecord& rec) override;
-  void on_inject(const World& world, ProcessId to, const Message& m) override;
-  void on_remove(const World& world, ProcessId from,
+  void on_action(const Substrate& world, const ActionRecord& rec) override;
+  void on_inject(const Substrate& world, ProcessId to, const Message& m) override;
+  void on_remove(const Substrate& world, ProcessId from,
                  const Message& m) override;
   /// Runtime faults may legally jump Φ (that is their point); the monitor
   /// re-baselines on the applied announcement so only *protocol* actions
   /// can register an increase, and the incremental value stays in sync
   /// with state the fault mutated behind the ActionRecord stream's back.
-  void on_fault(const World& world, FaultKind kind, ProcessId target,
+  void on_fault(const Substrate& world, FaultKind kind, ProcessId target,
                 bool applied) override;
 
   [[nodiscard]] bool ok() const { return increases_.empty(); }
@@ -117,7 +117,7 @@ class PotentialMonitor final : public Observer {
   void set_crosscheck_every(std::uint64_t every) { crosscheck_every_ = every; }
 
  private:
-  void apply_action_delta(const World& world, const ActionRecord& rec);
+  void apply_action_delta(const Substrate& world, const ActionRecord& rec);
 
   std::uint64_t stride_;
   std::uint64_t since_ = 0;
@@ -160,17 +160,17 @@ class RecoveryMonitor final : public Observer {
     std::uint64_t relegit_steps = kNotRecovered;
   };
 
-  explicit RecoveryMonitor(const World& w, Exclusion excl = Exclusion::Either,
+  explicit RecoveryMonitor(const Substrate& w, Exclusion excl = Exclusion::Either,
                            std::uint64_t stride = 8);
 
-  void on_action(const World& world, const ActionRecord& rec) override;
-  void on_fault(const World& world, FaultKind kind, ProcessId target,
+  void on_action(const Substrate& world, const ActionRecord& rec) override;
+  void on_fault(const Substrate& world, FaultKind kind, ProcessId target,
                 bool applied) override;
 
   /// Close outstanding records against the final state (call once after
   /// the run loop; a run that ends legitimate has every perturbation
   /// recovered by definition).
-  void finalize(const World& w);
+  void finalize(const Substrate& w);
 
   [[nodiscard]] const std::vector<Recovery>& records() const {
     return records_;
@@ -186,7 +186,7 @@ class RecoveryMonitor final : public Observer {
   [[nodiscard]] double mean_relegit_steps() const;
 
  private:
-  void sweep(const World& world, std::uint64_t now);
+  void sweep(const Substrate& world, std::uint64_t now);
 
   LegitimacyChecker checker_;
   std::uint64_t stride_;
@@ -203,7 +203,7 @@ class RecoveryMonitor final : public Observer {
 
 class TrafficMonitor final : public Observer {
  public:
-  void on_action(const World& world, const ActionRecord& rec) override;
+  void on_action(const Substrate& world, const ActionRecord& rec) override;
 
   [[nodiscard]] std::uint64_t sent(Verb v) const {
     return sent_[static_cast<std::size_t>(v)];

@@ -13,19 +13,8 @@
 
 namespace fdp {
 
-namespace {
-
-struct Population {
-  std::vector<bool> leaving;
-  std::vector<std::uint64_t> keys;
-  std::size_t leaving_count = 0;
-  DiGraph topology{0};
-};
-
-/// Everything that is common before process types come into play: keys,
-/// the leaving set (>= 1 staying process) and the initial topology.
-Population plan_population(const ScenarioConfig& cfg, Rng& rng) {
-  Population pop;
+PopulationPlan plan_population(const ScenarioConfig& cfg, Rng& rng) {
+  PopulationPlan pop;
   pop.leaving.assign(cfg.n, false);
   pop.keys.resize(cfg.n);
 
@@ -53,9 +42,7 @@ Population plan_population(const ScenarioConfig& cfg, Rng& rng) {
   return pop;
 }
 
-/// Mode knowledge the holder starts with for target t: valid, or flipped
-/// with cfg.invalid_mode_prob.
-ModeInfo knowledge_of(const ScenarioConfig& cfg, const Population& pop,
+ModeInfo knowledge_of(const ScenarioConfig& cfg, const PopulationPlan& pop,
                       std::size_t target, Rng& rng) {
   const Mode actual = pop.leaving[target] ? Mode::Leaving : Mode::Staying;
   if (rng.chance(cfg.invalid_mode_prob)) {
@@ -64,10 +51,12 @@ ModeInfo knowledge_of(const ScenarioConfig& cfg, const Population& pop,
   return to_info(actual);
 }
 
-void corrupt_and_inject(const ScenarioConfig& cfg, const Population& pop,
-                        Scenario& sc, Rng& rng,
-                        const std::function<void(ProcessId, const RefInfo&)>&
-                            set_anchor) {
+void corrupt_population(
+    const ScenarioConfig& cfg, const PopulationPlan& pop,
+    const std::vector<Ref>& refs, Rng& rng,
+    const std::function<void(ProcessId, const RefInfo&)>& set_anchor,
+    const std::function<void(Ref, Message)>& post,
+    const std::function<void(ProcessId)>& make_asleep) {
   const std::size_t n = cfg.n;
   if (n < 2) return;
 
@@ -76,8 +65,8 @@ void corrupt_and_inject(const ScenarioConfig& cfg, const Population& pop,
     if (!rng.chance(cfg.random_anchor_prob)) continue;
     ProcessId t = static_cast<ProcessId>(rng.below(n - 1));
     if (t >= p) ++t;
-    set_anchor(p, RefInfo{sc.refs[t], knowledge_of(cfg, pop, t, rng),
-                          pop.keys[t]});
+    set_anchor(p,
+               RefInfo{refs[t], knowledge_of(cfg, pop, t, rng), pop.keys[t]});
   }
 
   // Random in-flight present/forward messages.
@@ -86,26 +75,38 @@ void corrupt_and_inject(const ScenarioConfig& cfg, const Population& pop,
   for (std::size_t k = 0; k < total; ++k) {
     const ProcessId to = static_cast<ProcessId>(rng.below(n));
     const ProcessId about = static_cast<ProcessId>(rng.below(n));
-    const RefInfo carried{sc.refs[about], knowledge_of(cfg, pop, about, rng),
+    const RefInfo carried{refs[about], knowledge_of(cfg, pop, about, rng),
                           pop.keys[about]};
     Message m = rng.chance(0.5) ? Message::present(carried)
                                 : Message::forward(carried);
-    sc.world->post(sc.refs[to], m);
+    post(refs[to], m);
   }
 
   // Initial sleepers. Each receives a pending wake-up message so it is
   // relevant (not hibernating), as the model's initial states require.
   for (ProcessId p = 0; p < n; ++p) {
     if (!rng.chance(cfg.initial_asleep_prob)) continue;
-    sc.world->force_life(p, LifeState::Asleep);
+    make_asleep(p);
     ProcessId about = static_cast<ProcessId>(rng.below(n - 1));
     if (about >= p) ++about;
-    sc.world->post(
-        sc.refs[p],
-        Message::present(RefInfo{sc.refs[about],
-                                 knowledge_of(cfg, pop, about, rng),
-                                 pop.keys[about]}));
+    post(refs[p],
+         Message::present(RefInfo{refs[about],
+                                  knowledge_of(cfg, pop, about, rng),
+                                  pop.keys[about]}));
   }
+}
+
+namespace {
+
+/// Simulator binding of corrupt_population's callbacks.
+void corrupt_and_inject(const ScenarioConfig& cfg, const PopulationPlan& pop,
+                        Scenario& sc, Rng& rng,
+                        const std::function<void(ProcessId, const RefInfo&)>&
+                            set_anchor) {
+  corrupt_population(
+      cfg, pop, sc.refs, rng, set_anchor,
+      [&](Ref to, Message m) { sc.world->post(to, std::move(m)); },
+      [&](ProcessId p) { sc.world->force_life(p, LifeState::Asleep); });
 }
 
 /// The configured oracle, wrapped to lie when the unreliability knobs are
@@ -161,7 +162,7 @@ std::string ScenarioSpec::label() const {
 Scenario build_departure_scenario(const ScenarioConfig& cfg,
                                   std::unique_ptr<World> reuse) {
   Rng rng(cfg.seed);
-  const Population pop = plan_population(cfg, rng);
+  const PopulationPlan pop = plan_population(cfg, rng);
 
   Scenario sc;
   // Fresh and recycled worlds take the same reset(seed) path, so a reused
@@ -193,7 +194,7 @@ Scenario build_framework_scenario(const ScenarioConfig& cfg,
                                   const std::string& overlay,
                                   std::unique_ptr<World> reuse) {
   Rng rng(cfg.seed);
-  const Population pop = plan_population(cfg, rng);
+  const PopulationPlan pop = plan_population(cfg, rng);
 
   Scenario sc;
   // Fresh and recycled worlds take the same reset(seed) path, so a reused
@@ -224,7 +225,7 @@ Scenario build_framework_scenario(const ScenarioConfig& cfg,
 Scenario build_baseline_scenario(const ScenarioConfig& cfg,
                                  std::unique_ptr<World> reuse) {
   Rng rng(cfg.seed);
-  const Population pop = plan_population(cfg, rng);
+  const PopulationPlan pop = plan_population(cfg, rng);
 
   Scenario sc;
   // Fresh and recycled worlds take the same reset(seed) path, so a reused
@@ -249,7 +250,7 @@ Scenario build_baseline_scenario(const ScenarioConfig& cfg,
   return sc;
 }
 
-bool all_leaving_gone(const World& w) {
+bool all_leaving_gone(const Substrate& w) {
   for (ProcessId p = 0; p < w.size(); ++p) {
     if (w.mode(p) == Mode::Leaving && w.life(p) != LifeState::Gone)
       return false;
@@ -257,7 +258,7 @@ bool all_leaving_gone(const World& w) {
   return true;
 }
 
-bool all_leaving_inactive(const World& w) {
+bool all_leaving_inactive(const Substrate& w) {
   for (ProcessId p = 0; p < w.size(); ++p) {
     if (w.mode(p) == Mode::Leaving && w.life(p) == LifeState::Awake)
       return false;

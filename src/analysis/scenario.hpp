@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/departure_process.hpp"
+#include "graph/digraph.hpp"
 #include "sim/world.hpp"
 
 namespace fdp {
@@ -109,6 +111,42 @@ struct ScenarioSpec {
   [[nodiscard]] std::string label() const;
 };
 
+/// Everything a scenario decides before process types come into play:
+/// keys, the leaving set (always >= 1 staying process) and the initial
+/// topology. Public so non-simulator population builders (the live
+/// runtime's net/live_scenario.cpp) draw the *same* plan from the same
+/// seed — the substrate-equivalence tests rely on both substrates being
+/// handed byte-identical initial populations.
+struct PopulationPlan {
+  std::vector<bool> leaving;
+  std::vector<std::uint64_t> keys;
+  std::size_t leaving_count = 0;
+  DiGraph topology{0};
+};
+
+/// Draw a PopulationPlan from `rng`. The draw sequence is part of the
+/// golden-trace contract: changing it changes every seeded scenario.
+[[nodiscard]] PopulationPlan plan_population(const ScenarioConfig& cfg,
+                                             Rng& rng);
+
+/// Mode knowledge a holder starts with about `target`: valid, or flipped
+/// with cfg.invalid_mode_prob.
+[[nodiscard]] ModeInfo knowledge_of(const ScenarioConfig& cfg,
+                                    const PopulationPlan& pop,
+                                    std::size_t target, Rng& rng);
+
+/// Apply the corruption knobs (stray anchors, random in-flight messages,
+/// initial sleepers) through substrate-agnostic callbacks, drawing from
+/// `rng` in a fixed order shared by every builder. `post` admits an
+/// out-of-band message (World::post / Substrate::inject); `make_asleep`
+/// forces the process asleep (World::force_life / NetRuntime::force_life).
+void corrupt_population(
+    const ScenarioConfig& cfg, const PopulationPlan& pop,
+    const std::vector<Ref>& refs, Rng& rng,
+    const std::function<void(ProcessId, const RefInfo&)>& set_anchor,
+    const std::function<void(Ref, Message)>& post,
+    const std::function<void(ProcessId)>& make_asleep);
+
 /// Population of bare DepartureProcess nodes (Section 3 protocol). All
 /// builders accept an optional retired World to recycle (see
 /// ScenarioSpec::build(seed, reuse)).
@@ -128,7 +166,7 @@ struct ScenarioSpec {
 
 /// Cheap termination pre-checks used by run loops (full legitimacy is
 /// verified separately once these hold).
-[[nodiscard]] bool all_leaving_gone(const World& w);
-[[nodiscard]] bool all_leaving_inactive(const World& w);  // gone or asleep
+[[nodiscard]] bool all_leaving_gone(const Substrate& w);
+[[nodiscard]] bool all_leaving_inactive(const Substrate& w);  // gone or asleep
 
 }  // namespace fdp

@@ -56,7 +56,7 @@ std::string TraceRecorder::to_json(const ActionRecord& rec) {
   return s;
 }
 
-void TraceRecorder::on_action(const World& world, const ActionRecord& rec) {
+void TraceRecorder::on_action(const Substrate& world, const ActionRecord& rec) {
   (void)world;
   std::string line = to_json(rec);
   if (out_.is_open() && error_.empty()) {

@@ -29,7 +29,7 @@ class TraceRecorder final : public Observer {
   explicit TraceRecorder(std::size_t ring_capacity = 256,
                          std::string path = "");
 
-  void on_action(const World& world, const ActionRecord& rec) override;
+  void on_action(const Substrate& world, const ActionRecord& rec) override;
 
   [[nodiscard]] const std::deque<std::string>& ring() const { return ring_; }
   [[nodiscard]] std::uint64_t recorded() const { return recorded_; }

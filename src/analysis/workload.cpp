@@ -1,0 +1,99 @@
+#include "analysis/workload.hpp"
+
+#include <algorithm>
+
+#include "overlay/overlay_protocol.hpp"
+#include "util/check.hpp"
+
+namespace fdp {
+
+namespace {
+
+std::uint64_t percentile(std::vector<std::uint64_t> v, std::size_t pct) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[pct * (v.size() - 1) / 100];
+}
+
+}  // namespace
+
+LookupWorkload::LookupWorkload(std::vector<Ref> refs,
+                               std::vector<std::uint64_t> keys,
+                               std::vector<bool> leaving, WorkloadConfig cfg)
+    : cfg_(cfg),
+      refs_(std::move(refs)),
+      keys_(std::move(keys)),
+      rng_(cfg.seed) {
+  for (ProcessId p = 0; p < refs_.size(); ++p)
+    if (!leaving[p]) stayers_.push_back(p);
+  FDP_CHECK_MSG(!stayers_.empty(),
+                "a lookup workload needs at least one staying access node");
+}
+
+void LookupWorkload::pump(Substrate& sub) {
+  while (issued_ < cfg_.total && sub.clock() >= next_due_) {
+    const ProcessId access = stayers_[rng_.below(stayers_.size())];
+    std::uint64_t target;
+    if (rng_.chance(cfg_.absent_prob)) {
+      do {
+        target = rng_();
+      } while (target == 0);
+    } else {
+      target = keys_[stayers_[rng_.below(stayers_.size())]];
+    }
+    Message m;
+    m.verb = Verb::Overlay;
+    m.tag = kTagLookup;
+    m.token = target;
+    // refs[0] = the requester. Access nodes are staying, so this
+    // self-description is valid by construction.
+    m.refs.push_back(RefInfo{refs_[access], ModeInfo::Staying, keys_[access]});
+    sub.inject(refs_[access], std::move(m));
+    open_[{access, target}].push_back(
+        Issue{sub.clock(), std::chrono::steady_clock::now()});
+    ++issued_;
+    ++outstanding_;
+    next_due_ = sub.clock() + cfg_.interval;
+  }
+}
+
+void LookupWorkload::on_action(const Substrate& sub, const ActionRecord& rec) {
+  if (rec.kind != ActionRecord::Kind::Deliver || !rec.consumed.has_value())
+    return;
+  const Message& m = *rec.consumed;
+  if (m.verb != Verb::Overlay ||
+      (m.tag != kTagLookupHit && m.tag != kTagLookupMiss))
+    return;
+  const auto it = open_.find({rec.actor, m.token});
+  if (it == open_.end() || it->second.empty()) return;  // not ours
+  const Issue issue = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) open_.erase(it);
+  ++resolved_;
+  --outstanding_;
+  if (m.tag == kTagLookupHit)
+    ++hits_;
+  else
+    ++misses_;
+  lat_clock_.push_back(sub.clock() - issue.clock);
+  lat_us_.push_back(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - issue.wall)
+          .count()));
+}
+
+WorkloadReport LookupWorkload::report() const {
+  WorkloadReport r;
+  r.issued = issued_;
+  r.resolved = resolved_;
+  r.hits = hits_;
+  r.misses = misses_;
+  r.unresolved = outstanding_;
+  r.p50_clock = percentile(lat_clock_, 50);
+  r.p95_clock = percentile(lat_clock_, 95);
+  r.p50_us = percentile(lat_us_, 50);
+  r.p95_us = percentile(lat_us_, 95);
+  return r;
+}
+
+}  // namespace fdp

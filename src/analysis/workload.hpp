@@ -1,0 +1,119 @@
+// Served-lookup workload generator (the OverSim DHTTestApp idiom — see
+// docs/substrate_idioms.md).
+//
+// The generator plays the client population: it injects kTagLookup
+// requests at randomly chosen *staying* access nodes (a client talks to a
+// staying access point) and measures, per request, whether a verdict came
+// back and how long it took — while departures are running underneath.
+// This is the paper's service-availability question made measurable: the
+// departure protocol promises that stayers keep a working overlay while
+// leavers exit; the workload quantifies "working" as lookup success rate
+// and latency.
+//
+// Mechanics: a request is Message{Verb::Overlay, kTagLookup,
+// token = target key, refs[0] = the access node's own RefInfo} admitted
+// via Substrate::inject at the access node. The overlay routes it greedily
+// (OverlayProtocol::serve_lookup) and the resolver answers
+// kTagLookupHit/Miss to refs[0] with the token echoed. The generator is an
+// Observer: a completion is the *delivery* of a Hit/Miss message at the
+// access node carrying the request's token. Requests that never complete
+// (e.g. routed into a leaver that bounced them) stay outstanding and count
+// against the success rate — that is signal, not noise.
+//
+// Latency is recorded in substrate clock units (steps / events;
+// substrate-comparable) and wall-clock microseconds (meaningful on the
+// live runtime; harmless noise on the simulator).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "sim/substrate.hpp"
+#include "util/rng.hpp"
+
+namespace fdp {
+
+struct WorkloadConfig {
+  /// Total lookup requests to issue.
+  std::size_t total = 100;
+  /// Substrate clock ticks between consecutive issues.
+  std::uint64_t interval = 4;
+  /// Probability a request targets a random (almost surely absent) key —
+  /// expected Miss; otherwise the key of a random staying process —
+  /// expected Hit.
+  double absent_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadReport {
+  std::uint64_t issued = 0;
+  std::uint64_t resolved = 0;  ///< got a Hit or Miss verdict
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t unresolved = 0;  ///< outstanding at report time
+  std::uint64_t p50_clock = 0;  ///< latency percentiles, clock units
+  std::uint64_t p95_clock = 0;
+  std::uint64_t p50_us = 0;  ///< latency percentiles, wall microseconds
+  std::uint64_t p95_us = 0;
+
+  /// A resolved verdict — Hit or Miss — is a success; the overlay answered.
+  [[nodiscard]] double success_rate() const {
+    return issued == 0 ? 1.0
+                       : static_cast<double>(resolved) /
+                             static_cast<double>(issued);
+  }
+};
+
+class LookupWorkload final : public Observer {
+ public:
+  /// `refs`/`keys`/`leaving` by process id (a Scenario/LiveScenario
+  /// population). Register as observer on the substrate yourself.
+  LookupWorkload(std::vector<Ref> refs, std::vector<std::uint64_t> keys,
+                 std::vector<bool> leaving, WorkloadConfig cfg);
+
+  /// Issue every request whose due time has passed. Call once per driver
+  /// loop iteration.
+  void pump(Substrate& sub);
+
+  /// Completion detection (Hit/Miss deliveries at access nodes).
+  void on_action(const Substrate& sub, const ActionRecord& rec) override;
+
+  [[nodiscard]] bool all_issued() const { return issued_ >= cfg_.total; }
+  [[nodiscard]] bool all_resolved() const {
+    return all_issued() && outstanding_ == 0;
+  }
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t resolved() const { return resolved_; }
+
+  [[nodiscard]] WorkloadReport report() const;
+
+ private:
+  struct Issue {
+    std::uint64_t clock;
+    std::chrono::steady_clock::time_point wall;
+  };
+
+  WorkloadConfig cfg_;
+  std::vector<Ref> refs_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<ProcessId> stayers_;
+  Rng rng_;
+  std::uint64_t next_due_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t resolved_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t outstanding_ = 0;
+  /// (access node, target key) -> issue times, FIFO per key: repeated
+  /// lookups of the same key from the same node match oldest-first.
+  std::map<std::pair<ProcessId, std::uint64_t>, std::deque<Issue>> open_;
+  std::vector<std::uint64_t> lat_clock_;
+  std::vector<std::uint64_t> lat_us_;
+};
+
+}  // namespace fdp

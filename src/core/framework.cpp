@@ -17,9 +17,12 @@ class FrameworkProcess::WrappedCtx final : public OverlayCtx {
   [[nodiscard]] std::uint64_t self_key() const override {
     return host_->key();
   }
-  void send_overlay(Ref dest, std::uint32_t tag,
-                    std::vector<RefInfo> refs) override {
-    host_->preprocess(*ctx_, dest, tag, std::move(refs));
+  [[nodiscard]] RefInfo self_info() const override {
+    return host_->self_info();
+  }
+  void send_overlay(Ref dest, std::uint32_t tag, std::vector<RefInfo> refs,
+                    std::uint64_t token) override {
+    host_->preprocess(*ctx_, dest, tag, std::move(refs), token);
   }
 
  private:
@@ -90,10 +93,12 @@ void FrameworkProcess::collect_refs(std::vector<RefInfo>& out) const {
 }
 
 void FrameworkProcess::preprocess(Context& ctx, Ref dest, std::uint32_t tag,
-                                  std::vector<RefInfo> refs) {
+                                  std::vector<RefInfo> refs,
+                                  std::uint64_t token) {
   Pending e;
   e.dest = dest;
   e.tag = tag;
+  e.token = token;
   e.refs = std::move(refs);
   // All modes are unverified until the verify/process round trips finish —
   // except knowledge about ourselves, which is always valid.
@@ -175,7 +180,7 @@ void FrameworkProcess::on_overlay_msg(Context& ctx, const Message& m) {
     return;
   }
   WrappedCtx octx(this, &ctx);
-  overlay_->on_overlay_message(octx, m.tag, m.refs);
+  overlay_->on_overlay_message(octx, m.tag, m.refs, m.token);
 }
 
 void FrameworkProcess::framework_timeout(Context& ctx) {
@@ -221,7 +226,7 @@ void FrameworkProcess::try_complete(Context& ctx) {
           return r.mode == ModeInfo::Staying;
         });
     if (all_staying) {
-      ctx.send(e.dest, Message{Verb::Overlay, e.tag, 0, e.refs});
+      ctx.send(e.dest, Message{Verb::Overlay, e.tag, e.token, e.refs});
       ++stats_.dispatched;
     } else {
       postprocess(ctx, std::move(e));
@@ -291,9 +296,12 @@ class PlainOverlayHost::DirectCtx final : public OverlayCtx {
   [[nodiscard]] std::uint64_t self_key() const override {
     return host_->key();
   }
-  void send_overlay(Ref dest, std::uint32_t tag,
-                    std::vector<RefInfo> refs) override {
-    ctx_->send(dest, Message{Verb::Overlay, tag, 0, std::move(refs)});
+  [[nodiscard]] RefInfo self_info() const override {
+    return host_->self_info();
+  }
+  void send_overlay(Ref dest, std::uint32_t tag, std::vector<RefInfo> refs,
+                    std::uint64_t token) override {
+    ctx_->send(dest, Message{Verb::Overlay, tag, token, std::move(refs)});
   }
 
  private:
@@ -323,7 +331,7 @@ void PlainOverlayHost::on_timeout(Context& ctx) {
 void PlainOverlayHost::on_message(Context& ctx, const Message& m) {
   DirectCtx octx(this, &ctx);
   if (m.verb == Verb::Overlay) {
-    overlay_->on_overlay_message(octx, m.tag, m.refs);
+    overlay_->on_overlay_message(octx, m.tag, m.refs, m.token);
   } else {
     // Present/forward/user messages: conservatively integrate every
     // carried reference (the plain host has no departure layer).

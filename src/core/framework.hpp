@@ -103,6 +103,7 @@ class FrameworkProcess : public DepartureProcess, public OverlayHost {
     Ref dest;
     ModeInfo dest_mode = ModeInfo::Unknown;
     std::uint32_t tag = 0;
+    std::uint64_t token = 0;  ///< Message::token pass-through (lookup keys)
     std::vector<RefInfo> refs;  // modes Unknown until verified
     std::uint32_t age = 0;      // in timeouts
   };
@@ -111,7 +112,7 @@ class FrameworkProcess : public DepartureProcess, public OverlayHost {
   class WrappedCtx;
 
   void preprocess(Context& ctx, Ref dest, std::uint32_t tag,
-                  std::vector<RefInfo> refs);
+                  std::vector<RefInfo> refs, std::uint64_t token);
   void send_verify(Context& ctx, Ref target);
   void on_verify(Context& ctx, const Message& m);
   void on_process_reply(Context& ctx, const Message& m);

@@ -1,10 +1,10 @@
 #include "core/legitimacy.hpp"
 
-#include "sim/world.hpp"
+#include "sim/substrate.hpp"
 
 namespace fdp {
 
-LegitimacyChecker::LegitimacyChecker(const World& w, Exclusion excl)
+LegitimacyChecker::LegitimacyChecker(const Substrate& w, Exclusion excl)
     : excl_(excl) {
   const Snapshot s = take_snapshot(w);
   initial_ = weak_components(s.graph());
@@ -31,7 +31,7 @@ bool LegitimacyChecker::groups_connected(
   return true;
 }
 
-LegitimacyChecker::Verdict LegitimacyChecker::check(const World& w) const {
+LegitimacyChecker::Verdict LegitimacyChecker::check(const Substrate& w) const {
   Verdict v;
   const Snapshot s = take_snapshot(w);
 
@@ -82,7 +82,7 @@ LegitimacyChecker::Verdict LegitimacyChecker::check(const World& w) const {
   return v;
 }
 
-bool LegitimacyChecker::safety_holds(const World& w) const {
+bool LegitimacyChecker::safety_holds(const Substrate& w) const {
   const Snapshot s = take_snapshot(w);
   const std::vector<bool> rel = s.relevant();
   std::vector<bool> staying_rel(s.size());

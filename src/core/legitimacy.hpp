@@ -35,7 +35,7 @@
 
 namespace fdp {
 
-class World;
+class Substrate;
 
 /// Which exclusion the problem variant demands for leaving processes.
 enum class Exclusion : std::uint8_t {
@@ -48,7 +48,7 @@ class LegitimacyChecker {
  public:
   /// Captures the component structure of the world's *current* (initial)
   /// process graph.
-  explicit LegitimacyChecker(const World& w, Exclusion excl);
+  explicit LegitimacyChecker(const Substrate& w, Exclusion excl);
 
   struct Verdict {
     bool staying_awake = false;       ///< condition (i)
@@ -60,15 +60,15 @@ class LegitimacyChecker {
     std::string detail;  ///< first violated condition, for diagnostics
   };
 
-  [[nodiscard]] Verdict check(const World& w) const;
-  [[nodiscard]] bool legitimate(const World& w) const {
+  [[nodiscard]] Verdict check(const Substrate& w) const;
+  [[nodiscard]] bool legitimate(const Substrate& w) const {
     return check(w).legitimate();
   }
 
   /// Lemma 2's running safety invariant: initially-connected STAYING
   /// processes remain weakly connected via relevant processes (see the
   /// file comment for why the endpoints are restricted to stayers).
-  [[nodiscard]] bool safety_holds(const World& w) const;
+  [[nodiscard]] bool safety_holds(const Substrate& w) const;
 
   /// Initial component label per process.
   [[nodiscard]] const Components& initial_components() const {

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "graph/process_graph.hpp"
+#include "sim/substrate.hpp"
+#include "util/rng.hpp"
 #include "util/check.hpp"
 
 namespace fdp {
@@ -11,25 +13,25 @@ namespace fdp {
 OracleFn make_single_oracle() { return make_incident_oracle(1); }
 
 OracleFn make_nidec_oracle() {
-  return [](const World& w, ProcessId p) {
+  return [](const Substrate& w, ProcessId p) {
     // World::referenced_by_other is the maintained-index form of
     // Snapshot::referenced_anywhere: any non-gone q != p holding an
     // instance of p. O(holders of p) instead of an O(n + m) scan.
-    return !w.referenced_by_other(p) && w.channel(p).empty();
+    return !w.referenced_by_other(p) && w.channel_depth(p) == 0;
   };
 }
 
 OracleFn make_always_oracle(bool value) {
-  return [value](const World&, ProcessId) { return value; };
+  return [value](const Substrate&, ProcessId) { return value; };
 }
 
 OracleFn make_quiet_oracle(std::uint32_t consecutive_calls) {
   // Stateful: per-process count of consecutive consultations that saw an
   // empty channel. Captured by shared_ptr so the OracleFn stays copyable.
   auto quiet = std::make_shared<std::map<ProcessId, std::uint32_t>>();
-  return [quiet, consecutive_calls](const World& w, ProcessId p) {
+  return [quiet, consecutive_calls](const Substrate& w, ProcessId p) {
     std::uint32_t& count = (*quiet)[p];
-    if (w.channel(p).empty()) {
+    if (w.channel_depth(p) == 0) {
       ++count;
     } else {
       count = 0;
@@ -39,7 +41,7 @@ OracleFn make_quiet_oracle(std::uint32_t consecutive_calls) {
 }
 
 OracleFn make_incident_oracle(std::size_t k) {
-  return [k](const World& w, ProcessId p) {
+  return [k](const Substrate& w, ProcessId p) {
     // Hibernation needs a quiet process (asleep with an empty channel).
     // With none, "relevant" degenerates to "non-gone" and the maintained
     // edge index answers in O(degree) instead of an O(n + m) snapshot.
@@ -58,7 +60,7 @@ OracleFn make_unreliable_oracle(OracleFn inner, double p_false_pos,
   // matching the quiet-oracle idiom.
   auto lie_rng = std::make_shared<Rng>(seed);
   return [inner = std::move(inner), p_false_pos, p_false_neg,
-          lie_rng](const World& w, ProcessId p) {
+          lie_rng](const Substrate& w, ProcessId p) {
     const bool truth = inner(w, p);
     if (truth) {
       return p_false_neg > 0.0 && lie_rng->chance(p_false_neg) ? false : true;

@@ -31,8 +31,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
-#include "sim/world.hpp"
+#include "sim/substrate.hpp"
 
 namespace fdp {
 

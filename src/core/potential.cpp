@@ -1,6 +1,6 @@
 #include "core/potential.hpp"
 
-#include "sim/world.hpp"
+#include "sim/substrate.hpp"
 
 namespace fdp {
 
@@ -24,16 +24,16 @@ PotentialBreakdown potential(const Snapshot& s) {
   return out;
 }
 
-std::uint64_t phi(const World& w) { return potential(take_snapshot(w)).phi(); }
+std::uint64_t phi(const Substrate& w) { return potential(take_snapshot(w)).phi(); }
 
-bool counts_invalid(const World& w, const RefInfo& r) {
+bool counts_invalid(const Substrate& w, const RefInfo& r) {
   const ProcessId target = r.ref.id();
   if (target >= w.size()) return false;
   if (r.mode == ModeInfo::Unknown) return false;
   return !matches(r.mode, w.mode(target));
 }
 
-std::uint64_t invalid_count(const World& w, std::span<const RefInfo> refs) {
+std::uint64_t invalid_count(const Substrate& w, std::span<const RefInfo> refs) {
   std::uint64_t n = 0;
   for (const RefInfo& r : refs)
     if (counts_invalid(w, r)) ++n;

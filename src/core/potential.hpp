@@ -37,21 +37,21 @@ struct PotentialBreakdown {
 /// excluded, as are references to out-of-system targets.
 [[nodiscard]] PotentialBreakdown potential(const Snapshot& s);
 
-/// Convenience: Φ of a world.
-class World;
-[[nodiscard]] std::uint64_t phi(const World& w);
+/// Convenience: Φ of a substrate's current state.
+class Substrate;
+[[nodiscard]] std::uint64_t phi(const Substrate& w);
 
 /// Whether one reference instance counts toward Φ: in-system target,
 /// verified (non-Unknown) knowledge, and that knowledge contradicts the
 /// target's true mode. True modes are immutable, so an instance's verdict
 /// never changes over a run — which is what makes Φ maintainable from
 /// per-action deltas (see PotentialMonitor).
-[[nodiscard]] bool counts_invalid(const World& w, const RefInfo& r);
+[[nodiscard]] bool counts_invalid(const Substrate& w, const RefInfo& r);
 
 /// Number of Φ-counting instances in one reference list. O(|refs|).
 /// Takes a span so both std::vector and Message::refs (RefList) callers
 /// convert without copying.
-[[nodiscard]] std::uint64_t invalid_count(const World& w,
+[[nodiscard]] std::uint64_t invalid_count(const Substrate& w,
                                           std::span<const RefInfo> refs);
 
 }  // namespace fdp

@@ -90,7 +90,7 @@ bool audit_action(const ActionRecord& rec, PrimitiveCounts& counts,
   return ok;
 }
 
-void PrimitiveAuditor::on_action(const World& world, const ActionRecord& rec) {
+void PrimitiveAuditor::on_action(const Substrate& world, const ActionRecord& rec) {
   (void)world;
   ++actions_;
   if (rec.exited) ++exits_;

@@ -82,7 +82,7 @@ struct PrimitiveCounts {
 /// run, `ok()` reports whether every action obeyed the law.
 class PrimitiveAuditor final : public Observer {
  public:
-  void on_action(const World& world, const ActionRecord& rec) override;
+  void on_action(const Substrate& world, const ActionRecord& rec) override;
 
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<std::string>& violations() const {

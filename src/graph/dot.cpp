@@ -1,6 +1,6 @@
 #include "graph/dot.hpp"
 
-#include "sim/world.hpp"
+#include "sim/substrate.hpp"
 
 namespace fdp {
 
@@ -52,7 +52,7 @@ std::string to_dot(const Snapshot& s, const std::string& name,
   return out;
 }
 
-std::string world_to_dot(const World& w, const std::string& name,
+std::string world_to_dot(const Substrate& w, const std::string& name,
                          const DotOptions& opt) {
   return to_dot(take_snapshot(w), name, opt);
 }

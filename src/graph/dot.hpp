@@ -28,8 +28,8 @@ struct DotOptions {
                                  const DotOptions& opt = {});
 
 /// Convenience: snapshot a world and render it.
-class World;
-[[nodiscard]] std::string world_to_dot(const World& w,
+class Substrate;
+[[nodiscard]] std::string world_to_dot(const Substrate& w,
                                        const std::string& name = "PG",
                                        const DotOptions& opt = {});
 

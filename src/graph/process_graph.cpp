@@ -2,7 +2,9 @@
 
 #include <deque>
 
-#include "sim/world.hpp"
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+#include "sim/substrate.hpp"
 #include "util/check.hpp"
 
 namespace fdp {
@@ -110,7 +112,7 @@ bool Snapshot::referenced_anywhere(ProcessId p) const {
   return false;
 }
 
-Snapshot take_snapshot(const World& w) {
+Snapshot take_snapshot(const Substrate& w) {
   Snapshot s;
   const std::size_t n = w.size();
   s.mode.resize(n);
@@ -125,9 +127,10 @@ Snapshot take_snapshot(const World& w) {
     s.life[p] = proc.life();
     s.key[p] = proc.key();
     proc.collect_refs(s.stored[p]);
-    s.channel_size[p] = w.channel(p).size();
-    for (const Message& m : w.channel(p).messages())
+    s.channel_size[p] = w.channel_depth(p);
+    w.each_pending(p, [&](const Message& m) {
       for (const RefInfo& r : m.refs) s.in_flight[p].push_back(r);
+    });
   }
   return s;
 }

@@ -17,7 +17,7 @@
 
 namespace fdp {
 
-class World;
+class Substrate;
 
 struct Snapshot {
   std::vector<Mode> mode;
@@ -62,7 +62,9 @@ struct Snapshot {
   [[nodiscard]] bool referenced_anywhere(ProcessId p) const;
 };
 
-/// Capture the current system state of a world.
-[[nodiscard]] Snapshot take_snapshot(const World& w);
+/// Capture the current system state of a substrate (simulator world or
+/// live runtime alike — everything a snapshot needs is on the Substrate
+/// surface).
+[[nodiscard]] Snapshot take_snapshot(const Substrate& w);
 
 }  // namespace fdp

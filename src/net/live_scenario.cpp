@@ -1,0 +1,53 @@
+#include "net/live_scenario.hpp"
+
+#include "core/framework.hpp"
+#include "core/oracle.hpp"
+#include "overlay/topology_checks.hpp"
+
+namespace fdp::net {
+
+LiveScenario build_live_framework_scenario(const ScenarioConfig& cfg,
+                                           const std::string& overlay,
+                                           std::unique_ptr<Transport> transport,
+                                           NetRuntime::Config rcfg) {
+  Rng rng(cfg.seed);
+  const PopulationPlan pop = plan_population(cfg, rng);
+
+  LiveScenario sc;
+  // Mirror the simulator builder's world seed derivation so the two
+  // substrates' protocol-visible RNG streams are seeded alike.
+  rcfg.seed = cfg.seed ^ 0x5eedULL;
+  sc.net = std::make_unique<NetRuntime>(std::move(transport), rcfg);
+  sc.leaving = pop.leaving;
+  sc.leaving_count = pop.leaving_count;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    sc.refs.push_back(sc.net->spawn<FrameworkProcess>(
+        pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i],
+        make_overlay(overlay), cfg.policy));
+  }
+  for (const auto& [u, v] : pop.topology.simple_edges()) {
+    auto& proc = sc.net->process_as<FrameworkProcess>(u);
+    proc.overlay_mut().integrate(
+        RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
+  }
+  // Corruption injects messages, which needs open endpoints.
+  sc.net->start();
+  corrupt_population(
+      cfg, pop, sc.refs, rng,
+      [&](ProcessId p, const RefInfo& a) {
+        sc.net->process_as<FrameworkProcess>(p).set_anchor(a);
+      },
+      [&](Ref to, Message m) { sc.net->inject(to, std::move(m)); },
+      [&](ProcessId p) { sc.net->force_life(p, LifeState::Asleep); });
+  OracleFn oracle = oracle_by_name(cfg.oracle);
+  if (cfg.oracle_p_false_pos > 0.0 || cfg.oracle_p_false_neg > 0.0) {
+    oracle = make_unreliable_oracle(std::move(oracle), cfg.oracle_p_false_pos,
+                                    cfg.oracle_p_false_neg,
+                                    cfg.seed ^ 0x0bac1eULL);
+  }
+  sc.net->set_oracle(std::move(oracle));
+  sc.seed = cfg.seed;
+  return sc;
+}
+
+}  // namespace fdp::net

@@ -1,0 +1,38 @@
+// Live-runtime scenario construction.
+//
+// Builds the same FrameworkProcess-hosting-an-overlay populations as
+// analysis/scenario.cpp, but on a NetRuntime instead of a World. Both
+// builders consume the SAME ScenarioConfig and draw the SAME
+// PopulationPlan / knowledge / corruption sequence from the same seed, so
+// a simulator trial and a live trial with equal configs start from
+// byte-identical initial populations — which is what the substrate
+// equivalence tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "net/runtime.hpp"
+
+namespace fdp::net {
+
+struct LiveScenario {
+  std::unique_ptr<NetRuntime> net;
+  std::vector<Ref> refs;      ///< by process id
+  std::vector<bool> leaving;  ///< by process id
+  std::size_t leaving_count = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Live twin of build_framework_scenario: FrameworkProcess nodes hosting
+/// the named overlay, running as actors over `transport`. The runtime is
+/// started (inject-corruption requires open endpoints) and the configured
+/// oracle installed.
+[[nodiscard]] LiveScenario build_live_framework_scenario(
+    const ScenarioConfig& cfg, const std::string& overlay,
+    std::unique_ptr<Transport> transport, NetRuntime::Config rcfg = {});
+
+}  // namespace fdp::net

@@ -1,0 +1,425 @@
+#include "net/runtime.hpp"
+
+#include <algorithm>
+#include <cerrno>
+
+#include "core/potential.hpp"
+#include "net/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FDP_NET_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace fdp::net {
+
+NetRuntime::NetRuntime(std::unique_ptr<Transport> transport, Config cfg)
+    : transport_(std::move(transport)),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  FDP_CHECK_MSG(transport_ != nullptr, "NetRuntime needs a transport");
+  name_ = std::string("net/") + transport_->name();
+}
+
+NetRuntime::~NetRuntime() {
+#ifdef FDP_NET_HAVE_SOCKETS
+  if (monitor_fd_ >= 0) ::close(monitor_fd_);
+#endif
+}
+
+void NetRuntime::force_life(ProcessId id, LifeState s) {
+  FDP_CHECK(id < actors_.size());
+  set_process_life(*actors_[id].proc, s);
+}
+
+void NetRuntime::start() {
+  FDP_CHECK_MSG(!started_, "start() called twice");
+  started_ = true;
+  pending_.resize(actors_.size());
+  transport_->open(actors_.size());
+  if (cfg_.monitor) open_monitor();
+}
+
+// --- admission / injection ---
+
+void NetRuntime::admit_send(ProcessId src, Ref to, Message&& m) {
+  FDP_CHECK(to.valid() && to.id() < actors_.size());
+  const ProcessId dst = to.id();
+  m.seq = next_seq_++;
+  m.enqueued_at = events_;
+  ++sends_;
+  Actor& a = actors_[src];
+  a.outbox.emplace_back(dst, m.seq);
+  ++a.out_counts[dst];
+  pending_[dst].emplace(m.seq, std::move(m));
+}
+
+void NetRuntime::inject(Ref to, Message m) {
+  FDP_CHECK_MSG(started_, "inject before start()");
+  FDP_CHECK(to.valid() && to.id() < actors_.size());
+  // Injection is local client admission (a workload generator or scenario
+  // builder handing a request to its access node), not peer traffic: the
+  // message enters the ledger and the destination inbox directly, without
+  // a wire hop — there is no source actor whose outbox could carry it.
+  const ProcessId dst = to.id();
+  m.seq = next_seq_++;
+  m.enqueued_at = events_;
+  auto [it, fresh] = pending_[dst].emplace(m.seq, std::move(m));
+  FDP_CHECK(fresh);
+  actors_[dst].inbox.emplace_back(it->first, it->second);
+  for (Observer* o : observers_) o->on_inject(*this, dst, it->second);
+}
+
+void NetRuntime::each_pending(
+    ProcessId id, const std::function<void(const Message&)>& fn) const {
+  FDP_CHECK(id < pending_.size());
+  for (const auto& [seq, m] : pending_[id]) fn(m);
+}
+
+// --- pump phases ---
+
+void NetRuntime::flush_outboxes() {
+  for (ProcessId src = 0; src < actors_.size(); ++src) {
+    Actor& a = actors_[src];
+    // A gone actor's outbox keeps flushing: the references in those frames
+    // were sent before the exit and must still travel.
+    while (!a.outbox.empty()) {
+      const auto [dst, seq] = a.outbox.front();
+      const auto it = pending_[dst].find(seq);
+      // The ledger owns the message until delivery, so the entry must
+      // exist for anything still in an outbox.
+      FDP_CHECK(it != pending_[dst].end());
+      frame_scratch_.clear();
+      encode_frame(it->second, src, dst, frame_scratch_);
+      if (!transport_->try_send(src, dst, frame_scratch_.data(),
+                                frame_scratch_.size()))
+        break;  // medium full: retry after the next poll
+      a.outbox.pop_front();
+      const auto cit = a.out_counts.find(dst);
+      if (--cit->second == 0) a.out_counts.erase(cit);
+    }
+  }
+}
+
+void NetRuntime::on_frame(ProcessId dst, const std::uint8_t* data,
+                          std::size_t len) {
+  DecodedFrame f;
+  if (decode_frame(data, len, f) != WireError::None) {
+    ++wire_errors_;
+    return;
+  }
+  if (f.dst != dst || dst >= actors_.size()) {
+    ++wire_errors_;  // well-formed but misrouted
+    return;
+  }
+  if (pending_[dst].find(f.msg.seq) == pending_[dst].end()) {
+    ++stale_frames_;  // duplicate datagram or already-delivered seq
+    return;
+  }
+  // Deliver the message as decoded off the wire (the honest end-to-end
+  // path); the ledger entry is only accounting from here on.
+  actors_[dst].inbox.emplace_back(f.msg.seq, std::move(f.msg));
+}
+
+bool NetRuntime::throttled(const Actor& a) const {
+  for (const auto& [dst, count] : a.out_counts)
+    if (count >= cfg_.outbox_high_water) return true;
+  return false;
+}
+
+std::size_t NetRuntime::pump(int timeout_ms) {
+  FDP_CHECK_MSG(started_, "pump before start()");
+  flush_outboxes();
+  transport_->poll(timeout_ms,
+                   [this](ProcessId dst, const std::uint8_t* data,
+                          std::size_t len) { on_frame(dst, data, len); });
+
+  std::size_t executed = 0;
+
+  // Deliveries: drain every inbox. Messages for gone actors stay queued
+  // (and in the ledger) — the simulator's "messages to gone processes are
+  // never delivered".
+  for (ProcessId id = 0; id < actors_.size(); ++id) {
+    Actor& a = actors_[id];
+    while (!a.inbox.empty() && a.proc->life() != LifeState::Gone) {
+      auto [seq, m] = std::move(a.inbox.front());
+      a.inbox.pop_front();
+      pending_[id].erase(seq);
+      execute(id, ActionKind::Deliver, &m);
+      ++executed;
+    }
+  }
+
+  // Timeouts: each awake, un-throttled actor fires with probability 1/2
+  // per cycle (drawn from the seeded rng, so runs stay reproducible).
+  // Real timers drift; modeling that jitter matters for correctness, not
+  // just realism — firing EVERY actor EVERY cycle is a synchronous
+  // schedule, and self-stabilizing maintenance (e.g. linearization's
+  // delegate-and-reintroduce) can phase-lock into a limit cycle under
+  // lockstep rounds that any jittered/fair schedule escapes almost surely.
+  for (ProcessId id = 0; id < actors_.size(); ++id) {
+    Actor& a = actors_[id];
+    if (a.proc->life() != LifeState::Awake) continue;
+    if (throttled(a)) {
+      ++throttle_skips_;
+      continue;
+    }
+    if (rng_.below(2) != 0) continue;
+    execute(id, ActionKind::Timeout, nullptr);
+    ++executed;
+  }
+
+  if (monitor_fd_ >= 0) serve_monitor();
+  return executed;
+}
+
+bool NetRuntime::run_until(
+    const std::function<bool(const NetRuntime&)>& done,
+    std::uint64_t max_pumps, int timeout_ms) {
+  for (std::uint64_t i = 0; i < max_pumps; ++i) {
+    if (done(*this)) return true;
+    pump(timeout_ms);
+  }
+  return done(*this);
+}
+
+// --- action execution (mirrors World::execute) ---
+
+void NetRuntime::execute(ProcessId actor, ActionKind kind,
+                         const Message* consumed) {
+  Process& p = *actors_[actor].proc;
+  const bool want_record = !observers_.empty();
+
+  ActionRecord rec;
+  if (want_record) {
+    rec.actor = actor;
+    rec.step = events_;
+    p.collect_refs(rec.refs_before);
+  }
+
+  sends_scratch_.clear();
+  Context ctx(this, p.self(), events_, &rng_, &sends_scratch_);
+
+  if (kind == ActionKind::Timeout) {
+    FDP_CHECK(p.life() == LifeState::Awake);
+    ++timeouts_;
+    if (want_record) rec.kind = ActionRecord::Kind::Timeout;
+    p.on_timeout(ctx);
+  } else {
+    ++deliveries_;
+    const bool woke = p.life() == LifeState::Asleep;
+    if (woke) {
+      set_process_life(p, LifeState::Awake);
+      ++wakes_;
+    }
+    if (want_record) {
+      rec.kind = ActionRecord::Kind::Deliver;
+      rec.woke = woke;
+      rec.consumed = *consumed;
+    }
+    p.on_message(ctx, *consumed);
+  }
+
+  for (auto& [to, msg] : sends_scratch_) {
+    admit_send(actor, to, std::move(msg));
+    if (want_record) {
+      // The admitted copy (with seq assigned) lives in the ledger.
+      rec.sent.emplace_back(to, pending_[to.id()].rbegin()->second);
+    }
+  }
+
+  if (want_record) p.collect_refs(rec.refs_after);
+
+  if (ctx.exit_requested_) {
+    FDP_CHECK_MSG(!ctx.sleep_requested_, "action requested exit AND sleep");
+    set_process_life(p, LifeState::Gone);
+    ++exits_;
+    if (want_record) rec.exited = true;
+  } else if (ctx.sleep_requested_) {
+    set_process_life(p, LifeState::Asleep);
+    ++sleeps_;
+    if (want_record) rec.slept = true;
+  }
+
+  ++events_;
+
+  if (want_record)
+    for (Observer* obs : observers_) obs->on_action(*this, rec);
+}
+
+// --- oracle + support queries (the "omniscient service" scans) ---
+
+bool NetRuntime::oracle_query(ProcessId caller) const {
+  FDP_CHECK_MSG(oracle_ != nullptr, "oracle consulted but none installed");
+  return oracle_(*this, caller);
+}
+
+std::uint64_t NetRuntime::quiet_count() const {
+  std::uint64_t n = 0;
+  for (ProcessId id = 0; id < actors_.size(); ++id)
+    if (actors_[id].proc->life() == LifeState::Asleep &&
+        pending_[id].empty())
+      ++n;
+  return n;
+}
+
+std::size_t NetRuntime::incident_nongone(ProcessId p) const {
+  FDP_CHECK(p < actors_.size());
+  std::vector<bool> peer(actors_.size(), false);
+  const auto mark_targets = [&](ProcessId holder) {
+    refs_scratch_.clear();
+    actors_[holder].proc->collect_refs(refs_scratch_);
+    for (const RefInfo& r : refs_scratch_) {
+      const ProcessId t = r.ref.id();
+      if (holder == p) {
+        if (t != p && t < actors_.size() && !gone(t)) peer[t] = true;
+      } else if (t == p) {
+        peer[holder] = true;
+      }
+    }
+    for (const auto& [seq, m] : pending_[holder]) {
+      for (const RefInfo& r : m.refs) {
+        const ProcessId t = r.ref.id();
+        if (holder == p) {
+          if (t != p && t < actors_.size() && !gone(t)) peer[t] = true;
+        } else if (t == p) {
+          peer[holder] = true;
+        }
+      }
+    }
+  };
+  mark_targets(p);
+  for (ProcessId q = 0; q < actors_.size(); ++q)
+    if (q != p && !gone(q)) mark_targets(q);
+  std::size_t n = 0;
+  for (ProcessId q = 0; q < actors_.size(); ++q)
+    if (q != p && peer[q]) ++n;
+  return n;
+}
+
+bool NetRuntime::referenced_by_other(ProcessId p) const {
+  FDP_CHECK(p < actors_.size());
+  const Ref target = actors_[p].proc->self();
+  for (ProcessId q = 0; q < actors_.size(); ++q) {
+    if (q == p || gone(q)) continue;
+    refs_scratch_.clear();
+    actors_[q].proc->collect_refs(refs_scratch_);
+    for (const RefInfo& r : refs_scratch_)
+      if (r.ref == target) return true;
+    for (const auto& [seq, m] : pending_[q])
+      for (const RefInfo& r : m.refs)
+        if (r.ref == target) return true;
+  }
+  return false;
+}
+
+std::uint64_t NetRuntime::in_flight() const {
+  std::uint64_t n = 0;
+  for (const auto& ledger : pending_) n += ledger.size();
+  return n;
+}
+
+// --- monitor socket ---
+
+std::string NetRuntime::monitor_json() const {
+  std::string j;
+  j.reserve(256 + 96 * actors_.size());
+  j += "{\"substrate\":\"";
+  j += name_;
+  j += "\",\"clock\":";
+  j += std::to_string(events_);
+  j += ",\"phi\":";
+  j += std::to_string(phi(*this));
+  j += ",\"in_flight\":";
+  j += std::to_string(in_flight());
+  j += ",\"wire_errors\":";
+  j += std::to_string(wire_errors_);
+  j += ",\"stale_frames\":";
+  j += std::to_string(stale_frames_);
+  j += ",\"throttle_skips\":";
+  j += std::to_string(throttle_skips_);
+  j += ",\"exits\":";
+  j += std::to_string(exits_);
+  j += ",\"processes\":[";
+  for (ProcessId id = 0; id < actors_.size(); ++id) {
+    const Process& p = *actors_[id].proc;
+    if (id != 0) j += ',';
+    j += "{\"id\":";
+    j += std::to_string(id);
+    j += ",\"key\":";
+    j += std::to_string(p.key());
+    j += ",\"mode\":\"";
+    j += p.mode() == Mode::Leaving ? "leaving" : "staying";
+    j += "\",\"life\":\"";
+    switch (p.life()) {
+      case LifeState::Awake: j += "awake"; break;
+      case LifeState::Asleep: j += "asleep"; break;
+      case LifeState::Gone: j += "gone"; break;
+    }
+    refs_scratch_.clear();
+    p.collect_refs(refs_scratch_);
+    j += "\",\"stored\":";
+    j += std::to_string(refs_scratch_.size());
+    j += ",\"channel\":";
+    j += std::to_string(pending_[id].size());
+    j += '}';
+  }
+  j += "]}\n";
+  return j;
+}
+
+#ifdef FDP_NET_HAVE_SOCKETS
+
+void NetRuntime::open_monitor() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FDP_CHECK_MSG(fd >= 0, "monitor socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  FDP_CHECK_MSG(
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0,
+      "monitor bind(127.0.0.1:0) failed");
+  FDP_CHECK(::listen(fd, 8) == 0);
+  socklen_t alen = sizeof addr;
+  FDP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen) == 0);
+  monitor_port_ = ntohs(addr.sin_port);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FDP_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+  monitor_fd_ = fd;
+}
+
+void NetRuntime::serve_monitor() {
+  for (;;) {
+    const int conn = ::accept(monitor_fd_, nullptr, nullptr);
+    if (conn < 0) return;  // EAGAIN: no one waiting
+    // The accepted socket is blocking (accept does not inherit O_NONBLOCK
+    // on Linux), and the document is small, so a plain send loop is fine.
+    // MSG_NOSIGNAL: a client that hangs up mid-read must surface as EPIPE,
+    // not kill the runtime with SIGPIPE.
+    const std::string doc = monitor_json();
+    std::size_t off = 0;
+    while (off < doc.size()) {
+      const ssize_t w = ::send(conn, doc.data() + off, doc.size() - off,
+                               MSG_NOSIGNAL);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(conn);
+  }
+}
+
+#else
+
+void NetRuntime::open_monitor() {
+  FDP_CHECK_MSG(false, "the monitor socket requires a POSIX socket API");
+}
+void NetRuntime::serve_monitor() {}
+
+#endif
+
+}  // namespace fdp::net

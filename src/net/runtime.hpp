@@ -1,0 +1,240 @@
+// The live async-socket runtime: the second Substrate implementation.
+//
+// Each process is an event-loop actor. An action's sends are encoded into
+// wire frames (net/wire.hpp) and queued in the sender's bounded outbox; the
+// pump cycle flushes outboxes into the Transport, polls it for readable
+// frames, delivers inbox messages and runs one timeout per awake actor.
+// With MemTransport the whole cycle is single-threaded and deterministic;
+// with UdpTransport every frame really crosses the kernel's loopback UDP
+// path.
+//
+// ## The in-flight ledger (oracle as an omniscient service)
+//
+// The paper's oracles answer global predicates ("is any reference of p
+// still stored or in flight?"). On a real network no process could answer
+// that locally — an oracle is an omniscient service by definition (paper
+// Section 1.3). This runtime hosts every actor in one OS process, so it
+// plays that service itself: every admitted-but-undelivered message is
+// kept in a per-destination ledger (outbox + medium + inbox, exactly the
+// simulator's "channel"), and the Substrate support queries
+// (channel_depth / each_pending / referenced_by_other / Φ) read it. A
+// frame the medium loses (UDP buffer overflow) leaves its ledger entry in
+// place: the oracle then keeps reporting the reference in flight and the
+// affected exit is delayed — a liveness stall, never a safety violation,
+// which is precisely the failure direction the paper's model allows.
+//
+// ## Bounded outboxes
+//
+// Outboxes are bounded per peer but never drop: dropping a frame would
+// destroy the reference copies it carries, and no component in this repo
+// is allowed to delete process-graph edges (DESIGN.md, fault model). When
+// an actor's queue to some peer reaches the high-water mark the runtime
+// throttles the *source* instead — its timeout actions are skipped until
+// the queue drains — so back-pressure slows reference production rather
+// than losing references.
+//
+// ## Monitor socket
+//
+// With Config::monitor set, start() binds a loopback TCP socket; each
+// accepted connection receives one JSON document (process states, Φ,
+// channel depths, counters) and is closed — the serval-dna monitor-socket
+// idiom (docs/substrate_idioms.md): introspection rides a socket anyone
+// can poll with nc, not a debugger.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/context.hpp"
+#include "sim/ids.hpp"
+#include "sim/message.hpp"
+#include "sim/observer.hpp"
+#include "sim/process.hpp"
+#include "sim/substrate.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fdp::net {
+
+struct NetConfig {
+  std::uint64_t seed = 1;
+  /// Per-peer outbox high-water mark: at or above this many queued
+  /// frames to one peer, the source actor's timeouts are throttled.
+  std::size_t outbox_high_water = 64;
+  /// Serve live JSON on a loopback TCP monitor socket (see monitor_port).
+  bool monitor = false;
+};
+
+class NetRuntime final : public Substrate {
+ public:
+  using Config = NetConfig;
+
+  explicit NetRuntime(std::unique_ptr<Transport> transport,
+                      NetConfig cfg = {});
+  ~NetRuntime() override;
+
+  // --- population (pre-start construction) ---
+
+  template <typename P, typename... Args>
+  Ref spawn(Mode mode, std::uint64_t key, Args&&... args) {
+    FDP_CHECK_MSG(!started_, "spawn after start()");
+    const ProcessId id = static_cast<ProcessId>(actors_.size());
+    const Ref r = Ref::make(id);
+    actors_.emplace_back();
+    actors_.back().proc =
+        std::make_unique<P>(r, mode, key, std::forward<Args>(args)...);
+    return r;
+  }
+
+  /// Mutable access for scenario construction and tests only (the live
+  /// equivalents of World::process_mut / process_as).
+  [[nodiscard]] Process& process_mut(ProcessId id) {
+    FDP_CHECK(id < actors_.size());
+    return *actors_[id].proc;
+  }
+  template <typename P>
+  [[nodiscard]] P& process_as(ProcessId id) {
+    auto* p = dynamic_cast<P*>(&process_mut(id));
+    FDP_CHECK_MSG(p != nullptr, "process type mismatch");
+    return *p;
+  }
+
+  /// Force a life state during initial-state construction (initial
+  /// sleepers — the live twin of World::force_life).
+  void force_life(ProcessId id, LifeState s);
+
+  void set_oracle(OracleFn fn) { oracle_ = std::move(fn); }
+  void add_observer(Observer* obs) { observers_.push_back(obs); }
+
+  /// Open the transport endpoints (and the monitor socket, if configured).
+  /// Population is frozen from here on.
+  void start();
+
+  // --- event loop ---
+
+  /// One pump cycle: flush outboxes, poll the transport (blocking up to
+  /// `timeout_ms` for the first frame), deliver every inbox message, run
+  /// one timeout per awake un-throttled actor, serve monitor connections.
+  /// Returns the number of actions executed.
+  std::size_t pump(int timeout_ms = 0);
+
+  /// Pump until `done(*this)` holds or `max_pumps` cycles ran. Returns
+  /// true when `done` held.
+  bool run_until(const std::function<bool(const NetRuntime&)>& done,
+                 std::uint64_t max_pumps, int timeout_ms = 1);
+
+  // --- Substrate surface ---
+
+  [[nodiscard]] std::size_t size() const override { return actors_.size(); }
+  [[nodiscard]] const Process& process(ProcessId id) const override {
+    FDP_CHECK(id < actors_.size());
+    return *actors_[id].proc;
+  }
+  [[nodiscard]] LifeState life(ProcessId id) const override {
+    return process(id).life();
+  }
+  /// The live runtime's logical clock: executed-action count. Monotone
+  /// and deterministic on MemTransport; event-ordered on UDP.
+  [[nodiscard]] std::uint64_t clock() const override { return events_; }
+  void inject(Ref to, Message m) override;
+  [[nodiscard]] std::size_t channel_depth(ProcessId id) const override {
+    FDP_CHECK(id < pending_.size());
+    return pending_[id].size();
+  }
+  void each_pending(
+      ProcessId id,
+      const std::function<void(const Message&)>& fn) const override;
+  [[nodiscard]] bool oracle_query(ProcessId caller) const override;
+  [[nodiscard]] std::uint64_t quiet_count() const override;
+  [[nodiscard]] std::size_t incident_nongone(ProcessId p) const override;
+  [[nodiscard]] bool referenced_by_other(ProcessId p) const override;
+  [[nodiscard]] const char* substrate_name() const override {
+    return name_.c_str();
+  }
+
+  // --- introspection ---
+
+  [[nodiscard]] Transport& transport() { return *transport_; }
+  /// Monitor TCP port (0 when the monitor is disabled / not started).
+  [[nodiscard]] std::uint16_t monitor_port() const { return monitor_port_; }
+  /// The JSON document the monitor socket serves.
+  [[nodiscard]] std::string monitor_json() const;
+
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t sends() const { return sends_; }
+  [[nodiscard]] std::uint64_t exits() const { return exits_; }
+  [[nodiscard]] std::uint64_t wakes() const { return wakes_; }
+  /// Malformed frames rejected by the wire decoder (typed, non-aborting).
+  [[nodiscard]] std::uint64_t wire_errors() const { return wire_errors_; }
+  /// Well-formed frames whose seq was not in the ledger (duplicates or
+  /// frames for already-delivered messages) — dropped.
+  [[nodiscard]] std::uint64_t stale_frames() const { return stale_frames_; }
+  /// Timeout actions skipped by outbox back-pressure.
+  [[nodiscard]] std::uint64_t throttle_skips() const {
+    return throttle_skips_;
+  }
+  /// Admitted-but-undelivered messages across all destinations.
+  [[nodiscard]] std::uint64_t in_flight() const;
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct Actor {
+    std::unique_ptr<Process> proc;
+    /// Received, decoded, not yet delivered: (seq, message).
+    std::deque<std::pair<std::uint64_t, Message>> inbox;
+    /// Accepted sends awaiting the transport: (dst, seq). Frames are
+    /// encoded at flush time from the ledger entry.
+    std::deque<std::pair<ProcessId, std::uint64_t>> outbox;
+    /// Queued-frame count per destination peer (throttling).
+    std::map<ProcessId, std::size_t> out_counts;
+  };
+
+  enum class ActionKind { Timeout, Deliver };
+  void execute(ProcessId actor, ActionKind kind, const Message* consumed);
+  void admit_send(ProcessId src, Ref to, Message&& m);
+  void flush_outboxes();
+  void on_frame(ProcessId dst, const std::uint8_t* data, std::size_t len);
+  [[nodiscard]] bool throttled(const Actor& a) const;
+  void open_monitor();
+  void serve_monitor();
+
+  std::unique_ptr<Transport> transport_;
+  Config cfg_;
+  std::string name_;
+  std::vector<Actor> actors_;
+  /// The in-flight ledger: per destination, seq -> message for every
+  /// admitted-but-undelivered message (see file comment). Ordered map so
+  /// each_pending enumerates deterministically.
+  std::vector<std::map<std::uint64_t, Message>> pending_;
+  std::vector<Observer*> observers_;
+  OracleFn oracle_;
+  Rng rng_;
+  bool started_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t exits_ = 0;
+  std::uint64_t sleeps_ = 0;
+  std::uint64_t wakes_ = 0;
+  std::uint64_t wire_errors_ = 0;
+  std::uint64_t stale_frames_ = 0;
+  std::uint64_t throttle_skips_ = 0;
+  int monitor_fd_ = -1;
+  std::uint16_t monitor_port_ = 0;
+  std::vector<std::pair<Ref, Message>> sends_scratch_;
+  std::vector<std::uint8_t> frame_scratch_;
+  mutable std::vector<RefInfo> refs_scratch_;
+};
+
+}  // namespace fdp::net

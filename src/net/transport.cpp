@@ -1,0 +1,207 @@
+#include "net/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.hpp"
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FDP_NET_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+#endif
+
+namespace fdp::net {
+
+Transport::~Transport() = default;
+
+// --- MemTransport ---
+
+void MemTransport::open(std::size_t n) {
+  queues_.assign(n, {});
+  pending_ = 0;
+}
+
+bool MemTransport::try_send(ProcessId src, ProcessId dst,
+                            const std::uint8_t* data, std::size_t len) {
+  (void)src;
+  FDP_CHECK(dst < queues_.size());
+  queues_[dst].emplace_back(data, data + len);
+  ++pending_;
+  return true;
+}
+
+void MemTransport::poll(int timeout_ms, const RxFn& rx) {
+  (void)timeout_ms;  // nothing ever arrives later than "now"
+  for (ProcessId dst = 0; dst < queues_.size(); ++dst) {
+    auto& q = queues_[dst];
+    while (!q.empty()) {
+      // Move the frame out first: rx may send, growing this very queue.
+      const std::vector<std::uint8_t> frame = std::move(q.front());
+      q.pop_front();
+      --pending_;
+      rx(dst, frame.data(), frame.size());
+    }
+  }
+}
+
+// --- UdpTransport ---
+
+#ifdef FDP_NET_HAVE_SOCKETS
+
+struct UdpTransport::Impl {
+  std::vector<int> fds;
+  std::vector<sockaddr_in> addrs;
+  std::vector<std::uint16_t> ports;
+  std::vector<std::uint8_t> rxbuf;
+#if defined(__linux__)
+  int epfd = -1;
+#endif
+
+  ~Impl() { close_all(); }
+
+  void close_all() {
+    for (int fd : fds)
+      if (fd >= 0) ::close(fd);
+    fds.clear();
+    addrs.clear();
+    ports.clear();
+#if defined(__linux__)
+    if (epfd >= 0) ::close(epfd);
+    epfd = -1;
+#endif
+  }
+};
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  FDP_CHECK_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "failed to set O_NONBLOCK on a runtime socket");
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport() : impl_(new Impl) {}
+
+UdpTransport::~UdpTransport() { delete impl_; }
+
+void UdpTransport::open(std::size_t n) {
+  impl_->close_all();
+  impl_->rxbuf.resize(max_frame_bytes());
+#if defined(__linux__)
+  impl_->epfd = ::epoll_create1(0);
+  FDP_CHECK_MSG(impl_->epfd >= 0, "epoll_create1 failed");
+#endif
+  impl_->fds.resize(n, -1);
+  impl_->addrs.resize(n);
+  impl_->ports.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    FDP_CHECK_MSG(fd >= 0, "socket(AF_INET, SOCK_DGRAM) failed");
+    impl_->fds[i] = fd;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // OS-assigned
+    FDP_CHECK_MSG(
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0,
+        "bind(127.0.0.1:0) failed");
+    socklen_t alen = sizeof addr;
+    FDP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen) ==
+              0);
+    impl_->addrs[i] = addr;
+    impl_->ports[i] = ntohs(addr.sin_port);
+    set_nonblocking(fd);
+    // Departure bursts briefly fan many frames into one inbox; a roomy
+    // receive buffer keeps loopback loss (-> delayed exits) rare.
+    const int rcvbuf = 1 << 20;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+#if defined(__linux__)
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(i);
+    FDP_CHECK(::epoll_ctl(impl_->epfd, EPOLL_CTL_ADD, fd, &ev) == 0);
+#endif
+  }
+}
+
+bool UdpTransport::try_send(ProcessId src, ProcessId dst,
+                            const std::uint8_t* data, std::size_t len) {
+  FDP_CHECK(src < impl_->fds.size() && dst < impl_->fds.size());
+  const ssize_t r = ::sendto(
+      impl_->fds[src], data, len, 0,
+      reinterpret_cast<const sockaddr*>(&impl_->addrs[dst]),
+      sizeof(sockaddr_in));
+  if (r >= 0) return true;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+    return false;  // medium full: the caller's outbox keeps the frame
+  // Anything else (e.g. ECONNREFUSED bounced back on loopback) counts as
+  // "handed to the medium and lost there": UDP gives no delivery promise,
+  // and the runtime's ledger already models loss as a lingering entry.
+  return true;
+}
+
+void UdpTransport::poll(int timeout_ms, const RxFn& rx) {
+  const auto drain = [&](std::size_t actor) {
+    for (;;) {
+      const ssize_t r = ::recv(impl_->fds[actor], impl_->rxbuf.data(),
+                               impl_->rxbuf.size(), 0);
+      if (r < 0) break;  // EAGAIN: inbox drained (other errors: next poll)
+      rx(static_cast<ProcessId>(actor), impl_->rxbuf.data(),
+         static_cast<std::size_t>(r));
+    }
+  };
+#if defined(__linux__)
+  epoll_event evs[64];
+  // Loop so one poll() drains everything readable, not just 64 actors.
+  for (;;) {
+    const int k = ::epoll_wait(impl_->epfd, evs, 64, timeout_ms);
+    if (k <= 0) return;
+    for (int i = 0; i < k; ++i) drain(evs[i].data.u32);
+    if (k < 64) return;
+    timeout_ms = 0;  // keep draining, but never block twice
+  }
+#else
+  std::vector<pollfd> pfds(impl_->fds.size());
+  for (std::size_t i = 0; i < impl_->fds.size(); ++i)
+    pfds[i] = pollfd{impl_->fds[i], POLLIN, 0};
+  if (::poll(pfds.data(), pfds.size(), timeout_ms) <= 0) return;
+  for (std::size_t i = 0; i < pfds.size(); ++i)
+    if ((pfds[i].revents & POLLIN) != 0) drain(i);
+#endif
+}
+
+std::uint16_t UdpTransport::port(ProcessId id) const {
+  FDP_CHECK(id < impl_->ports.size());
+  return impl_->ports[id];
+}
+
+#else  // !FDP_NET_HAVE_SOCKETS — stub that fails loudly if ever used
+
+struct UdpTransport::Impl {};
+UdpTransport::UdpTransport() : impl_(nullptr) {}
+UdpTransport::~UdpTransport() = default;
+void UdpTransport::open(std::size_t) {
+  FDP_CHECK_MSG(false, "UdpTransport requires a POSIX socket API");
+}
+bool UdpTransport::try_send(ProcessId, ProcessId, const std::uint8_t*,
+                            std::size_t) {
+  return false;
+}
+void UdpTransport::poll(int, const RxFn&) {}
+std::uint16_t UdpTransport::port(ProcessId) const { return 0; }
+
+#endif
+
+}  // namespace fdp::net

@@ -1,0 +1,102 @@
+// Frame transports for the live runtime.
+//
+// A Transport moves opaque encoded frames between actor endpoints; the
+// NetRuntime above it owns actors, outboxes and delivery. Two
+// implementations:
+//
+//  * MemTransport — in-process per-destination FIFO queues drained by a
+//    deterministic single-threaded poller. No sockets, no syscalls, no
+//    reordering: the substrate-equivalence tests run churn on it and
+//    compare final states against the simulator without any flakiness
+//    real sockets would add.
+//  * UdpTransport — one non-blocking UDP socket per actor bound to
+//    127.0.0.1 (an OS-assigned port each), readiness via epoll on Linux
+//    and poll(2) elsewhere. One datagram carries exactly one frame.
+//    try_send honours EAGAIN (full socket buffer) by refusing the frame,
+//    which is what keeps the runtime's per-peer outboxes meaningful.
+//
+// Both transports are loopback-only on purpose: the wire format and the
+// runtime are transport-agnostic, and binding beyond 127.0.0.1 is a
+// deployment concern this repo does not take on yet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/ids.hpp"
+
+namespace fdp::net {
+
+/// Receiver callback: destination actor, frame bytes.
+using RxFn =
+    std::function<void(ProcessId dst, const std::uint8_t* data,
+                       std::size_t len)>;
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  /// Create the endpoints for actors [0, n). Called once before any
+  /// send/poll.
+  virtual void open(std::size_t n) = 0;
+
+  /// Hand one frame from `src` to the medium for `dst`. Returns false
+  /// when the medium is not ready to accept it (EAGAIN); the caller keeps
+  /// the frame queued and retries after the next poll().
+  virtual bool try_send(ProcessId src, ProcessId dst,
+                        const std::uint8_t* data, std::size_t len) = 0;
+
+  /// Deliver every readable frame to `rx`. `timeout_ms` = 0 polls without
+  /// blocking; > 0 blocks up to that long waiting for the first frame.
+  virtual void poll(int timeout_ms, const RxFn& rx) = 0;
+
+  /// Frames accepted by try_send but not yet handed to rx. Exact for the
+  /// in-memory medium; transports that cannot know (UDP: the kernel owns
+  /// them) return 0 — callers must treat this as a lower bound.
+  [[nodiscard]] virtual std::size_t in_medium() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Deterministic in-process medium (see file comment).
+class MemTransport final : public Transport {
+ public:
+  void open(std::size_t n) override;
+  bool try_send(ProcessId src, ProcessId dst, const std::uint8_t* data,
+                std::size_t len) override;
+  /// Drains every queue in ascending destination order, FIFO within a
+  /// queue — a fixed, documented order so runs are reproducible.
+  void poll(int timeout_ms, const RxFn& rx) override;
+  [[nodiscard]] std::size_t in_medium() const override { return pending_; }
+  [[nodiscard]] const char* name() const override { return "mem"; }
+
+ private:
+  std::vector<std::deque<std::vector<std::uint8_t>>> queues_;
+  std::size_t pending_ = 0;
+};
+
+/// Loopback UDP medium (see file comment).
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport();
+  ~UdpTransport() override;
+
+  void open(std::size_t n) override;
+  bool try_send(ProcessId src, ProcessId dst, const std::uint8_t* data,
+                std::size_t len) override;
+  void poll(int timeout_ms, const RxFn& rx) override;
+  [[nodiscard]] std::size_t in_medium() const override { return 0; }
+  [[nodiscard]] const char* name() const override { return "udp"; }
+
+  /// Bound loopback port of actor `id` (diagnostics / monitor output).
+  [[nodiscard]] std::uint16_t port(ProcessId id) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace fdp::net

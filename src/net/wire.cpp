@@ -1,0 +1,143 @@
+#include "net/wire.hpp"
+
+#include "util/check.hpp"
+
+namespace fdp::net {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(WireError e) {
+  switch (e) {
+    case WireError::None: return "none";
+    case WireError::Truncated: return "truncated";
+    case WireError::Overlong: return "overlong";
+    case WireError::BadMagic: return "bad-magic";
+    case WireError::BadVersion: return "bad-version";
+    case WireError::BadVerb: return "bad-verb";
+    case WireError::BadPad: return "bad-pad";
+    case WireError::BadMode: return "bad-mode";
+    case WireError::BadRefCount: return "bad-ref-count";
+    case WireError::LengthMismatch: return "length-mismatch";
+  }
+  return "?";
+}
+
+std::size_t encoded_size(const Message& m) {
+  return kFrameHeaderBytes + kRefBytes * m.refs.size();
+}
+
+void encode_frame(const Message& m, ProcessId src, ProcessId dst,
+                  std::vector<std::uint8_t>& out) {
+  FDP_CHECK_MSG(m.refs.size() <= kMaxWireRefs,
+                "message exceeds the wire-format reference cap");
+  const std::size_t len = encoded_size(m);
+  out.reserve(out.size() + len);
+  put_u32(out, static_cast<std::uint32_t>(len));
+  put_u32(out, kWireMagic);
+  put_u16(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(m.verb));
+  put_u8(out, 0);  // pad
+  put_u32(out, m.tag);
+  put_u64(out, m.token);
+  put_u64(out, m.seq);
+  put_u32(out, src);
+  put_u32(out, dst);
+  put_u32(out, static_cast<std::uint32_t>(m.refs.size()));
+  for (const RefInfo& r : m.refs) {
+    put_u32(out, r.ref.id());
+    put_u8(out, static_cast<std::uint8_t>(r.mode));
+    put_u64(out, r.key);
+  }
+}
+
+WireError decode_frame(const std::uint8_t* data, std::size_t len,
+                       DecodedFrame& out, std::size_t* consumed) {
+  std::size_t skip = len;  // default resync: drop everything we were given
+  const auto fail = [&](WireError e) {
+    if (consumed != nullptr) *consumed = skip;
+    return e;
+  };
+
+  if (len < 4) return fail(WireError::Truncated);
+  const std::uint32_t frame_len = get_u32(data);
+  if (frame_len > max_frame_bytes()) return fail(WireError::Overlong);
+  if (frame_len < kFrameHeaderBytes) {
+    // A claimed length too small to hold the header: the prefix itself is
+    // garbage, so it cannot be trusted for resynchronization either.
+    return fail(WireError::Truncated);
+  }
+  if (frame_len > len) return fail(WireError::Truncated);
+  // From here the frame is fully in the buffer; resync past it on error.
+  skip = frame_len;
+
+  if (get_u32(data + 4) != kWireMagic) return fail(WireError::BadMagic);
+  if (get_u16(data + 8) != kWireVersion) return fail(WireError::BadVersion);
+  const std::uint8_t verb = data[10];
+  if (verb > static_cast<std::uint8_t>(Verb::User))
+    return fail(WireError::BadVerb);
+  if (data[11] != 0) return fail(WireError::BadPad);
+  const std::uint32_t ref_count = get_u32(data + 40);
+  if (ref_count > kMaxWireRefs) return fail(WireError::BadRefCount);
+  if (frame_len !=
+      kFrameHeaderBytes + kRefBytes * static_cast<std::size_t>(ref_count))
+    return fail(WireError::LengthMismatch);
+
+  out.msg = Message{};
+  out.msg.verb = static_cast<Verb>(verb);
+  out.msg.tag = get_u32(data + 12);
+  out.msg.token = get_u64(data + 16);
+  out.msg.seq = get_u64(data + 24);
+  out.src = get_u32(data + 32);
+  out.dst = get_u32(data + 36);
+  const std::uint8_t* p = data + kFrameHeaderBytes;
+  for (std::uint32_t i = 0; i < ref_count; ++i, p += kRefBytes) {
+    const std::uint8_t mode = p[4];
+    if (mode > static_cast<std::uint8_t>(ModeInfo::Unknown))
+      return fail(WireError::BadMode);
+    out.msg.refs.push_back(RefInfo{Ref::make(get_u32(p)),
+                                   static_cast<ModeInfo>(mode),
+                                   get_u64(p + 5)});
+  }
+  if (consumed != nullptr) *consumed = frame_len;
+  return WireError::None;
+}
+
+}  // namespace fdp::net

@@ -1,0 +1,95 @@
+// Versioned wire format for the live socket runtime.
+//
+// One frame carries one Message between two actors. The layout is
+// explicit little-endian with a length prefix, so a frame is
+// self-delimiting on stream transports (the monitor socket) and
+// self-validating on datagram transports (a UDP datagram must contain
+// exactly one whole frame):
+//
+//   offset  size  field
+//        0     4  frame length L (bytes, including this prefix)
+//        4     4  magic "FDP1"
+//        8     2  wire version (kWireVersion)
+//       10     1  verb (Verb)
+//       11     1  pad (must be 0)
+//       12     4  tag
+//       16     8  token
+//       24     8  seq        (sender-side send counter; diagnostics only)
+//       32     4  src        (sender ProcessId)
+//       36     4  dst        (receiver ProcessId)
+//       40     4  ref count R (<= kMaxWireRefs)
+//       44   13R  refs: R x { u32 id, u8 mode (ModeInfo), u64 key }
+//
+// Decoding NEVER aborts: a frame off the network is attacker-controlled
+// input, so every malformed shape maps to a typed WireError the caller
+// handles (count it, drop the frame) — FDP_CHECK is for programming
+// errors, not for peers speaking garbage. Encoding of an overlong
+// message (more references than kMaxWireRefs) is the one programming
+// error, and is checked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace fdp::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x31504446;  // "FDP1" LE
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Per-frame reference cap. Far above any legal overlay degree in this
+/// repo (the paper's messages carry one or two references; batch overlay
+/// frames a handful) — the cap exists so a hostile length field cannot
+/// make the decoder allocate unbounded memory.
+inline constexpr std::uint32_t kMaxWireRefs = 4096;
+inline constexpr std::size_t kFrameHeaderBytes = 44;
+inline constexpr std::size_t kRefBytes = 13;
+
+/// Largest frame encode_frame can produce / decode_frame will accept.
+[[nodiscard]] constexpr std::size_t max_frame_bytes() {
+  return kFrameHeaderBytes + kRefBytes * static_cast<std::size_t>(kMaxWireRefs);
+}
+
+/// Typed decode failures (ISSUE 7: reject malformed frames with a typed
+/// error rather than FDP_CHECK aborts).
+enum class WireError : std::uint8_t {
+  None,
+  Truncated,     ///< buffer shorter than the length prefix / header
+  Overlong,      ///< length prefix exceeds the buffer or max_frame_bytes()
+  BadMagic,      ///< not an FDP frame
+  BadVersion,    ///< version this build does not speak
+  BadVerb,       ///< verb byte outside the Verb enum
+  BadPad,        ///< pad byte not zero
+  BadMode,       ///< ref mode byte outside the ModeInfo enum
+  BadRefCount,   ///< ref count > kMaxWireRefs
+  LengthMismatch ///< length prefix disagrees with 44 + 13R
+};
+
+[[nodiscard]] const char* to_string(WireError e);
+
+/// Exact encoded size of `m` as a frame.
+[[nodiscard]] std::size_t encoded_size(const Message& m);
+
+/// Append the frame for `m` (from `src` to `dst`) to `out`. Aborts (the
+/// only wire-layer FDP_CHECK) if m.refs exceeds kMaxWireRefs — a protocol
+/// bug, not peer input.
+void encode_frame(const Message& m, ProcessId src, ProcessId dst,
+                  std::vector<std::uint8_t>& out);
+
+struct DecodedFrame {
+  Message msg;
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+};
+
+/// Decode one frame from data[0..len). On success fills `out`, sets
+/// `consumed` to the frame length and returns WireError::None. On failure
+/// returns the error; `consumed` is then the number of bytes that can be
+/// safely skipped (the claimed frame length when it is trustworthy, else
+/// `len` — stream callers resynchronize, datagram callers drop).
+[[nodiscard]] WireError decode_frame(const std::uint8_t* data,
+                                     std::size_t len, DecodedFrame& out,
+                                     std::size_t* consumed = nullptr);
+
+}  // namespace fdp::net

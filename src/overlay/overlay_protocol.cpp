@@ -23,10 +23,59 @@ const NeighborSet& OverlayProtocol::store() const {
 }
 
 void OverlayProtocol::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                         std::span<const RefInfo> refs) {
+                                         std::span<const RefInfo> refs,
+                                         std::uint64_t token) {
+  if (tag == kTagLookup) {
+    serve_lookup(ctx, refs, token);
+    return;
+  }
+  // Hit/Miss answers (the resolver's reference coming home to the access
+  // node) and every structural tag: integrate — the conservative default
+  // that never destroys references.
   (void)ctx;
-  (void)tag;
   for (const RefInfo& r : refs) integrate(r);
+}
+
+Ref OverlayProtocol::lookup_next_hop(std::uint64_t target) const {
+  const auto dist = [target](std::uint64_t k) {
+    return k > target ? k - target : target - k;
+  };
+  std::uint64_t best = dist(key());
+  Ref next;  // invalid: we are the closest we know
+  for (const RefInfo& r : stored()) {
+    if (r.ref == self() || r.mode == ModeInfo::Leaving) continue;
+    const std::uint64_t d = dist(r.key);
+    if (d < best) {
+      best = d;
+      next = r.ref;
+    }
+  }
+  return next;
+}
+
+void OverlayProtocol::serve_lookup(OverlayCtx& ctx,
+                                   std::span<const RefInfo> refs,
+                                   std::uint64_t target) {
+  // refs[0] is the requester; a frame without it has nothing to answer.
+  if (refs.empty()) return;
+  const RefInfo requester = refs[0];
+  // Any extra references (duplicated or adversarially merged frames):
+  // integrate rather than destroy.
+  for (std::size_t i = 1; i < refs.size(); ++i) integrate(refs[i]);
+  const Ref next = lookup_next_hop(target);
+  if (next.valid()) {
+    // Delegation one hop closer: the requester's in-flight copy moves on.
+    ctx.send_overlay(next, kTagLookup, {requester}, target);
+    return;
+  }
+  // We are the resolver. Keep the requester's reference (the client
+  // becomes a neighbor instead of its copy being dropped) and answer —
+  // also on requester == self, so an access node resolving its own
+  // request still emits the Hit/Miss delivery the workload layer counts.
+  if (requester.ref != self()) integrate(requester);
+  const std::uint32_t verdict =
+      key() == target ? kTagLookupHit : kTagLookupMiss;
+  ctx.send_overlay(requester.ref, verdict, {ctx.self_info()}, target);
 }
 
 void OverlayProtocol::integrate(const RefInfo& r) { store().insert(r); }

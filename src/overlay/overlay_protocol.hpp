@@ -37,16 +37,33 @@ namespace fdp {
 /// needs: "store these references" (the receiver integrates them).
 inline constexpr std::uint32_t kTagDeliverRef = 1;
 
+/// Served lookup traffic (ROADMAP "monotonic searchability" direction; the
+/// OverSim DHTTestApp idiom — see docs/substrate_idioms.md). A lookup is a
+/// first-class in-protocol message: token carries the target key, refs[0]
+/// carries the requester's reference (so the resolver can answer — and so
+/// the process-graph accounting sees the in-flight edge). Routed greedily
+/// one hop closer per delivery via lookup_next_hop(); the closest process
+/// answers Hit (its key equals the target) or Miss (it does not) with its
+/// own reference, token echoed.
+inline constexpr std::uint32_t kTagLookup = 16;
+inline constexpr std::uint32_t kTagLookupHit = 17;
+inline constexpr std::uint32_t kTagLookupMiss = 18;
+
 /// Host interface handed to the overlay during its actions.
 class OverlayCtx {
  public:
   virtual ~OverlayCtx() = default;
   [[nodiscard]] virtual Ref self() const = 0;
   [[nodiscard]] virtual std::uint64_t self_key() const = 0;
+  /// The host's own reference with its true mode ("the information sent
+  /// about oneself is always valid") — lookup answers carry it.
+  [[nodiscard]] virtual RefInfo self_info() const = 0;
   /// Send an overlay message (tag + references) to dest. The reference
-  /// copies inside remain accounted for by the host.
+  /// copies inside remain accounted for by the host. `token` rides along
+  /// in Message::token (lookup target keys; 0 for structural traffic).
   virtual void send_overlay(Ref dest, std::uint32_t tag,
-                            std::vector<RefInfo> refs) = 0;
+                            std::vector<RefInfo> refs,
+                            std::uint64_t token = 0) = 0;
 };
 
 class OverlayProtocol {
@@ -63,20 +80,35 @@ class OverlayProtocol {
   /// or introduce. Must decompose into the four primitives.
   virtual void maintain(OverlayCtx& ctx) = 0;
 
-  /// A P action arrived. Default: kTagDeliverRef integrates every carried
-  /// reference; other tags are integrated too (conservative default that
-  /// never destroys references). Spans so both std::vector and the
-  /// kernel's inline RefList bind without copying.
+  /// A P action arrived. Default: the lookup tags route/answer (see
+  /// serve_lookup); kTagDeliverRef integrates every carried reference;
+  /// other tags are integrated too (conservative default that never
+  /// destroys references). Spans so both std::vector and the kernel's
+  /// inline RefList bind without copying. `token` is Message::token (the
+  /// lookup target key; 0 for structural traffic).
   virtual void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                  std::span<const RefInfo> refs);
+                                  std::span<const RefInfo> refs,
+                                  std::uint64_t token = 0);
   /// Braced-list convenience (a span cannot bind an initializer list);
   /// dispatches to the virtual overload. Overriders re-expose it with
   /// `using OverlayProtocol::on_overlay_message;`.
   void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                          std::initializer_list<RefInfo> refs) {
+                          std::initializer_list<RefInfo> refs,
+                          std::uint64_t token = 0) {
     on_overlay_message(
-        ctx, tag, std::span<const RefInfo>(refs.begin(), refs.size()));
+        ctx, tag, std::span<const RefInfo>(refs.begin(), refs.size()), token);
   }
+
+  /// Greedy routing decision for served lookups: the stored reference
+  /// strictly closer (absolute key distance) to `target` than the own key,
+  /// or an invalid Ref when this process is the closest it knows — i.e.
+  /// the resolver. Strict progress makes routed lookups loop-free.
+  /// References believed leaving are never chosen (routing into a
+  /// departure loses the request when the leaver bounces it). The default
+  /// scans stored(), which already includes any higher-level links an
+  /// overlay keeps (the skip list's tall slots), so express hops come for
+  /// free; overlays with smarter routing state may override.
+  [[nodiscard]] virtual Ref lookup_next_hop(std::uint64_t target) const;
 
   // --- storage (default: one NeighborSet) ---
 
@@ -99,6 +131,15 @@ class OverlayProtocol {
   }
 
  protected:
+  /// Handle a kTagLookup delivery: forward one hop closer, or — when this
+  /// process is the closest it knows — answer Hit/Miss to the requester
+  /// (refs[0]) with the own reference, integrating the requester's
+  /// reference first (the served client becomes a neighbor; no reference
+  /// copy is ever destroyed). Overriders that claim the lookup tags can
+  /// still delegate here.
+  void serve_lookup(OverlayCtx& ctx, std::span<const RefInfo> refs,
+                    std::uint64_t target);
+
   /// Introduction: send keeping the copy.
   void introduce(OverlayCtx& ctx, Ref dest, const RefInfo& r) {
     ctx.send_overlay(dest, kTagDeliverRef, {r});

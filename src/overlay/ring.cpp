@@ -98,12 +98,13 @@ void RingOverlay::handle_wrap(OverlayCtx& ctx, const RefInfo& r) {
 }
 
 void RingOverlay::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                     std::span<const RefInfo> refs) {
+                                     std::span<const RefInfo> refs,
+                                     std::uint64_t token) {
   if (tag == kTagWrap) {
     for (const RefInfo& r : refs) handle_wrap(ctx, r);
     return;
   }
-  OverlayProtocol::on_overlay_message(ctx, tag, refs);
+  OverlayProtocol::on_overlay_message(ctx, tag, refs, token);
 }
 
 void RingOverlay::integrate(const RefInfo& r) {

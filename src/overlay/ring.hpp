@@ -42,7 +42,8 @@ class RingOverlay final : public OverlayProtocol {
   void maintain(OverlayCtx& ctx) override;
   using OverlayProtocol::on_overlay_message;
   void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                          std::span<const RefInfo> refs) override;
+                          std::span<const RefInfo> refs,
+                          std::uint64_t token) override;
   /// Kept neighbors only: closest left, closest right and the wrap slot.
   [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
 

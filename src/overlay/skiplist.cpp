@@ -138,12 +138,13 @@ void SkipListOverlay::integrate(const RefInfo& r) {
 }
 
 void SkipListOverlay::on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                                         std::span<const RefInfo> refs) {
+                                         std::span<const RefInfo> refs,
+                                         std::uint64_t token) {
   if (tag == kTagTallLeft || tag == kTagTallRight) {
     for (const RefInfo& r : refs) handle_transit(ctx, r, tag == kTagTallLeft);
     return;
   }
-  OverlayProtocol::on_overlay_message(ctx, tag, refs);
+  OverlayProtocol::on_overlay_message(ctx, tag, refs, token);
 }
 
 std::vector<RefInfo> SkipListOverlay::introduction_targets() const {

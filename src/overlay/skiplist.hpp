@@ -48,7 +48,8 @@ class SkipListOverlay final : public OverlayProtocol {
   void maintain(OverlayCtx& ctx) override;
   using OverlayProtocol::on_overlay_message;
   void on_overlay_message(OverlayCtx& ctx, std::uint32_t tag,
-                          std::span<const RefInfo> refs) override;
+                          std::span<const RefInfo> refs,
+                          std::uint64_t token) override;
   [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
 
   // Storage: base NeighborSet (level 0) + the two level-1 slots.

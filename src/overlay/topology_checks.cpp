@@ -10,7 +10,8 @@
 #include "overlay/ring.hpp"
 #include "overlay/skiplist.hpp"
 #include "overlay/star.hpp"
-#include "sim/world.hpp"
+#include "sim/process.hpp"
+#include "sim/substrate.hpp"
 #include "util/check.hpp"
 
 namespace fdp {
@@ -70,7 +71,7 @@ EdgeSet expected_edges(const std::string& name,
 
 }  // namespace
 
-TopologyVerdict check_topology(const World& w,
+TopologyVerdict check_topology(const Substrate& w,
                                const std::string& overlay_name) {
   TopologyVerdict v;
 

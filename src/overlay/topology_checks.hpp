@@ -14,7 +14,7 @@
 
 namespace fdp {
 
-class World;
+class Substrate;
 
 struct TopologyVerdict {
   bool converged = false;
@@ -24,7 +24,7 @@ struct TopologyVerdict {
 /// Check the overlay links of all staying awake processes of `w` against
 /// the legitimate topology of the named overlay ("linearization", "ring",
 /// "clique", "star"). Every process must implement OverlayHost.
-[[nodiscard]] TopologyVerdict check_topology(const World& w,
+[[nodiscard]] TopologyVerdict check_topology(const Substrate& w,
                                              const std::string& overlay_name);
 
 /// Factory for the bundled overlays by the same names.

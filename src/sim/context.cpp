@@ -1,6 +1,6 @@
 #include "sim/context.hpp"
 
-#include "sim/world.hpp"
+#include "sim/substrate.hpp"
 #include "util/check.hpp"
 
 namespace fdp {
@@ -20,7 +20,7 @@ bool Context::oracle() const {
                   "oracle consulted without an epoch precompute");
     return *oracle_pre_ == 2;
   }
-  return world_->oracle_value(self_.id());
+  return sub_->oracle_query(self_.id());
 }
 
 }  // namespace fdp

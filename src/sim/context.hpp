@@ -18,7 +18,10 @@
 
 namespace fdp {
 
-class World;
+class Substrate;
+namespace net {
+class NetRuntime;
+}
 
 class Context {
  public:
@@ -34,9 +37,10 @@ class Context {
   /// this action completes; it is woken by the next delivered message.
   void sleep_process() { sleep_requested_ = true; }
 
-  /// Consult the oracle installed in the World for the calling process.
-  /// (The departure protocol calls this only from a leaving process's
-  /// timeout, per the paper's definition of "relying on an oracle".)
+  /// Consult the oracle installed in the Substrate for the calling
+  /// process. (The departure protocol calls this only from a leaving
+  /// process's timeout, per the paper's definition of "relying on an
+  /// oracle".)
   [[nodiscard]] bool oracle() const;
 
   /// Per-world RNG stream (protocol-visible randomness, reproducible).
@@ -55,16 +59,17 @@ class Context {
  private:
   friend class World;
   friend class ShardedWorld;
-  /// `sends` is a World-owned scratch buffer, cleared (capacity kept) by
-  /// the kernel before each action — a Context per step must not cost a
+  friend class net::NetRuntime;  // the socket runtime builds contexts too
+  /// `sends` is a substrate-owned scratch buffer, cleared (capacity kept)
+  /// by the kernel before each action — a Context per step must not cost a
   /// vector allocation. The kernel is single-threaded and actions never
-  /// nest, so one buffer per World suffices. (The sharded kernel hands
+  /// nest, so one buffer per substrate suffices. (The sharded kernel hands
   /// each shard its own buffer instead.)
-  Context(World* world, Ref self, std::uint64_t step, Rng* rng,
+  Context(const Substrate* sub, Ref self, std::uint64_t step, Rng* rng,
           std::vector<std::pair<Ref, Message>>* sends)
-      : world_(world), self_(self), step_(step), rng_(rng), sends_(sends) {}
+      : sub_(sub), self_(self), step_(step), rng_(rng), sends_(sends) {}
 
-  World* world_;
+  const Substrate* sub_;
   Ref self_;
   std::uint64_t step_;
   Rng* rng_;

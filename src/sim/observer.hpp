@@ -16,7 +16,7 @@
 
 namespace fdp {
 
-class World;
+class Substrate;
 
 /// Runtime fault classes injected by the FaultScheduler (sim/fault.hpp).
 /// Declared here (not in fault.hpp) because the Observer interface is the
@@ -57,7 +57,8 @@ struct ActionRecord {
   bool slept = false;
   /// True when the delivery woke an asleep process.
   bool woke = false;
-  /// World step index of this action (post-increment value).
+  /// Substrate clock at which this action executed (the simulator's
+  /// step index, post-increment value).
   std::uint64_t step = 0;
 };
 
@@ -65,15 +66,15 @@ class Observer {
  public:
   virtual ~Observer() = default;
   /// Called after the action's effects (sends, exit/sleep) are applied.
-  virtual void on_action(const World& world, const ActionRecord& rec) = 0;
+  virtual void on_action(const Substrate& sub, const ActionRecord& rec) = 0;
 
-  /// A message entered `to`'s channel OUTSIDE any action: World::post
+  /// A message entered `to`'s channel OUTSIDE any action: Substrate::inject
   /// (scenario construction) or adversarial duplication (ChaosScheduler).
   /// Fired after the message is enqueued. Incremental monitors need these
   /// events — such mutations change the process graph and Φ without any
   /// ActionRecord being emitted.
-  virtual void on_inject(const World& world, ProcessId to, const Message& m) {
-    (void)world;
+  virtual void on_inject(const Substrate& sub, ProcessId to, const Message& m) {
+    (void)sub;
     (void)to;
     (void)m;
   }
@@ -81,9 +82,9 @@ class Observer {
   /// A message left `from`'s channel without being delivered (fault
   /// injection via discard_message, or clear_channel). Fired after
   /// removal.
-  virtual void on_remove(const World& world, ProcessId from,
+  virtual void on_remove(const Substrate& sub, ProcessId from,
                          const Message& m) {
-    (void)world;
+    (void)sub;
     (void)from;
     (void)m;
   }
@@ -97,9 +98,9 @@ class Observer {
   /// world-scoped faults (duplication bursts, partitions). Incremental
   /// monitors must re-baseline on the applied announcement: a fault may
   /// legally jump Φ upward or perturb state no ActionRecord describes.
-  virtual void on_fault(const World& world, FaultKind kind, ProcessId target,
+  virtual void on_fault(const Substrate& sub, FaultKind kind, ProcessId target,
                         bool applied) {
-    (void)world;
+    (void)sub;
     (void)kind;
     (void)target;
     (void)applied;

@@ -78,6 +78,7 @@ class Process {
  private:
   friend class World;
   friend class ShardedWorld;  // buffered life transitions at epoch barriers
+  friend class Substrate;     // set_process_life, for non-sim runtimes
 
   Ref self_;
   Mode mode_;

@@ -1,0 +1,13 @@
+#include "sim/substrate.hpp"
+
+#include "sim/process.hpp"
+
+namespace fdp {
+
+Substrate::~Substrate() = default;
+
+Mode Substrate::mode(ProcessId id) const { return process(id).mode(); }
+
+void Substrate::set_process_life(Process& p, LifeState s) { p.life_ = s; }
+
+}  // namespace fdp

@@ -1,0 +1,130 @@
+// The Substrate: the protocol/execution boundary.
+//
+// The paper's protocols are copy-store-send programs over an abstract
+// message-passing substrate: a process can be delivered a message, run its
+// timeout, send, consult an oracle, and exit/sleep — nothing in the
+// protocol layer depends on *how* actions are executed or messages move.
+// This interface makes that boundary explicit. Everything above it
+// (oracles, monitors, snapshots, Φ, legitimacy/topology checks, workload
+// generators) observes the system exclusively through this surface, so the
+// same protocol code and the same analysis stack run over
+//
+//  * the deterministic simulator (sim/world.hpp, sim/sharded_world.hpp):
+//    seeded schedulers, byte-identical traces, logical step clock; and
+//  * the live async-socket runtime (net/runtime.hpp): event-loop actors
+//    speaking the versioned wire format over UDP/loopback, wall-clock (or
+//    deterministic event-count) time.
+//
+// The split of responsibilities:
+//  * population/state reads: size / process / life / mode / channel_depth /
+//    each_pending — enough to take a full process-graph Snapshot;
+//  * clock(): a monotone logical time stamped onto observations (steps for
+//    the simulator, events or microseconds for the socket runtime);
+//  * inject(): out-of-band message admission (scenario construction,
+//    workload generators issuing requests at a node);
+//  * oracle_query() and its support queries quiet_count /
+//    incident_nongone / referenced_by_other — the oracle implementations
+//    in core/oracle.cpp are written against these, so one oracle
+//    definition serves every substrate that can answer them.
+//
+// Substrates are the only components allowed to drive Process life-cycle
+// transitions and action contexts; the protected helpers at the bottom are
+// the single point where that capability is handed to implementations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/ids.hpp"
+
+namespace fdp {
+
+class Process;
+struct Message;
+class Substrate;
+
+/// An oracle is a predicate over the current system state and the calling
+/// process (paper Section 1.3). Installed once per substrate. Written
+/// against the Substrate surface so the same oracle runs on the simulator
+/// and (where the runtime can answer the support queries) on the live
+/// socket runtime.
+using OracleFn = std::function<bool(const Substrate&, ProcessId)>;
+
+class Substrate {
+ public:
+  virtual ~Substrate();
+
+  // --- population / per-process state ---
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual const Process& process(ProcessId id) const = 0;
+  [[nodiscard]] virtual LifeState life(ProcessId id) const = 0;
+  [[nodiscard]] bool gone(ProcessId id) const {
+    return life(id) == LifeState::Gone;
+  }
+  /// True departure intention of `id` (paper: mode(u)); reads the process.
+  [[nodiscard]] Mode mode(ProcessId id) const;
+
+  // --- clock ---
+
+  /// Monotone logical time: the simulator's step count, the socket
+  /// runtime's event count (deterministic mode) or microseconds since
+  /// start (wall-clock mode). Only ordering and differences are
+  /// meaningful; units are substrate-defined.
+  [[nodiscard]] virtual std::uint64_t clock() const = 0;
+
+  // --- messaging ---
+
+  /// Admit a message into `to`'s pending set from OUTSIDE any action:
+  /// scenario construction, adversarial duplication, or a workload
+  /// generator issuing a request at an access node. Observers see it as
+  /// an inject event.
+  virtual void inject(Ref to, Message m) = 0;
+
+  /// Number of pending (admitted, not yet delivered) messages for `id` —
+  /// the simulator's channel size, the socket runtime's inbox depth.
+  [[nodiscard]] virtual std::size_t channel_depth(ProcessId id) const = 0;
+
+  /// Enumerate `id`'s pending messages. The enumeration order is
+  /// substrate-defined; snapshot construction and Φ only need the
+  /// multiset. O(channel_depth(id)) — a slow path by contract.
+  virtual void each_pending(
+      ProcessId id, const std::function<void(const Message&)>& fn) const = 0;
+
+  // --- oracle ---
+
+  /// Consult the installed oracle on behalf of `caller` (the paper's
+  /// "relying on an oracle"; only ever reached from a leaving process's
+  /// timeout). Implementations without an installed oracle must treat the
+  /// consult as a contract violation.
+  [[nodiscard]] virtual bool oracle_query(ProcessId caller) const = 0;
+
+  // --- oracle support queries (see core/oracle.cpp) ---
+
+  /// Number of asleep processes with no pending messages (hibernation
+  /// candidates). When zero, "relevant" degenerates to "non-gone" and
+  /// snapshot-free oracle fast paths apply.
+  [[nodiscard]] virtual std::uint64_t quiet_count() const = 0;
+
+  /// Number of distinct non-gone processes q != p sharing a process-graph
+  /// edge with p in either direction (an explicit or implicit reference
+  /// instance held by a non-gone process).
+  [[nodiscard]] virtual std::size_t incident_nongone(ProcessId p) const = 0;
+
+  /// Whether any non-gone process q != p holds a reference instance of p
+  /// (stored or pending in q's channel) — the NIDEC oracle's scan, minus
+  /// the caller's own channel.
+  [[nodiscard]] virtual bool referenced_by_other(ProcessId p) const = 0;
+
+  /// Implementation name for tables, traces and diagnostics ("sim",
+  /// "net/loopback", "net/udp").
+  [[nodiscard]] virtual const char* substrate_name() const = 0;
+
+ protected:
+  /// Life-cycle transitions are substrate business: Process befriends
+  /// Substrate, and implementations route every transition through here
+  /// (plus whatever index bookkeeping they maintain themselves).
+  static void set_process_life(Process& p, LifeState s);
+};
+
+}  // namespace fdp

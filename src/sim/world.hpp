@@ -44,6 +44,7 @@
 #include "sim/observer.hpp"
 #include "sim/process.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/substrate.hpp"
 #include "util/check.hpp"
 #include "util/fenwick.hpp"
 #include "util/flat_map.hpp"
@@ -52,11 +53,12 @@
 
 namespace fdp {
 
-/// An oracle is a predicate over the current system state and the calling
-/// process (paper Section 1.3). Installed once per World.
-using OracleFn = std::function<bool(const World&, ProcessId)>;
-
-class World {
+/// The deterministic simulator substrate. `final` on purpose: every hot
+/// kernel path calls through a concrete World&/KernelView, so the
+/// Substrate virtuals devirtualize to the same loads as before the
+/// interface was extracted (the ShardedWorld wraps a World, it does not
+/// derive from it).
+class World final : public Substrate {
  public:
   /// Flat (peer, instance-count) adjacency row of the lazy edge index.
   using EdgeCounts = std::vector<std::pair<ProcessId, std::uint32_t>>;
@@ -102,9 +104,9 @@ class World {
     return r;
   }
 
-  [[nodiscard]] std::size_t size() const { return procs_.size(); }
+  [[nodiscard]] std::size_t size() const override { return procs_.size(); }
 
-  [[nodiscard]] const Process& process(ProcessId id) const {
+  [[nodiscard]] const Process& process(ProcessId id) const override {
     FDP_CHECK(id < procs_.size());
     return *procs_[id];
   }
@@ -133,13 +135,32 @@ class World {
   [[nodiscard]] Mode mode(ProcessId id) const { return process(id).mode(); }
   /// Reads the dense life mirror (kept in lock-step with Process::life by
   /// set_life) — no pointer chase into the process object on hot paths.
-  [[nodiscard]] LifeState life(ProcessId id) const {
+  [[nodiscard]] LifeState life(ProcessId id) const override {
     FDP_CHECK(id < life_mirror_.size());
     return life_mirror_[id];
   }
   [[nodiscard]] bool gone(ProcessId id) const {
     return life(id) == LifeState::Gone;
   }
+
+  // --- Substrate surface (sim/substrate.hpp) ---
+
+  /// The simulator's logical clock is its step count.
+  [[nodiscard]] std::uint64_t clock() const override { return steps_; }
+  /// Out-of-band admission == World::post.
+  void inject(Ref to, Message m) override { post(to, std::move(m)); }
+  [[nodiscard]] std::size_t channel_depth(ProcessId id) const override {
+    return channel(id).size();
+  }
+  void each_pending(
+      ProcessId id,
+      const std::function<void(const Message&)>& fn) const override {
+    for (const Message& m : channel(id).messages()) fn(m);
+  }
+  [[nodiscard]] bool oracle_query(ProcessId caller) const override {
+    return oracle_value(caller);
+  }
+  [[nodiscard]] const char* substrate_name() const override { return "sim"; }
 
   // --- scenario construction ---
 
@@ -256,18 +277,20 @@ class World {
   /// Number of asleep processes with empty channels. Hibernation requires
   /// such a "quiet" process, so when this is zero "relevant" degenerates
   /// to "non-gone" and the oracles can skip the snapshot. O(1).
-  [[nodiscard]] std::uint64_t quiet_count() const { return quiet_count_; }
+  [[nodiscard]] std::uint64_t quiet_count() const override {
+    return quiet_count_;
+  }
 
   /// Number of distinct non-gone processes q != p sharing a PG edge with
   /// p in either direction (an explicit or implicit reference instance
   /// held by a non-gone process). Equals Snapshot::incident_relevant(p)
   /// whenever quiet_count() == 0. O(degree of p) after the first call.
-  [[nodiscard]] std::size_t incident_nongone(ProcessId p) const;
+  [[nodiscard]] std::size_t incident_nongone(ProcessId p) const override;
 
   /// Whether any non-gone process q != p holds a reference instance of p
   /// (stored or in q's channel) — the NIDEC oracle's scan, minus the
   /// caller's own channel. O(holders of p) after the first call.
-  [[nodiscard]] bool referenced_by_other(ProcessId p) const;
+  [[nodiscard]] bool referenced_by_other(ProcessId p) const override;
 
   /// Every sequence number ever assigned is < seq_watermark(). Monotone;
   /// lets consumers (AdversarialScheduler) ingest new messages by cursor

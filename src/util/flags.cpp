@@ -53,16 +53,37 @@ bool Flags::get_bool(const std::string& name, bool def) {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
-void Flags::reject_unknown() const {
-  bool bad = false;
+std::string Flags::unknown_flags_message() const {
+  std::string msg;
+  // The binary's base name: argv[0] may carry a build-tree path.
+  std::string bin = program_;
+  const auto slash = bin.find_last_of('/');
+  if (slash != std::string::npos) bin = bin.substr(slash + 1);
+  if (bin.empty()) bin = "(unknown binary)";
   for (const auto& [name, value] : values_) {
     (void)value;
-    if (!consumed_.count(name)) {
-      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
-      bad = true;
-    }
+    if (!consumed_.count(name))
+      msg += bin + ": unknown flag --" + name + "\n";
   }
-  if (bad) std::exit(2);
+  if (msg.empty()) return msg;
+  if (consumed_.empty()) {
+    msg += bin + " takes no flags\n";
+    return msg;
+  }
+  msg += bin + " knows:";
+  for (const auto& [name, seen] : consumed_) {
+    (void)seen;
+    msg += " --" + name;
+  }
+  msg += "\n";
+  return msg;
+}
+
+void Flags::reject_unknown() const {
+  const std::string msg = unknown_flags_message();
+  if (msg.empty()) return;
+  std::fputs(msg.c_str(), stderr);
+  std::exit(2);
 }
 
 }  // namespace fdp

@@ -27,8 +27,15 @@ class Flags {
   [[nodiscard]] bool get_bool(const std::string& name, bool def);
 
   /// Call after all get_* calls: abort with a message if any provided flag
-  /// was never consumed (catches typos).
+  /// was never consumed (catches typos). The message names the binary and
+  /// lists every flag the binary actually reads, so a typo'd sweep tells
+  /// the operator what was meant instead of just what was wrong.
   void reject_unknown() const;
+
+  /// The text reject_unknown would print — empty when every provided flag
+  /// was consumed. Split out so the formatting is testable (reject_unknown
+  /// itself exits the process).
+  [[nodiscard]] std::string unknown_flags_message() const;
 
   [[nodiscard]] const std::string& program() const { return program_; }
 

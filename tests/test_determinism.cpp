@@ -70,7 +70,7 @@ INSTANTIATE_TEST_SUITE_P(
 // feeds the hash, so two runs collide only if they took identical actions.
 class TraceHasher final : public Observer {
  public:
-  void on_action(const World& world, const ActionRecord& rec) override {
+  void on_action(const Substrate& world, const ActionRecord& rec) override {
     (void)world;
     mix(static_cast<std::uint64_t>(rec.kind));
     mix(rec.actor);

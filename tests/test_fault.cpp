@@ -331,14 +331,14 @@ class FaultLog final : public Observer {
     bool applied;
     std::uint64_t step;
   };
-  void on_action(const World& world, const ActionRecord& rec) override {
+  void on_action(const Substrate& world, const ActionRecord& rec) override {
     (void)world;
     (void)rec;
   }
-  void on_fault(const World& world, FaultKind kind, ProcessId target,
+  void on_fault(const Substrate& world, FaultKind kind, ProcessId target,
                 bool applied) override {
     (void)target;
-    events.push_back({kind, applied, world.steps()});
+    events.push_back({kind, applied, world.clock()});
   }
   std::vector<Ev> events;
 };
@@ -404,7 +404,7 @@ TEST(FaultDeterminism, SweepIsWorkerCountInvariant) {
 // fault-injected run action for action.
 class TraceHasher final : public Observer {
  public:
-  void on_action(const World& world, const ActionRecord& rec) override {
+  void on_action(const Substrate& world, const ActionRecord& rec) override {
     (void)world;
     mix(static_cast<std::uint64_t>(rec.kind));
     mix(rec.actor);
@@ -412,7 +412,7 @@ class TraceHasher final : public Observer {
     mix(rec.sent.size());
     mix((rec.exited ? 1u : 0u) | (rec.slept ? 2u : 0u) | (rec.woke ? 4u : 0u));
   }
-  void on_fault(const World& world, FaultKind kind, ProcessId target,
+  void on_fault(const Substrate& world, FaultKind kind, ProcessId target,
                 bool applied) override {
     (void)world;
     mix(static_cast<std::uint64_t>(kind));

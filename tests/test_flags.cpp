@@ -47,5 +47,38 @@ TEST(Flags, BoolFalseSpellings) {
   EXPECT_FALSE(f.get_bool("c", true));
 }
 
+TEST(Flags, UnknownFlagMessageNamesBinaryAndKnownFlags) {
+  Flags f = make({"--seedz=3"});  // typo for --seeds
+  (void)f.get_int("seeds", 1);
+  (void)f.get_string("csv", "");
+  const std::string msg = f.unknown_flags_message();
+  EXPECT_NE(msg.find("prog: unknown flag --seedz"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("prog knows:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("--seeds"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("--csv"), std::string::npos) << msg;
+}
+
+TEST(Flags, UnknownFlagMessageStripsProgramPath) {
+  std::vector<const char*> args = {"/build/bench/bench_e4_fdp", "--oops=1"};
+  Flags f(static_cast<int>(args.size()), const_cast<char**>(args.data()));
+  (void)f.get_int("seeds", 1);
+  const std::string msg = f.unknown_flags_message();
+  EXPECT_NE(msg.find("bench_e4_fdp: unknown flag --oops"), std::string::npos)
+      << msg;
+  EXPECT_EQ(msg.find("/build/"), std::string::npos) << msg;
+}
+
+TEST(Flags, NoFlagsReadSaysSo) {
+  Flags f = make({"--anything=1"});
+  const std::string msg = f.unknown_flags_message();
+  EXPECT_NE(msg.find("prog takes no flags"), std::string::npos) << msg;
+}
+
+TEST(Flags, CleanInvocationHasNoMessage) {
+  Flags f = make({"--n=8"});
+  (void)f.get_int("n", 1);
+  EXPECT_TRUE(f.unknown_flags_message().empty());
+}
+
 }  // namespace
 }  // namespace fdp

@@ -52,7 +52,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Fsp, OracleIsNeverConsulted) {
   ScenarioConfig cfg = fsp_config(7, "gnp", 0.2);
   Scenario sc = build_departure_scenario(cfg);
-  sc.world->set_oracle([](const World&, ProcessId) -> bool {
+  sc.world->set_oracle([](const Substrate&, ProcessId) -> bool {
     ADD_FAILURE() << "FSP consulted the oracle";
     return false;
   });

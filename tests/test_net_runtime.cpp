@@ -1,0 +1,243 @@
+// Live-runtime tests: deterministic loopback (MemTransport) churn, real
+// UDP smoke, served lookups via the workload generator, malformed-frame
+// tolerance, and the monitor socket (including serving while a client
+// thread reads — the TSan job runs this file).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "analysis/monitors.hpp"
+#include "analysis/workload.hpp"
+#include "net/live_scenario.hpp"
+#include "net/runtime.hpp"
+#include "net/wire.hpp"
+#include "overlay/topology_checks.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace fdp::net {
+namespace {
+
+ScenarioConfig churn_config(std::uint64_t seed, std::size_t n = 12) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+bool run_to_departures(LiveScenario& sc, std::uint64_t max_pumps = 20'000,
+                       int timeout_ms = 0) {
+  return sc.net->run_until(
+      [](const NetRuntime& rt) { return all_leaving_gone(rt); }, max_pumps,
+      timeout_ms);
+}
+
+TEST(NetRuntime, MemChurnCompletesDepartures) {
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(3), "linearization", std::make_unique<MemTransport>());
+  SafetyMonitor safety(*sc.net);
+  sc.net->add_observer(&safety);
+  ASSERT_TRUE(run_to_departures(sc));
+  EXPECT_EQ(sc.net->exits(), sc.leaving_count);
+  EXPECT_TRUE(safety.ok()) << safety.violations().size()
+                           << " safety violations";
+  EXPECT_EQ(sc.net->wire_errors(), 0u);
+}
+
+TEST(NetRuntime, MemRunsAreDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    LiveScenario sc = build_live_framework_scenario(
+        churn_config(seed), "linearization", std::make_unique<MemTransport>());
+    EXPECT_TRUE(run_to_departures(sc));
+    // Fingerprint: clock, counters and every process's stored refs.
+    std::string fp = std::to_string(sc.net->clock()) + "/" +
+                     std::to_string(sc.net->sends()) + "/" +
+                     std::to_string(sc.net->exits());
+    std::vector<RefInfo> refs;
+    for (ProcessId p = 0; p < sc.net->size(); ++p) {
+      refs.clear();
+      sc.net->process(p).collect_refs(refs);
+      fp += "|";
+      for (const RefInfo& r : refs)
+        fp += std::to_string(r.ref.id()) + "," +
+              std::to_string(static_cast<int>(r.mode)) + ";";
+    }
+    return fp;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));  // and the seed actually matters
+}
+
+TEST(NetRuntime, MemStayersConvergeToOverlayTopology) {
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(11), "linearization", std::make_unique<MemTransport>());
+  ASSERT_TRUE(run_to_departures(sc));
+  bool converged = false;
+  std::string detail;
+  for (int block = 0; block < 400 && !converged; ++block) {
+    sc.net->pump(0);
+    const TopologyVerdict v = check_topology(*sc.net, "linearization");
+    converged = v.converged;
+    detail = v.detail;
+  }
+  EXPECT_TRUE(converged) << detail;
+}
+
+TEST(NetRuntime, ServedLookupsResolveDuringChurn) {
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(7, 16), "linearization", std::make_unique<MemTransport>());
+  WorkloadConfig wcfg;
+  wcfg.total = 40;
+  wcfg.interval = 2;
+  wcfg.absent_prob = 0.25;
+  wcfg.seed = 7;
+  LookupWorkload workload(sc.refs, [&] {
+    std::vector<std::uint64_t> keys;
+    for (ProcessId p = 0; p < sc.net->size(); ++p)
+      keys.push_back(sc.net->process(p).key());
+    return keys;
+  }(), sc.leaving, wcfg);
+  sc.net->add_observer(&workload);
+  for (int i = 0; i < 20'000; ++i) {
+    workload.pump(*sc.net);
+    sc.net->pump(0);
+    if (workload.all_resolved() && all_leaving_gone(*sc.net)) break;
+  }
+  const WorkloadReport r = workload.report();
+  EXPECT_EQ(r.issued, 40u);
+  // Deterministic loopback loses nothing: every lookup must resolve.
+  EXPECT_EQ(r.resolved, r.issued);
+  EXPECT_GT(r.hits, 0u);
+  EXPECT_GE(r.p95_clock, r.p50_clock);
+}
+
+TEST(NetRuntime, UdpChurnSmoke) {
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(9, 8), "linearization", std::make_unique<UdpTransport>());
+  SafetyMonitor safety(*sc.net);
+  sc.net->add_observer(&safety);
+  // Real sockets: block briefly in poll so the loop is not a busy spin.
+  ASSERT_TRUE(run_to_departures(sc, 50'000, 1));
+  EXPECT_EQ(sc.net->exits(), sc.leaving_count);
+  EXPECT_TRUE(safety.ok());
+  EXPECT_EQ(sc.net->wire_errors(), 0u);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// Minimal loopback TCP client: connect, read everything, return it.
+/// A receive timeout bounds the read in case the server stops pumping
+/// (accept/serve happen inside pump(), so an unpumped runtime never
+/// answers a connection the kernel already queued on the backlog).
+std::string slurp_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  std::string out;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+      0) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof buf);
+      if (r <= 0) break;
+      out.append(buf, static_cast<std::size_t>(r));
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Read one monitor document while keeping the runtime pumping on this
+/// thread until the client thread is done — the serving itself happens
+/// inside pump(), so the pump loop must outlive the read.
+std::string slurp_while_pumping(NetRuntime& rt) {
+  std::string out;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    for (int i = 0; i < 20 && out.empty(); ++i)
+      out = slurp_tcp(rt.monitor_port());
+    done.store(true);
+  });
+  for (int i = 0; i < 200'000 && !done.load(); ++i) rt.pump(0);
+  client.join();
+  return out;
+}
+
+TEST(NetRuntime, MonitorSocketServesLiveJson) {
+  NetConfig rcfg;
+  rcfg.monitor = true;
+  LiveScenario sc =
+      build_live_framework_scenario(churn_config(13, 8), "linearization",
+                                    std::make_unique<MemTransport>(), rcfg);
+  ASSERT_NE(sc.net->monitor_port(), 0);
+
+  // A client thread polls the monitor while the main thread pumps — the
+  // arrangement the TSan job checks (serving happens inside pump(), so
+  // the JSON snapshot itself is built on the pumping thread).
+  const std::string seen = slurp_while_pumping(*sc.net);
+
+  ASSERT_FALSE(seen.empty()) << "monitor socket never answered";
+  EXPECT_NE(seen.find("\"substrate\":\"net/mem\""), std::string::npos) << seen;
+  EXPECT_NE(seen.find("\"phi\":"), std::string::npos);
+  EXPECT_NE(seen.find("\"processes\":["), std::string::npos);
+  EXPECT_NE(seen.find("\"channel\":"), std::string::npos);
+
+  // Drive the churn to completion, then a fresh connection must see the
+  // final state (served by a fresh pump loop — the monitor lives as long
+  // as something pumps).
+  ASSERT_TRUE(run_to_departures(sc));
+  const std::string after = slurp_while_pumping(*sc.net);
+  EXPECT_NE(after.find("\"gone\""), std::string::npos) << after;
+}
+
+TEST(NetRuntime, GarbageDatagramsCountedNotFatal) {
+  auto transport = std::make_unique<UdpTransport>();
+  UdpTransport* udp = transport.get();
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(15, 4), "linearization", std::move(transport));
+
+  // Fire junk straight at actor 0's bound port from a throwaway socket.
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(udp->port(0));
+  const char junk[] = "definitely not an FDP1 frame";
+  for (int i = 0; i < 5; ++i)
+    (void)::sendto(fd, junk, sizeof junk, 0,
+                   reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  ::close(fd);
+
+  for (int i = 0; i < 2'000; ++i) {
+    sc.net->pump(1);
+    if (sc.net->wire_errors() >= 5) break;
+  }
+  EXPECT_GE(sc.net->wire_errors(), 5u);
+  // The protocol keeps running regardless.
+  ASSERT_TRUE(run_to_departures(sc, 50'000, 1));
+}
+
+#endif  // sockets
+
+}  // namespace
+}  // namespace fdp::net

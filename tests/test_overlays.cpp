@@ -174,7 +174,11 @@ TEST(Overlays, RingWrapSlotParticipatesInStorage) {
     std::uint64_t key_v;
     [[nodiscard]] Ref self() const override { return self_v; }
     [[nodiscard]] std::uint64_t self_key() const override { return key_v; }
-    void send_overlay(Ref, std::uint32_t, std::vector<RefInfo>) override {}
+    [[nodiscard]] RefInfo self_info() const override {
+      return RefInfo{self_v, ModeInfo::Staying, key_v};
+    }
+    void send_overlay(Ref, std::uint32_t, std::vector<RefInfo>,
+                      std::uint64_t) override {}
   } ctx;
   ctx.self_v = Ref::make(0);
   ctx.key_v = 100;

@@ -22,7 +22,7 @@ namespace {
 // Same mixer as the GoldenTrace suite: every decision feeds the hash.
 class TraceHasher final : public Observer {
  public:
-  void on_action(const World& world, const ActionRecord& rec) override {
+  void on_action(const Substrate& world, const ActionRecord& rec) override {
     (void)world;
     mix(static_cast<std::uint64_t>(rec.kind));
     mix(rec.actor);
@@ -30,7 +30,7 @@ class TraceHasher final : public Observer {
     mix(rec.sent.size());
     mix((rec.exited ? 1u : 0u) | (rec.slept ? 2u : 0u) | (rec.woke ? 4u : 0u));
   }
-  void on_fault(const World& world, FaultKind kind, ProcessId target,
+  void on_fault(const Substrate& world, FaultKind kind, ProcessId target,
                 bool applied) override {
     (void)world;
     mix(static_cast<std::uint64_t>(kind));

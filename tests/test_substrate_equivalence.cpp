@@ -1,0 +1,141 @@
+// Substrate equivalence (ISSUE 7 satellite): the same E4-style churn
+// scenario, built from the same seed, run once on the deterministic
+// simulator and once on the socket runtime over the in-process loopback
+// transport (MemTransport, single-threaded deterministic poller), must
+// end in the SAME place: identical departure counts, identical gone sets,
+// and identical final stayer topology.
+//
+// Deliberately NOT compared: action traces. The simulator executes one
+// atomic action per step chosen by a Scheduler over global state; the
+// runtime executes whatever its event loop makes runnable (drain inboxes,
+// then one timeout per awake actor per pump) and interleaves transport
+// flushes between them. The two substrates therefore realize *different
+// fair schedules* of the same protocol, and per-action traces (and any
+// step-indexed series such as Φ decay) legitimately diverge. What the
+// paper guarantees — and what this test pins — is schedule-independence
+// of the OUTCOME: self-stabilization to the unique legitimate state. The
+// linearization overlay is used precisely because its legitimate topology
+// (the sorted line over staying keys) is unique, so "same outcome" is a
+// byte-comparable statement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "core/framework.hpp"
+#include "net/live_scenario.hpp"
+#include "overlay/topology_checks.hpp"
+
+namespace fdp::net {
+namespace {
+
+ScenarioConfig e4_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.random_anchor_prob = 0.2;
+  cfg.inflight_per_node = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Outcome {
+  std::uint64_t exits = 0;
+  std::vector<ProcessId> gone;
+  /// Per staying process: sorted overlay-neighbor ids (self excluded).
+  std::vector<std::vector<ProcessId>> links;
+  bool converged = false;
+};
+
+Outcome read_outcome(Substrate& sub, const std::vector<bool>& leaving) {
+  Outcome out;
+  for (ProcessId p = 0; p < sub.size(); ++p) {
+    if (sub.gone(p)) {
+      ++out.exits;
+      out.gone.push_back(p);
+    }
+  }
+  out.links.resize(sub.size());
+  for (ProcessId p = 0; p < sub.size(); ++p) {
+    if (leaving[p] || sub.gone(p)) continue;
+    // Compare the overlay's own links (the topology claim), not the full
+    // collect_refs set: transient framework bookkeeping (anchor, mlist)
+    // is schedule-dependent residue, the overlay store is the outcome.
+    const auto& proc = dynamic_cast<const FrameworkProcess&>(sub.process(p));
+    for (const RefInfo& r : proc.hosted_overlay().stored())
+      if (r.ref.id() != p) out.links[p].push_back(r.ref.id());
+    std::sort(out.links[p].begin(), out.links[p].end());
+    out.links[p].erase(
+        std::unique(out.links[p].begin(), out.links[p].end()),
+        out.links[p].end());
+  }
+  out.converged = check_topology(sub, "linearization").converged;
+  return out;
+}
+
+Outcome run_simulator(const ScenarioConfig& cfg) {
+  Scenario sc = build_framework_scenario(cfg, "linearization");
+  RandomScheduler sched;
+  bool done = false;
+  for (int block = 0; block < 2'000 && !done; ++block) {
+    for (int i = 0; i < 500; ++i) (void)sc.world->step(sched);
+    done = all_leaving_gone(*sc.world) &&
+           check_topology(*sc.world, "linearization").converged;
+  }
+  EXPECT_TRUE(done) << "simulator run did not converge";
+  return read_outcome(*sc.world, sc.leaving);
+}
+
+Outcome run_live(const ScenarioConfig& cfg) {
+  LiveScenario sc = build_live_framework_scenario(
+      cfg, "linearization", std::make_unique<MemTransport>());
+  bool done = false;
+  for (int pumps = 0; pumps < 40'000 && !done; ++pumps) {
+    sc.net->pump(0);
+    done = all_leaving_gone(*sc.net) &&
+           check_topology(*sc.net, "linearization").converged;
+  }
+  EXPECT_TRUE(done) << "live run did not converge: exits="
+                    << sc.net->exits() << "/" << sc.leaving_count
+                    << " in_flight=" << sc.net->in_flight()
+                    << " throttle_skips=" << sc.net->throttle_skips()
+                    << " timeouts=" << sc.net->timeouts()
+                    << " detail="
+                    << check_topology(*sc.net, "linearization").detail;
+  return read_outcome(*sc.net, sc.leaving);
+}
+
+class SubstrateEquivalence : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubstrateEquivalence, SameChurnSameOutcome) {
+  const ScenarioConfig cfg = e4_config(GetParam());
+
+  // Both substrates must have been handed the same population: equal
+  // leaving sets fall out of the shared PopulationPlan draw.
+  Rng plan_rng_a(cfg.seed), plan_rng_b(cfg.seed);
+  const PopulationPlan plan_a = plan_population(cfg, plan_rng_a);
+  const PopulationPlan plan_b = plan_population(cfg, plan_rng_b);
+  ASSERT_EQ(plan_a.leaving, plan_b.leaving);
+  ASSERT_EQ(plan_a.keys, plan_b.keys);
+
+  const Outcome sim = run_simulator(cfg);
+  const Outcome live = run_live(cfg);
+
+  ASSERT_TRUE(sim.converged);
+  ASSERT_TRUE(live.converged);
+  EXPECT_EQ(sim.exits, live.exits);
+  EXPECT_EQ(sim.gone, live.gone);
+  ASSERT_EQ(sim.links.size(), live.links.size());
+  for (std::size_t p = 0; p < sim.links.size(); ++p)
+    EXPECT_EQ(sim.links[p], live.links[p]) << "stayer " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubstrateEquivalence,
+                         testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace fdp::net

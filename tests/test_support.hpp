@@ -70,15 +70,19 @@ class CaptureOverlayCtx final : public OverlayCtx {
   CaptureOverlayCtx(Ref self, std::uint64_t key) : self_(self), key_(key) {}
   [[nodiscard]] Ref self() const override { return self_; }
   [[nodiscard]] std::uint64_t self_key() const override { return key_; }
-  void send_overlay(Ref dest, std::uint32_t tag,
-                    std::vector<RefInfo> refs) override {
-    sends.push_back({dest, tag, std::move(refs)});
+  [[nodiscard]] RefInfo self_info() const override {
+    return RefInfo{self_, ModeInfo::Staying, key_};
+  }
+  void send_overlay(Ref dest, std::uint32_t tag, std::vector<RefInfo> refs,
+                    std::uint64_t token) override {
+    sends.push_back({dest, tag, std::move(refs), token});
   }
 
   struct Send {
     Ref dest;
     std::uint32_t tag;
     std::vector<RefInfo> refs;
+    std::uint64_t token = 0;
   };
   std::vector<Send> sends;
 

@@ -1,0 +1,215 @@
+// Wire-format tests (ISSUE 7 satellite): a 10k-seed round-trip property
+// over every message kind — including maximum-degree RefInfo sets and
+// messages whose SmallVec ref buffers spilled to the heap — plus typed
+// rejection of truncated, overlong and otherwise malformed frames.
+// Malformed peer input must NEVER abort: every failure maps to a
+// WireError.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace fdp::net {
+namespace {
+
+Message random_message(Rng& rng) {
+  Message m;
+  m.verb = static_cast<Verb>(rng.below(6));  // Present..User, every kind
+  m.tag = static_cast<std::uint32_t>(rng());
+  m.token = rng();
+  m.seq = rng();
+  // Mostly small (inline SmallVec), regularly spilled (> 2 inline slots),
+  // occasionally at the wire cap.
+  std::size_t nrefs;
+  const std::uint64_t shape = rng.below(100);
+  if (shape < 50)
+    nrefs = rng.below(3);  // 0..2: inline
+  else if (shape < 95)
+    nrefs = 3 + rng.below(30);  // spilled
+  else
+    nrefs = kMaxWireRefs - rng.below(3);  // at/near the cap
+  for (std::size_t i = 0; i < nrefs; ++i) {
+    m.refs.push_back(RefInfo{Ref::make(static_cast<ProcessId>(rng())),
+                             static_cast<ModeInfo>(rng.below(3)),
+                             rng()});
+  }
+  return m;
+}
+
+void expect_equal(const Message& a, const Message& b) {
+  ASSERT_EQ(a.verb, b.verb);
+  ASSERT_EQ(a.tag, b.tag);
+  ASSERT_EQ(a.token, b.token);
+  ASSERT_EQ(a.seq, b.seq);
+  ASSERT_EQ(a.refs.size(), b.refs.size());
+  for (std::size_t i = 0; i < a.refs.size(); ++i) {
+    ASSERT_EQ(a.refs[i].ref, b.refs[i].ref);
+    ASSERT_EQ(a.refs[i].mode, b.refs[i].mode);
+    ASSERT_EQ(a.refs[i].key, b.refs[i].key);
+  }
+}
+
+TEST(Wire, RoundTrip10kSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10'000; ++seed) {
+    Rng rng(seed);
+    const Message m = random_message(rng);
+    const ProcessId src = static_cast<ProcessId>(rng());
+    const ProcessId dst = static_cast<ProcessId>(rng());
+
+    std::vector<std::uint8_t> buf;
+    encode_frame(m, src, dst, buf);
+    ASSERT_EQ(buf.size(), encoded_size(m));
+
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(buf.data(), buf.size(), out, &consumed),
+              WireError::None)
+        << "seed " << seed;
+    EXPECT_EQ(consumed, buf.size());
+    EXPECT_EQ(out.src, src);
+    EXPECT_EQ(out.dst, dst);
+    expect_equal(m, out.msg);
+  }
+}
+
+TEST(Wire, BackToBackFramesDecodeByConsumed) {
+  Rng rng(7);
+  std::vector<std::uint8_t> buf;
+  std::vector<Message> sent;
+  for (int i = 0; i < 5; ++i) {
+    sent.push_back(random_message(rng));
+    encode_frame(sent.back(), 1, 2, buf);
+  }
+  std::size_t off = 0;
+  for (const Message& m : sent) {
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(buf.data() + off, buf.size() - off, out, &consumed),
+              WireError::None);
+    expect_equal(m, out.msg);
+    off += consumed;
+  }
+  EXPECT_EQ(off, buf.size());
+}
+
+std::vector<std::uint8_t> valid_frame() {
+  Message m;
+  m.verb = Verb::Overlay;
+  m.tag = kMaxWireRefs;  // arbitrary
+  m.token = 42;
+  m.seq = 99;
+  m.refs.push_back(RefInfo{Ref::make(3), ModeInfo::Leaving, 1234});
+  m.refs.push_back(RefInfo{Ref::make(4), ModeInfo::Staying, 5678});
+  m.refs.push_back(RefInfo{Ref::make(5), ModeInfo::Unknown, 9});
+  std::vector<std::uint8_t> buf;
+  encode_frame(m, 6, 7, buf);
+  return buf;
+}
+
+void put32(std::vector<std::uint8_t>& b, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+TEST(Wire, EveryTruncationRejectedTyped) {
+  const std::vector<std::uint8_t> buf = valid_frame();
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    const WireError e = decode_frame(buf.data(), len, out, &consumed);
+    EXPECT_EQ(e, WireError::Truncated) << "prefix length " << len;
+    EXPECT_LE(consumed, len);  // resync never skips past the buffer
+  }
+}
+
+TEST(Wire, OverlongRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  put32(buf, 0, static_cast<std::uint32_t>(max_frame_bytes() + 1));
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out), WireError::Overlong);
+}
+
+TEST(Wire, LengthTooSmallForHeaderRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  put32(buf, 0, static_cast<std::uint32_t>(kFrameHeaderBytes - 1));
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out), WireError::Truncated);
+}
+
+TEST(Wire, BadMagicRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  buf[5] ^= 0xFF;
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out), WireError::BadMagic);
+}
+
+TEST(Wire, BadVersionRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  buf[8] = 0xEE;
+  DecodedFrame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out, &consumed),
+            WireError::BadVersion);
+  // The whole (trustworthy-length) frame is skippable for resync.
+  EXPECT_EQ(consumed, buf.size());
+}
+
+TEST(Wire, BadVerbRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  buf[10] = 250;
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out), WireError::BadVerb);
+}
+
+TEST(Wire, BadPadRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  buf[11] = 1;
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out), WireError::BadPad);
+}
+
+TEST(Wire, BadModeRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  buf[kFrameHeaderBytes + 4] = 7;  // first ref's mode byte
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out), WireError::BadMode);
+}
+
+TEST(Wire, BadRefCountRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  put32(buf, 40, kMaxWireRefs + 1);
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out),
+            WireError::BadRefCount);
+}
+
+TEST(Wire, LengthMismatchRejected) {
+  std::vector<std::uint8_t> buf = valid_frame();
+  put32(buf, 40, 1);  // claims 1 ref; length says 3
+  DecodedFrame out;
+  EXPECT_EQ(decode_frame(buf.data(), buf.size(), out),
+            WireError::LengthMismatch);
+}
+
+TEST(Wire, ErrorNamesCoverEveryCode) {
+  for (int e = 0; e <= static_cast<int>(WireError::LengthMismatch); ++e)
+    EXPECT_STRNE(to_string(static_cast<WireError>(e)), "?");
+}
+
+TEST(Wire, RandomGarbageNeverAborts) {
+  for (std::uint64_t seed = 1; seed <= 2'000; ++seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> junk(rng.below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    (void)decode_frame(junk.data(), junk.size(), out, &consumed);
+    EXPECT_LE(consumed, junk.size());
+  }
+}
+
+}  // namespace
+}  // namespace fdp::net

@@ -232,7 +232,7 @@ TEST(World, ObserverSeesActionRecord) {
   struct Probe final : Observer {
     int actions = 0;
     int sends_seen = 0;
-    void on_action(const World&, const ActionRecord& rec) override {
+    void on_action(const Substrate&, const ActionRecord& rec) override {
       ++actions;
       sends_seen += static_cast<int>(rec.sent.size());
     }
@@ -257,7 +257,7 @@ TEST(World, ObserverSeesActionRecord) {
 TEST(World, OracleInstalledAndQueried) {
   World w(1);
   spawn_scripted(w, 1);
-  w.set_oracle([](const World&, ProcessId p) { return p == 0; });
+  w.set_oracle([](const Substrate&, ProcessId p) { return p == 0; });
   EXPECT_TRUE(w.oracle_value(0));
 }
 

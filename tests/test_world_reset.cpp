@@ -21,7 +21,7 @@ namespace {
 // suite): two runs collide only if they took identical actions.
 class TraceHasher final : public Observer {
  public:
-  void on_action(const World& world, const ActionRecord& rec) override {
+  void on_action(const Substrate& world, const ActionRecord& rec) override {
     (void)world;
     mix(static_cast<std::uint64_t>(rec.kind));
     mix(rec.actor);
