@@ -23,6 +23,7 @@
 #include "util/table.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <algorithm>
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -51,14 +52,27 @@ struct TrialResult {
   std::uint64_t leaving = 0;
   std::uint64_t safety_violations = 0;
   std::uint64_t wire_errors = 0;
+  std::uint64_t frames = 0;     ///< application messages delivered
+  std::uint64_t datagrams = 0;  ///< medium hand-offs carrying them
+  std::uint64_t syscalls = 0;   ///< send + recv calls
   WorkloadReport wl;
   double wall_s = 0.0;
   std::string monitor_sample;  ///< first bytes of a live monitor doc
+
+  [[nodiscard]] double frames_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(frames) / wall_s : 0;
+  }
+  [[nodiscard]] double syscalls_per_frame() const {
+    return frames > 0
+               ? static_cast<double>(syscalls) / static_cast<double>(frames)
+               : 0;
+  }
 };
 
-std::unique_ptr<Transport> make_transport(const std::string& kind) {
+std::unique_ptr<Transport> make_transport(const std::string& kind,
+                                          bool batching) {
   if (kind == "mem") return std::make_unique<MemTransport>();
-  return std::make_unique<UdpTransport>();
+  return std::make_unique<UdpTransport>(batching);
 }
 
 // The monitor is served from inside pump() on this same thread, so a
@@ -104,7 +118,8 @@ std::string monitor_read(int) { return {}; }
 
 TrialResult run_trial(std::size_t n, const std::string& overlay,
                       const std::string& transport, std::uint64_t seed,
-                      std::size_t lookups, bool sample_monitor) {
+                      std::size_t lookups, bool sample_monitor,
+                      bool batching = true) {
   ScenarioConfig cfg;
   cfg.n = n;
   cfg.topology = "gnp";
@@ -115,11 +130,20 @@ TrialResult run_trial(std::size_t n, const std::string& overlay,
 
   NetConfig rcfg;
   rcfg.monitor = sample_monitor;
+  // "batch off" is the pre-optimization baseline end to end: per-frame
+  // sendto/recv at the transport and one frame per datagram at the flush.
+  rcfg.coalesce_frames = batching;
 
   bench::Timer timer;
   LiveScenario sc = net::build_live_framework_scenario(
-      cfg, overlay, make_transport(transport), rcfg);
-  SafetyMonitor safety(*sc.net);
+      cfg, overlay, make_transport(transport, batching), rcfg);
+  // Safety checks run a connectivity BFS (O(n + in-flight)); at stride 1
+  // the instrument dominates the run past a few hundred actors. Scaling
+  // the stride with n keeps the per-action overhead constant, and the
+  // dirty flag still forces a BFS after any structurally relevant action,
+  // so a real violation (a lost reference cannot self-heal) is caught at
+  // the next stride point and fails the trial exactly as before.
+  SafetyMonitor safety(*sc.net, std::max<std::uint64_t>(1, n / 16));
   sc.net->add_observer(&safety);
 
   WorkloadConfig wcfg;
@@ -145,6 +169,18 @@ TrialResult run_trial(std::size_t n, const std::string& overlay,
   for (std::uint64_t i = 0; i < max_pumps; ++i) {
     workload.pump(*sc.net);
     sc.net->pump(timeout_ms);
+    // Long n=1024 trials run for minutes; a stderr heartbeat (stdout is
+    // the table) shows whether exits are advancing or the trial is stuck.
+    if ((i % 20'000) == 19'999)
+      std::fprintf(stderr,
+                   "  [n=%zu %s seed=%llu] pump %llu: exits %llu/%llu, "
+                   "deliveries %llu\n",
+                   n, batching ? "batch" : "nobatch",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(sc.net->exits()),
+                   static_cast<unsigned long long>(res.leaving),
+                   static_cast<unsigned long long>(sc.net->deliveries()));
     if (sample_monitor && i == 64) mon_fd = monitor_connect(sc.net->monitor_port());
     if (sample_monitor && i == 80 && mon_fd >= 0) {
       res.monitor_sample = monitor_read(mon_fd);
@@ -164,6 +200,10 @@ TrialResult run_trial(std::size_t n, const std::string& overlay,
   res.exits = sc.net->exits();
   res.safety_violations = safety.violations().size();
   res.wire_errors = sc.net->wire_errors();
+  res.frames = sc.net->deliveries();
+  const net::TransportStats st = sc.net->transport().stats();
+  res.datagrams = st.frames_sent;
+  res.syscalls = st.send_calls + st.recv_calls;
   res.wl = workload.report();
   res.wall_s = timer.seconds();
   return res;
@@ -214,6 +254,121 @@ void run_table(const char* title, std::size_t n, const std::string& overlay,
   t.print();
 }
 
+// --sweep: the scaling grid n x {batch on, batch off}, one seed per cell,
+// condensed to the numbers the perf gate and BENCH_net.json care about:
+// frames/sec, syscalls/frame, lookup latency quantiles, and the safety
+// columns that must not degrade while the hot path gets faster.
+void run_sweep(const std::string& transport, std::uint64_t seeds,
+               std::size_t lookups, const std::string& json_path,
+               CsvWriter* csv) {
+  struct Cell {
+    std::size_t n;
+    bool batching;
+    TrialResult r;
+  };
+  std::vector<Cell> cells;
+  const std::string title = "E13 sweep: linearization, transport=" + transport;
+  Table t(title.c_str());
+  t.set_header({"n", "batching", "departures", "safety", "wire errs",
+                "frames/s", "syscalls/frame", "p50/p95 us", "wall s"});
+  for (const std::size_t n : {std::size_t{64}, std::size_t{256},
+                              std::size_t{1024}}) {
+    for (const bool batching : {true, false}) {
+      TrialResult agg;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const TrialResult r = run_trial(n, "linearization", transport, seed,
+                                        lookups, false, batching);
+        // Keep the slowest seed's latency profile and sum the counters:
+        // one stuck or violating seed must show in the condensed row.
+        agg.exits += r.exits;
+        agg.leaving += r.leaving;
+        agg.departures_done =
+            (seed == 1 ? true : agg.departures_done) && r.departures_done;
+        agg.safety_violations += r.safety_violations;
+        agg.wire_errors += r.wire_errors;
+        agg.frames += r.frames;
+        agg.datagrams += r.datagrams;
+        agg.syscalls += r.syscalls;
+        agg.wall_s += r.wall_s;
+        if (r.wl.p95_us >= agg.wl.p95_us) agg.wl = r.wl;
+        if (csv != nullptr) {
+          csv->row({std::to_string(seed), std::to_string(n), "linearization",
+                    transport + (batching ? "" : "-nobatch"),
+                    std::to_string(r.wl.issued), std::to_string(r.wl.resolved),
+                    std::to_string(r.wl.hits), std::to_string(r.wl.misses),
+                    std::to_string(r.wl.success_rate()),
+                    std::to_string(r.wl.p50_clock),
+                    std::to_string(r.wl.p95_clock), std::to_string(r.wl.p50_us),
+                    std::to_string(r.wl.p95_us), std::to_string(r.exits),
+                    std::to_string(r.leaving),
+                    std::to_string(r.safety_violations),
+                    std::to_string(r.wire_errors)});
+        }
+      }
+      t.add_row({Table::num(n), batching ? "on" : "off",
+                 std::to_string(agg.exits) + "/" + std::to_string(agg.leaving) +
+                     (agg.departures_done ? " done" : " STUCK"),
+                 agg.safety_violations == 0
+                     ? "ok"
+                     : std::to_string(agg.safety_violations) + " VIOLATIONS",
+                 Table::num(agg.wire_errors),
+                 Table::fixed(agg.frames_per_sec(), 0),
+                 Table::fixed(agg.syscalls_per_frame(), 3),
+                 Table::quantiles(static_cast<double>(agg.wl.p50_us),
+                                  static_cast<double>(agg.wl.p95_us)),
+                 Table::fixed(agg.wall_s, 2)});
+      cells.push_back(Cell{n, batching, agg});
+      std::fprintf(stderr,
+                   "  [sweep] n=%zu %s: exits %llu/%llu%s, %llu violations, "
+                   "%.1f s\n",
+                   n, batching ? "batch" : "nobatch",
+                   static_cast<unsigned long long>(agg.exits),
+                   static_cast<unsigned long long>(agg.leaving),
+                   agg.departures_done ? "" : " STUCK",
+                   static_cast<unsigned long long>(agg.safety_violations),
+                   agg.wall_s);
+    }
+  }
+  t.print();
+
+  if (json_path.empty()) return;
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "E13 sweep: cannot write %s\n", json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e13_sweep\",\n");
+  std::fprintf(f, "  \"transport\": \"%s\",\n  \"seeds\": %llu,\n",
+               transport.c_str(), static_cast<unsigned long long>(seeds));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"n\": %zu, \"batching\": %s, \"departures_done\": %s, "
+        "\"exits\": %llu, \"leaving\": %llu, \"safety_violations\": %llu, "
+        "\"wire_errors\": %llu, \"frames\": %llu, \"datagrams\": %llu, "
+        "\"frames_per_sec\": %.1f, \"syscalls_per_frame\": %.4f, "
+        "\"lookup_success\": %.4f, \"lookup_p50_us\": %llu, "
+        "\"lookup_p95_us\": %llu, \"wall_s\": %.3f}%s\n",
+        c.n, c.batching ? "true" : "false",
+        c.r.departures_done ? "true" : "false",
+        static_cast<unsigned long long>(c.r.exits),
+        static_cast<unsigned long long>(c.r.leaving),
+        static_cast<unsigned long long>(c.r.safety_violations),
+        static_cast<unsigned long long>(c.r.wire_errors),
+        static_cast<unsigned long long>(c.r.frames),
+        static_cast<unsigned long long>(c.r.datagrams),
+        c.r.frames_per_sec(), c.r.syscalls_per_frame(),
+        c.r.wl.success_rate(),
+        static_cast<unsigned long long>(c.r.wl.p50_us),
+        static_cast<unsigned long long>(c.r.wl.p95_us), c.r.wall_s,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace fdp
 
@@ -227,6 +382,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("lookups", 200));
   const std::string transport = flags.get_string("transport", "udp");
   const std::string csv_path = flags.get_string("csv", "");
+  // --sweep FILE: run the n x batching scaling grid instead of the
+  // per-seed tables and write the condensed JSON to FILE.
+  const std::string sweep_json = flags.get_string("sweep", "");
   // Live trials are a single event loop, not a driver fan-out; --workers is
   // accepted (the experiment runner passes it to every bench) but unused.
   (void)flags.get_int("workers", 0);
@@ -244,6 +402,13 @@ int main(int argc, char** argv) {
             "seed", "n", "overlay", "transport", "issued", "resolved", "hits",
             "misses", "success", "p50_clock", "p95_clock", "p50_us", "p95_us",
             "exits", "leaving", "safety_violations", "wire_errors"});
+  }
+
+  if (!sweep_json.empty()) {
+    run_sweep(transport, seeds, lookups, sweep_json, csv.get());
+    if (csv && !csv->finish())
+      std::fprintf(stderr, "E13 csv: write to %s failed\n", csv_path.c_str());
+    return 0;
   }
 
   const std::string title_a = "E13a: linearization, n=" + std::to_string(n) +

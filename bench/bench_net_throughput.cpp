@@ -1,0 +1,257 @@
+// Pump-throughput microbench for the live runtime's batched hot path.
+//
+// A fleet of minimal ping actors (one inline-reference message to the
+// next peer round-robin per timeout — no protocol-layer allocation, no
+// departures) drives the runtime flat out, and the bench reports what the
+// transport accounting says about the loop:
+//
+//   frames/sec          medium-accepted frames per wall-clock second
+//   syscalls/frame      (send_calls + recv_calls) / frames_sent — the
+//                       number sendmmsg/recvmmsg batching drives below 1
+//   allocs (steady)     operator new calls inside the measured window
+//                       (the alloc hook is linked into this binary; the
+//                       warmed-up pump must not allocate at all)
+//
+// Three configurations: the deterministic in-memory medium (the upper
+// bound — no syscalls at all), loopback UDP with mmsg batching, and
+// loopback UDP restricted to the portable per-frame path. The CI gate
+// (scripts/check_net_throughput.py) requires batched UDP to beat
+// unbatched by 2x on frames/sec at n=256.
+//
+// --json writes the records for the gate script / BENCH_net.json.
+#include "bench_common.hpp"
+#include "net/runtime.hpp"
+#include "sim/context.hpp"
+#include "util/alloc_stats.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fdp {
+namespace {
+
+using net::MemTransport;
+using net::NetConfig;
+using net::NetRuntime;
+using net::Transport;
+using net::TransportStats;
+using net::UdpTransport;
+
+/// Minimal alloc-free traffic generator (the twin of the one in
+/// tests/test_net_batching.cpp, plus burst knobs): each timeout sends
+/// `fanout` pings spread over a window of `width` peers, then slides the
+/// window. The shape matters: protocol actions fan several frames to a
+/// handful of neighbors at once (a departing node hands its whole
+/// neighborhood to its successor, a lookup hops along the same route),
+/// and both sendmmsg batches and same-destination coalescing only exist
+/// when an action enqueues more than one frame before the flush. A
+/// fanout of 1 degenerates every batch to a single one-frame datagram.
+class PingProcess final : public Process {
+ public:
+  PingProcess(Ref self, Mode mode, std::uint64_t key)
+      : Process(self, mode, key) {}
+  void set_peers(std::vector<Ref> peers, std::size_t fanout,
+                 std::size_t width) {
+    peers_ = std::move(peers);
+    fanout_ = fanout;
+    width_ = width < 1 ? 1 : width;
+  }
+  void on_timeout(Context& ctx) override {
+    if (peers_.empty()) return;
+    const std::size_t width = width_ < peers_.size() ? width_ : peers_.size();
+    const std::size_t base = next_;
+    for (std::size_t k = 0; k < fanout_; ++k) {
+      const Ref to = peers_[(base + k % width) % peers_.size()];
+      ctx.send(to, Message{Verb::User, 0, 0, {self_info()}});
+    }
+    next_ = base + width;
+  }
+  void on_message(Context&, const Message&) override {}
+  void collect_refs(std::vector<RefInfo>& out) const override {
+    for (const Ref r : peers_)
+      out.push_back(RefInfo{r, ModeInfo::Unknown, 0});
+  }
+  [[nodiscard]] const char* protocol_name() const override { return "ping"; }
+
+ private:
+  std::vector<Ref> peers_;
+  std::size_t fanout_ = 1;
+  std::size_t width_ = 1;
+  std::size_t next_ = 0;
+};
+
+struct Record {
+  std::string transport;
+  bool batching = false;
+  std::size_t n = 0;
+  std::size_t fanout = 0;
+  std::size_t pumps = 0;
+  double wall_s = 0.0;
+  TransportStats stats;  ///< transport-level: one "frame" = one datagram
+  std::uint64_t frames = 0;  ///< application frames delivered end-to-end
+  std::uint64_t steady_allocs = 0;
+  bool alloc_hooked = false;
+
+  [[nodiscard]] double frames_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(frames) / wall_s : 0;
+  }
+  [[nodiscard]] double syscalls_per_frame() const {
+    return frames > 0
+               ? static_cast<double>(stats.send_calls + stats.recv_calls) /
+                     static_cast<double>(frames)
+               : 0;
+  }
+  [[nodiscard]] double frames_per_datagram() const {
+    return stats.frames_sent > 0 ? static_cast<double>(frames) /
+                                       static_cast<double>(stats.frames_sent)
+                                 : 0;
+  }
+};
+
+std::unique_ptr<Transport> make_transport(const std::string& kind) {
+  if (kind == "mem") return std::make_unique<MemTransport>();
+  if (kind == "udp-nobatch")
+    return std::make_unique<UdpTransport>(/*batching=*/false);
+  return std::make_unique<UdpTransport>();
+}
+
+Record run_config(const std::string& kind, std::size_t n, std::size_t fanout,
+                  std::size_t width, std::size_t warmup, std::size_t pumps) {
+  NetConfig rcfg;
+  rcfg.seed = 42;
+  // "udp-nobatch" is the pre-optimization baseline end to end: per-frame
+  // sendto/recv at the transport AND one frame per datagram at the flush.
+  rcfg.coalesce_frames = kind != "udp-nobatch";
+  auto transport = make_transport(kind);
+  Transport* tp = transport.get();
+  auto rt = std::make_unique<NetRuntime>(std::move(transport), rcfg);
+  for (ProcessId id = 0; id < n; ++id)
+    (void)rt->spawn<PingProcess>(Mode::Staying, id + 1);
+  for (ProcessId id = 0; id < n; ++id) {
+    std::vector<Ref> peers;
+    peers.reserve(n - 1);
+    for (ProcessId p = 0; p < n; ++p)
+      if (p != id) peers.push_back(Ref::make(p));
+    rt->process_as<PingProcess>(id).set_peers(std::move(peers), fanout, width);
+  }
+  rt->start();
+
+  for (std::size_t i = 0; i < warmup; ++i) rt->pump(0);
+
+  Record rec;
+  rec.transport = kind;
+  rec.n = n;
+  rec.fanout = fanout;
+  rec.pumps = pumps;
+  rec.alloc_hooked = alloc_stats::hooked();
+  if (const auto* udp = dynamic_cast<const UdpTransport*>(tp))
+    rec.batching = udp->batching();
+
+  const TransportStats before_stats = tp->stats();
+  const alloc_stats::Counters before_allocs = alloc_stats::snapshot();
+  const std::uint64_t before_frames = rt->deliveries();
+  bench::Timer timer;
+  for (std::size_t i = 0; i < pumps; ++i) rt->pump(0);
+  rec.wall_s = timer.seconds();
+  rec.steady_allocs = alloc_stats::allocs_since(before_allocs);
+  rec.frames = rt->deliveries() - before_frames;
+  const TransportStats after = tp->stats();
+  rec.stats.send_calls = after.send_calls - before_stats.send_calls;
+  rec.stats.recv_calls = after.recv_calls - before_stats.recv_calls;
+  rec.stats.poll_calls = after.poll_calls - before_stats.poll_calls;
+  rec.stats.frames_sent = after.frames_sent - before_stats.frames_sent;
+  rec.stats.frames_received =
+      after.frames_received - before_stats.frames_received;
+  return rec;
+}
+
+void print_record(const Record& r) {
+  std::printf(
+      "%-12s n=%-5zu batching=%-3s  %10.0f frames/s  %5.3f syscalls/frame  "
+      "%4.1f frames/datagram  %4llu allocs%s  (%llu frames, %.2fs)\n",
+      r.transport.c_str(), r.n, r.batching ? "on" : "off",
+      r.frames_per_sec(), r.syscalls_per_frame(), r.frames_per_datagram(),
+      static_cast<unsigned long long>(r.steady_allocs),
+      r.alloc_hooked ? "" : " (hook absent!)",
+      static_cast<unsigned long long>(r.frames), r.wall_s);
+  std::fflush(stdout);
+}
+
+void write_json(const std::string& path, const std::vector<Record>& recs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_net_throughput: cannot write %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n");
+  std::fprintf(f, "  \"mmsg_supported\": %s,\n",
+               UdpTransport::mmsg_supported() ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Record& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"transport\": \"%s\", \"batching\": %s, \"n\": %zu, "
+        "\"fanout\": %zu, \"pumps\": %zu, \"wall_s\": %.6f, "
+        "\"frames\": %llu, \"datagrams_sent\": %llu, "
+        "\"datagrams_received\": %llu, \"send_calls\": %llu, "
+        "\"recv_calls\": %llu, \"poll_calls\": %llu, "
+        "\"frames_per_sec\": %.1f, \"syscalls_per_frame\": %.4f, "
+        "\"frames_per_datagram\": %.2f, \"steady_allocs\": %llu, "
+        "\"alloc_hooked\": %s}%s\n",
+        r.transport.c_str(), r.batching ? "true" : "false", r.n, r.fanout,
+        r.pumps, r.wall_s, static_cast<unsigned long long>(r.frames),
+        static_cast<unsigned long long>(r.stats.frames_sent),
+        static_cast<unsigned long long>(r.stats.frames_received),
+        static_cast<unsigned long long>(r.stats.send_calls),
+        static_cast<unsigned long long>(r.stats.recv_calls),
+        static_cast<unsigned long long>(r.stats.poll_calls),
+        r.frames_per_sec(), r.syscalls_per_frame(), r.frames_per_datagram(),
+        static_cast<unsigned long long>(r.steady_allocs),
+        r.alloc_hooked ? "true" : "false", i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace fdp
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 256));
+  const std::size_t fanout =
+      static_cast<std::size_t>(flags.get_int("fanout", 16));
+  const std::size_t width =
+      static_cast<std::size_t>(flags.get_int("width", 4));
+  const std::size_t pumps =
+      static_cast<std::size_t>(flags.get_int("pumps", 3000));
+  const std::size_t warmup =
+      static_cast<std::size_t>(flags.get_int("warmup", 1000));
+  const std::string only = flags.get_string("transport", "all");
+  const std::string json_path = flags.get_string("json", "");
+  (void)flags.get_int("workers", 0);  // accepted for driver uniformity
+  flags.reject_unknown();
+
+  bench::banner("net throughput",
+                "syscall batching and frame arenas keep the live pump "
+                "allocation-free and drive syscalls/frame below 1");
+
+  std::vector<std::string> kinds;
+  if (only == "all")
+    kinds = {"mem", "udp", "udp-nobatch"};
+  else
+    kinds = {only};
+
+  std::vector<Record> recs;
+  for (const std::string& kind : kinds) {
+    recs.push_back(run_config(kind, n, fanout, width, warmup, pumps));
+    print_record(recs.back());
+  }
+  if (!json_path.empty()) write_json(json_path, recs);
+  return 0;
+}

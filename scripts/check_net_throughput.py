@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Gate the live-substrate batched hot path and condense BENCH_net.json.
+
+Reads the --json output of bench_net_throughput and (optionally) the
+--sweep output of bench_e13_live, then checks:
+
+1. Throughput: batched UDP (sendmmsg/recvmmsg + same-destination frame
+   coalescing) must deliver at least --min-speedup x the frames/sec of
+   the per-frame baseline ("udp-nobatch") at the same n. When the box
+   has no sendmmsg (mmsg_supported false in the bench JSON), the check
+   is SKIPPED (marker "skipped (no sendmmsg)") — the portable path is
+   the only path — but the summary is still emitted.
+
+2. Zero-allocation pump: the batched configs must report 0 steady-state
+   allocations when the alloc hook is linked (alloc_hooked true).
+
+3. Sweep safety floor (only when --sweep is given): every sweep cell
+   must complete all departures with 0 safety violations and 0 wire
+   errors — scale and speed never buy back correctness.
+
+With --emit PATH, writes the condensed summary (throughput per config,
+speedup, sweep rows, gate verdicts) for CI artifact upload / committing
+as BENCH_net.json.
+
+Usage: check_net_throughput.py net_throughput.json
+           [--sweep e13_sweep.json] [--min-speedup 2.0]
+           [--emit BENCH_net.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_doc(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def by_config(results):
+    """{(transport, batching): result} — last entry wins."""
+    return {(r["transport"], bool(r["batching"])): r for r in results}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path", help="bench_net_throughput --json output")
+    ap.add_argument("--sweep", metavar="PATH",
+                    help="bench_e13_live --sweep output")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="required batched/unbatched frames/sec ratio")
+    ap.add_argument("--emit", metavar="PATH",
+                    help="write a condensed JSON summary")
+    args = ap.parse_args()
+
+    doc = load_doc(args.json_path)
+    configs = by_config(doc.get("results", []))
+    mmsg = bool(doc.get("mmsg_supported", False))
+
+    for (transport, batching), r in sorted(configs.items()):
+        print(f"{transport:12s} batching={str(batching).lower():5s} "
+              f"{r['frames_per_sec'] / 1e3:9.1f}k frames/s  "
+              f"{r['syscalls_per_frame']:.3f} syscalls/frame  "
+              f"{r['steady_allocs']} allocs")
+
+    ok = True
+    speedup = None
+    gate = "ok"
+
+    # 1. Throughput gate: batched vs the per-frame baseline.
+    batched = configs.get(("udp", True))
+    baseline = configs.get(("udp-nobatch", False))
+    if not mmsg:
+        gate = "skipped (no sendmmsg)"
+        print("SKIP: throughput gate skipped (no sendmmsg on this kernel) — "
+              "recording the numbers only")
+    elif batched is None or baseline is None:
+        print("FAIL: need both 'udp' (batched) and 'udp-nobatch' results")
+        ok = False
+        gate = "missing configs"
+    else:
+        speedup = batched["frames_per_sec"] / baseline["frames_per_sec"]
+        print(f"speedup batched vs per-frame: {speedup:.2f}x "
+              f"(required {args.min_speedup:.2f}x at n={batched['n']})")
+        if speedup < args.min_speedup:
+            print("FAIL: batching does not pay — coalescing or mmsg batching "
+                  "regressed on the flush/drain path")
+            ok = False
+            gate = "failed"
+
+    # 2. Zero-allocation steady state.
+    for key in (("mem", False), ("udp", True)):
+        r = configs.get(key)
+        if r is None:
+            continue
+        if not r.get("alloc_hooked", False):
+            print(f"WARN: alloc hook absent in {key[0]}; allocs not checked")
+        elif r["steady_allocs"] != 0:
+            print(f"FAIL: {key[0]} pump allocated {r['steady_allocs']} times "
+                  f"in steady state (contract: 0)")
+            ok = False
+
+    # 3. Sweep safety floor.
+    sweep = None
+    if args.sweep:
+        sweep = load_doc(args.sweep)
+        for cell in sweep.get("results", []):
+            label = f"n={cell['n']} batching={cell['batching']}"
+            print(f"sweep {label}: exits {cell['exits']}/{cell['leaving']}, "
+                  f"{cell['safety_violations']} violations, "
+                  f"{cell['wire_errors']} wire errors, "
+                  f"{cell['frames_per_sec'] / 1e3:.1f}k frames/s")
+            if (not cell["departures_done"]
+                    or cell["safety_violations"] != 0
+                    or cell["wire_errors"] != 0):
+                print(f"FAIL: sweep cell {label} broke the safety floor")
+                ok = False
+
+    if args.emit:
+        summary = {
+            "schema": "fdp-net-bench/1",
+            "mmsg_supported": mmsg,
+            "gate": gate if ok else "failed",
+            "min_speedup": args.min_speedup,
+            "speedup_batched_vs_per_frame":
+                round(speedup, 3) if speedup is not None else None,
+            "throughput": doc.get("results", []),
+            "e13_sweep": sweep.get("results", []) if sweep else None,
+        }
+        with open(args.emit, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.emit}")
+
+    if ok:
+        print("OK: net-throughput checks passed"
+              if gate == "ok" else f"OK: {gate}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+// Recycled slab of wire-frame buffers for the live runtime.
+//
+// The pump used to heap-encode every outbound frame; at 1024 actors that
+// is one allocator round-trip per frame per flush. FrameArena hands out
+// fixed-size buffer slots from a freelist and takes them back after the
+// transport call, so once the arena has grown to the flush batch's
+// high-water size the encode path performs zero heap allocations — the
+// MessagePool contract applied to wire bytes.
+//
+// Slots are `slot_bytes` wide (default 512: a 44-byte header plus 36
+// references, far beyond any legal overlay message in this repo). The
+// rare frame larger than a slot gets an exact-sized heap buffer and is
+// counted in `oversize_acquires` — a visible spill, like SmallVec's heap
+// fallback, never a failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp::net {
+
+class FrameArena {
+ public:
+  struct Buf {
+    std::uint8_t* data = nullptr;
+    std::uint32_t cap = 0;
+    std::uint32_t len = 0;  ///< bytes encoded by the caller
+    /// Slot index, or kOversize for an exact-sized heap buffer.
+    std::uint32_t slot = 0;
+  };
+  static constexpr std::uint32_t kOversize = ~std::uint32_t{0};
+
+  explicit FrameArena(std::size_t slot_bytes = 512)
+      : slot_bytes_(slot_bytes) {}
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  /// Take a buffer with capacity >= need. Freelist hit: no allocation.
+  [[nodiscard]] Buf acquire(std::size_t need) {
+    if (need <= slot_bytes_) {
+      if (free_.empty()) {
+        slots_.push_back(std::make_unique<std::uint8_t[]>(slot_bytes_));
+        free_.push_back(static_cast<std::uint32_t>(slots_.size() - 1));
+        high_water_ = slots_.size() > high_water_ ? slots_.size()
+                                                  : high_water_;
+      }
+      const std::uint32_t s = free_.back();
+      free_.pop_back();
+      return Buf{slots_[s].get(), static_cast<std::uint32_t>(slot_bytes_), 0,
+                 s};
+    }
+    ++oversize_acquires_;
+    return Buf{new std::uint8_t[need], static_cast<std::uint32_t>(need), 0,
+               kOversize};
+  }
+
+  /// Return a buffer. No-op for a default-constructed Buf.
+  void release(const Buf& b) {
+    if (b.data == nullptr) return;
+    if (b.slot == kOversize) {
+      delete[] b.data;
+      return;
+    }
+    FDP_DCHECK(b.slot < slots_.size() && b.data == slots_[b.slot].get());
+#if !defined(NDEBUG)
+    for (const std::uint32_t f : free_)
+      FDP_DCHECK(f != b.slot);  // double release: slot already free
+#endif
+    free_.push_back(b.slot);
+  }
+
+  [[nodiscard]] std::size_t slot_bytes() const { return slot_bytes_; }
+  [[nodiscard]] std::size_t slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t free_slots() const { return free_.size(); }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::uint64_t oversize_acquires() const {
+    return oversize_acquires_;
+  }
+
+ private:
+  std::size_t slot_bytes_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t high_water_ = 0;
+  std::uint64_t oversize_acquires_ = 0;
+};
+
+}  // namespace fdp::net

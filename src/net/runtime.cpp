@@ -1,7 +1,9 @@
 #include "net/runtime.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
+#include <span>
 
 #include "core/potential.hpp"
 #include "net/wire.hpp"
@@ -17,11 +19,32 @@
 
 namespace fdp::net {
 
+namespace {
+
+// Timer-wheel payload packing: bit 63 selects the kind. Timeouts carry an
+// actor id; retransmits carry (dst, seq) in 23 + 40 bits — seqs are a
+// per-run send counter, so 2^40 admitted messages is out of reach, and
+// the actor cap is checked at start().
+constexpr std::uint64_t kRetransmitBit = std::uint64_t{1} << 63;
+constexpr std::uint64_t kSeqBits = 40;
+constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+constexpr std::uint64_t kDstBits = 23;
+
+std::uint64_t pack_retransmit(ProcessId dst, std::uint64_t seq) {
+  FDP_DCHECK(seq <= kSeqMask);
+  FDP_DCHECK(dst < (std::uint32_t{1} << kDstBits));
+  return kRetransmitBit | (static_cast<std::uint64_t>(dst) << kSeqBits) |
+         seq;
+}
+
+}  // namespace
+
 NetRuntime::NetRuntime(std::unique_ptr<Transport> transport, Config cfg)
     : transport_(std::move(transport)),
       cfg_(cfg),
       rng_(cfg.seed) {
   FDP_CHECK_MSG(transport_ != nullptr, "NetRuntime needs a transport");
+  FDP_CHECK_MSG(cfg_.send_batch > 0, "send_batch must be positive");
   name_ = std::string("net/") + transport_->name();
 }
 
@@ -34,28 +57,95 @@ NetRuntime::~NetRuntime() {
 void NetRuntime::force_life(ProcessId id, LifeState s) {
   FDP_CHECK(id < actors_.size());
   set_process_life(*actors_[id].proc, s);
+  // Scenario construction / tests mutate life (and stores) behind the
+  // action stream's back; rebuild the edge index at the next query.
+  edges_synced_ = false;
 }
 
 void NetRuntime::start() {
   FDP_CHECK_MSG(!started_, "start() called twice");
+  FDP_CHECK_MSG(actors_.size() < (std::uint32_t{1} << kDstBits),
+                "actor count exceeds the retransmit-payload id width");
   started_ = true;
+  transport_lossy_ = transport_->lossy();
   pending_.resize(actors_.size());
   transport_->open(actors_.size());
+  rx_fn_ = [this](ProcessId dst, const std::uint8_t* data,
+                  std::size_t len) { on_frame(dst, data, len); };
+  for (ProcessId id = 0; id < actors_.size(); ++id)
+    if (actors_[id].proc->life() == LifeState::Awake) arm_timeout(id);
   if (cfg_.monitor) open_monitor();
+}
+
+// --- the in-flight ledger ---
+
+NetRuntime::LedgerEntry& NetRuntime::Ledger::emplace(std::uint64_t seq) {
+  std::uint32_t slot;
+  if (!free.empty()) {
+    slot = free.back();
+    free.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots.size());
+    slots.emplace_back();
+    pos.push_back(0);
+  }
+  const bool fresh = index.emplace(seq, slot);
+  FDP_CHECK_MSG(fresh, "duplicate seq admitted to the ledger");
+  pos[slot] = static_cast<std::uint32_t>(order.size());
+  order.push_back(slot);
+  return slots[slot];
+}
+
+NetRuntime::LedgerEntry* NetRuntime::Ledger::find(std::uint64_t seq) {
+  const std::uint32_t* s = index.find(seq);
+  return s == nullptr ? nullptr : &slots[*s];
+}
+
+const NetRuntime::LedgerEntry* NetRuntime::Ledger::find(
+    std::uint64_t seq) const {
+  const std::uint32_t* s = index.find(seq);
+  return s == nullptr ? nullptr : &slots[*s];
+}
+
+void NetRuntime::Ledger::erase(std::uint64_t seq, MessagePool& pool) {
+  const std::uint32_t* sp = index.find(seq);
+  FDP_CHECK_MSG(sp != nullptr, "erasing a seq the ledger does not hold");
+  const std::uint32_t slot = *sp;
+  index.erase(seq);
+  const std::uint32_t at = pos[slot];
+  const std::uint32_t last = order.back();
+  order[at] = last;
+  pos[last] = at;
+  order.pop_back();
+  // Harvest the message's spill buffer (if any); the slot itself stays
+  // allocated for the next emplace.
+  pool.recycle(slots[slot].msg);
+  free.push_back(slot);
 }
 
 // --- admission / injection ---
 
-void NetRuntime::admit_send(ProcessId src, Ref to, Message&& m) {
+const Message& NetRuntime::admit_send(ProcessId src, Ref to, Message&& m) {
   FDP_CHECK(to.valid() && to.id() < actors_.size());
   const ProcessId dst = to.id();
   m.seq = next_seq_++;
   m.enqueued_at = events_;
   ++sends_;
   Actor& a = actors_[src];
-  a.outbox.emplace_back(dst, m.seq);
-  ++a.out_counts[dst];
-  pending_[dst].emplace(m.seq, std::move(m));
+  OutEntry& oe = a.outbox.push_slot();
+  oe.dst = dst;
+  oe.seq = m.seq;
+  bump_out_count(a, dst);
+  mark_outbox_dirty(src);
+  LedgerEntry& e = pending_[dst].emplace(m.seq);
+  e.msg = std::move(m);
+  e.src = src;
+  e.where = Where::Queued;
+  e.attempts = 0;
+  // The admitted copy enters dst's channel; index its carried refs (a
+  // gone destination's channel is not part of the edge set).
+  if (edges_synced_ && !gone(dst)) add_message_refs(dst, e.msg);
+  return e.msg;
 }
 
 void NetRuntime::inject(Ref to, Message m) {
@@ -68,113 +158,335 @@ void NetRuntime::inject(Ref to, Message m) {
   const ProcessId dst = to.id();
   m.seq = next_seq_++;
   m.enqueued_at = events_;
-  auto [it, fresh] = pending_[dst].emplace(m.seq, std::move(m));
-  FDP_CHECK(fresh);
-  actors_[dst].inbox.emplace_back(it->first, it->second);
-  for (Observer* o : observers_) o->on_inject(*this, dst, it->second);
+  LedgerEntry& e = pending_[dst].emplace(m.seq);
+  e.msg = std::move(m);
+  e.src = kNoProcess;
+  e.where = Where::Arrived;
+  e.attempts = 0;
+  if (edges_synced_ && !gone(dst)) add_message_refs(dst, e.msg);
+  Actor& a = actors_[dst];
+  InEntry& in = a.inbox.push_slot();
+  in.seq = e.msg.seq;
+  in.msg.verb = e.msg.verb;
+  in.msg.tag = e.msg.tag;
+  in.msg.token = e.msg.token;
+  in.msg.seq = e.msg.seq;
+  in.msg.enqueued_at = e.msg.enqueued_at;
+  pool_.assign_refs(in.msg.refs, std::span<const RefInfo>(
+                                     e.msg.refs.data(), e.msg.refs.size()));
+  mark_inbox_ready(dst);
+  for (Observer* o : observers_) o->on_inject(*this, dst, e.msg);
 }
 
 void NetRuntime::each_pending(
     ProcessId id, const std::function<void(const Message&)>& fn) const {
   FDP_CHECK(id < pending_.size());
-  for (const auto& [seq, m] : pending_[id]) fn(m);
+  const Ledger& l = pending_[id];
+  for (const std::uint32_t slot : l.order) fn(l.slots[slot].msg);
+}
+
+// --- dirty/ready bookkeeping ---
+
+void NetRuntime::mark_outbox_dirty(ProcessId src) {
+  Actor& a = actors_[src];
+  if (a.outbox_dirty) return;
+  a.outbox_dirty = true;
+  dirty_outboxes_.push_back(src);
+}
+
+void NetRuntime::mark_inbox_ready(ProcessId dst) {
+  Actor& a = actors_[dst];
+  if (a.inbox_ready) return;
+  a.inbox_ready = true;
+  ready_inboxes_.push_back(dst);
+}
+
+void NetRuntime::bump_out_count(Actor& a, ProcessId dst) {
+  const std::uint64_t key = static_cast<std::uint64_t>(dst) + 1;
+  std::uint32_t* c = a.out_counts.find_mut(key);
+  if (c == nullptr) {
+    a.out_counts.emplace(key, 1);
+    if (cfg_.outbox_high_water <= 1) ++a.over_high_water;
+    return;
+  }
+  if (++*c == cfg_.outbox_high_water) ++a.over_high_water;
+}
+
+void NetRuntime::drop_out_count(Actor& a, ProcessId dst) {
+  const std::uint64_t key = static_cast<std::uint64_t>(dst) + 1;
+  std::uint32_t* c = a.out_counts.find_mut(key);
+  FDP_DCHECK(c != nullptr && *c > 0);
+  if (*c == cfg_.outbox_high_water) {
+    FDP_DCHECK(a.over_high_water > 0);
+    --a.over_high_water;
+  }
+  if (--*c == 0) a.out_counts.erase(key);
 }
 
 // --- pump phases ---
 
 void NetRuntime::flush_outboxes() {
-  for (ProcessId src = 0; src < actors_.size(); ++src) {
-    Actor& a = actors_[src];
+  if (dirty_outboxes_.empty()) return;
+  flush_scratch_.clear();
+  flush_scratch_.swap(dirty_outboxes_);
+  for (const ProcessId src : flush_scratch_) {
     // A gone actor's outbox keeps flushing: the references in those frames
     // were sent before the exit and must still travel.
+    actors_[src].outbox_dirty = false;
+    if (!flush_one(src)) mark_outbox_dirty(src);  // EAGAIN: retry next pump
+  }
+}
+
+bool NetRuntime::flush_one(ProcessId src) {
+  Actor& a = actors_[src];
+  for (;;) {
+    // Drop moot front entries: the seq was delivered (a late original
+    // outran its retransmit) or re-queued elsewhere — the ledger state,
+    // not the outbox, is the source of truth for what still travels.
     while (!a.outbox.empty()) {
-      const auto [dst, seq] = a.outbox.front();
-      const auto it = pending_[dst].find(seq);
-      // The ledger owns the message until delivery, so the entry must
-      // exist for anything still in an outbox.
-      FDP_CHECK(it != pending_[dst].end());
-      frame_scratch_.clear();
-      encode_frame(it->second, src, dst, frame_scratch_);
-      if (!transport_->try_send(src, dst, frame_scratch_.data(),
-                                frame_scratch_.size()))
-        break;  // medium full: retry after the next poll
+      const OutEntry oe = a.outbox.front();
+      const LedgerEntry* e = pending_[oe.dst].find(oe.seq);
+      if (e != nullptr && e->where == Where::Queued) break;
+      drop_out_count(a, oe.dst);
       a.outbox.pop_front();
-      const auto cit = a.out_counts.find(dst);
-      if (--cit->second == 0) a.out_counts.erase(cit);
     }
+    if (a.outbox.empty()) return true;
+
+    // Stage a batch of consecutive live frames, packing frames that share
+    // a destination into one datagram (the wire format is self-delimiting;
+    // the receiver decodes in a loop). Syscall entry is cheap next to the
+    // kernel's per-datagram stack traversal, so coalescing — not sendmmsg
+    // alone — is what divides the per-frame wire cost.
+    constexpr std::uint32_t kNoGroup = ~std::uint32_t{0};
+    stage_views_.clear();
+    stage_entries_.clear();
+    stage_group_of_.clear();
+    const std::size_t limit = std::min(a.outbox.size(), cfg_.send_batch);
+    for (std::size_t i = 0; i < limit; ++i) {
+      const OutEntry& oe = a.outbox.at(i);
+      const LedgerEntry* e = pending_[oe.dst].find(oe.seq);
+      if (e == nullptr || e->where != Where::Queued)
+        break;  // moot mid-batch: send what is staged, re-scan after
+      const std::size_t sz = encoded_size(e->msg);
+      std::uint32_t g = kNoGroup;
+      if (cfg_.coalesce_frames) {
+        for (std::uint32_t j = 0; j < stage_views_.size(); ++j)
+          if (stage_views_[j].dst == oe.dst &&
+              stage_bufs_[j].len + sz <= stage_bufs_[j].cap) {
+            g = j;
+            break;
+          }
+      }
+      if (g == kNoGroup) {
+        g = static_cast<std::uint32_t>(stage_views_.size());
+        const FrameArena::Buf b = arena_.acquire(sz);  // cap is a full slot
+        stage_bufs_.push_back(b);
+        stage_views_.push_back(FrameView{oe.dst, b.data, 0});
+      }
+      FrameArena::Buf& b = stage_bufs_[g];
+      b.len += static_cast<std::uint32_t>(
+          encode_frame(e->msg, src, oe.dst, b.data + b.len, b.cap - b.len));
+      stage_views_[g].len = b.len;
+      stage_entries_.push_back(oe);
+      stage_group_of_.push_back(g);
+    }
+
+    const std::size_t groups = stage_views_.size();
+    const std::size_t accepted =
+        groups == 0 ? 0
+                    : transport_->try_send_many(src, stage_views_.data(),
+                                                groups);
+    // Pop every staged frame: members of accepted datagrams become Sent,
+    // the rest return to the tail still Queued (their out_counts are
+    // untouched — they never left the queue, logically). The re-push can
+    // reorder frames across destinations; the medium is unordered anyway
+    // and the ledger tracks every seq independently.
+    for (std::size_t i = 0; i < stage_entries_.size(); ++i) {
+      const OutEntry oe = a.outbox.front();
+      a.outbox.pop_front();
+      FDP_DCHECK(oe.dst == stage_entries_[i].dst &&
+                 oe.seq == stage_entries_[i].seq);
+      if (stage_group_of_[i] >= accepted) {
+        a.outbox.push_back(oe);
+        continue;
+      }
+      drop_out_count(a, oe.dst);
+      LedgerEntry* e = pending_[oe.dst].find(oe.seq);
+      FDP_DCHECK(e != nullptr && e->where == Where::Queued);
+      e->where = Where::Sent;
+      if (e->attempts < 255) ++e->attempts;
+      if (transport_lossy_ && cfg_.retransmit_ticks != 0)
+        arm_retransmit(oe.dst, *e, oe.seq);
+    }
+    for (const FrameArena::Buf& b : stage_bufs_) arena_.release(b);
+    stage_bufs_.clear();
+    if (accepted < groups) return false;  // medium full: retry next pump
   }
 }
 
 void NetRuntime::on_frame(ProcessId dst, const std::uint8_t* data,
                           std::size_t len) {
-  DecodedFrame f;
-  if (decode_frame(data, len, f) != WireError::None) {
-    ++wire_errors_;
-    return;
+  // One datagram carries one or more self-delimiting frames (the sender
+  // coalesces frames that share a destination); decode them all. A bad
+  // frame is skipped by its claimed length when that is trustworthy,
+  // else the rest of the datagram is dropped — per-frame accounting
+  // either way.
+  std::size_t off = 0;
+  while (off < len) {
+    std::size_t consumed = len - off;
+    const WireError err =
+        decode_frame(data + off, len - off, rx_frame_, &consumed);
+    if (err != WireError::None) {
+      ++wire_errors_;
+      if (consumed == 0) break;
+      off += consumed;
+      continue;
+    }
+    off += consumed;
+    handle_frame(dst);
   }
-  if (f.dst != dst || dst >= actors_.size()) {
+}
+
+void NetRuntime::handle_frame(ProcessId dst) {
+  if (rx_frame_.dst != dst || dst >= actors_.size()) {
     ++wire_errors_;  // well-formed but misrouted
     return;
   }
-  if (pending_[dst].find(f.msg.seq) == pending_[dst].end()) {
-    ++stale_frames_;  // duplicate datagram or already-delivered seq
+  LedgerEntry* e = pending_[dst].find(rx_frame_.msg.seq);
+  if (e == nullptr || e->where == Where::Arrived) {
+    // Duplicate datagram or retransmit echo of a seq already in an inbox
+    // (or already delivered) — arrivals are idempotent, drop it.
+    ++stale_frames_;
     return;
   }
+  e->where = Where::Arrived;
   // Deliver the message as decoded off the wire (the honest end-to-end
   // path); the ledger entry is only accounting from here on.
-  actors_[dst].inbox.emplace_back(f.msg.seq, std::move(f.msg));
+  Actor& a = actors_[dst];
+  InEntry& in = a.inbox.push_slot();
+  in.seq = rx_frame_.msg.seq;
+  in.msg.verb = rx_frame_.msg.verb;
+  in.msg.tag = rx_frame_.msg.tag;
+  in.msg.token = rx_frame_.msg.token;
+  in.msg.seq = rx_frame_.msg.seq;
+  in.msg.enqueued_at = e->msg.enqueued_at;  // not carried on the wire
+  pool_.assign_refs(in.msg.refs,
+                    std::span<const RefInfo>(rx_frame_.msg.refs.data(),
+                                             rx_frame_.msg.refs.size()));
+  mark_inbox_ready(dst);
 }
 
-bool NetRuntime::throttled(const Actor& a) const {
-  for (const auto& [dst, count] : a.out_counts)
-    if (count >= cfg_.outbox_high_water) return true;
-  return false;
-}
-
-std::size_t NetRuntime::pump(int timeout_ms) {
-  FDP_CHECK_MSG(started_, "pump before start()");
-  flush_outboxes();
-  transport_->poll(timeout_ms,
-                   [this](ProcessId dst, const std::uint8_t* data,
-                          std::size_t len) { on_frame(dst, data, len); });
-
+std::size_t NetRuntime::deliver_ready() {
   std::size_t executed = 0;
-
-  // Deliveries: drain every inbox. Messages for gone actors stay queued
-  // (and in the ledger) — the simulator's "messages to gone processes are
-  // never delivered".
-  for (ProcessId id = 0; id < actors_.size(); ++id) {
+  // Deliveries never add inbox entries (sends go to outboxes and cross the
+  // medium first; inject is not callable from handlers), so the ready list
+  // is stable while it drains.
+  for (const ProcessId id : ready_inboxes_) {
     Actor& a = actors_[id];
+    a.inbox_ready = false;
+    // Messages for gone actors stay queued (and in the ledger) — the
+    // simulator's "messages to gone processes are never delivered".
     while (!a.inbox.empty() && a.proc->life() != LifeState::Gone) {
-      auto [seq, m] = std::move(a.inbox.front());
+      InEntry& in = a.inbox.front();
+      if (edges_synced_) {
+        const LedgerEntry* le = pending_[id].find(in.seq);
+        FDP_DCHECK(le != nullptr);
+        remove_message_refs(id, le->msg);
+      }
+      pending_[id].erase(in.seq, pool_);
+      execute(id, ActionKind::Deliver, &in.msg);
       a.inbox.pop_front();
-      pending_[id].erase(seq);
-      execute(id, ActionKind::Deliver, &m);
       ++executed;
     }
   }
+  ready_inboxes_.clear();
+  return executed;
+}
 
-  // Timeouts: each awake, un-throttled actor fires with probability 1/2
-  // per cycle (drawn from the seeded rng, so runs stay reproducible).
-  // Real timers drift; modeling that jitter matters for correctness, not
-  // just realism — firing EVERY actor EVERY cycle is a synchronous
+// --- timers ---
+
+void NetRuntime::arm_timeout(ProcessId id) {
+  Actor& a = actors_[id];
+  if (a.timer_armed) return;
+  a.timer_armed = true;
+  // Geometric(1/2) gap: the wheel-driven twin of the old per-pump coin
+  // flip. Real timers drift; modeling that jitter matters for correctness,
+  // not just realism — firing EVERY actor EVERY cycle is a synchronous
   // schedule, and self-stabilizing maintenance (e.g. linearization's
   // delegate-and-reintroduce) can phase-lock into a limit cycle under
   // lockstep rounds that any jittered/fair schedule escapes almost surely.
-  for (ProcessId id = 0; id < actors_.size(); ++id) {
-    Actor& a = actors_[id];
-    if (a.proc->life() != LifeState::Awake) continue;
-    if (throttled(a)) {
-      ++throttle_skips_;
-      continue;
-    }
-    if (rng_.below(2) != 0) continue;
-    execute(id, ActionKind::Timeout, nullptr);
-    ++executed;
-  }
+  // The gap is capped at 32 ticks: the geometric tail beyond that has
+  // probability 2^-32 (unobservable), and a bounded gap keeps every
+  // timeout in a bounded band of wheel slots, so slot capacities reach
+  // their high water during warm-up and the pump stays allocation-free.
+  const std::uint64_t gap = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(std::countr_zero(rng_())) + 1, 32);
+  wheel_.schedule(ticks_ + gap, static_cast<std::uint64_t>(id));
+}
 
+void NetRuntime::arm_retransmit(ProcessId dst, const LedgerEntry& e,
+                                std::uint64_t seq) {
+  // Exponential backoff per attempt, capped at 64x the base delay.
+  const std::uint32_t shift =
+      std::min<std::uint32_t>(e.attempts > 0 ? e.attempts - 1 : 0, 6);
+  const std::uint64_t delay =
+      static_cast<std::uint64_t>(cfg_.retransmit_ticks) << shift;
+  wheel_.schedule(ticks_ + delay, pack_retransmit(dst, seq));
+}
+
+void NetRuntime::fire_timer(std::uint64_t payload) {
+  if ((payload & kRetransmitBit) == 0) {
+    const ProcessId id = static_cast<ProcessId>(payload);
+    Actor& a = actors_[id];
+    a.timer_armed = false;
+    // Asleep/gone actors do not time out; waking re-arms (execute()).
+    if (a.proc->life() != LifeState::Awake) return;
+    if (throttled(a)) {
+      // Back-pressure: defer rather than drop — slow the producer until
+      // the congested peer queue drains.
+      ++throttle_skips_;
+      a.timer_armed = true;
+      wheel_.schedule(ticks_ + cfg_.throttle_backoff_ticks, payload);
+      return;
+    }
+    execute(id, ActionKind::Timeout, nullptr);
+    ++executed_this_pump_;
+    if (a.proc->life() == LifeState::Awake) arm_timeout(id);
+    return;
+  }
+  const ProcessId dst =
+      static_cast<ProcessId>((payload >> kSeqBits) & ~(~std::uint64_t{0}
+                                                       << kDstBits));
+  const std::uint64_t seq = payload & kSeqMask;
+  LedgerEntry* e = pending_[dst].find(seq);
+  // Arrived (or delivered and erased): the frame made it, nothing to do.
+  // Queued: a flush already owns it. Only a frame still marked in-medium
+  // is presumed lost and re-queued at its source.
+  if (e == nullptr || e->where != Where::Sent) return;
+  e->where = Where::Queued;
+  ++retransmits_;
+  FDP_DCHECK(e->src != kNoProcess);
+  Actor& a = actors_[e->src];
+  OutEntry& oe = a.outbox.push_slot();
+  oe.dst = dst;
+  oe.seq = seq;
+  bump_out_count(a, dst);
+  mark_outbox_dirty(e->src);
+}
+
+// --- the pump ---
+
+std::size_t NetRuntime::pump(int timeout_ms) {
+  FDP_CHECK_MSG(started_, "pump before start()");
+  ++ticks_;
+  executed_this_pump_ = 0;
+  flush_outboxes();
+  transport_->poll(timeout_ms, rx_fn_);
+  executed_this_pump_ += deliver_ready();
+  wheel_.advance(ticks_,
+                 [this](std::uint64_t payload) { fire_timer(payload); });
   if (monitor_fd_ >= 0) serve_monitor();
-  return executed;
+  return executed_this_pump_;
 }
 
 bool NetRuntime::run_until(
@@ -194,11 +506,17 @@ void NetRuntime::execute(ProcessId actor, ActionKind kind,
   Process& p = *actors_[actor].proc;
   const bool want_record = !observers_.empty();
 
-  ActionRecord rec;
   if (want_record) {
-    rec.actor = actor;
-    rec.step = events_;
-    p.collect_refs(rec.refs_before);
+    // rec_ is reused across actions: clearing keeps the vectors' capacity
+    // so steady-state recording stays off the allocator too.
+    rec_.sent.clear();
+    rec_.refs_before.clear();
+    rec_.refs_after.clear();
+    rec_.consumed.reset();
+    rec_.exited = rec_.slept = rec_.woke = false;
+    rec_.actor = actor;
+    rec_.step = events_;
+    p.collect_refs(rec_.refs_before);
   }
 
   sends_scratch_.clear();
@@ -207,7 +525,7 @@ void NetRuntime::execute(ProcessId actor, ActionKind kind,
   if (kind == ActionKind::Timeout) {
     FDP_CHECK(p.life() == LifeState::Awake);
     ++timeouts_;
-    if (want_record) rec.kind = ActionRecord::Kind::Timeout;
+    if (want_record) rec_.kind = ActionRecord::Kind::Timeout;
     p.on_timeout(ctx);
   } else {
     ++deliveries_;
@@ -215,40 +533,44 @@ void NetRuntime::execute(ProcessId actor, ActionKind kind,
     if (woke) {
       set_process_life(p, LifeState::Awake);
       ++wakes_;
+      arm_timeout(actor);
     }
     if (want_record) {
-      rec.kind = ActionRecord::Kind::Deliver;
-      rec.woke = woke;
-      rec.consumed = *consumed;
+      rec_.kind = ActionRecord::Kind::Deliver;
+      rec_.woke = woke;
+      rec_.consumed = *consumed;
     }
     p.on_message(ctx, *consumed);
   }
 
   for (auto& [to, msg] : sends_scratch_) {
-    admit_send(actor, to, std::move(msg));
-    if (want_record) {
-      // The admitted copy (with seq assigned) lives in the ledger.
-      rec.sent.emplace_back(to, pending_[to.id()].rbegin()->second);
-    }
+    // The admitted copy (with seq assigned) lives in the ledger.
+    const Message& stored = admit_send(actor, to, std::move(msg));
+    if (want_record) rec_.sent.emplace_back(to, stored);
   }
 
-  if (want_record) p.collect_refs(rec.refs_after);
+  // Stored-ref diff for the actor — before any exit deregisters it, so
+  // deregister_gone_actor sees the index matching the new refs.
+  if (edges_synced_) apply_store_diff(actor);
+
+  if (want_record) p.collect_refs(rec_.refs_after);
 
   if (ctx.exit_requested_) {
     FDP_CHECK_MSG(!ctx.sleep_requested_, "action requested exit AND sleep");
     set_process_life(p, LifeState::Gone);
     ++exits_;
-    if (want_record) rec.exited = true;
+    if (edges_synced_) deregister_gone_actor(actor);
+    if (want_record) rec_.exited = true;
   } else if (ctx.sleep_requested_) {
     set_process_life(p, LifeState::Asleep);
     ++sleeps_;
-    if (want_record) rec.slept = true;
+    if (want_record) rec_.slept = true;
   }
 
   ++events_;
 
   if (want_record)
-    for (Observer* obs : observers_) obs->on_action(*this, rec);
+    for (Observer* obs : observers_) obs->on_action(*this, rec_);
 }
 
 // --- oracle + support queries (the "omniscient service" scans) ---
@@ -262,72 +584,176 @@ std::uint64_t NetRuntime::quiet_count() const {
   std::uint64_t n = 0;
   for (ProcessId id = 0; id < actors_.size(); ++id)
     if (actors_[id].proc->life() == LifeState::Asleep &&
-        pending_[id].empty())
+        pending_[id].order.empty())
       ++n;
   return n;
 }
 
-std::size_t NetRuntime::incident_nongone(ProcessId p) const {
-  FDP_CHECK(p < actors_.size());
-  std::vector<bool> peer(actors_.size(), false);
-  const auto mark_targets = [&](ProcessId holder) {
-    refs_scratch_.clear();
-    actors_[holder].proc->collect_refs(refs_scratch_);
-    for (const RefInfo& r : refs_scratch_) {
-      const ProcessId t = r.ref.id();
-      if (holder == p) {
-        if (t != p && t < actors_.size() && !gone(t)) peer[t] = true;
-      } else if (t == p) {
-        peer[holder] = true;
-      }
+// --- the reference-edge instance index ---
+
+namespace {
+
+void counts_add(NetRuntime::EdgeCounts& v, ProcessId peer) {
+  for (auto& [q, cnt] : v) {
+    if (q == peer) {
+      ++cnt;
+      return;
     }
-    for (const auto& [seq, m] : pending_[holder]) {
-      for (const RefInfo& r : m.refs) {
-        const ProcessId t = r.ref.id();
-        if (holder == p) {
-          if (t != p && t < actors_.size() && !gone(t)) peer[t] = true;
-        } else if (t == p) {
-          peer[holder] = true;
+  }
+  v.emplace_back(peer, 1);
+}
+
+void counts_remove(NetRuntime::EdgeCounts& v, ProcessId peer) {
+  for (auto& e : v) {
+    if (e.first == peer) {
+      if (--e.second == 0) {
+        e = v.back();
+        v.pop_back();
+      }
+      return;
+    }
+  }
+  FDP_DCHECK(false);
+}
+
+}  // namespace
+
+void NetRuntime::add_edge_instance(ProcessId holder, ProcessId target) const {
+  if (target >= actors_.size()) return;  // out-of-system ref: no edge
+  counts_add(ref_out_[holder], target);
+  counts_add(ref_in_[target], holder);
+}
+
+void NetRuntime::remove_edge_instance(ProcessId holder,
+                                      ProcessId target) const {
+  if (target >= actors_.size()) return;
+  counts_remove(ref_out_[holder], target);
+  counts_remove(ref_in_[target], holder);
+}
+
+void NetRuntime::add_message_refs(ProcessId holder, const Message& m) const {
+  for (const RefInfo& r : m.refs) add_edge_instance(holder, r.ref.id());
+}
+
+void NetRuntime::remove_message_refs(ProcessId holder,
+                                     const Message& m) const {
+  for (const RefInfo& r : m.refs) remove_edge_instance(holder, r.ref.id());
+}
+
+void NetRuntime::ensure_edge_index() const {
+  if (edges_synced_) return;
+  if (ref_out_.size() < actors_.size()) {
+    ref_out_.resize(actors_.size());
+    ref_in_.resize(actors_.size());
+    ref_cache_.resize(actors_.size());
+  }
+  // Clear row by row: assign() would free every row's capacity and turn
+  // each rebuild into O(n) fresh allocations.
+  for (ProcessId p = 0; p < actors_.size(); ++p) {
+    ref_out_[p].clear();
+    ref_in_[p].clear();
+    ref_cache_[p].clear();
+    actors_[p].proc->collect_refs(ref_cache_[p]);
+  }
+  for (ProcessId p = 0; p < actors_.size(); ++p) {
+    if (gone(p)) continue;
+    for (const RefInfo& r : ref_cache_[p]) add_edge_instance(p, r.ref.id());
+    if (p < pending_.size()) {
+      const Ledger& l = pending_[p];
+      for (const std::uint32_t slot : l.order)
+        add_message_refs(p, l.slots[slot].msg);
+    }
+  }
+  edges_synced_ = true;
+}
+
+void NetRuntime::apply_store_diff(ProcessId actor) {
+  refs_scratch_.clear();
+  actors_[actor].proc->collect_refs(refs_scratch_);
+  std::vector<RefInfo>& before = ref_cache_[actor];
+  if (refs_scratch_ != before) {
+    // Minimal multiset diff on target ids (mirrors World::step): a
+    // mode/key-only change costs no index update and a single inserted
+    // ref touches one counter, not the whole row.
+    diff_matched_.assign(before.size(), 0);
+    for (const RefInfo& r : refs_scratch_) {
+      bool matched = false;
+      for (std::size_t i = 0; i < before.size(); ++i) {
+        if (!diff_matched_[i] && before[i].ref.id() == r.ref.id()) {
+          diff_matched_[i] = 1;
+          matched = true;
+          break;
         }
       }
+      if (!matched) add_edge_instance(actor, r.ref.id());
     }
-  };
-  mark_targets(p);
-  for (ProcessId q = 0; q < actors_.size(); ++q)
-    if (q != p && !gone(q)) mark_targets(q);
-  std::size_t n = 0;
-  for (ProcessId q = 0; q < actors_.size(); ++q)
-    if (q != p && peer[q]) ++n;
-  return n;
+    for (std::size_t i = 0; i < before.size(); ++i)
+      if (!diff_matched_[i])
+        remove_edge_instance(actor, before[i].ref.id());
+    before.swap(refs_scratch_);
+  }
+}
+
+void NetRuntime::deregister_gone_actor(ProcessId p) const {
+  // A gone actor's store and channel leave the edge set: its messages can
+  // never be delivered and its instances can never propagate again.
+  for (const RefInfo& r : ref_cache_[p]) remove_edge_instance(p, r.ref.id());
+  const Ledger& l = pending_[p];
+  for (const std::uint32_t slot : l.order)
+    remove_message_refs(p, l.slots[slot].msg);
+}
+
+std::size_t NetRuntime::incident_nongone(ProcessId p) const {
+  FDP_CHECK(p < actors_.size());
+  if (gone(p)) return 0;
+  ensure_edge_index();
+  const EdgeCounts& out = ref_out_[p];
+  std::size_t count = 0;
+  for (const auto& [t, cnt] : out) {
+    (void)cnt;
+    if (t != p && !gone(t)) ++count;
+  }
+  for (const auto& [q, cnt] : ref_in_[p]) {
+    (void)cnt;
+    if (q == p || gone(q)) continue;
+    bool also_out = false;
+    for (const auto& [t, c] : out) {
+      (void)c;
+      if (t == q) {
+        also_out = true;
+        break;
+      }
+    }
+    if (!also_out) ++count;
+  }
+  return count;
 }
 
 bool NetRuntime::referenced_by_other(ProcessId p) const {
   FDP_CHECK(p < actors_.size());
-  const Ref target = actors_[p].proc->self();
-  for (ProcessId q = 0; q < actors_.size(); ++q) {
-    if (q == p || gone(q)) continue;
-    refs_scratch_.clear();
-    actors_[q].proc->collect_refs(refs_scratch_);
-    for (const RefInfo& r : refs_scratch_)
-      if (r.ref == target) return true;
-    for (const auto& [seq, m] : pending_[q])
-      for (const RefInfo& r : m.refs)
-        if (r.ref == target) return true;
+  ensure_edge_index();
+  for (const auto& [q, cnt] : ref_in_[p]) {
+    (void)cnt;
+    if (q != p && !gone(q)) return true;
   }
   return false;
 }
 
 std::uint64_t NetRuntime::in_flight() const {
   std::uint64_t n = 0;
-  for (const auto& ledger : pending_) n += ledger.size();
+  for (const Ledger& l : pending_) n += l.order.size();
   return n;
 }
 
 // --- monitor socket ---
 
-std::string NetRuntime::monitor_json() const {
-  std::string j;
-  j.reserve(256 + 96 * actors_.size());
+const std::string& NetRuntime::monitor_json() const {
+  // Built at most once per pump tick, into a buffer reused across calls:
+  // a monitor poll storm costs one serialization, not one per connection.
+  if (monitor_built_tick_ == ticks_) return monitor_buf_;
+  monitor_built_tick_ = ticks_;
+  std::string& j = monitor_buf_;
+  j.clear();
   j += "{\"substrate\":\"";
   j += name_;
   j += "\",\"clock\":";
@@ -342,10 +768,18 @@ std::string NetRuntime::monitor_json() const {
   j += std::to_string(stale_frames_);
   j += ",\"throttle_skips\":";
   j += std::to_string(throttle_skips_);
+  j += ",\"retransmits\":";
+  j += std::to_string(retransmits_);
   j += ",\"exits\":";
   j += std::to_string(exits_);
   j += ",\"processes\":[";
-  for (ProcessId id = 0; id < actors_.size(); ++id) {
+  // Cap the per-process listing so serving a monitor poll stays O(cap)
+  // however large the run is; the tail count is reported instead.
+  const std::size_t shown =
+      cfg_.monitor_max_processes == 0
+          ? actors_.size()
+          : std::min(actors_.size(), cfg_.monitor_max_processes);
+  for (ProcessId id = 0; id < shown; ++id) {
     const Process& p = *actors_[id].proc;
     if (id != 0) j += ',';
     j += "{\"id\":";
@@ -365,10 +799,15 @@ std::string NetRuntime::monitor_json() const {
     j += "\",\"stored\":";
     j += std::to_string(refs_scratch_.size());
     j += ",\"channel\":";
-    j += std::to_string(pending_[id].size());
+    j += std::to_string(pending_[id].order.size());
     j += '}';
   }
-  j += "]}\n";
+  j += ']';
+  if (shown < actors_.size()) {
+    j += ",\"omitted\":";
+    j += std::to_string(actors_.size() - shown);
+  }
+  j += "}\n";
   return j;
 }
 
@@ -401,7 +840,7 @@ void NetRuntime::serve_monitor() {
     // on Linux), and the document is small, so a plain send loop is fine.
     // MSG_NOSIGNAL: a client that hangs up mid-read must surface as EPIPE,
     // not kill the runtime with SIGPIPE.
-    const std::string doc = monitor_json();
+    const std::string& doc = monitor_json();
     std::size_t off = 0;
     while (off < doc.size()) {
       const ssize_t w = ::send(conn, doc.data() + off, doc.size() - off,

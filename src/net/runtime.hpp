@@ -1,12 +1,13 @@
 // The live async-socket runtime: the second Substrate implementation.
 //
 // Each process is an event-loop actor. An action's sends are encoded into
-// wire frames (net/wire.hpp) and queued in the sender's bounded outbox; the
-// pump cycle flushes outboxes into the Transport, polls it for readable
-// frames, delivers inbox messages and runs one timeout per awake actor.
-// With MemTransport the whole cycle is single-threaded and deterministic;
-// with UdpTransport every frame really crosses the kernel's loopback UDP
-// path.
+// wire frames (net/wire.hpp) and queued in the sender's outbox ring; the
+// pump cycle flushes outbox batches into the Transport (one sendmmsg per
+// batch where the platform has it), polls it for readable frames,
+// delivers inbox messages and fires due timers from a hierarchical timer
+// wheel. With MemTransport the whole cycle is single-threaded and
+// deterministic; with UdpTransport every frame really crosses the
+// kernel's loopback UDP path.
 //
 // ## The in-flight ledger (oracle as an omniscient service)
 //
@@ -17,11 +18,23 @@
 // plays that service itself: every admitted-but-undelivered message is
 // kept in a per-destination ledger (outbox + medium + inbox, exactly the
 // simulator's "channel"), and the Substrate support queries
-// (channel_depth / each_pending / referenced_by_other / Φ) read it. A
-// frame the medium loses (UDP buffer overflow) leaves its ledger entry in
-// place: the oracle then keeps reporting the reference in flight and the
-// affected exit is delayed — a liveness stall, never a safety violation,
-// which is precisely the failure direction the paper's model allows.
+// (channel_depth / each_pending / referenced_by_other / Φ) read it. The
+// ledger is a slot arena indexed by an open-addressing seq map, so
+// admit/lookup/erase never touch the allocator in steady state; spilled
+// Message ref buffers recycle through a MessagePool exactly like the
+// simulator kernel's.
+//
+// ## Loss and retransmission
+//
+// A frame the medium loses (UDP buffer overflow, injected drops) leaves
+// its ledger entry in place: the oracle keeps reporting the reference in
+// flight, so the affected exit is delayed — a liveness stall, never a
+// safety violation. On lossy transports the runtime now closes that
+// stall: each sent frame arms a timer-wheel retransmit; if the entry is
+// still marked in-medium when the timer fires, the frame is re-queued
+// and re-sent with exponential backoff. Duplicates this creates are
+// dropped by the ledger state machine (an entry already in an inbox
+// counts further arrivals as stale), so retransmission is idempotent.
 //
 // ## Bounded outboxes
 //
@@ -29,9 +42,21 @@
 // destroy the reference copies it carries, and no component in this repo
 // is allowed to delete process-graph edges (DESIGN.md, fault model). When
 // an actor's queue to some peer reaches the high-water mark the runtime
-// throttles the *source* instead — its timeout actions are skipped until
-// the queue drains — so back-pressure slows reference production rather
-// than losing references.
+// throttles the *source* instead — its timer-wheel timeout is deferred by
+// a backoff delay until the queue drains — so back-pressure slows
+// reference production rather than losing references.
+//
+// ## Timer wheel instead of per-actor scans
+//
+// Earlier revisions walked every actor every pump to coin-flip timeouts
+// and scan for timeout state — O(n) per cycle even when idle. Timeouts
+// now live on a hierarchical timer wheel (net/timer_wheel.hpp): each
+// awake actor schedules its next timeout a geometric(1/2)-distributed
+// number of ticks ahead (the same per-pump firing probability as before,
+// so schedules keep the jitter that breaks synchronous-round limit
+// cycles), and a pump touches only the actors actually due. Delivery and
+// flush work is likewise driven by ready/dirty lists, so a pump's cost is
+// O(work due), not O(n).
 //
 // ## Monitor socket
 //
@@ -39,26 +64,33 @@
 // accepted connection receives one JSON document (process states, Φ,
 // channel depths, counters) and is closed — the serval-dna monitor-socket
 // idiom (docs/substrate_idioms.md): introspection rides a socket anyone
-// can poll with nc, not a debugger.
+// can poll with nc, not a debugger. The document is serialized into a
+// buffer reused across connections, built at most once per pump, and its
+// per-process listing is capped (Config::monitor_max_processes) so a
+// monitor poll cannot stall the event loop at large n.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "net/frame_arena.hpp"
+#include "net/timer_wheel.hpp"
 #include "net/transport.hpp"
+#include "net/wire.hpp"
 #include "sim/context.hpp"
 #include "sim/ids.hpp"
 #include "sim/message.hpp"
+#include "sim/message_pool.hpp"
 #include "sim/observer.hpp"
 #include "sim/process.hpp"
 #include "sim/substrate.hpp"
 #include "util/check.hpp"
+#include "util/flat_map.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace fdp::net {
@@ -70,10 +102,29 @@ struct NetConfig {
   std::size_t outbox_high_water = 64;
   /// Serve live JSON on a loopback TCP monitor socket (see monitor_port).
   bool monitor = false;
+  /// Monitor JSON lists at most this many processes (0 = unlimited); the
+  /// omitted count is reported in the document.
+  std::size_t monitor_max_processes = 256;
+  /// Frames staged per flush batch per source (one sendmmsg's worth).
+  std::size_t send_batch = 32;
+  /// Pack staged frames that share a destination into one datagram (the
+  /// wire format is self-delimiting, so the receiver just decodes in a
+  /// loop). This is where the real per-frame win lives: syscall *entry*
+  /// is cheap next to the kernel's per-datagram stack traversal, and
+  /// coalescing divides that whole cost by the frames per datagram.
+  bool coalesce_frames = true;
+  /// Pump ticks before a frame on a lossy transport is presumed lost and
+  /// re-queued (doubles per attempt, capped). 0 disables retransmission.
+  std::uint32_t retransmit_ticks = 32;
+  /// Pump ticks a throttled actor's timeout is deferred by.
+  std::uint32_t throttle_backoff_ticks = 4;
 };
 
 class NetRuntime final : public Substrate {
  public:
+  /// (peer, count) rows of the reference-edge instance index (public for
+  /// the maintenance helpers in runtime.cpp's anonymous namespace).
+  using EdgeCounts = std::vector<std::pair<ProcessId, std::uint32_t>>;
   using Config = NetConfig;
 
   explicit NetRuntime(std::unique_ptr<Transport> transport,
@@ -113,16 +164,16 @@ class NetRuntime final : public Substrate {
   void set_oracle(OracleFn fn) { oracle_ = std::move(fn); }
   void add_observer(Observer* obs) { observers_.push_back(obs); }
 
-  /// Open the transport endpoints (and the monitor socket, if configured).
-  /// Population is frozen from here on.
+  /// Open the transport endpoints (and the monitor socket, if configured)
+  /// and arm the timeout timers. Population is frozen from here on.
   void start();
 
   // --- event loop ---
 
-  /// One pump cycle: flush outboxes, poll the transport (blocking up to
-  /// `timeout_ms` for the first frame), deliver every inbox message, run
-  /// one timeout per awake un-throttled actor, serve monitor connections.
-  /// Returns the number of actions executed.
+  /// One pump cycle: flush dirty outbox batches, poll the transport
+  /// (blocking up to `timeout_ms` for the first frame), deliver every
+  /// ready inbox message, fire due timers (timeouts, retransmits), serve
+  /// monitor connections. Returns the number of actions executed.
   std::size_t pump(int timeout_ms = 0);
 
   /// Pump until `done(*this)` holds or `max_pumps` cycles ran. Returns
@@ -146,7 +197,7 @@ class NetRuntime final : public Substrate {
   void inject(Ref to, Message m) override;
   [[nodiscard]] std::size_t channel_depth(ProcessId id) const override {
     FDP_CHECK(id < pending_.size());
-    return pending_[id].size();
+    return pending_[id].order.size();
   }
   void each_pending(
       ProcessId id,
@@ -162,10 +213,12 @@ class NetRuntime final : public Substrate {
   // --- introspection ---
 
   [[nodiscard]] Transport& transport() { return *transport_; }
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
   /// Monitor TCP port (0 when the monitor is disabled / not started).
   [[nodiscard]] std::uint16_t monitor_port() const { return monitor_port_; }
-  /// The JSON document the monitor socket serves.
-  [[nodiscard]] std::string monitor_json() const;
+  /// The JSON document the monitor socket serves, (re)built into a buffer
+  /// reused across calls.
+  [[nodiscard]] const std::string& monitor_json() const;
 
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
@@ -174,36 +227,118 @@ class NetRuntime final : public Substrate {
   [[nodiscard]] std::uint64_t wakes() const { return wakes_; }
   /// Malformed frames rejected by the wire decoder (typed, non-aborting).
   [[nodiscard]] std::uint64_t wire_errors() const { return wire_errors_; }
-  /// Well-formed frames whose seq was not in the ledger (duplicates or
-  /// frames for already-delivered messages) — dropped.
+  /// Well-formed frames whose seq was not awaiting arrival (duplicate
+  /// datagrams, retransmit echoes, already-delivered seqs) — dropped.
   [[nodiscard]] std::uint64_t stale_frames() const { return stale_frames_; }
-  /// Timeout actions skipped by outbox back-pressure.
+  /// Timeout firings deferred by outbox back-pressure.
   [[nodiscard]] std::uint64_t throttle_skips() const {
     return throttle_skips_;
   }
+  /// Frames re-queued by the retransmit timer (lossy transports only).
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
   /// Admitted-but-undelivered messages across all destinations.
   [[nodiscard]] std::uint64_t in_flight() const;
+  /// Pump cycles completed (the timer wheel's tick clock).
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  /// Outbound frame-buffer arena (introspection for tests/benches).
+  [[nodiscard]] const FrameArena& arena() const { return arena_; }
 
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
+  /// One queued outbound frame: destination and ledger key. The bytes are
+  /// encoded at flush time from the ledger entry (the single source of
+  /// truth — a retransmit re-encodes the same entry).
+  struct OutEntry {
+    ProcessId dst = kNoProcess;
+    std::uint64_t seq = 0;
+  };
+  struct InEntry {
+    std::uint64_t seq = 0;
+    Message msg;  ///< slot reused by the ring; spill capacity retained
+  };
+
   struct Actor {
     std::unique_ptr<Process> proc;
-    /// Received, decoded, not yet delivered: (seq, message).
-    std::deque<std::pair<std::uint64_t, Message>> inbox;
-    /// Accepted sends awaiting the transport: (dst, seq). Frames are
-    /// encoded at flush time from the ledger entry.
-    std::deque<std::pair<ProcessId, std::uint64_t>> outbox;
-    /// Queued-frame count per destination peer (throttling).
-    std::map<ProcessId, std::size_t> out_counts;
+    /// Received, decoded, not yet delivered.
+    RingBuffer<InEntry> inbox;
+    /// Accepted sends awaiting the transport.
+    RingBuffer<OutEntry> outbox;
+    /// Queued-frame count per destination peer, keyed by dst+1 (0 is the
+    /// FlatMap64 empty sentinel).
+    FlatMap64<std::uint32_t> out_counts;
+    /// Destinations at or above the high-water mark (throttling is O(1)).
+    std::uint32_t over_high_water = 0;
+    bool timer_armed = false;
+    bool outbox_dirty = false;  ///< queued in dirty_outboxes_
+    bool inbox_ready = false;   ///< queued in ready_inboxes_
+  };
+
+  /// Where an admitted message currently is. Frames are re-sendable until
+  /// they reach an inbox; arrivals for an entry already past Sent are
+  /// duplicates and dropped.
+  enum class Where : std::uint8_t {
+    Queued,   ///< in the source outbox (not yet accepted by the medium)
+    Sent,     ///< handed to the medium; may be lost (lossy transports)
+    Arrived,  ///< decoded into the destination inbox; awaiting delivery
+  };
+
+  struct LedgerEntry {
+    Message msg;
+    ProcessId src = kNoProcess;  ///< kNoProcess for injected messages
+    Where where = Where::Queued;
+    std::uint8_t attempts = 0;  ///< send attempts (retransmit backoff)
+  };
+
+  /// Per-destination slot arena of admitted-but-undelivered messages:
+  /// seq-indexed, allocation-free in steady state, deterministic
+  /// enumeration via the dense order view (insertion order, swap-remove).
+  struct Ledger {
+    std::vector<LedgerEntry> slots;
+    std::vector<std::uint32_t> free;
+    std::vector<std::uint32_t> order;  ///< live slots, dense
+    std::vector<std::uint32_t> pos;    ///< slot -> index in order
+    FlatMap64<std::uint32_t> index;    ///< seq -> slot
+
+    LedgerEntry& emplace(std::uint64_t seq);
+    [[nodiscard]] LedgerEntry* find(std::uint64_t seq);
+    [[nodiscard]] const LedgerEntry* find(std::uint64_t seq) const;
+    void erase(std::uint64_t seq, MessagePool& pool);
   };
 
   enum class ActionKind { Timeout, Deliver };
   void execute(ProcessId actor, ActionKind kind, const Message* consumed);
-  void admit_send(ProcessId src, Ref to, Message&& m);
+  // Reference-edge instance index (the simulator's idiom, ported to the
+  // ledger): ref_out_[h] / ref_in_[t] hold (peer, count) rows over stored
+  // refs of non-gone actors plus refs carried by ledger messages, keyed
+  // by the destination actor that owns the channel. Maintained
+  // incrementally once built, so the oracle queries below are O(degree)
+  // instead of a full O(n + in-flight) scan per call — at n=1024 the
+  // scan-per-leaver-timeout was the bottleneck of the whole run.
+  void add_edge_instance(ProcessId holder, ProcessId target) const;
+  void remove_edge_instance(ProcessId holder, ProcessId target) const;
+  void add_message_refs(ProcessId holder, const Message& m) const;
+  void remove_message_refs(ProcessId holder, const Message& m) const;
+  void apply_store_diff(ProcessId actor);
+  void deregister_gone_actor(ProcessId p) const;
+  void ensure_edge_index() const;
+  const Message& admit_send(ProcessId src, Ref to, Message&& m);
   void flush_outboxes();
+  bool flush_one(ProcessId src);  ///< false on medium EAGAIN
   void on_frame(ProcessId dst, const std::uint8_t* data, std::size_t len);
-  [[nodiscard]] bool throttled(const Actor& a) const;
+  void handle_frame(ProcessId dst);  ///< one decoded frame (in rx_frame_)
+  std::size_t deliver_ready();
+  void fire_timer(std::uint64_t payload);
+  void arm_timeout(ProcessId id);
+  void arm_retransmit(ProcessId dst, const LedgerEntry& e,
+                      std::uint64_t seq);
+  void mark_outbox_dirty(ProcessId src);
+  void mark_inbox_ready(ProcessId dst);
+  void bump_out_count(Actor& a, ProcessId dst);
+  void drop_out_count(Actor& a, ProcessId dst);
+  [[nodiscard]] bool throttled(const Actor& a) const {
+    return a.over_high_water > 0;
+  }
   void open_monitor();
   void serve_monitor();
 
@@ -211,16 +346,19 @@ class NetRuntime final : public Substrate {
   Config cfg_;
   std::string name_;
   std::vector<Actor> actors_;
-  /// The in-flight ledger: per destination, seq -> message for every
-  /// admitted-but-undelivered message (see file comment). Ordered map so
-  /// each_pending enumerates deterministically.
-  std::vector<std::map<std::uint64_t, Message>> pending_;
+  /// The in-flight ledger (see file comment).
+  std::vector<Ledger> pending_;
+  MessagePool pool_;
+  FrameArena arena_;
+  TimerWheel wheel_;
   std::vector<Observer*> observers_;
   OracleFn oracle_;
   Rng rng_;
   bool started_ = false;
+  bool transport_lossy_ = false;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_ = 0;
+  std::uint64_t ticks_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t sends_ = 0;
@@ -230,11 +368,34 @@ class NetRuntime final : public Substrate {
   std::uint64_t wire_errors_ = 0;
   std::uint64_t stale_frames_ = 0;
   std::uint64_t throttle_skips_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::size_t executed_this_pump_ = 0;
   int monitor_fd_ = -1;
   std::uint16_t monitor_port_ = 0;
+  mutable std::uint64_t monitor_built_tick_ = ~std::uint64_t{0};
+  mutable std::string monitor_buf_;
+  std::vector<ProcessId> dirty_outboxes_;
+  std::vector<ProcessId> ready_inboxes_;
+  std::vector<ProcessId> flush_scratch_;
+  std::vector<FrameView> stage_views_;   ///< one per staged datagram
+  std::vector<FrameArena::Buf> stage_bufs_;
+  std::vector<OutEntry> stage_entries_;  ///< staged frames, outbox order
+  std::vector<std::uint32_t> stage_group_of_;  ///< frame -> datagram index
   std::vector<std::pair<Ref, Message>> sends_scratch_;
-  std::vector<std::uint8_t> frame_scratch_;
+  RxFn rx_fn_;             ///< built once in start() (no per-pump alloc)
+  DecodedFrame rx_frame_;  ///< reused across decodes (spill cap retained)
+  ActionRecord rec_;       ///< reused across executes (vector cap retained)
   mutable std::vector<RefInfo> refs_scratch_;
+  /// Edge-instance index state. Lazily built at the first oracle query
+  /// (force_life drops it — scenario corruption mutates stores directly),
+  /// then kept in sync by execute/admit/inject/deliver/exit. ref_cache_
+  /// mirrors each actor's stored refs so the post-action diff needs no
+  /// "before" snapshot.
+  mutable bool edges_synced_ = false;
+  mutable std::vector<EdgeCounts> ref_out_;
+  mutable std::vector<EdgeCounts> ref_in_;
+  mutable std::vector<std::vector<RefInfo>> ref_cache_;
+  std::vector<char> diff_matched_;
 };
 
 }  // namespace fdp::net

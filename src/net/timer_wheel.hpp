@@ -1,0 +1,128 @@
+// Hierarchical timer wheel for the live runtime's pump loop.
+//
+// The runtime used to scan every actor every pump to decide who times out
+// and whether anything needs retransmitting — an O(n) walk per cycle that
+// dominates the loop at 1024+ actors when almost nothing is due. The
+// wheel makes "what is due this tick?" O(expired): timers live in the
+// slot of their expiry tick, the pump advances one tick per cycle, and
+// only the slot under the cursor is touched.
+//
+// Layout: kLevels levels of kSlots slots each (64 slots, 6 bits per
+// level). Level 0 resolves single ticks; level L resolves 64^L ticks.
+// A timer further out than level 0 covers parks in the coarsest level
+// that can hold it; each time the cursor wraps a level, the next slot of
+// the level above is *cascaded* — its timers are re-inserted and fall
+// into finer levels until they reach level 0 and fire at exactly their
+// scheduled tick (the cascade tests pin this: no early fire, no drift).
+// Delays beyond the wheel's horizon (64^4 ticks ≈ 16.7M) are clamped to
+// the horizon; they re-cascade and still fire, just late — the same
+// contract as the kernel wheels this layout comes from.
+//
+// Deterministic: firing order within a tick is insertion order, and the
+// wheel draws no randomness, so MemTransport runs stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp::net {
+
+class TimerWheel {
+ public:
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kSlots = 64;    // per level
+  static constexpr std::size_t kLevelBits = 6;  // log2(kSlots)
+
+  /// Ticks after which any delay is clamped (64^kLevels - 1).
+  [[nodiscard]] static constexpr std::uint64_t horizon() {
+    return (std::uint64_t{1} << (kLevelBits * kLevels)) - 1;
+  }
+
+  /// Schedule `payload` to fire at absolute tick `when`. A `when` at or
+  /// before the current tick fires on the next advance().
+  void schedule(std::uint64_t when, std::uint64_t payload) {
+    if (when <= now_) when = now_ + 1;
+    if (when - now_ > horizon()) when = now_ + horizon();
+    place(when, payload);
+    ++armed_;
+  }
+
+  /// Advance the wheel to `now`, invoking `fire(payload)` for every timer
+  /// whose tick has come. Ticks are processed in order; timers within a
+  /// tick fire in insertion order.
+  template <typename Fn>
+  void advance(std::uint64_t now, Fn&& fire) {
+    while (now_ < now) {
+      ++now_;
+      const std::size_t idx = index_of(now_, 0);
+      if (idx == 0) cascade(1);
+      auto& slot = slots_[0][idx];
+      // Copy into a scratch list first: `fire` may schedule new timers,
+      // and those must not land in the slot currently being drained. A
+      // copy (not a swap) so every vector keeps its own capacity — swaps
+      // would circulate one small allocation around the wheel forever.
+      firing_.clear();
+      firing_.insert(firing_.end(), slot.begin(), slot.end());
+      slot.clear();
+      for (const Timer& t : firing_) {
+        FDP_DCHECK(t.when == now_);
+        --armed_;
+        fire(t.payload);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+  /// Scheduled-but-unfired timer count.
+  [[nodiscard]] std::size_t armed() const { return armed_; }
+
+ private:
+  struct Timer {
+    std::uint64_t when = 0;
+    std::uint64_t payload = 0;
+  };
+
+  [[nodiscard]] std::size_t index_of(std::uint64_t when,
+                                     std::size_t level) const {
+    return static_cast<std::size_t>(when >> (kLevelBits * level)) &
+           (kSlots - 1);
+  }
+
+  /// Put a timer in the finest level whose slot granularity still
+  /// distinguishes it from the current tick.
+  void place(std::uint64_t when, std::uint64_t payload) {
+    const std::uint64_t delta = when - now_;
+    std::size_t level = 0;
+    std::uint64_t span = kSlots;
+    while (level + 1 < kLevels && delta >= span) {
+      ++level;
+      span <<= kLevelBits;
+    }
+    slots_[level][index_of(when, level)].push_back(Timer{when, payload});
+  }
+
+  /// Re-distribute the upcoming slot of `level` into finer levels; if
+  /// that slot position is 0, the level above wraps too and must cascade
+  /// first (the hierarchical step).
+  void cascade(std::size_t level) {
+    if (level >= kLevels) return;
+    const std::size_t idx = index_of(now_, level);
+    if (idx == 0) cascade(level + 1);
+    auto& slot = slots_[level][idx];
+    cascading_.clear();
+    cascading_.insert(cascading_.end(), slot.begin(), slot.end());
+    slot.clear();
+    for (const Timer& t : cascading_) place(t.when, t.payload);
+  }
+
+  std::uint64_t now_ = 0;
+  std::size_t armed_ = 0;
+  std::vector<Timer> slots_[kLevels][kSlots];
+  std::vector<Timer> firing_;
+  std::vector<Timer> cascading_;
+};
+
+}  // namespace fdp::net

@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 #if defined(__linux__)
+#define FDP_NET_HAVE_MMSG 1
 #include <sys/epoll.h>
 #else
 #include <poll.h>
@@ -24,18 +25,38 @@ namespace fdp::net {
 
 Transport::~Transport() = default;
 
+std::size_t Transport::try_send_many(ProcessId src, const FrameView* frames,
+                                     std::size_t count) {
+  // Portable fallback: one medium hand-off per frame. Batching transports
+  // override this with one syscall per batch.
+  std::size_t accepted = 0;
+  while (accepted < count) {
+    const FrameView& f = frames[accepted];
+    if (!try_send(src, f.dst, f.data, f.len)) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
 // --- MemTransport ---
 
 void MemTransport::open(std::size_t n) {
   queues_.assign(n, {});
   pending_ = 0;
+  stats_ = {};
 }
 
 bool MemTransport::try_send(ProcessId src, ProcessId dst,
                             const std::uint8_t* data, std::size_t len) {
-  (void)src;
   FDP_CHECK(dst < queues_.size());
-  queues_[dst].emplace_back(data, data + len);
+  ++stats_.frames_sent;
+  if (!should_carry(src, dst)) return true;  // accepted, then "lost"
+  // The ring slot's byte vector keeps its capacity from earlier frames,
+  // so a warm queue accepts frames without touching the allocator.
+  Frame& f = queues_[dst].push_slot();
+  f.bytes.resize(len);
+  std::memcpy(f.bytes.data(), data, len);
+  f.len = len;
   ++pending_;
   return true;
 }
@@ -45,11 +66,16 @@ void MemTransport::poll(int timeout_ms, const RxFn& rx) {
   for (ProcessId dst = 0; dst < queues_.size(); ++dst) {
     auto& q = queues_[dst];
     while (!q.empty()) {
-      // Move the frame out first: rx may send, growing this very queue.
-      const std::vector<std::uint8_t> frame = std::move(q.front());
+      // Swap the frame bytes out first: rx may send, growing this very
+      // queue (which would invalidate a reference into it). The swap
+      // trades capacities, so neither side allocates in steady state.
+      Frame& front = q.front();
+      scratch_.swap(front.bytes);
+      const std::size_t len = front.len;
       q.pop_front();
       --pending_;
-      rx(dst, frame.data(), frame.size());
+      ++stats_.frames_received;
+      rx(dst, scratch_.data(), len);
     }
   }
 }
@@ -58,16 +84,38 @@ void MemTransport::poll(int timeout_ms, const RxFn& rx) {
 
 #ifdef FDP_NET_HAVE_SOCKETS
 
+namespace {
+constexpr std::size_t kSendBatch = 64;  ///< frames per sendmmsg call
+constexpr std::size_t kRecvBatch = 32;  ///< frames per recvmmsg call
+}  // namespace
+
 struct UdpTransport::Impl {
   std::vector<int> fds;
   std::vector<sockaddr_in> addrs;
   std::vector<std::uint16_t> ports;
   std::vector<std::uint8_t> rxbuf;
+  TransportStats stats;
+  bool want_batch = true;
+  /// Cleared permanently if the kernel answers ENOSYS (runtime probe).
+  bool mmsg_ok = true;
 #if defined(__linux__)
   int epfd = -1;
 #endif
+#ifdef FDP_NET_HAVE_MMSG
+  /// recvmmsg scatter targets: kRecvBatch slots of max_frame_bytes each,
+  /// one slab, reused every call.
+  std::vector<std::uint8_t> rxslab;
+  mmsghdr rxmsgs[kRecvBatch];
+  iovec rxiov[kRecvBatch];
+  mmsghdr txmsgs[kSendBatch];
+  iovec txiov[kSendBatch];
+#endif
 
   ~Impl() { close_all(); }
+
+  [[nodiscard]] bool batching() const {
+    return want_batch && mmsg_ok && UdpTransport::mmsg_supported();
+  }
 
   void close_all() {
     for (int fd : fds)
@@ -92,13 +140,38 @@ void set_nonblocking(int fd) {
 
 }  // namespace
 
-UdpTransport::UdpTransport() : impl_(new Impl) {}
+UdpTransport::UdpTransport(bool batching) : impl_(new Impl) {
+  impl_->want_batch = batching;
+}
 
 UdpTransport::~UdpTransport() { delete impl_; }
+
+bool UdpTransport::mmsg_supported() {
+#ifdef FDP_NET_HAVE_MMSG
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool UdpTransport::batching() const { return impl_->batching(); }
+
+TransportStats UdpTransport::stats() const { return impl_->stats; }
 
 void UdpTransport::open(std::size_t n) {
   impl_->close_all();
   impl_->rxbuf.resize(max_frame_bytes());
+#ifdef FDP_NET_HAVE_MMSG
+  impl_->rxslab.resize(kRecvBatch * max_frame_bytes());
+  for (std::size_t i = 0; i < kRecvBatch; ++i) {
+    impl_->rxiov[i] =
+        iovec{impl_->rxslab.data() + i * max_frame_bytes(),
+              max_frame_bytes()};
+    impl_->rxmsgs[i] = mmsghdr{};
+    impl_->rxmsgs[i].msg_hdr.msg_iov = &impl_->rxiov[i];
+    impl_->rxmsgs[i].msg_hdr.msg_iovlen = 1;
+  }
+#endif
 #if defined(__linux__)
   impl_->epfd = ::epoll_create1(0);
   FDP_CHECK_MSG(impl_->epfd >= 0, "epoll_create1 failed");
@@ -124,7 +197,7 @@ void UdpTransport::open(std::size_t n) {
     impl_->ports[i] = ntohs(addr.sin_port);
     set_nonblocking(fd);
     // Departure bursts briefly fan many frames into one inbox; a roomy
-    // receive buffer keeps loopback loss (-> delayed exits) rare.
+    // receive buffer keeps loopback loss (-> retransmit delays) rare.
     const int rcvbuf = 1 << 20;
     (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
 #if defined(__linux__)
@@ -139,25 +212,105 @@ void UdpTransport::open(std::size_t n) {
 bool UdpTransport::try_send(ProcessId src, ProcessId dst,
                             const std::uint8_t* data, std::size_t len) {
   FDP_CHECK(src < impl_->fds.size() && dst < impl_->fds.size());
+  ++impl_->stats.send_calls;
   const ssize_t r = ::sendto(
       impl_->fds[src], data, len, 0,
       reinterpret_cast<const sockaddr*>(&impl_->addrs[dst]),
       sizeof(sockaddr_in));
-  if (r >= 0) return true;
+  if (r >= 0) {
+    ++impl_->stats.frames_sent;
+    return true;
+  }
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
     return false;  // medium full: the caller's outbox keeps the frame
   // Anything else (e.g. ECONNREFUSED bounced back on loopback) counts as
   // "handed to the medium and lost there": UDP gives no delivery promise,
   // and the runtime's ledger already models loss as a lingering entry.
+  ++impl_->stats.frames_sent;
   return true;
+}
+
+std::size_t UdpTransport::try_send_many(ProcessId src, const FrameView* frames,
+                                        std::size_t count) {
+#ifdef FDP_NET_HAVE_MMSG
+  if (impl_->batching()) {
+    FDP_CHECK(src < impl_->fds.size());
+    std::size_t accepted = 0;
+    while (accepted < count) {
+      const std::size_t chunk =
+          count - accepted < kSendBatch ? count - accepted : kSendBatch;
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const FrameView& f = frames[accepted + i];
+        FDP_CHECK(f.dst < impl_->fds.size());
+        impl_->txiov[i] =
+            iovec{const_cast<std::uint8_t*>(f.data), f.len};
+        impl_->txmsgs[i] = mmsghdr{};
+        impl_->txmsgs[i].msg_hdr.msg_name = &impl_->addrs[f.dst];
+        impl_->txmsgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        impl_->txmsgs[i].msg_hdr.msg_iov = &impl_->txiov[i];
+        impl_->txmsgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      ++impl_->stats.send_calls;
+      const int r = ::sendmmsg(impl_->fds[src], impl_->txmsgs,
+                               static_cast<unsigned>(chunk), 0);
+      if (r < 0) {
+        if (errno == ENOSYS) {
+          // Kernel without the batched call: downgrade permanently to the
+          // portable per-frame path (this is the runtime selection).
+          impl_->mmsg_ok = false;
+          return accepted + Transport::try_send_many(
+                                src, frames + accepted, count - accepted);
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+          return accepted;  // partial completion: caller retries the rest
+        // First datagram of the chunk failed hard: count it as carried
+        // and lost (same contract as the per-frame path) and move on.
+        ++impl_->stats.frames_sent;
+        return accepted + 1;
+      }
+      accepted += static_cast<std::size_t>(r);
+      impl_->stats.frames_sent += static_cast<std::uint64_t>(r);
+      if (static_cast<std::size_t>(r) < chunk)
+        return accepted;  // partial completion (EAGAIN mid-batch)
+    }
+    return accepted;
+  }
+#endif
+  return Transport::try_send_many(src, frames, count);
 }
 
 void UdpTransport::poll(int timeout_ms, const RxFn& rx) {
   const auto drain = [&](std::size_t actor) {
+#ifdef FDP_NET_HAVE_MMSG
+    if (impl_->batching()) {
+      for (;;) {
+        ++impl_->stats.recv_calls;
+        const int r = ::recvmmsg(impl_->fds[actor], impl_->rxmsgs,
+                                 kRecvBatch, MSG_DONTWAIT, nullptr);
+        if (r < 0) {
+          if (errno == ENOSYS) {
+            impl_->mmsg_ok = false;
+            break;  // fall through to the per-frame drain below
+          }
+          return;  // EAGAIN: inbox drained (other errors: next poll)
+        }
+        for (int i = 0; i < r; ++i) {
+          ++impl_->stats.frames_received;
+          rx(static_cast<ProcessId>(actor),
+             impl_->rxslab.data() + static_cast<std::size_t>(i) *
+                                        max_frame_bytes(),
+             impl_->rxmsgs[i].msg_len);
+        }
+        if (static_cast<std::size_t>(r) < kRecvBatch) return;
+      }
+    }
+#endif
     for (;;) {
+      ++impl_->stats.recv_calls;
       const ssize_t r = ::recv(impl_->fds[actor], impl_->rxbuf.data(),
                                impl_->rxbuf.size(), 0);
       if (r < 0) break;  // EAGAIN: inbox drained (other errors: next poll)
+      ++impl_->stats.frames_received;
       rx(static_cast<ProcessId>(actor), impl_->rxbuf.data(),
          static_cast<std::size_t>(r));
     }
@@ -166,6 +319,7 @@ void UdpTransport::poll(int timeout_ms, const RxFn& rx) {
   epoll_event evs[64];
   // Loop so one poll() drains everything readable, not just 64 actors.
   for (;;) {
+    ++impl_->stats.poll_calls;
     const int k = ::epoll_wait(impl_->epfd, evs, 64, timeout_ms);
     if (k <= 0) return;
     for (int i = 0; i < k; ++i) drain(evs[i].data.u32);
@@ -176,6 +330,7 @@ void UdpTransport::poll(int timeout_ms, const RxFn& rx) {
   std::vector<pollfd> pfds(impl_->fds.size());
   for (std::size_t i = 0; i < impl_->fds.size(); ++i)
     pfds[i] = pollfd{impl_->fds[i], POLLIN, 0};
+  ++impl_->stats.poll_calls;
   if (::poll(pfds.data(), pfds.size(), timeout_ms) <= 0) return;
   for (std::size_t i = 0; i < pfds.size(); ++i)
     if ((pfds[i].revents & POLLIN) != 0) drain(i);
@@ -190,14 +345,21 @@ std::uint16_t UdpTransport::port(ProcessId id) const {
 #else  // !FDP_NET_HAVE_SOCKETS — stub that fails loudly if ever used
 
 struct UdpTransport::Impl {};
-UdpTransport::UdpTransport() : impl_(nullptr) {}
+UdpTransport::UdpTransport(bool) : impl_(nullptr) {}
 UdpTransport::~UdpTransport() = default;
+bool UdpTransport::mmsg_supported() { return false; }
+bool UdpTransport::batching() const { return false; }
+TransportStats UdpTransport::stats() const { return {}; }
 void UdpTransport::open(std::size_t) {
   FDP_CHECK_MSG(false, "UdpTransport requires a POSIX socket API");
 }
 bool UdpTransport::try_send(ProcessId, ProcessId, const std::uint8_t*,
                             std::size_t) {
   return false;
+}
+std::size_t UdpTransport::try_send_many(ProcessId, const FrameView*,
+                                        std::size_t) {
+  return 0;
 }
 void UdpTransport::poll(int, const RxFn&) {}
 std::uint16_t UdpTransport::port(ProcessId) const { return 0; }

@@ -1,32 +1,41 @@
 // Frame transports for the live runtime.
 //
 // A Transport moves opaque encoded frames between actor endpoints; the
-// NetRuntime above it owns actors, outboxes and delivery. Two
+// NetRuntime above it owns actors, outboxes and delivery. Three
 // implementations:
 //
 //  * MemTransport — in-process per-destination FIFO queues drained by a
 //    deterministic single-threaded poller. No sockets, no syscalls, no
 //    reordering: the substrate-equivalence tests run churn on it and
 //    compare final states against the simulator without any flakiness
-//    real sockets would add.
+//    real sockets would add. Queue slots are ring buffers with reusable
+//    byte storage, so the steady-state medium allocates nothing.
+//  * DropMemTransport — MemTransport plus deterministic loss: every k-th
+//    accepted frame is destroyed instead of queued. The retransmit tests
+//    use it to prove departures still complete on a lossy medium without
+//    UDP's timing flakiness.
 //  * UdpTransport — one non-blocking UDP socket per actor bound to
 //    127.0.0.1 (an OS-assigned port each), readiness via epoll on Linux
 //    and poll(2) elsewhere. One datagram carries exactly one frame.
 //    try_send honours EAGAIN (full socket buffer) by refusing the frame,
 //    which is what keeps the runtime's per-peer outboxes meaningful.
+//    Where the platform provides sendmmsg/recvmmsg (probed at runtime,
+//    toggleable via UdpTransport(bool)), whole batches of frames cross
+//    the syscall boundary at once; the per-frame path is the portable
+//    fallback behind the same interface.
 //
-// Both transports are loopback-only on purpose: the wire format and the
+// All transports are loopback-only on purpose: the wire format and the
 // runtime are transport-agnostic, and binding beyond 127.0.0.1 is a
 // deployment concern this repo does not take on yet.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "sim/ids.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace fdp::net {
 
@@ -34,6 +43,24 @@ namespace fdp::net {
 using RxFn =
     std::function<void(ProcessId dst, const std::uint8_t* data,
                        std::size_t len)>;
+
+/// One staged outbound frame for a batch submission.
+struct FrameView {
+  ProcessId dst = kNoProcess;
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Syscall/frame accounting (zeros for transports without syscalls).
+/// syscalls-per-frame = (send_calls + recv_calls) / frames_sent is the
+/// number the batching work drives below 1.
+struct TransportStats {
+  std::uint64_t send_calls = 0;   ///< sendto/sendmmsg invocations
+  std::uint64_t recv_calls = 0;   ///< recv/recvmmsg invocations
+  std::uint64_t poll_calls = 0;   ///< epoll_wait/poll invocations
+  std::uint64_t frames_sent = 0;  ///< frames accepted by the medium
+  std::uint64_t frames_received = 0;
+};
 
 class Transport {
  public:
@@ -49,6 +76,15 @@ class Transport {
   virtual bool try_send(ProcessId src, ProcessId dst,
                         const std::uint8_t* data, std::size_t len) = 0;
 
+  /// Hand up to `count` frames from `src` to the medium in one call.
+  /// Returns how many were accepted — always a PREFIX of `frames`: on
+  /// partial completion (medium full mid-batch) the caller keeps frames
+  /// [accepted, count) queued and retries after the next poll(). The
+  /// base implementation is the portable per-frame loop; batching
+  /// transports override it with one syscall per batch.
+  virtual std::size_t try_send_many(ProcessId src, const FrameView* frames,
+                                    std::size_t count);
+
   /// Deliver every readable frame to `rx`. `timeout_ms` = 0 polls without
   /// blocking; > 0 blocks up to that long waiting for the first frame.
   virtual void poll(int timeout_ms, const RxFn& rx) = 0;
@@ -58,11 +94,18 @@ class Transport {
   /// them) return 0 — callers must treat this as a lower bound.
   [[nodiscard]] virtual std::size_t in_medium() const = 0;
 
+  /// True when an accepted frame may silently fail to arrive (UDP buffer
+  /// overflow, injected drops). The runtime arms retransmit timers only
+  /// on lossy media — the deterministic medium needs none.
+  [[nodiscard]] virtual bool lossy() const { return false; }
+
+  [[nodiscard]] virtual TransportStats stats() const { return {}; }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 
 /// Deterministic in-process medium (see file comment).
-class MemTransport final : public Transport {
+class MemTransport : public Transport {
  public:
   void open(std::size_t n) override;
   bool try_send(ProcessId src, ProcessId dst, const std::uint8_t* data,
@@ -71,25 +114,80 @@ class MemTransport final : public Transport {
   /// queue — a fixed, documented order so runs are reproducible.
   void poll(int timeout_ms, const RxFn& rx) override;
   [[nodiscard]] std::size_t in_medium() const override { return pending_; }
+  [[nodiscard]] TransportStats stats() const override { return stats_; }
   [[nodiscard]] const char* name() const override { return "mem"; }
 
+ protected:
+  /// Hook for loss injection: return false to destroy the frame after it
+  /// was accepted (the sender believes it is in the medium — UDP's lie).
+  [[nodiscard]] virtual bool should_carry(ProcessId src, ProcessId dst) {
+    (void)src;
+    (void)dst;
+    return true;
+  }
+
  private:
-  std::vector<std::deque<std::vector<std::uint8_t>>> queues_;
+  struct Frame {
+    std::vector<std::uint8_t> bytes;  ///< capacity reused across frames
+    std::size_t len = 0;
+  };
+  std::vector<RingBuffer<Frame>> queues_;
+  /// poll() swap-target for the frame being delivered (capacity reused).
+  std::vector<std::uint8_t> scratch_;
   std::size_t pending_ = 0;
+  TransportStats stats_;
+};
+
+/// MemTransport that deterministically destroys every `drop_period`-th
+/// accepted frame (the first frame lost is frame number `drop_period`).
+class DropMemTransport final : public MemTransport {
+ public:
+  explicit DropMemTransport(std::uint64_t drop_period)
+      : drop_period_(drop_period) {
+    FDP_CHECK_MSG(drop_period >= 2, "drop period must be >= 2");
+  }
+  [[nodiscard]] bool lossy() const override { return true; }
+  [[nodiscard]] const char* name() const override { return "mem-drop"; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ protected:
+  [[nodiscard]] bool should_carry(ProcessId, ProcessId) override {
+    if (++accepted_ % drop_period_ != 0) return true;
+    ++dropped_;
+    return false;
+  }
+
+ private:
+  std::uint64_t drop_period_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Loopback UDP medium (see file comment).
 class UdpTransport final : public Transport {
  public:
-  UdpTransport();
+  /// `batching` requests sendmmsg/recvmmsg syscall batching; the per-frame
+  /// path is used when the platform lacks the calls (probed at runtime:
+  /// ENOSYS on first use downgrades permanently) or when batching=false.
+  explicit UdpTransport(bool batching = true);
   ~UdpTransport() override;
 
   void open(std::size_t n) override;
   bool try_send(ProcessId src, ProcessId dst, const std::uint8_t* data,
                 std::size_t len) override;
+  std::size_t try_send_many(ProcessId src, const FrameView* frames,
+                            std::size_t count) override;
   void poll(int timeout_ms, const RxFn& rx) override;
   [[nodiscard]] std::size_t in_medium() const override { return 0; }
+  [[nodiscard]] bool lossy() const override { return true; }
+  [[nodiscard]] TransportStats stats() const override;
   [[nodiscard]] const char* name() const override { return "udp"; }
+
+  /// True when mmsg batching was requested and the platform supports it.
+  [[nodiscard]] bool batching() const;
+  /// Compile-time support for the mmsg calls on this platform (the CI
+  /// perf gate auto-skips when false).
+  [[nodiscard]] static bool mmsg_supported();
 
   /// Bound loopback port of actor `id` (diagnostics / monitor output).
   [[nodiscard]] std::uint16_t port(ProcessId id) const;

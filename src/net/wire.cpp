@@ -6,23 +6,16 @@ namespace fdp::net {
 
 namespace {
 
-void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
-  out.push_back(v);
+void wr_u16(std::uint8_t*& p, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) *p++ = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
+void wr_u32(std::uint8_t*& p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) *p++ = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+void wr_u64(std::uint8_t*& p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) *p++ = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 std::uint16_t get_u16(const std::uint8_t* p) {
@@ -66,26 +59,37 @@ std::size_t encoded_size(const Message& m) {
 
 void encode_frame(const Message& m, ProcessId src, ProcessId dst,
                   std::vector<std::uint8_t>& out) {
+  const std::size_t len = encoded_size(m);
+  const std::size_t at = out.size();
+  out.resize(at + len);
+  (void)encode_frame(m, src, dst, out.data() + at, len);
+}
+
+std::size_t encode_frame(const Message& m, ProcessId src, ProcessId dst,
+                         std::uint8_t* out, std::size_t cap) {
   FDP_CHECK_MSG(m.refs.size() <= kMaxWireRefs,
                 "message exceeds the wire-format reference cap");
   const std::size_t len = encoded_size(m);
-  out.reserve(out.size() + len);
-  put_u32(out, static_cast<std::uint32_t>(len));
-  put_u32(out, kWireMagic);
-  put_u16(out, kWireVersion);
-  put_u8(out, static_cast<std::uint8_t>(m.verb));
-  put_u8(out, 0);  // pad
-  put_u32(out, m.tag);
-  put_u64(out, m.token);
-  put_u64(out, m.seq);
-  put_u32(out, src);
-  put_u32(out, dst);
-  put_u32(out, static_cast<std::uint32_t>(m.refs.size()));
+  FDP_CHECK_MSG(cap >= len, "encode buffer smaller than the frame");
+  std::uint8_t* p = out;
+  wr_u32(p, static_cast<std::uint32_t>(len));
+  wr_u32(p, kWireMagic);
+  wr_u16(p, kWireVersion);
+  *p++ = static_cast<std::uint8_t>(m.verb);
+  *p++ = 0;  // pad
+  wr_u32(p, m.tag);
+  wr_u64(p, m.token);
+  wr_u64(p, m.seq);
+  wr_u32(p, src);
+  wr_u32(p, dst);
+  wr_u32(p, static_cast<std::uint32_t>(m.refs.size()));
   for (const RefInfo& r : m.refs) {
-    put_u32(out, r.ref.id());
-    put_u8(out, static_cast<std::uint8_t>(r.mode));
-    put_u64(out, r.key);
+    wr_u32(p, r.ref.id());
+    *p++ = static_cast<std::uint8_t>(r.mode);
+    wr_u64(p, r.key);
   }
+  FDP_DCHECK(static_cast<std::size_t>(p - out) == len);
+  return len;
 }
 
 WireError decode_frame(const std::uint8_t* data, std::size_t len,
@@ -120,7 +124,10 @@ WireError decode_frame(const std::uint8_t* data, std::size_t len,
       kFrameHeaderBytes + kRefBytes * static_cast<std::size_t>(ref_count))
     return fail(WireError::LengthMismatch);
 
-  out.msg = Message{};
+  // Reset in place: refs.clear() keeps any spill capacity from earlier
+  // frames, so a reused DecodedFrame decodes without allocating.
+  out.msg.refs.clear();
+  out.msg.enqueued_at = 0;  // not carried on the wire
   out.msg.verb = static_cast<Verb>(verb);
   out.msg.tag = get_u32(data + 12);
   out.msg.token = get_u64(data + 16);

@@ -2,9 +2,10 @@
 //
 // One frame carries one Message between two actors. The layout is
 // explicit little-endian with a length prefix, so a frame is
-// self-delimiting on stream transports (the monitor socket) and
-// self-validating on datagram transports (a UDP datagram must contain
-// exactly one whole frame):
+// self-delimiting: stream transports resynchronize on it, and a datagram
+// may carry several frames back to back (the flush path coalesces frames
+// that share a destination into one datagram; the receiver decodes in a
+// loop):
 //
 //   offset  size  field
 //        0     4  frame length L (bytes, including this prefix)
@@ -77,6 +78,13 @@ enum class WireError : std::uint8_t {
 void encode_frame(const Message& m, ProcessId src, ProcessId dst,
                   std::vector<std::uint8_t>& out);
 
+/// Encode into caller-owned storage (a FrameArena slot, a stack buffer):
+/// writes exactly encoded_size(m) bytes at `out` and returns that count.
+/// Aborts if `cap` cannot hold the frame or m.refs exceeds kMaxWireRefs —
+/// both are programming errors on the sending side, never peer input.
+std::size_t encode_frame(const Message& m, ProcessId src, ProcessId dst,
+                         std::uint8_t* out, std::size_t cap);
+
 struct DecodedFrame {
   Message msg;
   ProcessId src = kNoProcess;
@@ -84,7 +92,10 @@ struct DecodedFrame {
 };
 
 /// Decode one frame from data[0..len). On success fills `out`, sets
-/// `consumed` to the frame length and returns WireError::None. On failure
+/// `consumed` to the frame length and returns WireError::None. `out` may
+/// be reused across calls: out.msg.refs keeps its spill capacity (the
+/// decoder clears, never reconstructs), so a warm decode allocates only
+/// when a frame carries more references than any previous one. On failure
 /// returns the error; `consumed` is then the number of bytes that can be
 /// safely skipped (the claimed frame length when it is trustworthy, else
 /// `len` — stream callers resynchronize, datagram callers drop).

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -67,6 +68,10 @@ class FlatMap64 {
       i = (i + 1) & mask_;
     }
     return nullptr;
+  }
+
+  [[nodiscard]] V* find_mut(std::uint64_t key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
   }
 
   [[nodiscard]] bool contains(std::uint64_t key) const {

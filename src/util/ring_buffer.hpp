@@ -1,0 +1,92 @@
+// Growable power-of-two ring buffer with slot reuse.
+//
+// The live runtime's inboxes and outboxes used to be std::deque, whose
+// block allocation/free churn shows up on the pump hot path at large n.
+// RingBuffer keeps elements in one power-of-two array indexed by
+// monotonically increasing head/tail counters (masked on access), so in
+// steady state push/pop never touch the allocator and — crucially for
+// recycling Message spill buffers — popped slots are NOT destroyed: the
+// object stays in place and `push_slot()` hands it back to the producer
+// for in-place reuse, exactly like the kernel's slot-arena channels.
+//
+// Growth doubles the array and unwraps the live range into the new
+// storage (a wrapped ring must stay contiguous-by-index after rehoming —
+// the wrap-around tests pin this).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  [[nodiscard]] std::size_t size() const { return tail_ - head_; }
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Advance the tail and return the (possibly recycled) slot object.
+  /// The caller assigns into it; the previous occupant's heap capacity
+  /// (vector storage, SmallVec spill) is retained for reuse.
+  [[nodiscard]] T& push_slot() {
+    if (size() == slots_.size()) grow();
+    return slots_[tail_++ & mask_];
+  }
+
+  void push_back(T v) { push_slot() = std::move(v); }
+
+  [[nodiscard]] T& front() {
+    FDP_DCHECK(!empty());
+    return slots_[head_ & mask_];
+  }
+  [[nodiscard]] const T& front() const {
+    FDP_DCHECK(!empty());
+    return slots_[head_ & mask_];
+  }
+
+  /// Element `i` positions behind the front (0 = front).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    FDP_DCHECK(i < size());
+    return slots_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] T& at(std::size_t i) {
+    FDP_DCHECK(i < size());
+    return slots_[(head_ + i) & mask_];
+  }
+
+  /// Drop the front element WITHOUT destroying it (its heap capacity is
+  /// recycled by the next push_slot() that lands on the slot).
+  void pop_front() {
+    FDP_DCHECK(!empty());
+    ++head_;
+  }
+
+  /// Drop every element (slots and their capacity retained).
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  void grow() {
+    const std::size_t old_cap = slots_.size();
+    const std::size_t new_cap = old_cap == 0 ? 8 : old_cap * 2;
+    std::vector<T> next(new_cap);
+    // Unwrap: the live range [head_, tail_) moves to the front of the new
+    // array so masked indexing stays correct for any head/tail values.
+    for (std::size_t i = 0; i < size(); ++i)
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    tail_ = size();
+    head_ = 0;
+    slots_ = std::move(next);
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;  ///< monotone pop counter
+  std::size_t tail_ = 0;  ///< monotone push counter
+};
+
+}  // namespace fdp

@@ -1,0 +1,416 @@
+// Batched hot-path tests for the live runtime: ring-buffer wrap-around,
+// timer-wheel cascade exactness, frame-arena recycling, partial batch
+// completion (a medium that accepts only a prefix), retransmit-on-loss on
+// a drop-injecting medium, duplicate-frame idempotence, and the
+// zero-allocation steady-state pump.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/monitors.hpp"
+#include "analysis/scenario.hpp"
+#include "net/frame_arena.hpp"
+#include "net/live_scenario.hpp"
+#include "net/runtime.hpp"
+#include "net/timer_wheel.hpp"
+#include "overlay/topology_checks.hpp"
+#include "util/alloc_stats.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace fdp::net {
+namespace {
+
+// --- RingBuffer ---
+
+TEST(RingBuffer, WrapAroundKeepsFifoOrderThroughGrowth) {
+  RingBuffer<int> rb;
+  std::deque<int> model;
+  Rng rng(7);
+  int next = 0;
+  for (int step = 0; step < 10'000; ++step) {
+    if (model.empty() || rng.below(2) == 0) {
+      rb.push_back(next);
+      model.push_back(next);
+      ++next;
+    } else {
+      ASSERT_EQ(rb.front(), model.front());
+      rb.pop_front();
+      model.pop_front();
+    }
+    ASSERT_EQ(rb.size(), model.size());
+    if (!model.empty()) {
+      const std::size_t i = rng.below(model.size());
+      ASSERT_EQ(rb.at(i), model[i]);
+    }
+  }
+}
+
+TEST(RingBuffer, PoppedSlotsAreRecycledWithTheirCapacity) {
+  RingBuffer<std::vector<int>> rb;
+  std::vector<const int*> storage;
+  for (int i = 0; i < 8; ++i) rb.push_slot().assign(50, i);
+  ASSERT_EQ(rb.capacity(), 8u);  // exactly full: the next lap reuses slots
+  for (std::size_t i = 0; i < 8; ++i) storage.push_back(rb.at(i).data());
+  for (int i = 0; i < 8; ++i) rb.pop_front();
+  EXPECT_TRUE(rb.empty());
+  for (int i = 0; i < 8; ++i) {
+    std::vector<int>& slot = rb.push_slot();
+    // pop_front did not destroy the occupant: same heap storage, same
+    // contents, ready for in-place reuse.
+    EXPECT_EQ(slot.data(), storage[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(slot.size(), 50u);
+  }
+}
+
+// --- TimerWheel ---
+
+TEST(TimerWheel, FiresAtExactTickAcrossLevelBoundaries) {
+  // Delays straddling every level boundary: 64^1, 64^2, 64^3.
+  for (const std::uint64_t delay :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{63},
+        std::uint64_t{64}, std::uint64_t{65}, std::uint64_t{4095},
+        std::uint64_t{4096}, std::uint64_t{4097}, std::uint64_t{262143},
+        std::uint64_t{262144}, std::uint64_t{300000}}) {
+    TimerWheel w;
+    std::uint64_t fired_at = 0;
+    std::size_t fires = 0;
+    w.schedule(delay, 42);
+    w.advance(delay + 10, [&](std::uint64_t p) {
+      EXPECT_EQ(p, 42u);
+      fired_at = w.now();
+      ++fires;
+    });
+    EXPECT_EQ(fires, 1u) << "delay " << delay;
+    EXPECT_EQ(fired_at, delay) << "cascade drift at delay " << delay;
+    EXPECT_EQ(w.armed(), 0u);
+  }
+}
+
+TEST(TimerWheel, SameTickFiresInInsertionOrder) {
+  TimerWheel w;
+  std::vector<std::uint64_t> order;
+  // Delay 100 parks in level 1; the cascade must preserve insertion order
+  // while re-distributing into level 0.
+  for (std::uint64_t p = 0; p < 10; ++p) w.schedule(100, p);
+  w.advance(100, [&](std::uint64_t p) { order.push_back(p); });
+  const std::vector<std::uint64_t> expect{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(TimerWheel, RandomizedScheduleFiresEveryTimerExactlyOnce) {
+  TimerWheel w;
+  Rng rng(1234);
+  std::unordered_map<std::uint64_t, std::uint64_t> when_of;
+  std::uint64_t next_payload = 0;
+  std::size_t fired = 0;
+  std::uint64_t now = 0;
+  const auto fire = [&](std::uint64_t p) {
+    ++fired;
+    const auto it = when_of.find(p);
+    ASSERT_NE(it, when_of.end());
+    EXPECT_EQ(w.now(), it->second);
+    when_of.erase(it);  // firing twice would fail the find above
+  };
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t delay = rng.below(300'000) + 1;
+      when_of[next_payload] = now + delay;
+      w.schedule(now + delay, next_payload++);
+    }
+    now += rng.below(40'000) + 1;
+    w.advance(now, fire);
+  }
+  w.advance(now + 600'000, fire);  // drain everything still armed
+  EXPECT_EQ(fired, next_payload);
+  EXPECT_EQ(w.armed(), 0u);
+  EXPECT_TRUE(when_of.empty());
+}
+
+TEST(TimerWheel, BeyondHorizonClampsButStillFires) {
+  TimerWheel w;
+  std::uint64_t fired_at = 0;
+  w.schedule(w.horizon() + 5'000, 7);
+  w.advance(w.horizon(), [&](std::uint64_t) { fired_at = w.now(); });
+  EXPECT_EQ(fired_at, w.horizon());
+  EXPECT_EQ(w.armed(), 0u);
+}
+
+// --- FrameArena ---
+
+TEST(FrameArena, ReleasedSlotsAreReacquired) {
+  FrameArena arena(128);
+  const FrameArena::Buf a = arena.acquire(100);
+  ASSERT_NE(a.data, nullptr);
+  EXPECT_EQ(a.cap, 128u);
+  arena.release(a);
+  EXPECT_EQ(arena.slots(), 1u);
+  EXPECT_EQ(arena.free_slots(), 1u);
+  const FrameArena::Buf b = arena.acquire(50);
+  EXPECT_EQ(b.data, a.data);  // freelist hit, no new slot
+  EXPECT_EQ(arena.slots(), 1u);
+  arena.release(b);
+  EXPECT_EQ(arena.oversize_acquires(), 0u);
+}
+
+TEST(FrameArena, OversizeFramesSpillAndAreCounted) {
+  FrameArena arena(128);
+  const FrameArena::Buf big = arena.acquire(1000);
+  ASSERT_NE(big.data, nullptr);
+  EXPECT_EQ(big.cap, 1000u);
+  EXPECT_EQ(big.slot, FrameArena::kOversize);
+  EXPECT_EQ(arena.oversize_acquires(), 1u);
+  EXPECT_EQ(arena.slots(), 0u);  // the slab is untouched
+  arena.release(big);            // exact heap buffer freed, not pooled
+  EXPECT_EQ(arena.free_slots(), 0u);
+}
+
+// --- runtime-level batching behavior ---
+
+ScenarioConfig churn_config(std::uint64_t seed, std::size_t n = 12) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+bool run_to_departures(LiveScenario& sc, std::uint64_t max_pumps = 100'000,
+                       int timeout_ms = 0) {
+  return sc.net->run_until(
+      [](const NetRuntime& rt) { return all_leaving_gone(rt); }, max_pumps,
+      timeout_ms);
+}
+
+/// Medium that accepts at most `max_per_call` frames per batch call — the
+/// deterministic stand-in for sendmmsg returning a partial completion.
+class ChokedMemTransport final : public MemTransport {
+ public:
+  explicit ChokedMemTransport(std::size_t max_per_call)
+      : max_(max_per_call) {}
+  std::size_t try_send_many(ProcessId src, const FrameView* frames,
+                            std::size_t count) override {
+    max_batch_offered_ = std::max(max_batch_offered_, count);
+    return MemTransport::try_send_many(src, frames,
+                                       std::min(count, max_));
+  }
+  [[nodiscard]] std::size_t max_batch_offered() const {
+    return max_batch_offered_;
+  }
+
+ private:
+  std::size_t max_;
+  std::size_t max_batch_offered_ = 0;
+};
+
+TEST(NetRuntime, PartialBatchCompletionLosesNothing) {
+  auto transport = std::make_unique<ChokedMemTransport>(3);
+  ChokedMemTransport* choked = transport.get();
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(21), "linearization", std::move(transport));
+  SafetyMonitor safety(*sc.net);
+  sc.net->add_observer(&safety);
+  ASSERT_TRUE(run_to_departures(sc));
+  // The runtime really offered batches larger than the medium would take,
+  // so the accepted-prefix path (keep the tail queued, retry next pump)
+  // was exercised — and nothing was lost or double-sent along the way.
+  EXPECT_GT(choked->max_batch_offered(), 3u);
+  EXPECT_EQ(sc.net->exits(), sc.leaving_count);
+  EXPECT_TRUE(safety.ok()) << safety.violations().size()
+                           << " safety violations";
+  EXPECT_EQ(sc.net->wire_errors(), 0u);
+  EXPECT_EQ(sc.net->stale_frames(), 0u);
+}
+
+TEST(NetRuntime, DroppedFramesAreRetransmittedToCompletion) {
+  auto transport = std::make_unique<DropMemTransport>(7);
+  DropMemTransport* drop = transport.get();
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(23), "linearization", std::move(transport));
+  SafetyMonitor safety(*sc.net);
+  sc.net->add_observer(&safety);
+  ASSERT_TRUE(run_to_departures(sc));
+  // The medium really destroyed frames, the retransmit timers really
+  // re-queued them, and every departure still completed safely: loss is a
+  // liveness delay, never a safety violation (DESIGN.md, fault model).
+  EXPECT_GT(drop->dropped(), 0u);
+  EXPECT_GT(sc.net->retransmits(), 0u);
+  EXPECT_EQ(sc.net->exits(), sc.leaving_count);
+  EXPECT_TRUE(safety.ok()) << safety.violations().size()
+                           << " safety violations";
+  EXPECT_EQ(sc.net->wire_errors(), 0u);
+}
+
+TEST(NetRuntime, DropRunsAreDeterministic) {
+  const auto run = [] {
+    LiveScenario sc = build_live_framework_scenario(
+        churn_config(25), "linearization",
+        std::make_unique<DropMemTransport>(5));
+    EXPECT_TRUE(run_to_departures(sc));
+    return std::to_string(sc.net->clock()) + "/" +
+           std::to_string(sc.net->retransmits()) + "/" +
+           std::to_string(sc.net->exits());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+/// Medium that delivers every 5th frame twice — retransmit echoes without
+/// the timing. The ledger must treat arrivals as idempotent.
+class DupMemTransport final : public MemTransport {
+ public:
+  bool try_send(ProcessId src, ProcessId dst, const std::uint8_t* data,
+                std::size_t len) override {
+    const bool ok = MemTransport::try_send(src, dst, data, len);
+    if (ok && ++accepted_ % 5 == 0)
+      (void)MemTransport::try_send(src, dst, data, len);
+    return ok;
+  }
+
+ private:
+  std::uint64_t accepted_ = 0;
+};
+
+TEST(NetRuntime, DuplicateFramesAreDroppedAsStale) {
+  LiveScenario sc = build_live_framework_scenario(
+      churn_config(27), "linearization", std::make_unique<DupMemTransport>());
+  SafetyMonitor safety(*sc.net);
+  sc.net->add_observer(&safety);
+  ASSERT_TRUE(run_to_departures(sc));
+  EXPECT_GT(sc.net->stale_frames(), 0u);  // the dups were seen and dropped
+  EXPECT_EQ(sc.net->exits(), sc.leaving_count);
+  EXPECT_TRUE(safety.ok()) << safety.violations().size()
+                           << " safety violations";
+  EXPECT_EQ(sc.net->wire_errors(), 0u);
+}
+
+/// Sends one burst of `burst` messages to a single target on its first
+/// timeout, then goes quiet.
+class BurstProcess final : public Process {
+ public:
+  BurstProcess(Ref self, Mode mode, std::uint64_t key)
+      : Process(self, mode, key) {}
+  void set_target(Ref to, int burst) {
+    to_ = to;
+    burst_ = burst;
+  }
+  void on_timeout(Context& ctx) override {
+    for (int i = 0; i < burst_; ++i)
+      ctx.send(to_, Message{Verb::User, static_cast<std::uint32_t>(i), 0,
+                            {self_info()}});
+    burst_ = 0;
+  }
+  void on_message(Context&, const Message&) override { ++received_; }
+  void collect_refs(std::vector<RefInfo>& out) const override {
+    out.push_back(RefInfo{to_, ModeInfo::Unknown, 0});
+  }
+  [[nodiscard]] const char* protocol_name() const override { return "burst"; }
+  [[nodiscard]] int received() const { return received_; }
+
+ private:
+  Ref to_;
+  int burst_ = 0;
+  int received_ = 0;
+};
+
+int run_burst(bool coalesce, TransportStats* out) {
+  NetConfig rcfg;
+  rcfg.seed = 5;
+  rcfg.coalesce_frames = coalesce;
+  auto transport = std::make_unique<MemTransport>();
+  MemTransport* mem = transport.get();
+  NetRuntime rt(std::move(transport), rcfg);
+  for (ProcessId id = 0; id < 2; ++id)
+    (void)rt.spawn<BurstProcess>(Mode::Staying, id + 1);
+  rt.process_as<BurstProcess>(0).set_target(Ref::make(1), 5);
+  rt.process_as<BurstProcess>(1).set_target(Ref::make(0), 0);
+  rt.start();
+  for (int i = 0; i < 1'000 && rt.process_as<BurstProcess>(1).received() < 5;
+       ++i)
+    rt.pump(0);
+  *out = mem->stats();
+  return rt.process_as<BurstProcess>(1).received();
+}
+
+TEST(NetRuntime, CoalescingPacksABurstIntoOneDatagram) {
+  // Five 57-byte frames to the same peer, enqueued by one action: with
+  // coalescing they fit a single arena slot and cross the medium as one
+  // datagram the receiver unpacks; without it, five datagrams carry the
+  // same bytes. Delivery is identical either way.
+  TransportStats packed{}, loose{};
+  EXPECT_EQ(run_burst(true, &packed), 5);
+  EXPECT_EQ(run_burst(false, &loose), 5);
+  EXPECT_EQ(packed.frames_sent, 1u);
+  EXPECT_EQ(packed.frames_received, 1u);
+  EXPECT_EQ(loose.frames_sent, 5u);
+  EXPECT_EQ(loose.frames_received, 5u);
+}
+
+/// Minimal traffic generator whose handlers never allocate: each timeout
+/// pings the next peer round-robin with one inline-reference message.
+/// Framework protocols allocate inside their own handlers (pending lists,
+/// snapshot vectors — the same cost on the simulator path), so the
+/// zero-allocation claim is pinned on the runtime's machinery — admit,
+/// encode, flush, medium, decode, deliver, timers — with a workload that
+/// adds nothing of its own.
+class PingProcess final : public Process {
+ public:
+  PingProcess(Ref self, Mode mode, std::uint64_t key)
+      : Process(self, mode, key) {}
+  void set_peers(std::vector<Ref> peers) { peers_ = std::move(peers); }
+  void on_timeout(Context& ctx) override {
+    if (peers_.empty()) return;
+    const Ref to = peers_[next_++ % peers_.size()];
+    ctx.send(to, Message{Verb::User, 0, 0, {self_info()}});
+  }
+  void on_message(Context&, const Message&) override {}
+  void collect_refs(std::vector<RefInfo>& out) const override {
+    for (const Ref r : peers_)
+      out.push_back(RefInfo{r, ModeInfo::Unknown, 0});
+  }
+  [[nodiscard]] const char* protocol_name() const override { return "ping"; }
+
+ private:
+  std::vector<Ref> peers_;
+  std::size_t next_ = 0;
+};
+
+TEST(NetRuntime, SteadyStatePumpIsAllocationFree) {
+  if (!alloc_stats::hooked())
+    GTEST_SKIP() << "allocation hook not linked into this binary";
+  NetConfig rcfg;
+  rcfg.seed = 99;
+  auto rt = std::make_unique<NetRuntime>(std::make_unique<MemTransport>(),
+                                         rcfg);
+  constexpr ProcessId kN = 16;
+  for (ProcessId id = 0; id < kN; ++id)
+    (void)rt->spawn<PingProcess>(Mode::Staying, id + 1);
+  for (ProcessId id = 0; id < kN; ++id) {
+    std::vector<Ref> peers;
+    for (ProcessId p = 0; p < kN; ++p)
+      if (p != id) peers.push_back(Ref::make(p));
+    rt->process_as<PingProcess>(id).set_peers(std::move(peers));
+  }
+  rt->start();
+  // Warm-up: every pool, ring, arena, wheel slot and hash table reaches
+  // its high-water capacity. Burst sizes (timers per wheel slot, frames
+  // per inbox per pump) set new records ~logarithmically over time, so
+  // the warm-up must dwarf the measured window; the run is deterministic
+  // (seeded rng, in-memory medium), so a clean window stays clean.
+  for (int i = 0; i < 60'000; ++i) rt->pump(0);
+  const alloc_stats::Counters before = alloc_stats::snapshot();
+  std::uint64_t executed = 0;
+  for (int i = 0; i < 2'000; ++i) executed += rt->pump(0);
+  EXPECT_GT(executed, 1'000u) << "window measured an idle loop, not load";
+  EXPECT_EQ(alloc_stats::allocs_since(before), 0u)
+      << "pump allocated during steady state (" << executed
+      << " actions executed in the window)";
+}
+
+}  // namespace
+}  // namespace fdp::net
