@@ -21,12 +21,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "analysis/experiment.hpp"
 #include "analysis/scenario.hpp"
 #include "core/potential.hpp"
 #include "core/primitives.hpp"
 #include "sim/sharded_world.hpp"
+#include "util/alloc_stats.hpp"
 
 namespace fdp {
 namespace {
@@ -95,6 +97,29 @@ void BM_ClassicChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassicChurn)->Arg(4096)->UseRealTime();
 
+void print_footprint(const char* when, const World& w, std::size_t n) {
+  const alloc_stats::ByteBuckets cap = w.footprint(/*capacity=*/true);
+  const alloc_stats::ByteBuckets live = w.footprint(/*capacity=*/false);
+  const double mb = 1.0 / (1024.0 * 1024.0);
+  std::printf(
+      "mem[%s]: procs=%.1fMB chans=%.1fMB idx=%.1fMB scratch=%.1fMB "
+      "total=%.1fMB (%.1f B/proc alloc, %.1f B/proc live)  rss=%.1fMB\n",
+      when, static_cast<double>(cap.processes) * mb,
+      static_cast<double>(cap.channels_messages) * mb,
+      static_cast<double>(cap.indices) * mb,
+      static_cast<double>(cap.scratch) * mb,
+      static_cast<double>(cap.total()) * mb,
+      static_cast<double>(cap.total()) / static_cast<double>(n),
+      static_cast<double>(live.total()) / static_cast<double>(n),
+      static_cast<double>(alloc_stats::rss_now_kb()) / 1024.0);
+  std::printf(
+      "mem[%s live]: procs=%.1fMB chans=%.1fMB idx=%.1fMB scratch=%.1fMB\n",
+      when, static_cast<double>(live.processes) * mb,
+      static_cast<double>(live.channels_messages) * mb,
+      static_cast<double>(live.indices) * mb,
+      static_cast<double>(live.scratch) * mb);
+}
+
 int run_campaign(std::size_t n, unsigned k) {
   using clock = std::chrono::steady_clock;
   std::printf("building E4 churn scenario: n=%zu ...\n", n);
@@ -102,17 +127,36 @@ int run_campaign(std::size_t n, unsigned k) {
   Scenario sc = build_departure_scenario(churn_config(n));
   World& w = *sc.world;
   const auto t1 = clock::now();
-  std::printf("build: %.1fs  leavers=%zu  phi0=%llu\n",
-              std::chrono::duration<double>(t1 - t0).count(), sc.leaving_count,
-              static_cast<unsigned long long>(phi(w)));
+  const double build_secs = std::chrono::duration<double>(t1 - t0).count();
+  const std::uint64_t build_rss_kb = alloc_stats::rss_peak_kb();
+  std::printf("build: %.1fs  leavers=%zu  phi0=%llu\n", build_secs,
+              sc.leaving_count, static_cast<unsigned long long>(phi(w)));
+  print_footprint("after build", w, n);
 
   // The run ends at the FDP objective — every leaver excluded — not at
   // kernel quiescence: staying processes keep exchanging keep-alive
   // traffic indefinitely, so E4 worlds have no terminal configuration.
   ShardedWorld sw(w, k, ShardPolicy{}, /*seed=*/0xC0FFEE);
   std::uint64_t epochs = 0;
+  // Steady-state allocation probe: record cumulative (allocs, steps) at
+  // every epoch boundary and evaluate allocs/action over the FINAL quarter
+  // of the run, where capacities have reached their high-water mark (the
+  // run length is unknown up front, so the window is picked afterwards).
+  // Meaningful only when the alloc hook TU is linked and k == 1 (the
+  // counters are thread-local; worker-thread traffic is invisible unless
+  // the shard work runs inline on this thread). Reserved up front so the
+  // probe's own bookkeeping never allocates inside the measured region.
+  struct EpochMark {
+    std::uint64_t allocs;
+    std::uint64_t steps;
+  };
+  std::vector<EpochMark> marks;
+  marks.reserve(65536);
+  marks.push_back({alloc_stats::snapshot().allocs, w.steps()});
   while (w.exits() < sc.leaving_count && sw.epoch()) {
     ++epochs;
+    if (marks.size() < marks.capacity())
+      marks.push_back({alloc_stats::snapshot().allocs, w.steps()});
     if ((epochs & 15) == 0) {
       std::printf("  epoch %llu: steps=%llu exits=%llu/%zu\n",
                   static_cast<unsigned long long>(epochs),
@@ -122,10 +166,21 @@ int run_campaign(std::size_t n, unsigned k) {
       std::fflush(stdout);
     }
   }
+  double steady_allocs_per_action = -1.0;
+  if (marks.size() >= 2) {
+    const EpochMark& from = marks[marks.size() - 1 - (marks.size() - 1) / 4];
+    const EpochMark& to = marks.back();
+    if (to.steps > from.steps)
+      steady_allocs_per_action =
+          static_cast<double>(to.allocs - from.allocs) /
+          static_cast<double>(to.steps - from.steps);
+  }
   sw.finalize();
   const auto t2 = clock::now();
   const double secs = std::chrono::duration<double>(t2 - t1).count();
   const bool done = all_leaving_gone(w);
+  const alloc_stats::ByteBuckets cap = w.footprint(/*capacity=*/true);
+  const alloc_stats::ByteBuckets live = w.footprint(/*capacity=*/false);
   std::printf(
       "campaign: shards=%u epochs=%llu steps=%llu sends=%llu exits=%llu/%zu "
       "phi=%llu %s in %.1fs (%.2fM actions/s)\n",
@@ -136,6 +191,35 @@ int run_campaign(std::size_t n, unsigned k) {
       static_cast<unsigned long long>(phi(w)),
       done ? "CONVERGED" : "NOT-CONVERGED", secs,
       static_cast<double>(w.steps()) / secs / 1e6);
+  print_footprint("at end", w, n);
+  if (alloc_stats::hooked()) {
+    std::printf(
+        "steady-state allocs/action: %.4f (final quarter of %llu epochs)\n",
+        steady_allocs_per_action, static_cast<unsigned long long>(epochs));
+  }
+  // Machine-readable summary consumed by scripts/check_mem_footprint.py;
+  // one line, stable key order.
+  std::printf(
+      "MEMJSON {\"schema\": \"fdp-mem-bench/1\", \"n\": %zu, \"shards\": %u, "
+      "\"build_seconds\": %.2f, \"campaign_seconds\": %.2f, \"epochs\": %llu, "
+      "\"steps\": %llu, \"actions_per_sec\": %.0f, \"converged\": %s, "
+      "\"bytes_per_process\": %.1f, \"live_bytes_per_process\": %.1f, "
+      "\"world_bytes\": {\"processes\": %llu, \"channels_messages\": %llu, "
+      "\"indices\": %llu, \"scratch\": %llu}, \"build_rss_kb\": %llu, "
+      "\"peak_rss_kb\": %llu, \"steady_allocs_per_action\": %.4f, "
+      "\"alloc_hook\": %s}\n",
+      n, k, build_secs, secs, static_cast<unsigned long long>(sw.epochs()),
+      static_cast<unsigned long long>(w.steps()),
+      static_cast<double>(w.steps()) / secs, done ? "true" : "false",
+      static_cast<double>(cap.total()) / static_cast<double>(n),
+      static_cast<double>(live.total()) / static_cast<double>(n),
+      static_cast<unsigned long long>(cap.processes),
+      static_cast<unsigned long long>(cap.channels_messages),
+      static_cast<unsigned long long>(cap.indices),
+      static_cast<unsigned long long>(cap.scratch),
+      static_cast<unsigned long long>(build_rss_kb),
+      static_cast<unsigned long long>(alloc_stats::rss_peak_kb()),
+      steady_allocs_per_action, alloc_stats::hooked() ? "true" : "false");
   return done ? 0 : 1;
 }
 

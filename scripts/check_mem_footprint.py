@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Gate the kernel's memory footprint and steady-state allocation rate.
+
+Runs `bench_shard_scaling --campaign <n> <shards>` (or parses an existing
+output file via --from-output), extracts the MEMJSON line (schema
+fdp-mem-bench/1) and checks:
+
+1. Bytes/process ceiling: capacity-mode world bytes per process must stay
+   under --max-bytes-per-process. This is the ISSUE-9 diet gate — the
+   pre-diet kernel sat at ~3.1 KB/process at every scale; the dieted
+   kernel at ~2.2-2.3 KB. The default ceiling (2600) leaves ~13% headroom
+   at smoke scale before the gate trips.
+
+2. Allocation-free steady state: steady_allocs_per_action, measured by
+   the counting operator-new hook over the campaign's final quarter of
+   epochs, must not exceed --max-steady-allocs (default 0.001 — i.e.
+   zero, modulo one-off high-water growth of pooled structures). The
+   check requires the bench to have been built with the alloc hook
+   (alloc_hook: true in MEMJSON); a hookless binary fails the gate
+   because it cannot prove the property.
+
+3. The campaign must converge (every leaving process departed).
+
+With --merge PATH the MEMJSON record is folded into a BENCH_mem.json
+document keyed by n under "runs" (other entries preserved), for CI
+artifact upload or committing.
+
+Usage:
+  check_mem_footprint.py build/bench/bench_shard_scaling
+      [--n 10000] [--shards 1]
+      [--max-bytes-per-process 2600] [--max-steady-allocs 0.001]
+      [--from-output PATH] [--merge BENCH_mem.json]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+MEMJSON_PREFIX = "MEMJSON "
+SCHEMA = "fdp-mem-bench/1"
+
+
+def extract_memjson(text):
+    """The last MEMJSON record in `text`, or None."""
+    rec = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith(MEMJSON_PREFIX):
+            rec = json.loads(line[len(MEMJSON_PREFIX):])
+    return rec
+
+
+def merge_into(path, rec):
+    """Fold `rec` into the BENCH_mem.json document at `path`, keyed by n."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        doc = {"schema": SCHEMA, "runs": {}}
+    doc.setdefault("schema", SCHEMA)
+    doc.setdefault("runs", {})
+    doc["runs"][str(rec["n"])] = rec
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"merged n={rec['n']} into {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench", help="path to bench_shard_scaling")
+    ap.add_argument("--n", type=int, default=10000,
+                    help="campaign world size (smoke scale by default)")
+    ap.add_argument("--shards", type=int, default=1)
+    ap.add_argument("--max-bytes-per-process", type=float, default=2600.0,
+                    help="capacity-mode footprint ceiling (gate 1)")
+    ap.add_argument("--max-steady-allocs", type=float, default=0.001,
+                    help="steady-state allocs per action ceiling (gate 2)")
+    ap.add_argument("--from-output", metavar="PATH",
+                    help="parse this bench output instead of running")
+    ap.add_argument("--merge", metavar="PATH",
+                    help="fold the MEMJSON record into this BENCH_mem.json")
+    args = ap.parse_args()
+
+    if args.from_output:
+        with open(args.from_output) as f:
+            text = f.read()
+    else:
+        cmd = [args.bench, "--campaign", str(args.n), str(args.shards)]
+        print("+ " + " ".join(cmd))
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        text = proc.stdout + proc.stderr
+        if proc.returncode != 0:
+            sys.stdout.write(text)
+            print(f"FAIL: bench exited with {proc.returncode}")
+            return 1
+
+    rec = extract_memjson(text)
+    if rec is None:
+        print("FAIL: no MEMJSON line in the bench output")
+        return 1
+    if rec.get("schema") != SCHEMA:
+        print(f"FAIL: unexpected MEMJSON schema {rec.get('schema')!r} "
+              f"(this checker speaks {SCHEMA})")
+        return 1
+
+    bpp = rec["bytes_per_process"]
+    steady = rec["steady_allocs_per_action"]
+    print(f"n={rec['n']} shards={rec['shards']}: "
+          f"{bpp:.1f} B/process (live {rec['live_bytes_per_process']:.1f}), "
+          f"peak RSS {rec['peak_rss_kb'] / 1024:.1f} MB, "
+          f"{rec['actions_per_sec']} actions/s, "
+          f"steady {steady:.4f} allocs/action")
+
+    ok = True
+    if not rec.get("converged", False):
+        print("FAIL: campaign did not converge — footprint numbers are "
+              "from an unfinished run and mean nothing")
+        ok = False
+    if bpp > args.max_bytes_per_process:
+        print(f"FAIL: {bpp:.1f} bytes/process exceeds the "
+              f"{args.max_bytes_per_process:.1f} ceiling — the memory diet "
+              f"regressed (compact layouts, arena rows or channel slots)")
+        ok = False
+    if not rec.get("alloc_hook", False):
+        print("FAIL: bench binary lacks the counting alloc hook; the "
+              "steady-state gate cannot be verified (link fdp_alloc_hook)")
+        ok = False
+    elif steady > args.max_steady_allocs:
+        print(f"FAIL: {steady:.4f} steady-state allocs/action exceeds "
+              f"{args.max_steady_allocs} — a per-step heap allocation "
+              f"crept back into the hot path (scratch buffers, timeout "
+              f"snapshots, channel/arena growth)")
+        ok = False
+
+    if args.merge and ok:
+        merge_into(args.merge, rec)
+
+    print("OK: memory-footprint gates passed" if ok else
+          "check_mem_footprint: FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

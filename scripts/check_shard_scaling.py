@@ -108,8 +108,9 @@ def main():
     # 1. Speedup gate (multi-core only).
     if cores < 2:
         gate = "skipped (1 core)"
-        print(f"SKIP: shard-scaling gate skipped (1 core) — "
-              f"recording the curve only")
+        print(f"SKIP: shard-scaling speedup gate skipped — this host has "
+              f"{cores} core(s) and the gate needs at least 2 to measure "
+              f"parallel speedup; recording the throughput curve only")
     elif args.top not in per_shard:
         print(f"FAIL: no {args.bench}/{args.top}/{args.n} result")
         ok = False
@@ -143,6 +144,9 @@ def main():
             "n": args.n,
             "cores": cores,
             "gate": gate if ok else "failed",
+            # Explicit skip marker so downstream tooling does not have to
+            # parse the gate string to tell "skipped" from "passed".
+            "skipped": "1 core" if gate == "skipped (1 core)" else None,
             "actions_per_sec_per_shards": {
                 str(k): round(v, 1) for k, v in sorted(per_shard.items())
             },

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "analysis/trace.hpp"
+#include "util/alloc_stats.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
@@ -102,6 +103,7 @@ ExperimentResult ExperimentDriver::run(const ExperimentSpec& spec) const {
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  res.peak_rss_kb = alloc_stats::rss_peak_kb();
   return res;
 }
 
@@ -114,7 +116,8 @@ std::string write_trials_csv(const std::string& path,
                  "phi_final", "phi_drain", "safety_ok", "phi_monotone",
                  "audit_ok", "closure_held", "faults_injected",
                  "faults_recovered", "recovery_steps_max",
-                 "recovery_steps_mean", "attempts", "threw", "failure"});
+                 "recovery_steps_mean", "live_bytes", "attempts", "threw",
+                 "failure"});
   if (!csv.ok()) return "cannot open CSV output '" + path + "'";
   const std::string scenario = spec.scenario().label();
   const std::string scheduler = spec.scheduler().name();
@@ -132,7 +135,8 @@ std::string write_trials_csv(const std::string& path,
              std::to_string(r.faults_recovered),
              std::to_string(r.recovery_steps_max),
              std::to_string(r.recovery_steps_mean),
-             std::to_string(t.attempts), t.threw ? "1" : "0", r.failure});
+             std::to_string(r.live_bytes), std::to_string(t.attempts),
+             t.threw ? "1" : "0", r.failure});
   }
   if (!csv.finish())
     return "write error while dumping CSV to '" + path + "'";

@@ -105,6 +105,12 @@ struct ExperimentResult {
   Aggregate agg;
   unsigned workers_used = 1;
   double wall_seconds = 0.0;
+  /// Process-wide VmHWM (peak RSS, kB) sampled after the sweep. Like
+  /// wall_seconds this is environment-dependent — it covers the whole
+  /// process, not just this sweep — so it must never feed deterministic
+  /// output (CSV, aggregates); it is a reporting-only measurement. 0 when
+  /// /proc/self/status is unavailable.
+  std::uint64_t peak_rss_kb = 0;
 };
 
 class ExperimentDriver {

@@ -114,6 +114,7 @@ void Aggregate::add(const TrialResult& t) {
   sleeps.add(static_cast<double>(r.sleeps));
   wakes.add(static_cast<double>(r.wakes));
   phi_drain.add(static_cast<double>(r.phi_drain()));
+  live_bytes.add(static_cast<double>(r.live_bytes));
   if (r.faults_injected > 0)
     recovery_steps.add(static_cast<double>(r.recovery_steps_max));
 }
@@ -254,6 +255,7 @@ RunResult run_to_legitimacy_sharded(Scenario& sc, const ExperimentSpec& spec,
   res.sleeps = w.sleeps();
   res.wakes = w.wakes();
   res.phi_final = phi(w);
+  res.live_bytes = w.live_bytes();
   // One epoch == one asynchronous round in the Rounds policy.
   if (spec.scheduler().kind == SchedulerKind::Rounds) res.rounds = sw.epochs();
 
@@ -393,6 +395,7 @@ RunResult run_to_legitimacy(Scenario& sc, const ExperimentSpec& spec,
   res.sleeps = w.sleeps();
   res.wakes = w.wakes();
   res.phi_final = phi(w);
+  res.live_bytes = w.live_bytes();
   Scheduler* base = injector != nullptr ? injector->inner() : sched.get();
   if (auto* rs = dynamic_cast<RoundScheduler*>(base)) {
     res.rounds = rs->rounds();

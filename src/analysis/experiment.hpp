@@ -254,6 +254,12 @@ struct RunResult {
   std::uint64_t faults_recovered = 0;   ///< re-legitimacy time measured
   std::uint64_t recovery_steps_max = 0; ///< worst steps-to-re-legitimacy
   double recovery_steps_mean = 0.0;
+  /// World::live_bytes() at the end of the run: the deterministic
+  /// (size-based, not capacity-based) resident footprint of the final
+  /// configuration. Unlike RSS or capacity numbers this is a pure function
+  /// of the trial seed, so it is safe in CSV output and aggregates, which
+  /// must stay byte-identical for any worker count.
+  std::uint64_t live_bytes = 0;
   std::string failure;  ///< first diagnostic when something went wrong
 
   /// Invalid-information drained: Φ(start) - Φ(end) (0 if Φ grew, which
@@ -297,6 +303,8 @@ struct Aggregate {
   Samples steps, rounds, sends, sleeps, wakes, phi_drain;
   /// Per-trial WORST steps-to-re-legitimacy (solved fault trials only).
   Samples recovery_steps;
+  /// End-of-run World::live_bytes() (deterministic resident footprint).
+  Samples live_bytes;
   std::string first_failure;
 
   void add(const TrialResult& t);

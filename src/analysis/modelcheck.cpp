@@ -95,7 +95,7 @@ ModelChecker::SysState capture(const World& w) {
     for (const Message& m : w.channel(p).messages()) {
       MsgState ms;
       ms.to = p;
-      ms.verb = m.verb;
+      ms.verb = m.verb();
       for (const RefInfo& r : m.refs) ms.refs.emplace_back(r.ref.id(), r.mode);
       s.msgs.push_back(std::move(ms));
     }
@@ -125,7 +125,7 @@ std::unique_ptr<World> restore(const ModelChecker::SysState& s,
   }
   for (const MsgState& m : s.msgs) {
     Message msg;
-    msg.verb = m.verb;
+    msg.set_verb(m.verb);
     for (const auto& [id, mode] : m.refs)
       msg.refs.push_back(RefInfo{Ref::make(id), mode, w->process(id).key()});
     w->post(Ref::make(m.to), msg);
@@ -197,7 +197,7 @@ ModelCheckResult ModelChecker::run() {
       for (const Message& m : w->channel(p).messages()) {
         MsgState ms;
         ms.to = p;
-        ms.verb = m.verb;
+        ms.verb = m.verb();
         for (const RefInfo& r : m.refs)
           ms.refs.emplace_back(r.ref.id(), r.mode);
         if (seen_contents.insert(ms).second)

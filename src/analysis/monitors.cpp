@@ -293,7 +293,7 @@ void TrafficMonitor::on_action(const Substrate& world, const ActionRecord& rec) 
   }
   for (const auto& [to, msg] : rec.sent) {
     (void)to;
-    ++sent_[static_cast<std::size_t>(msg.verb)];
+    ++sent_[static_cast<std::size_t>(msg.verb())];
     ++sent_by_[rec.actor];
   }
 }

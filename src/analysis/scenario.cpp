@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <set>
 
 #include "baseline/sorted_list_departure.hpp"
 #include "core/framework.hpp"
@@ -13,32 +12,98 @@
 
 namespace fdp {
 
+namespace {
+
+/// Open-addressing set of non-zero u64 keys: the duplicate-draw rejection
+/// needs only membership, and a std::set node costs ~6x the 8-byte slot
+/// this table pays (the old tree peaked near 0.5 GB at n = 10^7).
+class KeySet {
+ public:
+  explicit KeySet(std::size_t expect) {
+    std::size_t cap = 16;
+    while (cap * 3 < expect * 4) cap *= 2;  // final load factor <= 3/4
+    slots_.assign(cap, 0);
+  }
+
+  /// True when newly inserted (matches std::set::insert().second).
+  bool insert(std::uint64_t key) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash();
+    std::size_t i = ideal(key, slots_.size());
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+ private:
+  static std::size_t ideal(std::uint64_t key, std::size_t cap) {
+    std::uint64_t k = key;  // splitmix64 finalizer
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k) & (cap - 1);
+  }
+
+  void rehash() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    for (const std::uint64_t k : old) {
+      if (k == 0) continue;
+      std::size_t i = ideal(k, slots_.size());
+      while (slots_[i] != 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = k;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
 PopulationPlan plan_population(const ScenarioConfig& cfg, Rng& rng) {
   PopulationPlan pop;
   pop.leaving.assign(cfg.n, false);
   pop.keys.resize(cfg.n);
 
   // Unique random keys (uniqueness is required by the key-ordered
-  // overlays; the departure protocol itself never reads them).
-  std::set<std::uint64_t> used;
+  // overlays; the departure protocol itself never reads them). Rejection
+  // behavior is draw-for-draw identical to the std::set it replaced.
+  KeySet used(cfg.n);
   for (std::size_t i = 0; i < cfg.n; ++i) {
     std::uint64_t k;
     do {
       k = rng();
-    } while (k == 0 || !used.insert(k).second);
+    } while (k == 0 || !used.insert(k));
     pop.keys[i] = k;
   }
 
   std::size_t want =
       static_cast<std::size_t>(cfg.leave_fraction * static_cast<double>(cfg.n));
   if (cfg.n > 0 && want >= cfg.n) want = cfg.n - 1;  // >= 1 staying process
-  std::vector<std::size_t> order(cfg.n);
-  for (std::size_t i = 0; i < cfg.n; ++i) order[i] = i;
+  // u32 ids: the Fisher-Yates draw sequence depends only on the length,
+  // so narrowing the scratch halves it without moving any stream.
+  std::vector<std::uint32_t> order(cfg.n);
+  for (std::size_t i = 0; i < cfg.n; ++i)
+    order[i] = static_cast<std::uint32_t>(i);
   rng.shuffle(order);
   for (std::size_t i = 0; i < want; ++i) pop.leaving[order[i]] = true;
   pop.leaving_count = want;
 
-  pop.topology = gen::by_name(cfg.topology.c_str(), cfg.n, rng);
+  if (cfg.topology == "gnp") {
+    // Banded generation: same draw stream and edge enumeration as
+    // gen::by_name's DiGraph path, ~9x less build memory.
+    pop.topology = CompactTopology::gnp_connected(
+        cfg.n, 3.0 / static_cast<double>(cfg.n ? cfg.n : 1), rng);
+  } else {
+    pop.topology = CompactTopology::from_graph(
+        gen::by_name(cfg.topology.c_str(), cfg.n, rng));
+  }
   return pop;
 }
 
@@ -176,11 +241,11 @@ Scenario build_departure_scenario(const ScenarioConfig& cfg,
         pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i],
         cfg.policy));
   }
-  for (const auto& [u, v] : pop.topology.simple_edges()) {
+  pop.topology.for_each_edge([&](NodeId u, NodeId v) {
     auto& proc = sc.world->process_as<DepartureProcess>(u);
     proc.nbrs_mut().insert(
         RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
-  }
+  });
   corrupt_and_inject(cfg, pop, sc, rng,
                      [&](ProcessId p, const RefInfo& a) {
                        sc.world->process_as<DepartureProcess>(p).set_anchor(a);
@@ -208,11 +273,11 @@ Scenario build_framework_scenario(const ScenarioConfig& cfg,
         pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i],
         make_overlay(overlay), cfg.policy));
   }
-  for (const auto& [u, v] : pop.topology.simple_edges()) {
+  pop.topology.for_each_edge([&](NodeId u, NodeId v) {
     auto& proc = sc.world->process_as<FrameworkProcess>(u);
     proc.overlay_mut().integrate(
         RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
-  }
+  });
   corrupt_and_inject(cfg, pop, sc, rng,
                      [&](ProcessId p, const RefInfo& a) {
                        sc.world->process_as<FrameworkProcess>(p).set_anchor(a);
@@ -238,11 +303,11 @@ Scenario build_baseline_scenario(const ScenarioConfig& cfg,
     sc.refs.push_back(sc.world->spawn<SortedListDeparture>(
         pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i]));
   }
-  for (const auto& [u, v] : pop.topology.simple_edges()) {
+  pop.topology.for_each_edge([&](NodeId u, NodeId v) {
     auto& proc = sc.world->process_as<SortedListDeparture>(u);
     proc.nbrs_mut().insert(
         RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
-  }
+  });
   // The baseline has no anchors; only in-flight corruption applies.
   corrupt_and_inject(cfg, pop, sc, rng, [](ProcessId, const RefInfo&) {});
   sc.world->set_oracle(scenario_oracle(cfg, make_nidec_oracle()));

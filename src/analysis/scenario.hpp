@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/departure_process.hpp"
-#include "graph/digraph.hpp"
+#include "graph/compact_topology.hpp"
 #include "sim/world.hpp"
 
 namespace fdp {
@@ -121,7 +121,10 @@ struct PopulationPlan {
   std::vector<bool> leaving;
   std::vector<std::uint64_t> keys;
   std::size_t leaving_count = 0;
-  DiGraph topology{0};
+  /// Flat edge-enumeration view; the gnp family is generated banded
+  /// (never materialized as a DiGraph) so the build peak stays small at
+  /// n = 10^7 — see graph/compact_topology.hpp.
+  CompactTopology topology;
 };
 
 /// Draw a PopulationPlan from `rng`. The draw sequence is part of the

@@ -8,8 +8,8 @@ namespace {
 
 void append_message_json(std::string& s, const Message& m) {
   s += "{\"verb\":\"";
-  s += to_string(m.verb);
-  s += "\",\"tag\":" + std::to_string(m.tag);
+  s += to_string(m.verb());
+  s += "\",\"tag\":" + std::to_string(m.tag());
   s += ",\"seq\":" + std::to_string(m.seq);
   s += ",\"refs\":[";
   for (std::size_t i = 0; i < m.refs.size(); ++i) {

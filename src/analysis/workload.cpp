@@ -42,8 +42,8 @@ void LookupWorkload::pump(Substrate& sub) {
       target = keys_[stayers_[rng_.below(stayers_.size())]];
     }
     Message m;
-    m.verb = Verb::Overlay;
-    m.tag = kTagLookup;
+    m.set_verb(Verb::Overlay);
+    m.set_tag(kTagLookup);
     m.token = target;
     // refs[0] = the requester. Access nodes are staying, so this
     // self-description is valid by construction.
@@ -61,8 +61,8 @@ void LookupWorkload::on_action(const Substrate& sub, const ActionRecord& rec) {
   if (rec.kind != ActionRecord::Kind::Deliver || !rec.consumed.has_value())
     return;
   const Message& m = *rec.consumed;
-  if (m.verb != Verb::Overlay ||
-      (m.tag != kTagLookupHit && m.tag != kTagLookupMiss))
+  if (m.verb() != Verb::Overlay ||
+      (m.tag() != kTagLookupHit && m.tag() != kTagLookupMiss))
     return;
   const auto it = open_.find({rec.actor, m.token});
   if (it == open_.end() || it->second.empty()) return;  // not ours
@@ -71,7 +71,7 @@ void LookupWorkload::on_action(const Substrate& sub, const ActionRecord& rec) {
   if (it->second.empty()) open_.erase(it);
   ++resolved_;
   --outstanding_;
-  if (m.tag == kTagLookupHit)
+  if (m.tag() == kTagLookupHit)
     ++hits_;
   else
     ++misses_;

@@ -46,6 +46,9 @@ class SortedListDeparture final : public Process {
   [[nodiscard]] const char* protocol_name() const override {
     return "baseline-list";
   }
+  [[nodiscard]] std::size_t footprint_bytes(bool capacity) const override {
+    return sizeof(*this) + nbrs_.heap_bytes(capacity);
+  }
 
   [[nodiscard]] const NeighborSet& nbrs() const { return nbrs_; }
   [[nodiscard]] NeighborSet& nbrs_mut() { return nbrs_; }

@@ -36,7 +36,10 @@ void DepartureProcess::leaving_timeout(Context& ctx) {
   // Lines 11–14: flush the whole neighborhood through our own channel as
   // forward messages; the forward action will route every reference to the
   // anchor (or recruit one). Delegation-to-self: no copy is lost.
-  for (const RefInfo& v : take_all_refs()) {
+  std::vector<RefInfo>& flushed = ctx.ref_scratch();
+  flushed.clear();
+  take_all_refs(flushed);
+  for (const RefInfo& v : flushed) {
     ctx.send(self(), Message::forward(v));
   }
 }
@@ -50,7 +53,10 @@ void DepartureProcess::staying_timeout(Context& ctx) {
   // Lines 19–22. First expel every reference believed leaving (the
   // reversal send below doubles as the paper's "v <- present(u)"), then
   // self-introduce to the kept structural neighbors.
-  for (const RefInfo& v : stored_neighbors()) {
+  std::vector<RefInfo>& nbrs = ctx.ref_scratch();
+  nbrs.clear();
+  stored_neighbors(nbrs);
+  for (const RefInfo& v : nbrs) {
     if (v.mode == ModeInfo::Leaving) {
       // Reversal: drop the reference to the leaving neighbor and hand it
       // our own reference so it can route it to its anchor.
@@ -58,7 +64,9 @@ void DepartureProcess::staying_timeout(Context& ctx) {
       ctx.send(v.ref, Message::present(self_info()));
     }
   }
-  for (const RefInfo& v : introduction_targets()) {
+  nbrs.clear();
+  introduction_targets(nbrs);
+  for (const RefInfo& v : nbrs) {
     if (v.mode == ModeInfo::Leaving) continue;  // just expelled above
     ctx.send(v.ref, Message::present(self_info()));
   }
@@ -151,7 +159,7 @@ void DepartureProcess::handle_other(Context& ctx, const Message& m) {
 }
 
 void DepartureProcess::on_message(Context& ctx, const Message& m) {
-  switch (m.verb) {
+  switch (m.verb()) {
     case Verb::Present:
       for (const RefInfo& r : m.refs) act_present(ctx, r);
       break;

@@ -58,6 +58,9 @@ class DepartureProcess : public Process {
   [[nodiscard]] const char* protocol_name() const override {
     return "departure";
   }
+  [[nodiscard]] std::size_t footprint_bytes(bool capacity) const override {
+    return sizeof(*this) + n_.heap_bytes(capacity);
+  }
 
   // --- runtime fault hooks (sim/fault.hpp) ---
   // Both operate on the departure layer's own storage (u.N and anchor)
@@ -114,27 +117,30 @@ class DepartureProcess : public Process {
   }
   /// Remove every stored copy of r (expulsion of a leaving process).
   virtual void expel_ref(Ref r) { n_.erase(r); }
-  /// All stored references the timeout action iterates over.
-  [[nodiscard]] virtual std::vector<RefInfo> stored_neighbors() const {
-    return n_.snapshot();
+  /// All stored references the timeout action iterates over, appended to
+  /// `out`. Append-style (rather than returning a vector) so the caller
+  /// can reuse a retained-capacity scratch buffer: timeout runs once per
+  /// awake process per epoch, and a fresh vector here was the dominant
+  /// steady-state allocation of E12 churn campaigns.
+  virtual void stored_neighbors(std::vector<RefInfo>& out) const {
+    n_.append_to(out);
   }
-  /// Remove and return every stored reference (leaving flush, Alg. 1
-  /// lines 11–14).
-  virtual std::vector<RefInfo> take_all_refs() {
-    std::vector<RefInfo> out = n_.snapshot();
+  /// Remove every stored reference, appending it to `out` (leaving flush,
+  /// Alg. 1 lines 11–14).
+  virtual void take_all_refs(std::vector<RefInfo>& out) {
+    n_.append_to(out);
     n_.clear();
-    return out;
   }
   /// True when no references are stored (Alg. 1 line 5 guard).
   [[nodiscard]] virtual bool storage_empty() const { return n_.empty(); }
 
-  /// References the periodic self-introduction targets. For the flat u.N
-  /// of Algorithm 1 this is everything stored; a hosted overlay narrows
-  /// it to the neighbors it intends to KEEP — self-introducing to a
-  /// reference that is merely in transit would spawn a reverse edge and
-  /// keep the network churning forever.
-  [[nodiscard]] virtual std::vector<RefInfo> introduction_targets() const {
-    return n_.snapshot();
+  /// References the periodic self-introduction targets, appended to `out`.
+  /// For the flat u.N of Algorithm 1 this is everything stored; a hosted
+  /// overlay narrows it to the neighbors it intends to KEEP — self-
+  /// introducing to a reference that is merely in transit would spawn a
+  /// reverse edge and keep the network churning forever.
+  virtual void introduction_targets(std::vector<RefInfo>& out) const {
+    n_.append_to(out);
   }
 
   NeighborSet n_;

@@ -44,6 +44,18 @@ FrameworkProcess::FrameworkProcess(Ref self, Mode mode, std::uint64_t key,
 
 const char* FrameworkProcess::protocol_name() const { return name_.c_str(); }
 
+std::size_t FrameworkProcess::footprint_bytes(bool capacity) const {
+  std::size_t b = sizeof(*this) + n_.heap_bytes(capacity) +
+                  (capacity ? mlist_.capacity() : mlist_.size()) *
+                      sizeof(Pending);
+  for (const Pending& e : mlist_)
+    b += (capacity ? e.refs.capacity() : e.refs.size()) * sizeof(RefInfo);
+  // The hosted overlay's links, approximated by its stored references (the
+  // overlay types do not expose their backing stores).
+  b += overlay_->stored().size() * sizeof(RefInfo);
+  return b;
+}
+
 void FrameworkProcess::store_ref(Context& ctx, const RefInfo& v) {
   (void)ctx;
   if (v.ref == self()) return;
@@ -55,32 +67,29 @@ void FrameworkProcess::expel_ref(Ref r) {
   n_.erase(r);
 }
 
-std::vector<RefInfo> FrameworkProcess::stored_neighbors() const {
-  std::vector<RefInfo> out = overlay_->stored();
-  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
-  return out;
+void FrameworkProcess::stored_neighbors(std::vector<RefInfo>& out) const {
+  for (const RefInfo& r : overlay_->stored()) out.push_back(r);
+  n_.append_to(out);
 }
 
-std::vector<RefInfo> FrameworkProcess::take_all_refs() {
-  std::vector<RefInfo> out = overlay_->take_all();
-  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
+void FrameworkProcess::take_all_refs(std::vector<RefInfo>& out) {
+  for (const RefInfo& r : overlay_->take_all()) out.push_back(r);
+  n_.append_to(out);
   n_.clear();
   for (Pending& e : mlist_) {
     out.push_back(RefInfo{e.dest, e.dest_mode, 0});
     for (const RefInfo& r : e.refs) out.push_back(r);
   }
   mlist_.clear();
-  return out;
 }
 
 bool FrameworkProcess::storage_empty() const {
   return overlay_->empty() && n_.empty() && mlist_.empty();
 }
 
-std::vector<RefInfo> FrameworkProcess::introduction_targets() const {
-  std::vector<RefInfo> out = overlay_->introduction_targets();
-  for (const RefInfo& r : n_.snapshot()) out.push_back(r);
-  return out;
+void FrameworkProcess::introduction_targets(std::vector<RefInfo>& out) const {
+  for (const RefInfo& r : overlay_->introduction_targets()) out.push_back(r);
+  n_.append_to(out);
 }
 
 void FrameworkProcess::collect_refs(std::vector<RefInfo>& out) const {
@@ -180,7 +189,7 @@ void FrameworkProcess::on_overlay_msg(Context& ctx, const Message& m) {
     return;
   }
   WrappedCtx octx(this, &ctx);
-  overlay_->on_overlay_message(octx, m.tag, m.refs, m.token);
+  overlay_->on_overlay_message(octx, m.tag(), m.refs, m.token);
 }
 
 void FrameworkProcess::framework_timeout(Context& ctx) {
@@ -252,7 +261,7 @@ void FrameworkProcess::postprocess(Context& ctx, Pending entry) {
 }
 
 void FrameworkProcess::handle_other(Context& ctx, const Message& m) {
-  switch (m.verb) {
+  switch (m.verb()) {
     case Verb::Verify:
       on_verify(ctx, m);
       break;
@@ -330,8 +339,8 @@ void PlainOverlayHost::on_timeout(Context& ctx) {
 
 void PlainOverlayHost::on_message(Context& ctx, const Message& m) {
   DirectCtx octx(this, &ctx);
-  if (m.verb == Verb::Overlay) {
-    overlay_->on_overlay_message(octx, m.tag, m.refs, m.token);
+  if (m.verb() == Verb::Overlay) {
+    overlay_->on_overlay_message(octx, m.tag(), m.refs, m.token);
   } else {
     // Present/forward/user messages: conservatively integrate every
     // carried reference (the plain host has no departure layer).

@@ -79,6 +79,7 @@ class FrameworkProcess : public DepartureProcess, public OverlayHost {
   void on_timeout(Context& ctx) override;
   void collect_refs(std::vector<RefInfo>& out) const override;
   [[nodiscard]] const char* protocol_name() const override;
+  [[nodiscard]] std::size_t footprint_bytes(bool capacity) const override;
 
   [[nodiscard]] const OverlayProtocol& hosted_overlay() const override {
     return *overlay_;
@@ -91,10 +92,10 @@ class FrameworkProcess : public DepartureProcess, public OverlayHost {
   // DepartureProcess storage hooks: reference storage is P's.
   void store_ref(Context& ctx, const RefInfo& v) override;
   void expel_ref(Ref r) override;
-  [[nodiscard]] std::vector<RefInfo> stored_neighbors() const override;
-  std::vector<RefInfo> take_all_refs() override;
+  void stored_neighbors(std::vector<RefInfo>& out) const override;
+  void take_all_refs(std::vector<RefInfo>& out) override;
   [[nodiscard]] bool storage_empty() const override;
-  [[nodiscard]] std::vector<RefInfo> introduction_targets() const override;
+  void introduction_targets(std::vector<RefInfo>& out) const override;
 
   void handle_other(Context& ctx, const Message& m) override;
 

@@ -1,0 +1,105 @@
+#include "graph/compact_topology.hpp"
+
+#include <cmath>
+
+namespace fdp {
+
+CompactTopology CompactTopology::gnp_connected(std::size_t n, double p,
+                                               Rng& rng) {
+  CompactTopology t;
+  t.n_ = n;
+  // Tree parents: the exact draw loop of gen::random_tree.
+  t.parents_.resize(n > 0 ? n : 0);
+  if (n > 0) t.parents_[0] = 0;  // unused sentinel
+  for (NodeId i = 1; i < n; ++i)
+    t.parents_[i] = static_cast<NodeId>(rng.below(i));
+
+  if (n < 2 || p <= 0.0) {
+    t.mode_ = Mode::Banded;
+    t.build_index();
+    return t;
+  }
+  if (p >= 1.0) {
+    // gen::gnp_connected fills to a clique without further draws.
+    t.mode_ = Mode::Clique;
+    return t;
+  }
+
+  // Geometric edge skipping — the exact draw loop of gen::gnp_connected.
+  // Pairs (v, w), w < v, arrive in strictly increasing lexicographic
+  // order (the running pair index only ever advances), so the list is
+  // sorted and duplicate-free by construction; only collisions with the
+  // tree edge (v, parents_[v]) must be skipped, which is what the
+  // DiGraph path's has_edge test rejected.
+  const double denom = std::log1p(-p);
+  std::size_t v = 1;
+  std::size_t w = static_cast<std::size_t>(-1);
+  while (v < n) {
+    const double skip = std::floor(std::log1p(-rng.uniform()) / denom);
+    if (skip >= static_cast<double>(n) * static_cast<double>(n)) break;
+    w += 1 + static_cast<std::size_t>(skip);
+    while (v < n && w >= v) {
+      w -= v;
+      ++v;
+    }
+    if (v < n && t.parents_[v] != static_cast<NodeId>(w))
+      t.extras_.emplace_back(static_cast<NodeId>(v), static_cast<NodeId>(w));
+  }
+  t.mode_ = Mode::Banded;
+  t.build_index();
+  return t;
+}
+
+CompactTopology CompactTopology::from_graph(DiGraph g) {
+  CompactTopology t;
+  t.mode_ = Mode::Graph;
+  t.n_ = g.node_count();
+  t.graph_ = std::move(g);
+  return t;
+}
+
+std::uint64_t CompactTopology::simple_edge_count() const {
+  switch (mode_) {
+    case Mode::Graph: return graph_.simple_edge_count();
+    case Mode::Clique:
+      return n_ < 2 ? 0 : static_cast<std::uint64_t>(n_) * (n_ - 1);
+    case Mode::Banded:
+      return 2 * ((n_ > 0 ? static_cast<std::uint64_t>(n_) - 1 : 0) +
+                  extras_.size());
+  }
+  return 0;
+}
+
+void CompactTopology::build_index() {
+  const std::size_t n = n_;
+  FDP_CHECK_MSG(extras_.size() < ~std::uint32_t{0},
+                "extras overflow the CSR offset width");
+  // Children of u, ascending: counting sort of v by parents_[v]; filling
+  // in ascending v keeps each bucket sorted.
+  child_off_.assign(n + 1, 0);
+  for (NodeId v = 1; v < n; ++v) ++child_off_[parents_[v] + 1];
+  for (std::size_t i = 1; i <= n; ++i) child_off_[i] += child_off_[i - 1];
+  child_val_.resize(n > 0 ? n - 1 : 0);
+  {
+    std::vector<std::uint32_t> cursor(child_off_.begin(),
+                                      child_off_.end() - 1);
+    for (NodeId v = 1; v < n; ++v) child_val_[cursor[parents_[v]]++] = v;
+  }
+  // Extras grouped by upper endpoint v: extras_ is already sorted by
+  // (v, w), so only the run offsets are needed.
+  ev_off_.assign(n + 1, 0);
+  for (const auto& [v, w] : extras_) ++ev_off_[v + 1];
+  for (std::size_t i = 1; i <= n; ++i) ev_off_[i] += ev_off_[i - 1];
+  // Extras grouped by lower endpoint w, v ascending within each group:
+  // a stable counting sort over the (v, w)-sorted list.
+  ew_off_.assign(n + 1, 0);
+  for (const auto& [v, w] : extras_) ++ew_off_[w + 1];
+  for (std::size_t i = 1; i <= n; ++i) ew_off_[i] += ew_off_[i - 1];
+  ew_val_.resize(extras_.size());
+  {
+    std::vector<std::uint32_t> cursor(ew_off_.begin(), ew_off_.end() - 1);
+    for (const auto& [v, w] : extras_) ew_val_[cursor[w]++] = v;
+  }
+}
+
+}  // namespace fdp

@@ -1,0 +1,128 @@
+// Flat, enumeration-only topology for scenario construction.
+//
+// Scenario builds used to materialize the overlay as a DiGraph — a
+// std::map from directed edge to multiplicity — only to walk its sorted
+// edge list once while seeding neighbor sets. The map costs ~72 bytes per
+// arc in node overhead alone (~360 B per process for the sparse G(n,p)
+// overlay), which dominated the build-time memory peak and capped E12
+// churn runs near n = 10^6.
+//
+// CompactTopology stores the same graph in flat arrays:
+//
+//   * the spanning-tree parent of every node (4 B/node), drawn with
+//     exactly the draws gen::random_tree makes, and
+//   * the extra G(n,p) pairs from geometric edge-skipping (8 B/pair),
+//     drawn with exactly the draws gen::gnp_connected makes,
+//
+// plus CSR indices (children by parent, extras by upper endpoint) so that
+// for_each_edge() replays the *identical* directed-edge enumeration order
+// of DiGraph::simple_edges() — lexicographically ascending (u, v) — by
+// merging at most two sorted runs per endpoint side. Golden traces are
+// byte-identical to the DiGraph path (tests/test_generators.cpp pins this
+// equivalence across seeds).
+//
+// Non-gnp families keep their DiGraph generators: from_graph() wraps any
+// DiGraph and enumerates its sorted edge list. The memory win is only
+// needed where n is pushed to 10^7 — the gnp churn scenarios.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fdp {
+
+class CompactTopology {
+ public:
+  CompactTopology() = default;
+
+  /// The G(n,p)-plus-random-tree overlay, drawn with gen::gnp_connected's
+  /// exact RNG stream (tree parents first, then geometric skips; no skip
+  /// draws when n < 2, p <= 0, or p >= 1).
+  [[nodiscard]] static CompactTopology gnp_connected(std::size_t n, double p,
+                                                     Rng& rng);
+
+  /// Wrap an already-built DiGraph (non-gnp families).
+  [[nodiscard]] static CompactTopology from_graph(DiGraph g);
+
+  [[nodiscard]] std::size_t node_count() const { return n_; }
+
+  /// Number of distinct directed edges for_each_edge will emit.
+  [[nodiscard]] std::uint64_t simple_edge_count() const;
+
+  /// Visit every distinct directed edge (u, v) in lexicographically
+  /// ascending order — the iteration order of DiGraph::simple_edges().
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    if (mode_ == Mode::Graph) {
+      for (const auto& [u, v] : graph_.simple_edges()) fn(u, v);
+      return;
+    }
+    if (mode_ == Mode::Clique) {
+      for (NodeId u = 0; u < n_; ++u)
+        for (NodeId v = 0; v < n_; ++v)
+          if (u != v) fn(u, v);
+      return;
+    }
+    for (NodeId u = 0; u < n_; ++u) {
+      // Lower neighbors (< u): the tree parent and the extras whose upper
+      // endpoint is u — one sorted run each, merged on the fly.
+      std::size_t e = ev_off_[u];
+      const std::size_t e_end = ev_off_[u + 1];
+      bool parent_left = u > 0;
+      const NodeId par = u > 0 ? parents_[u] : 0;
+      while (e < e_end || parent_left) {
+        if (!parent_left || (e < e_end && extras_[e].second < par)) {
+          fn(u, extras_[e].second);
+          ++e;
+        } else {
+          fn(u, par);
+          parent_left = false;
+        }
+      }
+      // Higher neighbors (> u): tree children and the extras whose lower
+      // endpoint is u — again one sorted run each.
+      std::size_t c = child_off_[u];
+      const std::size_t c_end = child_off_[u + 1];
+      std::size_t x = ew_off_[u];
+      const std::size_t x_end = ew_off_[u + 1];
+      while (c < c_end || x < x_end) {
+        if (x >= x_end || (c < c_end && child_val_[c] < ew_val_[x])) {
+          fn(u, child_val_[c]);
+          ++c;
+        } else {
+          fn(u, ew_val_[x]);
+          ++x;
+        }
+      }
+    }
+  }
+
+ private:
+  enum class Mode { Graph, Banded, Clique };
+
+  void build_index();
+
+  Mode mode_ = Mode::Graph;
+  std::size_t n_ = 0;
+  DiGraph graph_{0};
+
+  /// parents_[v] < v is v's spanning-tree attachment (v >= 1).
+  std::vector<NodeId> parents_;
+  /// G(n,p) pairs (v, w), w < v, lexicographically ascending, none equal
+  /// to a tree edge.
+  std::vector<std::pair<NodeId, NodeId>> extras_;
+
+  // CSR indices over parents_/extras_, built once by build_index(). The
+  // by-upper-endpoint runs index extras_ itself (already grouped); the
+  // by-lower-endpoint runs need re-bucketed values (ew_val_).
+  std::vector<std::uint32_t> child_off_, ew_off_, ev_off_;
+  std::vector<NodeId> child_val_, ew_val_;
+};
+
+}  // namespace fdp

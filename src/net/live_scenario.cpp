@@ -25,11 +25,11 @@ LiveScenario build_live_framework_scenario(const ScenarioConfig& cfg,
         pop.leaving[i] ? Mode::Leaving : Mode::Staying, pop.keys[i],
         make_overlay(overlay), cfg.policy));
   }
-  for (const auto& [u, v] : pop.topology.simple_edges()) {
+  pop.topology.for_each_edge([&](NodeId u, NodeId v) {
     auto& proc = sc.net->process_as<FrameworkProcess>(u);
     proc.overlay_mut().integrate(
         RefInfo{sc.refs[v], knowledge_of(cfg, pop, v, rng), pop.keys[v]});
-  }
+  });
   // Corruption injects messages, which needs open endpoints.
   sc.net->start();
   corrupt_population(

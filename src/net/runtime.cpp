@@ -129,7 +129,7 @@ const Message& NetRuntime::admit_send(ProcessId src, Ref to, Message&& m) {
   FDP_CHECK(to.valid() && to.id() < actors_.size());
   const ProcessId dst = to.id();
   m.seq = next_seq_++;
-  m.enqueued_at = events_;
+  m.stamp_enqueued(events_);
   ++sends_;
   Actor& a = actors_[src];
   OutEntry& oe = a.outbox.push_slot();
@@ -157,7 +157,7 @@ void NetRuntime::inject(Ref to, Message m) {
   // a wire hop — there is no source actor whose outbox could carry it.
   const ProcessId dst = to.id();
   m.seq = next_seq_++;
-  m.enqueued_at = events_;
+  m.stamp_enqueued(events_);
   LedgerEntry& e = pending_[dst].emplace(m.seq);
   e.msg = std::move(m);
   e.src = kNoProcess;
@@ -167,11 +167,11 @@ void NetRuntime::inject(Ref to, Message m) {
   Actor& a = actors_[dst];
   InEntry& in = a.inbox.push_slot();
   in.seq = e.msg.seq;
-  in.msg.verb = e.msg.verb;
-  in.msg.tag = e.msg.tag;
+  in.msg.set_verb(e.msg.verb());
+  in.msg.set_tag(e.msg.tag());
   in.msg.token = e.msg.token;
   in.msg.seq = e.msg.seq;
-  in.msg.enqueued_at = e.msg.enqueued_at;
+  in.msg.stamp_enqueued(e.msg.enqueued_lo());
   pool_.assign_refs(in.msg.refs, std::span<const RefInfo>(
                                      e.msg.refs.data(), e.msg.refs.size()));
   mark_inbox_ready(dst);
@@ -365,11 +365,12 @@ void NetRuntime::handle_frame(ProcessId dst) {
   Actor& a = actors_[dst];
   InEntry& in = a.inbox.push_slot();
   in.seq = rx_frame_.msg.seq;
-  in.msg.verb = rx_frame_.msg.verb;
-  in.msg.tag = rx_frame_.msg.tag;
+  in.msg.set_verb(rx_frame_.msg.verb());
+  in.msg.set_tag(rx_frame_.msg.tag());
   in.msg.token = rx_frame_.msg.token;
   in.msg.seq = rx_frame_.msg.seq;
-  in.msg.enqueued_at = e->msg.enqueued_at;  // not carried on the wire
+  // not carried on the wire; restamp from the ledger copy
+  in.msg.stamp_enqueued(e->msg.enqueued_lo());
   pool_.assign_refs(in.msg.refs,
                     std::span<const RefInfo>(rx_frame_.msg.refs.data(),
                                              rx_frame_.msg.refs.size()));
@@ -520,7 +521,8 @@ void NetRuntime::execute(ProcessId actor, ActionKind kind,
   }
 
   sends_scratch_.clear();
-  Context ctx(this, p.self(), events_, &rng_, &sends_scratch_);
+  Context ctx(this, p.self(), events_, &rng_, &sends_scratch_,
+              &proc_ref_scratch_);
 
   if (kind == ActionKind::Timeout) {
     FDP_CHECK(p.life() == LifeState::Awake);

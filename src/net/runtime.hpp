@@ -382,6 +382,7 @@ class NetRuntime final : public Substrate {
   std::vector<OutEntry> stage_entries_;  ///< staged frames, outbox order
   std::vector<std::uint32_t> stage_group_of_;  ///< frame -> datagram index
   std::vector<std::pair<Ref, Message>> sends_scratch_;
+  std::vector<RefInfo> proc_ref_scratch_;  ///< Context::ref_scratch() backing
   RxFn rx_fn_;             ///< built once in start() (no per-pump alloc)
   DecodedFrame rx_frame_;  ///< reused across decodes (spill cap retained)
   ActionRecord rec_;       ///< reused across executes (vector cap retained)

@@ -49,6 +49,7 @@ const char* to_string(WireError e) {
     case WireError::BadMode: return "bad-mode";
     case WireError::BadRefCount: return "bad-ref-count";
     case WireError::LengthMismatch: return "length-mismatch";
+    case WireError::BadTag: return "bad-tag";
   }
   return "?";
 }
@@ -75,9 +76,9 @@ std::size_t encode_frame(const Message& m, ProcessId src, ProcessId dst,
   wr_u32(p, static_cast<std::uint32_t>(len));
   wr_u32(p, kWireMagic);
   wr_u16(p, kWireVersion);
-  *p++ = static_cast<std::uint8_t>(m.verb);
+  *p++ = static_cast<std::uint8_t>(m.verb());
   *p++ = 0;  // pad
-  wr_u32(p, m.tag);
+  wr_u32(p, m.tag());
   wr_u64(p, m.token);
   wr_u64(p, m.seq);
   wr_u32(p, src);
@@ -127,9 +128,11 @@ WireError decode_frame(const std::uint8_t* data, std::size_t len,
   // Reset in place: refs.clear() keeps any spill capacity from earlier
   // frames, so a reused DecodedFrame decodes without allocating.
   out.msg.refs.clear();
-  out.msg.enqueued_at = 0;  // not carried on the wire
-  out.msg.verb = static_cast<Verb>(verb);
-  out.msg.tag = get_u32(data + 12);
+  out.msg.stamp_enqueued(0);  // not carried on the wire
+  out.msg.set_verb(static_cast<Verb>(verb));
+  const std::uint32_t tag = get_u32(data + 12);
+  if (tag > kMaxTag) return fail(WireError::BadTag);
+  out.msg.set_tag(tag);
   out.msg.token = get_u64(data + 16);
   out.msg.seq = get_u64(data + 24);
   out.src = get_u32(data + 32);

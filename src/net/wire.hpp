@@ -64,7 +64,8 @@ enum class WireError : std::uint8_t {
   BadPad,        ///< pad byte not zero
   BadMode,       ///< ref mode byte outside the ModeInfo enum
   BadRefCount,   ///< ref count > kMaxWireRefs
-  LengthMismatch ///< length prefix disagrees with 44 + 13R
+  LengthMismatch,///< length prefix disagrees with 44 + 13R
+  BadTag         ///< overlay tag exceeds kMaxTag (29 bits)
 };
 
 [[nodiscard]] const char* to_string(WireError e);

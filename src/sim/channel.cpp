@@ -8,10 +8,8 @@
 namespace fdp {
 
 void Channel::push(Message m) {
-  const bool fresh = slot_.emplace(
-      m.seq, static_cast<std::uint32_t>(order_.size()));
-  FDP_CHECK_MSG(fresh, "duplicate sequence number pushed into channel");
-  if (heap_synced_) min_seq_.push(m.seq);
+  FDP_CHECK_MSG(index_of_seq(m.seq) == order_.size(),
+                "duplicate sequence number pushed into channel");
   std::uint32_t s;
   if (!free_.empty()) {
     s = free_.back();
@@ -28,39 +26,44 @@ Message Channel::take(std::size_t i) {
   FDP_CHECK(i < order_.size());
   const std::uint32_t s = order_[i];
   Message m = std::move(slots_[s]);
-  slot_.erase(m.seq);
   free_.push_back(s);
-  if (i != order_.size() - 1) {
-    order_[i] = order_.back();
-    slot_.insert_or_assign(slots_[order_[i]].seq,
-                           static_cast<std::uint32_t>(i));
-  }
+  if (i != order_.size() - 1) order_[i] = order_.back();
   order_.pop_back();
-  // m.seq's heap entry (if any) goes stale; oldest_index() discards it
-  // lazily.
   return m;
 }
 
 std::size_t Channel::oldest_index() const {
-  if (!heap_synced_) {
-    // First oldest-message query on this channel: build the heap from the
-    // live message set. O(m) once; maintained incrementally afterwards.
-    min_seq_.clear();
-    for (std::size_t i = 0; i < order_.size(); ++i)
-      min_seq_.push(slots_[order_[i]].seq);
-    heap_synced_ = true;
+  std::size_t best = order_.size();
+  std::uint64_t best_seq = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const std::uint64_t s = slots_[order_[i]].seq;
+    if (s <= best_seq) {
+      best_seq = s;
+      best = i;
+    }
   }
-  while (!min_seq_.empty()) {
-    const std::uint32_t* idx = slot_.find(min_seq_.top());
-    if (idx != nullptr) return *idx;
-    min_seq_.pop();  // stale: that message was taken
-  }
-  return order_.size();
+  return best;
 }
 
 std::size_t Channel::index_of_seq(std::uint64_t seq) const {
-  const std::uint32_t* idx = slot_.find(seq);
-  return idx != nullptr ? *idx : order_.size();
+  for (std::size_t i = 0; i < order_.size(); ++i)
+    if (slots_[order_[i]].seq == seq) return i;
+  return order_.size();
+}
+
+std::size_t Channel::heap_bytes(bool capacity) const {
+  if (!capacity) {
+    // Deterministic live bytes: one slot per live message plus its spilled
+    // refs (spill size is trace-determined; pooled slack is not counted).
+    std::size_t b = order_.size() * (sizeof(Message) + sizeof(std::uint32_t));
+    for (const std::uint32_t s : order_) b += slots_[s].refs.heap_bytes();
+    return b;
+  }
+  std::size_t b = slots_.capacity() * sizeof(Message) +
+                  (free_.capacity() + order_.capacity()) *
+                      sizeof(std::uint32_t);
+  for (const std::uint32_t s : order_) b += slots_[s].refs.heap_bytes();
+  return b;
 }
 
 void Channel::clear() { reset(nullptr); }
@@ -72,9 +75,6 @@ void Channel::reset(MessagePool* pool) {
     for (const std::uint32_t s : order_) pool->recycle(slots_[s]);
   }
   order_.clear();
-  slot_.clear();
-  min_seq_.clear();
-  heap_synced_ = false;
   // Refill the freelist so pushes reuse slots in ascending arena order —
   // the same order a fresh channel would assign them.
   free_.clear();

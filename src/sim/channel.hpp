@@ -14,15 +14,13 @@
 // channel allocates nothing (slots, freelist, hash and heap all keep their
 // capacity; see DESIGN.md, "memory model").
 //
-// Alongside the arena the channel maintains two indices so that the
-// kernel's hot-path queries never scan the message set:
-//  * a seq -> dense-slot flat hash, making index_of_seq/contains O(1)
-//    expected with no per-entry allocation, and
-//  * a lazily-compacted min-heap of sequence numbers, making oldest_index
-//    O(log m) amortized (each pushed seq is popped at most once; stale
-//    heads — seqs already taken — are discarded on query). The heap is
-//    itself built lazily, on the first oldest_index() call: channels whose
-//    oldest message is never queried carry no heap at all.
+// index_of_seq/contains/oldest_index are linear scans of the dense view.
+// The channel used to carry a seq -> slot flat hash and a lazy min-heap
+// for these, but with the paper's workloads a live channel holds
+// single-digit messages (E12 peak in-flight is ~7.5 per process), so the
+// scans stay within a cache line or two while the hash alone cost a
+// ~256-byte minimum table per channel — at n = 10^7 that is ~2.5 GB of
+// index for queries a scan answers faster (ISSUE 9 memory diet).
 // Sequence numbers must be unique within a channel (the kernel's are
 // globally unique); push() checks this.
 #pragma once
@@ -33,8 +31,6 @@
 
 #include "sim/message.hpp"
 #include "util/check.hpp"
-#include "util/flat_map.hpp"
-#include "util/min_heap.hpp"
 
 namespace fdp {
 
@@ -115,17 +111,23 @@ class Channel {
 
   /// Whether a message with this sequence number is present.
   [[nodiscard]] bool contains(std::uint64_t seq) const {
-    return slot_.contains(seq);
+    return index_of_seq(seq) < order_.size();
   }
 
   void clear();
 
-  /// Rewind to empty without freeing anything: the arena, freelist, hash
-  /// and heap all keep their capacity, and spilled ref buffers of live
+  /// Rewind to empty without freeing anything: the arena, freelist and
+  /// dense view keep their capacity, and spilled ref buffers of live
   /// messages are handed to `pool` (when given) instead of freed. After
   /// reset the slot-assignment order matches a freshly constructed
   /// channel, so a reused world replays byte-identically.
   void reset(MessagePool* pool);
+
+  /// Heap bytes owned by this channel: arena, freelist and dense view plus
+  /// the spilled ref buffers of live messages (capacity mode), or just the
+  /// live messages' logical bytes (deterministic across world reuse —
+  /// safe for worker-count-invariant output).
+  [[nodiscard]] std::size_t heap_bytes(bool capacity) const;
 
  private:
   /// Stable message arena; dead slots keep a moved-out Message.
@@ -133,14 +135,18 @@ class Channel {
   /// Arena indices of dead slots, ready for reuse.
   std::vector<std::uint32_t> free_;
   /// Dense view: order_[i] is the arena slot of the i-th live message.
+  /// Seq lookups (index_of_seq, oldest_index) are linear scans of this
+  /// view: live channel sizes are single digits in steady state, where a
+  /// scan of a few contiguous u32s beats a hash table whose 16-byte slots
+  /// and power-of-two sizing used to cost more memory than the messages
+  /// themselves (~256 B minimum per non-empty channel, ~n tables).
   std::vector<std::uint32_t> order_;
-  /// seq -> dense index into order_.
-  FlatMap64<std::uint32_t> slot_;
-  /// Min-heap of seqs, compacted lazily in oldest_index(). Built on the
-  /// first oldest_index() call and maintained from then on; channels that
-  /// are never asked for their oldest message pay nothing on push().
-  mutable MinHeap<std::uint64_t> min_seq_;
-  mutable bool heap_synced_ = false;
 };
+
+/// The channel slot unit IS a Message: the per-message storage cost at
+/// rest is sizeof(Message) + 4 B of dense index. Keep it diet-audited
+/// alongside message.hpp's asserts (a Message growing past 48 B inflates
+/// every channel arena in the 10^7-process campaign).
+static_assert(sizeof(Message) == 48, "channel slot unit grew");
 
 }  // namespace fdp

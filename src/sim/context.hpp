@@ -49,6 +49,16 @@ class Context {
   [[nodiscard]] Ref self() const { return self_; }
   [[nodiscard]] std::uint64_t step() const { return step_; }
 
+  /// Action-scoped scratch for RefInfo lists (the departure timeout's
+  /// neighborhood iterations). Borrowers clear() before filling; capacity
+  /// is retained by the owning substrate across actions, so the steady-
+  /// state step path never allocates. Actions never nest, so one buffer
+  /// per substrate (per shard in the sharded kernel) suffices — the same
+  /// ownership story as sends().
+  [[nodiscard]] std::vector<RefInfo>& ref_scratch() const {
+    return *ref_scratch_;
+  }
+
   // --- kernel access ---
   [[nodiscard]] const std::vector<std::pair<Ref, Message>>& sends() const {
     return *sends_;
@@ -66,14 +76,21 @@ class Context {
   /// nest, so one buffer per substrate suffices. (The sharded kernel hands
   /// each shard its own buffer instead.)
   Context(const Substrate* sub, Ref self, std::uint64_t step, Rng* rng,
-          std::vector<std::pair<Ref, Message>>* sends)
-      : sub_(sub), self_(self), step_(step), rng_(rng), sends_(sends) {}
+          std::vector<std::pair<Ref, Message>>* sends,
+          std::vector<RefInfo>* ref_scratch)
+      : sub_(sub),
+        self_(self),
+        step_(step),
+        rng_(rng),
+        sends_(sends),
+        ref_scratch_(ref_scratch) {}
 
   const Substrate* sub_;
   Ref self_;
   std::uint64_t step_;
   Rng* rng_;
   std::vector<std::pair<Ref, Message>>* sends_;
+  std::vector<RefInfo>* ref_scratch_;
   /// Sharded-kernel oracle override: when set, oracle() reads this
   /// precomputed verdict (0 = not precomputed — consulting is an error,
   /// 1 = false, 2 = true) instead of calling into the World, whose

@@ -74,6 +74,14 @@ class MessagePool {
 
   [[nodiscard]] std::size_t pooled() const { return free_.size(); }
 
+  /// Heap bytes held: the freelist vector plus every pooled buffer.
+  [[nodiscard]] std::size_t heap_bytes() const {
+    std::size_t b = free_.capacity() * sizeof(RefList::HeapBuf);
+    for (const RefList::HeapBuf& f : free_)
+      b += static_cast<std::size_t>(f.cap) * sizeof(RefInfo);
+    return b;
+  }
+
  private:
   std::vector<RefList::HeapBuf> free_;
 };

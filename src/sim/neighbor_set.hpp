@@ -58,6 +58,14 @@ class NeighborSet {
 
   void clear() { entries_.clear(); }
 
+  /// Heap bytes of the entry vector. `capacity` counts the allocated
+  /// backing store; false counts only live entries (deterministic across
+  /// world reuse, so it is safe in worker-count-invariant output).
+  [[nodiscard]] std::size_t heap_bytes(bool capacity) const {
+    return (capacity ? entries_.capacity() : entries_.size()) *
+           sizeof(std::pair<Ref, Entry>);
+  }
+
   [[nodiscard]] Ref owner() const { return owner_; }
 
  private:

@@ -45,6 +45,17 @@ class Process {
   /// Human-readable protocol name for traces.
   [[nodiscard]] virtual const char* protocol_name() const = 0;
 
+  /// Bytes this process occupies: object size plus owned heap storage.
+  /// `capacity` counts allocated backing stores; false counts only live
+  /// entries (deterministic for a given action trace, so it may feed
+  /// worker-count-invariant driver output). The default covers only the
+  /// base-class footprint; the shipped protocol types override it, and a
+  /// test type that does not override merely under-reports its bucket.
+  [[nodiscard]] virtual std::size_t footprint_bytes(bool capacity) const {
+    (void)capacity;
+    return sizeof(Process);
+  }
+
   /// Runtime fault hooks (driven by the FaultScheduler, sim/fault.hpp).
   /// Both must leave the process in a *legal* copy-store-send state: the
   /// set of distinct references stored afterwards must equal the set

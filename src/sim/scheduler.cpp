@@ -148,7 +148,8 @@ void AdversarialScheduler::sync(const KernelView& view) {
     if (p == kNoProcess) continue;
     const Channel& ch = view.channel(p);
     pending_.push_back(
-        Pending{seq, p, ch.peek(ch.index_of_seq(seq)).enqueued_at});
+        Pending{seq, p,
+                ch.peek(ch.index_of_seq(seq)).enqueued_at(view.steps())});
   }
   synced_seq_ = watermark;
   // Graduate messages whose age gate opened. Seq order implies enqueue

@@ -13,17 +13,18 @@ namespace {
 // kernel updates rows of the same lazy edge index, but its own-row /
 // bucketed-remote-row split means it cannot route through World's
 // add/remove_edge_instance (those touch both rows at once).
-void counts_add(World::EdgeCounts& v, ProcessId peer) {
+void counts_add(RowArena<World::EdgePair>& arena, World::EdgeRow& v,
+                ProcessId peer) {
   for (auto& [q, cnt] : v) {
     if (q == peer) {
       ++cnt;
       return;
     }
   }
-  v.emplace_back(peer, 1);
+  arena.push_back(v, {peer, 1});
 }
 
-void counts_remove(World::EdgeCounts& v, ProcessId peer) {
+void counts_remove(World::EdgeRow& v, ProcessId peer) {
   for (auto& e : v) {
     if (e.first == peer) {
       if (--e.second == 0) {
@@ -320,7 +321,8 @@ void ShardedWorld::run_turn(Shard& sh, ProcessId p) {
       if (l0 == LifeState::Awake) timeout_first = true;
       for (std::size_t i = 0; i < m0; ++i) {
         const Message& m = ch.peek(i);
-        if (m.enqueued_at + policy_.adv_min_age <= e) seqs.push_back(m.seq);
+        if (m.enqueued_at(e) + policy_.adv_min_age <= e)
+          seqs.push_back(m.seq);
       }
       std::sort(seqs.begin(), seqs.end(), std::greater<std::uint64_t>());
       if (seqs.size() > policy_.adv_deliver_burst)
@@ -367,11 +369,13 @@ void ShardedWorld::exec_action(Shard& sh, ProcessId p, bool is_timeout,
   ActionRecord& rec = pr.rec;
   if (want_record) {
     rec.actor = p;
-    rec.refs_before = w_->ref_list_[p];  // synced: current stored refs
+    // Synced: ref_list_ already holds the actor's current stored refs.
+    const World::RefRow& row = w_->ref_list_[p];
+    rec.refs_before.assign(row.begin(), row.end());
   }
 
   sh.sends.clear();
-  Context ctx(w_, proc.self(), epochs_, &trng, &sh.sends);
+  Context ctx(w_, proc.self(), epochs_, &trng, &sh.sends, &sh.proc_scratch);
   ctx.oracle_pre_ = &oracle_bits_[p];
 
   if (is_timeout) {
@@ -415,7 +419,7 @@ void ShardedWorld::exec_action(Shard& sh, ProcessId p, bool is_timeout,
   for (auto& [to, msg] : sh.sends) {
     FDP_CHECK(to.valid() && to.id() < w_->size());
     ++sh.sends_n;
-    msg.enqueued_at = epochs_;  // epoch granularity (see DESIGN.md)
+    msg.stamp_enqueued(epochs_);  // epoch granularity (see DESIGN.md)
     if (want_record) rec.sent.emplace_back(to, msg);  // seq patched at flush
     sh.outbox.emplace_back(to, std::move(msg));
   }
@@ -426,8 +430,8 @@ void ShardedWorld::exec_action(Shard& sh, ProcessId p, bool is_timeout,
   // side of every change is bucketed to the target's owner shard.
   sh.ref_scratch.clear();
   proc.collect_refs(sh.ref_scratch);
-  std::vector<RefInfo>& stored = w_->ref_list_[p];
-  if (sh.ref_scratch != stored) {
+  World::RefRow& stored = w_->ref_list_[p];
+  if (!stored.equals(sh.ref_scratch.data(), sh.ref_scratch.size())) {
     sh.match_scratch.assign(stored.size(), 0);
     for (const RefInfo& a : sh.ref_scratch) {
       bool matched = false;
@@ -439,7 +443,7 @@ void ShardedWorld::exec_action(Shard& sh, ProcessId p, bool is_timeout,
         }
       }
       if (!matched && a.ref.id() < w_->size()) {
-        counts_add(w_->ref_out_[p], a.ref.id());
+        counts_add(w_->edge_arena_, w_->ref_out_[p], a.ref.id());
         bucket_ref(s, a.ref.id(), p, +1);
       }
     }
@@ -449,9 +453,10 @@ void ShardedWorld::exec_action(Shard& sh, ProcessId p, bool is_timeout,
         bucket_ref(s, stored[i].ref.id(), p, -1);
       }
     }
-    stored.swap(sh.ref_scratch);
+    w_->ref_arena_.assign(stored, sh.ref_scratch.data(),
+                          sh.ref_scratch.size());
   }
-  if (want_record) rec.refs_after = stored;
+  if (want_record) rec.refs_after.assign(stored.begin(), stored.end());
 
   if (ctx.exit_requested_) {
     FDP_CHECK_MSG(!ctx.sleep_requested_, "action requested exit AND sleep");
@@ -519,14 +524,14 @@ void ShardedWorld::phase3_admit(unsigned d) {
       // moving out of the source vector is race-free.
       Message m = std::move(out[i].second);
       m.seq = seq_base_[s] + i;
-      m.enqueued_at = epochs_;
+      m.stamp_enqueued(epochs_);
       const LifeState l = w_->life_mirror_[to];
       if (l == LifeState::Asleep && w_->channels_[to].empty())
         --dst.quiet_delta;  // no longer quiet
       if (l != LifeState::Gone) {
         for (const RefInfo& r : m.refs) {
           if (r.ref.id() < w_->size()) {
-            counts_add(w_->ref_out_[to], r.ref.id());
+            counts_add(w_->edge_arena_, w_->ref_out_[to], r.ref.id());
             bucket_ref(d, r.ref.id(), to, +1);
           }
         }
@@ -546,7 +551,7 @@ void ShardedWorld::phase4_edges(unsigned d) {
     for (const RefEvent& ev :
          ref_buckets_[static_cast<std::size_t>(s) * k_ + d]) {
       if (ev.delta > 0) {
-        counts_add(w_->ref_in_[ev.target], ev.holder);
+        counts_add(w_->edge_arena_, w_->ref_in_[ev.target], ev.holder);
       } else {
         counts_remove(w_->ref_in_[ev.target], ev.holder);
       }
@@ -702,21 +707,21 @@ void ShardedWorld::apply_fault(const FaultEvent& ev) {
         if (idx >= ch.size()) continue;
         const Message& src = ch.peek(idx);
         Message copy;
-        copy.verb = src.verb;
-        copy.tag = src.tag;
+        copy.set_verb(src.verb());
+        copy.set_tag(src.tag());
         copy.token = src.token;
         w_->msg_pool_.assign_refs(copy.refs, {src.refs.data(),
                                               src.refs.size()});
         copy.seq = w_->next_seq_++;
-        copy.enqueued_at = epochs_;
+        copy.stamp_enqueued(epochs_);
         if (w_->life_mirror_[p] == LifeState::Asleep &&
             w_->channels_[p].empty())
           --w_->quiet_count_;
         if (w_->edges_synced_) {
           for (const RefInfo& r : copy.refs) {
             if (r.ref.id() < w_->size()) {
-              counts_add(w_->ref_out_[p], r.ref.id());
-              counts_add(w_->ref_in_[r.ref.id()], p);
+              counts_add(w_->edge_arena_, w_->ref_out_[p], r.ref.id());
+              counts_add(w_->edge_arena_, w_->ref_in_[r.ref.id()], p);
             }
           }
         }

@@ -146,6 +146,7 @@ class ShardedWorld {
     ProcessId hi = 0;
     std::vector<std::pair<Ref, Message>> outbox;
     std::vector<std::pair<Ref, Message>> sends;  ///< one action's Context buffer
+    std::vector<RefInfo> proc_scratch;  ///< Context::ref_scratch() backing
     std::vector<PendingRecord> records;
     std::vector<std::pair<ProcessId, LifeState>> life_events;
     std::vector<std::uint64_t> seq_scratch;

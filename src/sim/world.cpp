@@ -32,7 +32,7 @@ void World::reset(std::uint64_t seed) {
 
 const Message& World::admit(ProcessId to, Message&& m) {
   m.seq = next_seq_++;
-  m.enqueued_at = steps_;
+  m.stamp_enqueued(steps_);
   const LifeState to_life = life_mirror_[to];
   const bool live = to_life != LifeState::Gone;
   if (live) {
@@ -90,17 +90,18 @@ void World::set_life(ProcessId p, LifeState to) {
 
 namespace {
 
-void counts_add(World::EdgeCounts& v, ProcessId peer) {
+void counts_add(RowArena<World::EdgePair>& arena, World::EdgeRow& v,
+                ProcessId peer) {
   for (auto& [q, cnt] : v) {
     if (q == peer) {
       ++cnt;
       return;
     }
   }
-  v.emplace_back(peer, 1);
+  arena.push_back(v, {peer, 1});
 }
 
-void counts_remove(World::EdgeCounts& v, ProcessId peer) {
+void counts_remove(World::EdgeRow& v, ProcessId peer) {
   for (auto& e : v) {
     if (e.first == peer) {
       if (--e.second == 0) {
@@ -117,8 +118,8 @@ void counts_remove(World::EdgeCounts& v, ProcessId peer) {
 
 void World::add_edge_instance(ProcessId holder, ProcessId target) const {
   if (target >= size()) return;  // out-of-system reference: no edge
-  counts_add(ref_out_[holder], target);
-  counts_add(ref_in_[target], holder);
+  counts_add(edge_arena_, ref_out_[holder], target);
+  counts_add(edge_arena_, ref_in_[target], holder);
 }
 
 void World::remove_edge_instance(ProcessId holder, ProcessId target) const {
@@ -161,8 +162,10 @@ void World::ensure_edge_index() const {
     // Refresh the stored-ref cache for everyone — including gone
     // processes, whose refs can no longer change but must be re-added
     // verbatim if the model checker resurrects them.
-    ref_list_[p].clear();
-    procs_[p]->collect_refs(ref_list_[p]);
+    scratch_refs_.clear();
+    procs_[p]->collect_refs(scratch_refs_);
+    ref_arena_.assign(ref_list_[p], scratch_refs_.data(),
+                      scratch_refs_.size());
     if (life_mirror_[p] != LifeState::Gone) register_process_edges(p);
   }
   edges_synced_ = true;
@@ -172,7 +175,7 @@ std::size_t World::incident_nongone(ProcessId p) const {
   FDP_CHECK(p < size());
   if (gone(p)) return 0;
   ensure_edge_index();
-  const EdgeCounts& out = ref_out_[p];
+  const EdgeRow& out = ref_out_[p];
   std::size_t count = 0;
   for (const auto& [q, cnt] : out) {
     (void)cnt;
@@ -202,6 +205,70 @@ bool World::referenced_by_other(ProcessId p) const {
     if (q != p && !gone(q)) return true;
   }
   return false;
+}
+
+alloc_stats::ByteBuckets World::footprint(bool capacity) const {
+  alloc_stats::ByteBuckets b;
+  const std::size_t n = size();
+
+  // Processes: roster slots plus each object and its protocol storage.
+  b.processes = (capacity ? procs_.capacity() : n) *
+                sizeof(std::unique_ptr<Process>);
+  for (ProcessId p = 0; p < n; ++p)
+    b.processes += procs_[p]->footprint_bytes(capacity);
+
+  // Channels and messages (arena slack beyond size() rows counts only in
+  // capacity mode; rows beyond the population are drained by reset()).
+  const std::size_t ch_rows = capacity ? channels_.capacity() : n;
+  b.channels_messages = ch_rows * sizeof(Channel);
+  const std::size_t ch_n = capacity ? channels_.size() : n;
+  for (std::size_t p = 0; p < ch_n; ++p)
+    b.channels_messages += channels_[p].heap_bytes(capacity);
+  if (capacity) b.channels_messages += msg_pool_.heap_bytes();
+
+  // Maintained world indices: rosters, seq hash, oldest heap, edge rows.
+  if (capacity) {
+    b.indices += awake_fw_.heap_bytes() + live_fw_.heap_bytes() +
+                 live_seq_.heap_bytes() + life_mirror_.capacity();
+  } else {
+    // Logical sizes: weight + tree arrays of both Fenwicks, live hash
+    // entries, life mirror bytes.
+    b.indices += 2 * (2 * n + 1) * sizeof(std::uint32_t) +
+                 live_seq_.size() * (sizeof(std::uint64_t) + sizeof(ProcessId)) +
+                 n;
+  }
+  b.indices += capacity ? oldest_heap_.heap_bytes()
+                        : oldest_heap_.size() *
+                              sizeof(std::pair<std::uint64_t, ProcessId>);
+  // Edge-index rows: 16-byte handles plus the shared slab arenas. In
+  // capacity mode the arenas' slab totals are the true footprint (they
+  // include abandoned generations and slab tails); in size mode sum the
+  // live entries.
+  const std::size_t rows = capacity ? ref_out_.size() : std::min(n, ref_out_.size());
+  b.indices += (capacity ? ref_out_.capacity() + ref_in_.capacity()
+                         : 2 * rows) *
+               sizeof(EdgeRow);
+  const std::size_t lrows =
+      capacity ? ref_list_.size() : std::min(n, ref_list_.size());
+  b.indices += (capacity ? ref_list_.capacity() : lrows) * sizeof(RefRow);
+  if (capacity) {
+    b.indices += edge_arena_.heap_bytes() + ref_arena_.heap_bytes();
+  } else {
+    for (std::size_t p = 0; p < rows; ++p)
+      b.indices += (ref_out_[p].size() + ref_in_[p].size()) *
+                   sizeof(EdgePair);
+    for (std::size_t p = 0; p < lrows; ++p)
+      b.indices += ref_list_[p].size() * sizeof(RefInfo);
+  }
+
+  // Reused per-action buffers are pure capacity (empty between steps).
+  if (capacity) {
+    b.scratch = sends_scratch_.capacity() * sizeof(std::pair<Ref, Message>) +
+                scratch_refs_.capacity() * sizeof(RefInfo) +
+                proc_ref_scratch_.capacity() * sizeof(RefInfo) +
+                scratch_matched_.capacity();
+  }
+  return b;
 }
 
 void World::notify_inject(ProcessId to, const Message& m) {
@@ -235,8 +302,8 @@ bool World::duplicate_message(ProcessId id, std::uint64_t seq) {
   if (idx >= ch.size()) return false;
   const Message& src = ch.peek(idx);
   Message copy;
-  copy.verb = src.verb;
-  copy.tag = src.tag;
+  copy.set_verb(src.verb());
+  copy.set_tag(src.tag());
   copy.token = src.token;
   // Pool-backed ref copy: a duplicated oversized message reuses a recycled
   // spill buffer instead of allocating one.
@@ -318,14 +385,17 @@ void World::execute(ActionChoice choice) {
     rec.step = steps_;
     // While the edge index is synced, ref_list_ already holds the actor's
     // current refs — no pre-action collect_refs needed.
-    if (edges_synced_)
-      rec.refs_before = ref_list_[choice.proc];
-    else
+    if (edges_synced_) {
+      const RefRow& row = ref_list_[choice.proc];
+      rec.refs_before.assign(row.begin(), row.end());
+    } else {
       p.collect_refs(rec.refs_before);
+    }
   }
 
   sends_scratch_.clear();  // capacity retained across steps
-  Context ctx(this, p.self(), steps_, &rng_, &sends_scratch_);
+  Context ctx(this, p.self(), steps_, &rng_, &sends_scratch_,
+              &proc_ref_scratch_);
 
   if (choice.kind == ActionChoice::Kind::Timeout) {
     FDP_CHECK_MSG(p.life() == LifeState::Awake,
@@ -373,8 +443,8 @@ void World::execute(ActionChoice choice) {
     // touched when the refs actually changed.
     scratch_refs_.clear();
     p.collect_refs(scratch_refs_);
-    std::vector<RefInfo>& before = ref_list_[choice.proc];
-    if (scratch_refs_ != before) {
+    RefRow& before = ref_list_[choice.proc];
+    if (!before.equals(scratch_refs_.data(), scratch_refs_.size())) {
       // Minimal multiset diff on target ids: edges only care about the
       // target, so a mode/key-only change costs no index update and a
       // single inserted ref touches one counter, not the whole row.
@@ -393,9 +463,12 @@ void World::execute(ActionChoice choice) {
       for (std::size_t i = 0; i < before.size(); ++i)
         if (!scratch_matched_[i])
           remove_edge_instance(choice.proc, before[i].ref.id());
-      before.swap(scratch_refs_);
+      ref_arena_.assign(before, scratch_refs_.data(), scratch_refs_.size());
     }
-    if (want_record) rec.refs_after = ref_list_[choice.proc];
+    if (want_record) {
+      const RefRow& row = ref_list_[choice.proc];
+      rec.refs_after.assign(row.begin(), row.end());
+    }
   } else if (want_record) {
     p.collect_refs(rec.refs_after);
   }

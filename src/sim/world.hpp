@@ -45,11 +45,13 @@
 #include "sim/process.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/substrate.hpp"
+#include "util/alloc_stats.hpp"
 #include "util/check.hpp"
 #include "util/fenwick.hpp"
 #include "util/flat_map.hpp"
 #include "util/min_heap.hpp"
 #include "util/rng.hpp"
+#include "util/row_arena.hpp"
 
 namespace fdp {
 
@@ -60,8 +62,20 @@ namespace fdp {
 /// derive from it).
 class World final : public Substrate {
  public:
-  /// Flat (peer, instance-count) adjacency row of the lazy edge index.
-  using EdgeCounts = std::vector<std::pair<ProcessId, std::uint32_t>>;
+  /// One (peer, instance-count) entry of the lazy edge index. A plain
+  /// struct rather than std::pair so it is trivially copyable (RowArena
+  /// relocates rows by memcpy); the member names keep pair-style call
+  /// sites working.
+  struct EdgePair {
+    ProcessId first;
+    std::uint32_t second;
+  };
+  /// Flat adjacency row of the lazy edge index — arena-backed (see
+  /// util/row_arena.hpp): a 16-byte handle per process instead of a
+  /// std::vector header plus its own heap block.
+  using EdgeRow = RowArena<EdgePair>::Row;
+  /// Arena-backed stored-ref cache row.
+  using RefRow = RowArena<RefInfo>::Row;
 
   explicit World(std::uint64_t seed = 1);
 
@@ -307,6 +321,23 @@ class World final : public Substrate {
   // --- statistics ---
 
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+  // --- memory accounting (util/alloc_stats.hpp) ---
+
+  /// Per-subsystem byte breakdown of everything this world owns. Capacity
+  /// mode counts allocated backing stores (the world's real heap
+  /// footprint, including high-water slack retained across reset());
+  /// size mode counts only live entries, which is deterministic for a
+  /// given action trace — the form safe to surface in worker-count-
+  /// invariant driver output. O(n + m); not for hot paths.
+  [[nodiscard]] alloc_stats::ByteBuckets footprint(bool capacity) const;
+
+  /// Deterministic logical bytes of the live world state (size-mode
+  /// footprint total).
+  [[nodiscard]] std::uint64_t live_bytes() const {
+    return footprint(false).total();
+  }
+
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] std::uint64_t sends() const { return sends_; }
@@ -369,8 +400,11 @@ class World final : public Substrate {
   std::uint64_t wakes_ = 0;
 
   // --- maintained world indices (see file comment) ---
-  Fenwick awake_fw_;  ///< weight 1 per awake process
-  Fenwick live_fw_;   ///< channel size per non-gone process, else 0
+  // Half-width trees: their totals (awake processes, live in-flight
+  // messages) stay far below 2^32 even at n = 10^7, and the two rosters
+  // together cost 16 B/process at u32 instead of 32.
+  Fenwick32 awake_fw_;  ///< weight 1 per awake process
+  Fenwick32 live_fw_;   ///< channel size per non-gone process, else 0
   /// seq -> holder for every live message. Flat open-addressing table:
   /// steady-state insert/erase never touch the allocator.
   FlatMap64<ProcessId> live_seq_;
@@ -382,6 +416,10 @@ class World final : public Substrate {
   /// Reused Context output buffer — one action's sends, cleared (capacity
   /// kept) at the start of every execute().
   std::vector<std::pair<Ref, Message>> sends_scratch_;
+  /// Context::ref_scratch() backing store: the departure timeout's
+  /// neighborhood iterations borrow this instead of each process keeping
+  /// (and paying ~a cache line of capacity for) its own buffer.
+  std::vector<RefInfo> proc_ref_scratch_;
   /// Asleep processes with empty channels (hibernation candidates).
   std::uint64_t quiet_count_ = 0;
   /// Lazy PG edge-instance index over instances held by non-gone
@@ -392,14 +430,19 @@ class World final : public Substrate {
   /// on first query; dropped whenever process_mut hands out direct
   /// mutable access; maintained incrementally in between.
   mutable bool edges_synced_ = false;
-  mutable std::vector<EdgeCounts> ref_out_;
-  mutable std::vector<EdgeCounts> ref_in_;
+  /// Slab arenas backing the three row tables below. Shared-cursor, so
+  /// the sharded kernel's worker threads can grow their own rows
+  /// concurrently (span growth locks; everything else is row-local).
+  mutable RowArena<EdgePair> edge_arena_;
+  mutable RowArena<RefInfo> ref_arena_;
+  mutable std::vector<EdgeRow> ref_out_;
+  mutable std::vector<EdgeRow> ref_in_;
   /// Per-process cache of the last collect_refs result while synced: the
   /// stored-ref side of the index. Lets execute() diff the actor with a
-  /// single collect_refs call and touch the count vectors only for targets
+  /// single collect_refs call and touch the count rows only for targets
   /// that actually changed (refs cannot change while a process is Gone, so
   /// the cache stays valid across exit/resurrection).
-  mutable std::vector<std::vector<RefInfo>> ref_list_;
+  mutable std::vector<RefRow> ref_list_;
   mutable std::vector<RefInfo> scratch_refs_;
   mutable std::vector<char> scratch_matched_;
 };

@@ -1,0 +1,36 @@
+#include "util/alloc_stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace fdp::alloc_stats {
+
+namespace {
+
+/// Parse one "Vm...:  <kB> kB" line from /proc/self/status. Plain stdio —
+/// this runs inside measurement code, so it must not itself churn the
+/// allocator via iostreams.
+std::uint64_t status_field_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  const std::size_t flen = std::strlen(field);
+  std::uint64_t out = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, flen) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + flen, " %llu", &kb) == 1)
+      out = static_cast<std::uint64_t>(kb);
+    break;
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t rss_now_kb() { return status_field_kb("VmRSS:"); }
+
+std::uint64_t rss_peak_kb() { return status_field_kb("VmHWM:"); }
+
+}  // namespace fdp::alloc_stats

@@ -15,6 +15,46 @@
 
 namespace fdp::alloc_stats {
 
+/// Per-subsystem byte accounting of one World (or of the live runtime's
+/// ledger). The four buckets partition everything the kernel owns:
+///   processes         — process objects + their protocol storage (u.N,
+///                       anchors, overlay links), including the unique_ptr
+///                       slots of the roster;
+///   channels_messages — channel slot arenas, order/freelist/seq indices,
+///                       spilled message-ref buffers and the MessagePool;
+///   indices           — world-level maintained indices: Fenwick rosters,
+///                       seq->holder hash, oldest heap, and the PG
+///                       edge-instance rows (ref_out_/ref_in_/ref_list_);
+///   scratch           — reused per-action buffers (sends, diff scratch).
+/// Logical bytes: what the structures address, not allocator slack — RSS
+/// sampling (below) covers the real pages.
+struct ByteBuckets {
+  std::uint64_t processes = 0;
+  std::uint64_t channels_messages = 0;
+  std::uint64_t indices = 0;
+  std::uint64_t scratch = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return processes + channels_messages + indices + scratch;
+  }
+  ByteBuckets& operator+=(const ByteBuckets& o) {
+    processes += o.processes;
+    channels_messages += o.channels_messages;
+    indices += o.indices;
+    scratch += o.scratch;
+    return *this;
+  }
+};
+
+/// Current resident set size in kB (VmRSS from /proc/self/status), or 0
+/// when the platform does not expose it.
+[[nodiscard]] std::uint64_t rss_now_kb();
+
+/// Peak resident set size in kB (VmHWM from /proc/self/status), or 0 when
+/// unavailable. The kernel tracks the high-water mark itself, so this needs
+/// no sampling thread — read it once after the measured phase.
+[[nodiscard]] std::uint64_t rss_peak_kb();
+
 struct Counters {
   std::uint64_t allocs = 0;    ///< operator new calls (all variants)
   std::uint64_t deallocs = 0;  ///< operator delete calls (all variants)

@@ -14,20 +14,33 @@
 //                      round-robin cursor advance.
 //
 // Weights are unsigned; add() takes a signed delta and checks underflow.
+//
+// The storage width W is a template parameter: the tree's internal nodes
+// hold SUBRANGE sums (the root covers half the array), so W must fit the
+// TOTAL weight, not just one position's. Fenwick32 halves the footprint of
+// the world rosters — two trees per world, 16 bytes/process at u64 — and
+// is safe as long as the world never holds 2^32 weight units (awake flags
+// are bounded by n, live message counts by the in-flight volume; both are
+// DCHECKed on every update).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "util/check.hpp"
 
 namespace fdp {
 
-class Fenwick {
+template <typename W>
+class FenwickT {
+  static_assert(std::is_unsigned_v<W>, "weights are unsigned");
+
  public:
-  Fenwick() = default;
-  explicit Fenwick(std::size_t n) : weight_(n, 0), tree_(n + 1, 0) {}
+  FenwickT() = default;
+  explicit FenwickT(std::size_t n) : weight_(n, 0), tree_(n + 1, 0) {}
 
   [[nodiscard]] std::size_t size() const { return weight_.size(); }
   [[nodiscard]] std::uint64_t total() const { return total_; }
@@ -41,23 +54,26 @@ class Fenwick {
     const std::size_t j = weight_.size() + 1;  // 1-based tree index
     // tree_[j] covers the weight range [j - lowbit(j), j) (0-based); all
     // of it except the new position is already summed by the old tree.
-    tree_.push_back(prefix(j - 1) - prefix(j - (j & ~(j - 1)) ));
+    tree_.push_back(static_cast<W>(prefix(j - 1) -
+                                   prefix(j - (j & ~(j - 1)))));
     weight_.push_back(0);
     if (w != 0) add(weight_.size() - 1, static_cast<std::int64_t>(w));
   }
 
-  /// Point update: weight_[i] += delta (must not underflow).
+  /// Point update: weight_[i] += delta (must not underflow, and the total
+  /// must keep fitting the storage width).
   void add(std::size_t i, std::int64_t delta) {
     if (delta == 0) return;
     FDP_DCHECK(i < weight_.size());
     FDP_DCHECK(delta > 0 ||
                weight_[i] >= static_cast<std::uint64_t>(-delta));
-    weight_[i] = static_cast<std::uint64_t>(
+    weight_[i] = static_cast<W>(
         static_cast<std::int64_t>(weight_[i]) + delta);
     total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) +
                                         delta);
+    FDP_DCHECK(total_ <= std::numeric_limits<W>::max());
     for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
-      tree_[j] = static_cast<std::uint64_t>(
+      tree_[j] = static_cast<W>(
           static_cast<std::int64_t>(tree_[j]) + delta);
     }
   }
@@ -103,6 +119,11 @@ class Fenwick {
     total_ = 0;
   }
 
+  /// Heap bytes of both backing arrays — memory accounting.
+  [[nodiscard]] std::size_t heap_bytes() const {
+    return (weight_.capacity() + tree_.capacity()) * sizeof(W);
+  }
+
   /// Smallest position >= from with positive weight, or size() if none.
   [[nodiscard]] std::size_t next_positive(std::size_t from) const {
     if (from >= weight_.size()) return weight_.size();
@@ -113,9 +134,14 @@ class Fenwick {
   }
 
  private:
-  std::vector<std::uint64_t> weight_;
-  std::vector<std::uint64_t> tree_{0};  // tree_[0] unused (1-based sentinel)
+  std::vector<W> weight_;
+  std::vector<W> tree_{0};  // tree_[0] unused (1-based sentinel)
   std::uint64_t total_ = 0;
 };
+
+/// Full-width tree (drop-in for the original class).
+using Fenwick = FenwickT<std::uint64_t>;
+/// Half-width tree for the world rosters (see the header comment).
+using Fenwick32 = FenwickT<std::uint32_t>;
 
 }  // namespace fdp

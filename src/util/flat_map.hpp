@@ -111,6 +111,11 @@ class FlatMap64 {
     size_ = 0;
   }
 
+  /// Heap bytes of the slot array — memory accounting.
+  [[nodiscard]] std::size_t heap_bytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
  private:
   struct Slot {
     std::uint64_t key = 0;

@@ -48,6 +48,11 @@ class MinHeap {
   /// Empty the heap but keep the backing capacity.
   void clear() { v_.clear(); }
 
+  /// Heap bytes of the backing vector — memory accounting.
+  [[nodiscard]] std::size_t heap_bytes() const {
+    return v_.capacity() * sizeof(T);
+  }
+
   /// Bulk rebuild from a range: O(n), used by the lazily built per-channel
   /// heaps on their first query.
   template <typename It>

@@ -1,0 +1,190 @@
+// Slab-pooled storage for many small per-id rows.
+//
+// The world's lazy edge index keeps three row tables indexed by ProcessId
+// (ref_out_, ref_in_, ref_list_). As std::vectors they cost, per process,
+// a 24-byte header plus one independently malloc'd block of a few dozen
+// bytes — at n = 10^7 that is 3n tiny heap blocks whose allocator metadata
+// and fragmentation rival the payload. A RowArena replaces the blocks with
+// bump allocations from large slabs:
+//
+//  * Rows are 16-byte {ptr, size, cap} handles; element storage comes from
+//    the arena. Capacities are powers of two (min 4); growth hands out a
+//    larger span and RECYCLES the old one through a per-size-class free
+//    list, so a row that grows 4 → 8 → 16 leaves spans behind for other
+//    rows instead of dead slab bytes. When the growing span happens to sit
+//    at the slab's bump cursor it is extended in place for free.
+//  * Slabs are stable: a span never moves once handed out, so concurrent
+//    readers/owners of OTHER rows are never invalidated by one row's
+//    growth. Only the allocator state is shared; it is guarded by a mutex
+//    (growth is rare after warmup — the sharded kernel's worker threads
+//    hit it only when a row outgrows its span).
+//  * clear()ing a row keeps its span (capacity reuse across World::reset),
+//    exactly like the vectors it replaces; the arena itself never shrinks —
+//    its high-water mark is the steady-state footprint.
+//
+// Free-list entries live intrusively in the recycled spans themselves (the
+// smallest span is 4 elements ≥ 32 bytes, comfortably a pointer); the next
+// pointer is memcpy'd to dodge T's alignment.
+//
+// T must be trivially copyable (rows move by memcpy, slabs are raw
+// storage, nothing is destroyed).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fdp {
+
+template <typename T>
+class RowArena {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "rows relocate by memcpy");
+  static_assert(sizeof(T) * 4 >= sizeof(void*),
+                "smallest span must hold a free-list link");
+
+ public:
+  /// One row: a span of arena storage. Plain handle — copying it would
+  /// alias the span, so rows live in exactly one table and are mutated
+  /// only through their owning arena (growth) or in place (swap-remove).
+  struct Row {
+    T* ptr = nullptr;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap = 0;
+
+    [[nodiscard]] T* begin() { return ptr; }
+    [[nodiscard]] T* end() { return ptr + size_; }
+    [[nodiscard]] const T* begin() const { return ptr; }
+    [[nodiscard]] const T* end() const { return ptr + size_; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] std::size_t capacity() const { return cap; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] T& operator[](std::size_t i) {
+      FDP_DCHECK(i < size_);
+      return ptr[i];
+    }
+    [[nodiscard]] const T& operator[](std::size_t i) const {
+      FDP_DCHECK(i < size_);
+      return ptr[i];
+    }
+    [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+    /// Drop the elements, keep the span.
+    void clear() { size_ = 0; }
+    void pop_back() {
+      FDP_DCHECK(size_ > 0);
+      --size_;
+    }
+    /// Element-wise equality against a plain buffer.
+    [[nodiscard]] bool equals(const T* src, std::size_t n) const {
+      if (size_ != n) return false;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!(ptr[i] == src[i])) return false;
+      return true;
+    }
+  };
+
+  void push_back(Row& r, const T& v) {
+    if (r.size_ == r.cap) grow(r, r.size_ + 1, /*keep=*/true);
+    r.ptr[r.size_++] = v;
+  }
+
+  void assign(Row& r, const T* src, std::size_t n) {
+    if (n > r.cap) grow(r, n, /*keep=*/false);
+    if (n > 0) std::memcpy(r.ptr, src, n * sizeof(T));
+    r.size_ = static_cast<std::uint32_t>(n);
+  }
+
+  /// Total slab bytes owned (live spans + recycled spans + unused slab
+  /// tails) — memory accounting. This is the arena's real footprint;
+  /// per-row capacity sums undercount it by the free-list inventory.
+  [[nodiscard]] std::size_t heap_bytes() const {
+    return slab_elems_total_ * sizeof(T);
+  }
+
+ private:
+  static constexpr std::size_t kSlabElems = std::size_t{1} << 16;
+  static constexpr std::size_t kClasses = 32;  // pow2 span sizes 4..2^35
+
+  [[nodiscard]] static std::size_t class_of(std::size_t cap) {
+    // cap is a power of two ≥ 4: class 0 holds 4-element spans.
+    std::size_t c = 0;
+    while ((std::size_t{4} << c) < cap) ++c;
+    return c;
+  }
+
+  void grow(Row& r, std::size_t need, bool keep) {
+    std::size_t cap = 4;
+    while (cap < need || cap < std::size_t{r.cap} * 2) cap *= 2;
+    std::lock_guard<std::mutex> lock(mu_);
+    // Cheapest growth: the span sits at the bump cursor — extend in place.
+    if (r.cap > 0 && !slabs_.empty() &&
+        r.ptr + r.cap == slabs_.back().get() + used_ &&
+        used_ + (cap - r.cap) <= slab_cap_) {
+      used_ += cap - r.cap;
+      r.cap = static_cast<std::uint32_t>(cap);
+      return;
+    }
+    T* p = pop_free(class_of(cap));
+    if (p == nullptr) p = bump_alloc(cap);
+    if (keep && r.size_ > 0) std::memcpy(p, r.ptr, r.size_ * sizeof(T));
+    if (r.cap > 0) push_free(class_of(r.cap), r.ptr);
+    r.ptr = p;
+    r.cap = static_cast<std::uint32_t>(cap);
+  }
+
+  // Free-list plumbing: intrusive singly linked, link memcpy'd into the
+  // first bytes of the recycled span. Caller holds mu_.
+  void push_free(std::size_t cls, T* span) {
+    std::memcpy(span, &free_heads_[cls], sizeof(void*));
+    free_heads_[cls] = span;
+  }
+
+  [[nodiscard]] T* pop_free(std::size_t cls) {
+    T* head = static_cast<T*>(free_heads_[cls]);
+    if (head != nullptr)
+      std::memcpy(&free_heads_[cls], head, sizeof(void*));
+    return head;
+  }
+
+  [[nodiscard]] T* bump_alloc(std::size_t n) {
+    if (slabs_.empty() || used_ + n > slab_cap_) {
+      // Recycle the dying slab's tail before abandoning it.
+      if (!slabs_.empty() && slab_cap_ - used_ >= 4) {
+        std::size_t tail = slab_cap_ - used_;
+        T* at = slabs_.back().get() + used_;
+        // Carve the tail into aligned pow2 spans, largest first.
+        while (tail >= 4) {
+          std::size_t piece = 4;
+          while (piece * 2 <= tail) piece *= 2;
+          push_free(class_of(piece), at);
+          at += piece;
+          tail -= piece;
+        }
+      }
+      const std::size_t cap = n > kSlabElems ? n : kSlabElems;
+      slabs_.push_back(std::unique_ptr<T[]>(new T[cap]));
+      slab_cap_ = cap;
+      used_ = 0;
+      slab_elems_total_ += cap;
+    }
+    T* p = slabs_.back().get() + used_;
+    used_ += n;
+    return p;
+  }
+
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::size_t slab_cap_ = 0;  ///< element capacity of the current slab
+  std::size_t used_ = 0;      ///< elements consumed in the current slab
+  std::size_t slab_elems_total_ = 0;
+  std::array<void*, kClasses> free_heads_{};
+  std::mutex mu_;
+};
+
+}  // namespace fdp

@@ -7,6 +7,12 @@
 // the object itself and only spills to the heap beyond that, so the common
 // case constructs, copies and destroys without touching the allocator.
 //
+// Layout: the heap pointer and the inline buffer share a union — a vec is
+// either inline (cap_ == N, elements in the buffer) or spilled (cap_ > N,
+// elements behind the pointer), never both, so storing the pointer next to
+// the buffer would waste 8 bytes in every Message. The discriminant is
+// cap_ alone; an inline vec's buffer bytes are meaningless while spilled.
+//
 // The element type must be trivially copyable: growth and copies are plain
 // memcpy, which is what makes a Message move as cheap as copying ~60 bytes.
 // Spilled heap buffers are raw ::operator new storage; they can be detached
@@ -80,26 +86,32 @@ class SmallVec {
 
   ~SmallVec() { free_heap(); }
 
-  [[nodiscard]] T* data() { return data_; }
-  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T* data() { return spilled() ? heap_ : inline_ptr(); }
+  [[nodiscard]] const T* data() const {
+    return spilled() ? heap_ : inline_ptr();
+  }
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const { return cap_; }
   /// Whether the elements live on the heap (spilled past N).
-  [[nodiscard]] bool spilled() const { return data_ != inline_ptr(); }
+  [[nodiscard]] bool spilled() const { return cap_ > N; }
+  /// Heap bytes owned by this vec (0 unless spilled) — memory accounting.
+  [[nodiscard]] std::size_t heap_bytes() const {
+    return spilled() ? static_cast<std::size_t>(cap_) * sizeof(T) : 0;
+  }
 
-  [[nodiscard]] T* begin() { return data_; }
-  [[nodiscard]] T* end() { return data_ + size_; }
-  [[nodiscard]] const T* begin() const { return data_; }
-  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
 
   [[nodiscard]] T& operator[](std::size_t i) {
     FDP_DCHECK(i < size_);
-    return data_[i];
+    return data()[i];
   }
   [[nodiscard]] const T& operator[](std::size_t i) const {
     FDP_DCHECK(i < size_);
-    return data_[i];
+    return data()[i];
   }
   [[nodiscard]] T& front() { return (*this)[0]; }
   [[nodiscard]] const T& front() const { return (*this)[0]; }
@@ -108,7 +120,7 @@ class SmallVec {
 
   void push_back(const T& x) {
     if (size_ == cap_) grow(size_ + 1);
-    data_[size_++] = x;
+    data()[size_++] = x;
   }
   template <typename... Args>
   T& emplace_back(Args&&... args) {
@@ -130,7 +142,7 @@ class SmallVec {
 
   void assign(const T* src, std::size_t n) {
     if (n > cap_) grow_discard(n);
-    if (n > 0) std::memcpy(data_, src, n * sizeof(T));
+    if (n > 0) std::memcpy(data(), src, n * sizeof(T));
     size_ = static_cast<std::uint32_t>(n);
   }
 
@@ -138,8 +150,7 @@ class SmallVec {
   /// Returns {nullptr, 0} when nothing was spilled.
   [[nodiscard]] HeapBuf release_heap() {
     if (!spilled()) return {};
-    HeapBuf b{data_, cap_};
-    data_ = inline_ptr();
+    HeapBuf b{heap_, cap_};
     size_ = 0;
     cap_ = N;
     return b;
@@ -149,16 +160,18 @@ class SmallVec {
   /// elements are preserved (they fit: callers only adopt larger buffers).
   void adopt_heap(HeapBuf b) {
     FDP_DCHECK(b.ptr != nullptr && b.cap >= size_);
-    if (size_ > 0) std::memcpy(b.ptr, data_, size_ * sizeof(T));
+    if (size_ > 0) std::memcpy(b.ptr, data(), size_ * sizeof(T));
     free_heap();
-    data_ = b.ptr;
+    heap_ = b.ptr;
     cap_ = b.cap;
   }
 
   friend bool operator==(const SmallVec& a, const SmallVec& b) {
     if (a.size_ != b.size_) return false;
+    const T* ap = a.data();
+    const T* bp = b.data();
     for (std::uint32_t i = 0; i < a.size_; ++i)
-      if (!(a.data_[i] == b.data_[i])) return false;
+      if (!(ap[i] == bp[i])) return false;
     return true;
   }
 
@@ -175,16 +188,16 @@ class SmallVec {
   }
 
   void free_heap() {
-    if (spilled()) ::operator delete(data_);
+    if (spilled()) ::operator delete(heap_);
   }
 
   void grow(std::size_t need) {
     std::size_t cap = cap_ * 2;
     if (cap < need) cap = need;
     T* p = alloc(cap);
-    if (size_ > 0) std::memcpy(p, data_, size_ * sizeof(T));
+    if (size_ > 0) std::memcpy(p, data(), size_ * sizeof(T));
     free_heap();
-    data_ = p;
+    heap_ = p;
     cap_ = static_cast<std::uint32_t>(cap);
   }
 
@@ -194,13 +207,13 @@ class SmallVec {
     if (cap < need) cap = need;
     T* p = alloc(cap);
     free_heap();
-    data_ = p;
+    heap_ = p;
     cap_ = static_cast<std::uint32_t>(cap);
   }
 
   void append(const T* src, std::size_t n) {
     if (n > cap_) grow(size_ + n);
-    if (n > 0) std::memcpy(data_ + size_, src, n * sizeof(T));
+    if (n > 0) std::memcpy(data() + size_, src, n * sizeof(T));
     size_ += static_cast<std::uint32_t>(n);
   }
 
@@ -208,25 +221,26 @@ class SmallVec {
   /// caller has already released our own heap buffer (or we have none).
   void steal(SmallVec& o) {
     if (o.spilled()) {
-      data_ = o.data_;
+      heap_ = o.heap_;
       size_ = o.size_;
       cap_ = o.cap_;
-      o.data_ = o.inline_ptr();
       o.size_ = 0;
       o.cap_ = N;
     } else {
-      data_ = inline_ptr();
-      cap_ = N;
       size_ = o.size_;
-      if (size_ > 0) std::memcpy(data_, o.data_, size_ * sizeof(T));
+      cap_ = N;
+      if (size_ > 0) std::memcpy(inline_ptr(), o.inline_ptr(),
+                                 size_ * sizeof(T));
       o.size_ = 0;
     }
   }
 
-  T* data_ = inline_ptr();
+  union {
+    T* heap_;  ///< valid iff cap_ > N (spilled)
+    alignas(T) std::byte inline_[N * sizeof(T)];
+  };
   std::uint32_t size_ = 0;
   std::uint32_t cap_ = N;
-  alignas(T) std::byte inline_[N * sizeof(T)];
 };
 
 }  // namespace fdp

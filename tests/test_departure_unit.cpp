@@ -72,7 +72,7 @@ TEST(DepartureTimeout, StayingSelfIntroducesToStayingNeighbors) {
   EXPECT_TRUE(f.proc(0).nbrs().contains(f.refs[1]));
   ASSERT_EQ(f.w.channel(1).size(), 1u);
   const Message& m = f.w.channel(1).peek(0);
-  EXPECT_EQ(m.verb, Verb::Present);
+  EXPECT_EQ(m.verb(), Verb::Present);
   ASSERT_EQ(m.refs.size(), 1u);
   EXPECT_EQ(m.refs[0].ref, f.refs[0]);
   EXPECT_EQ(m.refs[0].mode, ModeInfo::Staying);  // info about self is valid
@@ -99,7 +99,7 @@ TEST(DepartureTimeout, StayingClearsAnchorToSelfChannel) {
   // Lines 16-18: anchor moved into own channel as a present message.
   EXPECT_FALSE(f.proc(0).anchor().has_value());
   ASSERT_EQ(f.w.channel(0).size(), 1u);
-  EXPECT_EQ(f.w.channel(0).peek(0).verb, Verb::Present);
+  EXPECT_EQ(f.w.channel(0).peek(0).verb(), Verb::Present);
   EXPECT_EQ(f.w.channel(0).peek(0).refs[0].ref, f.refs[1]);
 }
 
@@ -128,7 +128,7 @@ TEST(DepartureTimeout, LeavingFlushesNeighborhoodToSelf) {
   // Lines 11-14: N emptied, two forward messages to self.
   EXPECT_TRUE(f.proc(0).nbrs().empty());
   EXPECT_EQ(f.w.channel(0).size(), 2u);
-  EXPECT_EQ(f.w.channel(0).peek(0).verb, Verb::Forward);
+  EXPECT_EQ(f.w.channel(0).peek(0).verb(), Verb::Forward);
 }
 
 TEST(DepartureTimeout, LeavingExitsWhenOracleTrue) {
@@ -183,7 +183,7 @@ TEST(DeparturePresent, StayingBouncesLeavingRef) {
   // Lines 7-9: removed from N, forward(self) sent to the leaver.
   EXPECT_FALSE(f.proc(0).nbrs().contains(f.refs[1]));
   ASSERT_EQ(f.w.channel(1).size(), 1u);
-  EXPECT_EQ(f.w.channel(1).peek(0).verb, Verb::Forward);
+  EXPECT_EQ(f.w.channel(1).peek(0).verb(), Verb::Forward);
   EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
 }
 
@@ -255,7 +255,7 @@ TEST(DepartureForward, AnchoredLeavingDelegatesToAnchor) {
   f.deliver_one(0);
   // Lines 15-16: the reference travels to the anchor.
   ASSERT_EQ(f.w.channel(1).size(), 1u);
-  EXPECT_EQ(f.w.channel(1).peek(0).verb, Verb::Forward);
+  EXPECT_EQ(f.w.channel(1).peek(0).verb(), Verb::Forward);
   EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[2]);
 }
 

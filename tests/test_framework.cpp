@@ -168,7 +168,7 @@ TEST(Framework, LeavingNodeAnswersOverlayMessageWithPresents) {
   EXPECT_TRUE(f.proc(0).hosted_overlay().empty());
   ASSERT_EQ(f.w.channel(1).size(), 1u);
   ASSERT_EQ(f.w.channel(2).size(), 1u);
-  EXPECT_EQ(f.w.channel(1).peek(0).verb, Verb::Present);
+  EXPECT_EQ(f.w.channel(1).peek(0).verb(), Verb::Present);
   EXPECT_EQ(f.w.channel(1).peek(0).refs[0].ref, f.refs[0]);
   EXPECT_EQ(f.w.channel(1).peek(0).refs[0].mode, ModeInfo::Leaving);
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "graph/compact_topology.hpp"
 #include "graph/connectivity.hpp"
 
 namespace fdp {
@@ -90,6 +93,50 @@ TEST(Generators, ByNameDispatch) {
     EXPECT_EQ(g.node_count(), 8u) << name;
     EXPECT_TRUE(is_weakly_connected(g)) << name;
   }
+}
+
+// The banded gnp generator must be a drop-in for the DiGraph one: same
+// RNG draws consumed, same directed edges, and — because scenario builds
+// draw per-edge mode knowledge while walking the edge list — the same
+// lexicographic enumeration order DiGraph::simple_edges() produces.
+TEST(Generators, BandedGnpMatchesDiGraphExactly) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234567ull}) {
+    for (const std::size_t n : {std::size_t{2}, std::size_t{3},
+                                std::size_t{17}, std::size_t{257},
+                                std::size_t{2048}}) {
+      const double p = 3.0 / static_cast<double>(n);
+      Rng ga(seed), gb(seed);
+      const DiGraph g = gen::gnp_connected(n, p, ga);
+      const CompactTopology t = CompactTopology::gnp_connected(n, p, gb);
+      // Identical draw consumption: the next value of both streams agrees.
+      EXPECT_EQ(ga(), gb()) << "n=" << n << " seed=" << seed;
+      const std::vector<Edge> want = g.simple_edges();
+      std::vector<Edge> got;
+      t.for_each_edge([&](NodeId u, NodeId v) { got.emplace_back(u, v); });
+      EXPECT_EQ(t.simple_edge_count(), want.size());
+      ASSERT_EQ(got, want) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+// p >= 1 and the degenerate sizes take the clique / tree-only paths.
+TEST(Generators, BandedGnpDegenerateShapes) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                              std::size_t{3}}) {
+    Rng ga(9), gb(9);
+    const DiGraph g = gen::gnp_connected(n, 1.0, ga);
+    const CompactTopology t = CompactTopology::gnp_connected(n, 1.0, gb);
+    EXPECT_EQ(ga(), gb());
+    const std::vector<Edge> want = g.simple_edges();
+    std::vector<Edge> got;
+    t.for_each_edge([&](NodeId u, NodeId v) { got.emplace_back(u, v); });
+    ASSERT_EQ(got, want) << "n=" << n;
+  }
+  Rng rng(11);
+  const CompactTopology empty = CompactTopology::gnp_connected(5, 0.0, rng);
+  std::size_t arcs = 0;
+  empty.for_each_edge([&](NodeId, NodeId) { ++arcs; });
+  EXPECT_EQ(arcs, 8u);  // tree of 5: 4 undirected edges, both arcs
 }
 
 TEST(GeneratorsDeath, UnknownNameAborts) {

@@ -17,6 +17,7 @@
 #include "net/live_scenario.hpp"
 #include "net/runtime.hpp"
 #include "net/timer_wheel.hpp"
+#include "net/wire.hpp"
 #include "overlay/topology_checks.hpp"
 #include "util/alloc_stats.hpp"
 #include "util/ring_buffer.hpp"
@@ -166,6 +167,69 @@ TEST(FrameArena, OversizeFramesSpillAndAreCounted) {
   EXPECT_EQ(arena.oversize_acquires(), 1u);
   EXPECT_EQ(arena.slots(), 0u);  // the slab is untouched
   arena.release(big);            // exact heap buffer freed, not pooled
+  EXPECT_EQ(arena.free_slots(), 0u);
+}
+
+TEST(FrameArena, OversizeFrameRoundTripsThroughWireCodec) {
+  // A message with enough references encodes past the default 512-byte
+  // slot; the arena must hand out an exact-sized spill buffer that the
+  // normal encode/decode path treats like any slot.
+  FrameArena arena;  // default 512-byte slots
+  Message m;
+  m.set_verb(Verb::User);
+  m.set_tag(77u);
+  m.token = 0xdeadbeefcafef00dULL;
+  m.seq = 41;
+  for (std::size_t i = 0; i < 40; ++i)
+    m.refs.push_back(RefInfo{Ref::make(static_cast<ProcessId>(i + 1)),
+                             ModeInfo::Staying, 1000 + i});
+  const std::size_t sz = encoded_size(m);
+  ASSERT_GT(sz, arena.slot_bytes());
+  FrameArena::Buf b = arena.acquire(sz);
+  ASSERT_NE(b.data, nullptr);
+  EXPECT_EQ(b.slot, FrameArena::kOversize);
+  EXPECT_EQ(b.cap, sz);
+  EXPECT_EQ(arena.oversize_acquires(), 1u);
+  b.len = static_cast<std::uint32_t>(encode_frame(m, 3, 9, b.data, b.cap));
+  EXPECT_EQ(b.len, sz);
+  DecodedFrame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(b.data, b.len, out, &consumed), WireError::None);
+  EXPECT_EQ(consumed, sz);
+  EXPECT_EQ(out.src, ProcessId{3});
+  EXPECT_EQ(out.dst, ProcessId{9});
+  EXPECT_EQ(out.msg.verb(), m.verb());
+  EXPECT_EQ(out.msg.tag(), m.tag());
+  EXPECT_EQ(out.msg.token, m.token);
+  ASSERT_EQ(out.msg.refs.size(), m.refs.size());
+  for (std::size_t i = 0; i < m.refs.size(); ++i) {
+    EXPECT_EQ(out.msg.refs[i].ref, m.refs[i].ref);
+    EXPECT_EQ(out.msg.refs[i].mode, m.refs[i].mode);
+    EXPECT_EQ(out.msg.refs[i].key, m.refs[i].key);
+  }
+  arena.release(b);
+  EXPECT_EQ(arena.slots(), 0u);
+}
+
+TEST(FrameArena, RecycledOversizeBuffersDoNotLeak) {
+  if (!alloc_stats::hooked()) GTEST_SKIP() << "alloc hook not linked";
+  FrameArena arena(64);
+  const alloc_stats::Counters before = alloc_stats::snapshot();
+  constexpr std::uint64_t kRounds = 256;
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    FrameArena::Buf b = arena.acquire(4096);
+    ASSERT_EQ(b.slot, FrameArena::kOversize);
+    b.data[0] = static_cast<std::uint8_t>(i);
+    arena.release(b);
+  }
+  const alloc_stats::Counters after = alloc_stats::snapshot();
+  // Every oversize acquire allocates exactly one exact-sized buffer and
+  // release frees it: allocs and deallocs advance in lockstep, nothing
+  // accumulates in the arena (oversize buffers are never pooled).
+  EXPECT_EQ(after.allocs - before.allocs, kRounds);
+  EXPECT_EQ(after.deallocs - before.deallocs, kRounds);
+  EXPECT_EQ(arena.oversize_acquires(), kRounds);
+  EXPECT_EQ(arena.slots(), 0u);
   EXPECT_EQ(arena.free_slots(), 0u);
 }
 

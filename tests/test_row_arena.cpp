@@ -1,0 +1,137 @@
+// RowArena unit tests: the slab-pooled row storage behind the world's
+// edge-instance index (ISSUE 9). The interesting paths are the recycling
+// machinery — pow2 span growth through the per-class free lists, in-place
+// tail extension at the bump cursor, and dying-slab tail carving — plus
+// the steady-state contract: once every row has reached its high-water
+// capacity, further mutation performs zero heap allocations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/alloc_stats.hpp"
+#include "util/row_arena.hpp"
+#include "util/rng.hpp"
+
+namespace fdp {
+namespace {
+
+struct Pair {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  bool operator==(const Pair& o) const { return a == o.a && b == o.b; }
+};
+
+using Arena = RowArena<Pair>;
+using Row = Arena::Row;
+
+TEST(RowArena, PushBackGrowsThroughPow2Capacities) {
+  Arena arena;
+  Row r;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    arena.push_back(r, Pair{i, i * 2});
+    ASSERT_EQ(r.size(), i + 1u);
+    // Capacity is always a power of two >= 4.
+    ASSERT_GE(r.capacity(), 4u);
+    ASSERT_EQ(r.capacity() & (r.capacity() - 1), 0u);
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(r[i].a, i);
+    EXPECT_EQ(r[i].b, i * 2);
+  }
+}
+
+TEST(RowArena, AssignReplacesContentsAndReusesSpan) {
+  Arena arena;
+  Row r;
+  std::vector<Pair> src;
+  for (std::uint32_t i = 0; i < 6; ++i) src.push_back(Pair{i, 100 + i});
+  arena.assign(r, src.data(), src.size());
+  ASSERT_EQ(r.size(), 6u);
+  const Pair* span = r.begin();
+  // A shorter assign must reuse the same span (capacity kept).
+  arena.assign(r, src.data(), 3);
+  EXPECT_EQ(r.begin(), span);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.equals(src.data(), 3));
+  EXPECT_FALSE(r.equals(src.data(), 6));
+}
+
+TEST(RowArena, RecyclesOutgrownSpansThroughFreeLists) {
+  Arena arena;
+  // Grow one row 4 -> 8 -> 16: the abandoned 4- and 8-spans must be
+  // recycled, so two later rows of those sizes add no slab footprint.
+  Row big;
+  for (std::uint32_t i = 0; i < 16; ++i) arena.push_back(big, Pair{i, i});
+  const std::size_t after_grow = arena.heap_bytes();
+  Row small_a, small_b;
+  for (std::uint32_t i = 0; i < 4; ++i) arena.push_back(small_a, Pair{i, 1});
+  for (std::uint32_t i = 0; i < 8; ++i) arena.push_back(small_b, Pair{i, 2});
+  EXPECT_EQ(arena.heap_bytes(), after_grow);  // served from free lists
+  // All three rows stay intact — spans never alias.
+  for (std::uint32_t i = 0; i < 16; ++i) EXPECT_EQ(big[i].a, i);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(small_a[i].b, 1u);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(small_b[i].b, 2u);
+}
+
+TEST(RowArena, ManyRowsRandomizedAgainstVectorModel) {
+  Arena arena;
+  Rng rng(42);
+  constexpr std::size_t kRows = 257;
+  std::vector<Row> rows(kRows);
+  std::vector<std::vector<Pair>> model(kRows);
+  for (std::uint64_t step = 0; step < 20'000; ++step) {
+    const std::size_t r = rng.below(kRows);
+    const std::uint64_t op = rng.below(10);
+    if (op < 6) {
+      const Pair p{static_cast<std::uint32_t>(rng()),
+                   static_cast<std::uint32_t>(rng())};
+      arena.push_back(rows[r], p);
+      model[r].push_back(p);
+    } else if (op < 8 && !model[r].empty()) {
+      // Swap-remove, the index's counts_remove idiom.
+      const std::size_t at = rng.below(model[r].size());
+      rows[r][at] = rows[r].back();
+      rows[r].pop_back();
+      model[r][at] = model[r].back();
+      model[r].pop_back();
+    } else if (op == 8) {
+      rows[r].clear();
+      model[r].clear();
+    } else {
+      // assign from another row's model (the rebuild-row idiom).
+      const std::size_t s = rng.below(kRows);
+      arena.assign(rows[r], model[s].data(), model[s].size());
+      model[r] = model[s];
+    }
+  }
+  for (std::size_t r = 0; r < kRows; ++r) {
+    ASSERT_EQ(rows[r].size(), model[r].size());
+    EXPECT_TRUE(rows[r].equals(model[r].data(), model[r].size()));
+  }
+}
+
+TEST(RowArena, SteadyStateMutationIsAllocationFree) {
+  if (!alloc_stats::hooked()) GTEST_SKIP() << "alloc hook not linked";
+  Arena arena;
+  constexpr std::size_t kRows = 64;
+  std::vector<Row> rows(kRows);
+  // Warm to high water: every row reaches capacity 16.
+  for (std::size_t r = 0; r < kRows; ++r)
+    for (std::uint32_t i = 0; i < 16; ++i)
+      arena.push_back(rows[r], Pair{i, i});
+  for (std::size_t r = 0; r < kRows; ++r) rows[r].clear();
+  const alloc_stats::Counters before = alloc_stats::snapshot();
+  // Churn within capacity: clear/refill cycles must never hit the heap.
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (std::size_t r = 0; r < kRows; ++r) {
+      for (std::uint32_t i = 0; i < 16; ++i)
+        arena.push_back(rows[r], Pair{i, static_cast<std::uint32_t>(cycle)});
+      rows[r].clear();
+    }
+  }
+  EXPECT_EQ(alloc_stats::allocs_since(before), 0u);
+}
+
+}  // namespace
+}  // namespace fdp

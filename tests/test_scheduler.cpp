@@ -33,15 +33,15 @@ TEST(RandomScheduler, EventuallyDeliversEveryMessage) {
     ctx.send(refs[1], Message{});  // constant chatter
   };
   Message probe;
-  probe.verb = Verb::User;
-  probe.tag = 777;
+  probe.set_verb(Verb::User);
+  probe.set_tag(777);
   w.post(refs[2], probe);
   RandomScheduler sched;
   bool delivered = false;
   for (int i = 0; i < 2000 && !delivered; ++i) {
     (void)w.step(sched);
     for (const Message& m : w.process_as<ScriptedProcess>(2).received)
-      if (m.tag == 777) delivered = true;
+      if (m.tag() == 777) delivered = true;
   }
   EXPECT_TRUE(delivered);
 }

@@ -16,8 +16,8 @@ namespace {
 
 Message random_message(Rng& rng) {
   Message m;
-  m.verb = static_cast<Verb>(rng.below(6));  // Present..User, every kind
-  m.tag = static_cast<std::uint32_t>(rng());
+  m.set_verb(static_cast<Verb>(rng.below(6)));  // Present..User, every kind
+  m.set_tag(static_cast<std::uint32_t>(rng()) & kMaxTag);
   m.token = rng();
   m.seq = rng();
   // Mostly small (inline SmallVec), regularly spilled (> 2 inline slots),
@@ -39,8 +39,8 @@ Message random_message(Rng& rng) {
 }
 
 void expect_equal(const Message& a, const Message& b) {
-  ASSERT_EQ(a.verb, b.verb);
-  ASSERT_EQ(a.tag, b.tag);
+  ASSERT_EQ(a.verb(), b.verb());
+  ASSERT_EQ(a.tag(), b.tag());
   ASSERT_EQ(a.token, b.token);
   ASSERT_EQ(a.seq, b.seq);
   ASSERT_EQ(a.refs.size(), b.refs.size());
@@ -96,8 +96,8 @@ TEST(Wire, BackToBackFramesDecodeByConsumed) {
 
 std::vector<std::uint8_t> valid_frame() {
   Message m;
-  m.verb = Verb::Overlay;
-  m.tag = kMaxWireRefs;  // arbitrary
+  m.set_verb(Verb::Overlay);
+  m.set_tag(kMaxWireRefs);  // arbitrary
   m.token = 42;
   m.seq = 99;
   m.refs.push_back(RefInfo{Ref::make(3), ModeInfo::Leaving, 1234});
