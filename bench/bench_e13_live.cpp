@@ -52,6 +52,7 @@ struct TrialResult {
   std::uint64_t leaving = 0;
   std::uint64_t safety_violations = 0;
   std::uint64_t wire_errors = 0;
+  std::uint64_t gave_up = 0;    ///< retransmit-ceiling exhaustions (must be 0)
   std::uint64_t frames = 0;     ///< application messages delivered
   std::uint64_t datagrams = 0;  ///< medium hand-offs carrying them
   std::uint64_t syscalls = 0;   ///< send + recv calls
@@ -200,6 +201,7 @@ TrialResult run_trial(std::size_t n, const std::string& overlay,
   res.exits = sc.net->exits();
   res.safety_violations = safety.violations().size();
   res.wire_errors = sc.net->wire_errors();
+  res.gave_up = sc.net->retransmit_gave_up();
   res.frames = sc.net->deliveries();
   const net::TransportStats st = sc.net->transport().stats();
   res.datagrams = st.frames_sent;
@@ -286,6 +288,7 @@ void run_sweep(const std::string& transport, std::uint64_t seeds,
             (seed == 1 ? true : agg.departures_done) && r.departures_done;
         agg.safety_violations += r.safety_violations;
         agg.wire_errors += r.wire_errors;
+        agg.gave_up += r.gave_up;
         agg.frames += r.frames;
         agg.datagrams += r.datagrams;
         agg.syscalls += r.syscalls;
@@ -347,7 +350,8 @@ void run_sweep(const std::string& transport, std::uint64_t seeds,
         f,
         "    {\"n\": %zu, \"batching\": %s, \"departures_done\": %s, "
         "\"exits\": %llu, \"leaving\": %llu, \"safety_violations\": %llu, "
-        "\"wire_errors\": %llu, \"frames\": %llu, \"datagrams\": %llu, "
+        "\"wire_errors\": %llu, \"retransmit_gave_up\": %llu, "
+        "\"frames\": %llu, \"datagrams\": %llu, "
         "\"frames_per_sec\": %.1f, \"syscalls_per_frame\": %.4f, "
         "\"lookup_success\": %.4f, \"lookup_p50_us\": %llu, "
         "\"lookup_p95_us\": %llu, \"wall_s\": %.3f}%s\n",
@@ -357,6 +361,7 @@ void run_sweep(const std::string& transport, std::uint64_t seeds,
         static_cast<unsigned long long>(c.r.leaving),
         static_cast<unsigned long long>(c.r.safety_violations),
         static_cast<unsigned long long>(c.r.wire_errors),
+        static_cast<unsigned long long>(c.r.gave_up),
         static_cast<unsigned long long>(c.r.frames),
         static_cast<unsigned long long>(c.r.datagrams),
         c.r.frames_per_sec(), c.r.syscalls_per_frame(),

@@ -1,0 +1,432 @@
+// E14 — departures under network chaos: the live substrate behind a
+// deterministically shaped link (loss x latency/jitter), with optional
+// live crash-restart faults.
+//
+// E13 established the departure claim over a well-behaved medium; E14
+// asks what a BAD medium costs. The ShapedTransport decorator drops,
+// delays, and jitters datagrams from a seeded per-link stream, the
+// in-flight ledger retransmits what the medium destroys, and the bench
+// records what that buys and what it costs: do all leavers still exit
+// (they must, at any loss rate the retransmit ceiling can out-wait), how
+// much longer does it take (pumps to all-gone), how much extra traffic
+// does recovery inject (retransmit amplification = retransmits/sends),
+// and what happens to served lookup latency.
+//
+// Grid: loss {0, 1, 5, 10, 20}% x latency/jitter {(0,0), (2,1), (8,4)}
+// ticks x {linearization, skiplist}. --loss P runs a single cell instead
+// (the CI lossy smoke). --crashes K schedules K live crash-restarts per
+// trial and reports RecoveryMonitor re-legitimization.
+//
+// scripts/check_loss_recovery.py gates the emitted BENCH_loss.json: at
+// every loss rate <= 10% all departures complete with zero safety
+// violations, zero wire errors, zero retransmit give-ups, and bounded
+// amplification.
+#include "bench_common.hpp"
+#include "analysis/monitors.hpp"
+#include "analysis/workload.hpp"
+#include "net/live_scenario.hpp"
+#include "net/net_faults.hpp"
+#include "net/shaped_transport.hpp"
+#include "overlay/topology_checks.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fdp {
+namespace {
+
+using net::LiveScenario;
+using net::MemTransport;
+using net::NetConfig;
+using net::NetFaultInjector;
+using net::ShapeConfig;
+using net::ShapedTransport;
+using net::Transport;
+using net::UdpTransport;
+
+struct Cell {
+  std::string overlay;
+  double loss_pct = 0.0;
+  std::uint32_t latency = 0;
+  std::uint32_t jitter = 0;
+};
+
+struct LossTrial {
+  std::uint64_t seed = 0;
+  bool departures_done = false;
+  std::uint64_t exits = 0;
+  std::uint64_t leaving = 0;
+  std::uint64_t pumps_to_gone = 0;  ///< departure-completion time
+  std::uint64_t safety_violations = 0;
+  std::uint64_t wire_errors = 0;
+  std::uint64_t sends = 0;        ///< frames admitted by actors
+  std::uint64_t retransmits = 0;  ///< ledger re-queues after presumed loss
+  std::uint64_t gave_up = 0;      ///< retransmit-ceiling exhaustions
+  std::uint64_t dropped = 0;      ///< datagrams the shaper destroyed
+  std::uint64_t crashes = 0;      ///< crash-restarts actually applied
+  std::uint64_t injected = 0;     ///< perturbations RecoveryMonitor tracked
+  std::uint64_t recovered = 0;    ///< ...that re-reached legitimacy
+  WorkloadReport wl;
+  double wall_s = 0.0;
+
+  /// Recovery efficiency: retransmits per datagram the shaper destroyed.
+  /// ~1 means each loss cost one retry; growth past that is backoff
+  /// re-fires and frames coalesced into an unlucky datagram. The gate
+  /// bounds this — recovery must not amplify loss into a send storm.
+  /// (Not retransmits/sends: converged actors keep exchanging periodic
+  /// heartbeat traffic, which would dilute the ratio to zero.)
+  [[nodiscard]] double retransmit_ratio() const {
+    return retransmits > 0
+               ? static_cast<double>(retransmits) /
+                     static_cast<double>(dropped > 0 ? dropped : 1)
+               : 0;
+  }
+};
+
+std::unique_ptr<Transport> make_inner(const std::string& kind) {
+  if (kind == "mem") return std::make_unique<MemTransport>();
+  return std::make_unique<UdpTransport>(true);
+}
+
+LossTrial run_trial(std::size_t n, const Cell& cell,
+                      const std::string& transport, std::uint64_t seed,
+                      std::size_t lookups, std::uint64_t crashes) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.2;
+  cfg.random_anchor_prob = 0.1;
+  cfg.seed = seed;
+
+  ShapeConfig shape;
+  shape.seed = seed ^ 0xE14C4A05ULL;
+  shape.loss = cell.loss_pct / 100.0;
+  shape.latency_ticks = cell.latency;
+  shape.jitter_ticks = cell.jitter;
+
+  NetConfig rcfg;
+  // Above the worst shaping delay (8 + 4 + 1 ticks), so a frame is only
+  // presumed lost once it actually can be; keeps recovery snappy without
+  // spurious retransmits inflating the amplification column.
+  rcfg.retransmit_ticks = 16;
+
+  bench::Timer timer;
+  auto shaped = std::make_unique<ShapedTransport>(make_inner(transport), shape);
+  ShapedTransport* sp = shaped.get();
+  LiveScenario sc = net::build_live_framework_scenario(cfg, cell.overlay,
+                                                       std::move(shaped), rcfg);
+  // Coarser safety stride than E13: an E14 trial is dominated by the
+  // post-convergence grace pumps, where periodic reference-carrying
+  // traffic marks the monitor dirty on nearly every action — n/16 would
+  // re-BFS ~100k times per trial. A violation cannot self-heal, so a
+  // 4n-action stride delays detection by at most one stride, never
+  // misses it.
+  SafetyMonitor safety(*sc.net, 4 * n);
+  sc.net->add_observer(&safety);
+  RecoveryMonitor recovery(*sc.net);
+  sc.net->add_observer(&recovery);
+
+  FaultPlan plan;
+  for (std::uint64_t i = 0; i < crashes; ++i)
+    plan.at(50 + 100 * i, FaultKind::CrashRestart);
+  NetFaultInjector injector(*sc.net, sp, plan, seed ^ plan.seed);
+
+  WorkloadConfig wcfg;
+  wcfg.total = lookups;
+  wcfg.interval = 2;
+  wcfg.absent_prob = 0.2;
+  wcfg.seed = seed;
+  std::vector<std::uint64_t> keys;
+  for (ProcessId p = 0; p < sc.net->size(); ++p)
+    keys.push_back(sc.net->process(p).key());
+  LookupWorkload workload(sc.refs, std::move(keys), sc.leaving, wcfg);
+  sc.net->add_observer(&workload);
+
+  LossTrial res;
+  res.seed = seed;
+  res.leaving = sc.leaving_count;
+
+  const int timeout_ms = transport == "mem" ? 0 : 1;
+  const std::uint64_t max_pumps = 400'000;
+  bool gone = false;
+  for (std::uint64_t i = 0; i < max_pumps; ++i) {
+    injector.pump();
+    workload.pump(*sc.net);
+    sc.net->pump(timeout_ms);
+    if (!gone && all_leaving_gone(*sc.net)) {
+      gone = true;
+      res.pumps_to_gone = i + 1;
+    }
+    if (gone && workload.all_issued() && injector.exhausted()) break;
+  }
+  // Grace: straggler verdicts may still be in the (slow) medium. Bounded
+  // by PROGRESS, not a fixed pump count: a lookup whose frame died with a
+  // departing resolver can never resolve (that unanswered request is the
+  // availability signal the success column reports), and converged actors
+  // keep exchanging periodic traffic forever — so "no resolution for a
+  // stall window" is the only honest stop. The window generously covers
+  // the slowest possible round trip (max shaping delay x retransmit
+  // backoff).
+  std::uint64_t last_resolved = workload.resolved();
+  for (int i = 0, stalled = 0;
+       i < 20'000 && !workload.all_resolved() && stalled < 600; ++i) {
+    sc.net->pump(timeout_ms);
+    const std::uint64_t now_resolved = workload.resolved();
+    stalled = now_resolved == last_resolved ? stalled + 1 : 0;
+    last_resolved = now_resolved;
+  }
+  recovery.finalize(*sc.net);
+
+  res.departures_done = all_leaving_gone(*sc.net);
+  res.exits = sc.net->exits();
+  res.safety_violations = safety.violations().size();
+  res.wire_errors = sc.net->wire_errors();
+  res.sends = sc.net->sends();
+  res.retransmits = sc.net->retransmits();
+  res.gave_up = sc.net->retransmit_gave_up();
+  res.dropped = sp->shape_stats().dropped();
+  res.crashes = injector.crashes();
+  res.injected = recovery.injected();
+  res.recovered = recovery.recovered();
+  res.wl = workload.report();
+  res.wall_s = timer.seconds();
+  return res;
+}
+
+struct AggCell {
+  Cell cell;
+  LossTrial r;  ///< counters summed over seeds, worst-latency wl kept
+};
+
+LossTrial aggregate(const Cell& cell, const std::string& transport,
+                      std::size_t n, std::uint64_t seeds, std::size_t lookups,
+                      std::uint64_t crashes, CsvWriter* csv) {
+  LossTrial agg;
+  agg.departures_done = true;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const LossTrial r = run_trial(n, cell, transport, seed, lookups, crashes);
+    agg.exits += r.exits;
+    agg.leaving += r.leaving;
+    agg.departures_done = agg.departures_done && r.departures_done;
+    agg.pumps_to_gone = std::max(agg.pumps_to_gone, r.pumps_to_gone);
+    agg.safety_violations += r.safety_violations;
+    agg.wire_errors += r.wire_errors;
+    agg.sends += r.sends;
+    agg.retransmits += r.retransmits;
+    agg.gave_up += r.gave_up;
+    agg.dropped += r.dropped;
+    agg.crashes += r.crashes;
+    agg.injected += r.injected;
+    agg.recovered += r.recovered;
+    agg.wall_s += r.wall_s;
+    if (r.wl.p95_us >= agg.wl.p95_us) agg.wl = r.wl;
+    if (csv != nullptr) {
+      csv->row({std::to_string(seed), std::to_string(n), cell.overlay,
+                transport, std::to_string(cell.loss_pct),
+                std::to_string(cell.latency), std::to_string(cell.jitter),
+                std::to_string(r.exits), std::to_string(r.leaving),
+                r.departures_done ? "1" : "0",
+                std::to_string(r.pumps_to_gone),
+                std::to_string(r.safety_violations),
+                std::to_string(r.wire_errors), std::to_string(r.sends),
+                std::to_string(r.retransmits),
+                std::to_string(r.retransmit_ratio()),
+                std::to_string(r.gave_up), std::to_string(r.dropped),
+                std::to_string(r.crashes), std::to_string(r.injected),
+                std::to_string(r.recovered), std::to_string(r.wl.issued),
+                std::to_string(r.wl.resolved),
+                std::to_string(r.wl.success_rate()),
+                std::to_string(r.wl.p50_us), std::to_string(r.wl.p95_us),
+                std::to_string(r.wall_s)});
+    }
+  }
+  return agg;
+}
+
+void add_row(Table& t, const Cell& cell, const LossTrial& agg) {
+  t.add_row(
+      {Table::fixed(cell.loss_pct, 0),
+       std::to_string(cell.latency) + "/" + std::to_string(cell.jitter),
+       cell.overlay,
+       std::to_string(agg.exits) + "/" + std::to_string(agg.leaving) +
+           (agg.departures_done ? " done" : " STUCK"),
+       agg.safety_violations == 0
+           ? "ok"
+           : std::to_string(agg.safety_violations) + " VIOLATIONS",
+       Table::num(agg.pumps_to_gone), Table::num(agg.dropped),
+       Table::fixed(agg.retransmit_ratio(), 3), Table::num(agg.gave_up),
+       std::to_string(agg.recovered) + "/" + std::to_string(agg.injected),
+       Table::fixed(100.0 * agg.wl.success_rate(), 1),
+       Table::quantiles(static_cast<double>(agg.wl.p50_us),
+                        static_cast<double>(agg.wl.p95_us)),
+       Table::fixed(agg.wall_s, 2)});
+}
+
+void write_json(const std::string& path, const std::string& transport,
+                std::size_t n, std::uint64_t seeds, std::uint64_t crashes,
+                const std::vector<AggCell>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "E14: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e14_loss\",\n");
+  std::fprintf(f,
+               "  \"transport\": \"%s\",\n  \"n\": %zu,\n  \"seeds\": %llu,\n"
+               "  \"crashes_per_trial\": %llu,\n",
+               transport.c_str(), n, static_cast<unsigned long long>(seeds),
+               static_cast<unsigned long long>(crashes));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i].cell;
+    const LossTrial& r = cells[i].r;
+    std::fprintf(
+        f,
+        "    {\"overlay\": \"%s\", \"loss_pct\": %.0f, \"latency\": %u, "
+        "\"jitter\": %u, \"departures_done\": %s, \"exits\": %llu, "
+        "\"leaving\": %llu, \"pumps_to_gone\": %llu, "
+        "\"safety_violations\": %llu, \"wire_errors\": %llu, "
+        "\"sends\": %llu, \"retransmits\": %llu, \"retransmit_ratio\": %.4f, "
+        "\"gave_up\": %llu, \"dropped\": %llu, \"crashes\": %llu, "
+        "\"injected\": %llu, \"recovered\": %llu, \"lookup_success\": %.4f, "
+        "\"lookup_p50_us\": %llu, \"lookup_p95_us\": %llu, "
+        "\"wall_s\": %.3f}%s\n",
+        c.overlay.c_str(), c.loss_pct, c.latency, c.jitter,
+        r.departures_done ? "true" : "false",
+        static_cast<unsigned long long>(r.exits),
+        static_cast<unsigned long long>(r.leaving),
+        static_cast<unsigned long long>(r.pumps_to_gone),
+        static_cast<unsigned long long>(r.safety_violations),
+        static_cast<unsigned long long>(r.wire_errors),
+        static_cast<unsigned long long>(r.sends),
+        static_cast<unsigned long long>(r.retransmits), r.retransmit_ratio(),
+        static_cast<unsigned long long>(r.gave_up),
+        static_cast<unsigned long long>(r.dropped),
+        static_cast<unsigned long long>(r.crashes),
+        static_cast<unsigned long long>(r.injected),
+        static_cast<unsigned long long>(r.recovered), r.wl.success_rate(),
+        static_cast<unsigned long long>(r.wl.p50_us),
+        static_cast<unsigned long long>(r.wl.p95_us), r.wall_s,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace fdp
+
+int main(int argc, char** argv) {
+  using namespace fdp;
+  Flags flags(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 64));
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds", 2));
+  const std::size_t lookups =
+      static_cast<std::size_t>(flags.get_int("lookups", 100));
+  const std::uint64_t crashes =
+      static_cast<std::uint64_t>(flags.get_int("crashes", 1));
+  // Chaos over the deterministic loopback by default: the shaper is the
+  // adversary, so the trial replays bit-for-bit; --transport udp puts the
+  // same shaping in front of real sockets.
+  const std::string transport = flags.get_string("transport", "mem");
+  // --loss P: single cell (latency/jitter from --latency/--jitter) instead
+  // of the full grid — the CI lossy smoke uses this.
+  const std::int64_t single_loss = flags.get_int("loss", -1);
+  const std::uint32_t latency =
+      static_cast<std::uint32_t>(flags.get_int("latency", 2));
+  const std::uint32_t jitter =
+      static_cast<std::uint32_t>(flags.get_int("jitter", 1));
+  const std::string csv_path = flags.get_string("csv", "");
+  const std::string json_path = flags.get_string("json", "");
+  // Single event loop; --workers accepted (the runner passes it) but unused.
+  (void)flags.get_int("workers", 0);
+  flags.reject_unknown();
+
+  bench::banner("E14 / network chaos",
+                "departures over a lossy, laggy, jittery link: every leaver "
+                "still exits, and recovery traffic stays bounded");
+
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(
+        csv_path,
+        std::vector<std::string>{
+            "seed", "n", "overlay", "transport", "loss_pct", "latency",
+            "jitter", "exits", "leaving", "departures_done", "pumps_to_gone",
+            "safety_violations", "wire_errors", "sends", "retransmits",
+            "retransmit_ratio", "gave_up", "dropped", "crashes", "injected",
+            "recovered", "issued", "resolved", "success", "p50_us", "p95_us",
+            "wall_s"});
+  }
+
+  std::vector<double> loss_grid;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> latjit;
+  if (single_loss >= 0) {
+    loss_grid = {static_cast<double>(single_loss)};
+    latjit = {{latency, jitter}};
+  } else {
+    loss_grid = {0, 1, 5, 10, 20};
+    latjit = {{0, 0}, {2, 1}, {8, 4}};
+  }
+
+  const std::string title =
+      "E14: loss x latency grid, n=" + std::to_string(n) +
+      ", transport=" + transport + ", crashes=" + std::to_string(crashes) +
+      "/trial";
+  Table t(title.c_str());
+  t.set_header({"loss %", "lat/jit", "overlay", "departures", "safety",
+                "pumps", "dropped", "rtx ratio", "gave up", "recovered",
+                "success %", "p50/p95 us", "wall s"});
+
+  std::vector<AggCell> cells;
+  for (const std::string& overlay : {std::string("linearization"),
+                                     std::string("skiplist")}) {
+    for (const double loss : loss_grid) {
+      for (const auto& [lat, jit] : latjit) {
+        const Cell cell{overlay, loss, lat, jit};
+        const LossTrial agg =
+            aggregate(cell, transport, n, seeds, lookups, crashes, csv.get());
+        add_row(t, cell, agg);
+        cells.push_back(AggCell{cell, agg});
+        std::fprintf(
+            stderr,
+            "  [e14] %s loss=%.0f%% lat=%u/%u: exits %llu/%llu%s, rtx ratio "
+            "%.3f, gave up %llu, %.1f s\n",
+            overlay.c_str(), loss, lat, jit,
+            static_cast<unsigned long long>(agg.exits),
+            static_cast<unsigned long long>(agg.leaving),
+            agg.departures_done ? "" : " STUCK", agg.retransmit_ratio(),
+            static_cast<unsigned long long>(agg.gave_up), agg.wall_s);
+      }
+    }
+  }
+  t.print();
+
+  if (!json_path.empty())
+    write_json(json_path, transport, n, seeds, crashes, cells);
+  if (csv && !csv->finish())
+    std::fprintf(stderr, "E14 csv: write to %s failed\n", csv_path.c_str());
+
+  // The non-partition contract (satellite 2): nothing in this bench opens
+  // a partition window, so a nonzero give-up count is a runtime bug, not
+  // bad luck — fail loudly even without the check script.
+  for (const AggCell& c : cells) {
+    if (c.r.gave_up != 0) {
+      std::fprintf(stderr,
+                   "E14: FATAL: retransmit gave up %llu times in a "
+                   "non-partition run (%s, loss %.0f%%)\n",
+                   static_cast<unsigned long long>(c.r.gave_up),
+                   c.cell.overlay.c_str(), c.cell.loss_pct);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate the E14 chaos sweep and condense BENCH_loss.json.
+
+Reads the --json output of bench_e14_loss (departures under deterministic
+link shaping: loss x latency/jitter x overlay, with live crash-restarts)
+and checks, per cell:
+
+1. Liveness floor at recoverable loss: at every loss rate <= --max-loss
+   (default 10%), ALL departures must complete. The retransmit ledger is
+   supposed to out-wait any bounded loss rate; a stuck leaver here means
+   recovery is broken, not that the network was unlucky.
+
+2. Safety everywhere: 0 safety violations and 0 wire errors at EVERY
+   loss rate, including the ones above the liveness floor — chaos may
+   delay the protocol, never corrupt it.
+
+3. Bounded retransmit amplification: retransmits per dropped datagram
+   <= --max-ratio (default 4.0) at recoverable loss rates. ~1 means each
+   destroyed datagram cost one retry; headroom above that covers backoff
+   re-fires and multiple coalesced frames re-queued for one unlucky
+   datagram. Recovery must not turn a lossy link into a send storm.
+
+4. Zero give-ups: no cell opens a partition window, so the retransmit
+   ceiling (high enough that exhausting it by chance is a ~1e-21 event
+   per frame at 20% loss) must never trip.
+
+5. Crash recovery: when crash-restarts were injected, every perturbation
+   tracked by the RecoveryMonitor must re-reach legitimacy at loss rates
+   <= --max-loss.
+
+With --emit PATH, writes the condensed summary (gate verdict + all sweep
+rows) for CI artifact upload / committing as BENCH_loss.json.
+
+Usage: check_loss_recovery.py e14_loss.json
+           [--max-loss 10] [--max-ratio 4.0] [--emit BENCH_loss.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_path", help="bench_e14_loss --json output")
+    ap.add_argument("--max-loss", type=float, default=10.0,
+                    help="highest loss %% at which liveness is gated")
+    ap.add_argument("--max-ratio", type=float, default=4.0,
+                    help="retransmits-per-dropped-datagram ceiling at "
+                         "gated loss")
+    ap.add_argument("--emit", metavar="PATH",
+                    help="write a condensed JSON summary")
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        doc = json.load(f)
+    cells = doc.get("results", [])
+    if not cells:
+        print("FAIL: no sweep cells in", args.json_path)
+        return 1
+
+    ok = True
+    for c in cells:
+        label = (f"{c['overlay']} loss={c['loss_pct']:.0f}% "
+                 f"lat={c['latency']}/{c['jitter']}")
+        gated = c["loss_pct"] <= args.max_loss
+        print(f"{label}: exits {c['exits']}/{c['leaving']}"
+              f"{'' if c['departures_done'] else ' STUCK'}, "
+              f"{c['safety_violations']} violations, "
+              f"{c['wire_errors']} wire errors, "
+              f"rtx ratio {c['retransmit_ratio']:.3f}, "
+              f"gave up {c['gave_up']}, "
+              f"recovered {c['recovered']}/{c['injected']}")
+
+        if c["safety_violations"] != 0 or c["wire_errors"] != 0:
+            print(f"FAIL: {label}: chaos corrupted the protocol "
+                  f"(safety/wire errors must be 0 at any loss rate)")
+            ok = False
+        if c["gave_up"] != 0:
+            print(f"FAIL: {label}: retransmit ceiling tripped in a "
+                  f"non-partition run — a runtime bug, not bad luck")
+            ok = False
+        if not gated:
+            continue
+        if not c["departures_done"]:
+            print(f"FAIL: {label}: departures stuck at recoverable loss "
+                  f"(<= {args.max_loss:.0f}%)")
+            ok = False
+        if c["retransmit_ratio"] > args.max_ratio:
+            print(f"FAIL: {label}: amplification {c['retransmit_ratio']:.3f} "
+                  f"> {args.max_ratio} — recovery is a send storm")
+            ok = False
+        if c["recovered"] != c["injected"]:
+            print(f"FAIL: {label}: {c['injected'] - c['recovered']} "
+                  f"perturbations never re-reached legitimacy")
+            ok = False
+
+    if args.emit:
+        summary = {
+            "schema": "fdp-loss-bench/1",
+            "gate": "ok" if ok else "failed",
+            "max_loss_pct": args.max_loss,
+            "max_retransmit_ratio": args.max_ratio,
+            "transport": doc.get("transport"),
+            "n": doc.get("n"),
+            "seeds": doc.get("seeds"),
+            "crashes_per_trial": doc.get("crashes_per_trial"),
+            "sweep": cells,
+        }
+        with open(args.emit, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.emit}")
+
+    if ok:
+        print("OK: loss-recovery checks passed")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,12 +115,25 @@ def main():
                     or cell["wire_errors"] != 0):
                 print(f"FAIL: sweep cell {label} broke the safety floor")
                 ok = False
+            # No partition windows exist in E13, so a retransmit give-up is
+            # a runtime bug (ceiling too low or a frame stuck in the
+            # ledger), never bad luck.
+            if cell.get("retransmit_gave_up", 0) != 0:
+                print(f"FAIL: sweep cell {label} gave up on "
+                      f"{cell['retransmit_gave_up']} retransmits in a "
+                      f"non-partition run")
+                ok = False
 
     if args.emit:
         summary = {
             "schema": "fdp-net-bench/1",
             "mmsg_supported": mmsg,
             "gate": gate if ok else "failed",
+            # Machine-readable skip marker, mirroring check_shard_scaling's
+            # "skipped": "1 core" convention: a box without sendmmsg records
+            # numbers but never compares them.
+            "skipped": "no sendmmsg" if gate == "skipped (no sendmmsg)"
+                       else None,
             "min_speedup": args.min_speedup,
             "speedup_batched_vs_per_frame":
                 round(speedup, 3) if speedup is not None else None,

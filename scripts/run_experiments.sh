@@ -33,6 +33,7 @@ EXPECTED=(
   bench_e8_oracles
   bench_e10_recovery
   bench_e13_live
+  bench_e14_loss
   bench_net_throughput
   bench_modelcheck
   bench_micro_kernel

@@ -1,0 +1,141 @@
+#include "net/net_faults.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fdp::net {
+
+namespace {
+
+bool plan_partitions(const FaultPlan& plan) {
+  if (plan.p_partition > 0.0 && plan.stochastic_until > 0) return true;
+  return std::any_of(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent& e) {
+                       return e.kind == FaultKind::PartitionStart;
+                     });
+}
+
+}  // namespace
+
+NetFaultInjector::NetFaultInjector(NetRuntime& net, ShapedTransport* shaper,
+                                   FaultPlan plan, std::uint64_t seed)
+    : net_(net), shaper_(shaper), plan_(std::move(plan)), fault_rng_(seed) {
+  const std::string complaint = plan_.validate();
+  FDP_CHECK_MSG(complaint.empty(), complaint.c_str());
+  FDP_CHECK_MSG(shaper_ != nullptr || !plan_partitions(plan_),
+                "the plan opens partition windows but no ShapedTransport "
+                "was given to realize them");
+}
+
+void NetFaultInjector::pump() {
+  const std::uint64_t now = net_.clock();
+
+  // Close an expired window first, exactly once, before any new fault can
+  // fire: RecoveryMonitor rebases the partition's recovery clock to this
+  // boundary (the cut only delays progress; recovery starts when frames
+  // flow again).
+  if (window_open_ && partition_until_ <= now) {
+    window_open_ = false;
+    shaper_->end_partition();
+    net_.announce_fault(FaultKind::PartitionEnd, kNoProcess,
+                        /*applied=*/false);
+    net_.announce_fault(FaultKind::PartitionEnd, kNoProcess,
+                        /*applied=*/true);
+  }
+
+  while (cursor_ < plan_.events.size() &&
+         plan_.events[cursor_].step <= now) {
+    apply(plan_.events[cursor_], now);
+    ++cursor_;
+  }
+
+  // Stochastic regime: the simulator rolls once per world step; the live
+  // clock advances in per-pump bursts, so catch up one roll per elapsed
+  // step, in the simulator's per-step draw order.
+  const std::uint64_t until = std::min(now, plan_.stochastic_until);
+  while (next_stochastic_step_ < until) {
+    const std::uint64_t step = next_stochastic_step_++;
+    if (plan_.p_crash > 0.0 && fault_rng_.chance(plan_.p_crash))
+      apply(FaultEvent{step, FaultKind::CrashRestart, 1}, now);
+    if (plan_.p_scramble > 0.0 && fault_rng_.chance(plan_.p_scramble))
+      apply(FaultEvent{step, FaultKind::Scramble, 1}, now);
+    if (plan_.p_duplicate > 0.0 && fault_rng_.chance(plan_.p_duplicate))
+      apply(FaultEvent{step, FaultKind::DuplicateBurst, 0}, now);
+    if (plan_.p_partition > 0.0 && fault_rng_.chance(plan_.p_partition))
+      apply(FaultEvent{step, FaultKind::PartitionStart, 1}, now);
+  }
+}
+
+void NetFaultInjector::apply(const FaultEvent& ev, std::uint64_t now) {
+  switch (ev.kind) {
+    case FaultKind::CrashRestart:
+    case FaultKind::Scramble: {
+      for (std::uint32_t i = 0; i < ev.count; ++i) {
+        const std::uint64_t awake = net_.awake_count();
+        if (awake == 0) break;
+        const ProcessId victim = net_.kth_awake(fault_rng_.below(awake));
+        net_.announce_fault(ev.kind, victim, /*applied=*/false);
+        const bool ok =
+            ev.kind == FaultKind::CrashRestart
+                ? net_.process_mut(victim).fault_crash_restart(fault_rng_)
+                : net_.process_mut(victim).fault_scramble(fault_rng_);
+        if (!ok) continue;  // victim type doesn't support the fault
+        // The hook mutated the victim's store behind the action stream's
+        // back; repair the edge index before the next oracle query.
+        net_.note_store_mutation(victim);
+        if (ev.kind == FaultKind::CrashRestart) {
+          ++crashes_;
+        } else {
+          ++scrambles_;
+        }
+        net_.announce_fault(ev.kind, victim, /*applied=*/true);
+      }
+      break;
+    }
+    case FaultKind::DuplicateBurst: {
+      if (net_.live_message_count() == 0) break;
+      net_.announce_fault(ev.kind, kNoProcess, /*applied=*/false);
+      const std::uint32_t burst =
+          ev.count > 0 ? ev.count : plan_.duplicate_burst;
+      std::uint64_t done = 0;
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        const std::uint64_t live = net_.live_message_count();
+        if (live == 0) break;
+        const auto [p, seq] = net_.kth_live_message(fault_rng_.below(live));
+        if (net_.duplicate_message(p, seq)) ++done;
+      }
+      if (done > 0) {
+        duplicates_ += done;
+        ++bursts_;
+        net_.announce_fault(ev.kind, kNoProcess, /*applied=*/true);
+      }
+      break;
+    }
+    case FaultKind::PartitionStart: {
+      if (window_open_) break;  // one window at a time, like the simulator
+      const std::size_t n = net_.size();
+      if (n == 0) break;
+      net_.announce_fault(ev.kind, kNoProcess, /*applied=*/false);
+      blocked_.assign(n, 0);
+      bool any = false;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (fault_rng_.chance(0.5)) {
+          blocked_[p] = 1;
+          any = true;
+        }
+      }
+      if (!any) blocked_[fault_rng_.below(n)] = 1;
+      shaper_->start_partition(blocked_);
+      partition_until_ = now + plan_.partition_window;
+      window_open_ = true;
+      ++partitions_;
+      net_.announce_fault(ev.kind, kNoProcess, /*applied=*/true);
+      break;
+    }
+    case FaultKind::PartitionEnd:
+      break;  // emitted by pump(), never scheduled
+  }
+}
+
+}  // namespace fdp::net

@@ -1,0 +1,99 @@
+// FaultPlan execution on the live substrate.
+//
+// The simulator's FaultScheduler (sim/fault.hpp) injects mid-run
+// perturbations by wrapping the scheduler — a seam the live runtime does
+// not have (the kernel's datagram scheduling IS the scheduler). The
+// NetFaultInjector closes the asymmetry from the other side: it consumes
+// the SAME FaultPlan, is pumped once per runtime pump cycle, and uses the
+// runtime's action clock (NetRuntime::clock()) as the plan's step clock —
+// so one plan drives both substrates and a "crash at step 500" means the
+// same thing in a simulator trial and a live one.
+//
+// Fault classes map like this:
+//
+//  * CrashRestart / Scramble — victim picked uniformly over awake actors
+//    from the injector's own seeded stream, then the very same Process
+//    fault hooks the simulator uses (fault_crash_restart rebuilds an
+//    arbitrary-but-legal copy-store-send state from the references held;
+//    nothing is destroyed). The runtime's edge index is repaired via
+//    note_store_mutation, and the announce-before/after observer contract
+//    matches World::announce_fault, so RecoveryMonitor works unchanged.
+//  * DuplicateBurst — NetRuntime::duplicate_message, the live twin of the
+//    simulator's (fresh seq, client-side admission, references copied).
+//  * PartitionStart / PartitionEnd — realized in the medium: the injector
+//    draws a random ~half cut and severs it via
+//    ShapedTransport::start_partition. The plan's partition_window is in
+//    plan steps (= runtime actions), like the simulator's; the injector
+//    closes the window and announces PartitionEnd when the clock passes
+//    it. Frames destroyed by the window are recovered by the ledger
+//    retransmit protocol once it closes — delivery is delayed, never
+//    denied, unless the retransmit ceiling is exhausted first
+//    (NetConfig::retransmit_max_attempts), which the give-up counters
+//    make visible.
+//
+// The injector draws from a private Rng stream (mix the plan seed with
+// the trial seed, as run_to_legitimacy does), so a fault campaign over
+// MemTransport replays deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "net/runtime.hpp"
+#include "net/shaped_transport.hpp"
+#include "sim/fault.hpp"
+
+namespace fdp::net {
+
+class NetFaultInjector {
+ public:
+  /// `shaper` realizes partition windows; it may be null when the plan
+  /// opens none (checked at construction). `seed` seeds the private
+  /// fault stream.
+  NetFaultInjector(NetRuntime& net, ShapedTransport* shaper, FaultPlan plan,
+                   std::uint64_t seed);
+
+  /// Advance the plan against the runtime's current clock: close an
+  /// expired partition window, fire due scheduled events, roll the
+  /// stochastic regime once per elapsed clock step. Call once per pump
+  /// cycle.
+  void pump();
+
+  /// True once every scheduled event fired, the stochastic regime is
+  /// over and no partition window is open — the run may terminate
+  /// without cutting a perturbation short.
+  [[nodiscard]] bool exhausted() const {
+    return cursor_ >= plan_.events.size() &&
+           next_stochastic_step_ >= plan_.stochastic_until && !window_open_;
+  }
+  [[nodiscard]] bool partition_open() const { return window_open_; }
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t scrambles() const { return scrambles_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t partitions() const { return partitions_; }
+  /// Total applied perturbations (what RecoveryMonitor sees as `applied`
+  /// announcements, PartitionEnd aside).
+  [[nodiscard]] std::uint64_t injected() const {
+    return crashes_ + scrambles_ + bursts_ + partitions_;
+  }
+
+ private:
+  void apply(const FaultEvent& ev, std::uint64_t now);
+
+  NetRuntime& net_;
+  ShapedTransport* shaper_;
+  FaultPlan plan_;
+  Rng fault_rng_;
+  std::size_t cursor_ = 0;  ///< next unfired scheduled event
+  std::uint64_t next_stochastic_step_ = 0;
+  std::uint64_t partition_until_ = 0;
+  bool window_open_ = false;
+  std::vector<char> blocked_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t scrambles_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t partitions_ = 0;
+};
+
+}  // namespace fdp::net

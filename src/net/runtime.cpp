@@ -464,6 +464,17 @@ void NetRuntime::fire_timer(std::uint64_t payload) {
   // Queued: a flush already owns it. Only a frame still marked in-medium
   // is presumed lost and re-queued at its source.
   if (e == nullptr || e->where != Where::Sent) return;
+  if (cfg_.retransmit_max_attempts != 0 &&
+      e->attempts >= cfg_.retransmit_max_attempts) {
+    // Ceiling exhausted: stop retransmitting, keep the ledger entry (its
+    // references may never be destroyed — the oracle keeps reporting
+    // them in flight and the affected exit stalls, visibly). See
+    // NetConfig::retransmit_max_attempts for why this is a counted
+    // liveness signal rather than silent infinite retry.
+    ++retransmit_gave_up_;
+    if (e->src != kNoProcess) ++actors_[e->src].retransmit_gave_up;
+    return;
+  }
   e->where = Where::Queued;
   ++retransmits_;
   FDP_DCHECK(e->src != kNoProcess);
@@ -589,6 +600,89 @@ std::uint64_t NetRuntime::quiet_count() const {
         pending_[id].order.empty())
       ++n;
   return n;
+}
+
+// --- the fault surface (live twins of World's; see net/net_faults.hpp) ---
+
+std::uint64_t NetRuntime::awake_count() const {
+  std::uint64_t n = 0;
+  for (const Actor& a : actors_)
+    if (a.proc->life() == LifeState::Awake) ++n;
+  return n;
+}
+
+ProcessId NetRuntime::kth_awake(std::uint64_t k) const {
+  for (ProcessId id = 0; id < actors_.size(); ++id) {
+    if (actors_[id].proc->life() != LifeState::Awake) continue;
+    if (k == 0) return id;
+    --k;
+  }
+  FDP_CHECK_MSG(false, "kth_awake(k) with k >= awake_count()");
+  return kNoProcess;
+}
+
+std::uint64_t NetRuntime::live_message_count() const {
+  std::uint64_t n = 0;
+  for (ProcessId id = 0; id < actors_.size(); ++id)
+    if (!gone(id)) n += pending_[id].order.size();
+  return n;
+}
+
+std::pair<ProcessId, std::uint64_t> NetRuntime::kth_live_message(
+    std::uint64_t k) const {
+  for (ProcessId id = 0; id < actors_.size(); ++id) {
+    if (gone(id)) continue;
+    const Ledger& l = pending_[id];
+    if (k < l.order.size())
+      return {id, l.slots[l.order[k]].msg.seq};
+    k -= l.order.size();
+  }
+  FDP_CHECK_MSG(false, "kth_live_message(k) with k >= live_message_count()");
+  return {kNoProcess, 0};
+}
+
+bool NetRuntime::duplicate_message(ProcessId id, std::uint64_t seq) {
+  FDP_CHECK_MSG(started_, "duplicate_message before start()");
+  FDP_CHECK(id < actors_.size());
+  const LedgerEntry* src_e = pending_[id].find(seq);
+  if (src_e == nullptr) return false;
+  // Copy everything out of the source entry first: emplacing the copy may
+  // grow the same ledger's slot arena and invalidate src_e.
+  Message copy;
+  copy.set_verb(src_e->msg.verb());
+  copy.set_tag(src_e->msg.tag());
+  copy.token = src_e->msg.token;
+  pool_.assign_refs(copy.refs, std::span<const RefInfo>(
+                                   src_e->msg.refs.data(),
+                                   src_e->msg.refs.size()));
+  copy.seq = next_seq_++;
+  copy.stamp_enqueued(events_);
+  LedgerEntry& e = pending_[id].emplace(copy.seq);
+  e.msg = std::move(copy);
+  e.src = kNoProcess;
+  e.where = Where::Arrived;
+  e.attempts = 0;
+  if (edges_synced_ && !gone(id)) add_message_refs(id, e.msg);
+  Actor& a = actors_[id];
+  InEntry& in = a.inbox.push_slot();
+  in.seq = e.msg.seq;
+  in.msg.set_verb(e.msg.verb());
+  in.msg.set_tag(e.msg.tag());
+  in.msg.token = e.msg.token;
+  in.msg.seq = e.msg.seq;
+  in.msg.stamp_enqueued(e.msg.enqueued_lo());
+  pool_.assign_refs(in.msg.refs, std::span<const RefInfo>(
+                                     e.msg.refs.data(), e.msg.refs.size()));
+  mark_inbox_ready(id);
+  for (Observer* o : observers_) o->on_inject(*this, id, e.msg);
+  return true;
+}
+
+void NetRuntime::note_store_mutation(ProcessId id) {
+  FDP_CHECK(id < actors_.size());
+  // Only relevant once the index exists; an unsynced index rebuilds from
+  // the stores (including this mutation) at the next oracle query.
+  if (edges_synced_) apply_store_diff(id);
 }
 
 // --- the reference-edge instance index ---
@@ -772,6 +866,8 @@ const std::string& NetRuntime::monitor_json() const {
   j += std::to_string(throttle_skips_);
   j += ",\"retransmits\":";
   j += std::to_string(retransmits_);
+  j += ",\"retransmit_gave_up\":";
+  j += std::to_string(retransmit_gave_up_);
   j += ",\"exits\":";
   j += std::to_string(exits_);
   j += ",\"processes\":[";
@@ -802,6 +898,10 @@ const std::string& NetRuntime::monitor_json() const {
     j += std::to_string(refs_scratch_.size());
     j += ",\"channel\":";
     j += std::to_string(pending_[id].order.size());
+    if (actors_[id].retransmit_gave_up > 0) {
+      j += ",\"gave_up\":";
+      j += std::to_string(actors_[id].retransmit_gave_up);
+    }
     j += '}';
   }
   j += ']';

@@ -116,6 +116,17 @@ struct NetConfig {
   /// Pump ticks before a frame on a lossy transport is presumed lost and
   /// re-queued (doubles per attempt, capped). 0 disables retransmission.
   std::uint32_t retransmit_ticks = 32;
+  /// Send attempts per frame before the runtime stops retransmitting it
+  /// (0 = retry forever). The ledger entry survives a give-up — the
+  /// references it carries may never be destroyed — so the oracle keeps
+  /// reporting them in flight and the affected exit stalls: give-up
+  /// converts an invisible infinite retry (e.g. into a permanent
+  /// partition) into a counted, monitorable liveness signal. At the
+  /// default ceiling a frame survives ~30 independent losses; even at
+  /// 20% loss the chance of exhausting it is ~1e-21 per frame, so any
+  /// nonzero retransmit_gave_up in a non-partitioned run is a bug, and
+  /// E13/E14 assert exactly that.
+  std::uint32_t retransmit_max_attempts = 30;
   /// Pump ticks a throttled actor's timeout is deferred by.
   std::uint32_t throttle_backoff_ticks = 4;
 };
@@ -163,6 +174,37 @@ class NetRuntime final : public Substrate {
 
   void set_oracle(OracleFn fn) { oracle_ = std::move(fn); }
   void add_observer(Observer* obs) { observers_.push_back(obs); }
+
+  // --- fault injection (the live twins of World's fault surface; used
+  // --- by net/net_faults.hpp to drive a FaultPlan on this substrate) ---
+
+  /// Announce a runtime fault to every observer (same before/after
+  /// contract as World::announce_fault; see Observer::on_fault).
+  void announce_fault(FaultKind kind, ProcessId target, bool applied) {
+    for (Observer* o : observers_) o->on_fault(*this, kind, target, applied);
+  }
+  /// Awake-actor count / k-th awake actor in ascending id order. O(n)
+  /// scans: fault victim selection is rare (per fault, not per pump), so
+  /// the simulator's Fenwick roster would be dead weight here.
+  [[nodiscard]] std::uint64_t awake_count() const;
+  [[nodiscard]] ProcessId kth_awake(std::uint64_t k) const;
+  /// Admitted-but-undelivered messages owned by non-gone actors (the
+  /// duplication adversary's pick pool; gone actors' messages can never
+  /// be delivered, so duplicating them perturbs nothing).
+  [[nodiscard]] std::uint64_t live_message_count() const;
+  /// The k-th live message in (actor ascending, ledger order) order.
+  [[nodiscard]] std::pair<ProcessId, std::uint64_t> kth_live_message(
+      std::uint64_t k) const;
+  /// Admit a copy of a ledgered message (fresh seq) straight into its
+  /// destination's inbox — adversarial duplication, the live twin of
+  /// World::duplicate_message: references are only ever copied, and the
+  /// copy needs no wire hop (an adversarial Introduction is client-side
+  /// admission, exactly like inject()). Returns true when `seq` existed.
+  bool duplicate_message(ProcessId id, std::uint64_t seq);
+  /// Repair the edge index after a fault hook mutated an actor's store
+  /// behind the action stream's back (crash-restart / scramble call the
+  /// Process fault hooks directly; the per-action diff never sees it).
+  void note_store_mutation(ProcessId id);
 
   /// Open the transport endpoints (and the monitor socket, if configured)
   /// and arm the timeout timers. Population is frozen from here on.
@@ -236,6 +278,16 @@ class NetRuntime final : public Substrate {
   }
   /// Frames re-queued by the retransmit timer (lossy transports only).
   [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  /// Frames whose retransmit ceiling was exhausted (total / per source
+  /// actor). Nonzero outside a partition window means the medium is worse
+  /// than the ceiling was provisioned for — E13/E14 assert 0.
+  [[nodiscard]] std::uint64_t retransmit_gave_up() const {
+    return retransmit_gave_up_;
+  }
+  [[nodiscard]] std::uint64_t actor_retransmit_gave_up(ProcessId id) const {
+    FDP_CHECK(id < actors_.size());
+    return actors_[id].retransmit_gave_up;
+  }
   /// Admitted-but-undelivered messages across all destinations.
   [[nodiscard]] std::uint64_t in_flight() const;
   /// Pump cycles completed (the timer wheel's tick clock).
@@ -269,6 +321,8 @@ class NetRuntime final : public Substrate {
     FlatMap64<std::uint32_t> out_counts;
     /// Destinations at or above the high-water mark (throttling is O(1)).
     std::uint32_t over_high_water = 0;
+    /// Frames this actor sent whose retransmit ceiling was exhausted.
+    std::uint64_t retransmit_gave_up = 0;
     bool timer_armed = false;
     bool outbox_dirty = false;  ///< queued in dirty_outboxes_
     bool inbox_ready = false;   ///< queued in ready_inboxes_
@@ -369,6 +423,7 @@ class NetRuntime final : public Substrate {
   std::uint64_t stale_frames_ = 0;
   std::uint64_t throttle_skips_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t retransmit_gave_up_ = 0;
   std::size_t executed_this_pump_ = 0;
   int monitor_fd_ = -1;
   std::uint16_t monitor_port_ = 0;

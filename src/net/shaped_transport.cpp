@@ -1,0 +1,188 @@
+#include "net/shaped_transport.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace fdp::net {
+
+std::string ShapeConfig::validate() const {
+  auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!prob_ok(loss) || !prob_ok(burst_to_bad) || !prob_ok(burst_to_good) ||
+      !prob_ok(burst_loss) || !prob_ok(reorder) || !prob_ok(duplicate)) {
+    return "shaping probabilities must lie in [0, 1]";
+  }
+  if (burst_to_bad > 0.0 && burst_to_good <= 0.0) {
+    return "burst_to_good must be positive when burst loss is enabled "
+           "(a link that never leaves the bad state is a partition, not "
+           "burst loss)";
+  }
+  if (reorder > 0.0 && reorder_ticks == 0) {
+    return "reorder_ticks must be positive when reordering is enabled";
+  }
+  return "";
+}
+
+ShapedTransport::ShapedTransport(std::unique_ptr<Transport> inner,
+                                 ShapeConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg) {
+  FDP_CHECK_MSG(inner_ != nullptr, "ShapedTransport needs an inner medium");
+  const std::string complaint = cfg_.validate();
+  FDP_CHECK_MSG(complaint.empty(), complaint.c_str());
+  name_ = std::string("shaped+") + inner_->name();
+}
+
+void ShapedTransport::open(std::size_t n) {
+  inner_->open(n);
+  blocked_.assign(n, 0);
+}
+
+ShapedTransport::Link& ShapedTransport::link(ProcessId src, ProcessId dst) {
+  // +1 keeps the (0, 0) link off the FlatMap64 empty-key sentinel.
+  const std::uint64_t key =
+      ((static_cast<std::uint64_t>(src) << 32) | dst) + 1;
+  const std::uint32_t* idx = link_index_.find(key);
+  if (idx != nullptr) return links_[*idx];
+  // The link stream is a pure function of (shaper seed, src, dst):
+  // shaping decisions on one link never depend on what other links
+  // carried in between — the determinism contract in the file comment.
+  std::uint64_t mix = cfg_.seed + key * 0x9E3779B97F4A7C15ULL;
+  const std::uint32_t slot = static_cast<std::uint32_t>(links_.size());
+  links_.emplace_back(splitmix64(mix));
+  link_index_.emplace(key, slot);
+  return links_[slot];
+}
+
+bool ShapedTransport::try_send(ProcessId src, ProcessId dst,
+                               const std::uint8_t* data, std::size_t len) {
+  shape(src, dst, data, len);
+  return true;
+}
+
+std::size_t ShapedTransport::try_send_many(ProcessId src,
+                                           const FrameView* frames,
+                                           std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    shape(src, frames[i].dst, frames[i].data, frames[i].len);
+  return count;
+}
+
+void ShapedTransport::shape(ProcessId src, ProcessId dst,
+                            const std::uint8_t* data, std::size_t len) {
+  ++shape_stats_.shaped;
+  // An open window severs the link outright; the datagram is accepted
+  // and destroyed (the sender's ledger entry survives to retransmit).
+  if (severed(src, dst)) {
+    ++shape_stats_.dropped_partition;
+    return;
+  }
+  Link& l = link(src, dst);
+  // Gilbert–Elliott: step the chain once per datagram, then sample loss
+  // from the state it landed in.
+  if (cfg_.burst_to_bad > 0.0) {
+    if (l.bad) {
+      if (l.rng.chance(cfg_.burst_to_good)) l.bad = false;
+    } else if (l.rng.chance(cfg_.burst_to_bad)) {
+      l.bad = true;
+    }
+    if (l.bad && l.rng.chance(cfg_.burst_loss)) {
+      ++shape_stats_.dropped_burst;
+      return;
+    }
+  }
+  if (cfg_.loss > 0.0 && l.rng.chance(cfg_.loss)) {
+    ++shape_stats_.dropped_loss;
+    return;
+  }
+  std::uint64_t delay = cfg_.latency_ticks;
+  if (cfg_.jitter_ticks > 0) delay += l.rng.below(cfg_.jitter_ticks + 1);
+  if (cfg_.reorder > 0.0 && l.rng.chance(cfg_.reorder)) {
+    // Held back past its cohort: datagrams shaped later (with smaller
+    // delays) overtake it — bounded reordering.
+    delay += 1 + l.rng.below(cfg_.reorder_ticks);
+    ++shape_stats_.reordered;
+  }
+  hold(src, dst, data, len, delay);
+  if (cfg_.duplicate > 0.0 && l.rng.chance(cfg_.duplicate)) {
+    ++shape_stats_.duplicated;
+    hold(src, dst, data, len, delay + 1 + l.rng.below(
+        cfg_.reorder_ticks > 0 ? cfg_.reorder_ticks : 4));
+  }
+}
+
+void ShapedTransport::hold(ProcessId src, ProcessId dst,
+                           const std::uint8_t* data, std::size_t len,
+                           std::uint64_t delay) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Held& h = slots_[slot];
+  h.src = src;
+  h.dst = dst;
+  if (h.bytes.size() < len) h.bytes.resize(len);
+  std::memcpy(h.bytes.data(), data, len);
+  h.len = len;
+  ++held_count_;
+  // schedule() clamps a due-now tick to tick_ + 1: a datagram is never
+  // delivered inside the poll that accepted it, even at zero latency.
+  wheel_.schedule(tick_ + delay, slot);
+}
+
+void ShapedTransport::release(std::uint32_t slot) {
+  FDP_DCHECK(held_count_ > 0);
+  --held_count_;
+  free_.push_back(slot);
+}
+
+void ShapedTransport::forward(std::uint32_t slot) {
+  Held& h = slots_[slot];
+  // The link is checked again at delivery: a window opened while the
+  // datagram was in the delay queue still severs it (the cut is a
+  // property of the medium at delivery time, not of the send).
+  if (severed(h.src, h.dst)) {
+    ++shape_stats_.dropped_partition;
+    release(slot);
+    return;
+  }
+  if (inner_->try_send(h.src, h.dst, h.bytes.data(), h.len)) {
+    ++shape_stats_.delivered;
+    release(slot);
+    return;
+  }
+  retry_.push_back(slot);  // inner medium full: retry next poll
+}
+
+void ShapedTransport::poll(int timeout_ms, const RxFn& rx) {
+  ++tick_;
+  if (partition_open_ && partition_until_ != 0 && tick_ >= partition_until_)
+    partition_open_ = false;
+  if (!retry_.empty()) {
+    retry_scratch_.clear();
+    retry_scratch_.swap(retry_);
+    for (const std::uint32_t slot : retry_scratch_) forward(slot);
+  }
+  wheel_.advance(tick_, [this](std::uint64_t payload) {
+    forward(static_cast<std::uint32_t>(payload));
+  });
+  inner_->poll(timeout_ms, rx);
+}
+
+void ShapedTransport::start_partition(const std::vector<char>& blocked,
+                                      std::uint64_t until_tick) {
+  FDP_CHECK_MSG(cfg_.partitions,
+                "partition window on a shaper not configured for them "
+                "(ShapeConfig::partitions gates lossy(), which the runtime "
+                "samples at start())");
+  FDP_CHECK_MSG(blocked.size() == blocked_.size(),
+                "partition cut size does not match the endpoint count");
+  blocked_ = blocked;
+  partition_open_ = true;
+  partition_until_ = until_tick;
+}
+
+}  // namespace fdp::net

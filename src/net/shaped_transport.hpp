@@ -1,0 +1,207 @@
+// Deterministic link shaping for the live runtime — tc netem in-process.
+//
+// ShapedTransport decorates any Transport with per-link traffic shaping:
+// Bernoulli loss, Gilbert–Elliott burst loss, fixed latency plus jittered
+// delay, bounded reordering, duplication, and timed bidirectional
+// partition windows. The decorated medium is what E14 measures the
+// retransmit protocol against, and what the live fault injector
+// (net/net_faults.hpp) uses to realize FaultPlan partition windows.
+//
+// ## Shaping unit: the datagram
+//
+// The runtime coalesces frames that share a destination into one datagram
+// before the transport sees them, so the shaper's unit is the datagram —
+// exactly tc netem's: every frame inside a lost datagram is lost together
+// (shared fate). The ledger tracks each frame's seq independently, so a
+// multi-frame loss is recovered one retransmit per frame; the duplicates
+// a duplicated datagram creates are dropped as stale by the ledger state
+// machine, like any other duplicate.
+//
+// ## Determinism contract
+//
+// Every shaping decision draws from a per-link Rng stream seeded by
+// mixing the shaper seed with the (src, dst) pair, and the delay queue
+// runs on the same hierarchical TimerWheel as the runtime (one tick per
+// poll, insertion-order firing within a tick). Decisions therefore depend
+// only on the link's own datagram sequence — never on cross-link
+// interleaving — so a ShapedTransport-over-MemTransport run is a pure
+// function of (population seed, shaper seed): the compound-chaos tests
+// replay it exactly, and the E14 loss grid is reproducible row by row.
+// Over UDP the same stream shapes a kernel-scheduled frame order, so
+// runs are honest but not replayable — same as unshapen UDP.
+//
+// ## What shaping never does
+//
+// The shaper destroys datagrams only in ways the retransmit protocol is
+// built to recover (the sender's ledger entry survives every drop); it
+// never reaches into the runtime's state. Loss + retransmission composes
+// to delay, which the paper's model absorbs — see DESIGN.md "Fault
+// model" and docs/substrate_idioms.md §4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/timer_wheel.hpp"
+#include "net/transport.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace fdp::net {
+
+/// Per-link shaping parameters. All probabilities are per *datagram*.
+struct ShapeConfig {
+  /// Seed of the shaping streams (mixed per link; independent of the
+  /// runtime's protocol RNG).
+  std::uint64_t seed = 1;
+
+  /// Bernoulli loss probability.
+  double loss = 0.0;
+
+  // Gilbert–Elliott burst loss: a per-link good/bad Markov chain stepped
+  // once per datagram; datagrams sampled in the bad state are lost with
+  // `burst_loss`. Disabled while `burst_to_bad` is 0.
+  double burst_to_bad = 0.0;   ///< P(good -> bad) per datagram
+  double burst_to_good = 0.25; ///< P(bad -> good) per datagram
+  double burst_loss = 0.75;    ///< loss probability while in the bad state
+
+  /// Fixed delivery delay, in poll ticks (0 still incurs the one-tick
+  /// queue hop: a shaped datagram is never delivered in the poll that
+  /// accepted it).
+  std::uint32_t latency_ticks = 0;
+  /// Uniform extra delay in [0, jitter_ticks] ticks.
+  std::uint32_t jitter_ticks = 0;
+
+  /// Probability a datagram is held back an extra 1..reorder_ticks ticks
+  /// — bounded reordering: it arrives after datagrams shaped later.
+  double reorder = 0.0;
+  std::uint32_t reorder_ticks = 4;
+
+  /// Probability a datagram is delivered twice (the copy rides the delay
+  /// queue separately, so the pair may arrive in either order).
+  double duplicate = 0.0;
+
+  /// Declare partition capability up front: the runtime samples lossy()
+  /// once at start(), so a transport that will host fault-injected
+  /// partition windows must already report itself lossy even when every
+  /// probability above is 0.
+  bool partitions = false;
+
+  /// True when this configuration can destroy datagrams.
+  [[nodiscard]] bool can_lose() const {
+    return loss > 0.0 || burst_to_bad > 0.0 || partitions;
+  }
+
+  /// "" when well-formed, else a human-readable complaint.
+  [[nodiscard]] std::string validate() const;
+};
+
+/// Shaping outcome counters (datagram granularity).
+struct ShapeStats {
+  std::uint64_t shaped = 0;             ///< datagrams accepted for shaping
+  std::uint64_t delivered = 0;          ///< handed to the inner medium
+  std::uint64_t dropped_loss = 0;       ///< Bernoulli losses
+  std::uint64_t dropped_burst = 0;      ///< Gilbert–Elliott bad-state losses
+  std::uint64_t dropped_partition = 0;  ///< destroyed by an open window
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_loss + dropped_burst + dropped_partition;
+  }
+};
+
+class ShapedTransport final : public Transport {
+ public:
+  ShapedTransport(std::unique_ptr<Transport> inner, ShapeConfig cfg);
+
+  void open(std::size_t n) override;
+  /// Always accepts: the shaper's delay queue is unbounded (back-pressure
+  /// stays where it belongs — at the inner medium, surfaced when held
+  /// datagrams are forwarded).
+  bool try_send(ProcessId src, ProcessId dst, const std::uint8_t* data,
+                std::size_t len) override;
+  std::size_t try_send_many(ProcessId src, const FrameView* frames,
+                            std::size_t count) override;
+  /// One shaper tick per poll: forward due datagrams into the inner
+  /// medium (EAGAIN re-queues for the next poll), then poll it.
+  void poll(int timeout_ms, const RxFn& rx) override;
+  [[nodiscard]] std::size_t in_medium() const override {
+    return held_count_ + retry_.size() + inner_->in_medium();
+  }
+  [[nodiscard]] bool lossy() const override {
+    return cfg_.can_lose() || inner_->lossy();
+  }
+  [[nodiscard]] TransportStats stats() const override {
+    return inner_->stats();
+  }
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+  // --- partition windows ---
+
+  /// Open a bidirectional partition: datagrams with exactly one endpoint
+  /// in `blocked` (size n, nonzero = blocked side) are destroyed — both
+  /// fresh sends and held datagrams coming due while the window is open.
+  /// `until_tick` > 0 closes the window automatically at that shaper
+  /// tick; 0 keeps it open until end_partition().
+  void start_partition(const std::vector<char>& blocked,
+                       std::uint64_t until_tick = 0);
+  void end_partition() { partition_open_ = false; }
+  [[nodiscard]] bool partition_open() const { return partition_open_; }
+
+  /// Shaper clock: polls completed (the delay queue's tick unit).
+  [[nodiscard]] std::uint64_t now() const { return tick_; }
+  [[nodiscard]] const ShapeStats& shape_stats() const { return shape_stats_; }
+  [[nodiscard]] Transport& inner() { return *inner_; }
+
+ private:
+  /// One delayed datagram; byte capacity is recycled through the free
+  /// list, so the steady-state delay queue allocates nothing.
+  struct Held {
+    ProcessId src = kNoProcess;
+    ProcessId dst = kNoProcess;
+    std::vector<std::uint8_t> bytes;
+    std::size_t len = 0;
+  };
+  /// Per-link shaping state: a private Rng stream plus the
+  /// Gilbert–Elliott chain position.
+  struct Link {
+    Rng rng;
+    bool bad = false;
+    explicit Link(std::uint64_t seed) : rng(seed) {}
+  };
+
+  Link& link(ProcessId src, ProcessId dst);
+  void shape(ProcessId src, ProcessId dst, const std::uint8_t* data,
+             std::size_t len);
+  void hold(ProcessId src, ProcessId dst, const std::uint8_t* data,
+            std::size_t len, std::uint64_t delay);
+  void forward(std::uint32_t slot);
+  void release(std::uint32_t slot);
+  [[nodiscard]] bool severed(ProcessId src, ProcessId dst) const {
+    return partition_open_ && src < blocked_.size() &&
+           dst < blocked_.size() && (blocked_[src] != blocked_[dst]);
+  }
+
+  std::unique_ptr<Transport> inner_;
+  ShapeConfig cfg_;
+  std::string name_;
+  ShapeStats shape_stats_;
+  TimerWheel wheel_;
+  std::uint64_t tick_ = 0;
+  std::vector<Held> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t held_count_ = 0;
+  /// Due datagrams the inner medium refused (EAGAIN); retried FIFO at the
+  /// start of the next poll, before new expiries.
+  std::vector<std::uint32_t> retry_;
+  std::vector<std::uint32_t> retry_scratch_;
+  FlatMap64<std::uint32_t> link_index_;
+  std::vector<Link> links_;
+  bool partition_open_ = false;
+  std::uint64_t partition_until_ = 0;  ///< 0 = manual close
+  std::vector<char> blocked_;
+};
+
+}  // namespace fdp::net

@@ -1,0 +1,214 @@
+// NetFaultInjector: the FaultPlan running on the live substrate (ISSUE
+// 10). The simulator's fault campaign (tests/test_fault.cpp, E10) pins
+// that mid-run perturbations never break safety and always recover; these
+// tests pin the same contract on the socket runtime — same plan type,
+// same Process fault hooks, same observer announcements — plus the
+// runtime-only machinery: the retransmit give-up ceiling under a
+// permanent partition, and byte-identical campaign replay over the
+// deterministic transport.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/monitors.hpp"
+#include "analysis/scenario.hpp"
+#include "core/framework.hpp"
+#include "net/live_scenario.hpp"
+#include "net/net_faults.hpp"
+#include "net/shaped_transport.hpp"
+#include "overlay/topology_checks.hpp"
+
+namespace fdp::net {
+namespace {
+
+ScenarioConfig churn_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.random_anchor_prob = 0.2;
+  cfg.inflight_per_node = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct CampaignResult {
+  std::uint64_t exits = 0;
+  std::vector<ProcessId> gone;
+  std::uint64_t clock = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t scrambles = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t safety_violations = 0;
+  bool done = false;
+  bool recovered = false;
+};
+
+/// Run an E4-style churn scenario over ShapedTransport(MemTransport) with
+/// `plan` injected live. Deterministic end to end.
+CampaignResult run_campaign(const ScenarioConfig& cfg, const FaultPlan& plan,
+                            ShapeConfig shape) {
+  auto shaped = std::make_unique<ShapedTransport>(
+      std::make_unique<MemTransport>(), shape);
+  ShapedTransport* sp = shaped.get();
+  NetConfig rcfg;
+  rcfg.retransmit_ticks = 8;
+  LiveScenario sc = build_live_framework_scenario(cfg, "linearization",
+                                                  std::move(shaped), rcfg);
+  SafetyMonitor safety(*sc.net, 1);
+  sc.net->add_observer(&safety);
+  RecoveryMonitor recovery(*sc.net);
+  sc.net->add_observer(&recovery);
+  NetFaultInjector injector(*sc.net, sp, plan, cfg.seed ^ plan.seed);
+
+  CampaignResult res;
+  bool done = false;
+  for (int pumps = 0; pumps < 200'000 && !done; ++pumps) {
+    injector.pump();
+    sc.net->pump(0);
+    done = injector.exhausted() && all_leaving_gone(*sc.net) &&
+           check_topology(*sc.net, "linearization").converged;
+  }
+  recovery.finalize(*sc.net);
+  res.done = done;
+  res.exits = sc.net->exits();
+  for (ProcessId p = 0; p < sc.net->size(); ++p)
+    if (sc.net->gone(p)) res.gone.push_back(p);
+  res.clock = sc.net->clock();
+  res.crashes = injector.crashes();
+  res.scrambles = injector.scrambles();
+  res.duplicates = injector.duplicates();
+  res.partitions = injector.partitions();
+  res.retransmits = sc.net->retransmits();
+  res.gave_up = sc.net->retransmit_gave_up();
+  res.safety_violations = safety.violations().size();
+  res.recovered = recovery.all_recovered();
+  return res;
+}
+
+TEST(NetFaults, CrashRestartRecoversOnLive) {
+  FaultPlan plan;
+  plan.at(30, FaultKind::CrashRestart).at(90, FaultKind::CrashRestart);
+  const CampaignResult r = run_campaign(churn_config(3), plan, ShapeConfig{});
+  EXPECT_TRUE(r.done) << "departures stalled after live crash-restarts";
+  EXPECT_EQ(r.crashes, 2u);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_TRUE(r.recovered) << "a perturbation never re-reached legitimacy";
+}
+
+TEST(NetFaults, ScrambleRecoversOnLive) {
+  FaultPlan plan;
+  plan.at(25, FaultKind::Scramble, 3);
+  const CampaignResult r = run_campaign(churn_config(4), plan, ShapeConfig{});
+  EXPECT_TRUE(r.done);
+  EXPECT_GE(r.scrambles, 1u);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_TRUE(r.recovered);
+}
+
+TEST(NetFaults, DuplicateBurstIsHarmless) {
+  FaultPlan plan;
+  plan.at(10, FaultKind::DuplicateBurst, 8)
+      .at(40, FaultKind::DuplicateBurst, 8)
+      .at(80, FaultKind::DuplicateBurst, 8);
+  const CampaignResult r = run_campaign(churn_config(5), plan, ShapeConfig{});
+  EXPECT_TRUE(r.done);
+  // With corrupted-in-flight churn there are live messages at these
+  // steps; at least one burst must have found targets.
+  EXPECT_GT(r.duplicates, 0u);
+  EXPECT_EQ(r.safety_violations, 0u);
+}
+
+TEST(NetFaults, PartitionWindowDelaysButNeverDenies) {
+  FaultPlan plan;
+  plan.at(40, FaultKind::PartitionStart);
+  plan.partition_window = 300;
+  ShapeConfig shape;
+  shape.partitions = true;
+  const CampaignResult r = run_campaign(churn_config(6), plan, shape);
+  EXPECT_TRUE(r.done) << "the healed overlay must still drain every leaver";
+  EXPECT_EQ(r.partitions, 1u);
+  // Frames crossing the cut were destroyed and came back via retransmit.
+  EXPECT_GT(r.retransmits, 0u);
+  EXPECT_EQ(r.safety_violations, 0u);
+  // The window is bounded, so the ceiling must not be exhausted.
+  EXPECT_EQ(r.gave_up, 0u);
+}
+
+TEST(NetFaults, CompoundCampaignReplaysByteIdentically) {
+  FaultPlan plan;
+  plan.at(20, FaultKind::CrashRestart)
+      .at(50, FaultKind::DuplicateBurst, 4)
+      .at(70, FaultKind::Scramble, 2)
+      .at(100, FaultKind::PartitionStart);
+  plan.partition_window = 150;
+  ShapeConfig shape;
+  shape.partitions = true;
+  shape.loss = 0.05;
+  shape.latency_ticks = 1;
+  shape.jitter_ticks = 2;
+  const CampaignResult a = run_campaign(churn_config(7), plan, shape);
+  const CampaignResult b = run_campaign(churn_config(7), plan, shape);
+  EXPECT_TRUE(a.done);
+  EXPECT_EQ(a.safety_violations, 0u);
+  EXPECT_EQ(a.exits, b.exits);
+  EXPECT_EQ(a.gone, b.gone);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.scrambles, b.scrambles);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+}
+
+TEST(NetFaults, InjectorWithoutShaperRejectsPartitionPlans) {
+  ScenarioConfig cfg = churn_config(8);
+  cfg.n = 4;
+  LiveScenario sc = build_live_framework_scenario(
+      cfg, "linearization", std::make_unique<MemTransport>());
+  FaultPlan plan;
+  plan.at(10, FaultKind::PartitionStart);
+  EXPECT_DEATH((NetFaultInjector{*sc.net, nullptr, plan, 1}),
+               "no ShapedTransport");
+}
+
+// A permanent partition is the one fault class the retransmit protocol
+// cannot out-wait: the ceiling must trip, the give-up counters must say
+// where, and the monitor JSON must carry both (the satellite-2 contract).
+TEST(NetFaults, PermanentPartitionExhaustsTheRetransmitCeiling) {
+  ScenarioConfig cfg = churn_config(9);
+  ShapeConfig shape;
+  shape.partitions = true;
+  auto shaped = std::make_unique<ShapedTransport>(
+      std::make_unique<MemTransport>(), shape);
+  ShapedTransport* sp = shaped.get();
+  NetConfig rcfg;
+  rcfg.retransmit_ticks = 2;
+  rcfg.retransmit_max_attempts = 3;
+  LiveScenario sc = build_live_framework_scenario(cfg, "linearization",
+                                                  std::move(shaped), rcfg);
+  std::vector<char> blocked(cfg.n, 0);
+  for (std::size_t p = 0; p < cfg.n; p += 2) blocked[p] = 1;
+  sp->start_partition(blocked);  // never closed
+  for (int pumps = 0; pumps < 4'000; ++pumps) sc.net->pump(0);
+
+  EXPECT_GT(sc.net->retransmit_gave_up(), 0u)
+      << "a permanent cut must exhaust the ceiling";
+  std::uint64_t per_actor = 0;
+  for (ProcessId p = 0; p < sc.net->size(); ++p)
+    per_actor += sc.net->actor_retransmit_gave_up(p);
+  EXPECT_EQ(per_actor, sc.net->retransmit_gave_up())
+      << "per-actor counters must sum to the total";
+  const std::string& doc = sc.net->monitor_json();
+  EXPECT_NE(doc.find("\"retransmit_gave_up\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"gave_up\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdp::net

@@ -1,0 +1,350 @@
+// ShapedTransport: deterministic link shaping (ISSUE 10).
+//
+// Two layers of pinning:
+//  * transport-level — each shaping feature (delay, loss, burst loss,
+//    reorder, duplication, partitions) observed directly on raw frames,
+//    plus the delay-queue determinism contract: same seed, same send
+//    sequence => byte-identical delivery order.
+//  * protocol-level — the compound-chaos grid: loss x duplication x
+//    reorder applied SIMULTANEOUSLY to an E4-style churn run must reach
+//    the same outcome (gone set, stayer topology) as the clean
+//    MemTransport run from the same population seed. Chaos perturbs the
+//    schedule; self-stabilization promises the outcome is schedule-free,
+//    and the linearization overlay's legitimate topology is unique, so
+//    "same outcome" is byte-comparable (the substrate-equivalence idiom).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "core/framework.hpp"
+#include "net/live_scenario.hpp"
+#include "net/shaped_transport.hpp"
+#include "overlay/topology_checks.hpp"
+
+namespace fdp::net {
+namespace {
+
+/// One received frame, as the RxFn saw it.
+struct Rx {
+  ProcessId dst;
+  std::vector<std::uint8_t> bytes;
+  bool operator==(const Rx&) const = default;
+};
+
+RxFn collector(std::vector<Rx>& out) {
+  return [&out](ProcessId dst, const std::uint8_t* data, std::size_t len) {
+    out.push_back(Rx{dst, {data, data + len}});
+  };
+}
+
+/// Send `count` one-byte frames round-robin over a few links.
+void send_pattern(ShapedTransport& t, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t payload = static_cast<std::uint8_t>(i);
+    EXPECT_TRUE(t.try_send(static_cast<ProcessId>(i % 3),
+                           static_cast<ProcessId>(1 + i % 3), &payload, 1));
+  }
+}
+
+TEST(ShapedTransport, ZeroLatencyStillCostsOneTick) {
+  ShapedTransport t(std::make_unique<MemTransport>(), ShapeConfig{});
+  t.open(4);
+  const std::uint8_t b = 42;
+  ASSERT_TRUE(t.try_send(0, 1, &b, 1));
+  EXPECT_EQ(t.in_medium(), 1u);
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  t.poll(0, rx);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].dst, 1u);
+  EXPECT_EQ(got[0].bytes[0], 42u);
+  EXPECT_EQ(t.in_medium(), 0u);
+}
+
+TEST(ShapedTransport, FixedLatencyDelaysDelivery) {
+  ShapeConfig cfg;
+  cfg.latency_ticks = 5;
+  ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+  t.open(4);
+  const std::uint8_t b = 7;
+  ASSERT_TRUE(t.try_send(0, 1, &b, 1));
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  for (int i = 0; i < 4; ++i) t.poll(0, rx);
+  EXPECT_TRUE(got.empty()) << "delivered before the configured latency";
+  t.poll(0, rx);
+  ASSERT_EQ(got.size(), 1u);
+}
+
+TEST(ShapedTransport, CertainLossDestroysEverything) {
+  ShapeConfig cfg;
+  cfg.loss = 1.0;
+  ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+  EXPECT_TRUE(t.lossy());
+  t.open(4);
+  send_pattern(t, 32);
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  for (int i = 0; i < 8; ++i) t.poll(0, rx);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(t.shape_stats().dropped_loss, 32u);
+  EXPECT_EQ(t.shape_stats().delivered, 0u);
+}
+
+TEST(ShapedTransport, GilbertElliottLosesInBursts) {
+  ShapeConfig cfg;
+  cfg.seed = 9;
+  cfg.burst_to_bad = 0.2;
+  cfg.burst_to_good = 0.3;
+  cfg.burst_loss = 1.0;
+  ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+  EXPECT_TRUE(t.lossy());
+  t.open(4);
+  send_pattern(t, 400);
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  for (int i = 0; i < 16; ++i) t.poll(0, rx);
+  const ShapeStats& st = t.shape_stats();
+  // The chain must visit both states: some datagrams die in the bad
+  // state, some survive the good one.
+  EXPECT_GT(st.dropped_burst, 0u);
+  EXPECT_GT(st.delivered, 0u);
+  EXPECT_EQ(st.dropped_burst + st.delivered, 400u);
+  EXPECT_EQ(got.size(), st.delivered);
+}
+
+TEST(ShapedTransport, DuplicationDeliversTwice) {
+  ShapeConfig cfg;
+  cfg.duplicate = 1.0;
+  ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+  // Duplication alone cannot lose a frame; the medium stays non-lossy.
+  EXPECT_FALSE(t.lossy());
+  t.open(4);
+  send_pattern(t, 10);
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  for (int i = 0; i < 16; ++i) t.poll(0, rx);
+  EXPECT_EQ(got.size(), 20u);
+  EXPECT_EQ(t.shape_stats().duplicated, 10u);
+}
+
+TEST(ShapedTransport, PartitionSeversExactlyTheCut) {
+  ShapeConfig cfg;
+  cfg.partitions = true;
+  ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+  EXPECT_TRUE(t.lossy()) << "partition capability must declare lossiness";
+  t.open(4);
+  t.start_partition({0, 1, 0, 0});  // actor 1 is cut off
+  const std::uint8_t b = 1;
+  ASSERT_TRUE(t.try_send(0, 1, &b, 1));  // crosses the cut: destroyed
+  ASSERT_TRUE(t.try_send(0, 2, &b, 1));  // same side: passes
+  ASSERT_TRUE(t.try_send(1, 0, &b, 1));  // crosses (bidirectional)
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  for (int i = 0; i < 4; ++i) t.poll(0, rx);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].dst, 2u);
+  EXPECT_EQ(t.shape_stats().dropped_partition, 2u);
+
+  t.end_partition();
+  ASSERT_TRUE(t.try_send(0, 1, &b, 1));
+  for (int i = 0; i < 4; ++i) t.poll(0, rx);
+  EXPECT_EQ(got.size(), 2u) << "the healed link must carry frames again";
+}
+
+TEST(ShapedTransport, PartitionSeversHeldFramesAtDeliveryTime) {
+  ShapeConfig cfg;
+  cfg.partitions = true;
+  cfg.latency_ticks = 10;
+  ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+  t.open(2);
+  const std::uint8_t b = 1;
+  ASSERT_TRUE(t.try_send(0, 1, &b, 1));  // clean at send time
+  t.start_partition({0, 1});             // window opens while it is held
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  for (int i = 0; i < 16; ++i) t.poll(0, rx);
+  EXPECT_TRUE(got.empty()) << "the cut is a property of delivery time";
+  EXPECT_EQ(t.shape_stats().dropped_partition, 1u);
+}
+
+TEST(ShapedTransport, TimedWindowClosesOnItsOwn) {
+  ShapeConfig cfg;
+  cfg.partitions = true;
+  ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+  t.open(2);
+  t.start_partition({0, 1}, /*until_tick=*/4);
+  std::vector<Rx> got;
+  const RxFn rx = collector(got);
+  const std::uint8_t b = 1;
+  ASSERT_TRUE(t.try_send(0, 1, &b, 1));
+  t.poll(0, rx);  // tick 1: window open, frame destroyed
+  EXPECT_TRUE(t.partition_open());
+  for (int i = 0; i < 4; ++i) t.poll(0, rx);  // ticks 2..5: closes at 4
+  EXPECT_FALSE(t.partition_open());
+  ASSERT_TRUE(t.try_send(0, 1, &b, 1));
+  for (int i = 0; i < 4; ++i) t.poll(0, rx);
+  EXPECT_EQ(got.size(), 1u);
+}
+
+// The delay-queue determinism contract: with every shaping feature armed,
+// the same seed and send sequence produce byte-identical delivery
+// sequences — order included (TimerWheel fires insertion-order within a
+// tick, per-link Rng streams are position-keyed, MemTransport drains
+// deterministically).
+TEST(ShapedTransport, DelayQueueDeterminism) {
+  const auto run = [] {
+    ShapeConfig cfg;
+    cfg.seed = 77;
+    cfg.loss = 0.1;
+    cfg.latency_ticks = 3;
+    cfg.jitter_ticks = 4;
+    cfg.reorder = 0.25;
+    cfg.reorder_ticks = 6;
+    cfg.duplicate = 0.15;
+    ShapedTransport t(std::make_unique<MemTransport>(), cfg);
+    t.open(4);
+    std::vector<Rx> got;
+    const RxFn rx = collector(got);
+    // Interleave sends and polls so frames queue behind different wheel
+    // positions, not one burst.
+    std::size_t sent = 0;
+    for (int round = 0; round < 40; ++round) {
+      for (int k = 0; k < 3; ++k) {
+        const std::uint8_t payload = static_cast<std::uint8_t>(sent++);
+        EXPECT_TRUE(t.try_send(static_cast<ProcessId>(round % 4),
+                               static_cast<ProcessId>((round + 1 + k) % 4),
+                               &payload, 1));
+      }
+      t.poll(0, rx);
+    }
+    for (int i = 0; i < 32; ++i) t.poll(0, rx);
+    EXPECT_EQ(t.in_medium(), 0u);
+    return got;
+  };
+  const std::vector<Rx> a = run();
+  const std::vector<Rx> b = run();
+  EXPECT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << "delivery " << i << " diverged";
+}
+
+// --- the compound-chaos grid ---
+
+ScenarioConfig churn_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = 16;
+  cfg.topology = "gnp";
+  cfg.leave_fraction = 0.25;
+  cfg.invalid_mode_prob = 0.3;
+  cfg.random_anchor_prob = 0.2;
+  cfg.inflight_per_node = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Outcome {
+  std::vector<ProcessId> gone;
+  std::vector<std::vector<ProcessId>> links;
+  bool converged = false;
+};
+
+Outcome read_outcome(Substrate& sub, const std::vector<bool>& leaving) {
+  Outcome out;
+  for (ProcessId p = 0; p < sub.size(); ++p)
+    if (sub.gone(p)) out.gone.push_back(p);
+  out.links.resize(sub.size());
+  for (ProcessId p = 0; p < sub.size(); ++p) {
+    if (leaving[p] || sub.gone(p)) continue;
+    const auto& proc = dynamic_cast<const FrameworkProcess&>(sub.process(p));
+    for (const RefInfo& r : proc.hosted_overlay().stored())
+      if (r.ref.id() != p) out.links[p].push_back(r.ref.id());
+    std::sort(out.links[p].begin(), out.links[p].end());
+    out.links[p].erase(
+        std::unique(out.links[p].begin(), out.links[p].end()),
+        out.links[p].end());
+  }
+  out.converged = check_topology(sub, "linearization").converged;
+  return out;
+}
+
+Outcome run_shaped(const ScenarioConfig& cfg, const ShapeConfig* shape,
+                   std::uint64_t* gave_up) {
+  std::unique_ptr<Transport> transport;
+  if (shape == nullptr) {
+    transport = std::make_unique<MemTransport>();
+  } else {
+    transport = std::make_unique<ShapedTransport>(
+        std::make_unique<MemTransport>(), *shape);
+  }
+  NetConfig rcfg;
+  // Tighten retransmission for a 16-actor test so lost frames come back
+  // within the pump budget even at 20% loss.
+  rcfg.retransmit_ticks = 8;
+  LiveScenario sc = build_live_framework_scenario(
+      cfg, "linearization", std::move(transport), rcfg);
+  bool done = false;
+  for (int pumps = 0; pumps < 120'000 && !done; ++pumps) {
+    sc.net->pump(0);
+    done = all_leaving_gone(*sc.net) &&
+           check_topology(*sc.net, "linearization").converged;
+  }
+  EXPECT_TRUE(done) << "run did not converge: exits=" << sc.net->exits()
+                    << "/" << sc.leaving_count
+                    << " in_flight=" << sc.net->in_flight()
+                    << " retransmits=" << sc.net->retransmits()
+                    << " gave_up=" << sc.net->retransmit_gave_up();
+  if (gave_up != nullptr) *gave_up = sc.net->retransmit_gave_up();
+  return read_outcome(*sc.net, sc.leaving);
+}
+
+struct ChaosCell {
+  double loss;
+  double duplicate;
+  double reorder;
+};
+
+class CompoundChaos : public testing::TestWithParam<ChaosCell> {};
+
+TEST_P(CompoundChaos, ChaosDoesNotChangeTheOutcome) {
+  const ChaosCell cell = GetParam();
+  const ScenarioConfig cfg = churn_config(5);
+
+  const Outcome clean = run_shaped(cfg, nullptr, nullptr);
+  ASSERT_TRUE(clean.converged);
+
+  ShapeConfig shape;
+  shape.seed = 0xC4A05;
+  shape.loss = cell.loss;
+  shape.duplicate = cell.duplicate;
+  shape.reorder = cell.reorder;
+  shape.reorder_ticks = 6;
+  shape.latency_ticks = 1;
+  shape.jitter_ticks = 2;
+  std::uint64_t gave_up = ~std::uint64_t{0};
+  const Outcome chaotic = run_shaped(cfg, &shape, &gave_up);
+
+  ASSERT_TRUE(chaotic.converged);
+  EXPECT_EQ(clean.gone, chaotic.gone);
+  ASSERT_EQ(clean.links.size(), chaotic.links.size());
+  for (std::size_t p = 0; p < clean.links.size(); ++p)
+    EXPECT_EQ(clean.links[p], chaotic.links[p]) << "stayer " << p;
+  // Loss never exhausts the retransmit ceiling outside a partition —
+  // the satellite assertion that keeps give-up a real alarm.
+  EXPECT_EQ(gave_up, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompoundChaos,
+    testing::Values(ChaosCell{0.05, 0.0, 0.0}, ChaosCell{0.0, 0.3, 0.0},
+                    ChaosCell{0.0, 0.0, 0.3}, ChaosCell{0.05, 0.3, 0.3},
+                    ChaosCell{0.2, 0.2, 0.2}));
+
+}  // namespace
+}  // namespace fdp::net
